@@ -1,0 +1,70 @@
+// Ablation: playout policy. The paper runs uniformly random playouts and
+// argues MCTS needs no domain knowledge; this bench quantifies what the
+// classic Reversi corner heuristic buys in playouts — and costs in speed —
+// against the plain uniform-playout sequential searcher.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "harness/arena.hpp"
+#include "harness/player.hpp"
+#include "mcts/policy_playout.hpp"
+#include "mcts/policy_searcher.hpp"
+#include "reversi/playout_policy.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gpu_mcts;
+using reversi::ReversiGame;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto flags = bench::CommonFlags::parse(args);
+  flags.games = args.get_uint("games", flags.quick ? 2 : 6);
+  flags.budget = args.get_double("budget", flags.quick ? 0.01 : 0.1);
+  bench::print_header("Ablation: playout policy (uniform vs corner-greedy)",
+                      flags);
+
+  auto opponent = harness::make_player(
+      harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+
+  util::Table table({"policy", "win_ratio_vs_uniform_uct", "sims_per_second",
+                     "mean_final_diff"});
+
+  // Row 1: uniform playouts through the same PolicySearcher plumbing
+  // (isolates the policy from any searcher difference).
+  // Row 2: corner-greedy playouts.
+  const auto run = [&](auto policy, const std::string& label) {
+    mcts::SearchConfig config;
+    config.seed = util::derive_seed(flags.seed, 0x90ULL + label.size());
+    mcts::PolicySearcher<ReversiGame, decltype(policy)> subject(
+        policy, label, config);
+    harness::ArenaOptions options;
+    options.subject_budget_seconds = flags.budget;
+    options.opponent_budget_seconds = flags.opponent_budget;
+    options.seed = flags.seed;
+    const harness::MatchResult match =
+        harness::play_match(subject, *opponent, flags.games, options);
+    table.begin_row()
+        .add(label)
+        .add(match.win_ratio, 3)
+        .add(match.subject_sims_per_second, 0)
+        .add(match.mean_final_point_difference, 1);
+  };
+
+  run(mcts::UniformPolicy{}, "uniform");
+  run(reversi::CornerGreedyPolicy{}, "corner-greedy");
+
+  bench::emit(table, flags, "ablation_playout");
+  std::cout << "Reading: playout knowledge is a double-edged sword (Gelly & "
+               "Silver): the\ndeterministic corner grab biases evaluations "
+               "even while making individual\nplayouts stronger, so the "
+               "uniform baseline can win at equal time. The paper's\nchoice "
+               "of uniform playouts is defensible, not just simple.\n";
+  return 0;
+}

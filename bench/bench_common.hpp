@@ -1,0 +1,80 @@
+// Shared plumbing for the figure-reproduction binaries: flag parsing,
+// header printing, and the thread-count axes used by the paper's sweeps.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace gpu_mcts::bench {
+
+struct CommonFlags {
+  std::size_t games = 2;
+  double budget = 0.01;
+  double opponent_budget = 0.01;
+  std::uint64_t seed = 1;
+  bool csv = false;
+  bool quick = false;
+  /// When non-empty, every emitted table is also written to
+  /// <out>/<name>.csv for plotting scripts.
+  std::string out_dir;
+
+  static CommonFlags parse(const util::CliArgs& args) {
+    CommonFlags f;
+    f.quick = args.get_bool("quick", false);
+    f.games = args.get_uint("games", f.quick ? 1 : 2);
+    // 0.5 s of model time per move gives block-parallel trees ~30-110 kernel
+    // rounds — the regime where the paper's orderings hold (DESIGN.md §5.7).
+    f.budget = args.get_double("budget", f.quick ? 0.01 : 0.5);
+    f.opponent_budget = args.get_double("opponent-budget", f.budget);
+    f.seed = args.get_uint("seed", 1);
+    f.csv = args.get_bool("csv", false);
+    f.out_dir = args.get_string("out", "");
+    return f;
+  }
+};
+
+inline void print_header(const std::string& title, const CommonFlags& f) {
+  std::cout << "==== " << title << " ====\n"
+            << "games/config=" << f.games << "  budget=" << f.budget
+            << "s (virtual)  seed=" << f.seed << "\n"
+            << "flags: --games N --budget SECONDS --seed N --csv --quick\n\n";
+}
+
+inline void emit(const util::Table& table, const CommonFlags& f,
+                 const std::string& name = "") {
+  table.print(std::cout);
+  if (f.csv) {
+    std::cout << "\n[csv]\n";
+    table.print_csv(std::cout);
+  }
+  if (!f.out_dir.empty() && !name.empty()) {
+    std::ofstream file(f.out_dir + "/" + name + ".csv");
+    if (file) {
+      table.print_csv(file);
+      std::cout << "(wrote " << f.out_dir << "/" << name << ".csv)\n";
+    } else {
+      std::cout << "(could not write to " << f.out_dir << ")\n";
+    }
+  }
+  std::cout << std::endl;
+}
+
+/// The paper's Figure 5/6 thread axis (1..14336). The full axis is heavy on
+/// one host core (every playout really executes), so the default uses the
+/// load-bearing subset — the growth region, the leaf saturation point, and
+/// the full device; --full restores every point.
+inline std::vector<int> thread_axis(bool full) {
+  if (full) {
+    return {1,  2,  4,   8,   16,  32,   64,   128,
+            256, 512, 1024, 2048, 4096, 7168, 14336};
+  }
+  return {128, 1024, 14336};
+}
+
+}  // namespace gpu_mcts::bench

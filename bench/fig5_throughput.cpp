@@ -1,0 +1,64 @@
+// Figure 5 — "Block parallelism vs Leaf parallelism, speed":
+// simulations/second as a function of total GPU threads for
+//   * leaf parallelism, block size 64
+//   * block parallelism, block size 32
+//   * block parallelism, block size 128
+//
+// Paper shape: leaf rises to ~8-9e5 sims/s at 14336 threads; block curves
+// sit below it, and block(32) falls behind block(128) as the tree count
+// grows ("as I decrease the number of threads per block and at the same time
+// increase the number of trees, the number of simulations per second
+// decreases. This is due to the CPU's sequential part").
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/player.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gpu_mcts;
+
+double measure_rate(const harness::PlayerConfig& config, double budget) {
+  auto player = harness::make_player(config);
+  (void)player->choose_move(reversi::ReversiGame::initial_state(), budget);
+  return player->last_stats().simulations_per_second();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto flags = bench::CommonFlags::parse(args);
+  // Throughput needs no games; budget controls measurement length.
+  flags.budget = args.get_double("budget", flags.quick ? 0.02 : 0.05);
+  bench::print_header("Figure 5: simulations/second vs GPU threads", flags);
+
+  const bool full = args.get_bool("full", !flags.quick);
+  util::Table table({"threads", "leaf_bs64_sims_per_s", "block_bs32_sims_per_s",
+                     "block_bs128_sims_per_s"});
+
+  for (const int threads : bench::thread_axis(full)) {
+    table.begin_row().add(threads);
+
+    // Leaf parallelism, block size 64.
+    table.add(measure_rate(
+        harness::leaf_gpu_player(threads, 64, flags.seed), flags.budget), 0);
+
+    // Block parallelism, block size 32.
+    table.add(measure_rate(
+        harness::block_gpu_player(threads, 32, flags.seed), flags.budget), 0);
+
+    // Block parallelism, block size 128 (sub-128 counts run one block).
+    table.add(measure_rate(
+        harness::block_gpu_player(threads, 128, flags.seed), flags.budget), 0);
+  }
+
+  bench::emit(table, flags, "fig5_throughput");
+
+  std::cout << "Expected shape (paper): leaf(64) tops out ~8-9e5 sims/s at "
+               "14336 threads;\nblock(128) below leaf; block(32) lowest at "
+               "high thread counts (CPU sequential part).\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark) for the engine's hot paths: move
+// generation, move application, scalar playouts, SIMT kernel launches, and
+// tree operations. These measure *wall-clock* host performance (unlike the
+// figure benches, which report model time).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <vector>
+
+#include "mcts/playout.hpp"
+#include "mcts/tree.hpp"
+#include "reversi/perft.hpp"
+#include "reversi/position.hpp"
+#include "reversi/reversi_game.hpp"
+#include "simt/playout_kernel.hpp"
+#include "simt/vgpu.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gpu_mcts;
+using reversi::ReversiGame;
+
+void BM_LegalMovesMask(benchmark::State& state) {
+  const reversi::Position p = reversi::initial_position();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reversi::legal_moves_mask(p.own(), p.opp()));
+  }
+}
+BENCHMARK(BM_LegalMovesMask);
+
+void BM_LegalMovesList(benchmark::State& state) {
+  const reversi::Position p = reversi::initial_position();
+  std::array<reversi::Move, 34> moves{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reversi::legal_moves(p, std::span(moves)));
+  }
+}
+BENCHMARK(BM_LegalMovesList);
+
+void BM_ApplyMove(benchmark::State& state) {
+  const reversi::Position p = reversi::initial_position();
+  const auto move = static_cast<reversi::Move>(reversi::square_at(3, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reversi::apply_move(p, move));
+  }
+}
+BENCHMARK(BM_ApplyMove);
+
+void BM_RandomPlayout(benchmark::State& state) {
+  util::XorShift128Plus rng(42);
+  const auto root = ReversiGame::initial_state();
+  std::uint64_t plies = 0;
+  for (auto _ : state) {
+    const auto r = mcts::random_playout<ReversiGame>(root, rng);
+    plies += r.plies;
+    benchmark::DoNotOptimize(r.value_first);
+  }
+  state.counters["plies/playout"] =
+      benchmark::Counter(static_cast<double>(plies),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RandomPlayout);
+
+void BM_Perft5(benchmark::State& state) {
+  const reversi::Position p = reversi::initial_position();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reversi::perft(p, 5));
+  }
+}
+BENCHMARK(BM_Perft5);
+
+void BM_TreeIteration(benchmark::State& state) {
+  mcts::Tree<ReversiGame> tree(ReversiGame::initial_state(), {}, 1);
+  util::XorShift128Plus rng(2);
+  for (auto _ : state) {
+    const auto sel = tree.select();
+    const double v =
+        sel.terminal
+            ? 0.5
+            : mcts::random_playout<ReversiGame>(sel.state, rng).value_first;
+    tree.backpropagate(sel.node, v, 1);
+  }
+  state.counters["nodes"] = static_cast<double>(tree.node_count());
+}
+BENCHMARK(BM_TreeIteration);
+
+void BM_KernelLaunch(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  simt::VirtualGpu gpu;
+  const simt::LaunchConfig cfg{.blocks = blocks, .threads_per_block = 64};
+  const auto root = ReversiGame::initial_state();
+  std::vector<ReversiGame::State> roots(static_cast<std::size_t>(blocks),
+                                        root);
+  std::vector<simt::BlockResult> results(static_cast<std::size_t>(blocks));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    for (auto& r : results) r = simt::BlockResult{};
+    simt::PlayoutKernel<ReversiGame> kernel(roots, 7, round++,
+                                            std::span(results));
+    util::VirtualClock clock(gpu.host().clock_hz);
+    benchmark::DoNotOptimize(gpu.launch(cfg, kernel, clock));
+  }
+  state.SetItemsProcessed(state.iterations() * blocks * 64);
+}
+BENCHMARK(BM_KernelLaunch)->Arg(1)->Arg(14)->Arg(112);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Interactive Reversi against any scheme in the library.
+//
+//   ./play_reversi [--scheme block-gpu] [--budget 0.1] [--color white]
+//
+// Enter moves as algebraic squares ("d3"), "pass" when you must pass,
+// "hint" for the engine's root statistics, or "quit". EOF ends the game
+// (the engine finishes nothing silently — current standings are printed).
+#include <iostream>
+#include <string>
+
+#include "harness/endgame_wrapper.hpp"
+#include "harness/player.hpp"
+#include "reversi/notation.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace gpu_mcts;
+
+harness::PlayerConfig config_for(const std::string& scheme,
+                                 std::uint64_t seed) {
+  if (scheme == "sequential") return harness::sequential_player(seed);
+  if (scheme == "root") return harness::root_parallel_player(32, seed);
+  if (scheme == "tree") return harness::tree_parallel_player(8, seed);
+  if (scheme == "flat") return harness::flat_mc_player(seed);
+  if (scheme == "leaf-gpu") return harness::leaf_gpu_player(1024, 64, seed);
+  if (scheme == "hybrid") return harness::hybrid_player(112, 64, true, seed);
+  if (scheme == "distributed")
+    return harness::distributed_player(2, 56, 64, seed);
+  return harness::block_gpu_player(7168, 64, seed);  // "block-gpu" default
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const std::string scheme = args.get_string("scheme", "block-gpu");
+  const double budget = args.get_double("budget", 0.1);
+  const bool human_is_black = args.get_string("color", "black") != "white";
+
+  std::unique_ptr<mcts::Searcher<reversi::ReversiGame>> engine =
+      harness::make_player(config_for(scheme, args.get_uint("seed", 1)));
+  // --endgame N: play provably optimal moves once N empties remain.
+  if (const auto solve_at = args.get_int("endgame", 0); solve_at > 0) {
+    engine = std::make_unique<harness::EndgameAwareSearcher>(
+        std::move(engine), static_cast<int>(solve_at));
+  }
+  std::cout << "You play " << (human_is_black ? "X (black)" : "O (white)")
+            << " against " << engine->name() << " at " << budget
+            << "s/move.\nCommands: <square> | pass | hint | quit\n\n";
+
+  reversi::Position pos = reversi::initial_position();
+  std::array<reversi::Move, 34> legal{};
+  while (!reversi::is_terminal(pos)) {
+    std::cout << reversi::board_to_string(pos) << '\n';
+    const bool humans_turn =
+        (pos.to_move == 0) == human_is_black;
+    reversi::Move move;
+    if (humans_turn) {
+      const int n = reversi::legal_moves(pos, std::span(legal));
+      for (;;) {
+        std::cout << "your move> " << std::flush;
+        std::string input;
+        if (!(std::cin >> input) || input == "quit") {
+          std::cout << "\nGame abandoned. Current difference (X-O): "
+                    << reversi::disc_difference(pos, game::Player::kFirst)
+                    << '\n';
+          return 0;
+        }
+        if (input == "hint") {
+          const auto hint = engine->choose_move(pos, budget);
+          std::cout << "engine suggests " << reversi::move_to_string(hint)
+                    << '\n';
+          continue;
+        }
+        const auto parsed = reversi::move_from_string(input);
+        bool ok = false;
+        if (parsed.has_value()) {
+          for (int i = 0; i < n; ++i) ok = ok || legal[i] == *parsed;
+        }
+        if (!ok) {
+          std::cout << "illegal; legal moves:";
+          for (int i = 0; i < n; ++i)
+            std::cout << ' ' << reversi::move_to_string(legal[i]);
+          std::cout << '\n';
+          continue;
+        }
+        move = *parsed;
+        break;
+      }
+    } else {
+      move = engine->choose_move(pos, budget);
+      std::cout << "engine plays " << reversi::move_to_string(move) << "  ["
+                << engine->last_stats().simulations << " sims]\n";
+    }
+    pos = reversi::apply_move(pos, move);
+  }
+
+  std::cout << reversi::board_to_string(pos, false) << '\n';
+  const int diff = reversi::disc_difference(
+      pos, human_is_black ? game::Player::kFirst : game::Player::kSecond);
+  std::cout << (diff > 0   ? "You win by "
+                : diff < 0 ? "Engine wins by "
+                           : "Draw (")
+            << (diff == 0 ? 0 : std::abs(diff)) << (diff == 0 ? ")" : " discs")
+            << ".\n";
+  return 0;
+}

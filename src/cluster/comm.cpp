@@ -1,0 +1,93 @@
+#include "cluster/comm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace gpu_mcts::cluster {
+
+Communicator::Communicator(int ranks, CommCosts costs)
+    : ranks_(ranks), costs_(costs) {
+  util::expects(ranks >= 1, "communicator needs at least one rank");
+  clocks_.assign(static_cast<std::size_t>(ranks), util::VirtualClock(2.93e9));
+  mailboxes_.assign(
+      static_cast<std::size_t>(ranks),
+      std::vector<std::deque<Message>>(static_cast<std::size_t>(ranks)));
+}
+
+util::VirtualClock& Communicator::clock(int rank) {
+  util::expects(rank >= 0 && rank < ranks_, "rank in range");
+  return clocks_[static_cast<std::size_t>(rank)];
+}
+
+const util::VirtualClock& Communicator::clock(int rank) const {
+  util::expects(rank >= 0 && rank < ranks_, "rank in range");
+  return clocks_[static_cast<std::size_t>(rank)];
+}
+
+void Communicator::send(int from, int to, std::span<const double> payload) {
+  util::expects(from >= 0 && from < ranks_, "source rank in range");
+  util::expects(to >= 0 && to < ranks_, "destination rank in range");
+  auto& sender = clock(from);
+  const auto inject = static_cast<std::uint64_t>(
+      costs_.per_word_cycles * static_cast<double>(payload.size()));
+  sender.advance(inject);
+  Message msg;
+  msg.source = from;
+  msg.payload.assign(payload.begin(), payload.end());
+  msg.available_at_cycle =
+      sender.cycles() + static_cast<std::uint64_t>(costs_.latency_cycles);
+  mailboxes_[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)]
+      .push_back(std::move(msg));
+}
+
+std::optional<Message> Communicator::recv(int to, int from) {
+  util::expects(from >= 0 && from < ranks_, "source rank in range");
+  util::expects(to >= 0 && to < ranks_, "destination rank in range");
+  auto& box =
+      mailboxes_[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)];
+  if (box.empty()) return std::nullopt;
+  Message msg = std::move(box.front());
+  box.pop_front();
+  clock(to).advance_to(msg.available_at_cycle);
+  return msg;
+}
+
+void Communicator::barrier() {
+  std::uint64_t latest = 0;
+  for (const auto& c : clocks_) latest = std::max(latest, c.cycles());
+  const auto after = latest + static_cast<std::uint64_t>(costs_.latency_cycles);
+  for (auto& c : clocks_) c.advance_to(after);
+}
+
+double Communicator::allreduce_cost_cycles(std::size_t words) const noexcept {
+  const double hops = ranks_ > 1
+                          ? std::ceil(std::log2(static_cast<double>(ranks_)))
+                          : 0.0;
+  return hops * (costs_.latency_cycles +
+                 costs_.per_word_cycles * static_cast<double>(words));
+}
+
+std::vector<double> Communicator::allreduce_sum(
+    const std::vector<std::vector<double>>& contributions) {
+  util::expects(contributions.size() == static_cast<std::size_t>(ranks_),
+                "one contribution per rank");
+  const std::size_t words =
+      contributions.empty() ? 0 : contributions.front().size();
+  for (const auto& c : contributions) {
+    util::expects(c.size() == words, "equal-length contributions");
+  }
+  std::vector<double> sum(words, 0.0);
+  for (const auto& c : contributions) {
+    for (std::size_t i = 0; i < words; ++i) sum[i] += c[i];
+  }
+  // Time: everyone meets at the latest entry, then pays the reduction tree.
+  std::uint64_t latest = 0;
+  for (const auto& c : clocks_) latest = std::max(latest, c.cycles());
+  const auto done =
+      latest + static_cast<std::uint64_t>(allreduce_cost_cycles(words));
+  for (auto& c : clocks_) c.advance_to(done);
+  return sum;
+}
+
+}  // namespace gpu_mcts::cluster

@@ -1,0 +1,80 @@
+// In-process message-passing substrate standing in for MPI (paper §V /
+// Figure 9: "Multi GPU Results - based on MPI communication scheme").
+//
+// Ranks are simulated timelines: each owns a VirtualClock, point-to-point
+// messages carry a virtual delivery time, and collectives advance every
+// participant to the barrier instant plus the modeled collective cost
+// (binary-tree allreduce: base latency x ceil(log2 ranks) + bandwidth term).
+// The code path a real MPI build would take — contribute local root
+// statistics, reduce, broadcast the decision — is exercised identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/clock.hpp"
+
+namespace gpu_mcts::cluster {
+
+struct CommCosts {
+  /// Virtual host cycles of one-hop point-to-point latency.
+  double latency_cycles = 1.5e5;
+  /// Additional cycles per 8-byte word transferred.
+  double per_word_cycles = 12.0;
+};
+
+/// A payload with its virtual arrival time.
+struct Message {
+  int source = 0;
+  std::vector<double> payload;
+  std::uint64_t available_at_cycle = 0;
+};
+
+class Communicator {
+ public:
+  explicit Communicator(int ranks, CommCosts costs = {});
+
+  [[nodiscard]] int ranks() const noexcept { return ranks_; }
+  [[nodiscard]] const CommCosts& costs() const noexcept { return costs_; }
+
+  /// Per-rank virtual clock (all start at zero).
+  [[nodiscard]] util::VirtualClock& clock(int rank);
+  [[nodiscard]] const util::VirtualClock& clock(int rank) const;
+
+  /// Non-blocking send: charges the sender the injection cost and enqueues
+  /// the message with its delivery time on the receiver's timeline.
+  void send(int from, int to, std::span<const double> payload);
+
+  /// Blocking receive from a specific source: advances the receiver's clock
+  /// to the message's arrival if it has not reached it yet. Returns nullopt
+  /// when no message from `from` was ever sent (deadlock in a real system;
+  /// surfaced as an error state here).
+  [[nodiscard]] std::optional<Message> recv(int to, int from);
+
+  /// Barrier: advances every rank to the latest participant's time plus one
+  /// latency hop.
+  void barrier();
+
+  /// Allreduce(sum) over equal-length per-rank vectors. Every rank's clock
+  /// advances to barrier + tree-reduction cost; the summed vector is
+  /// returned (identical on all ranks, as MPI_Allreduce guarantees).
+  [[nodiscard]] std::vector<double> allreduce_sum(
+      const std::vector<std::vector<double>>& contributions);
+
+  /// Cycles the modeled allreduce costs for a vector of `words` doubles.
+  [[nodiscard]] double allreduce_cost_cycles(std::size_t words) const noexcept;
+
+ private:
+  int ranks_;
+  CommCosts costs_;
+  std::vector<util::VirtualClock> clocks_;
+  // mailboxes_[to][from] = FIFO of undelivered messages.
+  std::vector<std::vector<std::deque<Message>>> mailboxes_;
+};
+
+}  // namespace gpu_mcts::cluster

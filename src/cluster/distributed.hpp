@@ -1,0 +1,138 @@
+// Distributed root parallelism across multiple (virtual) GPUs — the MPI-GPU
+// configuration of the paper's Figure 9 ("No of GPUs (112 block x 64
+// Threads)"): every rank drives one GPU with the block-parallel searcher,
+// and per move the ranks allreduce their root statistics and play the
+// majority-vote move.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/comm.hpp"
+#include "game/game_traits.hpp"
+#include "mcts/config.hpp"
+#include "mcts/searcher.hpp"
+#include "parallel/block_parallel.hpp"
+#include "parallel/merge.hpp"
+#include "util/check.hpp"
+
+namespace gpu_mcts::cluster {
+
+template <game::Game G>
+class DistributedRootSearcher final : public mcts::Searcher<G> {
+ public:
+  struct Options {
+    int ranks = 2;
+    /// Per-rank GPU geometry; Figure 9 uses 112 blocks x 64 threads.
+    simt::LaunchConfig launch{.blocks = 112, .threads_per_block = 64};
+    CommCosts comm{};
+  };
+
+  DistributedRootSearcher(Options options, mcts::SearchConfig config = {},
+                          simt::VirtualGpu gpu = simt::VirtualGpu())
+      : options_(options), config_(config), seed_(config.seed) {
+    util::expects(options.ranks >= 1, "at least one rank");
+    ranks_.reserve(static_cast<std::size_t>(options.ranks));
+    for (int r = 0; r < options.ranks; ++r) {
+      mcts::SearchConfig rank_config = config;
+      rank_config.seed = util::derive_seed(config.seed, 0xa110c ^ r);
+      ranks_.push_back(
+          std::make_unique<parallel::BlockParallelGpuSearcher<G>>(
+              typename parallel::BlockParallelGpuSearcher<G>::Options{
+                  options.launch},
+              rank_config, gpu));
+    }
+  }
+
+  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
+                                             double budget_seconds) override {
+    util::expects(!G::is_terminal(state), "choose_move on terminal state");
+    Communicator comm(options_.ranks, options_.comm);
+
+    // Each rank spends the move budget minus its share of communication
+    // (the allreduce must fit inside the move clock).
+    const double comm_seconds =
+        comm.allreduce_cost_cycles(kReduceWords) / comm.clock(0).frequency_hz();
+    const double rank_budget =
+        std::max(budget_seconds * 0.05, budget_seconds - comm_seconds);
+
+    // Root statistics are exchanged as fixed-size (visits, wins) tables
+    // indexed by move id — the wire format a real MPI implementation would
+    // use (move space is static and small for board games).
+    std::vector<std::vector<double>> contributions(
+        static_cast<std::size_t>(options_.ranks),
+        std::vector<double>(kReduceWords, 0.0));
+
+    stats_ = {};
+    for (int r = 0; r < options_.ranks; ++r) {
+      auto& searcher = *ranks_[static_cast<std::size_t>(r)];
+      (void)searcher.choose_move(state, rank_budget);
+      const auto& rank_stats = searcher.last_stats();
+      stats_.simulations += rank_stats.simulations;
+      stats_.rounds += rank_stats.rounds;
+      stats_.tree_nodes += rank_stats.tree_nodes;
+      if (rank_stats.max_depth > stats_.max_depth)
+        stats_.max_depth = rank_stats.max_depth;
+      comm.clock(r).advance(static_cast<std::uint64_t>(
+          rank_stats.virtual_seconds * comm.clock(r).frequency_hz()));
+
+      auto& table = contributions[static_cast<std::size_t>(r)];
+      for (const auto& m : searcher.last_root_stats()) {
+        const auto slot = static_cast<std::size_t>(m.move);
+        util::check(slot < kMoveSlots, "move id fits the reduce table");
+        table[2 * slot] += static_cast<double>(m.visits);
+        table[2 * slot + 1] += m.wins;
+      }
+    }
+
+    const std::vector<double> summed = comm.allreduce_sum(contributions);
+
+    // Model time for the move: the slowest rank's clock after the collective.
+    double elapsed = 0.0;
+    for (int r = 0; r < options_.ranks; ++r) {
+      elapsed = std::max(elapsed, comm.clock(r).seconds());
+    }
+    stats_.virtual_seconds = elapsed;
+
+    std::vector<parallel::MergedMove<typename G::Move>> merged;
+    for (std::size_t slot = 0; slot < kMoveSlots; ++slot) {
+      const auto visits = static_cast<std::uint64_t>(summed[2 * slot]);
+      if (visits == 0) continue;
+      merged.push_back({static_cast<typename G::Move>(slot), visits,
+                        summed[2 * slot + 1]});
+    }
+    return parallel::best_merged_move(merged);
+  }
+
+  [[nodiscard]] const mcts::SearchStats& last_stats() const noexcept override {
+    return stats_;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "distributed root-parallel (" + std::to_string(options_.ranks) +
+           " GPUs, " + std::to_string(options_.launch.blocks) + "x" +
+           std::to_string(options_.launch.threads_per_block) + ")";
+  }
+
+  void reseed(std::uint64_t seed) override {
+    seed_ = seed;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      ranks_[r]->reseed(util::derive_seed(seed, 0xa110c ^ r));
+    }
+  }
+
+ private:
+  /// Move ids for supported games are < 128 (Reversi: 0..64 incl. pass).
+  static constexpr std::size_t kMoveSlots = 128;
+  static constexpr std::size_t kReduceWords = 2 * kMoveSlots;
+
+  Options options_;
+  mcts::SearchConfig config_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<parallel::BlockParallelGpuSearcher<G>>> ranks_;
+  mcts::SearchStats stats_;
+};
+
+}  // namespace gpu_mcts::cluster

@@ -1,0 +1,109 @@
+// Connect Four as a Game — the "application of the algorithm to other
+// domain" the paper lists as future work (§V). Demonstrates that every
+// searcher in this repo (including the SIMT playout kernel and block
+// parallelism) is game-agnostic: nothing outside this header changes.
+//
+// Bitboard layout: column-major with a sentinel row, bit = col * 7 + row
+// (rows 0..5 valid, row 6 is the sentinel that keeps vertical shifts from
+// wrapping). Win detection is the classic 4-direction shift test.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "game/game_traits.hpp"
+
+namespace gpu_mcts::game {
+
+class ConnectFour {
+ public:
+  static constexpr int kCols = 7;
+  static constexpr int kRows = 6;
+
+  struct State {
+    std::uint64_t stones[2] = {0, 0};
+    std::uint8_t to_move = 0;
+  };
+  /// A move is a column index 0..6.
+  using Move = std::uint8_t;
+
+  static constexpr int kMaxMoves = kCols;
+  static constexpr int kMaxGameLength = kCols * kRows;
+
+  [[nodiscard]] static State initial_state() noexcept { return State{}; }
+
+  [[nodiscard]] static constexpr std::uint64_t column_mask(int col) noexcept {
+    return 0x3fULL << (col * 7);
+  }
+
+  [[nodiscard]] static constexpr std::uint64_t top_bit(int col) noexcept {
+    return 1ULL << (col * 7 + kRows - 1);
+  }
+
+  [[nodiscard]] static bool has_four(std::uint64_t b) noexcept {
+    // Vertical (shift 1), horizontal (7), diagonals (6, 8).
+    for (const int s : {1, 7, 6, 8}) {
+      const std::uint64_t pairs = b & (b >> s);
+      if ((pairs & (pairs >> (2 * s))) != 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] static int legal_moves(const State& s,
+                                       std::span<Move> out) noexcept {
+    if (has_four(s.stones[0]) || has_four(s.stones[1])) return 0;
+    const std::uint64_t occupied = s.stones[0] | s.stones[1];
+    int n = 0;
+    for (std::uint8_t col = 0; col < kCols; ++col) {
+      if ((occupied & top_bit(col)) == 0) out[n++] = col;
+    }
+    return n;
+  }
+
+  [[nodiscard]] static State apply(const State& s, Move col) noexcept {
+    State next = s;
+    const std::uint64_t occupied = s.stones[0] | s.stones[1];
+    // Lowest empty cell of the column: occupied-in-column + one stone at the
+    // bottom carries to the first free bit.
+    const std::uint64_t slot =
+        (occupied + (1ULL << (col * 7))) & column_mask(col) & ~occupied;
+    next.stones[s.to_move] |= slot;
+    next.to_move = static_cast<std::uint8_t>(1 - s.to_move);
+    return next;
+  }
+
+  [[nodiscard]] static bool is_terminal(const State& s) noexcept {
+    if (has_four(s.stones[0]) || has_four(s.stones[1])) return true;
+    const std::uint64_t occupied = s.stones[0] | s.stones[1];
+    for (int col = 0; col < kCols; ++col) {
+      if ((occupied & top_bit(col)) == 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] static Player player_to_move(const State& s) noexcept {
+    return static_cast<Player>(s.to_move);
+  }
+
+  [[nodiscard]] static Outcome outcome_for(const State& s,
+                                           Player p) noexcept {
+    const std::size_t me = index_of(p);
+    if (has_four(s.stones[me])) return Outcome::kWin;
+    if (has_four(s.stones[1 - me])) return Outcome::kLoss;
+    return Outcome::kDraw;
+  }
+
+  [[nodiscard]] static int score_difference(const State& s,
+                                            Player p) noexcept {
+    switch (outcome_for(s, p)) {
+      case Outcome::kWin: return 1;
+      case Outcome::kLoss: return -1;
+      case Outcome::kDraw: return 0;
+    }
+    return 0;
+  }
+};
+
+static_assert(Game<ConnectFour>);
+
+}  // namespace gpu_mcts::game

@@ -1,0 +1,75 @@
+// The Game concept: the static interface every game must provide so the MCTS
+// core, the SIMT playout kernels, and the experiment harness stay
+// game-agnostic (the paper stresses MCTS "does not require any strategic or
+// tactical knowledge about the given domain").
+//
+// Design notes:
+//  * States are small trivially-copyable values — they are copied into SIMT
+//    lane contexts by the thousand, so no heap allocation is permitted.
+//  * "Pass" is an ordinary move where the game needs one (Reversi); the
+//    contract is: a non-terminal state always has at least one legal move.
+//  * Players are 0 (first mover) and 1. Values are from a player's view:
+//    1 = win, 0.5 = draw, 0 = loss.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+namespace gpu_mcts::game {
+
+/// Identifies which side is to move / is being evaluated.
+enum class Player : std::uint8_t { kFirst = 0, kSecond = 1 };
+
+[[nodiscard]] constexpr Player opponent_of(Player p) noexcept {
+  return p == Player::kFirst ? Player::kSecond : Player::kFirst;
+}
+
+[[nodiscard]] constexpr std::size_t index_of(Player p) noexcept {
+  return static_cast<std::size_t>(p);
+}
+
+/// Terminal outcome from the perspective of a fixed player.
+enum class Outcome : std::uint8_t { kLoss = 0, kDraw = 1, kWin = 2 };
+
+[[nodiscard]] constexpr double value_of(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::kLoss: return 0.0;
+    case Outcome::kDraw: return 0.5;
+    case Outcome::kWin: return 1.0;
+  }
+  return 0.5;  // unreachable; keeps -Wreturn-type happy
+}
+
+[[nodiscard]] constexpr Outcome invert(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::kLoss: return Outcome::kWin;
+    case Outcome::kDraw: return Outcome::kDraw;
+    case Outcome::kWin: return Outcome::kLoss;
+  }
+  return Outcome::kDraw;
+}
+
+// clang-format off
+/// A Game binds a State and Move type with the rules operating on them.
+/// All operations are static: a Game is a rules namespace, not an object.
+template <typename G>
+concept Game =
+    std::is_trivially_copyable_v<typename G::State> &&
+    std::is_trivially_copyable_v<typename G::Move> &&
+    requires(const typename G::State& s, typename G::Move m,
+             std::span<typename G::Move> out, Player p) {
+  { G::kMaxMoves } -> std::convertible_to<int>;
+  { G::kMaxGameLength } -> std::convertible_to<int>;
+  { G::initial_state() } -> std::same_as<typename G::State>;
+  { G::legal_moves(s, out) } -> std::same_as<int>;
+  { G::apply(s, m) } -> std::same_as<typename G::State>;
+  { G::is_terminal(s) } -> std::same_as<bool>;
+  { G::player_to_move(s) } -> std::same_as<Player>;
+  { G::outcome_for(s, p) } -> std::same_as<Outcome>;
+  { G::score_difference(s, p) } -> std::same_as<int>;
+};
+// clang-format on
+
+}  // namespace gpu_mcts::game

@@ -1,0 +1,88 @@
+// Tic-Tac-Toe as a Game: small enough to verify MCTS exhaustively
+// (perfect play is a draw; MCTS with a modest budget must never lose from the
+// empty board) and cheap enough to use in property sweeps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "game/game_traits.hpp"
+
+namespace gpu_mcts::game {
+
+class TicTacToe {
+ public:
+  /// Cells are numbered 0..8 row-major; each side keeps an occupancy mask.
+  struct State {
+    std::uint16_t marks[2] = {0, 0};
+    std::uint8_t to_move = 0;
+  };
+  using Move = std::uint8_t;
+
+  static constexpr int kMaxMoves = 9;
+  static constexpr int kMaxGameLength = 9;
+
+  [[nodiscard]] static State initial_state() noexcept { return State{}; }
+
+  [[nodiscard]] static int legal_moves(const State& s,
+                                       std::span<Move> out) noexcept {
+    const std::uint16_t occupied = s.marks[0] | s.marks[1];
+    if (has_line(s.marks[0]) || has_line(s.marks[1])) return 0;
+    int n = 0;
+    for (std::uint8_t c = 0; c < 9; ++c) {
+      if ((occupied & (1u << c)) == 0) out[n++] = c;
+    }
+    return n;
+  }
+
+  [[nodiscard]] static State apply(const State& s, Move m) noexcept {
+    State next = s;
+    next.marks[s.to_move] =
+        static_cast<std::uint16_t>(next.marks[s.to_move] | (1u << m));
+    next.to_move = static_cast<std::uint8_t>(1 - s.to_move);
+    return next;
+  }
+
+  [[nodiscard]] static bool is_terminal(const State& s) noexcept {
+    if (has_line(s.marks[0]) || has_line(s.marks[1])) return true;
+    return ((s.marks[0] | s.marks[1]) & 0x1ffu) == 0x1ffu;
+  }
+
+  [[nodiscard]] static Player player_to_move(const State& s) noexcept {
+    return static_cast<Player>(s.to_move);
+  }
+
+  [[nodiscard]] static Outcome outcome_for(const State& s, Player p) noexcept {
+    const std::size_t me = index_of(p);
+    const std::size_t them = 1 - me;
+    if (has_line(s.marks[me])) return Outcome::kWin;
+    if (has_line(s.marks[them])) return Outcome::kLoss;
+    return Outcome::kDraw;
+  }
+
+  [[nodiscard]] static int score_difference(const State& s,
+                                            Player p) noexcept {
+    switch (outcome_for(s, p)) {
+      case Outcome::kWin: return 1;
+      case Outcome::kLoss: return -1;
+      case Outcome::kDraw: return 0;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] static bool has_line(std::uint16_t marks) noexcept {
+    constexpr std::uint16_t kLines[] = {
+        0x007, 0x038, 0x1c0,   // rows
+        0x049, 0x092, 0x124,   // columns
+        0x111, 0x054,          // diagonals
+    };
+    for (const std::uint16_t line : kLines) {
+      if ((marks & line) == line) return true;
+    }
+    return false;
+  }
+};
+
+static_assert(Game<TicTacToe>);
+
+}  // namespace gpu_mcts::game

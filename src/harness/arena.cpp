@@ -1,0 +1,126 @@
+#include "harness/arena.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::harness {
+
+using reversi::Position;
+using reversi::ReversiGame;
+
+GameRecord play_game(mcts::Searcher<ReversiGame>& subject,
+                     mcts::Searcher<ReversiGame>& opponent,
+                     const ArenaOptions& options) {
+  util::expects(options.subject_color == 0 || options.subject_color == 1,
+                "subject color is 0 or 1");
+  subject.reseed(util::derive_seed(options.seed, 0x51dea));
+  opponent.reseed(util::derive_seed(options.seed, 0x51deb));
+
+  GameRecord record;
+  record.subject_color = options.subject_color;
+  const auto subject_player =
+      static_cast<game::Player>(options.subject_color);
+
+  Position pos = reversi::initial_position();
+  int step = 0;
+  while (!ReversiGame::is_terminal(pos)) {
+    const bool subject_to_move =
+        pos.to_move == static_cast<std::uint8_t>(options.subject_color);
+    StepRecord sr;
+    sr.step = ++step;
+    sr.mover = pos.to_move;
+    if (subject_to_move) {
+      sr.move = subject.choose_move(pos, options.subject_budget_seconds);
+      const mcts::SearchStats& stats = subject.last_stats();
+      sr.subject_depth = stats.max_depth;
+      sr.subject_simulations = stats.simulations;
+      record.subject_stats.accumulate(stats);
+    } else {
+      sr.move = opponent.choose_move(pos, options.opponent_budget_seconds);
+    }
+    pos = ReversiGame::apply(pos, sr.move);
+    sr.point_difference = reversi::disc_difference(pos, subject_player);
+    record.steps.push_back(sr);
+    util::check(step <= ReversiGame::kMaxGameLength, "game length bounded");
+  }
+
+  record.subject_outcome = reversi::outcome_for(pos, subject_player);
+  record.final_point_difference = reversi::disc_difference(pos, subject_player);
+  return record;
+}
+
+MatchResult play_match(mcts::Searcher<ReversiGame>& subject,
+                       mcts::Searcher<ReversiGame>& opponent,
+                       std::size_t games, const ArenaOptions& base_options) {
+  util::expects(games >= 1, "match needs at least one game");
+  MatchResult result;
+  result.games = games;
+
+  // Reversi games are at most 60 placements plus interleaved passes; traces
+  // are padded to a fixed axis so means are well-defined (the paper plots
+  // steps 1..61; benches print the prefix they need).
+  constexpr std::size_t kSteps =
+      static_cast<std::size_t>(ReversiGame::kMaxGameLength);
+  std::vector<double> diff_sum(kSteps, 0.0);
+  std::vector<double> depth_sum(kSteps, 0.0);
+  std::vector<std::size_t> depth_count(kSteps, 0);
+  double final_diff_sum = 0.0;
+  double sims_per_sec_sum = 0.0;
+  double depth_mean_sum = 0.0;
+
+  for (std::size_t g = 0; g < games; ++g) {
+    ArenaOptions options = base_options;
+    options.subject_color = static_cast<int>(g % 2);
+    options.seed = util::derive_seed(base_options.seed, g);
+    const GameRecord record = play_game(subject, opponent, options);
+
+    if (record.subject_outcome == game::Outcome::kWin) ++result.subject_wins;
+    if (record.subject_outcome == game::Outcome::kDraw) ++result.draws;
+    final_diff_sum += record.final_point_difference;
+
+    // Pad per-step difference with the final value beyond game end.
+    int last_diff = 0;
+    std::size_t moves_by_subject = 0;
+    double subject_depth_total = 0.0;
+    for (std::size_t s = 0; s < kSteps; ++s) {
+      if (s < record.steps.size()) {
+        last_diff = record.steps[s].point_difference;
+        if (record.steps[s].mover == record.subject_color) {
+          depth_sum[s] += record.steps[s].subject_depth;
+          depth_count[s] += 1;
+          subject_depth_total += record.steps[s].subject_depth;
+          ++moves_by_subject;
+        }
+      }
+      diff_sum[s] += last_diff;
+    }
+    if (moves_by_subject > 0) {
+      depth_mean_sum +=
+          subject_depth_total / static_cast<double>(moves_by_subject);
+    }
+    sims_per_sec_sum += record.subject_stats.simulations_per_second();
+  }
+
+  const double n = static_cast<double>(games);
+  result.win_ratio =
+      (static_cast<double>(result.subject_wins) +
+       0.5 * static_cast<double>(result.draws)) / n;
+  result.mean_final_point_difference = final_diff_sum / n;
+  result.subject_sims_per_second = sims_per_sec_sum / n;
+  result.subject_mean_depth = depth_mean_sum / n;
+
+  result.mean_point_difference_by_step.resize(kSteps);
+  result.mean_subject_depth_by_step.resize(kSteps);
+  for (std::size_t s = 0; s < kSteps; ++s) {
+    result.mean_point_difference_by_step[s] = diff_sum[s] / n;
+    result.mean_subject_depth_by_step[s] =
+        depth_count[s] > 0
+            ? depth_sum[s] / static_cast<double>(depth_count[s])
+            : 0.0;
+  }
+  return result;
+}
+
+}  // namespace gpu_mcts::harness

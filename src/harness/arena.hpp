@@ -1,0 +1,84 @@
+// The game arena: plays full Reversi games between two searchers, recording
+// the traces the paper's Figures 6-9 are built from — per-step point
+// difference, per-move tree depth, simulation counts, and final outcomes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/game_traits.hpp"
+#include "mcts/searcher.hpp"
+#include "mcts/stats.hpp"
+#include "reversi/reversi_game.hpp"
+
+namespace gpu_mcts::harness {
+
+/// One ply of a recorded game.
+struct StepRecord {
+  /// 1-based ply number ("game step" on the paper's X axes).
+  int step = 0;
+  /// Who moved (0 = black).
+  int mover = 0;
+  reversi::Move move = reversi::kPassMove;
+  /// Disc difference from the *subject's* perspective after this ply
+  /// ("point difference (our score - opponent's score)").
+  int point_difference = 0;
+  /// Subject tree depth for the subject's own moves, 0 for opponent plies
+  /// (Figure 8's depth trace).
+  std::uint32_t subject_depth = 0;
+  std::uint64_t subject_simulations = 0;
+};
+
+struct GameRecord {
+  /// Outcome for the subject (the player under evaluation).
+  game::Outcome subject_outcome = game::Outcome::kDraw;
+  /// Final disc difference from the subject's perspective.
+  int final_point_difference = 0;
+  /// Which color the subject played (0 = black).
+  int subject_color = 0;
+  std::vector<StepRecord> steps;
+  /// Accumulated search statistics for the subject across its moves.
+  mcts::SearchStats subject_stats;
+};
+
+struct ArenaOptions {
+  double subject_budget_seconds = 0.02;
+  double opponent_budget_seconds = 0.02;
+  /// 0 = subject plays black, 1 = white.
+  int subject_color = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Plays one game; `subject` and `opponent` are reseeded from options.seed.
+[[nodiscard]] GameRecord play_game(mcts::Searcher<reversi::ReversiGame>& subject,
+                                   mcts::Searcher<reversi::ReversiGame>& opponent,
+                                   const ArenaOptions& options);
+
+/// Aggregate of a multi-game match (colors alternate game to game).
+struct MatchResult {
+  std::size_t games = 0;
+  std::size_t subject_wins = 0;
+  std::size_t draws = 0;
+  /// Win ratio counting draws as half (the paper's convention for Reversi
+  /// agents).
+  double win_ratio = 0.0;
+  double mean_final_point_difference = 0.0;
+  /// Mean point difference per game step across games; shorter games are
+  /// padded with their final value so the series stays monotone at the tail.
+  std::vector<double> mean_point_difference_by_step;
+  /// Mean subject tree depth per game step (0 entries where the subject did
+  /// not move).
+  std::vector<double> mean_subject_depth_by_step;
+  /// Mean simulations/second achieved by the subject.
+  double subject_sims_per_second = 0.0;
+  /// Mean of subjects' max tree depth per move.
+  double subject_mean_depth = 0.0;
+};
+
+/// Plays `games` games, alternating the subject's color, aggregating traces.
+[[nodiscard]] MatchResult play_match(
+    mcts::Searcher<reversi::ReversiGame>& subject,
+    mcts::Searcher<reversi::ReversiGame>& opponent, std::size_t games,
+    const ArenaOptions& base_options);
+
+}  // namespace gpu_mcts::harness

@@ -1,0 +1,176 @@
+#include "harness/player.hpp"
+
+#include <algorithm>
+
+#include "cluster/distributed.hpp"
+#include "mcts/flat_mc.hpp"
+#include "mcts/sequential.hpp"
+#include "parallel/block_parallel.hpp"
+#include "parallel/hybrid.hpp"
+#include "parallel/leaf_parallel.hpp"
+#include "parallel/root_parallel.hpp"
+#include "parallel/tree_parallel.hpp"
+#include "simt/vgpu.hpp"
+#include "util/check.hpp"
+
+namespace gpu_mcts::harness {
+
+using reversi::ReversiGame;
+
+std::string to_string(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSequential: return "sequential";
+    case Scheme::kRootParallel: return "root-parallel";
+    case Scheme::kTreeParallel: return "tree-parallel";
+    case Scheme::kFlatMc: return "flat-mc";
+    case Scheme::kLeafGpu: return "leaf-gpu";
+    case Scheme::kBlockGpu: return "block-gpu";
+    case Scheme::kHybrid: return "hybrid";
+    case Scheme::kDistributed: return "distributed";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ReversiSearcher> make_player(const PlayerConfig& config) {
+  const simt::VirtualGpu gpu(config.device, config.host, config.cost);
+  switch (config.scheme) {
+    case Scheme::kSequential:
+      return std::make_unique<mcts::SequentialSearcher<ReversiGame>>(
+          config.search, config.host, config.cost);
+    case Scheme::kRootParallel:
+      return std::make_unique<parallel::RootParallelSearcher<ReversiGame>>(
+          parallel::RootParallelSearcher<ReversiGame>::Options{
+              .threads = config.cpu_threads, .use_host_threads = false},
+          config.search, config.host, config.cost);
+    case Scheme::kTreeParallel:
+      return std::make_unique<parallel::TreeParallelSearcher<ReversiGame>>(
+          parallel::TreeParallelSearcher<ReversiGame>::Options{
+              .workers = config.cpu_threads, .virtual_loss = 1},
+          config.search, config.host, config.cost);
+    case Scheme::kFlatMc:
+      return std::make_unique<mcts::FlatMonteCarloSearcher<ReversiGame>>(
+          config.search, config.host, config.cost);
+    case Scheme::kLeafGpu:
+      return std::make_unique<parallel::LeafParallelGpuSearcher<ReversiGame>>(
+          parallel::LeafParallelGpuSearcher<ReversiGame>::Options{
+              simt::LaunchConfig{config.blocks, config.threads_per_block}},
+          config.search, gpu);
+    case Scheme::kBlockGpu:
+      return std::make_unique<parallel::BlockParallelGpuSearcher<ReversiGame>>(
+          parallel::BlockParallelGpuSearcher<ReversiGame>::Options{
+              simt::LaunchConfig{config.blocks, config.threads_per_block}},
+          config.search, gpu);
+    case Scheme::kHybrid:
+      return std::make_unique<parallel::HybridSearcher<ReversiGame>>(
+          parallel::HybridSearcher<ReversiGame>::Options{
+              simt::LaunchConfig{config.blocks, config.threads_per_block},
+              config.cpu_overlap},
+          config.search, gpu);
+    case Scheme::kDistributed:
+      return std::make_unique<cluster::DistributedRootSearcher<ReversiGame>>(
+          cluster::DistributedRootSearcher<ReversiGame>::Options{
+              .ranks = config.ranks,
+              .launch =
+                  simt::LaunchConfig{config.blocks, config.threads_per_block},
+              .comm = config.comm},
+          config.search, gpu);
+  }
+  util::check(false, "unreachable scheme");
+  return nullptr;
+}
+
+namespace {
+
+/// Splits a total thread count into (blocks, block size) the way the paper's
+/// sweeps do: grids below one block run a single partial block.
+[[nodiscard]] simt::LaunchConfig grid_for(int total_threads, int block_size) {
+  util::expects(total_threads >= 1 && block_size >= 1, "positive geometry");
+  if (total_threads <= block_size) {
+    return simt::LaunchConfig{1, total_threads};
+  }
+  util::expects(total_threads % block_size == 0,
+                "thread count divisible by block size");
+  return simt::LaunchConfig{total_threads / block_size, block_size};
+}
+
+}  // namespace
+
+PlayerConfig sequential_player(std::uint64_t seed) {
+  PlayerConfig c;
+  c.scheme = Scheme::kSequential;
+  c.search.seed = seed;
+  return c;
+}
+
+PlayerConfig root_parallel_player(int threads, std::uint64_t seed) {
+  PlayerConfig c;
+  c.scheme = Scheme::kRootParallel;
+  c.cpu_threads = threads;
+  c.search.seed = seed;
+  return c;
+}
+
+PlayerConfig tree_parallel_player(int workers, std::uint64_t seed) {
+  PlayerConfig c;
+  c.scheme = Scheme::kTreeParallel;
+  c.cpu_threads = workers;
+  c.search.seed = seed;
+  return c;
+}
+
+PlayerConfig flat_mc_player(std::uint64_t seed) {
+  PlayerConfig c;
+  c.scheme = Scheme::kFlatMc;
+  c.search.seed = seed;
+  return c;
+}
+
+PlayerConfig leaf_gpu_player(int total_threads, int block_size,
+                             std::uint64_t seed) {
+  PlayerConfig c;
+  c.search.ucb_c = mcts::kBatchUcbC;  // batch backprops need a small C
+  c.scheme = Scheme::kLeafGpu;
+  const auto grid = grid_for(total_threads, block_size);
+  c.blocks = grid.blocks;
+  c.threads_per_block = grid.threads_per_block;
+  c.search.seed = seed;
+  return c;
+}
+
+PlayerConfig block_gpu_player(int total_threads, int block_size,
+                              std::uint64_t seed) {
+  PlayerConfig c;
+  c.search.ucb_c = mcts::kBatchUcbC;  // batch backprops need a small C
+  c.scheme = Scheme::kBlockGpu;
+  const auto grid = grid_for(total_threads, block_size);
+  c.blocks = grid.blocks;
+  c.threads_per_block = grid.threads_per_block;
+  c.search.seed = seed;
+  return c;
+}
+
+PlayerConfig hybrid_player(int blocks, int threads_per_block, bool cpu_overlap,
+                           std::uint64_t seed) {
+  PlayerConfig c;
+  c.search.ucb_c = mcts::kBatchUcbC;  // batch backprops need a small C
+  c.scheme = Scheme::kHybrid;
+  c.blocks = blocks;
+  c.threads_per_block = threads_per_block;
+  c.cpu_overlap = cpu_overlap;
+  c.search.seed = seed;
+  return c;
+}
+
+PlayerConfig distributed_player(int ranks, int blocks, int threads_per_block,
+                                std::uint64_t seed) {
+  PlayerConfig c;
+  c.search.ucb_c = mcts::kBatchUcbC;  // batch backprops need a small C
+  c.scheme = Scheme::kDistributed;
+  c.ranks = ranks;
+  c.blocks = blocks;
+  c.threads_per_block = threads_per_block;
+  c.search.seed = seed;
+  return c;
+}
+
+}  // namespace gpu_mcts::harness

@@ -1,0 +1,125 @@
+#include "harness/records.hpp"
+
+#include <array>
+#include <charconv>
+#include <sstream>
+
+#include "reversi/notation.hpp"
+#include "util/check.hpp"
+
+namespace gpu_mcts::harness {
+
+namespace {
+
+constexpr std::string_view kHeader = "# gpu-mcts reversi game v1";
+
+[[nodiscard]] std::string format_result(int score_black) {
+  if (score_black > 0) return "B+" + std::to_string(score_black);
+  if (score_black < 0) return "W+" + std::to_string(-score_black);
+  return "D0";
+}
+
+[[nodiscard]] std::optional<int> parse_result(std::string_view token) {
+  if (token == "D0") return 0;
+  if (token.size() < 3) return std::nullopt;
+  const char side = token[0];
+  if ((side != 'B' && side != 'W') || token[1] != '+') return std::nullopt;
+  int value = 0;
+  const auto* first = token.data() + 2;
+  const auto* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || value <= 0) return std::nullopt;
+  return side == 'B' ? value : -value;
+}
+
+/// Returns the value of a "key: value" line, or nullopt on mismatch.
+[[nodiscard]] std::optional<std::string> take_field(std::istream& in,
+                                                    std::string_view key) {
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  const std::string prefix = std::string(key) + ": ";
+  if (line.rfind(prefix, 0) != 0) return std::nullopt;
+  return line.substr(prefix.size());
+}
+
+}  // namespace
+
+Transcript make_transcript(const GameRecord& record, std::string black_name,
+                           std::string white_name) {
+  Transcript t;
+  t.black_name = std::move(black_name);
+  t.white_name = std::move(white_name);
+  t.moves.reserve(record.steps.size());
+  for (const StepRecord& step : record.steps) t.moves.push_back(step.move);
+  const auto final_pos = replay(t.moves);
+  util::check(final_pos.has_value(), "game record contains illegal moves");
+  t.final_score_black = reversi::final_score(*final_pos, game::Player::kFirst);
+  return t;
+}
+
+std::string to_text(const Transcript& transcript) {
+  std::ostringstream out;
+  out << kHeader << '\n'
+      << "black: " << transcript.black_name << '\n'
+      << "white: " << transcript.white_name << '\n'
+      << "result: " << format_result(transcript.final_score_black) << '\n'
+      << "moves:";
+  for (const reversi::Move m : transcript.moves) {
+    out << ' ' << reversi::move_to_string(m);
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::optional<reversi::Position> replay(
+    const std::vector<reversi::Move>& moves) {
+  reversi::Position pos = reversi::initial_position();
+  std::array<reversi::Move, 34> legal{};
+  for (const reversi::Move m : moves) {
+    const int n = reversi::legal_moves(pos, std::span(legal));
+    bool ok = false;
+    for (int i = 0; i < n; ++i) ok = ok || legal[i] == m;
+    if (!ok) return std::nullopt;
+    pos = reversi::apply_move(pos, m);
+  }
+  return pos;
+}
+
+std::optional<Transcript> from_text(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+
+  Transcript t;
+  const auto black = take_field(in, "black");
+  const auto white = take_field(in, "white");
+  const auto result = take_field(in, "result");
+  if (!black || !white || !result) return std::nullopt;
+  t.black_name = *black;
+  t.white_name = *white;
+  const auto score = parse_result(*result);
+  if (!score) return std::nullopt;
+  t.final_score_black = *score;
+
+  const auto moves_line = take_field(in, "moves");
+  if (!moves_line) return std::nullopt;
+  std::istringstream tokens{*moves_line};
+  std::string token;
+  while (tokens >> token) {
+    const auto move = reversi::move_from_string(token);
+    if (!move) return std::nullopt;
+    t.moves.push_back(*move);
+  }
+
+  // Validation: the game must replay legally to a terminal position whose
+  // score matches the header.
+  const auto final_pos = replay(t.moves);
+  if (!final_pos || !reversi::is_terminal(*final_pos)) return std::nullopt;
+  if (reversi::final_score(*final_pos, game::Player::kFirst) !=
+      t.final_score_black) {
+    return std::nullopt;
+  }
+  return t;
+}
+
+}  // namespace gpu_mcts::harness

@@ -1,0 +1,53 @@
+// Game transcripts: a small text format (in the spirit of Othello's GGF /
+// chess's PGN) for archiving arena games, replaying them move by move with
+// full legality checking, and diffing runs across machines. The format is
+// line-oriented:
+//
+//   # gpu-mcts reversi game v1
+//   black: block-parallel GPU (112x128)
+//   white: sequential CPU (1 core)
+//   result: B+14
+//   moves: f5 d6 c3 d3 c4 -- f4 ...
+//
+// "--" is a pass; the result token is B+n / W+n / D0 (winner and final disc
+// difference with the empties-to-winner rule).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/arena.hpp"
+#include "reversi/position.hpp"
+
+namespace gpu_mcts::harness {
+
+struct Transcript {
+  std::string black_name;
+  std::string white_name;
+  std::vector<reversi::Move> moves;
+  /// Final score from black's perspective (empties-to-winner rule).
+  int final_score_black = 0;
+};
+
+/// Builds a transcript from an arena GameRecord plus the player names.
+[[nodiscard]] Transcript make_transcript(const GameRecord& record,
+                                         std::string black_name,
+                                         std::string white_name);
+
+/// Serializes to the text format above.
+[[nodiscard]] std::string to_text(const Transcript& transcript);
+
+/// Parses and *validates*: every move must be legal in sequence and the
+/// recorded result must match the replayed final position. Returns nullopt
+/// (with no partial state) on any mismatch — a transcript either replays
+/// exactly or is rejected.
+[[nodiscard]] std::optional<Transcript> from_text(std::string_view text);
+
+/// Replays the moves, returning the final position; nullopt if any move is
+/// illegal.
+[[nodiscard]] std::optional<reversi::Position> replay(
+    const std::vector<reversi::Move>& moves);
+
+}  // namespace gpu_mcts::harness

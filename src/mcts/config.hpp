@@ -1,0 +1,40 @@
+// Search configuration shared by every scheme.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gpu_mcts::mcts {
+
+/// UCB constant for searchers that backpropagate *aggregated* simulation
+/// batches (the GPU schemes: every tree visit carries threads-per-block
+/// playouts). With visit counts inflated by the batch size, the UCT default
+/// sqrt(2) keeps the exploration term above any realistic win-rate gap and
+/// the tree degenerates to breadth-first flat sampling; the constant must
+/// shrink roughly with sqrt(batch). This is precisely the paper's
+/// "C - a parameter to be adjusted" (§II.1); the ablation_ucb bench sweeps
+/// it and shows the tuning matters far more for the GPU schemes.
+inline constexpr double kBatchUcbC = 0.25;
+
+/// Node-selection rule used during the descent.
+enum class SelectionPolicy : std::uint8_t {
+  kUcb1,       ///< the paper's UCB formula (§II.1)
+  kUcb1Tuned,  ///< Auer et al.'s variance-aware bound (extension)
+};
+
+struct SearchConfig {
+  /// UCB exploration constant ("C - a parameter to be adjusted", paper §II).
+  /// sqrt(2) is the UCT default for 1-playout iterations; batch-
+  /// backpropagating searchers should use kBatchUcbC (the player factory
+  /// presets do this automatically).
+  double ucb_c = 1.4142135623730951;
+  /// Which selection bound to use; kUcb1 reproduces the paper.
+  SelectionPolicy selection = SelectionPolicy::kUcb1;
+  /// Hard cap on tree nodes per tree; expansion stops (selection still
+  /// descends) once reached, bounding memory like a fixed device-side pool.
+  std::size_t max_nodes = 1u << 20;
+  /// Root RNG seed; all per-tree / per-lane streams derive from it.
+  std::uint64_t seed = 0x5eedULL;
+};
+
+}  // namespace gpu_mcts::mcts

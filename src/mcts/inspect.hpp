@@ -1,0 +1,86 @@
+// Tree inspection utilities: principal variation extraction and debug
+// rendering. Used by the examples (showing what the searcher intends) and by
+// tests that assert structural properties of finished searches.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "game/game_traits.hpp"
+#include "mcts/tree.hpp"
+#include "util/table.hpp"
+
+namespace gpu_mcts::mcts {
+
+/// The principal variation: from the root, repeatedly follow the
+/// most-visited child (win rate as tie-break) until an unexpanded or
+/// childless node. Returns the move sequence.
+template <game::Game G>
+[[nodiscard]] std::vector<typename G::Move> principal_variation(
+    const Tree<G>& tree) {
+  std::vector<typename G::Move> pv;
+  NodeIndex current = 0;
+  for (;;) {
+    const Node<G>& node = tree.node(current);
+    if (node.num_children == 0) break;
+    NodeIndex best = node.first_child;
+    for (NodeIndex c = node.first_child;
+         c < node.first_child + node.num_children; ++c) {
+      const Node<G>& cand = tree.node(c);
+      const Node<G>& incumbent = tree.node(best);
+      const double cand_rate =
+          cand.visits > 0 ? cand.wins / static_cast<double>(cand.visits) : 0.0;
+      const double inc_rate = incumbent.visits > 0
+                                  ? incumbent.wins /
+                                        static_cast<double>(incumbent.visits)
+                                  : 0.0;
+      if (cand.visits > incumbent.visits ||
+          (cand.visits == incumbent.visits && cand_rate > inc_rate)) {
+        best = c;
+      }
+    }
+    if (tree.node(best).visits == 0) break;  // never actually explored
+    pv.push_back(tree.node(best).move);
+    current = best;
+  }
+  return pv;
+}
+
+/// Depth histogram: how many nodes live at each depth — the quantity behind
+/// Figure 8's depth comparison (hybrid trees reach deeper).
+template <game::Game G>
+[[nodiscard]] std::vector<std::size_t> depth_histogram(const Tree<G>& tree) {
+  const std::size_t n = tree.node_count();
+  std::vector<std::uint32_t> depth(n, 0);
+  std::vector<std::size_t> histogram(1, 1);  // root at depth 0
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto parent = tree.node(static_cast<NodeIndex>(i)).parent;
+    depth[i] = depth[parent] + 1;
+    if (depth[i] >= histogram.size()) histogram.resize(depth[i] + 1, 0);
+    ++histogram[depth[i]];
+  }
+  return histogram;
+}
+
+/// Renders the root's children as an aligned table (move/visits/win rate) —
+/// what the examples print to explain a decision.
+template <game::Game G, typename MoveFormatter>
+[[nodiscard]] std::string root_summary(const Tree<G>& tree,
+                                       MoveFormatter&& format_move) {
+  util::Table table({"move", "visits", "win_rate"});
+  for (const auto& stat : tree.root_child_stats()) {
+    table.begin_row()
+        .add(format_move(stat.move))
+        .add(static_cast<unsigned long long>(stat.visits))
+        .add(stat.visits > 0
+                 ? stat.wins / static_cast<double>(stat.visits)
+                 : 0.0,
+             3);
+  }
+  std::ostringstream out;
+  table.print(out);
+  return out.str();
+}
+
+}  // namespace gpu_mcts::mcts

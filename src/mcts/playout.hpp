@@ -1,0 +1,45 @@
+// Scalar (CPU) playout: uniformly random moves to the end of the game.
+// The GPU equivalent lives in simt/playout_kernel.hpp; both must agree on
+// semantics (tests cross-check their value distributions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "game/game_traits.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::mcts {
+
+/// Outcome of a single playout.
+struct PlayoutResult {
+  /// Value in {0, 0.5, 1} for Player::kFirst.
+  double value_first = 0.5;
+  /// Plies played (used to charge the virtual clock).
+  std::uint32_t plies = 0;
+};
+
+template <game::Game G, typename Rng>
+[[nodiscard]] PlayoutResult random_playout(typename G::State state, Rng& rng) {
+  PlayoutResult result;
+  if constexpr (requires(typename G::State& s) { G::playout_step(s, rng); }) {
+    // Game provides the fast single-step path (no move-list materialization).
+    while (G::playout_step(state, rng)) ++result.plies;
+  } else {
+    std::array<typename G::Move, static_cast<std::size_t>(G::kMaxMoves)>
+        moves{};
+    for (;;) {
+      const int n = G::legal_moves(state, std::span(moves));
+      if (n == 0) break;
+      const auto pick = rng.next_below(static_cast<std::uint32_t>(n));
+      state = G::apply(state, moves[pick]);
+      ++result.plies;
+    }
+  }
+  result.value_first =
+      game::value_of(G::outcome_for(state, game::Player::kFirst));
+  return result;
+}
+
+}  // namespace gpu_mcts::mcts

@@ -1,0 +1,62 @@
+// Playouts with a pluggable move-selection policy.
+//
+// The paper uses uniformly random simulations and stresses that MCTS "does
+// not require any strategic or tactical knowledge"; nevertheless, lightly
+// informed playouts are the standard first improvement, and the
+// ablation_playout bench quantifies what domain knowledge buys on Reversi.
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstdint>
+#include <span>
+
+#include "game/game_traits.hpp"
+#include "mcts/playout.hpp"
+
+namespace gpu_mcts::mcts {
+
+// clang-format off
+/// A playout policy returns the index (< count) of the move to play.
+template <typename P, typename G, typename Rng>
+concept PlayoutPolicy = requires(const P& p, const typename G::State& s,
+                                 std::span<const typename G::Move> moves,
+                                 Rng& rng) {
+  { p.template pick<G>(s, moves, rng) } -> std::convertible_to<int>;
+};
+// clang-format on
+
+/// Uniform random baseline (what the paper's kernels do).
+struct UniformPolicy {
+  template <game::Game G, typename Rng>
+  [[nodiscard]] int pick(const typename G::State&,
+                         std::span<const typename G::Move> moves,
+                         Rng& rng) const {
+    return static_cast<int>(
+        rng.next_below(static_cast<std::uint32_t>(moves.size())));
+  }
+};
+
+/// Plays a full game with the given policy.
+template <game::Game G, typename Rng, typename Policy>
+[[nodiscard]] PlayoutResult policy_playout(typename G::State state, Rng& rng,
+                                           const Policy& policy) {
+  PlayoutResult result;
+  std::array<typename G::Move, static_cast<std::size_t>(G::kMaxMoves)>
+      moves{};
+  for (;;) {
+    const int n = G::legal_moves(state, std::span(moves));
+    if (n == 0) break;
+    const int pick = policy.template pick<G>(
+        state, std::span<const typename G::Move>(moves.data(),
+                                                 static_cast<std::size_t>(n)),
+        rng);
+    state = G::apply(state, moves[pick]);
+    ++result.plies;
+  }
+  result.value_first =
+      game::value_of(G::outcome_for(state, game::Player::kFirst));
+  return result;
+}
+
+}  // namespace gpu_mcts::mcts

@@ -1,0 +1,99 @@
+// Sequential MCTS with a pluggable playout policy — the knob
+// ablation_playout turns. Identical to SequentialSearcher except that
+// simulations run through mcts::policy_playout.
+#pragma once
+
+#include <string>
+
+#include "game/game_traits.hpp"
+#include "mcts/config.hpp"
+#include "mcts/policy_playout.hpp"
+#include "mcts/searcher.hpp"
+#include "mcts/tree.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device_props.hpp"
+#include "util/check.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::mcts {
+
+template <game::Game G, typename Policy>
+class PolicySearcher final : public Searcher<G> {
+ public:
+  PolicySearcher(Policy policy, std::string policy_name,
+                 SearchConfig config = {},
+                 simt::HostProperties host = simt::xeon_x5670(),
+                 simt::CostModel cost = simt::default_cost_model())
+      : policy_(std::move(policy)),
+        policy_name_(std::move(policy_name)),
+        config_(config),
+        host_(host),
+        cost_(cost),
+        seed_(config.seed) {}
+
+  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
+                                             double budget_seconds) override {
+    util::expects(!G::is_terminal(state), "choose_move on terminal state");
+    util::VirtualClock clock(host_.clock_hz);
+    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+
+    Tree<G> tree(state, config_, util::derive_seed(seed_, move_counter_));
+    util::XorShift128Plus rng(
+        util::derive_seed(seed_, move_counter_ ^ 0xbadcafeULL));
+    ++move_counter_;
+
+    stats_ = {};
+    do {
+      const Selection<G> sel = tree.select();
+      double value;
+      std::uint32_t plies = 0;
+      if (sel.terminal) {
+        value = game::value_of(
+            G::outcome_for(sel.state, game::Player::kFirst));
+      } else {
+        const PlayoutResult playout =
+            policy_playout<G>(sel.state, rng, policy_);
+        value = playout.value_first;
+        plies = playout.plies;
+      }
+      tree.backpropagate(sel.node, value, 1);
+      // Informed playouts cost a touch more per ply (policy evaluation).
+      clock.advance(static_cast<std::uint64_t>(
+          cost_.host_tree_op_cycles +
+          1.15 * cost_.host_cycles_per_ply * static_cast<double>(plies)));
+      stats_.simulations += 1;
+      stats_.rounds += 1;
+    } while (clock.cycles() < deadline);
+
+    stats_.tree_nodes = tree.node_count();
+    stats_.max_depth = tree.max_depth();
+    stats_.virtual_seconds = clock.seconds();
+    return tree.best_move();
+  }
+
+  [[nodiscard]] const SearchStats& last_stats() const noexcept override {
+    return stats_;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "sequential CPU (" + policy_name_ + " playouts)";
+  }
+
+  void reseed(std::uint64_t seed) override {
+    seed_ = seed;
+    move_counter_ = 0;
+  }
+
+ private:
+  Policy policy_;
+  std::string policy_name_;
+  SearchConfig config_;
+  simt::HostProperties host_;
+  simt::CostModel cost_;
+  std::uint64_t seed_;
+  std::uint64_t move_counter_ = 0;
+  SearchStats stats_;
+};
+
+}  // namespace gpu_mcts::mcts

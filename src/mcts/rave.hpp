@@ -1,0 +1,285 @@
+// UCT-RAVE (Rapid Action Value Estimation / all-moves-as-first) — a classic
+// MCTS strengthening the paper leaves to future work ("a more general task
+// can and should be solved by the algorithm"). Included as a CPU-side
+// extension: it needs the full playout move sequence per simulation, which
+// the GPU schemes would have to ship back across PCIe per lane (the reason
+// the 2011 kernels did not do it).
+//
+// Mechanics: besides (wins, visits), every node keeps AMAF statistics
+// (rave_wins, rave_visits) updated whenever its move was played *anywhere
+// later* in the simulation by the same player. Selection blends the two
+// estimates with the hand-tuned beta schedule beta = sqrt(k / (3N + k))
+// (Gelly & Silver's equivalence parameter).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/game_traits.hpp"
+#include "mcts/config.hpp"
+#include "mcts/searcher.hpp"
+#include "mcts/stats.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device_props.hpp"
+#include "util/check.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::mcts {
+
+struct RaveConfig {
+  /// UCB exploration constant for the UCT part.
+  double ucb_c = 0.5;
+  /// RAVE equivalence parameter k: simulations at which the blend weight
+  /// drops to half.
+  double rave_k = 1000.0;
+  std::size_t max_nodes = 1u << 20;
+  std::uint64_t seed = 0x7a4eULL;
+};
+
+template <game::Game G>
+class RaveSearcher final : public Searcher<G> {
+ public:
+  explicit RaveSearcher(RaveConfig config = {},
+                        simt::HostProperties host = simt::xeon_x5670(),
+                        simt::CostModel cost = simt::default_cost_model())
+      : config_(config), host_(host), cost_(cost), seed_(config.seed) {}
+
+  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
+                                             double budget_seconds) override {
+    util::expects(!G::is_terminal(state), "choose_move on terminal state");
+    util::VirtualClock clock(host_.clock_hz);
+    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+    util::XorShift128Plus rng(util::derive_seed(seed_, move_counter_++));
+
+    reset(state);
+    stats_ = {};
+
+    // Moves of the current simulation: tree part + playout part, per player.
+    std::vector<typename G::Move> path_moves;
+    std::vector<game::Player> path_movers;
+
+    do {
+      path_moves.clear();
+      path_movers.clear();
+
+      // --- Selection / expansion ---
+      NodeIndex current = 0;
+      typename G::State sim_state = root_state_;
+      std::uint32_t depth = 0;
+      bool terminal = false;
+      for (;;) {
+        if (G::is_terminal(sim_state)) {
+          terminal = true;
+          break;
+        }
+        Node& node = nodes_[current];
+        if (!node.expanded) expand(current, sim_state, rng);
+        Node& fresh = nodes_[current];
+        if (fresh.num_children == 0) break;  // node cap reached
+        NodeIndex next;
+        if (fresh.next_unexpanded < fresh.num_children) {
+          next = fresh.first_child + fresh.next_unexpanded;
+          ++nodes_[current].next_unexpanded;
+        } else {
+          next = best_child(current);
+        }
+        path_moves.push_back(nodes_[next].move);
+        path_movers.push_back(G::player_to_move(sim_state));
+        sim_state = G::apply(sim_state, nodes_[next].move);
+        current = next;
+        ++depth;
+        if (nodes_[current].visits == 0) break;  // fresh node: play out
+      }
+      if (depth > stats_.max_depth) stats_.max_depth = depth;
+
+      // --- Simulation, recording the move sequence for AMAF ---
+      std::uint32_t plies = 0;
+      std::array<typename G::Move, static_cast<std::size_t>(G::kMaxMoves)>
+          moves{};
+      while (!terminal) {
+        const int n = G::legal_moves(sim_state, std::span(moves));
+        if (n == 0) break;
+        const auto pick = rng.next_below(static_cast<std::uint32_t>(n));
+        path_moves.push_back(moves[pick]);
+        path_movers.push_back(G::player_to_move(sim_state));
+        sim_state = G::apply(sim_state, moves[pick]);
+        ++plies;
+      }
+      const double value_first =
+          game::value_of(G::outcome_for(sim_state, game::Player::kFirst));
+
+      // --- Backpropagation with AMAF updates ---
+      backpropagate_rave(current, value_first, path_moves, path_movers);
+
+      clock.advance(static_cast<std::uint64_t>(
+          1.4 * cost_.host_tree_op_cycles +  // AMAF bookkeeping overhead
+          cost_.host_cycles_per_ply * static_cast<double>(plies)));
+      stats_.simulations += 1;
+      stats_.rounds += 1;
+    } while (clock.cycles() < deadline);
+
+    stats_.tree_nodes = nodes_.size();
+    stats_.virtual_seconds = clock.seconds();
+    return best_move();
+  }
+
+  [[nodiscard]] const SearchStats& last_stats() const noexcept override {
+    return stats_;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "UCT-RAVE CPU (k=" + std::to_string(config_.rave_k) + ")";
+  }
+
+  void reseed(std::uint64_t seed) override {
+    seed_ = seed;
+    move_counter_ = 0;
+  }
+
+ private:
+  using NodeIndex = std::uint32_t;
+  static constexpr NodeIndex kNone = 0xffffffffu;
+
+  struct Node {
+    NodeIndex parent = kNone;
+    NodeIndex first_child = kNone;
+    std::uint16_t num_children = 0;
+    std::uint16_t next_unexpanded = 0;
+    typename G::Move move{};
+    game::Player mover = game::Player::kSecond;
+    bool expanded = false;
+    std::uint32_t visits = 0;
+    double wins = 0.0;
+    std::uint32_t rave_visits = 0;
+    double rave_wins = 0.0;
+  };
+
+  void reset(const typename G::State& state) {
+    nodes_.clear();
+    root_state_ = state;
+    Node root;
+    root.mover = game::opponent_of(G::player_to_move(state));
+    nodes_.push_back(root);
+  }
+
+  void expand(NodeIndex index, const typename G::State& state,
+              util::XorShift128Plus& rng) {
+    std::array<typename G::Move, static_cast<std::size_t>(G::kMaxMoves)>
+        moves{};
+    const int n = G::legal_moves(state, std::span(moves));
+    nodes_[index].expanded = true;
+    if (n == 0) return;
+    if (nodes_.size() + static_cast<std::size_t>(n) > config_.max_nodes)
+      return;
+    for (int i = n - 1; i > 0; --i) {
+      const auto j =
+          static_cast<int>(rng.next_below(static_cast<std::uint32_t>(i + 1)));
+      std::swap(moves[i], moves[j]);
+    }
+    const auto first = static_cast<NodeIndex>(nodes_.size());
+    const game::Player mover = G::player_to_move(state);
+    for (int i = 0; i < n; ++i) {
+      Node child;
+      child.parent = index;
+      child.move = moves[i];
+      child.mover = mover;
+      nodes_.push_back(child);
+    }
+    nodes_[index].first_child = first;
+    nodes_[index].num_children = static_cast<std::uint16_t>(n);
+  }
+
+  /// Blended UCT-RAVE score argmax over fully-visited children.
+  [[nodiscard]] NodeIndex best_child(NodeIndex index) const {
+    const Node& node = nodes_[index];
+    const double log_parent =
+        std::log(static_cast<double>(std::max(1u, node.visits)));
+    NodeIndex best = node.first_child;
+    double best_score = -1.0;
+    for (NodeIndex c = node.first_child;
+         c < node.first_child + node.num_children; ++c) {
+      const Node& child = nodes_[c];
+      const double v = static_cast<double>(child.visits);
+      const double uct = child.wins / v;
+      const double amaf =
+          child.rave_visits > 0
+              ? child.rave_wins / static_cast<double>(child.rave_visits)
+              : uct;
+      const double beta =
+          std::sqrt(config_.rave_k / (3.0 * v + config_.rave_k));
+      const double score = (1.0 - beta) * uct + beta * amaf +
+                           config_.ucb_c * std::sqrt(log_parent / v);
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  /// Standard backprop plus AMAF: along the path, every sibling whose move
+  /// appears later in the simulation (played by that sibling's mover) gets a
+  /// RAVE update.
+  void backpropagate_rave(NodeIndex leaf, double value_first,
+                          const std::vector<typename G::Move>& path_moves,
+                          const std::vector<game::Player>& path_movers) {
+    // Level = index into path_moves of the move a node's children would
+    // play; starts at the leaf's depth and decrements toward the root.
+    std::uint32_t tree_depth = 0;
+    for (NodeIndex n = leaf; nodes_[n].parent != kNone; n = nodes_[n].parent)
+      ++tree_depth;
+    std::size_t level = tree_depth;
+
+    for (NodeIndex n = leaf; n != kNone; n = nodes_[n].parent) {
+      Node& node = nodes_[n];
+      node.visits += 1;
+      node.wins += node.mover == game::Player::kFirst ? value_first
+                                                      : 1.0 - value_first;
+      // AMAF for the children of this node: moves played from this level
+      // onward by the child's mover.
+      if (node.num_children > 0) {
+        for (NodeIndex c = node.first_child;
+             c < node.first_child + node.num_children; ++c) {
+          Node& child = nodes_[c];
+          for (std::size_t i = level; i < path_moves.size(); ++i) {
+            if (path_movers[i] == child.mover &&
+                path_moves[i] == child.move) {
+              child.rave_visits += 1;
+              child.rave_wins += child.mover == game::Player::kFirst
+                                     ? value_first
+                                     : 1.0 - value_first;
+              break;
+            }
+          }
+        }
+      }
+      if (level > 0) --level;
+    }
+  }
+
+  [[nodiscard]] typename G::Move best_move() const {
+    const Node& root = nodes_[0];
+    util::check(root.num_children > 0, "best_move needs an expanded root");
+    NodeIndex best = root.first_child;
+    for (NodeIndex c = root.first_child;
+         c < root.first_child + root.num_children; ++c) {
+      if (nodes_[c].visits > nodes_[best].visits) best = c;
+    }
+    return nodes_[best].move;
+  }
+
+  RaveConfig config_;
+  simt::HostProperties host_;
+  simt::CostModel cost_;
+  std::uint64_t seed_;
+  std::uint64_t move_counter_ = 0;
+  SearchStats stats_;
+  std::vector<Node> nodes_;
+  typename G::State root_state_{};
+};
+
+}  // namespace gpu_mcts::mcts

@@ -1,0 +1,34 @@
+// The scheme-agnostic searcher interface: every parallelization scheme in the
+// paper (sequential, leaf, root, block, hybrid, distributed) implements this,
+// and the experiment harness composes them into players.
+#pragma once
+
+#include <string>
+
+#include "game/game_traits.hpp"
+#include "mcts/stats.hpp"
+
+namespace gpu_mcts::mcts {
+
+template <game::Game G>
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  /// Chooses a move for the side to move in `state`, spending up to
+  /// `budget_seconds` of *virtual* time (see DESIGN.md §5.1).
+  /// `state` must not be terminal.
+  [[nodiscard]] virtual typename G::Move choose_move(
+      const typename G::State& state, double budget_seconds) = 0;
+
+  /// Statistics of the most recent choose_move call.
+  [[nodiscard]] virtual const SearchStats& last_stats() const noexcept = 0;
+
+  /// Human-readable scheme description, e.g. "block-parallel GPU (112x128)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Re-seeds the searcher's stochastic components (between games).
+  virtual void reseed(std::uint64_t seed) = 0;
+};
+
+}  // namespace gpu_mcts::mcts

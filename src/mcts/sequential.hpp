@@ -1,0 +1,98 @@
+// The baseline: single-threaded MCTS on one CPU core — the opponent every
+// GPU player faces in the paper's Figures 5-8 ("a GPU Player is playing
+// against one CPU core running sequential MCTS").
+//
+// Each iteration (select -> expand -> one playout -> backpropagate) charges
+// the virtual clock with the host cost model's tree-op cost plus the
+// playout's measured ply count, grounding the calibrated ~10^4
+// iterations/second rate in actual playout lengths.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "game/game_traits.hpp"
+#include "mcts/config.hpp"
+#include "mcts/playout.hpp"
+#include "mcts/searcher.hpp"
+#include "mcts/stats.hpp"
+#include "mcts/tree.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device_props.hpp"
+#include "util/check.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::mcts {
+
+template <game::Game G>
+class SequentialSearcher final : public Searcher<G> {
+ public:
+  explicit SequentialSearcher(SearchConfig config = {},
+                              simt::HostProperties host = simt::xeon_x5670(),
+                              simt::CostModel cost = simt::default_cost_model())
+      : config_(config), host_(host), cost_(cost), seed_(config.seed) {}
+
+  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
+                                             double budget_seconds) override {
+    util::expects(!G::is_terminal(state), "choose_move on terminal state");
+    util::VirtualClock clock(host_.clock_hz);
+    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+
+    Tree<G> tree(state, config_, util::derive_seed(seed_, move_counter_));
+    util::XorShift128Plus rng(util::derive_seed(seed_, move_counter_ ^ 0xfeedULL));
+    ++move_counter_;
+
+    stats_ = {};
+    // do-while: even a zero budget performs one iteration so the root is
+    // expanded and best_move() is well-defined.
+    do {
+      const Selection<G> sel = tree.select();
+      double value_sum;
+      std::uint32_t plies = 0;
+      if (sel.terminal) {
+        value_sum = game::value_of(
+            G::outcome_for(sel.state, game::Player::kFirst));
+      } else {
+        const PlayoutResult playout = random_playout<G>(sel.state, rng);
+        value_sum = playout.value_first;
+        plies = playout.plies;
+      }
+      tree.backpropagate(sel.node, value_sum, 1, value_sum * value_sum);
+      clock.advance(static_cast<std::uint64_t>(
+          cost_.host_tree_op_cycles +
+          cost_.host_cycles_per_ply * static_cast<double>(plies)));
+      stats_.simulations += 1;
+      stats_.rounds += 1;
+    } while (clock.cycles() < deadline);
+
+    stats_.tree_nodes = tree.node_count();
+    stats_.max_depth = tree.max_depth();
+    stats_.virtual_seconds = clock.seconds();
+    return tree.best_move();
+  }
+
+  [[nodiscard]] const SearchStats& last_stats() const noexcept override {
+    return stats_;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "sequential CPU (1 core)";
+  }
+
+  void reseed(std::uint64_t seed) override {
+    seed_ = seed;
+    move_counter_ = 0;
+  }
+
+ private:
+  SearchConfig config_;
+  simt::HostProperties host_;
+  simt::CostModel cost_;
+  std::uint64_t seed_;
+  std::uint64_t move_counter_ = 0;
+  SearchStats stats_;
+};
+
+}  // namespace gpu_mcts::mcts

@@ -1,0 +1,44 @@
+// Statistics a searcher reports after choosing a move. The bench harness
+// aggregates these into the paper's figure series (simulations/second,
+// tree depth, ...).
+#pragma once
+
+#include <cstdint>
+
+namespace gpu_mcts::mcts {
+
+struct SearchStats {
+  /// Total playouts contributing to the decision (across all trees/lanes).
+  std::uint64_t simulations = 0;
+  /// Iterations (sequential) or kernel rounds (GPU schemes).
+  std::uint64_t rounds = 0;
+  /// Nodes allocated across all trees.
+  std::uint64_t tree_nodes = 0;
+  /// Deepest selection path reached in any tree (root = depth 0).
+  std::uint32_t max_depth = 0;
+  /// Virtual seconds consumed choosing the move.
+  double virtual_seconds = 0.0;
+  /// Fraction of SIMD lane-slots wasted (GPU schemes only; 0 for CPU).
+  double divergence_waste = 0.0;
+
+  [[nodiscard]] double simulations_per_second() const noexcept {
+    return virtual_seconds > 0.0
+               ? static_cast<double>(simulations) / virtual_seconds
+               : 0.0;
+  }
+
+  /// Accumulates per-move stats into a per-game or per-experiment total.
+  void accumulate(const SearchStats& other) noexcept {
+    simulations += other.simulations;
+    rounds += other.rounds;
+    tree_nodes += other.tree_nodes;
+    if (other.max_depth > max_depth) max_depth = other.max_depth;
+    virtual_seconds += other.virtual_seconds;
+    // Weighted by simulations would be more precise; max is good enough for
+    // reporting and keeps the field meaningful for mixed schemes.
+    if (other.divergence_waste > divergence_waste)
+      divergence_waste = other.divergence_waste;
+  }
+};
+
+}  // namespace gpu_mcts::mcts

@@ -1,0 +1,356 @@
+// The MCTS game tree: arena-allocated nodes, UCB1 selection, one-node
+// expansion per iteration, and (wins, visits) backpropagation — the four
+// steps of the paper's Figure 1.
+//
+// Conventions:
+//  * Playout values are always expressed for Player::kFirst (black); a node
+//    stores wins from the perspective of the player who *made* its incoming
+//    move, so backpropagation flips the value per level implicitly via the
+//    stored mover.
+//  * Children are allocated en bloc (shuffled) the first time a node is
+//    selected through; "expansion adds one node per iteration" is realized by
+//    visiting one previously-unvisited child per selection pass.
+//  * States are not stored in nodes: selection replays moves from the root,
+//    which for bitboard Reversi is cheaper than the memory traffic of cached
+//    states and keeps nodes at 32 bytes.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "game/game_traits.hpp"
+#include "mcts/config.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::mcts {
+
+using NodeIndex = std::uint32_t;
+inline constexpr NodeIndex kNoNode = std::numeric_limits<NodeIndex>::max();
+
+template <game::Game G>
+struct Node {
+  NodeIndex parent = kNoNode;
+  NodeIndex first_child = kNoNode;
+  std::uint16_t num_children = 0;
+  /// Children [0, next_unexpanded) have been visited at least once.
+  std::uint16_t next_unexpanded = 0;
+  typename G::Move move{};
+  /// Player who played `move` to reach this node.
+  game::Player mover = game::Player::kSecond;
+  /// True once legal moves were generated (or the node is terminal/capped).
+  bool expanded = false;
+  std::uint32_t visits = 0;
+  /// Win credit for `mover` (draws count 0.5).
+  double wins = 0.0;
+  /// Sum of squared per-playout values from `mover`'s perspective —
+  /// the variance input of UCB1-Tuned selection.
+  double win_squares = 0.0;
+};
+
+/// Result of one selection pass.
+template <game::Game G>
+struct Selection {
+  NodeIndex node = kNoNode;
+  typename G::State state{};
+  /// Depth of `node` below the root.
+  std::uint32_t depth = 0;
+  bool terminal = false;
+};
+
+template <game::Game G>
+class Tree {
+ public:
+  using State = typename G::State;
+  using Move = typename G::Move;
+
+  Tree(const State& root_state, const SearchConfig& config,
+       std::uint64_t seed)
+      : config_(config), rng_(seed) {
+    reset(root_state);
+  }
+
+  /// Reinitializes the tree on a new root position.
+  void reset(const State& root_state) {
+    nodes_.clear();
+    nodes_.reserve(1024);
+    root_state_ = root_state;
+    max_depth_ = 0;
+    Node<G> root;
+    root.mover = game::opponent_of(G::player_to_move(root_state));
+    nodes_.push_back(root);
+  }
+
+  /// One selection + (implicit) expansion pass: descends by UCB, visiting an
+  /// unvisited child when one exists, and returns the playout start node.
+  [[nodiscard]] Selection<G> select() {
+    Selection<G> sel;
+    sel.node = 0;
+    sel.state = root_state_;
+    for (;;) {
+      if (G::is_terminal(sel.state)) {
+        sel.terminal = true;
+        break;
+      }
+      Node<G>& node = nodes_[sel.node];
+      if (!node.expanded) {
+        expand(sel.node, sel.state);
+      }
+      Node<G>& fresh = nodes_[sel.node];  // expand may reallocate
+      if (fresh.num_children == 0) {
+        // Node pool exhausted: treat as playout leaf.
+        break;
+      }
+      NodeIndex next;
+      if (fresh.next_unexpanded < fresh.num_children) {
+        next = fresh.first_child + fresh.next_unexpanded;
+        ++nodes_[sel.node].next_unexpanded;
+        sel.state = G::apply(sel.state, nodes_[next].move);
+        sel.node = next;
+        ++sel.depth;
+        // Newly expanded node: stop and play out from here (flagging
+        // terminal states so callers can score them exactly).
+        sel.terminal = G::is_terminal(sel.state);
+        break;
+      }
+      next = best_ucb_child(sel.node);
+      sel.state = G::apply(sel.state, nodes_[next].move);
+      sel.node = next;
+      ++sel.depth;
+    }
+    if (sel.depth > max_depth_) max_depth_ = sel.depth;
+    return sel;
+  }
+
+  /// Adds `sims` visits along the path to the root. `value_first_sum` is the
+  /// summed playout value for Player::kFirst over those sims;
+  /// `value_sq_first_sum` the summed squares (for UCB1-Tuned variance
+  /// estimates). The default (= value sum) is exact for win/loss outcomes
+  /// and a slight overestimate for draws, which only makes UCB1-Tuned
+  /// marginally more exploratory — callers with exact squares pass them.
+  void backpropagate(NodeIndex leaf, double value_first_sum,
+                     std::uint32_t sims = 1,
+                     double value_sq_first_sum = -1.0) {
+    util::expects(leaf < nodes_.size(), "backpropagate into live node");
+    util::expects(value_first_sum >= 0.0 &&
+                      value_first_sum <= static_cast<double>(sims),
+                  "value sum within [0, sims]");
+    if (value_sq_first_sum < 0.0) value_sq_first_sum = value_first_sum;
+    const double n_d = static_cast<double>(sims);
+    for (NodeIndex n = leaf; n != kNoNode; n = nodes_[n].parent) {
+      Node<G>& node = nodes_[n];
+      node.visits += sims;
+      if (node.mover == game::Player::kFirst) {
+        node.wins += value_first_sum;
+        node.win_squares += value_sq_first_sum;
+      } else {
+        node.wins += n_d - value_first_sum;
+        // sum (1-x)^2 = sims - 2*sum x + sum x^2
+        node.win_squares += n_d - 2.0 * value_first_sum + value_sq_first_sum;
+      }
+    }
+  }
+
+  /// Re-roots the tree at the child reached by `move`, preserving that
+  /// subtree's statistics (the classic between-moves tree reuse). Returns
+  /// the number of nodes retained; when the move's child was never expanded
+  /// the tree simply resets on `new_root_state` and 1 is returned.
+  std::size_t advance_root(Move move, const State& new_root_state) {
+    const Node<G>& root = nodes_[0];
+    NodeIndex child = kNoNode;
+    for (NodeIndex c = root.first_child;
+         c < root.first_child + root.num_children; ++c) {
+      if (nodes_[c].move == move) {
+        child = c;
+        break;
+      }
+    }
+    if (child == kNoNode || nodes_[child].visits == 0) {
+      reset(new_root_state);
+      return 1;
+    }
+
+    // Copy the subtree rooted at `child` into a fresh arena (BFS keeps
+    // children contiguous, which the node layout requires).
+    std::vector<Node<G>> fresh;
+    fresh.reserve(nodes_.size() / 2);
+    std::vector<std::pair<NodeIndex, NodeIndex>> queue;  // (old, new parent)
+    Node<G> new_root = nodes_[child];
+    new_root.parent = kNoNode;
+    new_root.mover = game::opponent_of(G::player_to_move(new_root_state));
+    fresh.push_back(new_root);
+    queue.emplace_back(child, 0);
+
+    for (std::size_t q = 0; q < queue.size(); ++q) {
+      const auto [old_index, new_index] = queue[q];
+      const Node<G>& old_node = nodes_[old_index];
+      if (old_node.num_children == 0) continue;
+      const auto first = static_cast<NodeIndex>(fresh.size());
+      for (NodeIndex c = old_node.first_child;
+           c < old_node.first_child + old_node.num_children; ++c) {
+        Node<G> copy = nodes_[c];
+        copy.parent = new_index;
+        fresh.push_back(copy);
+      }
+      fresh[new_index].first_child = first;
+      for (std::uint16_t k = 0; k < old_node.num_children; ++k) {
+        queue.emplace_back(old_node.first_child + k,
+                           static_cast<NodeIndex>(first + k));
+      }
+    }
+
+    nodes_ = std::move(fresh);
+    root_state_ = new_root_state;
+    max_depth_ = 0;
+    return nodes_.size();
+  }
+
+  /// Temporarily charges `amount` visits (with no wins) along the path to
+  /// the root — the *virtual loss* of tree parallelism: in-flight selections
+  /// look like losses so concurrent workers spread across the tree.
+  void apply_virtual_loss(NodeIndex leaf, std::uint32_t amount) {
+    util::expects(leaf < nodes_.size(), "virtual loss on live node");
+    for (NodeIndex n = leaf; n != kNoNode; n = nodes_[n].parent) {
+      nodes_[n].visits += amount;
+    }
+  }
+
+  /// Reverts apply_virtual_loss (must be called with the same leaf/amount).
+  void remove_virtual_loss(NodeIndex leaf, std::uint32_t amount) {
+    util::expects(leaf < nodes_.size(), "virtual loss on live node");
+    for (NodeIndex n = leaf; n != kNoNode; n = nodes_[n].parent) {
+      util::expects(nodes_[n].visits >= amount, "virtual loss balance");
+      nodes_[n].visits -= amount;
+    }
+  }
+
+  /// The move with the most visits at the root (ties broken by win rate) —
+  /// the standard "robust child" final selection.
+  [[nodiscard]] Move best_move() const {
+    const Node<G>& root = nodes_[0];
+    util::check(root.num_children > 0, "best_move needs an expanded root");
+    NodeIndex best = root.first_child;
+    for (NodeIndex c = root.first_child;
+         c < root.first_child + root.num_children; ++c) {
+      const Node<G>& cand = nodes_[c];
+      const Node<G>& incumbent = nodes_[best];
+      if (cand.visits > incumbent.visits ||
+          (cand.visits == incumbent.visits &&
+           win_rate(cand) > win_rate(incumbent))) {
+        best = c;
+      }
+    }
+    return nodes_[best].move;
+  }
+
+  /// Per-root-child (move, visits, wins) rows — what root parallelism sums
+  /// across trees ("the root node has to be updated by summing up results
+  /// from all other trees", paper §II.4).
+  struct RootChildStat {
+    Move move{};
+    std::uint32_t visits = 0;
+    double wins = 0.0;
+  };
+
+  [[nodiscard]] std::vector<RootChildStat> root_child_stats() const {
+    std::vector<RootChildStat> out;
+    const Node<G>& root = nodes_[0];
+    out.reserve(root.num_children);
+    for (NodeIndex c = root.first_child;
+         c < root.first_child + root.num_children; ++c) {
+      out.push_back({nodes_[c].move, nodes_[c].visits, nodes_[c].wins});
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::uint32_t max_depth() const noexcept { return max_depth_; }
+  [[nodiscard]] std::uint32_t root_visits() const noexcept {
+    return nodes_[0].visits;
+  }
+  [[nodiscard]] const State& root_state() const noexcept {
+    return root_state_;
+  }
+  [[nodiscard]] const Node<G>& node(NodeIndex i) const {
+    return nodes_.at(i);
+  }
+
+ private:
+  static double win_rate(const Node<G>& n) noexcept {
+    return n.visits > 0 ? n.wins / static_cast<double>(n.visits) : 0.0;
+  }
+
+  /// Generates legal moves (shuffled) and allocates all children.
+  void expand(NodeIndex index, const State& state) {
+    std::array<Move, static_cast<std::size_t>(G::kMaxMoves)> moves{};
+    const int n = G::legal_moves(state, std::span(moves));
+    nodes_[index].expanded = true;
+    if (n == 0) return;  // terminal; select() normally catches this earlier
+    if (nodes_.size() + static_cast<std::size_t>(n) > config_.max_nodes) {
+      return;  // pool cap: leave unexpanded-with-zero-children
+    }
+    // Shuffle so unvisited-child order is unbiased (Fisher-Yates).
+    for (int i = n - 1; i > 0; --i) {
+      const auto j = static_cast<int>(
+          rng_.next_below(static_cast<std::uint32_t>(i + 1)));
+      std::swap(moves[i], moves[j]);
+    }
+    const auto first = static_cast<NodeIndex>(nodes_.size());
+    const game::Player mover = G::player_to_move(state);
+    for (int i = 0; i < n; ++i) {
+      Node<G> child;
+      child.parent = index;
+      child.move = moves[i];
+      child.mover = mover;
+      nodes_.push_back(child);
+    }
+    nodes_[index].first_child = first;
+    nodes_[index].num_children = static_cast<std::uint16_t>(n);
+    nodes_[index].next_unexpanded = 0;
+  }
+
+  /// Selection-bound argmax over the (fully-visited) children of `index`.
+  [[nodiscard]] NodeIndex best_ucb_child(NodeIndex index) const {
+    const Node<G>& node = nodes_[index];
+    const double log_parent =
+        std::log(static_cast<double>(std::max(1u, node.visits)));
+    NodeIndex best = node.first_child;
+    double best_score = -1.0;
+    for (NodeIndex c = node.first_child;
+         c < node.first_child + node.num_children; ++c) {
+      const Node<G>& child = nodes_[c];
+      const double v = static_cast<double>(child.visits);
+      const double mean = child.wins / v;
+      double explore;
+      if (config_.selection == SelectionPolicy::kUcb1Tuned) {
+        // Auer et al.: cap the per-arm variance bound at 1/4 (Bernoulli max).
+        const double variance =
+            std::max(0.0, child.win_squares / v - mean * mean);
+        const double bound =
+            variance + std::sqrt(2.0 * log_parent / v);
+        explore = std::sqrt(log_parent / v * std::min(0.25, bound));
+      } else {
+        explore = std::sqrt(log_parent / v);
+      }
+      const double score = mean + config_.ucb_c * explore;
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  SearchConfig config_;
+  util::XorShift128Plus rng_;
+  std::vector<Node<G>> nodes_;
+  State root_state_{};
+  std::uint32_t max_depth_ = 0;
+};
+
+}  // namespace gpu_mcts::mcts

@@ -1,0 +1,178 @@
+// Hybrid CPU/GPU processing (paper §III-A, Figure 4): the kernel is launched
+// asynchronously and the controlling CPU spends the kernel's execution time
+// running ordinary sequential MCTS iterations on the same trees, increasing
+// their depth ("the trees formed by our algorithm using GPUs are not as deep
+// as the trees when CPUs are used ... as a solution I experimented on using
+// hybrid CPU-GPU algorithm").
+//
+// The effect reproduced in Figure 8: hybrid trees are deeper and the late
+// game (smaller search space, where depth matters most) improves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "game/game_traits.hpp"
+#include "mcts/config.hpp"
+#include "mcts/playout.hpp"
+#include "mcts/searcher.hpp"
+#include "mcts/tree.hpp"
+#include "parallel/merge.hpp"
+#include "simt/device_buffer.hpp"
+#include "simt/playout_kernel.hpp"
+#include "simt/vgpu.hpp"
+#include "util/check.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::parallel {
+
+template <game::Game G>
+class HybridSearcher final : public mcts::Searcher<G> {
+ public:
+  struct Options {
+    simt::LaunchConfig launch{.blocks = 112, .threads_per_block = 128};
+    /// When false the CPU idles during kernel execution — that is exactly
+    /// the plain block-parallel searcher, kept here as an ablation toggle.
+    bool cpu_overlap = true;
+  };
+
+  HybridSearcher(Options options, mcts::SearchConfig config = {},
+                 simt::VirtualGpu gpu = simt::VirtualGpu())
+      : options_(options), config_(config), gpu_(std::move(gpu)),
+        seed_(config.seed) {
+    simt::validate(options_.launch, gpu_.device());
+  }
+
+  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
+                                             double budget_seconds) override {
+    util::expects(!G::is_terminal(state), "choose_move on terminal state");
+    util::VirtualClock clock(gpu_.host().clock_hz);
+    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+    const std::uint64_t search_seed =
+        util::derive_seed(seed_, move_counter_++);
+    const auto trees_n = static_cast<std::size_t>(options_.launch.blocks);
+
+    std::vector<std::unique_ptr<mcts::Tree<G>>> trees;
+    trees.reserve(trees_n);
+    for (std::size_t t = 0; t < trees_n; ++t) {
+      trees.push_back(std::make_unique<mcts::Tree<G>>(
+          state, config_, util::derive_seed(search_seed, t)));
+    }
+    util::XorShift128Plus cpu_rng(util::derive_seed(search_seed, 0xc0deULL));
+
+    simt::DeviceBuffer<typename G::State> roots(trees_n);
+    simt::DeviceBuffer<simt::BlockResult> results(trees_n);
+    std::vector<mcts::NodeIndex> leaves(trees_n);
+
+    stats_ = {};
+    cpu_simulations_ = 0;
+    std::uint64_t round = 0;
+    std::size_t cpu_tree_cursor = 0;
+
+    do {
+      for (std::size_t t = 0; t < trees_n; ++t) {
+        const mcts::Selection<G> sel = trees[t]->select();
+        roots.host()[t] = sel.state;
+        leaves[t] = sel.node;
+        clock.advance(
+            static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+      }
+      roots.upload(clock);
+
+      const std::span<simt::BlockResult> device_results =
+          results.device_view();
+      for (auto& r : device_results) r = simt::BlockResult{};
+      simt::PlayoutKernel<G> kernel(roots.device_view(), search_seed, round,
+                                    device_results);
+      const simt::Event event =
+          gpu_.launch_async(options_.launch, kernel, clock);
+
+      // "CPU can work here!" — iterate sequential MCTS on the same trees
+      // until the gpu-ready event fires.
+      while (options_.cpu_overlap && !simt::VirtualGpu::query(event, clock)) {
+        mcts::Tree<G>& tree = *trees[cpu_tree_cursor];
+        cpu_tree_cursor = (cpu_tree_cursor + 1) % trees_n;
+        const mcts::Selection<G> sel = tree.select();
+        double value;
+        std::uint32_t plies = 0;
+        if (sel.terminal) {
+          value = game::value_of(
+              G::outcome_for(sel.state, game::Player::kFirst));
+        } else {
+          const mcts::PlayoutResult playout =
+              mcts::random_playout<G>(sel.state, cpu_rng);
+          value = playout.value_first;
+          plies = playout.plies;
+        }
+        tree.backpropagate(sel.node, value, 1, value * value);
+        clock.advance(static_cast<std::uint64_t>(
+            gpu_.cost().host_tree_op_cycles +
+            gpu_.cost().host_cycles_per_ply * static_cast<double>(plies)));
+        ++cpu_simulations_;
+        stats_.simulations += 1;
+      }
+
+      gpu_.wait_for(event, clock);
+      results.download(clock);
+      const std::span<const simt::BlockResult> tallies =
+          results.host_checked();
+      for (std::size_t t = 0; t < trees_n; ++t) {
+        trees[t]->backpropagate(leaves[t], tallies[t].value_first,
+                                tallies[t].simulations,
+                                tallies[t].value_sq_first);
+        stats_.simulations += tallies[t].simulations;
+      }
+      ++round;
+      stats_.rounds += 1;
+    } while (clock.cycles() < deadline);
+
+    std::vector<std::vector<typename mcts::Tree<G>::RootChildStat>> per_tree;
+    per_tree.reserve(trees_n);
+    for (const auto& tree : trees) {
+      per_tree.push_back(tree->root_child_stats());
+      stats_.tree_nodes += tree->node_count();
+      if (tree->max_depth() > stats_.max_depth)
+        stats_.max_depth = tree->max_depth();
+    }
+    stats_.virtual_seconds = clock.seconds();
+
+    const auto merged = merge_root_stats<G>(per_tree);
+    return best_merged_move(merged);
+  }
+
+  [[nodiscard]] const mcts::SearchStats& last_stats() const noexcept override {
+    return stats_;
+  }
+
+  /// CPU-side simulations contributed during kernel overlap in the last
+  /// choose_move — the quantity the hybrid scheme adds over GPU-only.
+  [[nodiscard]] std::uint64_t cpu_overlap_simulations() const noexcept {
+    return cpu_simulations_;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return std::string(options_.cpu_overlap ? "hybrid CPU+GPU ("
+                                            : "block-parallel GPU-only (") +
+           std::to_string(options_.launch.blocks) + "x" +
+           std::to_string(options_.launch.threads_per_block) + ")";
+  }
+
+  void reseed(std::uint64_t seed) override {
+    seed_ = seed;
+    move_counter_ = 0;
+  }
+
+ private:
+  Options options_;
+  mcts::SearchConfig config_;
+  simt::VirtualGpu gpu_;
+  std::uint64_t seed_;
+  std::uint64_t move_counter_ = 0;
+  std::uint64_t cpu_simulations_ = 0;
+  mcts::SearchStats stats_;
+};
+
+}  // namespace gpu_mcts::parallel

@@ -1,0 +1,121 @@
+// Leaf parallelism on the virtual GPU — the paper's comparison scheme
+// (§III.5): one tree on the host; each kernel round plays `blocks x threads`
+// random games from the single selected leaf and backpropagates the
+// aggregate. Simple, but every round samples the same node, so accuracy
+// saturates (Figure 6: win ratio stalls near 0.75 at ~1024 threads).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/game_traits.hpp"
+#include "mcts/config.hpp"
+#include "mcts/searcher.hpp"
+#include "mcts/tree.hpp"
+#include "simt/device_buffer.hpp"
+#include "simt/playout_kernel.hpp"
+#include "simt/vgpu.hpp"
+#include "util/check.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::parallel {
+
+template <game::Game G>
+class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
+ public:
+  struct Options {
+    /// Grid geometry; the paper's leaf experiments use block size 64.
+    simt::LaunchConfig launch{.blocks = 1, .threads_per_block = 64};
+  };
+
+  LeafParallelGpuSearcher(Options options, mcts::SearchConfig config = {},
+                          simt::VirtualGpu gpu = simt::VirtualGpu())
+      : options_(options), config_(config), gpu_(std::move(gpu)),
+        seed_(config.seed) {
+    simt::validate(options_.launch, gpu_.device());
+  }
+
+  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
+                                             double budget_seconds) override {
+    util::expects(!G::is_terminal(state), "choose_move on terminal state");
+    util::VirtualClock clock(gpu_.host().clock_hz);
+    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+    const std::uint64_t search_seed =
+        util::derive_seed(seed_, move_counter_++);
+
+    mcts::Tree<G> tree(state, config_, search_seed);
+    stats_ = {};
+    double waste_sum = 0.0;
+    std::uint64_t round = 0;
+
+    do {
+      // Host side: one tree operation (selection + expansion), charged to
+      // the CPU controlling process.
+      const mcts::Selection<G> sel = tree.select();
+      clock.advance(
+          static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+
+      if (sel.terminal) {
+        // Nothing to simulate: score the terminal leaf directly.
+        const double v = game::value_of(
+            G::outcome_for(sel.state, game::Player::kFirst));
+        tree.backpropagate(sel.node, v, 1, v * v);
+        stats_.simulations += 1;
+      } else {
+        // One root up, one aggregate tally down per round.
+        simt::DeviceBuffer<typename G::State> root(1);
+        simt::DeviceBuffer<simt::BlockResult> result(1);
+        root.host()[0] = sel.state;
+        root.upload(clock);
+        const std::span<simt::BlockResult> device_result =
+            result.device_view();
+        device_result[0] = simt::BlockResult{};
+        simt::PlayoutKernel<G> kernel(root.device_view(), search_seed, round,
+                                      device_result);
+        const simt::LaunchResult launch =
+            gpu_.launch(options_.launch, kernel, clock);
+        result.download(clock);
+        const simt::BlockResult tally = result.host_checked()[0];
+        tree.backpropagate(sel.node, tally.value_first, tally.simulations,
+                           tally.value_sq_first);
+        stats_.simulations += tally.simulations;
+        waste_sum += launch.stats.divergence_waste();
+      }
+      ++round;
+      stats_.rounds += 1;
+    } while (clock.cycles() < deadline);
+
+    stats_.tree_nodes = tree.node_count();
+    stats_.max_depth = tree.max_depth();
+    stats_.virtual_seconds = clock.seconds();
+    if (stats_.rounds > 0)
+      stats_.divergence_waste = waste_sum / static_cast<double>(stats_.rounds);
+    return tree.best_move();
+  }
+
+  [[nodiscard]] const mcts::SearchStats& last_stats() const noexcept override {
+    return stats_;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "leaf-parallel GPU (" + std::to_string(options_.launch.blocks) +
+           "x" + std::to_string(options_.launch.threads_per_block) + ")";
+  }
+
+  void reseed(std::uint64_t seed) override {
+    seed_ = seed;
+    move_counter_ = 0;
+  }
+
+ private:
+  Options options_;
+  mcts::SearchConfig config_;
+  simt::VirtualGpu gpu_;
+  std::uint64_t seed_;
+  std::uint64_t move_counter_ = 0;
+  mcts::SearchStats stats_;
+};
+
+}  // namespace gpu_mcts::parallel

@@ -1,0 +1,67 @@
+// Root-statistics merging: the aggregation step shared by root parallelism,
+// block parallelism, and the distributed (multi-GPU) searcher — "the root
+// node has to be updated by summing up results from all other trees processed
+// in parallel" (paper §II.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "game/game_traits.hpp"
+#include "mcts/tree.hpp"
+#include "util/check.hpp"
+
+namespace gpu_mcts::parallel {
+
+/// Accumulated statistics for one candidate root move across trees.
+template <typename MoveT>
+struct MergedMove {
+  MoveT move{};
+  std::uint64_t visits = 0;
+  double wins = 0.0;
+};
+
+/// Sums per-tree root child statistics by move.
+template <game::Game G>
+[[nodiscard]] std::vector<MergedMove<typename G::Move>> merge_root_stats(
+    const std::vector<std::vector<typename mcts::Tree<G>::RootChildStat>>&
+        per_tree) {
+  // Moves are small integers for every supported game; an ordered map keeps
+  // the result deterministic.
+  std::map<typename G::Move, MergedMove<typename G::Move>> acc;
+  for (const auto& tree_stats : per_tree) {
+    for (const auto& stat : tree_stats) {
+      auto& slot = acc[stat.move];
+      slot.move = stat.move;
+      slot.visits += stat.visits;
+      slot.wins += stat.wins;
+    }
+  }
+  std::vector<MergedMove<typename G::Move>> out;
+  out.reserve(acc.size());
+  for (const auto& [move, merged] : acc) out.push_back(merged);
+  return out;
+}
+
+/// Majority-vote winner: most total visits, win rate as tie-break.
+template <typename MoveT>
+[[nodiscard]] MoveT best_merged_move(
+    const std::vector<MergedMove<MoveT>>& merged) {
+  util::expects(!merged.empty(), "no root statistics to merge");
+  const MergedMove<MoveT>* best = &merged.front();
+  for (const auto& m : merged) {
+    const double rate_m =
+        m.visits > 0 ? m.wins / static_cast<double>(m.visits) : 0.0;
+    const double rate_b = best->visits > 0
+                              ? best->wins / static_cast<double>(best->visits)
+                              : 0.0;
+    if (m.visits > best->visits ||
+        (m.visits == best->visits && rate_m > rate_b)) {
+      best = &m;
+    }
+  }
+  return best->move;
+}
+
+}  // namespace gpu_mcts::parallel

@@ -1,0 +1,144 @@
+// Root parallelism — the CPU scheme the paper scales to thousands of threads
+// in its prior work [4] and uses as the baseline of Figure 7: n threads build
+// n independent trees for the full move budget, then vote by summed root
+// visits.
+//
+// Execution model: each virtual CPU thread runs the complete budget on its
+// own virtual clock (they are concurrent in model time), so `n` threads do
+// n x (rate x budget) simulations total regardless of host core count. A
+// real thread-pool mode is available for wall-clock use cases.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "game/game_traits.hpp"
+#include "mcts/config.hpp"
+#include "mcts/playout.hpp"
+#include "mcts/searcher.hpp"
+#include "mcts/tree.hpp"
+#include "parallel/merge.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device_props.hpp"
+#include "util/check.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gpu_mcts::parallel {
+
+template <game::Game G>
+class RootParallelSearcher final : public mcts::Searcher<G> {
+ public:
+  struct Options {
+    int threads = 2;
+    /// When true, trees are searched by a host thread pool (wall-clock
+    /// parallelism); model time is identical either way.
+    bool use_host_threads = false;
+  };
+
+  RootParallelSearcher(Options options, mcts::SearchConfig config = {},
+                       simt::HostProperties host = simt::xeon_x5670(),
+                       simt::CostModel cost = simt::default_cost_model())
+      : options_(options),
+        config_(config),
+        host_(host),
+        cost_(cost),
+        seed_(config.seed) {
+    util::expects(options.threads >= 1, "at least one root-parallel thread");
+  }
+
+  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
+                                             double budget_seconds) override {
+    util::expects(!G::is_terminal(state), "choose_move on terminal state");
+    const auto n = static_cast<std::size_t>(options_.threads);
+    std::vector<std::vector<typename mcts::Tree<G>::RootChildStat>> stats(n);
+    std::vector<mcts::SearchStats> per_tree(n);
+
+    auto run_tree = [&](std::size_t t) {
+      const std::uint64_t tree_seed =
+          util::derive_seed(seed_, (move_counter_ << 16) ^ t);
+      mcts::Tree<G> tree(state, config_, tree_seed);
+      util::XorShift128Plus rng(util::derive_seed(tree_seed, 0x9a10ULL));
+      util::VirtualClock clock(host_.clock_hz);
+      const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+      mcts::SearchStats s;
+      do {
+        const mcts::Selection<G> sel = tree.select();
+        double value;
+        std::uint32_t plies = 0;
+        if (sel.terminal) {
+          value = game::value_of(
+              G::outcome_for(sel.state, game::Player::kFirst));
+        } else {
+          const mcts::PlayoutResult playout =
+              mcts::random_playout<G>(sel.state, rng);
+          value = playout.value_first;
+          plies = playout.plies;
+        }
+        tree.backpropagate(sel.node, value, 1, value * value);
+        clock.advance(static_cast<std::uint64_t>(
+            cost_.host_tree_op_cycles +
+            cost_.host_cycles_per_ply * static_cast<double>(plies)));
+        s.simulations += 1;
+        s.rounds += 1;
+      } while (clock.cycles() < deadline);
+      s.tree_nodes = tree.node_count();
+      s.max_depth = tree.max_depth();
+      s.virtual_seconds = clock.seconds();
+      stats[t] = tree.root_child_stats();
+      per_tree[t] = s;
+    };
+
+    if (options_.use_host_threads && n > 1) {
+      util::ThreadPool pool(n);
+      pool.parallel_for(n, run_tree);
+    } else {
+      for (std::size_t t = 0; t < n; ++t) run_tree(t);
+    }
+    ++move_counter_;
+
+    stats_ = {};
+    for (const auto& s : per_tree) {
+      stats_.simulations += s.simulations;
+      stats_.rounds += s.rounds;
+      stats_.tree_nodes += s.tree_nodes;
+      if (s.max_depth > stats_.max_depth) stats_.max_depth = s.max_depth;
+    }
+    // Threads are concurrent in model time: elapsed = max over trees.
+    for (const auto& s : per_tree) {
+      if (s.virtual_seconds > stats_.virtual_seconds)
+        stats_.virtual_seconds = s.virtual_seconds;
+    }
+
+    const auto merged = merge_root_stats<G>(stats);
+    return best_merged_move(merged);
+  }
+
+  [[nodiscard]] const mcts::SearchStats& last_stats() const noexcept override {
+    return stats_;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "root-parallel CPU (" + std::to_string(options_.threads) +
+           " threads)";
+  }
+
+  void reseed(std::uint64_t seed) override {
+    seed_ = seed;
+    move_counter_ = 0;
+  }
+
+ private:
+  Options options_;
+  mcts::SearchConfig config_;
+  simt::HostProperties host_;
+  simt::CostModel cost_;
+  std::uint64_t seed_;
+  std::uint64_t move_counter_ = 0;
+  mcts::SearchStats stats_;
+};
+
+}  // namespace gpu_mcts::parallel

@@ -1,0 +1,84 @@
+#include "reversi/endgame.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "reversi/bitboard.hpp"
+#include "util/check.hpp"
+
+namespace gpu_mcts::reversi {
+
+namespace {
+
+/// Corner-first move ordering: corners are usually best, and tightening
+/// alpha early is what makes alpha-beta effective.
+constexpr Bitboard kCornerMask =
+    square_bit(0) | square_bit(7) | square_bit(56) | square_bit(63);
+
+struct Solver {
+  std::uint64_t nodes = 0;
+
+  /// Negamax with fail-soft alpha-beta; exact empties-to-winner score from
+  /// the side to move. Terminality is detected from mobility of both sides,
+  /// so pass chains need no extra state.
+  int search(const Position& p, int alpha, int beta) {
+    ++nodes;
+    const Bitboard mask = placement_mask(p);
+    if (mask == 0) {
+      if (legal_moves_mask(p.opp(), p.own()) == 0) {
+        return final_score(p, static_cast<game::Player>(p.to_move));
+      }
+      return -search(apply_move(p, kPassMove), -beta, -alpha);
+    }
+
+    int best = -65;
+    // Visit corners before everything else.
+    for (const Bitboard subset : {mask & kCornerMask, mask & ~kCornerMask}) {
+      Bitboard remaining = subset;
+      while (remaining != 0) {
+        const int square = pop_lsb(remaining);
+        const int value =
+            -search(apply_move(p, static_cast<Move>(square)), -beta, -alpha);
+        best = std::max(best, value);
+        if (best >= beta) return best;  // cutoff
+        alpha = std::max(alpha, best);
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+SolveResult solve_endgame(const Position& position, int max_empties) {
+  const int empties = popcount(position.empty());
+  util::expects(empties <= max_empties,
+                "position has too many empties for exact solving");
+
+  SolveResult result;
+  if (is_terminal(position)) {
+    result.score =
+        final_score(position, static_cast<game::Player>(position.to_move));
+    return result;
+  }
+
+  Solver solver;
+  std::array<Move, 34> moves{};
+  const int n = legal_moves(position, std::span(moves));
+  util::check(n > 0, "non-terminal position has moves");
+
+  int best = -65;
+  for (int i = 0; i < n; ++i) {
+    const int value =
+        -solver.search(apply_move(position, moves[i]), -64, -best);
+    if (value > best) {
+      best = value;
+      result.best_move = moves[i];
+    }
+  }
+  result.score = best;
+  result.nodes = solver.nodes;
+  return result;
+}
+
+}  // namespace gpu_mcts::reversi

@@ -1,0 +1,31 @@
+// Exact endgame solver: negamax with alpha-beta over the final empties.
+//
+// MCTS plays the endgame statistically; real Reversi engines switch to
+// exact search once few squares remain. The solver doubles as a strength
+// oracle for tests (any searcher's endgame move can be scored against the
+// proven-optimal value) and powers the `analyze` mode of play_reversi.
+#pragma once
+
+#include <cstdint>
+
+#include "reversi/position.hpp"
+
+namespace gpu_mcts::reversi {
+
+struct SolveResult {
+  /// Exact final score (empties-to-winner rule) from the perspective of the
+  /// player to move in the solved position.
+  int score = 0;
+  /// Optimal move (kPassMove when the side to move must pass); undefined
+  /// for terminal positions.
+  Move best_move = kPassMove;
+  /// Search-tree nodes visited.
+  std::uint64_t nodes = 0;
+};
+
+/// Solves a position exactly. `max_empties` guards against accidental
+/// exponential blowups: positions with more empties throw.
+[[nodiscard]] SolveResult solve_endgame(const Position& position,
+                                        int max_empties = 14);
+
+}  // namespace gpu_mcts::reversi

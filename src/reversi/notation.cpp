@@ -1,0 +1,87 @@
+#include "reversi/notation.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace gpu_mcts::reversi {
+
+std::string move_to_string(Move m) {
+  if (m == kPassMove) return "--";
+  if (m >= kSquares) return "??";
+  std::string s(2, ' ');
+  s[0] = static_cast<char>('a' + file_of(m));
+  s[1] = static_cast<char>('1' + rank_of(m));
+  return s;
+}
+
+std::optional<Move> move_from_string(std::string_view text) {
+  if (text == "--" || text == "pass" || text == "PASS") return kPassMove;
+  if (text.size() != 2) return std::nullopt;
+  const char fc = static_cast<char>(std::tolower(text[0]));
+  const char rc = text[1];
+  if (fc < 'a' || fc > 'h' || rc < '1' || rc > '8') return std::nullopt;
+  return static_cast<Move>(square_at(fc - 'a', rc - '1'));
+}
+
+std::string board_to_string(const Position& p, bool mark_legal) {
+  const Bitboard legal = mark_legal ? placement_mask(p) : 0;
+  std::string out;
+  out.reserve(220);
+  for (int rank = kBoardSize - 1; rank >= 0; --rank) {
+    out.push_back(static_cast<char>('1' + rank));
+    out.push_back(' ');
+    for (int file = 0; file < kBoardSize; ++file) {
+      const Bitboard bit = square_bit(square_at(file, rank));
+      char c = '.';
+      if (p.discs[0] & bit) c = 'X';
+      else if (p.discs[1] & bit) c = 'O';
+      else if (legal & bit) c = '*';
+      out.push_back(c);
+      out.push_back(' ');
+    }
+    out.push_back('\n');
+  }
+  out += "  a b c d e f g h\n";
+  out += (p.to_move == 0) ? "X to move\n" : "O to move\n";
+  return out;
+}
+
+std::string position_signature(const Position& p) {
+  std::string out;
+  for (int side = 0; side < 2; ++side) {
+    out += side == 0 ? "X:" : " O:";
+    Bitboard b = p.discs[side];
+    bool first = true;
+    while (b != 0) {
+      if (!first) out.push_back(',');
+      out += move_to_string(static_cast<Move>(pop_lsb(b)));
+      first = false;
+    }
+  }
+  out += p.to_move == 0 ? " X-to-move" : " O-to-move";
+  return out;
+}
+
+std::optional<Position> position_from_diagram(std::string_view diagram,
+                                              game::Player to_move) {
+  Position p;
+  p.discs[0] = 0;
+  p.discs[1] = 0;
+  p.to_move = static_cast<std::uint8_t>(game::index_of(to_move));
+  int cell = 0;
+  for (const char c : diagram) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (cell >= kSquares) return std::nullopt;
+    switch (c) {
+      case 'X': case 'x': p.discs[0] |= square_bit(cell); break;
+      case 'O': case 'o': p.discs[1] |= square_bit(cell); break;
+      case '.': case '-': break;
+      default: return std::nullopt;
+    }
+    ++cell;
+  }
+  if (cell != kSquares) return std::nullopt;
+  return p;
+}
+
+}  // namespace gpu_mcts::reversi

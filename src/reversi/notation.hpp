@@ -1,0 +1,34 @@
+// Human-readable I/O for Reversi: algebraic square names ("d3"), move lists,
+// and ASCII board rendering. Used by the examples and by test diagnostics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "reversi/position.hpp"
+
+namespace gpu_mcts::reversi {
+
+/// "a1".."h8" for squares, "--" for pass.
+[[nodiscard]] std::string move_to_string(Move m);
+
+/// Parses "d3" / "D3" / "--" / "pass"; nullopt on malformed input.
+[[nodiscard]] std::optional<Move> move_from_string(std::string_view text);
+
+/// Multi-line ASCII board: X = black (player 0), O = white, '.' = empty,
+/// '*' marks legal placements for the side to move.
+[[nodiscard]] std::string board_to_string(const Position& p,
+                                          bool mark_legal = true);
+
+/// Compact one-line form "X:a1,b2 O:c3 X-to-move" used in test failure
+/// messages.
+[[nodiscard]] std::string position_signature(const Position& p);
+
+/// Builds a position from a 64-char diagram (rank 8 first or rank 1 first is
+/// ambiguous; we read rank 1 first, files a..h) of 'X', 'O', '.', whitespace
+/// ignored. Returns nullopt when the diagram has the wrong cell count.
+[[nodiscard]] std::optional<Position> position_from_diagram(
+    std::string_view diagram, game::Player to_move);
+
+}  // namespace gpu_mcts::reversi

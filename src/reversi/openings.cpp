@@ -1,0 +1,68 @@
+#include "reversi/openings.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "reversi/notation.hpp"
+
+namespace gpu_mcts::reversi {
+
+namespace {
+
+// Well-known opening families (Othello literature names). Every line is
+// validated by the unit tests against the move generator.
+constexpr std::array<Opening, 7> kBook = {{
+    {"diagonal", "f5 d6 c3"},
+    {"perpendicular", "f5 d6 c4"},
+    {"parallel", "f5 f6"},
+    {"tiger", "f5 d6 c4 d3"},
+    {"cow", "f5 d6 c5"},
+    {"rose-prefix", "f5 d6 c5 f4 e3"},
+    {"heath-prefix", "f5 f6 e6 f4"},
+}};
+
+}  // namespace
+
+std::span<const Opening> opening_book() { return kBook; }
+
+std::optional<Opening> find_opening(std::string_view name) {
+  for (const Opening& o : kBook) {
+    if (o.name == name) return o;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<Move>> parse_line(std::string_view line) {
+  std::vector<Move> moves;
+  std::istringstream stream{std::string(line)};
+  std::string token;
+  Position pos = initial_position();
+  std::array<Move, 34> legal{};
+  while (stream >> token) {
+    const auto move = move_from_string(token);
+    if (!move.has_value()) return std::nullopt;
+    const int n = legal_moves(pos, std::span(legal));
+    bool is_legal = false;
+    for (int i = 0; i < n; ++i) is_legal = is_legal || legal[i] == *move;
+    if (!is_legal) return std::nullopt;
+    moves.push_back(*move);
+    pos = apply_move(pos, *move);
+  }
+  return moves;
+}
+
+std::optional<Position> position_after(const Opening& opening,
+                                       int max_plies) {
+  const auto moves = parse_line(opening.line);
+  if (!moves.has_value()) return std::nullopt;
+  Position pos = initial_position();
+  int played = 0;
+  for (const Move m : *moves) {
+    if (max_plies >= 0 && played >= max_plies) break;
+    pos = apply_move(pos, m);
+    ++played;
+  }
+  return pos;
+}
+
+}  // namespace gpu_mcts::reversi

@@ -1,0 +1,43 @@
+// Classic Reversi opening lines.
+//
+// The arena can start games a few plies into a named (or randomly drawn)
+// book line instead of the bare initial position: with deterministic,
+// seeded players this is the standard way to get game variety in
+// engine-vs-engine matches without biasing either side (both players see
+// the same opening).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reversi/position.hpp"
+
+namespace gpu_mcts::reversi {
+
+struct Opening {
+  std::string_view name;
+  /// Moves in algebraic notation from the initial position, space-separated.
+  std::string_view line;
+};
+
+/// A small book of well-known named openings (diagonal / perpendicular /
+/// parallel families and common continuations).
+[[nodiscard]] std::span<const Opening> opening_book();
+
+/// Finds an opening by (case-sensitive) name.
+[[nodiscard]] std::optional<Opening> find_opening(std::string_view name);
+
+/// Parses an opening line ("f5 d6 c3 ...") into moves; nullopt if any token
+/// is malformed or any move is illegal from the resulting position.
+[[nodiscard]] std::optional<std::vector<Move>> parse_line(
+    std::string_view line);
+
+/// Applies up to `max_plies` moves of the opening (whole line when
+/// max_plies < 0). Returns nullopt for malformed/illegal lines.
+[[nodiscard]] std::optional<Position> position_after(const Opening& opening,
+                                                     int max_plies = -1);
+
+}  // namespace gpu_mcts::reversi

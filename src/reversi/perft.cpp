@@ -1,0 +1,29 @@
+#include "reversi/perft.hpp"
+
+#include <array>
+
+namespace gpu_mcts::reversi {
+
+std::uint64_t perft(const Position& p, int depth) {
+  if (depth == 0) return 1;
+  std::array<Move, 34> moves{};
+  const int n = legal_moves(p, moves);
+  if (n == 0) return 1;  // terminal: count the line once
+  std::uint64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += perft(apply_move(p, moves[i]), depth - 1);
+  }
+  return total;
+}
+
+int perft_divide(const Position& p, int depth, std::span<PerftDivide> out) {
+  std::array<Move, 34> moves{};
+  const int n = legal_moves(p, moves);
+  for (int i = 0; i < n; ++i) {
+    out[i].move = moves[i];
+    out[i].nodes = depth > 0 ? perft(apply_move(p, moves[i]), depth - 1) : 1;
+  }
+  return n;
+}
+
+}  // namespace gpu_mcts::reversi

@@ -1,0 +1,30 @@
+// perft (move-path enumeration) for the Reversi engine: counts leaf nodes of
+// the game tree to a fixed depth. Known reference values exist for Reversi
+// perft from the initial position, making this the strongest available
+// correctness oracle for the move generator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "reversi/position.hpp"
+
+namespace gpu_mcts::reversi {
+
+/// Number of leaf positions at exactly `depth` plies below `p`. Passes count
+/// as plies (the convention used by published Reversi perft tables). Terminal
+/// positions above `depth` count once.
+[[nodiscard]] std::uint64_t perft(const Position& p, int depth);
+
+/// Like perft but returns the number of distinct (move, submove, ...) paths
+/// split by first move; handy for localizing movegen bugs.
+struct PerftDivide {
+  Move move;
+  std::uint64_t nodes;
+};
+
+/// Fills `out` (size >= kMaxMoves legal moves) and returns count.
+[[nodiscard]] int perft_divide(const Position& p, int depth,
+                               std::span<PerftDivide> out);
+
+}  // namespace gpu_mcts::reversi

@@ -1,0 +1,64 @@
+// Reversi-specific playout knowledge: the classic corner heuristic.
+//
+//  * Corners (a1, h1, a8, h8) are stable and dominate Reversi strategy —
+//    take one whenever legal.
+//  * X-squares (b2, g2, b7, g7) hand the adjacent corner to the opponent —
+//    avoid them while any alternative exists.
+//  * Otherwise play uniformly at random (keeping playouts cheap and
+//    unbiased enough for Monte Carlo evaluation).
+//
+// Exposed as a PlayoutPolicy for mcts::policy_playout; ablation_playout
+// measures its effect against the paper's uniform playouts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "reversi/bitboard.hpp"
+#include "reversi/position.hpp"
+
+namespace gpu_mcts::reversi {
+
+inline constexpr Bitboard kCorners =
+    square_bit(0) | square_bit(7) | square_bit(56) | square_bit(63);
+
+/// b2, g2, b7, g7 — the diagonal neighbours of the corners.
+inline constexpr Bitboard kXSquares =
+    square_bit(square_at(1, 1)) | square_bit(square_at(6, 1)) |
+    square_bit(square_at(1, 6)) | square_bit(square_at(6, 6));
+
+struct CornerGreedyPolicy {
+  template <typename G, typename Rng>
+  [[nodiscard]] int pick(const typename G::State& state,
+                         std::span<const typename G::Move> moves,
+                         Rng& rng) const {
+    (void)state;
+    // 1. Any corner available? Take the first (they are interchangeable in
+    //    expectation and this keeps the policy branch-cheap).
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      if (moves[i] < kSquares && (square_bit(moves[i]) & kCorners) != 0) {
+        return static_cast<int>(i);
+      }
+    }
+    // 2. Prefer a uniformly random non-X-square move.
+    int non_x_count = 0;
+    for (const auto m : moves) {
+      if (m >= kSquares || (square_bit(m) & kXSquares) == 0) ++non_x_count;
+    }
+    if (non_x_count > 0) {
+      auto target = rng.next_below(static_cast<std::uint32_t>(non_x_count));
+      for (std::size_t i = 0; i < moves.size(); ++i) {
+        const bool is_x =
+            moves[i] < kSquares && (square_bit(moves[i]) & kXSquares) != 0;
+        if (is_x) continue;
+        if (target == 0) return static_cast<int>(i);
+        --target;
+      }
+    }
+    // 3. Only X-squares left: uniform.
+    return static_cast<int>(
+        rng.next_below(static_cast<std::uint32_t>(moves.size())));
+  }
+};
+
+}  // namespace gpu_mcts::reversi

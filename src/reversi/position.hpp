@@ -1,0 +1,127 @@
+// Reversi position: the two disc sets plus side to move.
+//
+// Representation decision: discs are stored per *color* (black/white), not
+// per side-to-move, so positions hash and print stably across pass moves.
+// The struct is 17 bytes and trivially copyable — it is the State that SIMT
+// lanes carry.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "game/game_traits.hpp"
+#include "reversi/bitboard.hpp"
+
+namespace gpu_mcts::reversi {
+
+using game::Outcome;
+using game::Player;
+
+/// A move is a square index 0..63, or kPassMove when the mover has no
+/// placement but the game is not over.
+using Move = std::uint8_t;
+inline constexpr Move kPassMove = 64;
+
+struct Position {
+  Bitboard discs[2] = {0, 0};  // [0]=black (first player), [1]=white
+  std::uint8_t to_move = 0;
+
+  [[nodiscard]] constexpr Bitboard own() const noexcept {
+    return discs[to_move];
+  }
+  [[nodiscard]] constexpr Bitboard opp() const noexcept {
+    return discs[1 - to_move];
+  }
+  [[nodiscard]] constexpr Bitboard occupied() const noexcept {
+    return discs[0] | discs[1];
+  }
+  [[nodiscard]] constexpr Bitboard empty() const noexcept {
+    return ~occupied();
+  }
+
+  friend constexpr bool operator==(const Position&, const Position&) = default;
+};
+
+/// The standard initial position (d4/e5 white, d5/e4 black... note: we use
+/// the convention black on d5+e4, white on d4+e5; black moves first).
+[[nodiscard]] constexpr Position initial_position() noexcept {
+  Position p;
+  p.discs[0] = square_bit(square_at(3, 4)) | square_bit(square_at(4, 3));
+  p.discs[1] = square_bit(square_at(3, 3)) | square_bit(square_at(4, 4));
+  p.to_move = 0;
+  return p;
+}
+
+/// Placement squares for the side to move (excludes pass).
+[[nodiscard]] constexpr Bitboard placement_mask(const Position& p) noexcept {
+  return legal_moves_mask(p.own(), p.opp());
+}
+
+/// True when neither side can place a disc.
+[[nodiscard]] constexpr bool is_terminal(const Position& p) noexcept {
+  if (legal_moves_mask(p.own(), p.opp()) != 0) return false;
+  return legal_moves_mask(p.opp(), p.own()) == 0;
+}
+
+/// Fills `out` with all legal moves (pass when the mover is blocked but the
+/// opponent is not). Returns the count; 0 only for terminal positions.
+/// `out` must have room for at least 33 moves (max placements is 33? safe
+/// upper bound kMaxMoves below).
+[[nodiscard]] constexpr int legal_moves(const Position& p,
+                                        std::span<Move> out) noexcept {
+  Bitboard mask = placement_mask(p);
+  if (mask == 0) {
+    if (legal_moves_mask(p.opp(), p.own()) == 0) return 0;  // terminal
+    out[0] = kPassMove;
+    return 1;
+  }
+  int n = 0;
+  while (mask != 0) out[n++] = static_cast<Move>(pop_lsb(mask));
+  return n;
+}
+
+/// Applies a move (placement or pass). Illegal placements are a programming
+/// error; in release builds the behaviour is as-if the move flipped whatever
+/// rays it brackets (possibly none).
+[[nodiscard]] constexpr Position apply_move(const Position& p,
+                                            Move m) noexcept {
+  Position next = p;
+  if (m != kPassMove) {
+    const Bitboard flips = flips_for_move(p.own(), p.opp(), m);
+    next.discs[p.to_move] |= flips | square_bit(m);
+    next.discs[1 - p.to_move] &= ~flips;
+  }
+  next.to_move = static_cast<std::uint8_t>(1 - p.to_move);
+  return next;
+}
+
+/// Disc difference from `player`'s perspective. Per standard Reversi scoring,
+/// empty squares at game end go to the winner of the disc count — the paper's
+/// "point difference" traces (Fig. 7/8) use raw disc difference, so we expose
+/// both.
+[[nodiscard]] constexpr int disc_difference(const Position& p,
+                                            Player player) noexcept {
+  const std::size_t me = game::index_of(player);
+  return popcount(p.discs[me]) - popcount(p.discs[1 - me]);
+}
+
+/// Final score with the empty-squares-to-winner rule applied. Only meaningful
+/// for terminal positions.
+[[nodiscard]] constexpr int final_score(const Position& p,
+                                        Player player) noexcept {
+  const int diff = disc_difference(p, player);
+  const int empties = popcount(p.empty());
+  if (diff > 0) return diff + empties;
+  if (diff < 0) return diff - empties;
+  return 0;
+}
+
+[[nodiscard]] constexpr Outcome outcome_for(const Position& p,
+                                            Player player) noexcept {
+  const int diff = disc_difference(p, player);
+  if (diff > 0) return Outcome::kWin;
+  if (diff < 0) return Outcome::kLoss;
+  return Outcome::kDraw;
+}
+
+}  // namespace gpu_mcts::reversi

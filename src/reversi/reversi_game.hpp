@@ -1,0 +1,80 @@
+// Adapter exposing the Reversi engine through the Game concept consumed by
+// the MCTS core and the SIMT playout kernel.
+#pragma once
+
+#include <span>
+
+#include "game/game_traits.hpp"
+#include "reversi/position.hpp"
+
+namespace gpu_mcts::reversi {
+
+class ReversiGame {
+ public:
+  using State = Position;
+  using Move = reversi::Move;
+
+  /// 33 placements is impossible; 32 empties reachable mid-game is a safe
+  /// bound, and +1 leaves room for the pass move representation.
+  static constexpr int kMaxMoves = 33;
+  /// 60 placements + worst-case interleaved passes.
+  static constexpr int kMaxGameLength = 80;
+
+  [[nodiscard]] static State initial_state() noexcept {
+    return initial_position();
+  }
+
+  [[nodiscard]] static int legal_moves(const State& s,
+                                       std::span<Move> out) noexcept {
+    return reversi::legal_moves(s, out);
+  }
+
+  [[nodiscard]] static State apply(const State& s, Move m) noexcept {
+    return apply_move(s, m);
+  }
+
+  [[nodiscard]] static bool is_terminal(const State& s) noexcept {
+    return reversi::is_terminal(s);
+  }
+
+  [[nodiscard]] static game::Player player_to_move(const State& s) noexcept {
+    return static_cast<game::Player>(s.to_move);
+  }
+
+  [[nodiscard]] static game::Outcome outcome_for(const State& s,
+                                                 game::Player p) noexcept {
+    return reversi::outcome_for(s, p);
+  }
+
+  [[nodiscard]] static int score_difference(const State& s,
+                                            game::Player p) noexcept {
+    return disc_difference(s, p);
+  }
+
+  /// Fast playout step (optional Game extension, detected by the playout
+  /// code): advances `s` by one uniformly random legal move without
+  /// materializing a move list — the k-th set bit of the placement mask is
+  /// selected directly. Returns false (state unchanged) when terminal.
+  template <typename Rng>
+  [[nodiscard]] static bool playout_step(State& s, Rng& rng) noexcept {
+    Bitboard mask = placement_mask(s);
+    if (mask == 0) {
+      if (legal_moves_mask(s.opp(), s.own()) == 0) return false;  // terminal
+      s = apply_move(s, kPassMove);
+      return true;
+    }
+    const int n = popcount(mask);
+    if (n > 1) {
+      // Drop k lowest bits, then take the new lowest.
+      for (auto k = rng.next_below(static_cast<std::uint32_t>(n)); k > 0; --k) {
+        mask &= mask - 1;
+      }
+    }
+    s = apply_move(s, static_cast<Move>(lsb_index(mask)));
+    return true;
+  }
+};
+
+static_assert(game::Game<ReversiGame>);
+
+}  // namespace gpu_mcts::reversi

@@ -1,0 +1,69 @@
+// Zobrist hashing for Reversi positions.
+//
+// Not required by plain MCTS (the paper's trees are not transposition-aware)
+// but provided as part of a complete engine substrate: the harness uses it to
+// detect repeated experiment positions and the tests use it as a cheap
+// position identity. The key table is generated at compile time from a fixed
+// seed so hashes are stable across runs and builds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "reversi/position.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::reversi {
+
+namespace detail {
+
+struct ZobristKeys {
+  std::array<std::array<std::uint64_t, kSquares>, 2> squares{};
+  std::uint64_t side = 0;
+};
+
+[[nodiscard]] constexpr ZobristKeys make_zobrist_keys() noexcept {
+  ZobristKeys k;
+  util::SplitMix64 rng(0x7ab1e5eedULL);
+  for (auto& side : k.squares)
+    for (auto& key : side) key = rng();
+  k.side = rng();
+  return k;
+}
+
+inline constexpr ZobristKeys kZobristKeys = make_zobrist_keys();
+
+}  // namespace detail
+
+class Zobrist {
+ public:
+  [[nodiscard]] static std::uint64_t hash(const Position& p) noexcept {
+    std::uint64_t h = p.to_move == 0 ? 0 : side_key();
+    Bitboard black = p.discs[0];
+    while (black != 0) h ^= detail::kZobristKeys.squares[0][pop_lsb(black)];
+    Bitboard white = p.discs[1];
+    while (white != 0) h ^= detail::kZobristKeys.squares[1][pop_lsb(white)];
+    return h;
+  }
+
+  /// Incremental update for a placement by `side` on `square` flipping
+  /// `flips` (as returned by flips_for_move); also toggles the side key.
+  [[nodiscard]] static std::uint64_t update(std::uint64_t h, int side,
+                                            int square,
+                                            Bitboard flips) noexcept {
+    h ^= detail::kZobristKeys.squares[side][square];
+    Bitboard f = flips;
+    while (f != 0) {
+      const int sq = pop_lsb(f);
+      h ^= detail::kZobristKeys.squares[side][sq];
+      h ^= detail::kZobristKeys.squares[1 - side][sq];
+    }
+    return h ^ side_key();
+  }
+
+  [[nodiscard]] static constexpr std::uint64_t side_key() noexcept {
+    return detail::kZobristKeys.side;
+  }
+};
+
+}  // namespace gpu_mcts::reversi

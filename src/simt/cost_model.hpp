@@ -1,0 +1,91 @@
+// The virtual-time cost model: every constant that converts executed work
+// (warp steps, host tree operations) into cycles on the virtual clocks.
+//
+// Calibration (see DESIGN.md §2 and EXPERIMENTS.md):
+//
+//  * Peak GPU playout throughput. The paper's Figure 5 tops out at ~8-9 x 10^5
+//    simulations/second with 14336 threads (leaf parallelism). With 448 warps
+//    saturating 14 SMs (32 warps/SM) and an average Reversi playout of ~60
+//    plies, the per-ply issue cost that reproduces that rate is
+//        14336 sims / 9e5 sims/s = 15.9 ms per full round
+//        = 18.3e6 device cycles = 32 warps x 60 steps x kIssueCyclesPerStep
+//        => kIssueCyclesPerStep ~ 9.5e3 device cycles.
+//    (That magnitude is consistent with the era: the 2011 kernel used
+//    byte-array move generation, hundreds of instructions per ply per lane.)
+//
+//  * Latency hiding. A lone warp on an SM runs kLatencyHideFactor times
+//    slower than its share of a saturated SM; with W resident warps the
+//    slowdown shrinks as min(W, kLatencyHideFactor). This produces the
+//    near-linear growth of Figure 5 up to full occupancy.
+//
+//  * CPU iteration rate. One sequential MCTS iteration = tree walk + one
+//    playout. kHostCyclesPerPly x ~60 plies + kHostTreeOpCycles ~ 5.8e5 host
+//    cycles, i.e. ~5e3 iterations/second on the 2.93 GHz Xeon. This is the
+//    rate the paper's own equivalence pins down: "one GPU can be compared to
+//    100-200 CPU threads" with the GPU near 9e5 simulations/s implies a CPU
+//    thread near 9e5 / 180 ~ 5e3 simulations/s (2011-era array-board
+//    playouts; a modern bitboard engine is ~30x faster, which would break
+//    the paper's stated GPU:CPU equivalence if used as the baseline).
+//
+//  * Sequential block-management cost. In block parallelism the single host
+//    core selects/expands/backpropagates every tree between kernel rounds
+//    (paper: "there is a particular sequential part of this algorithm which
+//    decreases the number of simulations per second ... when the number of
+//    blocks is higher").
+#pragma once
+
+#include <cstdint>
+
+#include "simt/device_props.hpp"
+
+namespace gpu_mcts::simt {
+
+struct CostModel {
+  // --- Device side -------------------------------------------------------
+  /// Device cycles an SM spends issuing one warp-step (one playout ply for
+  /// 32 lanes).
+  double issue_cycles_per_step = 9.5e3;
+  /// Slowdown of an under-occupied SM; hidden once >= this many warps are
+  /// resident.
+  double latency_hide_factor = 8.0;
+  /// Fixed device cycles per kernel invocation (scheduling, prologue).
+  double kernel_fixed_cycles = 2.0e4;
+
+  // --- Host side ---------------------------------------------------------
+  /// Host cycles per ply of a *scalar* (CPU) playout.
+  double host_cycles_per_ply = 9.3e3;
+  /// Host cycles for one tree operation set: selection walk + expansion +
+  /// backpropagation (no playout).
+  double host_tree_op_cycles = 2.3e4;
+  /// Host cycles to launch a kernel and synchronize with its completion
+  /// (driver overhead; ~10 microseconds on the era's stack). PCIe transfer
+  /// costs are modeled separately by simt::DeviceBuffer.
+  double launch_overhead_host_cycles = 3.0e4;
+
+  // --- Cluster side ------------------------------------------------------
+  /// Host cycles of latency for one allreduce across ranks (per round);
+  /// scales with log2(ranks) in the communicator.
+  double allreduce_base_cycles = 1.5e5;
+
+  /// Converts device cycles to host cycles given both clocks.
+  [[nodiscard]] constexpr double device_to_host_cycles(
+      double device_cycles, const DeviceProperties& dev,
+      const HostProperties& host) const noexcept {
+    return device_cycles * host.clock_hz / dev.clock_hz;
+  }
+};
+
+[[nodiscard]] constexpr CostModel default_cost_model() noexcept {
+  return CostModel{};
+}
+
+/// A cost model with divergence/latency modeling disabled: every warp-step
+/// costs the same regardless of occupancy. Used by the ablation bench to
+/// show why leaf parallelism's effective rate saturates (DESIGN.md §6).
+[[nodiscard]] constexpr CostModel no_latency_model() noexcept {
+  CostModel m;
+  m.latency_hide_factor = 1.0;
+  return m;
+}
+
+}  // namespace gpu_mcts::simt

@@ -1,0 +1,99 @@
+// Device memory with explicit transfer accounting.
+//
+// The paper's kernels communicate through device arrays ("the results are
+// written to an array in the GPU's memory (0 = loss, 1 = victory) and CPU
+// reads the results back"). DeviceBuffer<T> models that: host code must
+// upload() before a launch and download() after, and each transfer charges
+// the controlling host clock PCIe latency + bandwidth from the cost model
+// below. The storage itself lives host-side (this is a software device), but
+// access discipline is enforced: reading device-dirty data without a
+// download is a contract violation, which is exactly the bug class real
+// CUDA code exhibits as stale-host-copy races.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/clock.hpp"
+
+namespace gpu_mcts::simt {
+
+/// PCIe-generation-2 era transfer costs (Tesla C2050 testbed).
+struct TransferCosts {
+  /// Host cycles of fixed latency per transfer (driver + DMA setup).
+  double latency_cycles = 2.0e4;
+  /// Host cycles per byte moved (~5.5 GB/s effective on PCIe 2.0 x16 at
+  /// 2.93 GHz -> ~0.53 cycles/byte).
+  double cycles_per_byte = 0.53;
+
+  [[nodiscard]] constexpr std::uint64_t cost(std::size_t bytes) const noexcept {
+    return static_cast<std::uint64_t>(
+        latency_cycles + cycles_per_byte * static_cast<double>(bytes));
+  }
+};
+
+template <typename T>
+class DeviceBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "device memory holds trivially copyable records");
+
+ public:
+  explicit DeviceBuffer(std::size_t count, TransferCosts costs = {})
+      : host_(count), device_(count), costs_(costs) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return host_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return host_.size() * sizeof(T);
+  }
+
+  /// Host-side staging area (always accessible).
+  [[nodiscard]] std::span<T> host() noexcept { return host_; }
+  [[nodiscard]] std::span<const T> host() const noexcept { return host_; }
+
+  /// Device-side view for kernels. Calling this marks the device copy dirty
+  /// (kernels may write it); host() contents are stale until download().
+  [[nodiscard]] std::span<T> device_view() noexcept {
+    device_dirty_ = true;
+    return device_;
+  }
+
+  /// Copies host -> device, charging the clock.
+  void upload(util::VirtualClock& clock) {
+    device_ = host_;
+    device_dirty_ = false;
+    clock.advance(costs_.cost(bytes()));
+    ++uploads_;
+  }
+
+  /// Copies device -> host, charging the clock.
+  void download(util::VirtualClock& clock) {
+    host_ = device_;
+    device_dirty_ = false;
+    clock.advance(costs_.cost(bytes()));
+    ++downloads_;
+  }
+
+  /// Host read of data the device may have modified requires a download
+  /// first; this accessor enforces the discipline.
+  [[nodiscard]] std::span<const T> host_checked() const {
+    util::check(!device_dirty_,
+                "host read of device-dirty buffer (missing download)");
+    return host_;
+  }
+
+  [[nodiscard]] bool device_dirty() const noexcept { return device_dirty_; }
+  [[nodiscard]] std::uint64_t uploads() const noexcept { return uploads_; }
+  [[nodiscard]] std::uint64_t downloads() const noexcept { return downloads_; }
+
+ private:
+  std::vector<T> host_;
+  std::vector<T> device_;
+  TransferCosts costs_;
+  bool device_dirty_ = false;
+  std::uint64_t uploads_ = 0;
+  std::uint64_t downloads_ = 0;
+};
+
+}  // namespace gpu_mcts::simt

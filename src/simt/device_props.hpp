@@ -1,0 +1,44 @@
+// Hardware descriptions for the virtual SIMT device and its controlling host.
+//
+// The presets mirror the paper's testbed: one NVIDIA Tesla C2050 (Fermi,
+// 14 SMs x 32 lanes) controlled by an Intel Xeon X5670 core (2.93 GHz) on a
+// TSUBAME 2.0 node.
+#pragma once
+
+#include <cstdint>
+
+namespace gpu_mcts::simt {
+
+struct DeviceProperties {
+  /// Number of streaming multiprocessors.
+  int sm_count = 14;
+  /// SIMD width of a warp ("32 threads, fixed, for current hardware" — paper
+  /// Figure 3).
+  int warp_size = 32;
+  /// Upper bound on threads per block accepted by launch validation.
+  int max_threads_per_block = 1024;
+  /// Upper bound on resident blocks accepted by launch validation.
+  int max_blocks = 65535;
+  /// Device core clock in Hz.
+  double clock_hz = 1.15e9;
+
+  [[nodiscard]] constexpr int max_threads() const noexcept {
+    return sm_count * 1024;
+  }
+};
+
+/// The paper's GPU: Tesla C2050.
+[[nodiscard]] constexpr DeviceProperties tesla_c2050() noexcept {
+  return DeviceProperties{};
+}
+
+struct HostProperties {
+  /// Host core clock in Hz (Xeon X5670: 2.93 GHz).
+  double clock_hz = 2.93e9;
+};
+
+[[nodiscard]] constexpr HostProperties xeon_x5670() noexcept {
+  return HostProperties{};
+}
+
+}  // namespace gpu_mcts::simt

@@ -1,0 +1,69 @@
+// Launch geometry: grid/block dimensions and per-lane identity, mirroring the
+// CUDA blockIdx/threadIdx model the paper's Figure 3 maps onto hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "simt/device_props.hpp"
+#include "util/check.hpp"
+
+namespace gpu_mcts::simt {
+
+/// A 1-D launch: the paper's kernels are all 1-D grids of 1-D blocks
+/// ("n = blocks(trees) x threads (simulations at once)").
+struct LaunchConfig {
+  int blocks = 1;
+  int threads_per_block = 32;
+
+  [[nodiscard]] constexpr int total_threads() const noexcept {
+    return blocks * threads_per_block;
+  }
+  [[nodiscard]] constexpr int warps_per_block(
+      const DeviceProperties& dev) const noexcept {
+    return (threads_per_block + dev.warp_size - 1) / dev.warp_size;
+  }
+  [[nodiscard]] constexpr int total_warps(
+      const DeviceProperties& dev) const noexcept {
+    return blocks * warps_per_block(dev);
+  }
+};
+
+/// Validates a config against device limits; throws ContractViolation.
+inline void validate(const LaunchConfig& cfg, const DeviceProperties& dev) {
+  util::expects(cfg.blocks >= 1 && cfg.blocks <= dev.max_blocks,
+                "block count within device limits");
+  util::expects(cfg.threads_per_block >= 1 &&
+                    cfg.threads_per_block <= dev.max_threads_per_block,
+                "threads per block within device limits");
+}
+
+/// Identity of one lane during kernel execution.
+struct LaneId {
+  int block = 0;           ///< blockIdx.x
+  int thread = 0;          ///< threadIdx.x
+  int warp_in_block = 0;   ///< threadIdx.x / warpSize
+  int lane_in_warp = 0;    ///< threadIdx.x % warpSize
+  int global_thread = 0;   ///< blockIdx.x * blockDim.x + threadIdx.x
+};
+
+[[nodiscard]] constexpr LaneId make_lane_id(const LaunchConfig& cfg,
+                                            const DeviceProperties& dev,
+                                            int block, int thread) noexcept {
+  LaneId id;
+  id.block = block;
+  id.thread = thread;
+  id.warp_in_block = thread / dev.warp_size;
+  id.lane_in_warp = thread % dev.warp_size;
+  id.global_thread = block * cfg.threads_per_block + thread;
+  return id;
+}
+
+/// Round-robin block scheduling onto SMs (how the model assigns work; real
+/// hardware uses a dynamic scheduler but round-robin preserves the load
+/// balance properties that matter for timing shape).
+[[nodiscard]] constexpr int sm_of_block(int block,
+                                        const DeviceProperties& dev) noexcept {
+  return block % dev.sm_count;
+}
+
+}  // namespace gpu_mcts::simt

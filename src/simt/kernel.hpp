@@ -1,0 +1,70 @@
+// The LaneKernel concept and the statistics a launch produces.
+//
+// A kernel is expressed per-lane as an init / step / finish triple so the
+// executor can run warps in true lockstep: within a warp every active lane
+// advances exactly one step per warp-step, and a warp retires only when its
+// slowest lane has finished. This is what makes the timing model's
+// divergence accounting (idle lanes at the tail of a warp) honest rather
+// than assumed.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+
+#include "simt/geometry.hpp"
+
+namespace gpu_mcts::simt {
+
+// clang-format off
+/// Per-lane kernel protocol:
+///  * make_lane(id)        — construct the lane's private state (registers).
+///  * lane_step(state)     — execute one SIMT step; false once the lane is done.
+///  * lane_finish(state,id)— commit the lane's result to output buffers.
+template <typename K>
+concept LaneKernel = requires(K k, typename K::LaneState& lane,
+                              const LaneId& id) {
+  typename K::LaneState;
+  requires std::is_trivially_copyable_v<typename K::LaneState>;
+  { k.make_lane(id) } -> std::same_as<typename K::LaneState>;
+  { k.lane_step(lane) } -> std::same_as<bool>;
+  { k.lane_finish(lane, id) };
+};
+// clang-format on
+
+/// Per-warp execution trace: the raw material of the timing model.
+struct WarpTrace {
+  std::int32_t block = 0;
+  std::int32_t warp_in_block = 0;
+  /// Lockstep steps this warp issued (= max over its lanes' step counts).
+  std::uint32_t steps = 0;
+  /// Sum of per-lane active steps (<= steps * lanes; the gap is divergence
+  /// waste).
+  std::uint64_t active_lane_steps = 0;
+  /// Lanes this warp actually carried (last warp of a block may be partial).
+  std::int32_t lanes = 0;
+};
+
+/// Aggregate statistics for one launch.
+struct LaunchStats {
+  std::uint64_t total_warp_steps = 0;
+  std::uint64_t total_active_lane_steps = 0;
+  std::uint64_t total_lane_slots = 0;  ///< warp_steps * warp_size summed
+  std::uint32_t max_warp_steps = 0;
+  std::int32_t warps = 0;
+
+  /// Fraction of SIMD lane-slots wasted by divergence / early lane exit.
+  [[nodiscard]] double divergence_waste() const noexcept {
+    if (total_lane_slots == 0) return 0.0;
+    return 1.0 - static_cast<double>(total_active_lane_steps) /
+                     static_cast<double>(total_lane_slots);
+  }
+};
+
+/// Result of a (synchronous) launch: how long the device took, plus stats.
+struct LaunchResult {
+  double device_cycles = 0.0;
+  LaunchStats stats;
+};
+
+}  // namespace gpu_mcts::simt

@@ -1,0 +1,109 @@
+// The Monte Carlo playout kernel — the only code the paper runs on the GPU
+// ("the trees are still controlled by the CPU threads, GPU simulates only").
+//
+// Each lane receives its block's root state, plays uniformly random moves to
+// the end of the game (one ply per SIMT step, so warp divergence reflects the
+// spread of playout lengths), and accumulates (value, count) into its block's
+// result slot. With one shared root this is leaf parallelism; with one root
+// per block it is the paper's block parallelism.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "game/game_traits.hpp"
+#include "simt/geometry.hpp"
+#include "simt/kernel.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::simt {
+
+/// Per-block simulation tally, from the first player's (black's) perspective;
+/// searchers convert to per-node perspective during backpropagation.
+struct BlockResult {
+  double value_first = 0.0;     ///< sum of playout values for player 0
+  double value_sq_first = 0.0;  ///< sum of squared values (variance input)
+  std::uint32_t simulations = 0;
+  std::uint64_t total_plies = 0;
+};
+
+template <game::Game G>
+class PlayoutKernel {
+ public:
+  struct LaneState {
+    typename G::State state{};
+    util::CounterRng rng{};
+    std::int32_t plies = 0;
+    std::uint8_t done = 0;
+    float value_first = 0.5f;
+  };
+
+  /// @param roots one state per block, or a single state shared by every
+  ///        block (leaf parallelism).
+  /// @param seed  experiment seed; lanes derive independent streams from
+  ///        (seed, global thread id, round) so repeated launches differ.
+  PlayoutKernel(std::span<const typename G::State> roots, std::uint64_t seed,
+                std::uint64_t round, std::span<BlockResult> results)
+      : roots_(roots), results_(results), seed_(seed), round_(round) {
+    util::expects(!roots.empty(), "kernel needs at least one root");
+    util::expects(!results.empty(), "kernel needs result storage");
+  }
+
+  [[nodiscard]] LaneState make_lane(const LaneId& id) const {
+    LaneState lane;
+    const std::size_t root_index =
+        roots_.size() == 1 ? 0 : static_cast<std::size_t>(id.block);
+    lane.state = roots_[root_index];
+    lane.rng = util::CounterRng(
+        seed_, (round_ << 24) ^ static_cast<std::uint64_t>(id.global_thread));
+    return lane;
+  }
+
+  [[nodiscard]] bool lane_step(LaneState& lane) const {
+    if (lane.done) return false;
+    if constexpr (requires(typename G::State& s, util::CounterRng& r) {
+                    G::playout_step(s, r);
+                  }) {
+      if (G::playout_step(lane.state, lane.rng)) {
+        lane.plies += 1;
+        return true;
+      }
+    } else {
+      std::array<typename G::Move, static_cast<std::size_t>(G::kMaxMoves)>
+          moves{};
+      const int n = G::legal_moves(lane.state, std::span(moves));
+      if (n > 0) {
+        const auto pick = lane.rng.next_below(static_cast<std::uint32_t>(n));
+        lane.state = G::apply(lane.state, moves[pick]);
+        lane.plies += 1;
+        return true;
+      }
+    }
+    lane.value_first = static_cast<float>(game::value_of(
+        G::outcome_for(lane.state, game::Player::kFirst)));
+    lane.done = 1;
+    return false;
+  }
+
+  void lane_finish(const LaneState& lane, const LaneId& id) {
+    const std::size_t slot =
+        results_.size() == 1 ? 0 : static_cast<std::size_t>(id.block);
+    BlockResult& r = results_[slot];
+    const double v = static_cast<double>(lane.value_first);
+    r.value_first += v;
+    r.value_sq_first += v * v;
+    r.simulations += 1;
+    r.total_plies += static_cast<std::uint64_t>(lane.plies);
+  }
+
+ private:
+  std::span<const typename G::State> roots_;
+  std::span<BlockResult> results_;
+  std::uint64_t seed_;
+  std::uint64_t round_;
+};
+
+}  // namespace gpu_mcts::simt

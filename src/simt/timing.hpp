@@ -1,0 +1,69 @@
+// Device timing model: converts per-warp execution traces into device cycles.
+//
+// Model (constants in cost_model.hpp):
+//   * Blocks are assigned to SMs round-robin; SMs run in parallel, so the
+//     kernel's duration is the maximum SM completion time.
+//   * An SM issues its resident warps' steps at issue_cycles_per_step when
+//     saturated. With W resident warps, instruction/memory latency is hidden
+//     by a factor min(W, latency_hide_factor), so
+//         sm_cycles = (sum of warp steps) * issue_cycles_per_step
+//                     * latency_hide_factor / min(W, latency_hide_factor).
+//   * A fixed kernel prologue cost is added once.
+//
+// This reproduces the two first-order effects the paper's Figure 5 rests on:
+// near-linear throughput growth until full occupancy, and per-warp serial
+// cost proportional to the *slowest lane* of each warp (divergence).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "simt/cost_model.hpp"
+#include "simt/device_props.hpp"
+#include "simt/geometry.hpp"
+#include "simt/kernel.hpp"
+
+namespace gpu_mcts::simt {
+
+/// Computes the kernel duration in device cycles from warp traces.
+[[nodiscard]] inline double device_cycles_for(
+    std::span<const WarpTrace> warps, const LaunchConfig& cfg,
+    const DeviceProperties& dev, const CostModel& cost) {
+  std::vector<double> sm_steps(static_cast<std::size_t>(dev.sm_count), 0.0);
+  std::vector<int> sm_warps(static_cast<std::size_t>(dev.sm_count), 0);
+  for (const WarpTrace& w : warps) {
+    const auto sm = static_cast<std::size_t>(sm_of_block(w.block, dev));
+    sm_steps[sm] += static_cast<double>(w.steps);
+    sm_warps[sm] += 1;
+  }
+  (void)cfg;
+  double worst = 0.0;
+  for (std::size_t sm = 0; sm < sm_steps.size(); ++sm) {
+    if (sm_warps[sm] == 0) continue;
+    const double occupancy_penalty =
+        cost.latency_hide_factor /
+        std::min<double>(sm_warps[sm], cost.latency_hide_factor);
+    const double cycles =
+        sm_steps[sm] * cost.issue_cycles_per_step * occupancy_penalty;
+    worst = std::max(worst, cycles);
+  }
+  return worst + cost.kernel_fixed_cycles;
+}
+
+/// Folds warp traces into aggregate launch statistics.
+[[nodiscard]] inline LaunchStats aggregate_stats(
+    std::span<const WarpTrace> warps, const DeviceProperties& dev) {
+  LaunchStats s;
+  s.warps = static_cast<std::int32_t>(warps.size());
+  for (const WarpTrace& w : warps) {
+    s.total_warp_steps += w.steps;
+    s.total_active_lane_steps += w.active_lane_steps;
+    s.total_lane_slots +=
+        static_cast<std::uint64_t>(w.steps) * static_cast<std::uint64_t>(dev.warp_size);
+    s.max_warp_steps = std::max(s.max_warp_steps, w.steps);
+  }
+  return s;
+}
+
+}  // namespace gpu_mcts::simt

@@ -1,0 +1,170 @@
+// VirtualGpu: the software SIMT device.
+//
+// Kernels run for real (every lane's computation is executed on the host),
+// warp by warp in lockstep; the device *duration* is then derived from the
+// execution traces by the timing model. Synchronous launches return a
+// LaunchResult; asynchronous launches return an Event carrying the host-clock
+// cycle at which the device will signal completion, enabling the paper's
+// hybrid CPU/GPU overlap (Figure 4: "kernel execution call ... cpu can work
+// here ... gpu ready event").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/cost_model.hpp"
+#include "simt/device_props.hpp"
+#include "simt/geometry.hpp"
+#include "simt/kernel.hpp"
+#include "simt/timing.hpp"
+#include "util/check.hpp"
+#include "util/clock.hpp"
+
+namespace gpu_mcts::simt {
+
+/// Completion handle for an asynchronous launch.
+struct Event {
+  /// Host-clock cycle at which the kernel (plus launch overhead) completes.
+  std::uint64_t completion_host_cycle = 0;
+  LaunchResult result;
+};
+
+class VirtualGpu {
+ public:
+  VirtualGpu(DeviceProperties dev, HostProperties host, CostModel cost)
+      : dev_(dev), host_(host), cost_(cost) {}
+
+  VirtualGpu() : VirtualGpu(tesla_c2050(), xeon_x5670(), default_cost_model()) {}
+
+  [[nodiscard]] const DeviceProperties& device() const noexcept { return dev_; }
+  [[nodiscard]] const HostProperties& host() const noexcept { return host_; }
+  [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
+
+  /// Executes the kernel over the grid, warp-lockstep within each warp.
+  /// The caller's VirtualClock is advanced by launch overhead + device time
+  /// (synchronous semantics: the host blocks until completion).
+  template <LaneKernel K>
+  LaunchResult launch(const LaunchConfig& cfg, K& kernel,
+                      util::VirtualClock& host_clock) {
+    LaunchResult result = execute(cfg, kernel);
+    host_clock.advance(host_cycles_for(result));
+    return result;
+  }
+
+  /// Asynchronous launch: the kernel body runs immediately (results are
+  /// deterministic and do not depend on host progress), but the host clock is
+  /// only charged the call overhead. The returned Event tells the caller when
+  /// the device is done; wait_for() advances the host clock to that point.
+  template <LaneKernel K>
+  Event launch_async(const LaunchConfig& cfg, K& kernel,
+                     util::VirtualClock& host_clock) {
+    LaunchResult result = execute(cfg, kernel);
+    // The call itself costs half the overhead (enqueue); the other half is
+    // paid at synchronization (event query + readback), matching how CUDA
+    // driver costs split across cudaLaunch / cudaEventSynchronize.
+    const auto enqueue =
+        static_cast<std::uint64_t>(cost_.launch_overhead_host_cycles / 2);
+    host_clock.advance(enqueue);
+    Event ev;
+    ev.result = result;
+    ev.completion_host_cycle =
+        host_clock.cycles() +
+        static_cast<std::uint64_t>(cost_.device_to_host_cycles(
+            result.device_cycles, dev_, host_));
+    return ev;
+  }
+
+  /// True when the event has completed at the host clock's current time —
+  /// the "checks for the GPU kernel completion" poll of the hybrid scheme.
+  [[nodiscard]] static bool query(const Event& ev,
+                                  const util::VirtualClock& host_clock) {
+    return host_clock.cycles() >= ev.completion_host_cycle;
+  }
+
+  /// Blocks (advances the host clock) until the event completes, then charges
+  /// the synchronization half of the launch overhead.
+  void wait_for(const Event& ev, util::VirtualClock& host_clock) const {
+    host_clock.advance_to(ev.completion_host_cycle);
+    host_clock.advance(
+        static_cast<std::uint64_t>(cost_.launch_overhead_host_cycles / 2));
+  }
+
+  /// Host cycles a synchronous launch costs in total.
+  [[nodiscard]] std::uint64_t host_cycles_for(
+      const LaunchResult& result) const noexcept {
+    return static_cast<std::uint64_t>(
+        cost_.launch_overhead_host_cycles +
+        cost_.device_to_host_cycles(result.device_cycles, dev_, host_));
+  }
+
+ private:
+  /// Runs every warp of the grid in lockstep and derives timing from traces.
+  template <LaneKernel K>
+  LaunchResult execute(const LaunchConfig& cfg, K& kernel) {
+    validate(cfg, dev_);
+    std::vector<WarpTrace> traces;
+    traces.reserve(static_cast<std::size_t>(cfg.total_warps(dev_)));
+
+    using LaneState = typename K::LaneState;
+    std::vector<LaneState> lanes(static_cast<std::size_t>(dev_.warp_size));
+    std::vector<LaneId> ids(static_cast<std::size_t>(dev_.warp_size));
+    std::vector<bool> active(static_cast<std::size_t>(dev_.warp_size));
+
+    for (int block = 0; block < cfg.blocks; ++block) {
+      const int warps = cfg.warps_per_block(dev_);
+      for (int warp = 0; warp < warps; ++warp) {
+        const int first_thread = warp * dev_.warp_size;
+        const int lanes_here =
+            std::min(dev_.warp_size, cfg.threads_per_block - first_thread);
+
+        for (int lane = 0; lane < lanes_here; ++lane) {
+          ids[lane] = make_lane_id(cfg, dev_, block, first_thread + lane);
+          lanes[lane] = kernel.make_lane(ids[lane]);
+          active[lane] = true;
+        }
+
+        WarpTrace trace;
+        trace.block = block;
+        trace.warp_in_block = warp;
+        trace.lanes = lanes_here;
+
+        // Lockstep: one pass over the warp = one warp-step; the warp retires
+        // when no lane remains active (divergent lanes idle, costing slots).
+        bool any_active = lanes_here > 0;
+        while (any_active) {
+          any_active = false;
+          std::uint32_t active_this_step = 0;
+          for (int lane = 0; lane < lanes_here; ++lane) {
+            if (!active[lane]) continue;
+            ++active_this_step;
+            if (!kernel.lane_step(lanes[lane])) {
+              active[lane] = false;
+            } else {
+              any_active = true;
+            }
+          }
+          trace.steps += 1;
+          trace.active_lane_steps += active_this_step;
+          // A lane's final step (the one returning false) still occupies its
+          // slot, hence counting before deactivation above.
+        }
+
+        for (int lane = 0; lane < lanes_here; ++lane) {
+          kernel.lane_finish(lanes[lane], ids[lane]);
+        }
+        traces.push_back(trace);
+      }
+    }
+
+    LaunchResult result;
+    result.device_cycles = device_cycles_for(traces, cfg, dev_, cost_);
+    result.stats = aggregate_stats(traces, dev_);
+    return result;
+  }
+
+  DeviceProperties dev_;
+  HostProperties host_;
+  CostModel cost_;
+};
+
+}  // namespace gpu_mcts::simt

@@ -1,0 +1,63 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures) without a GSL dependency and without macros.
+//
+// Violations throw ContractViolation carrying the failing expression text and
+// source location; production code paths that must not throw use the
+// *_terminate variants.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gpu_mcts::util {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(std::string_view kind, std::string_view what,
+                    const std::source_location& loc)
+      : std::logic_error(format(kind, what, loc)) {}
+
+ private:
+  static std::string format(std::string_view kind, std::string_view what,
+                            const std::source_location& loc) {
+    std::string msg;
+    msg.reserve(128);
+    msg += kind;
+    msg += " failed: ";
+    msg += what;
+    msg += " at ";
+    msg += loc.file_name();
+    msg += ':';
+    msg += std::to_string(loc.line());
+    msg += " (";
+    msg += loc.function_name();
+    msg += ')';
+    return msg;
+  }
+};
+
+/// Precondition check: call at function entry.
+inline void expects(bool condition, std::string_view what = "precondition",
+                    const std::source_location loc =
+                        std::source_location::current()) {
+  if (!condition) throw ContractViolation("Expects", what, loc);
+}
+
+/// Postcondition / invariant check.
+inline void ensures(bool condition, std::string_view what = "postcondition",
+                    const std::source_location loc =
+                        std::source_location::current()) {
+  if (!condition) throw ContractViolation("Ensures", what, loc);
+}
+
+/// Internal consistency check for "cannot happen" states.
+inline void check(bool condition, std::string_view what = "invariant",
+                  const std::source_location loc =
+                      std::source_location::current()) {
+  if (!condition) throw ContractViolation("Check", what, loc);
+}
+
+}  // namespace gpu_mcts::util

@@ -1,0 +1,95 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace gpu_mcts::util {
+
+namespace {
+
+/// Parses the value part of a flag into T via from_chars.
+template <typename T>
+T parse_number(std::string_view name, const std::string& text) {
+  T value{};
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                " has non-numeric value '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      flags_.emplace(std::string(arg.substr(0, eq)),
+                     std::string(arg.substr(eq + 1)));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_.emplace(std::string(arg), std::string(argv[++i]));
+    } else {
+      flags_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+bool CliArgs::has(std::string_view name) const {
+  return flags_.find(name) != flags_.end();
+}
+
+std::string CliArgs::get_string(std::string_view name,
+                                std::string fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t CliArgs::get_int(std::string_view name,
+                              std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback
+                            : parse_number<std::int64_t>(name, it->second);
+}
+
+std::uint64_t CliArgs::get_uint(std::string_view name,
+                                std::uint64_t fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback
+                            : parse_number<std::uint64_t>(name, it->second);
+}
+
+double CliArgs::get_double(std::string_view name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  // from_chars for double is available in libstdc++ 11+; use stod for clarity.
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                " has non-numeric value '" + it->second + "'");
+  }
+}
+
+bool CliArgs::get_bool(std::string_view name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + std::string(name) +
+                              " has non-boolean value '" + v + "'");
+}
+
+}  // namespace gpu_mcts::util

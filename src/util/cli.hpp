@@ -1,0 +1,48 @@
+// Minimal command-line flag parser for bench/example binaries.
+//
+// Supports --name=value and --name value forms plus bare --flag booleans.
+// Every bench binary documents its flags via describe()/usage().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpu_mcts::util {
+
+class CliArgs {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input
+  /// (unknown flags are tolerated and reported by unknown_flags()).
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(std::string_view name,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program_name() const noexcept {
+    return program_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gpu_mcts::util

@@ -1,0 +1,67 @@
+// Wall-clock stopwatch (host measurements) and the VirtualClock used by the
+// SIMT device model and all searchers.
+//
+// Every experiment in this reproduction is driven by *virtual* time: a cycle
+// counter advanced by the cost model, converted to seconds through a nominal
+// clock frequency. This keeps results independent of the host machine (the
+// paper measured on dedicated TSUBAME 2.0 nodes; CI boxes are noisy).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gpu_mcts::util {
+
+/// Simple wall-clock stopwatch for host-side microbenchmarks.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Monotonic virtual cycle counter. One instance represents one timeline
+/// (e.g. the host CPU thread controlling a GPU); device work advances it by
+/// modeled cycle counts.
+class VirtualClock {
+ public:
+  /// @param hz nominal frequency used to convert cycles to seconds.
+  explicit constexpr VirtualClock(double hz = 1.0e9) noexcept : hz_(hz) {}
+
+  constexpr void advance(std::uint64_t cycles) noexcept { cycles_ += cycles; }
+
+  /// Advances to at least the given absolute cycle count (used when waiting
+  /// on an asynchronous device event that completes in the future).
+  constexpr void advance_to(std::uint64_t absolute_cycles) noexcept {
+    if (absolute_cycles > cycles_) cycles_ = absolute_cycles;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t cycles() const noexcept {
+    return cycles_;
+  }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(cycles_) / hz_;
+  }
+  [[nodiscard]] constexpr double frequency_hz() const noexcept { return hz_; }
+
+  /// Converts a duration in seconds to cycles on this clock.
+  [[nodiscard]] constexpr std::uint64_t to_cycles(double secs) const noexcept {
+    return static_cast<std::uint64_t>(secs * hz_);
+  }
+
+  constexpr void reset() noexcept { cycles_ = 0; }
+
+ private:
+  double hz_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace gpu_mcts::util

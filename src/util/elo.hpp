@@ -1,0 +1,51 @@
+// Elo arithmetic for match results: converts win ratios into rating
+// differences with confidence bounds, the conventional way to compare game
+// agents (used by the tournament example and the reports in EXPERIMENTS.md).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/statistics.hpp"
+
+namespace gpu_mcts::util {
+
+/// Elo difference implied by an expected score p in (0, 1):
+/// diff = -400 log10(1/p - 1). Clamped to +-kMaxElo for p near 0/1.
+inline constexpr double kMaxElo = 1200.0;
+
+[[nodiscard]] inline double elo_from_score(double p) noexcept {
+  if (p <= 0.0) return -kMaxElo;
+  if (p >= 1.0) return kMaxElo;
+  const double elo = -400.0 * std::log10(1.0 / p - 1.0);
+  if (elo > kMaxElo) return kMaxElo;
+  if (elo < -kMaxElo) return -kMaxElo;
+  return elo;
+}
+
+/// Expected score of a player rated `diff` above the opponent.
+[[nodiscard]] inline double score_from_elo(double diff) noexcept {
+  return 1.0 / (1.0 + std::pow(10.0, -diff / 400.0));
+}
+
+struct EloEstimate {
+  double diff = 0.0;
+  double low = 0.0;   ///< 95% Wilson lower bound, in Elo
+  double high = 0.0;  ///< 95% Wilson upper bound, in Elo
+};
+
+/// Elo difference estimate from a match (draws count half a win).
+/// Uses the Wilson interval of the score, mapped through the Elo curve.
+[[nodiscard]] inline EloEstimate elo_estimate(std::size_t wins,
+                                              std::size_t draws,
+                                              std::size_t games) noexcept {
+  if (games == 0) return {};
+  // Treat draws as half-successes by doubling the resolution.
+  const Interval iv = wilson_interval(2 * wins + draws, 2 * games);
+  const double p =
+      (static_cast<double>(wins) + 0.5 * static_cast<double>(draws)) /
+      static_cast<double>(games);
+  return {elo_from_score(p), elo_from_score(iv.low), elo_from_score(iv.high)};
+}
+
+}  // namespace gpu_mcts::util

@@ -1,0 +1,136 @@
+// Deterministic, seedable random number generators.
+//
+// Three engines are provided, mirroring what the original CUDA implementation
+// would use on device and host:
+//
+//  * SplitMix64      — seed expander; also a fine general-purpose generator.
+//  * XorShift128Plus — fast host-side engine used by all CPU searchers.
+//  * CounterRng      — a counter-based (Philox-style, simplified) engine for
+//                      SIMT lanes: stream id = (block, lane), so every lane
+//                      draws an independent reproducible stream without any
+//                      shared state — exactly the property device RNGs need.
+//
+// All engines satisfy std::uniform_random_bit_generator so they compose with
+// <random>, but the hot paths (next_below) avoid distribution objects.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gpu_mcts::util {
+
+/// Sebastiano Vigna's splitmix64: the canonical seed expander.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xorshift128+: very fast, passes BigCrush except for low-bit linearity,
+/// which is irrelevant for playout move selection.
+class XorShift128Plus {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr XorShift128Plus(std::uint64_t seed) noexcept
+      : s0_(0), s1_(0) {
+    SplitMix64 sm(seed);
+    s0_ = sm();
+    s1_ = sm();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // avoid the all-zero fixed point
+  }
+
+  constexpr std::uint64_t operator()() noexcept {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses the multiply-shift trick (Lemire) — no modulo in the hot path.
+  constexpr std::uint32_t next_below(std::uint32_t bound) noexcept {
+    const std::uint64_t x = (*this)() >> 32;
+    return static_cast<std::uint32_t>((x * bound) >> 32);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+/// Counter-based generator: output = mix(key, counter++). Streams keyed by
+/// (seed, stream_id) are independent; lanes can be created en masse with no
+/// warm-up correlation, which is how device RNGs (curand Philox) behave.
+class CounterRng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Default: the (0, 0) stream; real uses always key explicitly.
+  constexpr CounterRng() noexcept : CounterRng(0, 0) {}
+
+  constexpr CounterRng(std::uint64_t seed, std::uint64_t stream_id) noexcept
+      : key_(mix(seed ^ 0x9e3779b97f4a7c15ULL) ^ mix(stream_id)), counter_(0) {}
+
+  constexpr std::uint64_t operator()() noexcept {
+    return mix(key_ + 0x2545f4914f6cdd1dULL * ++counter_);
+  }
+
+  constexpr std::uint32_t next_below(std::uint32_t bound) noexcept {
+    const std::uint64_t x = (*this)() >> 32;
+    return static_cast<std::uint32_t>((x * bound) >> 32);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t mix(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+    z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+    return z ^ (z >> 33);
+  }
+
+  std::uint64_t key_;
+  std::uint64_t counter_;
+};
+
+/// Derives a child seed for a named subsystem; keeps experiment seeding
+/// hierarchical (experiment seed -> per-game seed -> per-tree seed -> lane).
+constexpr std::uint64_t derive_seed(std::uint64_t parent,
+                                    std::uint64_t salt) noexcept {
+  SplitMix64 sm(parent ^ (salt * 0x9e3779b97f4a7c15ULL));
+  return sm();
+}
+
+}  // namespace gpu_mcts::util

@@ -1,0 +1,53 @@
+// Streaming statistics used by the experiment harness: Welford mean/variance,
+// binomial confidence intervals for win ratios, and simple series summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace gpu_mcts::util {
+
+/// Welford's online algorithm: numerically stable streaming mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator (parallel reduction of partial stats).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Wilson score interval for a binomial proportion — the right interval for
+/// win ratios at the small game counts experiments actually run.
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+};
+
+[[nodiscard]] Interval wilson_interval(std::size_t successes,
+                                       std::size_t trials,
+                                       double z = 1.96) noexcept;
+
+/// Mean of a span (0 for empty input).
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated quantile in [0,1] of a span (copies + sorts).
+[[nodiscard]] double quantile_of(std::span<const double> xs, double q);
+
+}  // namespace gpu_mcts::util

@@ -1,0 +1,49 @@
+// Plain-text table and CSV emitters used by every bench binary to print the
+// paper's figure/table series in both human-readable and machine-readable
+// form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpu_mcts::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// consistently so series across bench binaries look alike.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  Table& begin_row();
+  Table& add(std::string cell);
+  Table& add(long long v);
+  Table& add(unsigned long long v);
+  Table& add(int v);
+  Table& add(std::size_t v);
+  /// Fixed-precision double (default 3 digits).
+  Table& add(double v, int precision = 3);
+
+  /// Renders with padded columns and a header underline.
+  void print(std::ostream& os) const;
+  /// Renders as CSV (header + rows), suitable for plotting scripts.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (shared by Table and ad-hoc output).
+[[nodiscard]] std::string format_fixed(double v, int precision);
+
+/// Formats a large count with thousands separators, e.g. 1234567 -> "1,234,567".
+[[nodiscard]] std::string format_grouped(unsigned long long v);
+
+}  // namespace gpu_mcts::util

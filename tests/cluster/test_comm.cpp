@@ -1,0 +1,107 @@
+#include "cluster/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace gpu_mcts::cluster {
+namespace {
+
+TEST(Communicator, ClocksStartAtZero) {
+  Communicator comm(4);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(comm.clock(r).cycles(), 0u);
+}
+
+TEST(Communicator, SendRecvDeliversPayloadInOrder) {
+  Communicator comm(2);
+  const std::array<double, 3> a = {1.0, 2.0, 3.0};
+  const std::array<double, 2> b = {4.0, 5.0};
+  comm.send(0, 1, a);
+  comm.send(0, 1, b);
+  const auto first = comm.recv(1, 0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->payload, std::vector<double>({1.0, 2.0, 3.0}));
+  const auto second = comm.recv(1, 0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->payload, std::vector<double>({4.0, 5.0}));
+  EXPECT_FALSE(comm.recv(1, 0).has_value());
+}
+
+TEST(Communicator, RecvAdvancesReceiverToArrivalTime) {
+  Communicator comm(2);
+  const std::array<double, 1> payload = {42.0};
+  comm.send(0, 1, payload);
+  ASSERT_TRUE(comm.recv(1, 0).has_value());
+  // Receiver waited at least the one-hop latency.
+  EXPECT_GE(comm.clock(1).cycles(),
+            static_cast<std::uint64_t>(comm.costs().latency_cycles));
+}
+
+TEST(Communicator, SendChargesSenderBandwidth) {
+  Communicator comm(2);
+  const std::vector<double> big(1000, 1.0);
+  comm.send(0, 1, big);
+  EXPECT_GE(comm.clock(0).cycles(),
+            static_cast<std::uint64_t>(1000 * comm.costs().per_word_cycles));
+  EXPECT_EQ(comm.clock(1).cycles(), 0u);  // receiver not yet involved
+}
+
+TEST(Communicator, BarrierAlignsAllRanks) {
+  Communicator comm(3);
+  comm.clock(1).advance(1000000);
+  comm.barrier();
+  const std::uint64_t t0 = comm.clock(0).cycles();
+  EXPECT_EQ(t0, comm.clock(1).cycles());
+  EXPECT_EQ(t0, comm.clock(2).cycles());
+  EXPECT_GT(t0, 1000000u);
+}
+
+TEST(Communicator, AllreduceSumsElementwise) {
+  Communicator comm(3);
+  const std::vector<std::vector<double>> in = {
+      {1.0, 2.0}, {10.0, 20.0}, {100.0, 200.0}};
+  const auto sum = comm.allreduce_sum(in);
+  EXPECT_EQ(sum, std::vector<double>({111.0, 222.0}));
+}
+
+TEST(Communicator, AllreduceAdvancesEveryClockEqually) {
+  Communicator comm(4);
+  comm.clock(2).advance(5000000);
+  const std::vector<std::vector<double>> in(4, std::vector<double>(8, 1.0));
+  (void)comm.allreduce_sum(in);
+  const std::uint64_t t = comm.clock(0).cycles();
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(comm.clock(r).cycles(), t);
+  EXPECT_GE(t, 5000000u + static_cast<std::uint64_t>(
+                              comm.allreduce_cost_cycles(8)));
+}
+
+TEST(Communicator, AllreduceCostGrowsLogarithmically) {
+  const Communicator c2(2);
+  const Communicator c4(4);
+  const Communicator c16(16);
+  const double base = c2.allreduce_cost_cycles(100);
+  EXPECT_DOUBLE_EQ(c4.allreduce_cost_cycles(100), 2.0 * base);
+  EXPECT_DOUBLE_EQ(c16.allreduce_cost_cycles(100), 4.0 * base);
+  EXPECT_EQ(Communicator(1).allreduce_cost_cycles(100), 0.0);
+}
+
+TEST(Communicator, AllreduceValidatesShapes) {
+  Communicator comm(2);
+  const std::vector<std::vector<double>> wrong_ranks = {{1.0}};
+  EXPECT_THROW((void)comm.allreduce_sum(wrong_ranks),
+               util::ContractViolation);
+  const std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {1.0}};
+  EXPECT_THROW((void)comm.allreduce_sum(ragged), util::ContractViolation);
+}
+
+TEST(Communicator, RankBoundsAreChecked) {
+  Communicator comm(2);
+  const std::array<double, 1> p = {1.0};
+  EXPECT_THROW(comm.send(0, 2, p), util::ContractViolation);
+  EXPECT_THROW(comm.send(-1, 0, p), util::ContractViolation);
+  EXPECT_THROW((void)comm.clock(5), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::cluster

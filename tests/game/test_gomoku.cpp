@@ -1,0 +1,118 @@
+#include "game/gomoku.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "mcts/playout.hpp"
+#include "mcts/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::game {
+namespace {
+
+using GK = Gomoku;
+
+GK::Move at(int row, int col) {
+  return static_cast<GK::Move>(row * GK::kSize + col);
+}
+
+TEST(Gomoku, InitialStateHas225Moves) {
+  const GK::State s = GK::initial_state();
+  std::array<GK::Move, GK::kMaxMoves> moves{};
+  EXPECT_EQ(GK::legal_moves(s, std::span(moves)), 225);
+  EXPECT_FALSE(GK::is_terminal(s));
+}
+
+TEST(Gomoku, HorizontalFiveWins) {
+  GK::State s = GK::initial_state();
+  for (int i = 0; i < 4; ++i) {
+    s = GK::apply(s, at(7, 3 + i));   // black row 7
+    s = GK::apply(s, at(9, 3 + i));   // white row 9
+  }
+  EXPECT_FALSE(GK::is_terminal(s));
+  s = GK::apply(s, at(7, 7));
+  EXPECT_TRUE(GK::is_terminal(s));
+  EXPECT_EQ(GK::outcome_for(s, Player::kFirst), Outcome::kWin);
+  EXPECT_EQ(GK::outcome_for(s, Player::kSecond), Outcome::kLoss);
+}
+
+TEST(Gomoku, VerticalAndDiagonalDetection) {
+  std::array<std::uint64_t, 4> stones{};
+  for (int i = 0; i < 5; ++i) GK::set_cell(stones, at(2 + i, 4));
+  EXPECT_TRUE(GK::wins_through(stones, at(4, 4)));
+
+  std::array<std::uint64_t, 4> diag{};
+  for (int i = 0; i < 5; ++i) GK::set_cell(diag, at(3 + i, 3 + i));
+  EXPECT_TRUE(GK::wins_through(diag, at(5, 5)));
+
+  std::array<std::uint64_t, 4> anti{};
+  for (int i = 0; i < 5; ++i) GK::set_cell(anti, at(3 + i, 10 - i));
+  EXPECT_TRUE(GK::wins_through(anti, at(5, 8)));
+}
+
+TEST(Gomoku, NoWrapAcrossRowEdges) {
+  // Four stones at the end of row 3 and one at the start of row 4 must not
+  // count as five "in a row".
+  std::array<std::uint64_t, 4> stones{};
+  for (int col = 11; col < 15; ++col) GK::set_cell(stones, at(3, col));
+  GK::set_cell(stones, at(4, 0));
+  EXPECT_FALSE(GK::wins_through(stones, at(3, 14)));
+  EXPECT_FALSE(GK::wins_through(stones, at(4, 0)));
+}
+
+TEST(Gomoku, OverlineCounts) {
+  // Freestyle rule: six in a row also wins.
+  std::array<std::uint64_t, 4> stones{};
+  for (int col = 2; col < 8; ++col) GK::set_cell(stones, at(0, col));
+  EXPECT_TRUE(GK::wins_through(stones, at(0, 5)));
+}
+
+TEST(Gomoku, MovesShrinkAndNoWinnerMeansOpen) {
+  GK::State s = GK::initial_state();
+  s = GK::apply(s, at(7, 7));
+  s = GK::apply(s, at(7, 8));
+  std::array<GK::Move, GK::kMaxMoves> moves{};
+  EXPECT_EQ(GK::legal_moves(s, std::span(moves)), 223);
+  EXPECT_FALSE(GK::is_terminal(s));
+}
+
+TEST(Gomoku, RandomPlayoutsTerminate) {
+  util::XorShift128Plus rng(5);
+  for (int g = 0; g < 10; ++g) {
+    const auto r = mcts::random_playout<GK>(GK::initial_state(), rng);
+    EXPECT_GE(r.plies, 9u);  // five stones each minimum minus one
+    EXPECT_LE(r.plies, static_cast<std::uint32_t>(GK::kMaxGameLength));
+    EXPECT_TRUE(r.value_first == 0.0 || r.value_first == 0.5 ||
+                r.value_first == 1.0);
+  }
+}
+
+TEST(Gomoku, McTsCompletesItsOwnFive) {
+  // Black has four in a row with one open end; playing it wins immediately.
+  // The winning child is terminal, so every visit returns an exact 1.0 and
+  // UCB locks onto it after one sweep of the (217-wide!) root.
+  GK::State s = GK::initial_state();
+  s = GK::apply(s, at(7, 3));   // black
+  s = GK::apply(s, at(0, 0));   // white filler
+  s = GK::apply(s, at(7, 4));
+  s = GK::apply(s, at(0, 1));
+  s = GK::apply(s, at(7, 5));
+  s = GK::apply(s, at(0, 2));
+  s = GK::apply(s, at(7, 6));   // black: four from 7,3..7,6
+  s = GK::apply(s, at(0, 3));   // white filler elsewhere
+  ASSERT_EQ(GK::player_to_move(s), Player::kFirst);
+  mcts::SearchConfig config;
+  config.seed = 1234;
+  // With 217 root children, sqrt(2) exploration needs ~40 visits per child
+  // before exploiting; a smaller constant concentrates within the budget.
+  config.ucb_c = 0.5;
+  mcts::SequentialSearcher<GK> searcher(config);
+  const GK::Move choice = searcher.choose_move(s, 0.5);
+  EXPECT_TRUE(choice == at(7, 7) || choice == at(7, 2))
+      << "got " << static_cast<int>(choice);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::game

@@ -1,0 +1,109 @@
+#include "harness/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/player.hpp"
+
+namespace gpu_mcts::harness {
+namespace {
+
+TEST(Arena, PlaysACompleteGame) {
+  auto a = make_player(sequential_player(1));
+  auto b = make_player(sequential_player(2));
+  ArenaOptions options;
+  options.subject_budget_seconds = 0.002;
+  options.opponent_budget_seconds = 0.002;
+  const GameRecord record = play_game(*a, *b, options);
+  EXPECT_GE(record.steps.size(), 9u);
+  EXPECT_LE(record.steps.size(),
+            static_cast<std::size_t>(reversi::ReversiGame::kMaxGameLength));
+  // Steps number consecutively and alternate consistency checks.
+  for (std::size_t i = 0; i < record.steps.size(); ++i) {
+    EXPECT_EQ(record.steps[i].step, static_cast<int>(i) + 1);
+  }
+  // Final point difference matches the last step's trace entry.
+  EXPECT_EQ(record.final_point_difference,
+            record.steps.back().point_difference);
+  EXPECT_GT(record.subject_stats.simulations, 0u);
+}
+
+TEST(Arena, SubjectColorIsRespected) {
+  auto a = make_player(sequential_player(1));
+  auto b = make_player(sequential_player(2));
+  ArenaOptions options;
+  options.subject_budget_seconds = 0.002;
+  options.opponent_budget_seconds = 0.002;
+  options.subject_color = 1;
+  const GameRecord record = play_game(*a, *b, options);
+  EXPECT_EQ(record.subject_color, 1);
+  // First mover in Reversi is black (=0), i.e. the opponent here.
+  EXPECT_EQ(record.steps.front().mover, 0);
+  EXPECT_EQ(record.steps.front().subject_simulations, 0u);
+}
+
+TEST(Arena, GamesAreReproducibleBySeed) {
+  auto a1 = make_player(sequential_player(1));
+  auto b1 = make_player(sequential_player(2));
+  auto a2 = make_player(sequential_player(1));
+  auto b2 = make_player(sequential_player(2));
+  ArenaOptions options;
+  options.subject_budget_seconds = 0.002;
+  options.opponent_budget_seconds = 0.002;
+  options.seed = 42;
+  const GameRecord r1 = play_game(*a1, *b1, options);
+  const GameRecord r2 = play_game(*a2, *b2, options);
+  ASSERT_EQ(r1.steps.size(), r2.steps.size());
+  for (std::size_t i = 0; i < r1.steps.size(); ++i) {
+    EXPECT_EQ(r1.steps[i].move, r2.steps[i].move);
+  }
+  EXPECT_EQ(r1.final_point_difference, r2.final_point_difference);
+}
+
+TEST(Arena, DifferentSeedsGiveDifferentGames) {
+  auto a = make_player(sequential_player(1));
+  auto b = make_player(sequential_player(2));
+  ArenaOptions o1;
+  o1.subject_budget_seconds = 0.002;
+  o1.opponent_budget_seconds = 0.002;
+  o1.seed = 1;
+  ArenaOptions o2 = o1;
+  o2.seed = 2;
+  const GameRecord r1 = play_game(*a, *b, o1);
+  const GameRecord r2 = play_game(*a, *b, o2);
+  bool identical = r1.steps.size() == r2.steps.size();
+  if (identical) {
+    for (std::size_t i = 0; i < r1.steps.size(); ++i) {
+      identical = identical && r1.steps[i].move == r2.steps[i].move;
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(Arena, MatchAggregatesConsistently) {
+  auto a = make_player(sequential_player(1));
+  auto b = make_player(sequential_player(2));
+  ArenaOptions options;
+  options.subject_budget_seconds = 0.002;
+  options.opponent_budget_seconds = 0.002;
+  const MatchResult match = play_match(*a, *b, 4, options);
+  EXPECT_EQ(match.games, 4u);
+  EXPECT_GE(match.win_ratio, 0.0);
+  EXPECT_LE(match.win_ratio, 1.0);
+  EXPECT_EQ(match.mean_point_difference_by_step.size(),
+            static_cast<std::size_t>(reversi::ReversiGame::kMaxGameLength));
+  EXPECT_EQ(match.mean_subject_depth_by_step.size(),
+            match.mean_point_difference_by_step.size());
+  // Tail of the padded difference trace equals the mean final difference.
+  EXPECT_NEAR(match.mean_point_difference_by_step.back(),
+              match.mean_final_point_difference, 1e-9);
+  EXPECT_GT(match.subject_sims_per_second, 0.0);
+}
+
+TEST(Arena, MatchRequiresGames) {
+  auto a = make_player(sequential_player(1));
+  auto b = make_player(sequential_player(2));
+  EXPECT_THROW((void)play_match(*a, *b, 0, {}), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::harness

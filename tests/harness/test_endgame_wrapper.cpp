@@ -1,0 +1,75 @@
+#include "harness/endgame_wrapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "harness/arena.hpp"
+#include "harness/player.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::harness {
+namespace {
+
+using reversi::ReversiGame;
+
+reversi::Position position_with_empties(std::uint64_t seed, int empties) {
+  util::XorShift128Plus rng(seed);
+  for (;;) {
+    reversi::Position p = reversi::initial_position();
+    std::array<reversi::Move, 34> moves{};
+    while (!reversi::is_terminal(p) && reversi::popcount(p.empty()) > empties) {
+      const int n = reversi::legal_moves(p, std::span(moves));
+      p = reversi::apply_move(
+          p, moves[rng.next_below(static_cast<std::uint32_t>(n))]);
+    }
+    if (!reversi::is_terminal(p) && reversi::popcount(p.empty()) == empties)
+      return p;
+    rng = util::XorShift128Plus(rng());
+  }
+}
+
+TEST(EndgameWrapper, DelegatesMidgame) {
+  EndgameAwareSearcher searcher(make_player(sequential_player(1)), 10);
+  (void)searcher.choose_move(reversi::initial_position(), 0.004);
+  EXPECT_FALSE(searcher.solved_last());
+  EXPECT_NE(searcher.name().find("exact endgame"), std::string::npos);
+}
+
+TEST(EndgameWrapper, SolvesTheEndgameExactly) {
+  EndgameAwareSearcher searcher(make_player(sequential_player(1)), 10);
+  const auto pos = position_with_empties(5, 8);
+  const auto move = searcher.choose_move(pos, 0.004);
+  EXPECT_TRUE(searcher.solved_last());
+  // Move must be optimal: playing it preserves the exact score.
+  const auto direct = reversi::solve_endgame(pos, 10);
+  EXPECT_EQ(move, direct.best_move);
+  EXPECT_EQ(searcher.last_exact_score(), direct.score);
+  EXPECT_GT(searcher.last_stats().simulations, 0u);  // solver nodes
+}
+
+TEST(EndgameWrapper, BeatsPlainSearcherGivenEqualMidgame) {
+  // Same inner scheme and seeds; the wrapped player plays perfect endgames.
+  // Across a small match it must score at least as well.
+  auto wrapped = std::make_unique<EndgameAwareSearcher>(
+      make_player(sequential_player(3)), 12);
+  auto plain = make_player(sequential_player(3));
+  ArenaOptions options;
+  options.subject_budget_seconds = 0.01;
+  options.opponent_budget_seconds = 0.01;
+  options.seed = 7;
+  const MatchResult match = play_match(*wrapped, *plain, 6, options);
+  EXPECT_GE(match.win_ratio, 0.5);
+}
+
+TEST(EndgameWrapper, RequiresInnerSearcher) {
+  EXPECT_THROW(EndgameAwareSearcher(nullptr, 10), util::ContractViolation);
+}
+
+TEST(EndgameWrapper, ThresholdValidated) {
+  EXPECT_THROW(EndgameAwareSearcher(make_player(sequential_player(1)), 40),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::harness

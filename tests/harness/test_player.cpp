@@ -1,0 +1,65 @@
+#include "harness/player.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "reversi/reversi_game.hpp"
+
+namespace gpu_mcts::harness {
+namespace {
+
+using reversi::ReversiGame;
+
+bool is_legal_opening_move(reversi::Move move) {
+  const auto state = ReversiGame::initial_state();
+  std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
+  const int n = ReversiGame::legal_moves(state, std::span(moves));
+  for (int i = 0; i < n; ++i) {
+    if (moves[i] == move) return true;
+  }
+  return false;
+}
+
+TEST(PlayerFactory, BuildsEveryScheme) {
+  const std::array<PlayerConfig, 6> configs = {
+      sequential_player(1),
+      root_parallel_player(4, 2),
+      leaf_gpu_player(128, 64, 3),
+      block_gpu_player(256, 32, 4),
+      hybrid_player(8, 32, true, 5),
+      distributed_player(2, 8, 32, 6),
+  };
+  for (const auto& config : configs) {
+    auto player = make_player(config);
+    ASSERT_NE(player, nullptr) << to_string(config.scheme);
+    const auto move =
+        player->choose_move(ReversiGame::initial_state(), 0.005);
+    EXPECT_TRUE(is_legal_opening_move(move)) << player->name();
+    EXPECT_FALSE(player->name().empty());
+  }
+}
+
+TEST(PlayerFactory, GridSplitsThreadCounts) {
+  // 14336 threads at block size 128 -> the paper's 112-block flagship.
+  const PlayerConfig c = block_gpu_player(14336, 128, 1);
+  EXPECT_EQ(c.blocks, 112);
+  EXPECT_EQ(c.threads_per_block, 128);
+  // Sub-block counts collapse to one partial block.
+  const PlayerConfig s = leaf_gpu_player(16, 64, 1);
+  EXPECT_EQ(s.blocks, 1);
+  EXPECT_EQ(s.threads_per_block, 16);
+}
+
+TEST(PlayerFactory, IndivisibleThreadCountRejected) {
+  EXPECT_THROW((void)leaf_gpu_player(100, 64, 1), util::ContractViolation);
+}
+
+TEST(PlayerFactory, SchemeNamesAreDistinct) {
+  EXPECT_EQ(to_string(Scheme::kSequential), "sequential");
+  EXPECT_EQ(to_string(Scheme::kBlockGpu), "block-gpu");
+  EXPECT_EQ(to_string(Scheme::kDistributed), "distributed");
+}
+
+}  // namespace
+}  // namespace gpu_mcts::harness

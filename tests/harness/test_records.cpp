@@ -1,0 +1,87 @@
+#include "harness/records.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/player.hpp"
+#include "reversi/notation.hpp"
+
+namespace gpu_mcts::harness {
+namespace {
+
+GameRecord quick_game(std::uint64_t seed) {
+  auto a = make_player(sequential_player(seed));
+  auto b = make_player(sequential_player(seed + 1));
+  ArenaOptions options;
+  options.subject_budget_seconds = 0.002;
+  options.opponent_budget_seconds = 0.002;
+  options.seed = seed;
+  return play_game(*a, *b, options);
+}
+
+TEST(Records, RoundTripsThroughText) {
+  const GameRecord record = quick_game(11);
+  const Transcript original = make_transcript(record, "alpha", "beta");
+  const std::string text = to_text(original);
+  const auto parsed = from_text(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->black_name, "alpha");
+  EXPECT_EQ(parsed->white_name, "beta");
+  EXPECT_EQ(parsed->moves, original.moves);
+  EXPECT_EQ(parsed->final_score_black, original.final_score_black);
+}
+
+TEST(Records, ReplayMatchesRecordedTrace) {
+  const GameRecord record = quick_game(22);
+  const Transcript t = make_transcript(record, "a", "b");
+  const auto final_pos = replay(t.moves);
+  ASSERT_TRUE(final_pos.has_value());
+  EXPECT_TRUE(reversi::is_terminal(*final_pos));
+  EXPECT_EQ(reversi::disc_difference(*final_pos, game::Player::kFirst),
+            record.subject_color == 0 ? record.final_point_difference
+                                      : -record.final_point_difference);
+}
+
+TEST(Records, RejectsIllegalMoveSequences) {
+  EXPECT_FALSE(replay({0}).has_value());  // a1 is not a legal opening
+  const std::string text =
+      "# gpu-mcts reversi game v1\n"
+      "black: x\nwhite: y\nresult: B+64\nmoves: a1\n";
+  EXPECT_FALSE(from_text(text).has_value());
+}
+
+TEST(Records, RejectsWrongResult) {
+  const GameRecord record = quick_game(33);
+  Transcript t = make_transcript(record, "a", "b");
+  t.final_score_black += 2;  // lie about the score
+  EXPECT_FALSE(from_text(to_text(t)).has_value());
+}
+
+TEST(Records, RejectsTruncatedGames) {
+  const GameRecord record = quick_game(44);
+  Transcript t = make_transcript(record, "a", "b");
+  t.moves.pop_back();  // non-terminal
+  // Score check aside, the replayed position is not terminal.
+  const std::string text = to_text(t);
+  EXPECT_FALSE(from_text(text).has_value());
+}
+
+TEST(Records, RejectsGarbageHeaderAndFields) {
+  EXPECT_FALSE(from_text("not a record").has_value());
+  EXPECT_FALSE(from_text("# gpu-mcts reversi game v1\nblack x\n").has_value());
+  const std::string bad_result =
+      "# gpu-mcts reversi game v1\n"
+      "black: x\nwhite: y\nresult: Q+3\nmoves: f5\n";
+  EXPECT_FALSE(from_text(bad_result).has_value());
+}
+
+TEST(Records, PassesSerializeAsDoubleDash) {
+  Transcript t;
+  t.black_name = "a";
+  t.white_name = "b";
+  t.moves = {reversi::kPassMove};
+  t.final_score_black = 0;
+  EXPECT_NE(to_text(t).find("moves: --"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::harness

@@ -1,0 +1,60 @@
+// Bit-for-bit reproducibility of whole experiments: the property that lets
+// EXPERIMENTS.md quote exact numbers.
+#include <gtest/gtest.h>
+
+#include "harness/arena.hpp"
+#include "harness/player.hpp"
+
+namespace gpu_mcts::harness {
+namespace {
+
+TEST(Reproducibility, IdenticalMatchesForIdenticalSeeds) {
+  ArenaOptions options;
+  options.subject_budget_seconds = 0.004;
+  options.opponent_budget_seconds = 0.004;
+  options.seed = 777;
+
+  auto run = [&options] {
+    auto subject = make_player(block_gpu_player(256, 32, 9));
+    auto opponent = make_player(sequential_player(10));
+    return play_match(*subject, *opponent, 2, options);
+  };
+  const MatchResult a = run();
+  const MatchResult b = run();
+  EXPECT_EQ(a.subject_wins, b.subject_wins);
+  EXPECT_EQ(a.draws, b.draws);
+  EXPECT_EQ(a.mean_final_point_difference, b.mean_final_point_difference);
+  EXPECT_EQ(a.mean_point_difference_by_step, b.mean_point_difference_by_step);
+  EXPECT_EQ(a.subject_sims_per_second, b.subject_sims_per_second);
+}
+
+TEST(Reproducibility, VirtualTimeIsHostIndependent) {
+  // The virtual-seconds a search reports is a pure function of the model,
+  // never of wall-clock: two runs must agree exactly.
+  auto s1 = make_player(leaf_gpu_player(512, 64, 3));
+  auto s2 = make_player(leaf_gpu_player(512, 64, 3));
+  s1->reseed(5);
+  s2->reseed(5);
+  (void)s1->choose_move(reversi::ReversiGame::initial_state(), 0.01);
+  (void)s2->choose_move(reversi::ReversiGame::initial_state(), 0.01);
+  EXPECT_EQ(s1->last_stats().virtual_seconds,
+            s2->last_stats().virtual_seconds);
+  EXPECT_EQ(s1->last_stats().simulations, s2->last_stats().simulations);
+}
+
+TEST(Reproducibility, DistributedSearchIsDeterministic) {
+  auto run = [] {
+    auto searcher = make_player(distributed_player(3, 8, 32, 21));
+    searcher->reseed(4);
+    const auto move =
+        searcher->choose_move(reversi::ReversiGame::initial_state(), 0.01);
+    return std::pair(move, searcher->last_stats().simulations);
+  };
+  const auto [ma, sa] = run();
+  const auto [mb, sb] = run();
+  EXPECT_EQ(ma, mb);
+  EXPECT_EQ(sa, sb);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::harness

@@ -1,0 +1,69 @@
+// End-to-end strength relations the paper's results rest on. These play real
+// games, so budgets are small; the relations tested are coarse enough to be
+// stable at these sample sizes (seeds fixed).
+#include <gtest/gtest.h>
+
+#include "harness/arena.hpp"
+#include "harness/player.hpp"
+
+namespace gpu_mcts::harness {
+namespace {
+
+MatchResult quick_match(const PlayerConfig& subject_cfg,
+                        const PlayerConfig& opponent_cfg, std::size_t games,
+                        double subject_budget, double opponent_budget,
+                        std::uint64_t seed) {
+  auto subject = make_player(subject_cfg);
+  auto opponent = make_player(opponent_cfg);
+  ArenaOptions options;
+  options.subject_budget_seconds = subject_budget;
+  options.opponent_budget_seconds = opponent_budget;
+  options.seed = seed;
+  return play_match(*subject, *opponent, games, options);
+}
+
+TEST(Strength, BiggerBudgetBeatsSmallerBudget) {
+  // 10x the thinking time must dominate across a small match.
+  const MatchResult match =
+      quick_match(sequential_player(1), sequential_player(2),
+                  6, 0.02, 0.002, 100);
+  EXPECT_GE(match.win_ratio, 0.75);
+}
+
+TEST(Strength, RootParallelBeatsSingleThread) {
+  // The root-parallelism premise: n trees > 1 tree at the same per-thread
+  // rate (paper §III / prior work [3][4]).
+  const MatchResult match =
+      quick_match(root_parallel_player(16, 1), sequential_player(2),
+                  6, 0.02, 0.02, 200);
+  EXPECT_GE(match.win_ratio, 0.6);
+}
+
+TEST(Strength, BlockGpuBeatsSequentialCpu) {
+  // The paper's headline: one GPU outperforms one CPU core at equal search
+  // time (Figures 6-7). Budget matters: block-parallel trees need enough
+  // kernel rounds (~100 here) before their root vote concentrates
+  // (DESIGN.md §5.7), so this is the slowest test in the suite.
+  const MatchResult match =
+      quick_match(block_gpu_player(1024, 128, 1), sequential_player(2),
+                  2, 0.4, 0.4, 300);
+  EXPECT_GE(match.win_ratio, 0.5);
+  EXPECT_GT(match.mean_final_point_difference, -5.0);
+}
+
+TEST(Strength, GamesProduceFullTraces) {
+  const MatchResult match =
+      quick_match(block_gpu_player(1024, 32, 1), sequential_player(2),
+                  2, 0.005, 0.005, 400);
+  // Early steps hover near zero difference; the trace must be populated.
+  EXPECT_EQ(match.mean_point_difference_by_step.size(),
+            static_cast<std::size_t>(reversi::ReversiGame::kMaxGameLength));
+  bool any_nonzero = false;
+  for (const double d : match.mean_point_difference_by_step) {
+    any_nonzero = any_nonzero || d != 0.0;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::harness

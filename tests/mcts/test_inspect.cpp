@@ -1,0 +1,98 @@
+#include "mcts/inspect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+
+#include "game/tictactoe.hpp"
+#include "mcts/playout.hpp"
+#include "reversi/notation.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::mcts {
+namespace {
+
+using game::TicTacToe;
+using reversi::ReversiGame;
+
+template <game::Game G>
+Tree<G> searched_tree(const typename G::State& root, int iterations,
+                      std::uint64_t seed) {
+  Tree<G> tree(root, {}, seed);
+  util::XorShift128Plus rng(seed ^ 0xabcd);
+  for (int i = 0; i < iterations; ++i) {
+    const auto sel = tree.select();
+    const double v =
+        sel.terminal
+            ? game::value_of(G::outcome_for(sel.state, game::Player::kFirst))
+            : random_playout<G>(sel.state, rng).value_first;
+    tree.backpropagate(sel.node, v, 1);
+  }
+  return tree;
+}
+
+TEST(Inspect, PvStartsWithBestMove) {
+  const auto tree =
+      searched_tree<ReversiGame>(ReversiGame::initial_state(), 500, 3);
+  const auto pv = principal_variation(tree);
+  ASSERT_FALSE(pv.empty());
+  EXPECT_EQ(pv.front(), tree.best_move());
+}
+
+TEST(Inspect, PvIsAPlayableLine) {
+  const auto tree =
+      searched_tree<ReversiGame>(ReversiGame::initial_state(), 500, 7);
+  const auto pv = principal_variation(tree);
+  auto state = ReversiGame::initial_state();
+  std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
+  for (const auto move : pv) {
+    const int n = ReversiGame::legal_moves(state, std::span(moves));
+    bool legal = false;
+    for (int i = 0; i < n; ++i) legal = legal || moves[i] == move;
+    ASSERT_TRUE(legal) << "pv move " << reversi::move_to_string(move);
+    state = ReversiGame::apply(state, move);
+  }
+}
+
+TEST(Inspect, PvLengthBoundedByDepth) {
+  const auto tree =
+      searched_tree<TicTacToe>(TicTacToe::initial_state(), 300, 5);
+  const auto pv = principal_variation(tree);
+  EXPECT_LE(pv.size(), tree.max_depth());
+  EXPECT_GE(pv.size(), 1u);
+}
+
+TEST(Inspect, EmptyTreeHasEmptyPv) {
+  const Tree<TicTacToe> tree(TicTacToe::initial_state(), {}, 1);
+  EXPECT_TRUE(principal_variation(tree).empty());
+}
+
+TEST(Inspect, DepthHistogramAccountsForAllNodes) {
+  const auto tree =
+      searched_tree<ReversiGame>(ReversiGame::initial_state(), 400, 9);
+  const auto histogram = depth_histogram(tree);
+  const std::size_t total =
+      std::accumulate(histogram.begin(), histogram.end(), std::size_t{0});
+  EXPECT_EQ(total, tree.node_count());
+  EXPECT_EQ(histogram[0], 1u);  // exactly one root
+  // Histogram depth matches the tree's deepest *expanded* node: max_depth
+  // counts selection steps, which can exceed the node depth by at most... it
+  // cannot: every selected node exists. Histogram size - 1 <= max_depth.
+  EXPECT_LE(histogram.size() - 1, tree.max_depth() + 1);
+}
+
+TEST(Inspect, RootSummaryListsEveryChild) {
+  const auto tree =
+      searched_tree<ReversiGame>(ReversiGame::initial_state(), 100, 11);
+  const std::string summary = root_summary(
+      tree, [](reversi::Move m) { return reversi::move_to_string(m); });
+  for (const auto& stat : tree.root_child_stats()) {
+    EXPECT_NE(summary.find(reversi::move_to_string(stat.move)),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gpu_mcts::mcts

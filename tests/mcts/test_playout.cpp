@@ -1,0 +1,78 @@
+#include "mcts/playout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/tictactoe.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace gpu_mcts::mcts {
+namespace {
+
+using game::TicTacToe;
+using reversi::ReversiGame;
+
+TEST(Playout, TerminalStateReturnsExactValue) {
+  TicTacToe::State s{};
+  s.marks[0] = 0x7;  // top row win for X
+  s.marks[1] = 0x18;
+  util::XorShift128Plus rng(1);
+  const PlayoutResult r = random_playout<TicTacToe>(s, rng);
+  EXPECT_EQ(r.plies, 0u);
+  EXPECT_DOUBLE_EQ(r.value_first, 1.0);
+}
+
+TEST(Playout, ValuesAreLegalOutcomes) {
+  util::XorShift128Plus rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const PlayoutResult r =
+        random_playout<ReversiGame>(ReversiGame::initial_state(), rng);
+    EXPECT_TRUE(r.value_first == 0.0 || r.value_first == 0.5 ||
+                r.value_first == 1.0);
+    EXPECT_GE(r.plies, 9u);
+    EXPECT_LE(r.plies, static_cast<std::uint32_t>(ReversiGame::kMaxGameLength));
+  }
+}
+
+TEST(Playout, ReversiLengthsClusterAroundSixty) {
+  util::XorShift128Plus rng(3);
+  util::RunningStats lengths;
+  for (int i = 0; i < 500; ++i) {
+    lengths.add(random_playout<ReversiGame>(ReversiGame::initial_state(), rng)
+                    .plies);
+  }
+  // Random Reversi games essentially always fill the board: ~60 placements
+  // plus occasional passes.
+  EXPECT_GT(lengths.mean(), 55.0);
+  EXPECT_LT(lengths.mean(), 66.0);
+}
+
+TEST(Playout, FirstPlayerValueIsUnbiasedEstimator) {
+  // From a symmetric Tic-Tac-Toe start, X (who moves first) wins more often
+  // than O under uniform random play: P(X win) ~ 0.585, P(draw) ~ 0.127.
+  util::XorShift128Plus rng(4);
+  util::RunningStats values;
+  for (int i = 0; i < 4000; ++i) {
+    values.add(random_playout<TicTacToe>(TicTacToe::initial_state(), rng)
+                   .value_first);
+  }
+  // Expected value = 0.585 + 0.127/2 ~ 0.648; allow generous noise margin.
+  EXPECT_NEAR(values.mean(), 0.648, 0.03);
+}
+
+TEST(Playout, DeterministicGivenRngState) {
+  util::XorShift128Plus a(5);
+  util::XorShift128Plus b(5);
+  for (int i = 0; i < 20; ++i) {
+    const PlayoutResult ra =
+        random_playout<ReversiGame>(ReversiGame::initial_state(), a);
+    const PlayoutResult rb =
+        random_playout<ReversiGame>(ReversiGame::initial_state(), b);
+    EXPECT_EQ(ra.plies, rb.plies);
+    EXPECT_EQ(ra.value_first, rb.value_first);
+  }
+}
+
+}  // namespace
+}  // namespace gpu_mcts::mcts

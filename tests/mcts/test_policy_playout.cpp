@@ -1,0 +1,125 @@
+#include "mcts/policy_playout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "game/tictactoe.hpp"
+#include "mcts/policy_searcher.hpp"
+#include "reversi/notation.hpp"
+#include "reversi/playout_policy.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace gpu_mcts::mcts {
+namespace {
+
+using game::TicTacToe;
+using reversi::ReversiGame;
+
+TEST(PolicyPlayout, UniformMatchesPlainPlayoutDistribution) {
+  util::XorShift128Plus rng_a(7);
+  util::XorShift128Plus rng_b(7);
+  util::RunningStats a;
+  util::RunningStats b;
+  for (int i = 0; i < 1500; ++i) {
+    a.add(policy_playout<ReversiGame>(ReversiGame::initial_state(), rng_a,
+                                      UniformPolicy{})
+              .value_first);
+    b.add(random_playout<ReversiGame>(ReversiGame::initial_state(), rng_b)
+              .value_first);
+  }
+  EXPECT_NEAR(a.mean(), b.mean(), 0.06);  // same estimator, different streams
+}
+
+TEST(PolicyPlayout, CornerPolicyAlwaysTakesACorner) {
+  // Construct a position where a corner capture is available; the policy
+  // must pick it with probability 1.
+  // a1 empty, b1 = O, c1 = X: black captures b1 by taking the a1 corner.
+  const auto pos = reversi::position_from_diagram(
+      ".OX....."
+      "........"
+      "........"
+      "........"
+      "........"
+      "........"
+      "........"
+      "........",
+      game::Player::kFirst);
+  ASSERT_TRUE(pos.has_value());
+  std::array<reversi::Move, 34> moves{};
+  const int n = reversi::legal_moves(*pos, std::span(moves));
+  ASSERT_GT(n, 0);
+  bool has_corner = false;
+  for (int i = 0; i < n; ++i) {
+    has_corner = has_corner ||
+                 (moves[i] < reversi::kSquares &&
+                  (reversi::square_bit(moves[i]) & reversi::kCorners) != 0);
+  }
+  ASSERT_TRUE(has_corner);
+  util::XorShift128Plus rng(3);
+  reversi::CornerGreedyPolicy policy;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int pick = policy.pick<ReversiGame>(
+        *pos, std::span<const reversi::Move>(moves.data(), n), rng);
+    EXPECT_NE(reversi::square_bit(moves[pick]) & reversi::kCorners, 0u);
+  }
+}
+
+TEST(PolicyPlayout, CornerPolicyAvoidsXSquares) {
+  // Offer one X-square and one ordinary move: the X-square must never be
+  // picked.
+  const std::array<reversi::Move, 2> moves = {
+      static_cast<reversi::Move>(reversi::square_at(1, 1)),  // b2 (X-square)
+      static_cast<reversi::Move>(reversi::square_at(3, 3)),
+  };
+  reversi::CornerGreedyPolicy policy;
+  util::XorShift128Plus rng(5);
+  const auto state = ReversiGame::initial_state();
+  for (int trial = 0; trial < 50; ++trial) {
+    const int pick = policy.pick<ReversiGame>(
+        state, std::span<const reversi::Move>(moves), rng);
+    EXPECT_EQ(pick, 1);
+  }
+}
+
+TEST(PolicyPlayout, CornerPolicyFallsBackWhenOnlyXSquares) {
+  const std::array<reversi::Move, 2> moves = {
+      static_cast<reversi::Move>(reversi::square_at(1, 1)),
+      static_cast<reversi::Move>(reversi::square_at(6, 6)),
+  };
+  reversi::CornerGreedyPolicy policy;
+  util::XorShift128Plus rng(5);
+  const auto state = ReversiGame::initial_state();
+  for (int trial = 0; trial < 20; ++trial) {
+    const int pick = policy.pick<ReversiGame>(
+        state, std::span<const reversi::Move>(moves), rng);
+    EXPECT_TRUE(pick == 0 || pick == 1);
+  }
+}
+
+TEST(PolicySearcher, PlaysLegalMovesWithEitherPolicy) {
+  PolicySearcher<ReversiGame, UniformPolicy> uniform(UniformPolicy{},
+                                                     "uniform");
+  PolicySearcher<ReversiGame, reversi::CornerGreedyPolicy> greedy(
+      reversi::CornerGreedyPolicy{}, "corner-greedy");
+  const auto state = ReversiGame::initial_state();
+  std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
+  const int n = ReversiGame::legal_moves(state, std::span(moves));
+  for (auto* searcher :
+       std::initializer_list<Searcher<ReversiGame>*>{&uniform, &greedy}) {
+    const auto move = searcher->choose_move(state, 0.01);
+    bool legal = false;
+    for (int i = 0; i < n; ++i) legal = legal || moves[i] == move;
+    EXPECT_TRUE(legal) << searcher->name();
+  }
+}
+
+TEST(PolicySearcher, NamesThePolicy) {
+  PolicySearcher<ReversiGame, UniformPolicy> s(UniformPolicy{}, "uniform");
+  EXPECT_NE(s.name().find("uniform"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::mcts

@@ -1,0 +1,128 @@
+#include "mcts/reuse_searcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "game/tictactoe.hpp"
+#include "mcts/sequential.hpp"
+#include "mcts/playout.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::mcts {
+namespace {
+
+using game::TicTacToe;
+using reversi::ReversiGame;
+
+TEST(AdvanceRoot, KeepsSubtreeStatistics) {
+  Tree<ReversiGame> tree(ReversiGame::initial_state(), {}, 3);
+  util::XorShift128Plus rng(4);
+  for (int i = 0; i < 400; ++i) {
+    const auto sel = tree.select();
+    const double v =
+        sel.terminal ? 0.5
+                     : random_playout<ReversiGame>(sel.state, rng).value_first;
+    tree.backpropagate(sel.node, v, 1, v * v);
+  }
+  const auto stats_before = tree.root_child_stats();
+  const auto move = tree.best_move();
+  std::uint32_t child_visits = 0;
+  for (const auto& s : stats_before) {
+    if (s.move == move) child_visits = s.visits;
+  }
+  ASSERT_GT(child_visits, 0u);
+
+  const auto next_state =
+      ReversiGame::apply(ReversiGame::initial_state(), move);
+  const std::size_t kept = tree.advance_root(move, next_state);
+  EXPECT_GT(kept, 1u);
+  EXPECT_EQ(tree.root_visits(), child_visits);
+  EXPECT_EQ(tree.root_state(), next_state);
+  // The re-rooted tree must remain structurally sound under further search.
+  for (int i = 0; i < 200; ++i) {
+    const auto sel = tree.select();
+    const double v =
+        sel.terminal ? 0.5
+                     : random_playout<ReversiGame>(sel.state, rng).value_first;
+    tree.backpropagate(sel.node, v, 1, v * v);
+  }
+  EXPECT_EQ(tree.root_visits(), child_visits + 200);
+}
+
+TEST(AdvanceRoot, UnknownMoveResets) {
+  Tree<ReversiGame> tree(ReversiGame::initial_state(), {}, 3);
+  const auto sel = tree.select();
+  tree.backpropagate(sel.node, 0.5, 1);
+  // Advance along a move whose child has no visits (or is absent): reset.
+  const auto state =
+      ReversiGame::apply(ReversiGame::initial_state(),
+                         static_cast<ReversiGame::Move>(
+                             reversi::square_at(4, 5)));  // e6 (legal)
+  const std::size_t kept = tree.advance_root(
+      static_cast<ReversiGame::Move>(reversi::square_at(4, 5)), state);
+  // Either a tiny kept subtree (if e6 happened to be the visited child) or a
+  // fresh root.
+  EXPECT_GE(kept, 1u);
+  EXPECT_EQ(tree.root_state(), state);
+}
+
+TEST(ReuseSearcher, ReportsReuseAcrossConsecutiveMoves) {
+  ReuseSequentialSearcher<ReversiGame> reuse;
+  SequentialSearcher<ReversiGame> opponent;
+  reuse.reseed(5);
+  opponent.reseed(6);
+
+  auto state = ReversiGame::initial_state();
+  // Our move (fresh tree).
+  auto our = reuse.choose_move(state, 0.02);
+  EXPECT_EQ(reuse.reused_nodes(), 1u);
+  state = ReversiGame::apply(state, our);
+  // Opponent replies.
+  state = ReversiGame::apply(state, opponent.choose_move(state, 0.02));
+  // Our next move must reuse the grandchild subtree.
+  (void)reuse.choose_move(state, 0.02);
+  EXPECT_GT(reuse.reused_nodes(), 1u);
+}
+
+TEST(ReuseSearcher, PlaysFullLegalGames) {
+  ReuseSequentialSearcher<ReversiGame> a;
+  SequentialSearcher<ReversiGame> b;
+  a.reseed(1);
+  b.reseed(2);
+  auto state = ReversiGame::initial_state();
+  std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
+  int plies = 0;
+  while (!ReversiGame::is_terminal(state)) {
+    const bool a_turn = state.to_move == 0;
+    const auto move = a_turn ? a.choose_move(state, 0.004)
+                             : b.choose_move(state, 0.004);
+    const int n = ReversiGame::legal_moves(state, std::span(moves));
+    bool legal = false;
+    for (int i = 0; i < n; ++i) legal = legal || moves[i] == move;
+    ASSERT_TRUE(legal) << "ply " << plies;
+    state = ReversiGame::apply(state, move);
+    ++plies;
+  }
+  EXPECT_GE(plies, 9);
+}
+
+TEST(ReuseSearcher, ReseedDropsTheTree) {
+  ReuseSequentialSearcher<ReversiGame> searcher;
+  searcher.reseed(3);
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.01);
+  searcher.reseed(3);
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.01);
+  EXPECT_EQ(searcher.reused_nodes(), 1u);  // fresh after reseed
+}
+
+TEST(ReuseSearcher, WorksOnTicTacToeToo) {
+  ReuseSequentialSearcher<TicTacToe> searcher;
+  auto s = TicTacToe::initial_state();
+  const auto m = searcher.choose_move(s, 0.01);
+  EXPECT_LT(m, 9);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::mcts

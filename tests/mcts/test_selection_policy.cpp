@@ -1,0 +1,110 @@
+// UCB1-Tuned selection: variance bookkeeping and behavioural tests.
+#include <gtest/gtest.h>
+
+#include "game/tictactoe.hpp"
+#include "mcts/playout.hpp"
+#include "mcts/sequential.hpp"
+#include "mcts/tree.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::mcts {
+namespace {
+
+using game::TicTacToe;
+using reversi::ReversiGame;
+
+TEST(SelectionPolicy, WinSquaresTrackPerspective) {
+  Tree<TicTacToe> tree(TicTacToe::initial_state(), {}, 1);
+  const auto sel = tree.select();  // depth-1 child, mover = black
+  // Two playouts: one black win (v=1), one draw (v=0.5), exact squares.
+  tree.backpropagate(sel.node, 1.0, 1, 1.0);
+  tree.backpropagate(sel.node, 0.5, 1, 0.25);
+  const auto& leaf = tree.node(sel.node);
+  EXPECT_DOUBLE_EQ(leaf.wins, 1.5);
+  EXPECT_DOUBLE_EQ(leaf.win_squares, 1.25);
+  // Root's mover is white: x -> 1-x, squares 0 and 0.25.
+  const auto& root = tree.node(0);
+  EXPECT_DOUBLE_EQ(root.wins, 0.5);
+  EXPECT_DOUBLE_EQ(root.win_squares, 0.25);
+}
+
+TEST(SelectionPolicy, AggregatedSquaresFlipCorrectly) {
+  Tree<TicTacToe> tree(TicTacToe::initial_state(), {}, 2);
+  const auto sel = tree.select();
+  // Batch of 4 sims for black: values {1, 1, 0, 0.5} -> sum 2.5, sq 2.25.
+  tree.backpropagate(sel.node, 2.5, 4, 2.25);
+  const auto& leaf = tree.node(sel.node);  // mover black
+  EXPECT_DOUBLE_EQ(leaf.win_squares, 2.25);
+  // Root (white): values {0, 0, 1, 0.5} -> squares 0+0+1+0.25 = 1.25
+  //             = sims - 2*sum + sq = 4 - 5 + 2.25.
+  const auto& root = tree.node(0);
+  EXPECT_DOUBLE_EQ(root.win_squares, 1.25);
+}
+
+TEST(SelectionPolicy, DefaultSquaresAreSafeUpperBound) {
+  Tree<TicTacToe> tree(TicTacToe::initial_state(), {}, 3);
+  const auto sel = tree.select();
+  tree.backpropagate(sel.node, 0.5, 1);  // draw without explicit squares
+  const auto& leaf = tree.node(sel.node);
+  // Defaulted square sum (0.5) >= true square sum (0.25): variance is only
+  // ever overestimated, keeping UCB1-Tuned valid (more exploration).
+  EXPECT_GE(leaf.win_squares, 0.25);
+  EXPECT_LE(leaf.win_squares, 0.5);
+}
+
+TEST(SelectionPolicy, TunedSearcherPlaysLegalMoves) {
+  SearchConfig config;
+  config.selection = SelectionPolicy::kUcb1Tuned;
+  SequentialSearcher<ReversiGame> searcher(config);
+  const auto state = ReversiGame::initial_state();
+  const auto move = searcher.choose_move(state, 0.02);
+  std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
+  const int n = ReversiGame::legal_moves(state, std::span(moves));
+  bool legal = false;
+  for (int i = 0; i < n; ++i) legal = legal || moves[i] == move;
+  EXPECT_TRUE(legal);
+}
+
+TEST(SelectionPolicy, TunedExploresLessOnLowVarianceArms) {
+  // Two-armed bandit through the tree: one deterministic arm, one noisy.
+  // Build a tree over TicTacToe but drive backprop values by arm identity:
+  // after equal initial sampling, UCB1-Tuned should favor re-sampling the
+  // noisy arm less than plain UCB1 does *relative to its mean*, i.e. the
+  // deterministic-better arm accumulates visits faster under kUcb1Tuned.
+  auto run = [](SelectionPolicy policy) {
+    SearchConfig config;
+    config.selection = policy;
+    config.ucb_c = 1.0;
+    Tree<TicTacToe> tree(TicTacToe::initial_state(), config, 5);
+    util::XorShift128Plus rng(5);
+    for (int i = 0; i < 4000; ++i) {
+      const auto sel = tree.select();
+      // First move at root: cell id parity decides the reward law.
+      mcts::NodeIndex first = sel.node;
+      while (tree.node(first).parent != 0) first = tree.node(first).parent;
+      const bool good_arm = tree.node(first).move % 2 == 0;
+      double v;
+      if (good_arm) {
+        v = 0.6;  // deterministic 0.6 for black
+      } else {
+        v = rng.next_below(2) == 0 ? 1.0 : 0.1;  // mean 0.55, high variance
+      }
+      tree.backpropagate(sel.node, v, 1, v * v);
+    }
+    // Fraction of root visits on even (good) moves.
+    std::uint64_t even = 0;
+    std::uint64_t total = 0;
+    for (const auto& stat : tree.root_child_stats()) {
+      total += stat.visits;
+      if (stat.move % 2 == 0) even += stat.visits;
+    }
+    return static_cast<double>(even) / static_cast<double>(total);
+  };
+  const double tuned = run(SelectionPolicy::kUcb1Tuned);
+  const double plain = run(SelectionPolicy::kUcb1);
+  EXPECT_GT(tuned, plain - 0.02);  // tuned at least as concentrated
+}
+
+}  // namespace
+}  // namespace gpu_mcts::mcts

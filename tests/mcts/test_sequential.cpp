@@ -1,0 +1,114 @@
+#include "mcts/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "game/tictactoe.hpp"
+#include "reversi/reversi_game.hpp"
+
+namespace gpu_mcts::mcts {
+namespace {
+
+using game::TicTacToe;
+using reversi::ReversiGame;
+
+TEST(SequentialSearcher, ReturnsLegalMove) {
+  SequentialSearcher<ReversiGame> searcher;
+  const auto state = ReversiGame::initial_state();
+  const auto move = searcher.choose_move(state, 0.005);
+  std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
+  const int n = ReversiGame::legal_moves(state, std::span(moves));
+  bool legal = false;
+  for (int i = 0; i < n; ++i) legal = legal || moves[i] == move;
+  EXPECT_TRUE(legal);
+}
+
+TEST(SequentialSearcher, RejectsTerminalState) {
+  SequentialSearcher<TicTacToe> searcher;
+  TicTacToe::State s{};
+  s.marks[0] = 0x7;
+  s.marks[1] = 0x18;
+  EXPECT_THROW((void)searcher.choose_move(s, 0.01), util::ContractViolation);
+}
+
+TEST(SequentialSearcher, IterationRateMatchesCalibration) {
+  // The cost model targets ~5e3 iterations/second for Reversi — the rate the
+  // paper's "one GPU ~ 100-200 CPU threads" equivalence implies (DESIGN.md).
+  SequentialSearcher<ReversiGame> searcher;
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.05);
+  const SearchStats& stats = searcher.last_stats();
+  const double rate = stats.simulations_per_second();
+  EXPECT_GT(rate, 2.5e3);
+  EXPECT_LT(rate, 1.0e4);
+  EXPECT_GE(stats.virtual_seconds, 0.05);
+}
+
+TEST(SequentialSearcher, MoreBudgetMoreSimulations) {
+  SequentialSearcher<ReversiGame> searcher;
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.01);
+  const auto small = searcher.last_stats().simulations;
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.05);
+  const auto large = searcher.last_stats().simulations;
+  EXPECT_GT(large, 3 * small);
+}
+
+TEST(SequentialSearcher, TicTacToeNeverLosesFromStartAsFirstPlayer) {
+  // A sound MCTS with a reasonable budget never loses Tic-Tac-Toe from the
+  // empty board when moving first against uniform random play.
+  SearchConfig config;
+  config.seed = 99;
+  SequentialSearcher<TicTacToe> searcher(config);
+  util::XorShift128Plus rng(1234);
+  int losses = 0;
+  for (int g = 0; g < 20; ++g) {
+    TicTacToe::State s = TicTacToe::initial_state();
+    std::array<TicTacToe::Move, 9> moves{};
+    while (!TicTacToe::is_terminal(s)) {
+      TicTacToe::Move m;
+      if (TicTacToe::player_to_move(s) == game::Player::kFirst) {
+        m = searcher.choose_move(s, 0.01);
+      } else {
+        const int n = TicTacToe::legal_moves(s, std::span(moves));
+        m = moves[rng.next_below(static_cast<std::uint32_t>(n))];
+      }
+      s = TicTacToe::apply(s, m);
+    }
+    if (TicTacToe::outcome_for(s, game::Player::kFirst) ==
+        game::Outcome::kLoss) {
+      ++losses;
+    }
+  }
+  EXPECT_EQ(losses, 0);
+}
+
+TEST(SequentialSearcher, ReseedReproducesDecisions) {
+  SequentialSearcher<ReversiGame> a;
+  SequentialSearcher<ReversiGame> b;
+  a.reseed(7);
+  b.reseed(7);
+  const auto state = ReversiGame::initial_state();
+  EXPECT_EQ(a.choose_move(state, 0.02), b.choose_move(state, 0.02));
+  // Second calls use the advanced move counter but stay in lockstep.
+  EXPECT_EQ(a.choose_move(state, 0.02), b.choose_move(state, 0.02));
+}
+
+TEST(SequentialSearcher, StatsArePopulated) {
+  SequentialSearcher<ReversiGame> searcher;
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.02);
+  const SearchStats& s = searcher.last_stats();
+  EXPECT_GT(s.simulations, 0u);
+  EXPECT_GT(s.tree_nodes, 1u);
+  EXPECT_GT(s.max_depth, 0u);
+  EXPECT_EQ(s.divergence_waste, 0.0);
+  EXPECT_EQ(s.rounds, s.simulations);
+}
+
+TEST(SequentialSearcher, ZeroBudgetStillMoves) {
+  SequentialSearcher<ReversiGame> searcher;
+  EXPECT_NO_THROW((void)searcher.choose_move(ReversiGame::initial_state(), 0.0));
+  EXPECT_GE(searcher.last_stats().simulations, 1u);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::mcts

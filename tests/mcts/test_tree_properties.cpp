@@ -1,0 +1,120 @@
+// Parameterized tree-invariant sweeps: for every (game x seed x iteration
+// budget) combination the structural MCTS invariants must hold.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "game/tictactoe.hpp"
+#include "mcts/playout.hpp"
+#include "mcts/tree.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::mcts {
+namespace {
+
+using game::TicTacToe;
+using reversi::ReversiGame;
+
+template <game::Game G>
+void run_iterations(Tree<G>& tree, util::XorShift128Plus& rng,
+                    int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    const Selection<G> sel = tree.select();
+    double value;
+    if (sel.terminal) {
+      value =
+          game::value_of(G::outcome_for(sel.state, game::Player::kFirst));
+    } else {
+      value = random_playout<G>(sel.state, rng).value_first;
+    }
+    tree.backpropagate(sel.node, value, 1);
+  }
+}
+
+/// Validates structural invariants over the whole tree. `max_batch` is the
+/// largest simulation count a single backpropagation may carry (1 for CPU
+/// trees, the per-launch lane count for GPU-style aggregated updates): a
+/// node's visits may exceed its children's total by at most the batch that
+/// created it.
+template <game::Game G>
+void check_invariants(const Tree<G>& tree, std::uint32_t max_batch = 1) {
+  const std::size_t n = tree.node_count();
+  std::vector<std::uint64_t> child_visit_sum(n, 0);
+  std::vector<std::uint32_t> child_count(n, 0);
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto& node = tree.node(static_cast<NodeIndex>(i));
+    // Parent linkage is acyclic toward lower indices (arena order).
+    ASSERT_LT(node.parent, i);
+    // Wins never exceed visits.
+    EXPECT_LE(node.wins, static_cast<double>(node.visits) + 1e-9);
+    EXPECT_GE(node.wins, -1e-9);
+    child_visit_sum[node.parent] += node.visits;
+    child_count[node.parent] += 1;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& node = tree.node(static_cast<NodeIndex>(i));
+    if (node.num_children > 0) {
+      EXPECT_EQ(child_count[i], node.num_children);
+      // Each visit of an internal node descends into exactly one child,
+      // except the visit that created the node itself (its own playout).
+      // Hence: node.visits >= sum(child visits) and the gap is at most the
+      // playouts run directly from this node (1 for CPU trees).
+      EXPECT_GE(node.visits, child_visit_sum[i]);
+      EXPECT_LE(node.visits - child_visit_sum[i], max_batch);
+    }
+    EXPECT_LE(node.next_unexpanded, node.num_children);
+  }
+}
+
+class TreeInvariants
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(TreeInvariants, HoldOnTicTacToe) {
+  const auto [seed, iterations] = GetParam();
+  Tree<TicTacToe> tree(TicTacToe::initial_state(), {}, seed);
+  util::XorShift128Plus rng(seed ^ 0x1111);
+  run_iterations(tree, rng, iterations);
+  EXPECT_EQ(tree.root_visits(), static_cast<std::uint32_t>(iterations));
+  check_invariants(tree);
+}
+
+TEST_P(TreeInvariants, HoldOnReversi) {
+  const auto [seed, iterations] = GetParam();
+  Tree<ReversiGame> tree(ReversiGame::initial_state(), {}, seed);
+  util::XorShift128Plus rng(seed ^ 0x2222);
+  run_iterations(tree, rng, iterations);
+  EXPECT_EQ(tree.root_visits(), static_cast<std::uint32_t>(iterations));
+  check_invariants(tree);
+}
+
+TEST_P(TreeInvariants, AggregatedBackpropKeepsWinsBounded) {
+  const auto [seed, iterations] = GetParam();
+  Tree<ReversiGame> tree(ReversiGame::initial_state(), {}, seed);
+  util::XorShift128Plus rng(seed ^ 0x3333);
+  // GPU-style aggregated updates with varying simulation counts.
+  for (int i = 0; i < iterations / 10 + 1; ++i) {
+    const Selection<ReversiGame> sel = tree.select();
+    const std::uint32_t sims = 1 + rng.next_below(64);
+    double value_sum = 0.0;
+    for (std::uint32_t s = 0; s < sims; ++s) {
+      value_sum +=
+          sel.terminal
+              ? game::value_of(ReversiGame::outcome_for(
+                    sel.state, game::Player::kFirst))
+              : random_playout<ReversiGame>(sel.state, rng).value_first;
+    }
+    tree.backpropagate(sel.node, value_sum, sims);
+  }
+  check_invariants(tree, 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedByBudget, TreeInvariants,
+    ::testing::Combine(::testing::Values(1ULL, 17ULL, 42ULL, 1234ULL),
+                       ::testing::Values(10, 100, 1000)));
+
+}  // namespace
+}  // namespace gpu_mcts::mcts

@@ -1,0 +1,99 @@
+#include "parallel/block_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "parallel/leaf_parallel.hpp"
+#include "reversi/reversi_game.hpp"
+
+namespace gpu_mcts::parallel {
+namespace {
+
+using reversi::ReversiGame;
+
+TEST(BlockParallel, ReturnsLegalMove) {
+  BlockParallelGpuSearcher<ReversiGame> searcher(
+      {.launch = {.blocks = 8, .threads_per_block = 32}});
+  const auto state = ReversiGame::initial_state();
+  const auto move = searcher.choose_move(state, 0.01);
+  std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
+  const int n = ReversiGame::legal_moves(state, std::span(moves));
+  bool legal = false;
+  for (int i = 0; i < n; ++i) legal = legal || moves[i] == move;
+  EXPECT_TRUE(legal);
+}
+
+TEST(BlockParallel, BuildsOneTreePerBlock) {
+  BlockParallelGpuSearcher<ReversiGame> searcher(
+      {.launch = {.blocks = 16, .threads_per_block = 32}});
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.01);
+  const auto& stats = searcher.last_stats();
+  // Sixteen root nodes at minimum; each round expands every tree.
+  EXPECT_GE(stats.tree_nodes, 16u);
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_EQ(stats.simulations, stats.rounds * 16u * 32u);
+}
+
+TEST(BlockParallel, RootStatsCoverAllTrees) {
+  BlockParallelGpuSearcher<ReversiGame> searcher(
+      {.launch = {.blocks = 8, .threads_per_block = 32}});
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.01);
+  const auto& merged = searcher.last_root_stats();
+  ASSERT_FALSE(merged.empty());
+  std::uint64_t visits = 0;
+  for (const auto& m : merged) visits += m.visits;
+  EXPECT_EQ(visits, searcher.last_stats().simulations);
+}
+
+TEST(BlockParallel, SequentialHostPartSlowsManyBlocks) {
+  // Figure 5: at equal total thread count, more blocks (smaller block size)
+  // means a larger sequential CPU part, hence fewer simulations/second.
+  const auto rate_for = [](int blocks, int tpb) {
+    BlockParallelGpuSearcher<ReversiGame> searcher(
+        {.launch = {.blocks = blocks, .threads_per_block = tpb}});
+    (void)searcher.choose_move(ReversiGame::initial_state(), 0.05);
+    return searcher.last_stats().simulations_per_second();
+  };
+  const double fat_blocks = rate_for(112, 128);   // 14336 threads
+  const double thin_blocks = rate_for(448, 32);   // 14336 threads
+  EXPECT_GT(fat_blocks, thin_blocks);
+}
+
+TEST(BlockParallel, SlowerThanLeafAtSameGeometry) {
+  // Block parallelism pays the per-tree host cost leaf parallelism avoids;
+  // its raw simulation rate must be lower at the same grid (the paper's
+  // Figure 5 ordering).
+  BlockParallelGpuSearcher<ReversiGame> block(
+      {.launch = {.blocks = 112, .threads_per_block = 64}});
+  LeafParallelGpuSearcher<ReversiGame> leaf(
+      {.launch = {.blocks = 112, .threads_per_block = 64}});
+  (void)block.choose_move(ReversiGame::initial_state(), 0.05);
+  (void)leaf.choose_move(ReversiGame::initial_state(), 0.05);
+  EXPECT_LT(block.last_stats().simulations_per_second(),
+            leaf.last_stats().simulations_per_second());
+}
+
+TEST(BlockParallel, DeterministicUnderReseed) {
+  BlockParallelGpuSearcher<ReversiGame> a(
+      {.launch = {.blocks = 4, .threads_per_block = 32}});
+  BlockParallelGpuSearcher<ReversiGame> b(
+      {.launch = {.blocks = 4, .threads_per_block = 32}});
+  a.reseed(11);
+  b.reseed(11);
+  EXPECT_EQ(a.choose_move(ReversiGame::initial_state(), 0.01),
+            b.choose_move(ReversiGame::initial_state(), 0.01));
+  EXPECT_EQ(a.last_stats().simulations, b.last_stats().simulations);
+}
+
+TEST(BlockParallel, PaperFlagshipGeometryRuns) {
+  BlockParallelGpuSearcher<ReversiGame> searcher(
+      {.launch = {.blocks = 112, .threads_per_block = 128}});
+  EXPECT_NO_THROW(
+      (void)searcher.choose_move(ReversiGame::initial_state(), 0.02));
+  EXPECT_EQ(searcher.last_stats().simulations,
+            searcher.last_stats().rounds * 14336u);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::parallel

@@ -1,0 +1,97 @@
+#include "parallel/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "reversi/reversi_game.hpp"
+
+namespace gpu_mcts::parallel {
+namespace {
+
+using reversi::ReversiGame;
+
+TEST(Hybrid, ReturnsLegalMove) {
+  HybridSearcher<ReversiGame> searcher(
+      {.launch = {.blocks = 8, .threads_per_block = 32}});
+  const auto state = ReversiGame::initial_state();
+  const auto move = searcher.choose_move(state, 0.01);
+  std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
+  const int n = ReversiGame::legal_moves(state, std::span(moves));
+  bool legal = false;
+  for (int i = 0; i < n; ++i) legal = legal || moves[i] == move;
+  EXPECT_TRUE(legal);
+}
+
+TEST(Hybrid, CpuContributesSimulationsDuringKernel) {
+  HybridSearcher<ReversiGame> searcher(
+      {.launch = {.blocks = 14, .threads_per_block = 128},
+       .cpu_overlap = true});
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.05);
+  EXPECT_GT(searcher.cpu_overlap_simulations(), 0u);
+}
+
+TEST(Hybrid, OverlapOffMatchesBlockParallelSimulations) {
+  HybridSearcher<ReversiGame> off(
+      {.launch = {.blocks = 8, .threads_per_block = 32},
+       .cpu_overlap = false});
+  (void)off.choose_move(ReversiGame::initial_state(), 0.02);
+  EXPECT_EQ(off.cpu_overlap_simulations(), 0u);
+  // All simulations come from the GPU in whole-round multiples.
+  EXPECT_EQ(off.last_stats().simulations % (8u * 32u), 0u);
+}
+
+TEST(Hybrid, OverlapAddsSimulationsAtSameBudget) {
+  HybridSearcher<ReversiGame> on(
+      {.launch = {.blocks = 14, .threads_per_block = 128},
+       .cpu_overlap = true});
+  HybridSearcher<ReversiGame> off(
+      {.launch = {.blocks = 14, .threads_per_block = 128},
+       .cpu_overlap = false});
+  on.reseed(3);
+  off.reseed(3);
+  (void)on.choose_move(ReversiGame::initial_state(), 0.05);
+  (void)off.choose_move(ReversiGame::initial_state(), 0.05);
+  EXPECT_GT(on.last_stats().simulations, off.last_stats().simulations);
+}
+
+TEST(Hybrid, OverlapDeepensTrees) {
+  // The paper's stated motivation (Figure 8): CPU iterations during kernel
+  // execution grow the trees deeper than GPU-only processing.
+  HybridSearcher<ReversiGame> on(
+      {.launch = {.blocks = 14, .threads_per_block = 128},
+       .cpu_overlap = true});
+  HybridSearcher<ReversiGame> off(
+      {.launch = {.blocks = 14, .threads_per_block = 128},
+       .cpu_overlap = false});
+  on.reseed(5);
+  off.reseed(5);
+  (void)on.choose_move(ReversiGame::initial_state(), 0.1);
+  (void)off.choose_move(ReversiGame::initial_state(), 0.1);
+  EXPECT_GE(on.last_stats().max_depth, off.last_stats().max_depth);
+  EXPECT_GT(on.last_stats().tree_nodes, off.last_stats().tree_nodes);
+}
+
+TEST(Hybrid, DeterministicUnderReseed) {
+  HybridSearcher<ReversiGame> a(
+      {.launch = {.blocks = 4, .threads_per_block = 32}});
+  HybridSearcher<ReversiGame> b(
+      {.launch = {.blocks = 4, .threads_per_block = 32}});
+  a.reseed(21);
+  b.reseed(21);
+  EXPECT_EQ(a.choose_move(ReversiGame::initial_state(), 0.01),
+            b.choose_move(ReversiGame::initial_state(), 0.01));
+}
+
+TEST(Hybrid, NameReflectsMode) {
+  HybridSearcher<ReversiGame> on(
+      {.launch = {.blocks = 4, .threads_per_block = 32}, .cpu_overlap = true});
+  HybridSearcher<ReversiGame> off(
+      {.launch = {.blocks = 4, .threads_per_block = 32},
+       .cpu_overlap = false});
+  EXPECT_NE(on.name().find("hybrid"), std::string::npos);
+  EXPECT_NE(off.name().find("GPU-only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::parallel

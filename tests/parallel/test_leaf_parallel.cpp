@@ -1,0 +1,92 @@
+#include "parallel/leaf_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "reversi/reversi_game.hpp"
+
+namespace gpu_mcts::parallel {
+namespace {
+
+using reversi::ReversiGame;
+
+TEST(LeafParallel, ReturnsLegalMove) {
+  LeafParallelGpuSearcher<ReversiGame> searcher(
+      {.launch = {.blocks = 2, .threads_per_block = 64}});
+  const auto state = ReversiGame::initial_state();
+  const auto move = searcher.choose_move(state, 0.01);
+  std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
+  const int n = ReversiGame::legal_moves(state, std::span(moves));
+  bool legal = false;
+  for (int i = 0; i < n; ++i) legal = legal || moves[i] == move;
+  EXPECT_TRUE(legal);
+}
+
+TEST(LeafParallel, SimulationsPerRoundEqualGridSize) {
+  LeafParallelGpuSearcher<ReversiGame> searcher(
+      {.launch = {.blocks = 4, .threads_per_block = 64}});
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.01);
+  const auto& stats = searcher.last_stats();
+  EXPECT_GT(stats.rounds, 0u);
+  // All rounds simulate the full grid (terminal-leaf rounds are rare from
+  // the opening and contribute 1, so allow a small deficit).
+  EXPECT_GE(stats.simulations, stats.rounds * 256u * 9 / 10);
+  EXPECT_LE(stats.simulations, stats.rounds * 256u);
+}
+
+TEST(LeafParallel, ThroughputScalesBelowOccupancyThenSaturates) {
+  // Figure 5's leaf curve: sims/s grows with thread count, then flattens.
+  const auto rate_for = [](int blocks, int tpb) {
+    LeafParallelGpuSearcher<ReversiGame> searcher(
+        {.launch = {.blocks = blocks, .threads_per_block = tpb}});
+    (void)searcher.choose_move(ReversiGame::initial_state(), 0.05);
+    return searcher.last_stats().simulations_per_second();
+  };
+  const double r64 = rate_for(1, 64);
+  const double r1024 = rate_for(16, 64);
+  const double r14336 = rate_for(224, 64);
+  EXPECT_GT(r1024, 4.0 * r64);      // strong growth while SMs are hungry
+  EXPECT_GT(r14336, 1.5 * r1024);   // still growing toward occupancy
+  EXPECT_LT(r14336, 14.0 * r1024);  // but far from linear by the right edge
+}
+
+TEST(LeafParallel, SingleTreeOnly) {
+  // However many threads, leaf parallelism builds one tree: node count grows
+  // by at most one expansion per round.
+  LeafParallelGpuSearcher<ReversiGame> searcher(
+      {.launch = {.blocks = 8, .threads_per_block = 64}});
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.02);
+  const auto& stats = searcher.last_stats();
+  // Every round adds <= kMaxMoves nodes (one child-block allocation).
+  EXPECT_LE(stats.tree_nodes,
+            1 + stats.rounds * static_cast<std::uint64_t>(
+                                   ReversiGame::kMaxMoves));
+}
+
+TEST(LeafParallel, DivergenceWasteIsReported) {
+  LeafParallelGpuSearcher<ReversiGame> searcher(
+      {.launch = {.blocks = 2, .threads_per_block = 64}});
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.01);
+  EXPECT_GT(searcher.last_stats().divergence_waste, 0.0);
+}
+
+TEST(LeafParallel, RejectsInvalidGeometry) {
+  EXPECT_THROW(LeafParallelGpuSearcher<ReversiGame>(
+                   {.launch = {.blocks = 0, .threads_per_block = 64}}),
+               util::ContractViolation);
+}
+
+TEST(LeafParallel, DeterministicUnderReseed) {
+  LeafParallelGpuSearcher<ReversiGame> a(
+      {.launch = {.blocks = 2, .threads_per_block = 32}});
+  LeafParallelGpuSearcher<ReversiGame> b(
+      {.launch = {.blocks = 2, .threads_per_block = 32}});
+  a.reseed(3);
+  b.reseed(3);
+  EXPECT_EQ(a.choose_move(ReversiGame::initial_state(), 0.01),
+            b.choose_move(ReversiGame::initial_state(), 0.01));
+}
+
+}  // namespace
+}  // namespace gpu_mcts::parallel

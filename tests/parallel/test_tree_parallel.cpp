@@ -1,0 +1,116 @@
+#include "parallel/tree_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "game/tictactoe.hpp"
+#include "reversi/reversi_game.hpp"
+
+namespace gpu_mcts::parallel {
+namespace {
+
+using game::TicTacToe;
+using reversi::ReversiGame;
+
+TEST(TreeParallel, ReturnsLegalMove) {
+  TreeParallelSearcher<ReversiGame> searcher({.workers = 4});
+  const auto state = ReversiGame::initial_state();
+  const auto move = searcher.choose_move(state, 0.01);
+  std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
+  const int n = ReversiGame::legal_moves(state, std::span(moves));
+  bool legal = false;
+  for (int i = 0; i < n; ++i) legal = legal || moves[i] == move;
+  EXPECT_TRUE(legal);
+}
+
+TEST(TreeParallel, SimulationsScaleWithWorkers) {
+  TreeParallelSearcher<ReversiGame> one({.workers = 1});
+  TreeParallelSearcher<ReversiGame> eight({.workers = 8});
+  (void)one.choose_move(ReversiGame::initial_state(), 0.02);
+  (void)eight.choose_move(ReversiGame::initial_state(), 0.02);
+  // Workers overlap playouts; scaling is sublinear (serialized tree ops,
+  // slowest-playout barrier) but substantial.
+  const double ratio =
+      static_cast<double>(eight.last_stats().simulations) /
+      static_cast<double>(one.last_stats().simulations);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LE(ratio, 8.5);
+}
+
+TEST(TreeParallel, BuildsASingleSharedTree) {
+  TreeParallelSearcher<ReversiGame> searcher({.workers = 8});
+  (void)searcher.choose_move(ReversiGame::initial_state(), 0.02);
+  const auto& stats = searcher.last_stats();
+  // One tree: node count bounded by expansions (<= simulations), and the
+  // tree must be deeper than a root-parallel forest of the same budget
+  // would make any single tree.
+  EXPECT_GT(stats.tree_nodes, 8u);
+  EXPECT_GT(stats.max_depth, 2u);
+}
+
+TEST(TreeParallel, VirtualLossBalancesAtRest) {
+  // After a search completes all virtual losses must have been removed:
+  // the root's visits equal the total simulation count exactly.
+  mcts::Tree<TicTacToe> tree(TicTacToe::initial_state(), {}, 1);
+  const auto sel1 = tree.select();
+  tree.apply_virtual_loss(sel1.node, 2);
+  const auto sel2 = tree.select();
+  tree.apply_virtual_loss(sel2.node, 2);
+  tree.remove_virtual_loss(sel1.node, 2);
+  tree.remove_virtual_loss(sel2.node, 2);
+  tree.backpropagate(sel1.node, 0.5, 1);
+  tree.backpropagate(sel2.node, 0.5, 1);
+  EXPECT_EQ(tree.root_visits(), 2u);
+}
+
+TEST(TreeParallel, VirtualLossDiversifiesABatch) {
+  // With virtual losses applied, successive selections in one batch must not
+  // all pile onto the same leaf (once the tree has UCB choices to make).
+  mcts::Tree<ReversiGame> tree(ReversiGame::initial_state(), {}, 3);
+  util::XorShift128Plus rng(4);
+  // Warm the tree so every root child has real visits.
+  for (int i = 0; i < 32; ++i) {
+    const auto sel = tree.select();
+    const double v =
+        sel.terminal ? 0.5
+                     : mcts::random_playout<ReversiGame>(sel.state, rng)
+                           .value_first;
+    tree.backpropagate(sel.node, v, 1);
+  }
+  std::set<mcts::NodeIndex> leaves;
+  std::vector<mcts::NodeIndex> batch;
+  for (int w = 0; w < 8; ++w) {
+    const auto sel = tree.select();
+    tree.apply_virtual_loss(sel.node, 1);
+    batch.push_back(sel.node);
+    leaves.insert(sel.node);
+  }
+  for (const auto n : batch) tree.remove_virtual_loss(n, 1);
+  EXPECT_GT(leaves.size(), 1u);
+}
+
+TEST(TreeParallel, RemoveValidatesBalance) {
+  mcts::Tree<TicTacToe> tree(TicTacToe::initial_state(), {}, 1);
+  const auto sel = tree.select();
+  EXPECT_THROW(tree.remove_virtual_loss(sel.node, 5),
+               util::ContractViolation);
+}
+
+TEST(TreeParallel, DeterministicUnderReseed) {
+  TreeParallelSearcher<ReversiGame> a({.workers = 4});
+  TreeParallelSearcher<ReversiGame> b({.workers = 4});
+  a.reseed(6);
+  b.reseed(6);
+  EXPECT_EQ(a.choose_move(ReversiGame::initial_state(), 0.01),
+            b.choose_move(ReversiGame::initial_state(), 0.01));
+}
+
+TEST(TreeParallel, RequiresPositiveWorkers) {
+  EXPECT_THROW(TreeParallelSearcher<ReversiGame>({.workers = 0}),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::parallel

@@ -1,0 +1,144 @@
+#include "reversi/bitboard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace gpu_mcts::reversi {
+namespace {
+
+TEST(Bitboard, SquareIndexingRoundTrips) {
+  for (int file = 0; file < 8; ++file) {
+    for (int rank = 0; rank < 8; ++rank) {
+      const int sq = square_at(file, rank);
+      EXPECT_EQ(file_of(sq), file);
+      EXPECT_EQ(rank_of(sq), rank);
+    }
+  }
+  EXPECT_EQ(square_at(0, 0), 0);
+  EXPECT_EQ(square_at(7, 7), 63);
+}
+
+TEST(Bitboard, ShiftsRespectEdges) {
+  // h1 shifted east must vanish, not wrap to a2.
+  EXPECT_EQ(shift(square_bit(7), Direction::kEast), 0u);
+  // a1 shifted west must vanish.
+  EXPECT_EQ(shift(square_bit(0), Direction::kWest), 0u);
+  // h8 north-east vanishes.
+  EXPECT_EQ(shift(square_bit(63), Direction::kNorthEast), 0u);
+  // a8 north disappears off the top.
+  EXPECT_EQ(shift(square_bit(56), Direction::kNorth), 0u);
+}
+
+TEST(Bitboard, ShiftsMoveOneStep) {
+  const int c3 = square_at(2, 2);
+  EXPECT_EQ(shift(square_bit(c3), Direction::kNorth), square_bit(square_at(2, 3)));
+  EXPECT_EQ(shift(square_bit(c3), Direction::kSouth), square_bit(square_at(2, 1)));
+  EXPECT_EQ(shift(square_bit(c3), Direction::kEast), square_bit(square_at(3, 2)));
+  EXPECT_EQ(shift(square_bit(c3), Direction::kWest), square_bit(square_at(1, 2)));
+  EXPECT_EQ(shift(square_bit(c3), Direction::kNorthEast),
+            square_bit(square_at(3, 3)));
+  EXPECT_EQ(shift(square_bit(c3), Direction::kNorthWest),
+            square_bit(square_at(1, 3)));
+  EXPECT_EQ(shift(square_bit(c3), Direction::kSouthEast),
+            square_bit(square_at(3, 1)));
+  EXPECT_EQ(shift(square_bit(c3), Direction::kSouthWest),
+            square_bit(square_at(1, 1)));
+}
+
+TEST(Bitboard, ShiftPreservesPopcountInInterior) {
+  // A mass in the interior shifts without loss in every direction.
+  Bitboard interior = 0;
+  for (int file = 2; file <= 5; ++file)
+    for (int rank = 2; rank <= 5; ++rank)
+      interior |= square_bit(square_at(file, rank));
+  for (const Direction d : kAllDirections) {
+    EXPECT_EQ(popcount(shift(interior, d)), popcount(interior));
+  }
+}
+
+TEST(Bitboard, PopLsbDrainsBits) {
+  Bitboard b = square_bit(3) | square_bit(17) | square_bit(63);
+  EXPECT_EQ(pop_lsb(b), 3);
+  EXPECT_EQ(pop_lsb(b), 17);
+  EXPECT_EQ(pop_lsb(b), 63);
+  EXPECT_EQ(b, 0u);
+}
+
+TEST(Bitboard, MirrorHorizontalSwapsFiles) {
+  EXPECT_EQ(mirror_horizontal(square_bit(square_at(0, 3))),
+            square_bit(square_at(7, 3)));
+  EXPECT_EQ(mirror_horizontal(square_bit(square_at(2, 6))),
+            square_bit(square_at(5, 6)));
+}
+
+TEST(Bitboard, MirrorVerticalSwapsRanks) {
+  EXPECT_EQ(mirror_vertical(square_bit(square_at(4, 0))),
+            square_bit(square_at(4, 7)));
+  EXPECT_EQ(mirror_vertical(square_bit(square_at(1, 2))),
+            square_bit(square_at(1, 5)));
+}
+
+TEST(Bitboard, TransposeSwapsFileAndRank) {
+  EXPECT_EQ(transpose_board(square_bit(square_at(2, 5))),
+            square_bit(square_at(5, 2)));
+  EXPECT_EQ(transpose_board(square_bit(square_at(0, 7))),
+            square_bit(square_at(7, 0)));
+}
+
+TEST(Bitboard, SymmetryTransformsAreInvolutions) {
+  util::XorShift128Plus rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const Bitboard b = rng();
+    EXPECT_EQ(mirror_horizontal(mirror_horizontal(b)), b);
+    EXPECT_EQ(mirror_vertical(mirror_vertical(b)), b);
+    EXPECT_EQ(transpose_board(transpose_board(b)), b);
+  }
+}
+
+TEST(Bitboard, FlipsRequireBracketing) {
+  // Own at a1, opp at b1: playing c1 flips b1 (west ray bracketed by a1).
+  const Bitboard own = square_bit(square_at(0, 0));
+  const Bitboard opp = square_bit(square_at(1, 0));
+  EXPECT_EQ(flips_for_move(own, opp, square_at(2, 0)),
+            square_bit(square_at(1, 0)));
+  // Without the bracket (no own disc beyond), nothing flips.
+  EXPECT_EQ(flips_for_move(0, opp, square_at(2, 0)), 0u);
+}
+
+TEST(Bitboard, FlipsStopAtEmptySquare) {
+  // own d1 . f1(opp) g1(empty) -> playing e1?? ensure a gap breaks the ray:
+  // own at a1, opp at c1, b1 empty: playing d1 flips nothing westward.
+  const Bitboard own = square_bit(square_at(0, 0));
+  const Bitboard opp = square_bit(square_at(2, 0));
+  EXPECT_EQ(flips_for_move(own, opp, square_at(3, 0)), 0u);
+}
+
+TEST(Bitboard, LegalMaskMatchesFlipsNonzero) {
+  // For random-ish disc distributions: a square is legal iff flips != 0.
+  util::XorShift128Plus rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Bitboard a = rng() & rng();  // sparse
+    const Bitboard b = rng() & rng() & ~a;
+    const Bitboard legal = legal_moves_mask(a, b);
+    const Bitboard empty = ~(a | b);
+    for (int sq = 0; sq < kSquares; ++sq) {
+      const bool in_mask = (legal & square_bit(sq)) != 0;
+      const bool capturing =
+          (empty & square_bit(sq)) != 0 && flips_for_move(a, b, sq) != 0;
+      EXPECT_EQ(in_mask, capturing) << "square " << sq << " trial " << trial;
+    }
+  }
+}
+
+TEST(Bitboard, FullRayOfSixFlips) {
+  // own a1; opponent fills b1..g1; playing h1 flips all six.
+  const Bitboard own = square_bit(0);
+  Bitboard opp = 0;
+  for (int f = 1; f <= 6; ++f) opp |= square_bit(square_at(f, 0));
+  EXPECT_EQ(flips_for_move(own, opp, 7), opp);
+  EXPECT_NE(legal_moves_mask(own, opp) & square_bit(7), 0u);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::reversi

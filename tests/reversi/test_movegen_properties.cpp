@@ -1,0 +1,156 @@
+// Property-based checks on the move generator: agreement with a naive
+// reference implementation, 8-fold symmetry, and playout-level invariants,
+// swept over randomly reached positions (TEST_P over seeds).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "reversi/bitboard.hpp"
+#include "reversi/position.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::reversi {
+namespace {
+
+/// Naive O(64*8*8) reference: for each empty square walk each ray.
+Bitboard reference_legal_mask(Bitboard own, Bitboard opp) {
+  constexpr int kDeltas[8][2] = {{0, 1}, {0, -1}, {1, 0},  {-1, 0},
+                                 {1, 1}, {-1, 1}, {1, -1}, {-1, -1}};
+  Bitboard result = 0;
+  for (int sq = 0; sq < kSquares; ++sq) {
+    if ((own | opp) & square_bit(sq)) continue;
+    const int f0 = file_of(sq);
+    const int r0 = rank_of(sq);
+    bool legal = false;
+    for (const auto& d : kDeltas) {
+      int f = f0 + d[0];
+      int r = r0 + d[1];
+      int seen_opp = 0;
+      while (f >= 0 && f < 8 && r >= 0 && r < 8) {
+        const Bitboard bit = square_bit(square_at(f, r));
+        if (opp & bit) {
+          ++seen_opp;
+        } else if (own & bit) {
+          if (seen_opp > 0) legal = true;
+          break;
+        } else {
+          break;
+        }
+        f += d[0];
+        r += d[1];
+      }
+      if (legal) break;
+    }
+    if (legal) result |= square_bit(sq);
+  }
+  return result;
+}
+
+/// Walks a uniformly random game, yielding every position to `visit`.
+template <typename Visitor>
+void walk_random_game(std::uint64_t seed, Visitor&& visit) {
+  util::XorShift128Plus rng(seed);
+  Position p = initial_position();
+  std::array<Move, 34> moves{};
+  visit(p);
+  while (!is_terminal(p)) {
+    const int n = legal_moves(p, std::span(moves));
+    ASSERT_GT(n, 0);
+    p = apply_move(p, moves[rng.next_below(static_cast<std::uint32_t>(n))]);
+    visit(p);
+  }
+}
+
+class MovegenProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MovegenProperty, MatchesReferenceGenerator) {
+  walk_random_game(GetParam(), [](const Position& p) {
+    EXPECT_EQ(placement_mask(p), reference_legal_mask(p.own(), p.opp()));
+  });
+}
+
+TEST_P(MovegenProperty, CommutesWithHorizontalMirror) {
+  walk_random_game(GetParam(), [](const Position& p) {
+    const Bitboard mask = placement_mask(p);
+    EXPECT_EQ(mirror_horizontal(mask),
+              legal_moves_mask(mirror_horizontal(p.own()),
+                               mirror_horizontal(p.opp())));
+  });
+}
+
+TEST_P(MovegenProperty, CommutesWithVerticalMirror) {
+  walk_random_game(GetParam(), [](const Position& p) {
+    const Bitboard mask = placement_mask(p);
+    EXPECT_EQ(mirror_vertical(mask),
+              legal_moves_mask(mirror_vertical(p.own()),
+                               mirror_vertical(p.opp())));
+  });
+}
+
+TEST_P(MovegenProperty, CommutesWithTranspose) {
+  walk_random_game(GetParam(), [](const Position& p) {
+    const Bitboard mask = placement_mask(p);
+    EXPECT_EQ(transpose_board(mask),
+              legal_moves_mask(transpose_board(p.own()),
+                               transpose_board(p.opp())));
+  });
+}
+
+TEST_P(MovegenProperty, DiscsNeverOverlapAndNeverShrink) {
+  int prev_total = 0;
+  walk_random_game(GetParam(), [&prev_total](const Position& p) {
+    EXPECT_EQ(p.discs[0] & p.discs[1], 0u);
+    const int total = popcount(p.occupied());
+    EXPECT_GE(total, prev_total);
+    prev_total = total;
+  });
+}
+
+TEST_P(MovegenProperty, AppliedMovesAlwaysCapture) {
+  util::XorShift128Plus rng(GetParam() ^ 0xabcdULL);
+  Position p = initial_position();
+  std::array<Move, 34> moves{};
+  while (!is_terminal(p)) {
+    const int n = legal_moves(p, std::span(moves));
+    ASSERT_GT(n, 0);
+    const Move m = moves[rng.next_below(static_cast<std::uint32_t>(n))];
+    if (m != kPassMove) {
+      const Bitboard flips = flips_for_move(p.own(), p.opp(), m);
+      EXPECT_NE(flips, 0u) << "legal placement must capture";
+      const std::size_t opp_side = 1 - p.to_move;
+      const int opp_before = popcount(p.discs[opp_side]);
+      const Position q = apply_move(p, m);
+      EXPECT_EQ(popcount(q.discs[opp_side]), opp_before - popcount(flips));
+      p = q;
+    } else {
+      p = apply_move(p, m);
+    }
+  }
+}
+
+TEST_P(MovegenProperty, TwoPassesInARowImpliesTerminal) {
+  util::XorShift128Plus rng(GetParam() ^ 0x7777ULL);
+  Position p = initial_position();
+  std::array<Move, 34> moves{};
+  bool prev_pass = false;
+  while (!is_terminal(p)) {
+    const int n = legal_moves(p, std::span(moves));
+    ASSERT_GT(n, 0);
+    const Move m = moves[rng.next_below(static_cast<std::uint32_t>(n))];
+    const bool is_pass = m == kPassMove;
+    EXPECT_FALSE(prev_pass && is_pass)
+        << "double pass must have been terminal";
+    prev_pass = is_pass;
+    p = apply_move(p, m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGames, MovegenProperty,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 8ULL,
+                                           13ULL, 21ULL, 34ULL, 55ULL, 89ULL,
+                                           144ULL, 233ULL));
+
+}  // namespace
+}  // namespace gpu_mcts::reversi

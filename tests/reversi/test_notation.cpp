@@ -1,0 +1,76 @@
+#include "reversi/notation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpu_mcts::reversi {
+namespace {
+
+TEST(Notation, MoveToString) {
+  EXPECT_EQ(move_to_string(0), "a1");
+  EXPECT_EQ(move_to_string(7), "h1");
+  EXPECT_EQ(move_to_string(56), "a8");
+  EXPECT_EQ(move_to_string(63), "h8");
+  EXPECT_EQ(move_to_string(static_cast<Move>(square_at(3, 2))), "d3");
+  EXPECT_EQ(move_to_string(kPassMove), "--");
+}
+
+TEST(Notation, MoveFromStringRoundTrip) {
+  for (int sq = 0; sq < kSquares; ++sq) {
+    const auto parsed = move_from_string(move_to_string(static_cast<Move>(sq)));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, sq);
+  }
+  EXPECT_EQ(move_from_string("--"), kPassMove);
+  EXPECT_EQ(move_from_string("pass"), kPassMove);
+  EXPECT_EQ(move_from_string("D3"), square_at(3, 2));
+}
+
+TEST(Notation, MoveFromStringRejectsGarbage) {
+  EXPECT_FALSE(move_from_string("").has_value());
+  EXPECT_FALSE(move_from_string("z9").has_value());
+  EXPECT_FALSE(move_from_string("a0").has_value());
+  EXPECT_FALSE(move_from_string("i1").has_value());
+  EXPECT_FALSE(move_from_string("d33").has_value());
+}
+
+TEST(Notation, BoardStringShowsDiscsAndLegal) {
+  const std::string board = board_to_string(initial_position());
+  EXPECT_NE(board.find('X'), std::string::npos);
+  EXPECT_NE(board.find('O'), std::string::npos);
+  EXPECT_NE(board.find('*'), std::string::npos);  // four legal placements
+  EXPECT_NE(board.find("X to move"), std::string::npos);
+  EXPECT_NE(board.find("a b c d e f g h"), std::string::npos);
+}
+
+TEST(Notation, DiagramRoundTrip) {
+  const Position p = initial_position();
+  // Build a diagram from the initial position and re-parse it.
+  std::string diagram(64, '.');
+  for (int sq = 0; sq < kSquares; ++sq) {
+    if (p.discs[0] & square_bit(sq)) diagram[sq] = 'X';
+    if (p.discs[1] & square_bit(sq)) diagram[sq] = 'O';
+  }
+  const auto parsed = position_from_diagram(diagram, game::Player::kFirst);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(Notation, DiagramRejectsBadInput) {
+  EXPECT_FALSE(position_from_diagram("XO", game::Player::kFirst).has_value());
+  EXPECT_FALSE(
+      position_from_diagram(std::string(64, 'Q'), game::Player::kFirst)
+          .has_value());
+  EXPECT_FALSE(
+      position_from_diagram(std::string(65, '.'), game::Player::kFirst)
+          .has_value());
+}
+
+TEST(Notation, SignatureMentionsDiscsAndTurn) {
+  const std::string sig = position_signature(initial_position());
+  EXPECT_NE(sig.find("X:"), std::string::npos);
+  EXPECT_NE(sig.find("O:"), std::string::npos);
+  EXPECT_NE(sig.find("X-to-move"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::reversi

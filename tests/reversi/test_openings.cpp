@@ -1,0 +1,61 @@
+#include "reversi/openings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reversi/notation.hpp"
+
+namespace gpu_mcts::reversi {
+namespace {
+
+TEST(Openings, EveryBookLineIsLegal) {
+  for (const Opening& o : opening_book()) {
+    const auto moves = parse_line(o.line);
+    EXPECT_TRUE(moves.has_value()) << o.name << ": " << o.line;
+    if (moves.has_value()) EXPECT_FALSE(moves->empty()) << o.name;
+  }
+}
+
+TEST(Openings, FindByName) {
+  const auto diagonal = find_opening("diagonal");
+  ASSERT_TRUE(diagonal.has_value());
+  EXPECT_EQ(diagonal->line, "f5 d6 c3");
+  EXPECT_FALSE(find_opening("nonexistent").has_value());
+}
+
+TEST(Openings, PositionAfterWholeLine) {
+  const auto opening = find_opening("parallel");
+  ASSERT_TRUE(opening.has_value());
+  const auto pos = position_after(*opening);
+  ASSERT_TRUE(pos.has_value());
+  // Two placements from the initial four discs.
+  EXPECT_EQ(popcount(pos->occupied()), 6);
+  EXPECT_EQ(pos->to_move, 0);  // two plies: black to move again
+}
+
+TEST(Openings, PositionAfterPrefix) {
+  const auto opening = find_opening("tiger");
+  ASSERT_TRUE(opening.has_value());
+  const auto one_ply = position_after(*opening, 1);
+  ASSERT_TRUE(one_ply.has_value());
+  EXPECT_EQ(popcount(one_ply->occupied()), 5);
+  const auto zero = position_after(*opening, 0);
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(*zero, initial_position());
+}
+
+TEST(Openings, ParseRejectsIllegalLines) {
+  EXPECT_FALSE(parse_line("a1").has_value());        // not a legal first move
+  EXPECT_FALSE(parse_line("f5 f5").has_value());     // occupied square
+  EXPECT_FALSE(parse_line("f5 xyzzy").has_value());  // malformed token
+}
+
+TEST(Openings, DiagonalAndPerpendicularDiverge) {
+  const auto a = position_after(*find_opening("diagonal"));
+  const auto b = position_after(*find_opening("perpendicular"));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::reversi

@@ -1,0 +1,68 @@
+// perft against the published Reversi reference values (initial position,
+// passes counted as plies) — the strongest oracle for movegen correctness.
+#include "reversi/perft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+
+#include "reversi/notation.hpp"
+
+namespace gpu_mcts::reversi {
+namespace {
+
+TEST(Perft, DepthZeroIsOne) {
+  EXPECT_EQ(perft(initial_position(), 0), 1u);
+}
+
+TEST(Perft, ShallowReferenceValues) {
+  const Position p = initial_position();
+  EXPECT_EQ(perft(p, 1), 4u);
+  EXPECT_EQ(perft(p, 2), 12u);
+  EXPECT_EQ(perft(p, 3), 56u);
+  EXPECT_EQ(perft(p, 4), 244u);
+  EXPECT_EQ(perft(p, 5), 1396u);
+  EXPECT_EQ(perft(p, 6), 8200u);
+}
+
+TEST(Perft, MediumReferenceValues) {
+  const Position p = initial_position();
+  EXPECT_EQ(perft(p, 7), 55092u);
+  EXPECT_EQ(perft(p, 8), 390216u);
+}
+
+TEST(Perft, DeepReferenceValue) {
+  // First depth where passes occur; exercises the pass-as-ply convention.
+  EXPECT_EQ(perft(initial_position(), 9), 3005288u);
+}
+
+TEST(Perft, DivideSumsToTotal) {
+  const Position p = initial_position();
+  std::array<PerftDivide, 34> rows{};
+  const int n = perft_divide(p, 5, std::span(rows));
+  ASSERT_EQ(n, 4);
+  std::uint64_t total = 0;
+  for (int i = 0; i < n; ++i) total += rows[i].nodes;
+  EXPECT_EQ(total, perft(p, 5));
+  // By symmetry of the initial position all four first moves are equivalent.
+  for (int i = 1; i < n; ++i) EXPECT_EQ(rows[i].nodes, rows[0].nodes);
+}
+
+TEST(Perft, TerminalPositionCountsOnce) {
+  const auto pos = position_from_diagram(
+      "X......."
+      "O......."
+      "O......."
+      "O......."
+      "O......."
+      "O......."
+      "O......."
+      "O.......",
+      game::Player::kFirst);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(perft(*pos, 3), 1u);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::reversi

@@ -1,0 +1,200 @@
+#include "reversi/position.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "reversi/notation.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::reversi {
+namespace {
+
+TEST(Position, InitialSetupIsStandard) {
+  const Position p = initial_position();
+  EXPECT_EQ(popcount(p.discs[0]), 2);
+  EXPECT_EQ(popcount(p.discs[1]), 2);
+  EXPECT_EQ(p.to_move, 0);
+  // Black: d5, e4. White: d4, e5.
+  EXPECT_NE(p.discs[0] & square_bit(square_at(3, 4)), 0u);
+  EXPECT_NE(p.discs[0] & square_bit(square_at(4, 3)), 0u);
+  EXPECT_NE(p.discs[1] & square_bit(square_at(3, 3)), 0u);
+  EXPECT_NE(p.discs[1] & square_bit(square_at(4, 4)), 0u);
+  EXPECT_FALSE(is_terminal(p));
+}
+
+TEST(Position, InitialBlackMovesAreTheClassicFour) {
+  const Position p = initial_position();
+  std::array<Move, 34> moves{};
+  const int n = legal_moves(p, std::span(moves));
+  ASSERT_EQ(n, 4);
+  std::set<Move> got(moves.begin(), moves.begin() + n);
+  const std::set<Move> want = {
+      static_cast<Move>(square_at(3, 2)),   // d3
+      static_cast<Move>(square_at(2, 3)),   // c4
+      static_cast<Move>(square_at(5, 4)),   // f5
+      static_cast<Move>(square_at(4, 5)),   // e6
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(Position, ApplyFlipsAndAlternates) {
+  const Position p = initial_position();
+  // Black plays d3: flips d4.
+  const Position q = apply_move(p, static_cast<Move>(square_at(3, 2)));
+  EXPECT_EQ(q.to_move, 1);
+  EXPECT_EQ(popcount(q.discs[0]), 4);  // 2 + placed + flipped
+  EXPECT_EQ(popcount(q.discs[1]), 1);
+  EXPECT_NE(q.discs[0] & square_bit(square_at(3, 3)), 0u);  // d4 now black
+}
+
+TEST(Position, DiscConservation) {
+  // Total discs grow by exactly one per placement.
+  Position p = initial_position();
+  std::array<Move, 34> moves{};
+  int placements = 0;
+  while (!is_terminal(p) && placements < 20) {
+    const int n = legal_moves(p, std::span(moves));
+    ASSERT_GT(n, 0);
+    const Move m = moves[0];
+    const int before = popcount(p.occupied());
+    p = apply_move(p, m);
+    if (m != kPassMove) {
+      EXPECT_EQ(popcount(p.occupied()), before + 1);
+      ++placements;
+    } else {
+      EXPECT_EQ(popcount(p.occupied()), before);
+    }
+  }
+}
+
+TEST(Position, PassWhenBlockedButOpponentCanMove) {
+  // X at a1, O at b1, *white* to move: white has no capture anywhere (the
+  // only bracketing pattern on the board serves black: c1-b1-a1), so white
+  // must pass while the game is not over.
+  const auto pos = position_from_diagram(
+      "XO......"
+      "........"
+      "........"
+      "........"
+      "........"
+      "........"
+      "........"
+      "........",
+      game::Player::kSecond);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_FALSE(is_terminal(*pos));
+  EXPECT_EQ(placement_mask(*pos), 0u);
+
+  std::array<Move, 34> moves{};
+  const int n = legal_moves(*pos, std::span(moves));
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(moves[0], kPassMove);
+
+  // Pass flips only the side to move.
+  const Position after = apply_move(*pos, kPassMove);
+  EXPECT_EQ(after.to_move, 0);
+  EXPECT_EQ(after.discs[0], pos->discs[0]);
+  EXPECT_EQ(after.discs[1], pos->discs[1]);
+
+  // Black then captures b1 by playing c1.
+  const Move c1 = static_cast<Move>(square_at(2, 0));
+  const int nb = legal_moves(after, std::span(moves));
+  ASSERT_EQ(nb, 1);
+  EXPECT_EQ(moves[0], c1);
+  const Position done = apply_move(after, c1);
+  EXPECT_EQ(popcount(done.discs[0]), 3);
+  EXPECT_EQ(popcount(done.discs[1]), 0);
+}
+
+TEST(Position, BothBlockedIsTerminal) {
+  // X a1 with O filling a2..a8: black's only rays run off-board, white has
+  // no bracketing pattern either -> terminal with discs remaining.
+  const auto pos = position_from_diagram(
+      "X......."
+      "O......."
+      "O......."
+      "O......."
+      "O......."
+      "O......."
+      "O......."
+      "O.......",
+      game::Player::kFirst);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_TRUE(is_terminal(*pos));
+  std::array<Move, 34> moves{};
+  EXPECT_EQ(legal_moves(*pos, std::span(moves)), 0);
+  EXPECT_EQ(outcome_for(*pos, game::Player::kFirst), game::Outcome::kLoss);
+}
+
+TEST(Position, ScoreAccounting) {
+  const auto pos = position_from_diagram(
+      "XXXXXXXX"
+      "XXXXXXXX"
+      "XXXXXXXX"
+      "XXXXXXXX"
+      "OOOOOOOO"
+      "OOOOOOOO"
+      "OOOOOOOO"
+      "........",
+      game::Player::kFirst);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(disc_difference(*pos, game::Player::kFirst), 32 - 24);
+  EXPECT_EQ(disc_difference(*pos, game::Player::kSecond), -(32 - 24));
+  EXPECT_EQ(final_score(*pos, game::Player::kFirst), 8 + 8);  // empties go to winner
+  EXPECT_EQ(outcome_for(*pos, game::Player::kFirst), game::Outcome::kWin);
+  EXPECT_EQ(outcome_for(*pos, game::Player::kSecond), game::Outcome::kLoss);
+}
+
+TEST(Position, DrawOutcome) {
+  const auto pos = position_from_diagram(
+      "XXXXXXXX"
+      "XXXXXXXX"
+      "XXXXXXXX"
+      "XXXXXXXX"
+      "OOOOOOOO"
+      "OOOOOOOO"
+      "OOOOOOOO"
+      "OOOOOOOO",
+      game::Player::kFirst);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_TRUE(is_terminal(*pos));
+  EXPECT_EQ(outcome_for(*pos, game::Player::kFirst), game::Outcome::kDraw);
+  EXPECT_EQ(final_score(*pos, game::Player::kFirst), 0);
+}
+
+TEST(ReversiGame, SatisfiesGameContract) {
+  using G = ReversiGame;
+  const G::State s = G::initial_state();
+  EXPECT_FALSE(G::is_terminal(s));
+  EXPECT_EQ(G::player_to_move(s), game::Player::kFirst);
+  std::array<G::Move, G::kMaxMoves> moves{};
+  EXPECT_EQ(G::legal_moves(s, std::span(moves)), 4);
+  const G::State t = G::apply(s, moves[0]);
+  EXPECT_EQ(G::player_to_move(t), game::Player::kSecond);
+  EXPECT_EQ(G::score_difference(s, game::Player::kFirst), 0);
+}
+
+TEST(Position, RandomGamesTerminateWithinBound) {
+  // Every random game must terminate within kMaxGameLength plies — the bound
+  // the SIMT kernel's LaneState relies on.
+  util::XorShift128Plus rng(2024);
+  for (int g = 0; g < 50; ++g) {
+    Position p = initial_position();
+    int plies = 0;
+    std::array<Move, 34> moves{};
+    while (!is_terminal(p)) {
+      const int n = legal_moves(p, std::span(moves));
+      ASSERT_GT(n, 0);
+      p = apply_move(p, moves[rng.next_below(static_cast<std::uint32_t>(n))]);
+      ++plies;
+      ASSERT_LE(plies, ReversiGame::kMaxGameLength);
+    }
+    EXPECT_GE(plies, 9);  // shortest possible Othello game
+  }
+}
+
+}  // namespace
+}  // namespace gpu_mcts::reversi

@@ -1,0 +1,78 @@
+#include "reversi/zobrist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace gpu_mcts::reversi {
+namespace {
+
+TEST(Zobrist, HashIsDeterministic) {
+  const Position p = initial_position();
+  EXPECT_EQ(Zobrist::hash(p), Zobrist::hash(p));
+}
+
+TEST(Zobrist, SideToMoveChangesHash) {
+  Position p = initial_position();
+  Position q = p;
+  q.to_move = 1;
+  EXPECT_NE(Zobrist::hash(p), Zobrist::hash(q));
+}
+
+TEST(Zobrist, DifferentPositionsDiffer) {
+  const Position p = initial_position();
+  std::array<Move, 34> moves{};
+  const int n = legal_moves(p, std::span(moves));
+  std::set<std::uint64_t> hashes;
+  hashes.insert(Zobrist::hash(p));
+  for (int i = 0; i < n; ++i) {
+    hashes.insert(Zobrist::hash(apply_move(p, moves[i])));
+  }
+  EXPECT_EQ(hashes.size(), static_cast<std::size_t>(n) + 1);
+}
+
+TEST(Zobrist, IncrementalMatchesFullForPlacements) {
+  util::XorShift128Plus rng(314);
+  Position p = initial_position();
+  std::uint64_t h = Zobrist::hash(p);
+  std::array<Move, 34> moves{};
+  for (int ply = 0; ply < 30 && !is_terminal(p); ++ply) {
+    const int n = legal_moves(p, std::span(moves));
+    ASSERT_GT(n, 0);
+    const Move m = moves[rng.next_below(static_cast<std::uint32_t>(n))];
+    if (m == kPassMove) {
+      p = apply_move(p, m);
+      h ^= Zobrist::side_key();
+    } else {
+      const Bitboard flips = flips_for_move(p.own(), p.opp(), m);
+      h = Zobrist::update(h, p.to_move, m, flips);
+      p = apply_move(p, m);
+    }
+    EXPECT_EQ(h, Zobrist::hash(p)) << "ply " << ply;
+  }
+}
+
+TEST(Zobrist, HashCollisionsAreRareAcrossRandomGames) {
+  // Hash every position of 20 random games: all distinct positions should
+  // produce distinct hashes (collision probability is ~0 at these counts).
+  util::XorShift128Plus rng(999);
+  std::set<std::uint64_t> hashes;
+  std::array<Move, 34> moves{};
+  for (int g = 0; g < 20; ++g) {
+    Position p = initial_position();
+    while (!is_terminal(p)) {
+      hashes.insert(Zobrist::hash(p));
+      const int n = legal_moves(p, std::span(moves));
+      p = apply_move(p, moves[rng.next_below(static_cast<std::uint32_t>(n))]);
+    }
+  }
+  // At most a tiny discrepancy is tolerated (identical positions reached in
+  // different games hash equal by design).
+  EXPECT_GT(hashes.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::reversi

@@ -1,0 +1,74 @@
+// Calibration tests: the cost model must land on the magnitudes the paper
+// reports, from the opening position (where the average playout is ~60
+// plies, the regime Figure 5 was measured in).
+#include "simt/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mcts/sequential.hpp"
+#include "parallel/leaf_parallel.hpp"
+#include "reversi/reversi_game.hpp"
+
+namespace gpu_mcts::simt {
+namespace {
+
+using reversi::ReversiGame;
+
+TEST(Calibration, PeakGpuThroughputNearPaperFigure5) {
+  // Figure 5's right edge: ~8-9 x 10^5 simulations/second at 14336 threads.
+  parallel::LeafParallelGpuSearcher<ReversiGame> gpu(
+      {.launch = {.blocks = 224, .threads_per_block = 64}});
+  (void)gpu.choose_move(ReversiGame::initial_state(), 0.1);
+  const double rate = gpu.last_stats().simulations_per_second();
+  EXPECT_GT(rate, 6.0e5);
+  EXPECT_LT(rate, 1.2e6);
+}
+
+TEST(Calibration, GpuToCpuEquivalenceNearPaperClaim) {
+  // The abstract's headline: "one GPU can be compared to 100-200 CPU
+  // threads ... in terms of obtained results". Raw simulation throughput
+  // ratio must sit in that band for the claim to be reachable at all.
+  parallel::LeafParallelGpuSearcher<ReversiGame> gpu(
+      {.launch = {.blocks = 224, .threads_per_block = 64}});
+  mcts::SequentialSearcher<ReversiGame> cpu;
+  (void)gpu.choose_move(ReversiGame::initial_state(), 0.1);
+  (void)cpu.choose_move(ReversiGame::initial_state(), 0.1);
+  const double ratio = gpu.last_stats().simulations_per_second() /
+                       cpu.last_stats().simulations_per_second();
+  EXPECT_GT(ratio, 100.0);
+  EXPECT_LT(ratio, 250.0);
+}
+
+TEST(Calibration, KernelRoundRateNearSixtyPerSecond) {
+  // 9e5 sims/s at 14336 sims/round implies ~60 rounds/s at full grid — the
+  // granularity that motivates the hybrid scheme.
+  parallel::LeafParallelGpuSearcher<ReversiGame> gpu(
+      {.launch = {.blocks = 112, .threads_per_block = 128}});
+  (void)gpu.choose_move(ReversiGame::initial_state(), 0.5);
+  const double rounds_per_second =
+      static_cast<double>(gpu.last_stats().rounds) /
+      gpu.last_stats().virtual_seconds;
+  EXPECT_GT(rounds_per_second, 30.0);
+  EXPECT_LT(rounds_per_second, 120.0);
+}
+
+TEST(Calibration, CostModelDefaultsDocumented) {
+  const CostModel m = default_cost_model();
+  // Sanity anchors for anyone editing the model: peak device throughput and
+  // the CPU iteration cost derived in cost_model.hpp's header comment.
+  const DeviceProperties dev = tesla_c2050();
+  // A warp-step executes 32 lanes' plies, a playout is ~60 plies, so the
+  // saturated device does warp_steps/s * 32 / 60 playouts per second.
+  const double warp_steps_per_second =
+      dev.sm_count * dev.clock_hz / m.issue_cycles_per_step;
+  const double playouts_per_second = warp_steps_per_second * 32.0 / 60.0;
+  EXPECT_NEAR(playouts_per_second, 9.0e5, 2.0e5);
+
+  const HostProperties host = xeon_x5670();
+  const double cpu_iteration_cycles =
+      60.0 * m.host_cycles_per_ply + m.host_tree_op_cycles;
+  EXPECT_NEAR(host.clock_hz / cpu_iteration_cycles, 5.0e3, 1.0e3);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::simt

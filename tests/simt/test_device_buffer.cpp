@@ -1,0 +1,73 @@
+#include "simt/device_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gpu_mcts::simt {
+namespace {
+
+TEST(DeviceBuffer, UploadDownloadRoundTrip) {
+  DeviceBuffer<int> buf(8);
+  util::VirtualClock clock(2.93e9);
+  std::iota(buf.host().begin(), buf.host().end(), 0);
+  buf.upload(clock);
+
+  // Kernel-side mutation.
+  auto dev = buf.device_view();
+  for (int& x : dev) x *= 10;
+
+  buf.download(clock);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(buf.host()[i], i * 10);
+}
+
+TEST(DeviceBuffer, TransfersChargeTheClock) {
+  DeviceBuffer<double> buf(1024);
+  util::VirtualClock clock(2.93e9);
+  buf.upload(clock);
+  const std::uint64_t after_upload = clock.cycles();
+  EXPECT_GE(after_upload, TransferCosts{}.cost(1024 * sizeof(double)));
+  buf.download(clock);
+  EXPECT_GT(clock.cycles(), after_upload);
+}
+
+TEST(DeviceBuffer, BiggerTransfersCostMore) {
+  util::VirtualClock small_clock(2.93e9);
+  util::VirtualClock large_clock(2.93e9);
+  DeviceBuffer<char> small(64);
+  DeviceBuffer<char> large(1 << 20);
+  small.upload(small_clock);
+  large.upload(large_clock);
+  EXPECT_GT(large_clock.cycles(), small_clock.cycles());
+}
+
+TEST(DeviceBuffer, DirtyReadIsRejected) {
+  DeviceBuffer<int> buf(4);
+  util::VirtualClock clock(2.93e9);
+  buf.upload(clock);
+  (void)buf.device_view();  // kernel may write now
+  EXPECT_TRUE(buf.device_dirty());
+  EXPECT_THROW((void)buf.host_checked(), util::ContractViolation);
+  buf.download(clock);
+  EXPECT_NO_THROW((void)buf.host_checked());
+}
+
+TEST(DeviceBuffer, CountsTransfers) {
+  DeviceBuffer<int> buf(4);
+  util::VirtualClock clock(2.93e9);
+  buf.upload(clock);
+  buf.upload(clock);
+  buf.download(clock);
+  EXPECT_EQ(buf.uploads(), 2u);
+  EXPECT_EQ(buf.downloads(), 1u);
+}
+
+TEST(DeviceBuffer, FreshBufferIsClean) {
+  const DeviceBuffer<int> buf(4);
+  EXPECT_FALSE(buf.device_dirty());
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.bytes(), 16u);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::simt

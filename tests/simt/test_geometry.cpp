@@ -1,0 +1,63 @@
+#include "simt/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace gpu_mcts::simt {
+namespace {
+
+TEST(LaunchConfig, TotalsAndWarps) {
+  const DeviceProperties dev = tesla_c2050();
+  const LaunchConfig cfg{.blocks = 4, .threads_per_block = 96};
+  EXPECT_EQ(cfg.total_threads(), 384);
+  EXPECT_EQ(cfg.warps_per_block(dev), 3);
+  EXPECT_EQ(cfg.total_warps(dev), 12);
+}
+
+TEST(LaunchConfig, PartialWarpRoundsUp) {
+  const DeviceProperties dev = tesla_c2050();
+  const LaunchConfig cfg{.blocks = 1, .threads_per_block = 33};
+  EXPECT_EQ(cfg.warps_per_block(dev), 2);
+}
+
+TEST(LaunchConfig, ValidationRejectsBadGeometry) {
+  const DeviceProperties dev = tesla_c2050();
+  EXPECT_NO_THROW(validate({.blocks = 1, .threads_per_block = 1}, dev));
+  EXPECT_NO_THROW(validate({.blocks = 112, .threads_per_block = 128}, dev));
+  EXPECT_THROW(validate({.blocks = 0, .threads_per_block = 32}, dev),
+               util::ContractViolation);
+  EXPECT_THROW(validate({.blocks = 1, .threads_per_block = 0}, dev),
+               util::ContractViolation);
+  EXPECT_THROW(validate({.blocks = 1, .threads_per_block = 2048}, dev),
+               util::ContractViolation);
+}
+
+TEST(LaneId, DecomposesThreadIndex) {
+  const DeviceProperties dev = tesla_c2050();
+  const LaunchConfig cfg{.blocks = 3, .threads_per_block = 128};
+  const LaneId id = make_lane_id(cfg, dev, 2, 70);
+  EXPECT_EQ(id.block, 2);
+  EXPECT_EQ(id.thread, 70);
+  EXPECT_EQ(id.warp_in_block, 2);
+  EXPECT_EQ(id.lane_in_warp, 6);
+  EXPECT_EQ(id.global_thread, 2 * 128 + 70);
+}
+
+TEST(SmAssignment, RoundRobinCoversAllSms) {
+  const DeviceProperties dev = tesla_c2050();
+  for (int b = 0; b < 2 * dev.sm_count; ++b) {
+    EXPECT_EQ(sm_of_block(b, dev), b % dev.sm_count);
+  }
+}
+
+TEST(DeviceProperties, TeslaPresetMatchesPaperHardware) {
+  const DeviceProperties dev = tesla_c2050();
+  EXPECT_EQ(dev.sm_count, 14);
+  EXPECT_EQ(dev.warp_size, 32);
+  // 14336 = the paper's maximum thread count (Figure 5's right edge).
+  EXPECT_EQ(dev.max_threads(), 14336);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::simt

@@ -1,0 +1,201 @@
+// The SIMT playout kernel must agree statistically with the scalar playout
+// and obey per-block result routing (the property block parallelism needs).
+#include "simt/playout_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include <cmath>
+
+#include "game/connect4.hpp"
+#include "game/gomoku.hpp"
+#include "game/tictactoe.hpp"
+#include "mcts/playout.hpp"
+#include "reversi/reversi_game.hpp"
+#include "simt/vgpu.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::simt {
+namespace {
+
+using reversi::ReversiGame;
+
+TEST(PlayoutKernel, SimulationCountsMatchGrid) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 4, .threads_per_block = 64};
+  const ReversiGame::State root = ReversiGame::initial_state();
+  std::vector<ReversiGame::State> roots(4, root);
+  std::vector<BlockResult> results(4);
+  PlayoutKernel<ReversiGame> kernel(roots, 42, 0, results);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  (void)gpu.launch(cfg, kernel, clock);
+  for (const BlockResult& r : results) {
+    EXPECT_EQ(r.simulations, 64u);
+    EXPECT_GE(r.value_first, 0.0);
+    EXPECT_LE(r.value_first, 64.0);
+    // Reversi playouts from the start position take at least 9 plies each.
+    EXPECT_GE(r.total_plies, 64u * 9u);
+  }
+}
+
+TEST(PlayoutKernel, SharedRootAggregatesToSingleSlot) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 4, .threads_per_block = 32};
+  const ReversiGame::State root = ReversiGame::initial_state();
+  std::vector<ReversiGame::State> roots(1, root);
+  std::vector<BlockResult> results(1);
+  PlayoutKernel<ReversiGame> kernel(roots, 7, 0, results);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  (void)gpu.launch(cfg, kernel, clock);
+  EXPECT_EQ(results[0].simulations, 128u);
+}
+
+TEST(PlayoutKernel, TerminalRootScoresImmediately) {
+  VirtualGpu gpu;
+  // Full-board draw: every lane must return 0.5 without stepping.
+  game::TicTacToe::State s{};
+  s.marks[0] = 0b110001101;
+  s.marks[1] = 0b001110010;
+  std::vector<game::TicTacToe::State> roots(1, s);
+  std::vector<BlockResult> results(1);
+  PlayoutKernel<game::TicTacToe> kernel(roots, 1, 0, results);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  const LaunchConfig cfg{.blocks = 1, .threads_per_block = 32};
+  (void)gpu.launch(cfg, kernel, clock);
+  EXPECT_EQ(results[0].simulations, 32u);
+  EXPECT_DOUBLE_EQ(results[0].value_first, 16.0);  // 32 draws x 0.5
+  EXPECT_EQ(results[0].total_plies, 0u);
+}
+
+TEST(PlayoutKernel, RoundsDecorrelateRepeatedLaunches) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 1, .threads_per_block = 64};
+  const ReversiGame::State root = ReversiGame::initial_state();
+  std::vector<ReversiGame::State> roots(1, root);
+
+  std::vector<BlockResult> r0(1);
+  std::vector<BlockResult> r1(1);
+  PlayoutKernel<ReversiGame> k0(roots, 42, 0, r0);
+  PlayoutKernel<ReversiGame> k1(roots, 42, 1, r1);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  (void)gpu.launch(cfg, k0, clock);
+  (void)gpu.launch(cfg, k1, clock);
+  // Different rounds draw from different streams: identical totals for both
+  // plies and values would indicate the RNG ignored the round.
+  EXPECT_TRUE(r0[0].total_plies != r1[0].total_plies ||
+              r0[0].value_first != r1[0].value_first);
+}
+
+TEST(PlayoutKernel, SameSeedReproduces) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 2, .threads_per_block = 64};
+  const ReversiGame::State root = ReversiGame::initial_state();
+  std::vector<ReversiGame::State> roots(2, root);
+  std::vector<BlockResult> ra(2);
+  std::vector<BlockResult> rb(2);
+  PlayoutKernel<ReversiGame> ka(roots, 11, 3, ra);
+  PlayoutKernel<ReversiGame> kb(roots, 11, 3, rb);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  (void)gpu.launch(cfg, ka, clock);
+  (void)gpu.launch(cfg, kb, clock);
+  for (int b = 0; b < 2; ++b) {
+    EXPECT_EQ(ra[b].simulations, rb[b].simulations);
+    EXPECT_DOUBLE_EQ(ra[b].value_first, rb[b].value_first);
+    EXPECT_EQ(ra[b].total_plies, rb[b].total_plies);
+  }
+}
+
+TEST(PlayoutKernel, AgreesWithScalarPlayoutDistribution) {
+  // Mean playout value for black from the initial position must match the
+  // scalar playout's mean within Monte Carlo noise (both are uniform random
+  // playouts, so they estimate the same quantity).
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 14, .threads_per_block = 256};
+  const ReversiGame::State root = ReversiGame::initial_state();
+  std::vector<ReversiGame::State> roots(1, root);
+  std::vector<BlockResult> results(1);
+  PlayoutKernel<ReversiGame> kernel(roots, 5, 0, results);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  (void)gpu.launch(cfg, kernel, clock);
+  const double gpu_mean =
+      results[0].value_first / static_cast<double>(results[0].simulations);
+
+  util::XorShift128Plus rng(5);
+  double sum = 0.0;
+  constexpr int kN = 3584;
+  for (int i = 0; i < kN; ++i) {
+    sum += mcts::random_playout<ReversiGame>(root, rng).value_first;
+  }
+  const double cpu_mean = sum / kN;
+  // Each mean has sd ~ 0.5/sqrt(3584) ~ 0.0084; allow 5 sigma of the diff.
+  EXPECT_NEAR(gpu_mean, cpu_mean, 0.06);
+}
+
+TEST(PlayoutKernel, IsGameAgnostic) {
+  // The identical kernel must run Connect Four and Gomoku lanes — the
+  // paper's "apply to other domains" requirement holds at the kernel level.
+  VirtualGpu gpu;
+  util::VirtualClock clock(gpu.host().clock_hz);
+
+  {
+    const LaunchConfig cfg{.blocks = 2, .threads_per_block = 32};
+    std::vector<game::ConnectFour::State> roots(
+        2, game::ConnectFour::initial_state());
+    std::vector<BlockResult> results(2);
+    PlayoutKernel<game::ConnectFour> kernel(roots, 3, 0, results);
+    (void)gpu.launch(cfg, kernel, clock);
+    for (const auto& r : results) {
+      EXPECT_EQ(r.simulations, 32u);
+      EXPECT_GE(r.total_plies, 32u * 7u);  // min 7 plies per C4 game
+      EXPECT_LE(r.value_first, 32.0);
+    }
+  }
+  {
+    const LaunchConfig cfg{.blocks = 1, .threads_per_block = 32};
+    std::vector<game::Gomoku::State> roots(1, game::Gomoku::initial_state());
+    std::vector<BlockResult> results(1);
+    PlayoutKernel<game::Gomoku> kernel(roots, 4, 0, results);
+    (void)gpu.launch(cfg, kernel, clock);
+    EXPECT_EQ(results[0].simulations, 32u);
+    EXPECT_GE(results[0].total_plies, 32u * 9u);
+  }
+}
+
+TEST(PlayoutKernel, SquaredValueTalliesAreConsistent) {
+  // For values in {0, 0.5, 1}: sum_sq = sum - 0.25 * (#draws), so
+  // sum - sum_sq must be a non-negative multiple of 0.25 bounded by sims/4.
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 4, .threads_per_block = 64};
+  std::vector<reversi::ReversiGame::State> roots(
+      4, reversi::ReversiGame::initial_state());
+  std::vector<BlockResult> results(4);
+  PlayoutKernel<reversi::ReversiGame> kernel(roots, 21, 0, results);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  (void)gpu.launch(cfg, kernel, clock);
+  for (const auto& r : results) {
+    const double diff = r.value_first - r.value_sq_first;
+    EXPECT_GE(diff, -1e-9);
+    EXPECT_LE(diff, 0.25 * r.simulations + 1e-9);
+    const double quarters = diff / 0.25;
+    EXPECT_NEAR(quarters, std::round(quarters), 1e-9);
+  }
+}
+
+TEST(PlayoutKernel, DivergenceWasteIsPositiveForRealPlayouts) {
+  // Reversi playout lengths vary lane to lane, so lockstep warps must show
+  // nonzero divergence waste — the effect motivating block size tuning.
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 2, .threads_per_block = 128};
+  const ReversiGame::State root = ReversiGame::initial_state();
+  std::vector<ReversiGame::State> roots(2, root);
+  std::vector<BlockResult> results(2);
+  PlayoutKernel<ReversiGame> kernel(roots, 9, 0, results);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  const LaunchResult launch = gpu.launch(cfg, kernel, clock);
+  EXPECT_GT(launch.stats.divergence_waste(), 0.0);
+  EXPECT_LT(launch.stats.divergence_waste(), 0.5);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::simt

@@ -1,0 +1,139 @@
+// Timing-model unit tests: the shape properties Figure 5 depends on, checked
+// directly on synthetic warp traces.
+#include "simt/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gpu_mcts::simt {
+namespace {
+
+std::vector<WarpTrace> uniform_warps(int blocks, int warps_per_block,
+                                     std::uint32_t steps) {
+  std::vector<WarpTrace> traces;
+  for (int b = 0; b < blocks; ++b) {
+    for (int w = 0; w < warps_per_block; ++w) {
+      WarpTrace t;
+      t.block = b;
+      t.warp_in_block = w;
+      t.steps = steps;
+      t.lanes = 32;
+      t.active_lane_steps = static_cast<std::uint64_t>(steps) * 32u;
+      traces.push_back(t);
+    }
+  }
+  return traces;
+}
+
+TEST(Timing, EmptyLaunchCostsOnlyFixedOverhead) {
+  const DeviceProperties dev = tesla_c2050();
+  const CostModel cost = default_cost_model();
+  const double cycles =
+      device_cycles_for({}, LaunchConfig{1, 32}, dev, cost);
+  EXPECT_DOUBLE_EQ(cycles, cost.kernel_fixed_cycles);
+}
+
+TEST(Timing, SingleWarpPaysFullLatencyPenalty) {
+  const DeviceProperties dev = tesla_c2050();
+  const CostModel cost = default_cost_model();
+  const auto traces = uniform_warps(1, 1, 100);
+  const double cycles =
+      device_cycles_for(traces, LaunchConfig{1, 32}, dev, cost);
+  EXPECT_DOUBLE_EQ(cycles, 100.0 * cost.issue_cycles_per_step *
+                               cost.latency_hide_factor +
+                               cost.kernel_fixed_cycles);
+}
+
+TEST(Timing, SaturatedSmRunsAtIssueRate) {
+  const DeviceProperties dev = tesla_c2050();
+  const CostModel cost = default_cost_model();
+  // 8 warps on one SM (= latency_hide_factor): penalty fully hidden.
+  const auto traces = uniform_warps(1, 8, 100);
+  const double cycles =
+      device_cycles_for(traces, LaunchConfig{1, 256}, dev, cost);
+  EXPECT_DOUBLE_EQ(cycles, 8.0 * 100.0 * cost.issue_cycles_per_step +
+                               cost.kernel_fixed_cycles);
+}
+
+TEST(Timing, ThroughputGrowsNearlyLinearlyBelowOccupancy) {
+  // Doubling warps below the hide factor must leave duration unchanged
+  // (same time, twice the work => 2x throughput) — the paper's Figure 5
+  // growth region.
+  const DeviceProperties dev = tesla_c2050();
+  const CostModel cost = default_cost_model();
+  const double t1 = device_cycles_for(uniform_warps(1, 2, 100),
+                                      LaunchConfig{1, 64}, dev, cost);
+  const double t2 = device_cycles_for(uniform_warps(1, 4, 100),
+                                      LaunchConfig{1, 128}, dev, cost);
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(Timing, BeyondOccupancyDurationScalesWithWork) {
+  const DeviceProperties dev = tesla_c2050();
+  const CostModel cost = default_cost_model();
+  const double t8 = device_cycles_for(uniform_warps(1, 8, 100),
+                                      LaunchConfig{1, 256}, dev, cost);
+  const double t16 = device_cycles_for(uniform_warps(1, 16, 100),
+                                       LaunchConfig{1, 512}, dev, cost);
+  EXPECT_NEAR((t16 - cost.kernel_fixed_cycles) /
+                  (t8 - cost.kernel_fixed_cycles),
+              2.0, 1e-9);
+}
+
+TEST(Timing, BlocksSpreadAcrossSmsRunInParallel) {
+  const DeviceProperties dev = tesla_c2050();
+  const CostModel cost = default_cost_model();
+  // 14 blocks of 1 warp land on 14 distinct SMs: duration equals 1 block's.
+  const double one = device_cycles_for(uniform_warps(1, 1, 50),
+                                       LaunchConfig{1, 32}, dev, cost);
+  const double fourteen = device_cycles_for(uniform_warps(14, 1, 50),
+                                            LaunchConfig{14, 32}, dev, cost);
+  EXPECT_DOUBLE_EQ(one, fourteen);
+}
+
+TEST(Timing, DurationIsMaxOverSms) {
+  const DeviceProperties dev = tesla_c2050();
+  const CostModel cost = default_cost_model();
+  // Unbalanced: block 0 has a slow warp (200 steps), block 1 a fast one.
+  std::vector<WarpTrace> traces;
+  WarpTrace slow;
+  slow.block = 0;
+  slow.steps = 200;
+  slow.lanes = 32;
+  WarpTrace fast;
+  fast.block = 1;
+  fast.steps = 10;
+  fast.lanes = 32;
+  traces.push_back(slow);
+  traces.push_back(fast);
+  const double both =
+      device_cycles_for(traces, LaunchConfig{2, 32}, dev, cost);
+  const double slow_only = device_cycles_for({&slow, 1},
+                                             LaunchConfig{1, 32}, dev, cost);
+  EXPECT_DOUBLE_EQ(both, slow_only);
+}
+
+TEST(Timing, NoLatencyModelRemovesOccupancyPenalty) {
+  const DeviceProperties dev = tesla_c2050();
+  const CostModel cost = no_latency_model();
+  const double t1 = device_cycles_for(uniform_warps(1, 1, 100),
+                                      LaunchConfig{1, 32}, dev, cost);
+  EXPECT_DOUBLE_EQ(t1, 100.0 * cost.issue_cycles_per_step +
+                           cost.kernel_fixed_cycles);
+}
+
+TEST(Timing, AggregateStatsSumCorrectly) {
+  const DeviceProperties dev = tesla_c2050();
+  const auto traces = uniform_warps(2, 3, 10);
+  const LaunchStats stats = aggregate_stats(traces, dev);
+  EXPECT_EQ(stats.warps, 6);
+  EXPECT_EQ(stats.total_warp_steps, 60u);
+  EXPECT_EQ(stats.total_active_lane_steps, 60u * 32u);
+  EXPECT_EQ(stats.total_lane_slots, 60u * 32u);
+  EXPECT_EQ(stats.max_warp_steps, 10u);
+  EXPECT_DOUBLE_EQ(stats.divergence_waste(), 0.0);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::simt

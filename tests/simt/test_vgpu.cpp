@@ -1,0 +1,179 @@
+// VirtualGpu execution-semantics tests with an instrumented toy kernel:
+// every lane must run, lockstep accounting must match per-lane step counts,
+// and the async event timeline must be consistent with synchronous launches.
+#include "simt/vgpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace gpu_mcts::simt {
+namespace {
+
+/// Toy kernel: lane (block, thread) runs (thread % 5) + 1 steps and records
+/// its id and step count into flat output arrays.
+class CountingKernel {
+ public:
+  struct LaneState {
+    std::int32_t remaining = 0;
+    std::int32_t executed = 0;
+    std::int32_t global = 0;
+  };
+
+  explicit CountingKernel(const LaunchConfig& cfg)
+      : steps_done(static_cast<std::size_t>(cfg.total_threads()), 0),
+        finish_calls(static_cast<std::size_t>(cfg.total_threads()), 0) {}
+
+  [[nodiscard]] LaneState make_lane(const LaneId& id) const {
+    LaneState s;
+    s.remaining = id.thread % 5 + 1;
+    s.global = id.global_thread;
+    return s;
+  }
+
+  [[nodiscard]] bool lane_step(LaneState& s) const {
+    ++s.executed;
+    --s.remaining;
+    return s.remaining > 0;
+  }
+
+  void lane_finish(const LaneState& s, const LaneId& id) {
+    steps_done[static_cast<std::size_t>(id.global_thread)] = s.executed;
+    finish_calls[static_cast<std::size_t>(id.global_thread)] += 1;
+    EXPECT_EQ(s.global, id.global_thread);
+  }
+
+  std::vector<std::int32_t> steps_done;
+  std::vector<std::int32_t> finish_calls;
+};
+
+TEST(VirtualGpu, EveryLaneRunsExactlyItsSteps) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 3, .threads_per_block = 70};
+  CountingKernel kernel(cfg);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  const LaunchResult result = gpu.launch(cfg, kernel, clock);
+
+  for (int b = 0; b < cfg.blocks; ++b) {
+    for (int t = 0; t < cfg.threads_per_block; ++t) {
+      const auto g = static_cast<std::size_t>(b * cfg.threads_per_block + t);
+      EXPECT_EQ(kernel.steps_done[g], t % 5 + 1);
+      EXPECT_EQ(kernel.finish_calls[g], 1);
+    }
+  }
+  EXPECT_GT(result.device_cycles, 0.0);
+  EXPECT_GT(clock.cycles(), 0u);
+}
+
+TEST(VirtualGpu, WarpStepsEqualMaxLaneSteps) {
+  VirtualGpu gpu;
+  // One warp: lanes run 1..5 steps; lockstep => warp issues 5 steps.
+  const LaunchConfig cfg{.blocks = 1, .threads_per_block = 32};
+  CountingKernel kernel(cfg);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  const LaunchResult result = gpu.launch(cfg, kernel, clock);
+  EXPECT_EQ(result.stats.warps, 1);
+  EXPECT_EQ(result.stats.max_warp_steps, 5u);
+  EXPECT_EQ(result.stats.total_warp_steps, 5u);
+  // Active lane-steps: thread t runs t%5+1 steps; sum over 32 lanes:
+  // 6 full cycles of (1+2+3+4+5)=15 plus lanes 30,31 -> 1+2.
+  EXPECT_EQ(result.stats.total_active_lane_steps, 6u * 15u + 3u);
+  EXPECT_EQ(result.stats.total_lane_slots, 5u * 32u);
+  EXPECT_GT(result.stats.divergence_waste(), 0.0);
+}
+
+TEST(VirtualGpu, UniformLanesHaveNoDivergenceWaste) {
+  /// All lanes run the same number of steps.
+  class UniformKernel {
+   public:
+    struct LaneState {
+      std::int32_t remaining = 4;
+    };
+    [[nodiscard]] LaneState make_lane(const LaneId&) const { return {}; }
+    [[nodiscard]] bool lane_step(LaneState& s) const { return --s.remaining > 0; }
+    void lane_finish(const LaneState&, const LaneId&) {}
+  };
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 2, .threads_per_block = 64};
+  UniformKernel kernel;
+  util::VirtualClock clock(gpu.host().clock_hz);
+  const LaunchResult result = gpu.launch(cfg, kernel, clock);
+  EXPECT_DOUBLE_EQ(result.stats.divergence_waste(), 0.0);
+}
+
+TEST(VirtualGpu, PartialWarpCountsOnlyRealLanes) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 1, .threads_per_block = 40};
+  CountingKernel kernel(cfg);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  const LaunchResult result = gpu.launch(cfg, kernel, clock);
+  EXPECT_EQ(result.stats.warps, 2);
+  // All 40 lanes finished exactly once.
+  for (int t = 0; t < 40; ++t) {
+    EXPECT_EQ(kernel.finish_calls[static_cast<std::size_t>(t)], 1);
+  }
+}
+
+TEST(VirtualGpu, AsyncEventCompletesAtSyncTime) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 2, .threads_per_block = 64};
+
+  // Synchronous reference.
+  CountingKernel k1(cfg);
+  util::VirtualClock sync_clock(gpu.host().clock_hz);
+  (void)gpu.launch(cfg, k1, sync_clock);
+
+  // Async: enqueue + wait must land within one overhead of the sync time.
+  CountingKernel k2(cfg);
+  util::VirtualClock async_clock(gpu.host().clock_hz);
+  const Event ev = gpu.launch_async(cfg, k2, async_clock);
+  EXPECT_FALSE(VirtualGpu::query(ev, async_clock));
+  gpu.wait_for(ev, async_clock);
+  EXPECT_TRUE(VirtualGpu::query(ev, async_clock));
+  EXPECT_EQ(async_clock.cycles(), sync_clock.cycles());
+}
+
+TEST(VirtualGpu, AsyncAllowsHostProgressBeforeCompletion) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 4, .threads_per_block = 128};
+  CountingKernel kernel(cfg);
+  util::VirtualClock clock(gpu.host().clock_hz);
+  const Event ev = gpu.launch_async(cfg, kernel, clock);
+  const std::uint64_t at_launch = clock.cycles();
+  EXPECT_LT(at_launch, ev.completion_host_cycle);
+  // Host "works" during kernel execution.
+  std::uint64_t cpu_work = 0;
+  while (!VirtualGpu::query(ev, clock)) {
+    clock.advance(100000);
+    ++cpu_work;
+  }
+  EXPECT_GT(cpu_work, 0u);
+  gpu.wait_for(ev, clock);
+  EXPECT_GE(clock.cycles(), ev.completion_host_cycle);
+}
+
+TEST(VirtualGpu, LaunchValidatesGeometry) {
+  VirtualGpu gpu;
+  CountingKernel kernel(LaunchConfig{.blocks = 1, .threads_per_block = 32});
+  util::VirtualClock clock(gpu.host().clock_hz);
+  LaunchConfig bad{.blocks = 0, .threads_per_block = 32};
+  EXPECT_THROW((void)gpu.launch(bad, kernel, clock), util::ContractViolation);
+}
+
+TEST(VirtualGpu, DeterministicAcrossRuns) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 2, .threads_per_block = 96};
+  CountingKernel a(cfg);
+  CountingKernel b(cfg);
+  util::VirtualClock ca(gpu.host().clock_hz);
+  util::VirtualClock cb(gpu.host().clock_hz);
+  const LaunchResult ra = gpu.launch(cfg, a, ca);
+  const LaunchResult rb = gpu.launch(cfg, b, cb);
+  EXPECT_EQ(ra.device_cycles, rb.device_cycles);
+  EXPECT_EQ(ra.stats.total_warp_steps, rb.stats.total_warp_steps);
+  EXPECT_EQ(a.steps_done, b.steps_done);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::simt

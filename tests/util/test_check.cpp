@@ -1,0 +1,50 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gpu_mcts::util {
+namespace {
+
+TEST(Check, PassingConditionsDoNothing) {
+  EXPECT_NO_THROW(expects(true));
+  EXPECT_NO_THROW(ensures(true));
+  EXPECT_NO_THROW(check(true));
+}
+
+TEST(Check, FailingExpectsThrows) {
+  EXPECT_THROW(expects(false, "must hold"), ContractViolation);
+}
+
+TEST(Check, FailingEnsuresThrows) {
+  EXPECT_THROW(ensures(false), ContractViolation);
+}
+
+TEST(Check, FailingCheckThrows) {
+  EXPECT_THROW(check(false), ContractViolation);
+}
+
+TEST(Check, MessageCarriesExpressionAndLocation) {
+  try {
+    expects(false, "games >= 1");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("games >= 1"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, IsLogicError) {
+  try {
+    check(false, "x");
+  } catch (const std::logic_error&) {
+    SUCCEED();
+    return;
+  }
+  FAIL() << "ContractViolation must derive from std::logic_error";
+}
+
+}  // namespace
+}  // namespace gpu_mcts::util

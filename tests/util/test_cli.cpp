@@ -1,0 +1,71 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace gpu_mcts::util {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliArgs, EqualsForm) {
+  const CliArgs args = parse({"prog", "--games=5", "--budget=0.25"});
+  EXPECT_EQ(args.get_int("games", 0), 5);
+  EXPECT_DOUBLE_EQ(args.get_double("budget", 0.0), 0.25);
+}
+
+TEST(CliArgs, SpaceForm) {
+  const CliArgs args = parse({"prog", "--games", "7"});
+  EXPECT_EQ(args.get_int("games", 0), 7);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const CliArgs args = parse({"prog", "--csv"});
+  EXPECT_TRUE(args.get_bool("csv", false));
+  EXPECT_TRUE(args.has("csv"));
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const CliArgs args = parse({"prog"});
+  EXPECT_EQ(args.get_int("games", 42), 42);
+  EXPECT_EQ(args.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(args.get_bool("csv", false));
+  EXPECT_FALSE(args.has("csv"));
+}
+
+TEST(CliArgs, PositionalArguments) {
+  const CliArgs args = parse({"prog", "file1", "--x=1", "file2"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+TEST(CliArgs, MalformedNumberThrows) {
+  const CliArgs args = parse({"prog", "--games=abc"});
+  EXPECT_THROW((void)args.get_int("games", 0), std::invalid_argument);
+}
+
+TEST(CliArgs, MalformedBoolThrows) {
+  const CliArgs args = parse({"prog", "--csv=maybe"});
+  EXPECT_THROW((void)args.get_bool("csv", false), std::invalid_argument);
+}
+
+TEST(CliArgs, UnsignedParsing) {
+  const CliArgs args = parse({"prog", "--seed=18446744073709551615"});
+  EXPECT_EQ(args.get_uint("seed", 0), 18446744073709551615ULL);
+}
+
+TEST(CliArgs, BoolVariants) {
+  EXPECT_TRUE(parse({"p", "--f=yes"}).get_bool("f", false));
+  EXPECT_TRUE(parse({"p", "--f=1"}).get_bool("f", false));
+  EXPECT_FALSE(parse({"p", "--f=off"}).get_bool("f", true));
+  EXPECT_FALSE(parse({"p", "--f=0"}).get_bool("f", true));
+}
+
+}  // namespace
+}  // namespace gpu_mcts::util

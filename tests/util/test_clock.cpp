@@ -1,0 +1,61 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpu_mcts::util {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  const VirtualClock c(1.0e9);
+  EXPECT_EQ(c.cycles(), 0u);
+  EXPECT_EQ(c.seconds(), 0.0);
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock c(1.0e9);
+  c.advance(500);
+  c.advance(1500);
+  EXPECT_EQ(c.cycles(), 2000u);
+  EXPECT_DOUBLE_EQ(c.seconds(), 2000.0 / 1.0e9);
+}
+
+TEST(VirtualClock, AdvanceToIsMonotone) {
+  VirtualClock c(1.0e9);
+  c.advance(1000);
+  c.advance_to(500);  // already past: no-op
+  EXPECT_EQ(c.cycles(), 1000u);
+  c.advance_to(2500);
+  EXPECT_EQ(c.cycles(), 2500u);
+}
+
+TEST(VirtualClock, ToCyclesRoundTrips) {
+  const VirtualClock c(2.93e9);
+  EXPECT_EQ(c.to_cycles(1.0), 2930000000u);
+  EXPECT_EQ(c.to_cycles(0.0), 0u);
+}
+
+TEST(VirtualClock, FrequencyAffectsSeconds) {
+  VirtualClock fast(2.0e9);
+  VirtualClock slow(1.0e9);
+  fast.advance(1000);
+  slow.advance(1000);
+  EXPECT_DOUBLE_EQ(fast.seconds() * 2.0, slow.seconds());
+}
+
+TEST(VirtualClock, Reset) {
+  VirtualClock c(1.0e9);
+  c.advance(123);
+  c.reset();
+  EXPECT_EQ(c.cycles(), 0u);
+}
+
+TEST(WallTimer, ElapsedIsNonNegativeAndIncreasing) {
+  WallTimer t;
+  const double a = t.elapsed_seconds();
+  const double b = t.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::util

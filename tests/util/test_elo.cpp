@@ -1,0 +1,57 @@
+#include "util/elo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpu_mcts::util {
+namespace {
+
+TEST(Elo, EvenScoreIsZero) {
+  EXPECT_DOUBLE_EQ(elo_from_score(0.5), 0.0);
+}
+
+TEST(Elo, KnownAnchors) {
+  // 0.75 expected score ~ +191 Elo; 0.64 ~ +100 Elo.
+  EXPECT_NEAR(elo_from_score(0.75), 190.8, 0.5);
+  EXPECT_NEAR(elo_from_score(0.64), 100.0, 2.0);
+}
+
+TEST(Elo, RoundTripsWithScore) {
+  for (const double diff : {-400.0, -100.0, 0.0, 50.0, 300.0}) {
+    EXPECT_NEAR(elo_from_score(score_from_elo(diff)), diff, 1e-9);
+  }
+}
+
+TEST(Elo, ExtremesAreClamped) {
+  EXPECT_DOUBLE_EQ(elo_from_score(0.0), -kMaxElo);
+  EXPECT_DOUBLE_EQ(elo_from_score(1.0), kMaxElo);
+  EXPECT_LE(elo_from_score(0.9999), kMaxElo);
+}
+
+TEST(Elo, AntisymmetricInScore) {
+  for (const double p : {0.6, 0.75, 0.9}) {
+    EXPECT_NEAR(elo_from_score(p), -elo_from_score(1.0 - p), 1e-9);
+  }
+}
+
+TEST(Elo, EstimateCarriesUncertainty) {
+  const EloEstimate small = elo_estimate(3, 0, 4);
+  const EloEstimate large = elo_estimate(300, 0, 400);
+  EXPECT_NEAR(small.diff, large.diff, 1e-9);  // same point estimate (0.75)
+  EXPECT_LT(small.low, large.low);            // but wider interval
+  EXPECT_GT(small.high, large.high);
+  EXPECT_LE(small.low, small.diff);
+  EXPECT_GE(small.high, small.diff);
+}
+
+TEST(Elo, DrawsCountHalf) {
+  const EloEstimate all_draws = elo_estimate(0, 10, 10);
+  EXPECT_DOUBLE_EQ(all_draws.diff, 0.0);
+}
+
+TEST(Elo, ZeroGamesIsNeutral) {
+  const EloEstimate none = elo_estimate(0, 0, 0);
+  EXPECT_EQ(none.diff, 0.0);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::util

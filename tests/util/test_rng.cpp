@@ -1,0 +1,123 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace gpu_mcts::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(XorShift128Plus, IsDeterministic) {
+  XorShift128Plus a(7);
+  XorShift128Plus b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(XorShift128Plus, ZeroSeedIsValid) {
+  XorShift128Plus rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(rng());
+  EXPECT_GT(seen.size(), 60u);  // no short cycle / stuck state
+}
+
+TEST(XorShift128Plus, NextBelowStaysInRange) {
+  XorShift128Plus rng(123);
+  for (std::uint32_t bound : {1u, 2u, 3u, 7u, 33u, 64u, 1000u}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(XorShift128Plus, NextBelowBoundOneAlwaysZero) {
+  XorShift128Plus rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(XorShift128Plus, NextBelowIsRoughlyUniform) {
+  XorShift128Plus rng(99);
+  constexpr std::uint32_t kBound = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBound> histogram{};
+  for (int i = 0; i < kDraws; ++i) histogram[rng.next_below(kBound)]++;
+  const double expected = static_cast<double>(kDraws) / kBound;
+  for (const int count : histogram) {
+    // 5-sigma band for a binomial with p = 1/8.
+    EXPECT_NEAR(count, expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(XorShift128Plus, NextDoubleInUnitInterval) {
+  XorShift128Plus rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(CounterRng, StreamsAreIndependent) {
+  CounterRng a(42, 0);
+  CounterRng b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(CounterRng, SameStreamReproduces) {
+  CounterRng a(42, 17);
+  CounterRng b(42, 17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(CounterRng, ManyLanesNoObviousCorrelation) {
+  // First outputs of 1024 consecutive streams must all be distinct —
+  // the lane-seeding property the SIMT kernel relies on.
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t lane = 0; lane < 1024; ++lane) {
+    CounterRng rng(7, lane);
+    firsts.insert(rng());
+  }
+  EXPECT_EQ(firsts.size(), 1024u);
+}
+
+TEST(CounterRng, NextBelowStaysInRange) {
+  CounterRng rng(3, 9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(9), 9u);
+}
+
+TEST(DeriveSeed, ChildSeedsDifferBySalt) {
+  const auto a = derive_seed(100, 1);
+  const auto b = derive_seed(100, 2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, derive_seed(100, 1));
+}
+
+TEST(DeriveSeed, ChildSeedsDifferByParent) {
+  EXPECT_NE(derive_seed(100, 1), derive_seed(101, 1));
+}
+
+}  // namespace
+}  // namespace gpu_mcts::util

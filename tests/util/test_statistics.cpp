@@ -1,0 +1,115 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gpu_mcts::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(WilsonInterval, ZeroTrialsIsVacuous) {
+  const Interval iv = wilson_interval(0, 0);
+  EXPECT_EQ(iv.low, 0.0);
+  EXPECT_EQ(iv.high, 1.0);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  for (std::size_t wins : {0u, 3u, 5u, 10u}) {
+    const Interval iv = wilson_interval(wins, 10);
+    const double p = static_cast<double>(wins) / 10.0;
+    EXPECT_LE(iv.low, p);
+    EXPECT_GE(iv.high, p);
+    EXPECT_GE(iv.low, 0.0);
+    EXPECT_LE(iv.high, 1.0);
+  }
+}
+
+TEST(WilsonInterval, NarrowsWithMoreTrials) {
+  const Interval small = wilson_interval(5, 10);
+  const Interval large = wilson_interval(500, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(MeanOf, HandlesEmptyAndValues) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  const std::array<double, 4> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+}
+
+TEST(QuantileOf, MedianAndExtremes) {
+  const std::array<double, 5> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 1.0), 5.0);
+}
+
+TEST(QuantileOf, EmptyThrows) {
+  EXPECT_THROW((void)quantile_of({}, 0.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::util

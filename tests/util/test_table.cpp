@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gpu_mcts::util {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"name", "value"});
+  t.begin_row().add("alpha").add(1);
+  t.begin_row().add("beta").add(2);
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvIsCommaSeparated) {
+  Table t({"a", "b"});
+  t.begin_row().add(1).add(2.5, 1);
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Table, AddWithoutRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add("x"), ContractViolation);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"a"});
+  t.begin_row().add("x");
+  EXPECT_THROW(t.add("y"), ContractViolation);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), ContractViolation);
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(-0.5, 3), "-0.500");
+}
+
+TEST(FormatGrouped, ThousandsSeparators) {
+  EXPECT_EQ(format_grouped(0), "0");
+  EXPECT_EQ(format_grouped(999), "999");
+  EXPECT_EQ(format_grouped(1000), "1,000");
+  EXPECT_EQ(format_grouped(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace gpu_mcts::util
