@@ -6,10 +6,23 @@
 
 namespace gpu_mcts::cluster {
 
+std::string RecvError::describe() const {
+  std::string msg = reason == Reason::kNoMessage
+                        ? "recv: no message ever sent"
+                        : "recv: timed out";
+  msg += " (rank ";
+  msg += std::to_string(from);
+  msg += " -> rank ";
+  msg += std::to_string(to);
+  msg += ')';
+  return msg;
+}
+
 Communicator::Communicator(int ranks, CommCosts costs)
     : ranks_(ranks), costs_(costs) {
   util::expects(ranks >= 1, "communicator needs at least one rank");
   clocks_.assign(static_cast<std::size_t>(ranks), util::VirtualClock(2.93e9));
+  alive_.assign(static_cast<std::size_t>(ranks), 1);
   mailboxes_.assign(
       static_cast<std::size_t>(ranks),
       std::vector<std::deque<Message>>(static_cast<std::size_t>(ranks)));
@@ -25,50 +38,115 @@ const util::VirtualClock& Communicator::clock(int rank) const {
   return clocks_[static_cast<std::size_t>(rank)];
 }
 
+void Communicator::kill_rank(int rank) {
+  util::expects(rank >= 0 && rank < ranks_, "rank in range");
+  if (!alive_[static_cast<std::size_t>(rank)]) return;
+  alive_[static_cast<std::size_t>(rank)] = 0;
+  injector_.log().record_fault(util::FaultKind::kDeadRank,
+                               clock(rank).cycles(), rank);
+}
+
+bool Communicator::alive(int rank) const {
+  util::expects(rank >= 0 && rank < ranks_, "rank in range");
+  return alive_[static_cast<std::size_t>(rank)] != 0;
+}
+
+int Communicator::alive_ranks() const noexcept {
+  int n = 0;
+  for (const auto a : alive_) n += a != 0 ? 1 : 0;
+  return n;
+}
+
 void Communicator::send(int from, int to, std::span<const double> payload) {
   util::expects(from >= 0 && from < ranks_, "source rank in range");
   util::expects(to >= 0 && to < ranks_, "destination rank in range");
+  if (!alive(from)) return;  // a dead rank emits nothing
   auto& sender = clock(from);
   const auto inject = static_cast<std::uint64_t>(
       costs_.per_word_cycles * static_cast<double>(payload.size()));
   sender.advance(inject);
+  // A send to a dead rank, or one the injector eats, charges the sender and
+  // vanishes — MPI's eager-send cannot detect either case at the sender.
+  if (!alive(to)) {
+    injector_.log().record_fault(util::FaultKind::kDroppedMessage,
+                                 sender.cycles(), from, to);
+    return;
+  }
+  if (injector_.message_dropped(sender.cycles(), from, to)) return;
+  double latency = costs_.latency_cycles;
+  if (injector_.message_delayed(sender.cycles(), from, to)) {
+    latency *= injector_.policy().delay_multiplier;
+  }
   Message msg;
   msg.source = from;
   msg.payload.assign(payload.begin(), payload.end());
-  msg.available_at_cycle =
-      sender.cycles() + static_cast<std::uint64_t>(costs_.latency_cycles);
+  msg.available_at_cycle = sender.cycles() + static_cast<std::uint64_t>(latency);
   mailboxes_[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)]
       .push_back(std::move(msg));
 }
 
-std::optional<Message> Communicator::recv(int to, int from) {
+RecvResult Communicator::recv(int to, int from, std::uint64_t timeout_cycles) {
   util::expects(from >= 0 && from < ranks_, "source rank in range");
   util::expects(to >= 0 && to < ranks_, "destination rank in range");
   auto& box =
       mailboxes_[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)];
-  if (box.empty()) return std::nullopt;
-  Message msg = std::move(box.front());
-  box.pop_front();
-  clock(to).advance_to(msg.available_at_cycle);
-  return msg;
+  auto& receiver = clock(to);
+
+  RecvResult result;
+  if (!box.empty()) {
+    const std::uint64_t arrival = box.front().available_at_cycle;
+    const bool within_timeout =
+        timeout_cycles == kNoTimeout ||
+        arrival <= receiver.cycles() ||
+        arrival - receiver.cycles() <= timeout_cycles;
+    if (within_timeout) {
+      Message msg = std::move(box.front());
+      box.pop_front();
+      receiver.advance_to(msg.available_at_cycle);
+      result.message = std::move(msg);
+      return result;
+    }
+    // In flight but too late: the receiver waited out its timeout.
+    receiver.advance(timeout_cycles);
+    result.error = {RecvError::Reason::kTimedOut, to, from};
+    return result;
+  }
+  if (timeout_cycles != kNoTimeout) {
+    receiver.advance(timeout_cycles);
+    result.error = {RecvError::Reason::kTimedOut, to, from};
+    return result;
+  }
+  // Nothing was ever sent and the caller would wait forever: surface the
+  // would-be deadlock as a diagnosable error instead of hanging.
+  result.error = {RecvError::Reason::kNoMessage, to, from};
+  return result;
 }
 
 void Communicator::barrier() {
   std::uint64_t latest = 0;
-  for (const auto& c : clocks_) latest = std::max(latest, c.cycles());
+  for (int r = 0; r < ranks_; ++r) {
+    if (alive(r)) latest = std::max(latest, clock(r).cycles());
+  }
   const auto after = latest + static_cast<std::uint64_t>(costs_.latency_cycles);
-  for (auto& c : clocks_) c.advance_to(after);
+  for (int r = 0; r < ranks_; ++r) {
+    if (alive(r)) clock(r).advance_to(after);
+  }
 }
 
-double Communicator::allreduce_cost_cycles(std::size_t words) const noexcept {
-  const double hops = ranks_ > 1
-                          ? std::ceil(std::log2(static_cast<double>(ranks_)))
-                          : 0.0;
+double Communicator::tree_cost_cycles(std::size_t words,
+                                      int participants) const noexcept {
+  const double hops =
+      participants > 1 ? std::ceil(std::log2(static_cast<double>(participants)))
+                       : 0.0;
   return hops * (costs_.latency_cycles +
                  costs_.per_word_cycles * static_cast<double>(words));
 }
 
-std::vector<double> Communicator::allreduce_sum(
+double Communicator::allreduce_cost_cycles(std::size_t words) const noexcept {
+  return tree_cost_cycles(words, ranks_);
+}
+
+AllreduceResult Communicator::allreduce_sum(
     const std::vector<std::vector<double>>& contributions) {
   util::expects(contributions.size() == static_cast<std::size_t>(ranks_),
                 "one contribution per rank");
@@ -77,17 +155,35 @@ std::vector<double> Communicator::allreduce_sum(
   for (const auto& c : contributions) {
     util::expects(c.size() == words, "equal-length contributions");
   }
-  std::vector<double> sum(words, 0.0);
-  for (const auto& c : contributions) {
-    for (std::size_t i = 0; i < words; ++i) sum[i] += c[i];
+  util::expects(alive_ranks() >= 1, "allreduce needs a surviving rank");
+
+  AllreduceResult result;
+  result.sum.assign(words, 0.0);
+  for (int r = 0; r < ranks_; ++r) {
+    if (!alive(r)) continue;
+    const auto& c = contributions[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < words; ++i) result.sum[i] += c[i];
+    result.contributors += 1;
   }
-  // Time: everyone meets at the latest entry, then pays the reduction tree.
+
+  // Time: survivors meet at the latest survivor's entry; a dead rank makes
+  // everyone wait out the watchdog timeout before the partial reduction.
   std::uint64_t latest = 0;
-  for (const auto& c : clocks_) latest = std::max(latest, c.cycles());
-  const auto done =
-      latest + static_cast<std::uint64_t>(allreduce_cost_cycles(words));
-  for (auto& c : clocks_) c.advance_to(done);
-  return sum;
+  for (int r = 0; r < ranks_; ++r) {
+    if (alive(r)) latest = std::max(latest, clock(r).cycles());
+  }
+  result.timed_out = result.contributors < ranks_;
+  if (result.timed_out) {
+    latest += static_cast<std::uint64_t>(costs_.collective_timeout_cycles);
+    injector_.log().record_recovery(util::RecoveryKind::kPartialReduce, latest,
+                                    result.contributors, ranks_);
+  }
+  const auto done = latest + static_cast<std::uint64_t>(
+                                 tree_cost_cycles(words, result.contributors));
+  for (int r = 0; r < ranks_; ++r) {
+    if (alive(r)) clock(r).advance_to(done);
+  }
+  return result;
 }
 
 }  // namespace gpu_mcts::cluster

@@ -7,17 +7,29 @@
 // (binary-tree allreduce: base latency x ceil(log2 ranks) + bandwidth term).
 // The code path a real MPI build would take — contribute local root
 // statistics, reduce, broadcast the decision — is exercised identically.
+//
+// Failure semantics (all deterministic, all off by default):
+//  * A util::FaultInjector can drop or delay point-to-point messages.
+//  * Ranks can die (kill_rank); dead ranks neither send nor receive, and
+//    collectives wait collective_timeout_cycles for them before proceeding
+//    with the survivors' contributions only.
+//  * recv never "hangs as a silent nullopt": it returns either the message
+//    or a RecvError saying *why* (nothing was ever sent vs. the wait timed
+//    out) and between which ranks.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "util/check.hpp"
 #include "util/clock.hpp"
+#include "util/fault.hpp"
 
 namespace gpu_mcts::cluster {
 
@@ -26,6 +38,10 @@ struct CommCosts {
   double latency_cycles = 1.5e5;
   /// Additional cycles per 8-byte word transferred.
   double per_word_cycles = 12.0;
+  /// Virtual cycles a collective waits for missing (dead) participants
+  /// before proceeding with the survivors — the MPI-with-failover analogue
+  /// of a watchdog timeout. Only charged when a rank is actually dead.
+  double collective_timeout_cycles = 2.0e6;
 };
 
 /// A payload with its virtual arrival time.
@@ -35,46 +51,117 @@ struct Message {
   std::uint64_t available_at_cycle = 0;
 };
 
+/// Why a receive produced no message.
+struct RecvError {
+  enum class Reason : std::uint8_t {
+    /// Nothing was ever sent on this (from -> to) edge: in a real system
+    /// this blocking receive would deadlock.
+    kNoMessage = 0,
+    /// A finite timeout elapsed before any message became deliverable; the
+    /// receiver's clock advanced by the full timeout.
+    kTimedOut,
+  };
+  Reason reason = Reason::kNoMessage;
+  int to = 0;
+  int from = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Outcome of a receive: the message, or a diagnosable error.
+struct RecvResult {
+  std::optional<Message> message;
+  /// Meaningful only when !ok().
+  RecvError error{};
+
+  [[nodiscard]] bool ok() const noexcept { return message.has_value(); }
+};
+
+/// Outcome of an allreduce that may have lost participants.
+struct AllreduceResult {
+  /// Element-wise sum over the *contributing* (alive) ranks.
+  std::vector<double> sum;
+  /// Ranks whose contributions were merged.
+  int contributors = 0;
+  /// True when the collective proceeded without dead ranks after waiting
+  /// out the collective timeout.
+  bool timed_out = false;
+};
+
 class Communicator {
  public:
+  /// "Wait forever" (report kNoMessage rather than ever time out).
+  static constexpr std::uint64_t kNoTimeout =
+      std::numeric_limits<std::uint64_t>::max();
+
   explicit Communicator(int ranks, CommCosts costs = {});
 
   [[nodiscard]] int ranks() const noexcept { return ranks_; }
   [[nodiscard]] const CommCosts& costs() const noexcept { return costs_; }
+
+  /// Installs a fault injector for message drop/delay (default: disabled).
+  void set_fault_injector(util::FaultInjector injector) noexcept {
+    injector_ = std::move(injector);
+  }
+  [[nodiscard]] util::FaultInjector& fault_injector() noexcept {
+    return injector_;
+  }
+  [[nodiscard]] const util::FaultInjector& fault_injector() const noexcept {
+    return injector_;
+  }
+
+  /// Marks a rank dead: it stops sending, receiving, and contributing to
+  /// collectives. Recorded as a kDeadRank fault.
+  void kill_rank(int rank);
+  [[nodiscard]] bool alive(int rank) const;
+  [[nodiscard]] int alive_ranks() const noexcept;
 
   /// Per-rank virtual clock (all start at zero).
   [[nodiscard]] util::VirtualClock& clock(int rank);
   [[nodiscard]] const util::VirtualClock& clock(int rank) const;
 
   /// Non-blocking send: charges the sender the injection cost and enqueues
-  /// the message with its delivery time on the receiver's timeline.
+  /// the message with its delivery time on the receiver's timeline. Sends
+  /// involving a dead rank, or dropped by the fault injector, vanish after
+  /// charging the sender (the sender cannot tell — as with real MPI).
   void send(int from, int to, std::span<const double> payload);
 
-  /// Blocking receive from a specific source: advances the receiver's clock
-  /// to the message's arrival if it has not reached it yet. Returns nullopt
-  /// when no message from `from` was ever sent (deadlock in a real system;
-  /// surfaced as an error state here).
-  [[nodiscard]] std::optional<Message> recv(int to, int from);
+  /// Blocking receive from a specific source, advancing the receiver's
+  /// clock to the message's arrival. With a finite timeout the receiver
+  /// waits at most `timeout_cycles` beyond its current time; on expiry the
+  /// clock advances by the full timeout and RecvError::kTimedOut is
+  /// returned. With kNoTimeout and no message in flight the result is
+  /// RecvError::kNoMessage (a real system would deadlock here).
+  [[nodiscard]] RecvResult recv(int to, int from,
+                                std::uint64_t timeout_cycles = kNoTimeout);
 
-  /// Barrier: advances every rank to the latest participant's time plus one
-  /// latency hop.
+  /// Barrier: advances every living rank to the latest participant's time
+  /// plus one latency hop.
   void barrier();
 
-  /// Allreduce(sum) over equal-length per-rank vectors. Every rank's clock
-  /// advances to barrier + tree-reduction cost; the summed vector is
-  /// returned (identical on all ranks, as MPI_Allreduce guarantees).
-  [[nodiscard]] std::vector<double> allreduce_sum(
+  /// Allreduce(sum) over equal-length per-rank vectors. Living ranks meet
+  /// at the latest survivor's time — plus the collective timeout when any
+  /// rank is dead — then pay the tree-reduction cost; the sum merges only
+  /// surviving contributions (identical on all survivors, as MPI with a
+  /// failover layer would guarantee).
+  [[nodiscard]] AllreduceResult allreduce_sum(
       const std::vector<std::vector<double>>& contributions);
 
-  /// Cycles the modeled allreduce costs for a vector of `words` doubles.
+  /// Cycles the modeled allreduce costs for a vector of `words` doubles
+  /// across all ranks (dead or not — used for budget planning).
   [[nodiscard]] double allreduce_cost_cycles(std::size_t words) const noexcept;
 
  private:
+  [[nodiscard]] double tree_cost_cycles(std::size_t words,
+                                        int participants) const noexcept;
+
   int ranks_;
   CommCosts costs_;
   std::vector<util::VirtualClock> clocks_;
+  std::vector<std::uint8_t> alive_;
   // mailboxes_[to][from] = FIFO of undelivered messages.
   std::vector<std::vector<std::deque<Message>>> mailboxes_;
+  util::FaultInjector injector_;
 };
 
 }  // namespace gpu_mcts::cluster

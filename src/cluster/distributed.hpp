@@ -28,6 +28,12 @@ class DistributedRootSearcher final : public mcts::Searcher<G> {
     /// Per-rank GPU geometry; Figure 9 uses 112 blocks x 64 threads.
     simt::LaunchConfig launch{.blocks = 112, .threads_per_block = 64};
     CommCosts comm{};
+    /// Ranks that die before the search (fault-injection scenario): they
+    /// contribute nothing and the allreduce proceeds with the survivors
+    /// after the collective timeout. Must leave at least one rank alive.
+    std::vector<int> dead_ranks{};
+    /// Message drop/delay faults on the communication layer.
+    util::FaultPolicy comm_faults{};
   };
 
   DistributedRootSearcher(Options options, mcts::SearchConfig config = {},
@@ -50,6 +56,10 @@ class DistributedRootSearcher final : public mcts::Searcher<G> {
                                              double budget_seconds) override {
     util::expects(!G::is_terminal(state), "choose_move on terminal state");
     Communicator comm(options_.ranks, options_.comm);
+    comm.set_fault_injector(util::FaultInjector(
+        options_.comm_faults, util::derive_seed(seed_, 0xfa117ULL)));
+    for (const int dead : options_.dead_ranks) comm.kill_rank(dead);
+    util::expects(comm.alive_ranks() >= 1, "at least one surviving rank");
 
     // Each rank spends the move budget minus its share of communication
     // (the allreduce must fit inside the move clock).
@@ -67,6 +77,9 @@ class DistributedRootSearcher final : public mcts::Searcher<G> {
 
     stats_ = {};
     for (int r = 0; r < options_.ranks; ++r) {
+      // A dead rank never starts its search: its contribution table stays
+      // zero and its clock stops mattering to the collective.
+      if (!comm.alive(r)) continue;
       auto& searcher = *ranks_[static_cast<std::size_t>(r)];
       (void)searcher.choose_move(state, rank_budget);
       const auto& rank_stats = searcher.last_stats();
@@ -85,16 +98,23 @@ class DistributedRootSearcher final : public mcts::Searcher<G> {
         table[2 * slot] += static_cast<double>(m.visits);
         table[2 * slot + 1] += m.wins;
       }
+      stats_.faults.accumulate(searcher.last_stats().faults);
     }
 
-    const std::vector<double> summed = comm.allreduce_sum(contributions);
+    // The collective completes even with dead ranks: survivors wait out the
+    // timeout, then merge only surviving contributions.
+    const AllreduceResult reduced = comm.allreduce_sum(contributions);
+    const std::vector<double>& summed = reduced.sum;
 
-    // Model time for the move: the slowest rank's clock after the collective.
+    // Model time for the move: the slowest surviving rank's clock after the
+    // collective.
     double elapsed = 0.0;
     for (int r = 0; r < options_.ranks; ++r) {
+      if (!comm.alive(r)) continue;
       elapsed = std::max(elapsed, comm.clock(r).seconds());
     }
     stats_.virtual_seconds = elapsed;
+    stats_.faults.accumulate(comm.fault_injector().log());
 
     std::vector<parallel::MergedMove<typename G::Move>> merged;
     for (std::size_t slot = 0; slot < kMoveSlots; ++slot) {

@@ -5,6 +5,8 @@
 
 #include <cstdint>
 
+#include "util/fault.hpp"
+
 namespace gpu_mcts::mcts {
 
 struct SearchStats {
@@ -20,6 +22,10 @@ struct SearchStats {
   double virtual_seconds = 0.0;
   /// Fraction of SIMD lane-slots wasted (GPU schemes only; 0 for CPU).
   double divergence_waste = 0.0;
+  /// Injected faults and recovery actions observed during this search
+  /// (empty unless a util::FaultInjector was enabled — degradation is
+  /// observable, never silent).
+  util::FaultLog faults;
 
   [[nodiscard]] double simulations_per_second() const noexcept {
     return virtual_seconds > 0.0
@@ -28,7 +34,7 @@ struct SearchStats {
   }
 
   /// Accumulates per-move stats into a per-game or per-experiment total.
-  void accumulate(const SearchStats& other) noexcept {
+  void accumulate(const SearchStats& other) {
     simulations += other.simulations;
     rounds += other.rounds;
     tree_nodes += other.tree_nodes;
@@ -38,6 +44,7 @@ struct SearchStats {
     // reporting and keeps the field meaningful for mixed schemes.
     if (other.divergence_waste > divergence_waste)
       divergence_waste = other.divergence_waste;
+    faults.accumulate(other.faults);
   }
 };
 

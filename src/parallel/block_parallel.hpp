@@ -18,6 +18,7 @@
 
 #include "game/game_traits.hpp"
 #include "mcts/config.hpp"
+#include "mcts/playout.hpp"
 #include "mcts/searcher.hpp"
 #include "mcts/tree.hpp"
 #include "parallel/merge.hpp"
@@ -26,6 +27,8 @@
 #include "simt/vgpu.hpp"
 #include "util/check.hpp"
 #include "util/clock.hpp"
+#include "util/fault.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 
 namespace gpu_mcts::parallel {
@@ -37,6 +40,12 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
     /// blocks = trees, threads = playouts per tree per round; the paper's
     /// flagship configuration is 112 blocks x 128 threads.
     simt::LaunchConfig launch{.blocks = 112, .threads_per_block = 128};
+    /// Retry budget for failed launches and transfers (faults only occur
+    /// under an enabled util::FaultInjector on the VirtualGpu).
+    util::RetryPolicy retry{};
+    /// Consecutive unrecoverable GPU rounds before the searcher stops
+    /// launching and degrades to CPU-only sequential iterations.
+    int max_failed_rounds = 2;
   };
 
   BlockParallelGpuSearcher(Options options, mcts::SearchConfig config = {},
@@ -65,51 +74,118 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
     // Kernel I/O goes through device buffers: roots up, results down, with
     // PCIe transfer costs charged per round (paper: "the results are written
     // to an array in the GPU's memory ... and CPU reads the results back").
+    gpu_.fault_injector().reset_log();
+    util::FaultLog& fault_log = gpu_.fault_injector().log();
+
     simt::DeviceBuffer<typename G::State> roots(trees_n);
     simt::DeviceBuffer<simt::BlockResult> results(trees_n);
+    roots.set_fault_injector(&gpu_.fault_injector());
+    roots.set_retry_policy(options_.retry);
+    results.set_fault_injector(&gpu_.fault_injector());
+    results.set_retry_policy(options_.retry);
     std::vector<mcts::NodeIndex> leaves(trees_n);
     std::vector<std::uint8_t> terminal(trees_n);
+    util::XorShift128Plus fallback_rng(
+        util::derive_seed(search_seed, 0xfa11ULL));
 
     stats_ = {};
     double waste_sum = 0.0;
     std::uint64_t round = 0;
+    std::size_t fallback_cursor = 0;
+    int failed_rounds = 0;
+    bool gpu_abandoned = false;
+
+    // Degradation path: one ordinary sequential MCTS iteration on a
+    // rotating tree, for rounds where the device produced nothing.
+    const auto cpu_iteration = [&] {
+      mcts::Tree<G>& tree = *trees[fallback_cursor];
+      fallback_cursor = (fallback_cursor + 1) % trees_n;
+      const mcts::Selection<G> sel = tree.select();
+      double value;
+      std::uint32_t plies = 0;
+      if (sel.terminal) {
+        value =
+            game::value_of(G::outcome_for(sel.state, game::Player::kFirst));
+      } else {
+        const mcts::PlayoutResult playout =
+            mcts::random_playout<G>(sel.state, fallback_rng);
+        value = playout.value_first;
+        plies = playout.plies;
+      }
+      tree.backpropagate(sel.node, value, 1, value * value);
+      clock.advance(static_cast<std::uint64_t>(
+          gpu_.cost().host_tree_op_cycles +
+          gpu_.cost().host_cycles_per_ply * static_cast<double>(plies)));
+      stats_.simulations += 1;
+    };
 
     do {
-      // Sequential host part: select/expand every tree — "at most one CPU
-      // controls one GPU, certain part of the algorithm has to be processed
-      // sequentially" (paper §IV).
-      for (std::size_t t = 0; t < trees_n; ++t) {
-        const mcts::Selection<G> sel = trees[t]->select();
-        roots.host()[t] = sel.state;
-        leaves[t] = sel.node;
-        terminal[t] = sel.terminal ? 1 : 0;
-        clock.advance(
-            static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
-      }
-      roots.upload(clock);
-
-      const std::span<simt::BlockResult> device_results =
-          results.device_view();
-      for (auto& r : device_results) r = simt::BlockResult{};
-      simt::PlayoutKernel<G> kernel(roots.device_view(), search_seed, round,
-                                    device_results);
-      const simt::LaunchResult launch =
-          gpu_.launch(options_.launch, kernel, clock);
-      waste_sum += launch.stats.divergence_waste();
-
-      // Sequential host part: read back and backpropagate per tree.
-      results.download(clock);
-      const std::span<const simt::BlockResult> tallies = results.host_checked();
-      for (std::size_t t = 0; t < trees_n; ++t) {
-        if (terminal[t]) {
-          // Lanes replayed a terminal state: every playout returned its
-          // exact value, so the aggregate is still correct; nothing special
-          // to do. (Kept explicit for clarity.)
+      bool gpu_round_ok = false;
+      if (!gpu_abandoned) {
+        // Sequential host part: select/expand every tree — "at most one CPU
+        // controls one GPU, certain part of the algorithm has to be
+        // processed sequentially" (paper §IV).
+        for (std::size_t t = 0; t < trees_n; ++t) {
+          const mcts::Selection<G> sel = trees[t]->select();
+          roots.host()[t] = sel.state;
+          leaves[t] = sel.node;
+          terminal[t] = sel.terminal ? 1 : 0;
+          clock.advance(
+              static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
         }
-        trees[t]->backpropagate(leaves[t], tallies[t].value_first,
-                                tallies[t].simulations,
-                                tallies[t].value_sq_first);
-        stats_.simulations += tallies[t].simulations;
+        try {
+          roots.upload(clock);
+
+          simt::LaunchResult launch;
+          const bool launched = util::with_retry(
+              options_.retry, clock, &fault_log, [&](int /*attempt*/) {
+                const std::span<simt::BlockResult> device_results =
+                    results.device_view();
+                for (auto& r : device_results) r = simt::BlockResult{};
+                simt::PlayoutKernel<G> kernel(roots.device_view(),
+                                              search_seed, round,
+                                              device_results);
+                launch = gpu_.launch(options_.launch, kernel, clock);
+                return launch.ok();
+              });
+          if (launched) {
+            waste_sum += launch.stats.divergence_waste();
+
+            // Sequential host part: read back and backpropagate per tree.
+            results.download(clock);
+            const std::span<const simt::BlockResult> tallies =
+                results.host_checked();
+            for (std::size_t t = 0; t < trees_n; ++t) {
+              if (terminal[t]) {
+                // Lanes replayed a terminal state: every playout returned
+                // its exact value, so the aggregate is still correct;
+                // nothing special to do. (Kept explicit for clarity.)
+              }
+              trees[t]->backpropagate(leaves[t], tallies[t].value_first,
+                                      tallies[t].simulations,
+                                      tallies[t].value_sq_first);
+              stats_.simulations += tallies[t].simulations;
+            }
+            gpu_round_ok = true;
+          }
+        } catch (const util::FaultError&) {
+          // Transfer retries exhausted: this round's GPU work is lost.
+        }
+        if (gpu_round_ok) {
+          failed_rounds = 0;
+        } else if (++failed_rounds >= options_.max_failed_rounds) {
+          gpu_abandoned = true;
+          fault_log.record_recovery(util::RecoveryKind::kCpuFallback,
+                                    clock.cycles(), failed_rounds);
+        }
+      }
+      if (!gpu_round_ok) {
+        // CPU-only batch: keep every tree growing and the clock moving so
+        // a legal move is still chosen within the virtual budget.
+        for (std::size_t i = 0; i < trees_n && clock.cycles() < deadline;
+             ++i) {
+          cpu_iteration();
+        }
       }
       ++round;
       stats_.rounds += 1;
@@ -126,6 +202,7 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
     stats_.virtual_seconds = clock.seconds();
     if (stats_.rounds > 0)
       stats_.divergence_waste = waste_sum / static_cast<double>(stats_.rounds);
+    stats_.faults = fault_log;
 
     last_root_stats_ = merge_root_stats<G>(per_tree);
     return best_merged_move(last_root_stats_);

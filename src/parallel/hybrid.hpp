@@ -25,6 +25,8 @@
 #include "simt/vgpu.hpp"
 #include "util/check.hpp"
 #include "util/clock.hpp"
+#include "util/fault.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 
 namespace gpu_mcts::parallel {
@@ -37,6 +39,12 @@ class HybridSearcher final : public mcts::Searcher<G> {
     /// When false the CPU idles during kernel execution — that is exactly
     /// the plain block-parallel searcher, kept here as an ablation toggle.
     bool cpu_overlap = true;
+    /// Retry budget for failed launches and transfers (faults only occur
+    /// under an enabled util::FaultInjector on the VirtualGpu).
+    util::RetryPolicy retry{};
+    /// Consecutive unrecoverable GPU rounds before the searcher stops
+    /// launching and degrades to CPU-only sequential iterations.
+    int max_failed_rounds = 2;
   };
 
   HybridSearcher(Options options, mcts::SearchConfig config = {},
@@ -63,67 +71,115 @@ class HybridSearcher final : public mcts::Searcher<G> {
     }
     util::XorShift128Plus cpu_rng(util::derive_seed(search_seed, 0xc0deULL));
 
+    gpu_.fault_injector().reset_log();
+    util::FaultLog& fault_log = gpu_.fault_injector().log();
+
     simt::DeviceBuffer<typename G::State> roots(trees_n);
     simt::DeviceBuffer<simt::BlockResult> results(trees_n);
+    roots.set_fault_injector(&gpu_.fault_injector());
+    roots.set_retry_policy(options_.retry);
+    results.set_fault_injector(&gpu_.fault_injector());
+    results.set_retry_policy(options_.retry);
     std::vector<mcts::NodeIndex> leaves(trees_n);
 
     stats_ = {};
     cpu_simulations_ = 0;
     std::uint64_t round = 0;
     std::size_t cpu_tree_cursor = 0;
+    int failed_rounds = 0;
+    bool gpu_abandoned = false;
+
+    // One CPU-side sequential iteration (the same loop body the paper's
+    // "CPU can work here!" overlap uses, and our degradation path).
+    const auto cpu_iteration = [&] {
+      mcts::Tree<G>& tree = *trees[cpu_tree_cursor];
+      cpu_tree_cursor = (cpu_tree_cursor + 1) % trees_n;
+      const mcts::Selection<G> sel = tree.select();
+      double value;
+      std::uint32_t plies = 0;
+      if (sel.terminal) {
+        value =
+            game::value_of(G::outcome_for(sel.state, game::Player::kFirst));
+      } else {
+        const mcts::PlayoutResult playout =
+            mcts::random_playout<G>(sel.state, cpu_rng);
+        value = playout.value_first;
+        plies = playout.plies;
+      }
+      tree.backpropagate(sel.node, value, 1, value * value);
+      clock.advance(static_cast<std::uint64_t>(
+          gpu_.cost().host_tree_op_cycles +
+          gpu_.cost().host_cycles_per_ply * static_cast<double>(plies)));
+      ++cpu_simulations_;
+      stats_.simulations += 1;
+    };
 
     do {
-      for (std::size_t t = 0; t < trees_n; ++t) {
-        const mcts::Selection<G> sel = trees[t]->select();
-        roots.host()[t] = sel.state;
-        leaves[t] = sel.node;
-        clock.advance(
-            static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
-      }
-      roots.upload(clock);
-
-      const std::span<simt::BlockResult> device_results =
-          results.device_view();
-      for (auto& r : device_results) r = simt::BlockResult{};
-      simt::PlayoutKernel<G> kernel(roots.device_view(), search_seed, round,
-                                    device_results);
-      const simt::Event event =
-          gpu_.launch_async(options_.launch, kernel, clock);
-
-      // "CPU can work here!" — iterate sequential MCTS on the same trees
-      // until the gpu-ready event fires.
-      while (options_.cpu_overlap && !simt::VirtualGpu::query(event, clock)) {
-        mcts::Tree<G>& tree = *trees[cpu_tree_cursor];
-        cpu_tree_cursor = (cpu_tree_cursor + 1) % trees_n;
-        const mcts::Selection<G> sel = tree.select();
-        double value;
-        std::uint32_t plies = 0;
-        if (sel.terminal) {
-          value = game::value_of(
-              G::outcome_for(sel.state, game::Player::kFirst));
-        } else {
-          const mcts::PlayoutResult playout =
-              mcts::random_playout<G>(sel.state, cpu_rng);
-          value = playout.value_first;
-          plies = playout.plies;
+      bool gpu_round_ok = false;
+      if (!gpu_abandoned) {
+        for (std::size_t t = 0; t < trees_n; ++t) {
+          const mcts::Selection<G> sel = trees[t]->select();
+          roots.host()[t] = sel.state;
+          leaves[t] = sel.node;
+          clock.advance(
+              static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
         }
-        tree.backpropagate(sel.node, value, 1, value * value);
-        clock.advance(static_cast<std::uint64_t>(
-            gpu_.cost().host_tree_op_cycles +
-            gpu_.cost().host_cycles_per_ply * static_cast<double>(plies)));
-        ++cpu_simulations_;
-        stats_.simulations += 1;
-      }
+        try {
+          roots.upload(clock);
 
-      gpu_.wait_for(event, clock);
-      results.download(clock);
-      const std::span<const simt::BlockResult> tallies =
-          results.host_checked();
-      for (std::size_t t = 0; t < trees_n; ++t) {
-        trees[t]->backpropagate(leaves[t], tallies[t].value_first,
-                                tallies[t].simulations,
-                                tallies[t].value_sq_first);
-        stats_.simulations += tallies[t].simulations;
+          simt::Event event;
+          const bool launched = util::with_retry(
+              options_.retry, clock, &fault_log, [&](int /*attempt*/) {
+                const std::span<simt::BlockResult> device_results =
+                    results.device_view();
+                for (auto& r : device_results) r = simt::BlockResult{};
+                simt::PlayoutKernel<G> kernel(roots.device_view(),
+                                              search_seed, round,
+                                              device_results);
+                event = gpu_.launch_async(options_.launch, kernel, clock);
+                return event.result.ok();
+              });
+          if (launched) {
+            // "CPU can work here!" — iterate sequential MCTS on the same
+            // trees until the gpu-ready event fires.
+            while (options_.cpu_overlap &&
+                   !simt::VirtualGpu::query(event, clock)) {
+              cpu_iteration();
+            }
+            gpu_.wait_for(event, clock);
+            results.download(clock);
+            const std::span<const simt::BlockResult> tallies =
+                results.host_checked();
+            for (std::size_t t = 0; t < trees_n; ++t) {
+              trees[t]->backpropagate(leaves[t], tallies[t].value_first,
+                                      tallies[t].simulations,
+                                      tallies[t].value_sq_first);
+              stats_.simulations += tallies[t].simulations;
+            }
+            gpu_round_ok = true;
+          }
+        } catch (const util::FaultError&) {
+          // Transfer retries exhausted; the round's GPU work is lost (the
+          // trees keep their selections un-backpropagated, like real lost
+          // in-flight work) and we fall through to the CPU path.
+        }
+        if (gpu_round_ok) {
+          failed_rounds = 0;
+        } else if (++failed_rounds >= options_.max_failed_rounds) {
+          // The device is gone for this search: degrade to CPU-only
+          // sequential MCTS on the same trees and still answer in budget.
+          gpu_abandoned = true;
+          fault_log.record_recovery(util::RecoveryKind::kCpuFallback,
+                                    clock.cycles(), failed_rounds);
+        }
+      }
+      if (!gpu_round_ok) {
+        // CPU-only batch: one sequential iteration per tree keeps every
+        // tree growing and the clock advancing toward the deadline.
+        for (std::size_t i = 0; i < trees_n && clock.cycles() < deadline;
+             ++i) {
+          cpu_iteration();
+        }
       }
       ++round;
       stats_.rounds += 1;
@@ -138,6 +194,7 @@ class HybridSearcher final : public mcts::Searcher<G> {
         stats_.max_depth = tree->max_depth();
     }
     stats_.virtual_seconds = clock.seconds();
+    stats_.faults = fault_log;
 
     const auto merged = merge_root_stats<G>(per_tree);
     return best_merged_move(merged);

@@ -17,6 +17,8 @@
 
 #include "util/check.hpp"
 #include "util/clock.hpp"
+#include "util/fault.hpp"
+#include "util/retry.hpp"
 
 namespace gpu_mcts::simt {
 
@@ -59,19 +61,27 @@ class DeviceBuffer {
     return device_;
   }
 
-  /// Copies host -> device, charging the clock.
+  /// Points transfers at a fault injector (nullptr = transfers never fail,
+  /// the default). The injector must outlive the buffer's transfers.
+  void set_fault_injector(util::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  void set_retry_policy(const util::RetryPolicy& retry) noexcept {
+    retry_ = retry;
+  }
+
+  /// Copies host -> device, charging the clock. Injected transfer failures
+  /// are retried with backoff; util::FaultError after the retry budget.
   void upload(util::VirtualClock& clock) {
-    device_ = host_;
-    device_dirty_ = false;
-    clock.advance(costs_.cost(bytes()));
+    transfer(clock, /*is_download=*/false);
     ++uploads_;
   }
 
-  /// Copies device -> host, charging the clock.
+  /// Copies device -> host, charging the clock. Injected failures and
+  /// corrupt readbacks (detected, as by a CRC) are retried with backoff;
+  /// util::FaultError after the retry budget.
   void download(util::VirtualClock& clock) {
-    host_ = device_;
-    device_dirty_ = false;
-    clock.advance(costs_.cost(bytes()));
+    transfer(clock, /*is_download=*/true);
     ++downloads_;
   }
 
@@ -88,9 +98,45 @@ class DeviceBuffer {
   [[nodiscard]] std::uint64_t downloads() const noexcept { return downloads_; }
 
  private:
+  void transfer(util::VirtualClock& clock, bool is_download) {
+    // The fast path (no injector) is exactly the original single copy; the
+    // retry machinery only engages when faults can actually fire.
+    if (injector_ == nullptr || !injector_->enabled()) {
+      clock.advance(costs_.cost(bytes()));
+      commit(is_download);
+      return;
+    }
+    const bool done = util::with_retry(
+        retry_, clock, &injector_->log(), [&](int /*attempt*/) {
+          clock.advance(costs_.cost(bytes()));
+          if (injector_->transfer_fails(clock.cycles())) return false;
+          if (is_download && injector_->readback_corrupted(clock.cycles())) {
+            return false;
+          }
+          commit(is_download);
+          return true;
+        });
+    if (!done) {
+      throw util::FaultError(is_download
+                                 ? "device->host transfer failed after retries"
+                                 : "host->device transfer failed after retries");
+    }
+  }
+
+  void commit(bool is_download) {
+    if (is_download) {
+      host_ = device_;
+    } else {
+      device_ = host_;
+    }
+    device_dirty_ = false;
+  }
+
   std::vector<T> host_;
   std::vector<T> device_;
   TransferCosts costs_;
+  util::FaultInjector* injector_ = nullptr;
+  util::RetryPolicy retry_;
   bool device_dirty_ = false;
   std::uint64_t uploads_ = 0;
   std::uint64_t downloads_ = 0;

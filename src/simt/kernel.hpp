@@ -61,10 +61,27 @@ struct LaunchStats {
   }
 };
 
+/// How a launch ended. Failures and stalls only occur under fault injection
+/// (util::FaultInjector); without an injector every launch is kOk.
+enum class LaunchStatus : std::uint8_t {
+  kOk = 0,
+  /// The launch errored out; nothing executed and no results were produced
+  /// (the driver-call overhead was still charged).
+  kFailed,
+  /// The kernel completed correctly but took stall_multiplier times its
+  /// modeled device time (a straggler, not an error).
+  kStalled,
+};
+
 /// Result of a (synchronous) launch: how long the device took, plus stats.
 struct LaunchResult {
   double device_cycles = 0.0;
+  LaunchStatus status = LaunchStatus::kOk;
   LaunchStats stats;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status != LaunchStatus::kFailed;
+  }
 };
 
 }  // namespace gpu_mcts::simt

@@ -19,6 +19,7 @@
 #include "simt/timing.hpp"
 #include "util/check.hpp"
 #include "util/clock.hpp"
+#include "util/fault.hpp"
 
 namespace gpu_mcts::simt {
 
@@ -40,13 +41,37 @@ class VirtualGpu {
   [[nodiscard]] const HostProperties& host() const noexcept { return host_; }
   [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
 
+  /// Installs a fault injector (default: disabled). The injector travels
+  /// with the VirtualGpu on copy, so every searcher owns an independent,
+  /// deterministic fault schedule.
+  void set_fault_injector(util::FaultInjector injector) noexcept {
+    injector_ = std::move(injector);
+  }
+  [[nodiscard]] util::FaultInjector& fault_injector() noexcept {
+    return injector_;
+  }
+  [[nodiscard]] const util::FaultInjector& fault_injector() const noexcept {
+    return injector_;
+  }
+
   /// Executes the kernel over the grid, warp-lockstep within each warp.
   /// The caller's VirtualClock is advanced by launch overhead + device time
   /// (synchronous semantics: the host blocks until completion).
+  ///
+  /// Under fault injection the launch may fail (LaunchStatus::kFailed:
+  /// nothing executed, only the driver overhead charged) or stall
+  /// (kStalled: correct results, stall_multiplier device time).
   template <LaneKernel K>
   LaunchResult launch(const LaunchConfig& cfg, K& kernel,
                       util::VirtualClock& host_clock) {
+    if (injector_.kernel_launch_fails(host_clock.cycles())) {
+      host_clock.advance(launch_overhead_cycles());
+      LaunchResult failed;
+      failed.status = LaunchStatus::kFailed;
+      return failed;
+    }
     LaunchResult result = execute(cfg, kernel);
+    apply_stall(result, host_clock);
     host_clock.advance(host_cycles_for(result));
     return result;
   }
@@ -55,16 +80,27 @@ class VirtualGpu {
   /// deterministic and do not depend on host progress), but the host clock is
   /// only charged the call overhead. The returned Event tells the caller when
   /// the device is done; wait_for() advances the host clock to that point.
+  ///
+  /// An injected launch failure surfaces at the event: the Event completes
+  /// immediately with result.status == kFailed (a real driver reports the
+  /// error at the next synchronization point).
   template <LaneKernel K>
   Event launch_async(const LaunchConfig& cfg, K& kernel,
                      util::VirtualClock& host_clock) {
+    // The call itself costs the enqueue half of the overhead; the other half
+    // is paid at synchronization (event query + readback), matching how CUDA
+    // driver costs split across cudaLaunch / cudaEventSynchronize. The two
+    // halves sum to launch_overhead_cycles() exactly, odd overheads included.
+    if (injector_.kernel_launch_fails(host_clock.cycles())) {
+      host_clock.advance(enqueue_overhead_cycles());
+      Event ev;
+      ev.result.status = LaunchStatus::kFailed;
+      ev.completion_host_cycle = host_clock.cycles();
+      return ev;
+    }
     LaunchResult result = execute(cfg, kernel);
-    // The call itself costs half the overhead (enqueue); the other half is
-    // paid at synchronization (event query + readback), matching how CUDA
-    // driver costs split across cudaLaunch / cudaEventSynchronize.
-    const auto enqueue =
-        static_cast<std::uint64_t>(cost_.launch_overhead_host_cycles / 2);
-    host_clock.advance(enqueue);
+    apply_stall(result, host_clock);
+    host_clock.advance(enqueue_overhead_cycles());
     Event ev;
     ev.result = result;
     ev.completion_host_cycle =
@@ -85,19 +121,40 @@ class VirtualGpu {
   /// the synchronization half of the launch overhead.
   void wait_for(const Event& ev, util::VirtualClock& host_clock) const {
     host_clock.advance_to(ev.completion_host_cycle);
-    host_clock.advance(
-        static_cast<std::uint64_t>(cost_.launch_overhead_host_cycles / 2));
+    host_clock.advance(sync_overhead_cycles());
   }
 
   /// Host cycles a synchronous launch costs in total.
   [[nodiscard]] std::uint64_t host_cycles_for(
       const LaunchResult& result) const noexcept {
-    return static_cast<std::uint64_t>(
-        cost_.launch_overhead_host_cycles +
-        cost_.device_to_host_cycles(result.device_cycles, dev_, host_));
+    return launch_overhead_cycles() +
+           static_cast<std::uint64_t>(cost_.device_to_host_cycles(
+               result.device_cycles, dev_, host_));
+  }
+
+  /// Total driver overhead of one launch, in host cycles.
+  [[nodiscard]] std::uint64_t launch_overhead_cycles() const noexcept {
+    return static_cast<std::uint64_t>(cost_.launch_overhead_host_cycles);
+  }
+  /// Enqueue half of the overhead (charged by launch_async).
+  [[nodiscard]] std::uint64_t enqueue_overhead_cycles() const noexcept {
+    return launch_overhead_cycles() / 2;
+  }
+  /// Synchronization half (charged by wait_for); enqueue + sync ==
+  /// launch_overhead_cycles() exactly, even for odd overheads.
+  [[nodiscard]] std::uint64_t sync_overhead_cycles() const noexcept {
+    return launch_overhead_cycles() - launch_overhead_cycles() / 2;
   }
 
  private:
+  /// Converts an injected stall into extra device time on the result.
+  void apply_stall(LaunchResult& result, const util::VirtualClock& clock) {
+    if (injector_.kernel_stalls(clock.cycles())) {
+      result.device_cycles *= injector_.policy().stall_multiplier;
+      result.status = LaunchStatus::kStalled;
+    }
+  }
+
   /// Runs every warp of the grid in lockstep and derives timing from traces.
   template <LaneKernel K>
   LaunchResult execute(const LaunchConfig& cfg, K& kernel) {
@@ -165,6 +222,7 @@ class VirtualGpu {
   DeviceProperties dev_;
   HostProperties host_;
   CostModel cost_;
+  util::FaultInjector injector_;
 };
 
 }  // namespace gpu_mcts::simt

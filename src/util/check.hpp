@@ -6,6 +6,8 @@
 // *_terminate variants.
 #pragma once
 
+#include <cstdio>
+#include <exception>
 #include <source_location>
 #include <stdexcept>
 #include <string>
@@ -58,6 +60,46 @@ inline void check(bool condition, std::string_view what = "invariant",
                   const std::source_location loc =
                       std::source_location::current()) {
   if (!condition) throw ContractViolation("Check", what, loc);
+}
+
+namespace detail {
+/// Writes the violation to stderr and terminates; for contexts where
+/// throwing is not an option (destructors, noexcept call chains).
+[[noreturn]] inline void violation_terminate(
+    std::string_view kind, std::string_view what,
+    const std::source_location& loc) noexcept {
+  std::fprintf(stderr, "%.*s failed: %.*s at %s:%u (%s)\n",
+               static_cast<int>(kind.size()), kind.data(),
+               static_cast<int>(what.size()), what.data(), loc.file_name(),
+               static_cast<unsigned>(loc.line()), loc.function_name());
+  std::fflush(stderr);
+  std::terminate();
+}
+}  // namespace detail
+
+/// Precondition check for noexcept paths: logs to stderr and terminates
+/// instead of throwing.
+inline void expects_terminate(bool condition,
+                              std::string_view what = "precondition",
+                              const std::source_location loc =
+                                  std::source_location::current()) noexcept {
+  if (!condition) detail::violation_terminate("Expects", what, loc);
+}
+
+/// Postcondition / invariant check for noexcept paths (e.g. destructors).
+inline void ensures_terminate(bool condition,
+                              std::string_view what = "postcondition",
+                              const std::source_location loc =
+                                  std::source_location::current()) noexcept {
+  if (!condition) detail::violation_terminate("Ensures", what, loc);
+}
+
+/// "Cannot happen" check for noexcept paths.
+inline void check_terminate(bool condition,
+                            std::string_view what = "invariant",
+                            const std::source_location loc =
+                                std::source_location::current()) noexcept {
+  if (!condition) detail::violation_terminate("Check", what, loc);
 }
 
 }  // namespace gpu_mcts::util

@@ -1,0 +1,258 @@
+// Deterministic fault injection for the virtual device and cluster layers.
+//
+// The paper's experiments assume a GPU that always answers and an MPI layer
+// that never loses a rank; a production deployment cannot. FaultInjector is a
+// seeded, policy-driven source of *reproducible* failures — kernel launches
+// that error out or stall, PCIe transfers that fail or arrive corrupted,
+// messages that are dropped or delayed, ranks that die — so every degradation
+// path in the stack can be exercised and asserted on in tests.
+//
+// Guarantees:
+//  * Disabled by default. A default-constructed injector (or one whose policy
+//    has every probability at zero) draws no random numbers, charges no
+//    cycles, and leaves every code path bit-identical to a build without the
+//    subsystem.
+//  * Deterministic when enabled: decisions are a pure function of (policy,
+//    seed, call sequence), so a failing fault schedule replays exactly.
+//  * Observable: every injected fault and every recovery action taken in
+//    response is recorded in a FaultLog that searchers expose via
+//    mcts::SearchStats.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::util {
+
+/// Raised when a fault could not be recovered from within its retry budget
+/// (callers degrade — e.g. fall back to CPU-only search — rather than crash).
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What went wrong (injected).
+enum class FaultKind : std::uint8_t {
+  kKernelLaunchFailure = 0,  ///< launch returned an error, nothing executed
+  kKernelStall,              ///< kernel ran but took stall_multiplier longer
+  kTransferFailure,          ///< host<->device copy failed outright
+  kCorruptReadback,          ///< download arrived corrupted (CRC mismatch)
+  kDroppedMessage,           ///< point-to-point message lost in transit
+  kDelayedMessage,           ///< message delivered delay_multiplier late
+  kDeadRank,                 ///< rank stopped participating entirely
+};
+inline constexpr std::size_t kFaultKinds = 7;
+
+/// What the system did about it.
+enum class RecoveryKind : std::uint8_t {
+  kRetry = 0,      ///< operation re-attempted after backoff
+  kCpuFallback,    ///< searcher switched to CPU-only sequential iterations
+  kPartialReduce,  ///< collective proceeded with surviving ranks only
+  kAbandon,        ///< retry budget exhausted; work for this round lost
+};
+inline constexpr std::size_t kRecoveryKinds = 4;
+
+/// Per-fault-site probabilities and severity knobs. All probabilities are
+/// per-operation (per launch, per transfer attempt, per message).
+struct FaultPolicy {
+  double kernel_launch_failure = 0.0;
+  double kernel_stall = 0.0;
+  /// Device-time multiplier applied to a stalled kernel.
+  double stall_multiplier = 4.0;
+  double transfer_failure = 0.0;
+  double corrupt_readback = 0.0;
+  double message_drop = 0.0;
+  double message_delay = 0.0;
+  /// Latency multiplier applied to a delayed message.
+  double delay_multiplier = 8.0;
+
+  /// True when any probability is positive (the injector can ever fire).
+  [[nodiscard]] constexpr bool any() const noexcept {
+    return kernel_launch_failure > 0.0 || kernel_stall > 0.0 ||
+           transfer_failure > 0.0 || corrupt_readback > 0.0 ||
+           message_drop > 0.0 || message_delay > 0.0;
+  }
+};
+
+/// One injected fault or recovery action; `a`/`b` carry site context
+/// (source/destination ranks for messages, attempt index for retries).
+struct FaultRecord {
+  FaultKind kind{};
+  std::uint64_t at_cycle = 0;
+  int a = -1;
+  int b = -1;
+};
+
+struct RecoveryRecord {
+  RecoveryKind kind{};
+  std::uint64_t at_cycle = 0;
+  int a = -1;
+  int b = -1;
+};
+
+/// Append-only record of injected faults and recovery actions for one search.
+/// Counts are always exact; the record vectors are capped so a 100%-failure
+/// soak cannot balloon memory.
+class FaultLog {
+ public:
+  static constexpr std::size_t kMaxRecords = 4096;
+
+  void record_fault(FaultKind kind, std::uint64_t at_cycle, int a = -1,
+                    int b = -1) {
+    fault_counts_[static_cast<std::size_t>(kind)] += 1;
+    if (fault_records_.size() < kMaxRecords) {
+      fault_records_.push_back({kind, at_cycle, a, b});
+    }
+  }
+
+  void record_recovery(RecoveryKind kind, std::uint64_t at_cycle, int a = -1,
+                       int b = -1) {
+    recovery_counts_[static_cast<std::size_t>(kind)] += 1;
+    if (recovery_records_.size() < kMaxRecords) {
+      recovery_records_.push_back({kind, at_cycle, a, b});
+    }
+  }
+
+  [[nodiscard]] std::uint64_t faults() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto c : fault_counts_) n += c;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto c : recovery_counts_) n += c;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t count(FaultKind kind) const noexcept {
+    return fault_counts_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t count(RecoveryKind kind) const noexcept {
+    return recovery_counts_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return faults() == 0 && recoveries() == 0;
+  }
+
+  [[nodiscard]] const std::vector<FaultRecord>& fault_records()
+      const noexcept {
+    return fault_records_;
+  }
+  [[nodiscard]] const std::vector<RecoveryRecord>& recovery_records()
+      const noexcept {
+    return recovery_records_;
+  }
+
+  void clear() noexcept {
+    fault_counts_ = {};
+    recovery_counts_ = {};
+    fault_records_.clear();
+    recovery_records_.clear();
+  }
+
+  /// Merges another log (per-rank logs into a per-search total, per-search
+  /// totals into a per-experiment total).
+  void accumulate(const FaultLog& other) {
+    for (std::size_t k = 0; k < kFaultKinds; ++k) {
+      fault_counts_[k] += other.fault_counts_[k];
+    }
+    for (std::size_t k = 0; k < kRecoveryKinds; ++k) {
+      recovery_counts_[k] += other.recovery_counts_[k];
+    }
+    for (const auto& r : other.fault_records_) {
+      if (fault_records_.size() >= kMaxRecords) break;
+      fault_records_.push_back(r);
+    }
+    for (const auto& r : other.recovery_records_) {
+      if (recovery_records_.size() >= kMaxRecords) break;
+      recovery_records_.push_back(r);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, kFaultKinds> fault_counts_{};
+  std::array<std::uint64_t, kRecoveryKinds> recovery_counts_{};
+  std::vector<FaultRecord> fault_records_;
+  std::vector<RecoveryRecord> recovery_records_;
+};
+
+/// Seeded decision source. One injector per failure domain (a VirtualGpu, a
+/// Communicator); each draw both decides and, when it fires, logs the fault.
+class FaultInjector {
+ public:
+  /// Disabled injector: every query answers "no fault" without drawing.
+  FaultInjector() = default;
+
+  FaultInjector(const FaultPolicy& policy, std::uint64_t seed)
+      : enabled_(policy.any()), policy_(policy), rng_(seed) {
+    expects(valid_probability(policy.kernel_launch_failure) &&
+                valid_probability(policy.kernel_stall) &&
+                valid_probability(policy.transfer_failure) &&
+                valid_probability(policy.corrupt_readback) &&
+                valid_probability(policy.message_drop) &&
+                valid_probability(policy.message_delay),
+            "fault probabilities in [0, 1]");
+    expects(policy.stall_multiplier >= 1.0 && policy.delay_multiplier >= 1.0,
+            "fault multipliers >= 1");
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const FaultPolicy& policy() const noexcept { return policy_; }
+
+  [[nodiscard]] FaultLog& log() noexcept { return log_; }
+  [[nodiscard]] const FaultLog& log() const noexcept { return log_; }
+  void reset_log() noexcept { log_.clear(); }
+
+  [[nodiscard]] bool kernel_launch_fails(std::uint64_t at_cycle) {
+    return fire(policy_.kernel_launch_failure, FaultKind::kKernelLaunchFailure,
+                at_cycle);
+  }
+  [[nodiscard]] bool kernel_stalls(std::uint64_t at_cycle) {
+    return fire(policy_.kernel_stall, FaultKind::kKernelStall, at_cycle);
+  }
+  [[nodiscard]] bool transfer_fails(std::uint64_t at_cycle) {
+    return fire(policy_.transfer_failure, FaultKind::kTransferFailure,
+                at_cycle);
+  }
+  [[nodiscard]] bool readback_corrupted(std::uint64_t at_cycle) {
+    return fire(policy_.corrupt_readback, FaultKind::kCorruptReadback,
+                at_cycle);
+  }
+  [[nodiscard]] bool message_dropped(std::uint64_t at_cycle, int from,
+                                     int to) {
+    return fire(policy_.message_drop, FaultKind::kDroppedMessage, at_cycle,
+                from, to);
+  }
+  [[nodiscard]] bool message_delayed(std::uint64_t at_cycle, int from,
+                                     int to) {
+    return fire(policy_.message_delay, FaultKind::kDelayedMessage, at_cycle,
+                from, to);
+  }
+
+ private:
+  [[nodiscard]] static constexpr bool valid_probability(double p) noexcept {
+    return p >= 0.0 && p <= 1.0;
+  }
+
+  [[nodiscard]] bool fire(double probability, FaultKind kind,
+                          std::uint64_t at_cycle, int a = -1, int b = -1) {
+    if (!enabled_ || probability <= 0.0) return false;
+    // probability >= 1 must fire without consuming entropy the same way a
+    // fractional probability does, so that "always fail" schedules do not
+    // depend on draw ordering at other sites.
+    if (probability < 1.0 && rng_.next_double() >= probability) return false;
+    log_.record_fault(kind, at_cycle, a, b);
+    return true;
+  }
+
+  bool enabled_ = false;
+  FaultPolicy policy_{};
+  XorShift128Plus rng_{0};
+  FaultLog log_;
+};
+
+}  // namespace gpu_mcts::util

@@ -1,0 +1,56 @@
+// Bounded retry with exponential backoff charged to the VirtualClock.
+//
+// Recovery from transient faults (failed kernel launches, failed PCIe
+// transfers) is time, not magic: every re-attempt pays its backoff on the
+// caller's virtual timeline, so a degraded search visibly spends budget
+// recovering — exactly what a production system under the same faults would
+// report.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+#include "util/clock.hpp"
+#include "util/fault.hpp"
+
+namespace gpu_mcts::util {
+
+struct RetryPolicy {
+  /// Total attempts (first try included). 1 = no retry.
+  int max_attempts = 3;
+  /// Virtual cycles of backoff before the first re-attempt.
+  std::uint64_t backoff_base_cycles = 10'000;
+  /// Backoff growth per re-attempt (exponential).
+  double backoff_multiplier = 2.0;
+
+  /// Backoff charged after failed attempt `attempt` (0-based).
+  [[nodiscard]] std::uint64_t backoff_cycles(int attempt) const noexcept {
+    double cycles = static_cast<double>(backoff_base_cycles);
+    for (int i = 0; i < attempt; ++i) cycles *= backoff_multiplier;
+    return static_cast<std::uint64_t>(cycles);
+  }
+};
+
+/// Runs `attempt(i)` (returning true on success) up to policy.max_attempts
+/// times, charging exponential backoff between attempts and logging each
+/// retry / the final abandonment to `log` (when non-null). Returns whether
+/// any attempt succeeded.
+template <typename F>
+[[nodiscard]] bool with_retry(const RetryPolicy& policy, VirtualClock& clock,
+                              FaultLog* log, F&& attempt) {
+  expects(policy.max_attempts >= 1, "at least one attempt");
+  for (int a = 0; a < policy.max_attempts; ++a) {
+    if (attempt(a)) return true;
+    if (a + 1 < policy.max_attempts) {
+      clock.advance(policy.backoff_cycles(a));
+      if (log) log->record_recovery(RecoveryKind::kRetry, clock.cycles(), a);
+    }
+  }
+  if (log) {
+    log->record_recovery(RecoveryKind::kAbandon, clock.cycles(),
+                         policy.max_attempts);
+  }
+  return false;
+}
+
+}  // namespace gpu_mcts::util

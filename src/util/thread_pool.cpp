@@ -21,6 +21,9 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& t : threads_) t.join();
+  // Workers only exit once the queue is drained; destroying a pool with
+  // pending work would silently lose tasks, and a destructor cannot throw.
+  ensures_terminate(queue_.empty(), "thread pool destroyed with queued tasks");
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <string>
 #include <vector>
+
+#include "util/fault.hpp"
 
 namespace gpu_mcts::cluster {
 namespace {
@@ -20,22 +23,63 @@ TEST(Communicator, SendRecvDeliversPayloadInOrder) {
   comm.send(0, 1, a);
   comm.send(0, 1, b);
   const auto first = comm.recv(1, 0);
-  ASSERT_TRUE(first.has_value());
-  EXPECT_EQ(first->payload, std::vector<double>({1.0, 2.0, 3.0}));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.message->payload, std::vector<double>({1.0, 2.0, 3.0}));
   const auto second = comm.recv(1, 0);
-  ASSERT_TRUE(second.has_value());
-  EXPECT_EQ(second->payload, std::vector<double>({4.0, 5.0}));
-  EXPECT_FALSE(comm.recv(1, 0).has_value());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.message->payload, std::vector<double>({4.0, 5.0}));
+  EXPECT_FALSE(comm.recv(1, 0).ok());
 }
 
 TEST(Communicator, RecvAdvancesReceiverToArrivalTime) {
   Communicator comm(2);
   const std::array<double, 1> payload = {42.0};
   comm.send(0, 1, payload);
-  ASSERT_TRUE(comm.recv(1, 0).has_value());
+  ASSERT_TRUE(comm.recv(1, 0).ok());
   // Receiver waited at least the one-hop latency.
   EXPECT_GE(comm.clock(1).cycles(),
             static_cast<std::uint64_t>(comm.costs().latency_cycles));
+}
+
+TEST(Communicator, RecvWithoutSenderReportsNoMessage) {
+  Communicator comm(3);
+  const auto result = comm.recv(2, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error.reason, RecvError::Reason::kNoMessage);
+  EXPECT_EQ(result.error.to, 2);
+  EXPECT_EQ(result.error.from, 1);
+  EXPECT_NE(result.error.describe().find("rank 1"), std::string::npos);
+  // The would-be deadlock costs the receiver nothing (diagnosed, not waited).
+  EXPECT_EQ(comm.clock(2).cycles(), 0u);
+}
+
+TEST(Communicator, RecvTimesOutWhenNothingArrives) {
+  Communicator comm(2);
+  const std::uint64_t timeout = 250000;
+  const auto result = comm.recv(1, 0, timeout);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error.reason, RecvError::Reason::kTimedOut);
+  EXPECT_EQ(result.error.to, 1);
+  EXPECT_EQ(result.error.from, 0);
+  // The receiver waited out the full timeout on its virtual timeline.
+  EXPECT_EQ(comm.clock(1).cycles(), timeout);
+}
+
+TEST(Communicator, RecvTimesOutOnLateMessageButDeliversLater) {
+  Communicator comm(2);
+  const std::array<double, 1> payload = {7.0};
+  comm.send(0, 1, payload);
+  // Message is in flight (arrives after one latency hop) but the receiver
+  // only waits a fraction of that: timed out, message stays queued.
+  const auto timeout =
+      static_cast<std::uint64_t>(comm.costs().latency_cycles / 10.0);
+  const auto early = comm.recv(1, 0, timeout);
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.error.reason, RecvError::Reason::kTimedOut);
+  // A patient retry still gets it.
+  const auto late = comm.recv(1, 0);
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late.message->payload, std::vector<double>({7.0}));
 }
 
 TEST(Communicator, SendChargesSenderBandwidth) {
@@ -61,15 +105,85 @@ TEST(Communicator, AllreduceSumsElementwise) {
   Communicator comm(3);
   const std::vector<std::vector<double>> in = {
       {1.0, 2.0}, {10.0, 20.0}, {100.0, 200.0}};
-  const auto sum = comm.allreduce_sum(in);
-  EXPECT_EQ(sum, std::vector<double>({111.0, 222.0}));
+  const auto result = comm.allreduce_sum(in);
+  EXPECT_EQ(result.sum, std::vector<double>({111.0, 222.0}));
+  EXPECT_EQ(result.contributors, 3);
+  EXPECT_FALSE(result.timed_out);
+}
+
+TEST(Communicator, AllreduceWithDeadRankMergesSurvivorsAfterTimeout) {
+  Communicator comm(3);
+  comm.kill_rank(1);
+  EXPECT_FALSE(comm.alive(1));
+  EXPECT_EQ(comm.alive_ranks(), 2);
+  const std::vector<std::vector<double>> in = {
+      {1.0, 2.0}, {10.0, 20.0}, {100.0, 200.0}};
+  const auto result = comm.allreduce_sum(in);
+  // Rank 1's contribution is not merged.
+  EXPECT_EQ(result.sum, std::vector<double>({101.0, 202.0}));
+  EXPECT_EQ(result.contributors, 2);
+  EXPECT_TRUE(result.timed_out);
+  // Survivors waited out the collective timeout before reducing.
+  EXPECT_GE(comm.clock(0).cycles(),
+            static_cast<std::uint64_t>(comm.costs().collective_timeout_cycles));
+  EXPECT_EQ(comm.clock(0).cycles(), comm.clock(2).cycles());
+  // The dead rank's clock is no longer advanced by collectives.
+  EXPECT_EQ(comm.clock(1).cycles(), 0u);
+  // Fault and recovery are on the record.
+  EXPECT_EQ(comm.fault_injector().log().count(util::FaultKind::kDeadRank), 1u);
+  EXPECT_EQ(
+      comm.fault_injector().log().count(util::RecoveryKind::kPartialReduce),
+      1u);
+}
+
+TEST(Communicator, SendToDeadRankVanishesAfterChargingSender) {
+  Communicator comm(2);
+  comm.kill_rank(1);
+  const std::array<double, 4> payload = {1.0, 2.0, 3.0, 4.0};
+  comm.send(0, 1, payload);
+  EXPECT_GT(comm.clock(0).cycles(), 0u);  // sender paid injection cost
+  EXPECT_EQ(comm.fault_injector().log().count(
+                util::FaultKind::kDroppedMessage),
+            1u);
+}
+
+TEST(Communicator, InjectedDropLosesMessageDeterministically) {
+  util::FaultPolicy policy;
+  policy.message_drop = 1.0;
+  Communicator comm(2);
+  comm.set_fault_injector(util::FaultInjector(policy, 42));
+  const std::array<double, 1> payload = {3.0};
+  comm.send(0, 1, payload);
+  const auto result = comm.recv(1, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error.reason, RecvError::Reason::kNoMessage);
+  EXPECT_EQ(comm.fault_injector().log().count(
+                util::FaultKind::kDroppedMessage),
+            1u);
+}
+
+TEST(Communicator, InjectedDelayMultipliesLatency) {
+  util::FaultPolicy policy;
+  policy.message_delay = 1.0;
+  policy.delay_multiplier = 8.0;
+  Communicator comm(2);
+  comm.set_fault_injector(util::FaultInjector(policy, 42));
+  const std::array<double, 1> payload = {3.0};
+  comm.send(0, 1, payload);
+  const auto result = comm.recv(1, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(comm.clock(1).cycles(),
+            static_cast<std::uint64_t>(8.0 * comm.costs().latency_cycles));
+  EXPECT_EQ(comm.fault_injector().log().count(
+                util::FaultKind::kDelayedMessage),
+            1u);
 }
 
 TEST(Communicator, AllreduceAdvancesEveryClockEqually) {
   Communicator comm(4);
   comm.clock(2).advance(5000000);
   const std::vector<std::vector<double>> in(4, std::vector<double>(8, 1.0));
-  (void)comm.allreduce_sum(in);
+  (void)comm.allreduce_sum(in).sum;
   const std::uint64_t t = comm.clock(0).cycles();
   for (int r = 1; r < 4; ++r) EXPECT_EQ(comm.clock(r).cycles(), t);
   EXPECT_GE(t, 5000000u + static_cast<std::uint64_t>(

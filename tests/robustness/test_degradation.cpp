@@ -1,0 +1,208 @@
+// Graceful degradation under injected faults: searchers must still return a
+// legal move within the virtual budget, and the fallback must be observable
+// through SearchStats (never a silent behavior change).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "cluster/distributed.hpp"
+#include "parallel/block_parallel.hpp"
+#include "parallel/hybrid.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/fault.hpp"
+
+namespace gpu_mcts {
+namespace {
+
+using G = reversi::ReversiGame;
+
+[[nodiscard]] bool is_legal(const typename G::State& state,
+                            typename G::Move move) {
+  std::array<typename G::Move, static_cast<std::size_t>(G::kMaxMoves)> moves{};
+  const int n = G::legal_moves(state, std::span(moves));
+  return std::find(moves.begin(), moves.begin() + n, move) !=
+         moves.begin() + n;
+}
+
+[[nodiscard]] simt::VirtualGpu gpu_with(const util::FaultPolicy& policy,
+                                        std::uint64_t seed) {
+  simt::VirtualGpu gpu;
+  gpu.set_fault_injector(util::FaultInjector(policy, seed));
+  return gpu;
+}
+
+TEST(Degradation, HybridFallsBackToCpuUnderTotalKernelFailure) {
+  util::FaultPolicy policy;
+  policy.kernel_launch_failure = 1.0;
+  parallel::HybridSearcher<G>::Options options;
+  options.launch = {.blocks = 8, .threads_per_block = 32};
+  parallel::HybridSearcher<G> searcher(options, {}, gpu_with(policy, 5));
+
+  const auto state = G::initial_state();
+  const auto move = searcher.choose_move(state, 0.004);
+  EXPECT_TRUE(is_legal(state, move));
+
+  const auto& stats = searcher.last_stats();
+  // The move came from real CPU simulations, within the virtual budget.
+  EXPECT_GT(stats.simulations, 0u);
+  EXPECT_GT(searcher.cpu_overlap_simulations(), 0u);
+  EXPECT_GE(stats.virtual_seconds, 0.004);
+  // Degradation is on the record: injected faults, retries, and the switch
+  // to CPU-only search.
+  EXPECT_GT(stats.faults.count(util::FaultKind::kKernelLaunchFailure), 0u);
+  EXPECT_GT(stats.faults.count(util::RecoveryKind::kRetry), 0u);
+  EXPECT_GE(stats.faults.count(util::RecoveryKind::kCpuFallback), 1u);
+}
+
+TEST(Degradation, BlockParallelFallsBackToCpuUnderTotalKernelFailure) {
+  util::FaultPolicy policy;
+  policy.kernel_launch_failure = 1.0;
+  parallel::BlockParallelGpuSearcher<G>::Options options;
+  options.launch = {.blocks = 8, .threads_per_block = 32};
+  parallel::BlockParallelGpuSearcher<G> searcher(options, {},
+                                                 gpu_with(policy, 5));
+
+  const auto state = G::initial_state();
+  const auto move = searcher.choose_move(state, 0.004);
+  EXPECT_TRUE(is_legal(state, move));
+  const auto& stats = searcher.last_stats();
+  EXPECT_GT(stats.simulations, 0u);
+  EXPECT_GE(stats.faults.count(util::RecoveryKind::kCpuFallback), 1u);
+}
+
+TEST(Degradation, HybridSurvivesFlakyKernelsAndTransfers) {
+  // Partial failure: some rounds fail, some succeed; search must complete
+  // and use both GPU tallies and retries.
+  util::FaultPolicy policy;
+  policy.kernel_launch_failure = 0.3;
+  policy.transfer_failure = 0.1;
+  policy.corrupt_readback = 0.1;
+  parallel::HybridSearcher<G>::Options options;
+  options.launch = {.blocks = 8, .threads_per_block = 32};
+  options.retry.max_attempts = 4;
+  parallel::HybridSearcher<G> searcher(options, {}, gpu_with(policy, 17));
+
+  const auto state = G::initial_state();
+  // Budget large enough for several kernel rounds, so faults actually fire.
+  const auto move = searcher.choose_move(state, 0.03);
+  EXPECT_TRUE(is_legal(state, move));
+  EXPECT_GT(searcher.last_stats().faults.faults(), 0u);
+}
+
+TEST(Degradation, StalledKernelsSlowButDoNotBreakTheSearch) {
+  util::FaultPolicy policy;
+  policy.kernel_stall = 1.0;
+  policy.stall_multiplier = 4.0;
+  parallel::HybridSearcher<G>::Options options;
+  options.launch = {.blocks = 8, .threads_per_block = 32};
+  parallel::HybridSearcher<G> stalled(options, {}, gpu_with(policy, 5));
+  parallel::HybridSearcher<G> healthy(options, {}, simt::VirtualGpu());
+
+  const auto state = G::initial_state();
+  // Budget large enough for several healthy rounds, so the 4x stall visibly
+  // reduces the round count.
+  EXPECT_TRUE(is_legal(state, stalled.choose_move(state, 0.03)));
+  (void)healthy.choose_move(state, 0.03);
+  // Stalled kernels mean fewer rounds fit the same budget — and more CPU
+  // overlap iterations per round while waiting on the straggler.
+  EXPECT_LT(stalled.last_stats().rounds, healthy.last_stats().rounds);
+  EXPECT_GT(stalled.last_stats().faults.count(util::FaultKind::kKernelStall),
+            0u);
+}
+
+TEST(Degradation, DisabledInjectorIsBitIdenticalToSeedPath) {
+  // The zero-overhead guarantee: a wired-but-disabled injector changes
+  // nothing about the search — same move, same simulation count, same
+  // virtual time, empty fault log.
+  parallel::HybridSearcher<G>::Options options;
+  options.launch = {.blocks = 8, .threads_per_block = 32};
+  parallel::HybridSearcher<G> plain(options, {}, simt::VirtualGpu());
+  simt::VirtualGpu wired;
+  wired.set_fault_injector(util::FaultInjector(util::FaultPolicy{}, 999));
+  parallel::HybridSearcher<G> instrumented(options, {}, wired);
+
+  const auto state = G::initial_state();
+  const auto move_a = plain.choose_move(state, 0.004);
+  const auto move_b = instrumented.choose_move(state, 0.004);
+  EXPECT_EQ(move_a, move_b);
+  EXPECT_EQ(plain.last_stats().simulations,
+            instrumented.last_stats().simulations);
+  EXPECT_EQ(plain.last_stats().virtual_seconds,
+            instrumented.last_stats().virtual_seconds);
+  EXPECT_TRUE(instrumented.last_stats().faults.empty());
+}
+
+TEST(Degradation, DistributedSurvivesDeadRank) {
+  cluster::DistributedRootSearcher<G>::Options options;
+  options.ranks = 3;
+  options.launch = {.blocks = 8, .threads_per_block = 32};
+  options.dead_ranks = {1};
+  cluster::DistributedRootSearcher<G> searcher(options);
+  searcher.reseed(4);
+
+  const auto state = G::initial_state();
+  const auto move = searcher.choose_move(state, 0.004);
+  EXPECT_TRUE(is_legal(state, move));
+  const auto& stats = searcher.last_stats();
+  EXPECT_GT(stats.simulations, 0u);
+  EXPECT_EQ(stats.faults.count(util::FaultKind::kDeadRank), 1u);
+  EXPECT_EQ(stats.faults.count(util::RecoveryKind::kPartialReduce), 1u);
+}
+
+TEST(Degradation, DeadRankDoesNotChangeSurvivorContributionLegality) {
+  // The merged vote with a dead rank must still be a legal move from a
+  // mid-game position (where move sets shrink and an illegal merge would
+  // actually show).
+  auto state = G::initial_state();
+  util::XorShift128Plus rng(99);
+  for (int ply = 0; ply < 10 && !G::is_terminal(state); ++ply) {
+    std::array<typename G::Move, static_cast<std::size_t>(G::kMaxMoves)>
+        moves{};
+    const int n = G::legal_moves(state, std::span(moves));
+    state = G::apply(state, moves[rng.next_below(
+                                static_cast<std::uint32_t>(n))]);
+  }
+  ASSERT_FALSE(G::is_terminal(state));
+
+  cluster::DistributedRootSearcher<G>::Options options;
+  options.ranks = 4;
+  options.launch = {.blocks = 8, .threads_per_block = 32};
+  options.dead_ranks = {0, 2};
+  cluster::DistributedRootSearcher<G> searcher(options);
+  searcher.reseed(4);
+  EXPECT_TRUE(is_legal(state, searcher.choose_move(state, 0.004)));
+}
+
+TEST(Degradation, DistributedSearchWithFaultsIsDeterministic) {
+  const auto run = [] {
+    cluster::DistributedRootSearcher<G>::Options options;
+    options.ranks = 3;
+    options.launch = {.blocks = 8, .threads_per_block = 32};
+    options.dead_ranks = {2};
+    options.comm_faults.message_drop = 0.5;
+    cluster::DistributedRootSearcher<G> searcher(options);
+    searcher.reseed(7);
+    const auto move = searcher.choose_move(G::initial_state(), 0.004);
+    return std::pair(move, searcher.last_stats().simulations);
+  };
+  const auto [ma, sa] = run();
+  const auto [mb, sb] = run();
+  EXPECT_EQ(ma, mb);
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(Degradation, AllRanksDeadIsRejectedNotUndefined) {
+  cluster::DistributedRootSearcher<G>::Options options;
+  options.ranks = 2;
+  options.launch = {.blocks = 8, .threads_per_block = 32};
+  options.dead_ranks = {0, 1};
+  cluster::DistributedRootSearcher<G> searcher(options);
+  EXPECT_THROW((void)searcher.choose_move(G::initial_state(), 0.004),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace gpu_mcts

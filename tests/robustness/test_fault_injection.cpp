@@ -1,0 +1,248 @@
+// FaultInjector semantics: deterministic, observable, and — crucially —
+// a no-op when disabled (the zero-overhead guarantee every reproducibility
+// test in this repo depends on).
+#include "util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/device_buffer.hpp"
+#include "simt/vgpu.hpp"
+#include "util/retry.hpp"
+
+namespace gpu_mcts {
+namespace {
+
+TEST(FaultInjector, DisabledByDefault) {
+  util::FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.kernel_launch_fails(0));
+    EXPECT_FALSE(injector.transfer_fails(0));
+    EXPECT_FALSE(injector.message_dropped(0, 0, 1));
+  }
+  EXPECT_TRUE(injector.log().empty());
+}
+
+TEST(FaultInjector, AllZeroPolicyStaysDisabled) {
+  const util::FaultInjector injector(util::FaultPolicy{}, 123);
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicPerSeed) {
+  util::FaultPolicy policy;
+  policy.kernel_launch_failure = 0.5;
+  policy.transfer_failure = 0.25;
+  util::FaultInjector a(policy, 7);
+  util::FaultInjector b(policy, 7);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.kernel_launch_fails(i), b.kernel_launch_fails(i));
+    EXPECT_EQ(a.transfer_fails(i), b.transfer_fails(i));
+  }
+  EXPECT_EQ(a.log().faults(), b.log().faults());
+}
+
+TEST(FaultInjector, CertainFaultConsumesNoEntropy) {
+  // probability >= 1 must not draw, so "always fail" schedules cannot shift
+  // the decisions of other fault sites.
+  util::FaultPolicy certain;
+  certain.kernel_launch_failure = 1.0;
+  certain.transfer_failure = 0.5;
+  util::FaultPolicy transfers_only;
+  transfers_only.transfer_failure = 0.5;
+  util::FaultInjector a(certain, 11);
+  util::FaultInjector b(transfers_only, 11);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(a.kernel_launch_fails(i));
+    EXPECT_EQ(a.transfer_fails(i), b.transfer_fails(i));
+  }
+}
+
+TEST(FaultInjector, RejectsInvalidPolicies) {
+  util::FaultPolicy bad;
+  bad.message_drop = 1.5;
+  EXPECT_THROW(util::FaultInjector(bad, 1), util::ContractViolation);
+  util::FaultPolicy bad_mult;
+  bad_mult.kernel_stall = 0.1;
+  bad_mult.stall_multiplier = 0.5;
+  EXPECT_THROW(util::FaultInjector(bad_mult, 1), util::ContractViolation);
+}
+
+TEST(FaultLog, CountsAndCapsRecords) {
+  util::FaultLog log;
+  for (std::uint64_t i = 0; i < util::FaultLog::kMaxRecords + 100; ++i) {
+    log.record_fault(util::FaultKind::kDroppedMessage, i);
+  }
+  EXPECT_EQ(log.count(util::FaultKind::kDroppedMessage),
+            util::FaultLog::kMaxRecords + 100);
+  EXPECT_EQ(log.fault_records().size(), util::FaultLog::kMaxRecords);
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentially) {
+  const util::RetryPolicy retry{.max_attempts = 4,
+                                .backoff_base_cycles = 1000,
+                                .backoff_multiplier = 2.0};
+  EXPECT_EQ(retry.backoff_cycles(0), 1000u);
+  EXPECT_EQ(retry.backoff_cycles(1), 2000u);
+  EXPECT_EQ(retry.backoff_cycles(2), 4000u);
+}
+
+TEST(RetryPolicy, WithRetryChargesBackoffAndLogs) {
+  const util::RetryPolicy retry{.max_attempts = 3,
+                                .backoff_base_cycles = 1000,
+                                .backoff_multiplier = 2.0};
+  util::VirtualClock clock;
+  util::FaultLog log;
+  int calls = 0;
+  const bool ok = util::with_retry(retry, clock, &log, [&](int attempt) {
+    EXPECT_EQ(attempt, calls);
+    ++calls;
+    return false;
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(clock.cycles(), 1000u + 2000u);  // backoff between attempts only
+  EXPECT_EQ(log.count(util::RecoveryKind::kRetry), 2u);
+  EXPECT_EQ(log.count(util::RecoveryKind::kAbandon), 1u);
+}
+
+/// Minimal kernel for launch-path fault tests.
+class NoopKernel {
+ public:
+  struct LaneState {
+    std::int32_t remaining = 3;
+  };
+  [[nodiscard]] LaneState make_lane(const simt::LaneId&) const { return {}; }
+  [[nodiscard]] bool lane_step(LaneState& s) const { return --s.remaining > 0; }
+  void lane_finish(const LaneState&, const simt::LaneId& id) {
+    ++finishes[static_cast<std::size_t>(id.global_thread)];
+  }
+  std::vector<int> finishes = std::vector<int>(64, 0);
+};
+
+TEST(VirtualGpuFaults, InjectedLaunchFailureExecutesNothing) {
+  simt::VirtualGpu gpu;
+  util::FaultPolicy policy;
+  policy.kernel_launch_failure = 1.0;
+  gpu.set_fault_injector(util::FaultInjector(policy, 3));
+  const simt::LaunchConfig cfg{.blocks = 2, .threads_per_block = 32};
+  NoopKernel kernel;
+  util::VirtualClock clock(gpu.host().clock_hz);
+  const simt::LaunchResult result = gpu.launch(cfg, kernel, clock);
+  EXPECT_EQ(result.status, simt::LaunchStatus::kFailed);
+  EXPECT_FALSE(result.ok());
+  for (const int f : kernel.finishes) EXPECT_EQ(f, 0);
+  // The failed driver call still cost its overhead, nothing more.
+  EXPECT_EQ(clock.cycles(),
+            static_cast<std::uint64_t>(gpu.cost().launch_overhead_host_cycles));
+  EXPECT_EQ(gpu.fault_injector().log().count(
+                util::FaultKind::kKernelLaunchFailure),
+            1u);
+}
+
+TEST(VirtualGpuFaults, InjectedStallMultipliesDeviceTime) {
+  const simt::LaunchConfig cfg{.blocks = 2, .threads_per_block = 32};
+  NoopKernel k1, k2;
+
+  simt::VirtualGpu healthy;
+  util::VirtualClock healthy_clock(healthy.host().clock_hz);
+  const simt::LaunchResult baseline = healthy.launch(cfg, k1, healthy_clock);
+
+  simt::VirtualGpu stalling;
+  util::FaultPolicy policy;
+  policy.kernel_stall = 1.0;
+  policy.stall_multiplier = 4.0;
+  stalling.set_fault_injector(util::FaultInjector(policy, 3));
+  util::VirtualClock stall_clock(stalling.host().clock_hz);
+  const simt::LaunchResult stalled = stalling.launch(cfg, k2, stall_clock);
+
+  EXPECT_EQ(stalled.status, simt::LaunchStatus::kStalled);
+  EXPECT_TRUE(stalled.ok());  // a straggler is slow, not wrong
+  EXPECT_DOUBLE_EQ(stalled.device_cycles, 4.0 * baseline.device_cycles);
+  EXPECT_GT(stall_clock.cycles(), healthy_clock.cycles());
+}
+
+TEST(VirtualGpuFaults, AsyncFailureSurfacesAtEvent) {
+  simt::VirtualGpu gpu;
+  util::FaultPolicy policy;
+  policy.kernel_launch_failure = 1.0;
+  gpu.set_fault_injector(util::FaultInjector(policy, 3));
+  const simt::LaunchConfig cfg{.blocks = 2, .threads_per_block = 32};
+  NoopKernel kernel;
+  util::VirtualClock clock(gpu.host().clock_hz);
+  const simt::Event ev = gpu.launch_async(cfg, kernel, clock);
+  EXPECT_EQ(ev.result.status, simt::LaunchStatus::kFailed);
+  // The error is known immediately (no device time to wait out).
+  EXPECT_TRUE(simt::VirtualGpu::query(ev, clock));
+}
+
+TEST(DeviceBufferFaults, TransferRetriesThenSucceeds) {
+  util::FaultPolicy policy;
+  policy.transfer_failure = 0.5;
+  util::FaultInjector injector(policy, 9);
+  simt::DeviceBuffer<double> buf(16);
+  buf.set_fault_injector(&injector);
+  buf.set_retry_policy({.max_attempts = 10,
+                        .backoff_base_cycles = 500,
+                        .backoff_multiplier = 2.0});
+  util::VirtualClock clock;
+  for (int i = 0; i < 20; ++i) buf.upload(clock);  // p(all fail) ~ 0
+  EXPECT_EQ(buf.uploads(), 20u);
+  EXPECT_GT(injector.log().count(util::FaultKind::kTransferFailure), 0u);
+  EXPECT_GT(injector.log().count(util::RecoveryKind::kRetry), 0u);
+}
+
+TEST(DeviceBufferFaults, ExhaustedRetriesThrowFaultError) {
+  util::FaultPolicy policy;
+  policy.transfer_failure = 1.0;
+  util::FaultInjector injector(policy, 9);
+  simt::DeviceBuffer<double> buf(16);
+  buf.set_fault_injector(&injector);
+  buf.set_retry_policy({.max_attempts = 3,
+                        .backoff_base_cycles = 500,
+                        .backoff_multiplier = 2.0});
+  util::VirtualClock clock;
+  EXPECT_THROW(buf.upload(clock), util::FaultError);
+  EXPECT_EQ(injector.log().count(util::FaultKind::kTransferFailure), 3u);
+  EXPECT_EQ(injector.log().count(util::RecoveryKind::kAbandon), 1u);
+  // Every attempt paid the wire cost; every gap paid backoff.
+  const std::uint64_t wire = 3 * simt::TransferCosts{}.cost(16 * sizeof(double));
+  EXPECT_EQ(clock.cycles(), wire + 500u + 1000u);
+}
+
+TEST(DeviceBufferFaults, CorruptReadbackIsDetectedAndRetried) {
+  util::FaultPolicy policy;
+  policy.corrupt_readback = 0.5;
+  util::FaultInjector injector(policy, 21);
+  simt::DeviceBuffer<double> buf(8);
+  buf.set_fault_injector(&injector);
+  buf.set_retry_policy({.max_attempts = 16,
+                        .backoff_base_cycles = 500,
+                        .backoff_multiplier = 2.0});
+  util::VirtualClock clock;
+  for (int i = 0; i < 8; ++i) buf.host()[i] = static_cast<double>(i);
+  buf.upload(clock);  // uploads never corrupt (corruption is readback-only)
+  (void)buf.device_view();
+  for (int i = 0; i < 20; ++i) buf.download(clock);
+  // Downloads always completed with intact data.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(buf.host()[i], i);
+  EXPECT_GT(injector.log().count(util::FaultKind::kCorruptReadback), 0u);
+}
+
+TEST(DeviceBufferFaults, DisabledInjectorCostsExactlyTheSeedPath) {
+  simt::DeviceBuffer<double> plain(32);
+  simt::DeviceBuffer<double> wired(32);
+  util::FaultInjector disabled;
+  wired.set_fault_injector(&disabled);
+  util::VirtualClock c1, c2;
+  plain.upload(c1);
+  plain.download(c1);
+  wired.upload(c2);
+  wired.download(c2);
+  EXPECT_EQ(c1.cycles(), c2.cycles());
+}
+
+}  // namespace
+}  // namespace gpu_mcts

@@ -134,6 +134,27 @@ TEST(VirtualGpu, AsyncEventCompletesAtSyncTime) {
   EXPECT_EQ(async_clock.cycles(), sync_clock.cycles());
 }
 
+TEST(VirtualGpu, OddLaunchOverheadSplitsExactlyAcrossEnqueueAndSync) {
+  // Regression: enqueue and sync each truncated overhead/2 separately, so an
+  // odd overhead charged one cycle less on the async path than on the
+  // synchronous one. The two halves must sum to the full overhead exactly.
+  CostModel cost = default_cost_model();
+  cost.launch_overhead_host_cycles = 30001.0;  // odd
+  VirtualGpu gpu(tesla_c2050(), xeon_x5670(), cost);
+  const LaunchConfig cfg{.blocks = 2, .threads_per_block = 64};
+
+  CountingKernel k1(cfg);
+  util::VirtualClock sync_clock(gpu.host().clock_hz);
+  (void)gpu.launch(cfg, k1, sync_clock);
+
+  CountingKernel k2(cfg);
+  util::VirtualClock async_clock(gpu.host().clock_hz);
+  const Event ev = gpu.launch_async(cfg, k2, async_clock);
+  gpu.wait_for(ev, async_clock);
+
+  EXPECT_EQ(async_clock.cycles(), sync_clock.cycles());
+}
+
 TEST(VirtualGpu, AsyncAllowsHostProgressBeforeCompletion) {
   VirtualGpu gpu;
   const LaunchConfig cfg{.blocks = 4, .threads_per_block = 128};

@@ -36,6 +36,25 @@ TEST(Check, MessageCarriesExpressionAndLocation) {
   }
 }
 
+TEST(CheckDeathTest, PassingTerminateVariantsDoNothing) {
+  expects_terminate(true);
+  ensures_terminate(true);
+  check_terminate(true);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, ExpectsTerminateLogsAndDies) {
+  EXPECT_DEATH(expects_terminate(false, "games >= 1"), "games >= 1");
+}
+
+TEST(CheckDeathTest, EnsuresTerminateLogsAndDies) {
+  EXPECT_DEATH(ensures_terminate(false, "pool drained"), "Ensures failed");
+}
+
+TEST(CheckDeathTest, CheckTerminateLogsAndDies) {
+  EXPECT_DEATH(check_terminate(false), "invariant");
+}
+
 TEST(Check, IsLogicError) {
   try {
     check(false, "x");
