@@ -7,8 +7,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -27,14 +27,18 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("threads", flags.quick ? 512 : 1792));
   std::vector<int> block_sizes = {32, 64, 128, 256};
 
+  bench::TraceSession trace(flags);
   util::Table table({"block_size", "trees", "sims_per_second", "win_ratio",
                      "mean_tree_depth"});
   for (const int bs : block_sizes) {
     if (total_threads % bs != 0) continue;
-    auto subject = harness::make_player(
-        harness::block_gpu_player(total_threads, bs, flags.seed));
-    auto opponent = harness::make_player(
-        harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+    auto subject = engine::make_searcher<reversi::ReversiGame>(
+        engine::SchemeSpec::block_gpu_threads(total_threads, bs)
+            .with_seed(flags.seed));
+    trace.attach(*subject);
+    auto opponent = engine::make_searcher<reversi::ReversiGame>(
+        engine::SchemeSpec::sequential().with_seed(
+            util::derive_seed(flags.seed, 0x0bb)));
     harness::ArenaOptions options;
     options.subject_budget_seconds = flags.budget;
     options.opponent_budget_seconds = flags.opponent_budget;
@@ -49,6 +53,7 @@ int main(int argc, char** argv) {
         .add(match.subject_mean_depth, 2);
   }
   bench::emit(table, flags, "ablation_blocksize");
+  trace.finish();
 
   std::cout << "Reading: more trees (small blocks) cost simulations/second "
                "(sequential host\npart) but buy tree diversity; the "

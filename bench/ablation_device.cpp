@@ -7,8 +7,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -27,15 +27,18 @@ int main(int argc, char** argv) {
   std::vector<int> sm_counts = {4, 8, 14, 28};
   if (flags.quick) sm_counts = {4, 14};
 
+  bench::TraceSession trace(flags);
   util::Table table({"sm_count", "threads", "sims_per_second", "win_ratio",
                      "final_diff"});
   for (const int sms : sm_counts) {
-    harness::PlayerConfig config =
-        harness::block_gpu_player(3584, 128, flags.seed);
-    config.device.sm_count = sms;
-    auto subject = harness::make_player(config);
-    auto opponent = harness::make_player(
-        harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+    engine::SchemeSpec spec =
+        engine::SchemeSpec::block_gpu_threads(3584, 128).with_seed(flags.seed);
+    spec.device.sm_count = sms;
+    auto subject = engine::make_searcher<reversi::ReversiGame>(spec);
+    trace.attach(*subject);
+    auto opponent = engine::make_searcher<reversi::ReversiGame>(
+        engine::SchemeSpec::sequential().with_seed(
+            util::derive_seed(flags.seed, 0x0bb)));
     harness::ArenaOptions options;
     options.subject_budget_seconds = flags.budget;
     options.opponent_budget_seconds = flags.opponent_budget;
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
         .add(match.mean_final_point_difference, 1);
   }
   bench::emit(table, flags, "ablation_device");
+  trace.finish();
 
   std::cout << "Reading: throughput scales with SM count until the grid "
                "under-fills the\ndevice; strength follows throughput with "

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "harness/player.hpp"
+#include "engine/factory.hpp"
 #include "reversi/reversi_game.hpp"
 #include "simt/cost_model.hpp"
 #include "util/table.hpp"
@@ -23,10 +23,10 @@ struct Probe {
 
 Probe probe(int threads, int block_size, const simt::CostModel& cost,
             double budget, std::uint64_t seed) {
-  harness::PlayerConfig config = harness::leaf_gpu_player(threads, block_size,
-                                                          seed);
-  config.cost = cost;
-  auto player = harness::make_player(config);
+  engine::SchemeSpec spec =
+      engine::SchemeSpec::leaf_gpu_threads(threads, block_size).with_seed(seed);
+  spec.cost = cost;
+  auto player = engine::make_searcher<reversi::ReversiGame>(spec);
   (void)player->choose_move(reversi::ReversiGame::initial_state(), budget);
   return {player->last_stats().simulations_per_second(),
           player->last_stats().divergence_waste};

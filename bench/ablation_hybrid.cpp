@@ -5,9 +5,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
-#include "parallel/hybrid.hpp"
 #include "reversi/reversi_game.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -32,22 +31,25 @@ int main(int argc, char** argv) {
                      "cpu_share", "depth_hybrid", "depth_gpu_only",
                      "winratio_hybrid", "winratio_gpu_only"});
 
+  bench::TraceSession trace(flags);
   for (const auto& [blocks, tpb] : grids) {
-    // Direct searcher probe for the CPU/GPU simulation split.
-    parallel::HybridSearcher<ReversiGame> probe(
-        {.launch = {.blocks = blocks, .threads_per_block = tpb},
-         .cpu_overlap = true});
-    probe.reseed(flags.seed);
-    (void)probe.choose_move(ReversiGame::initial_state(), flags.budget);
-    const auto cpu_sims = probe.cpu_overlap_simulations();
-    const auto total_sims = probe.last_stats().simulations;
+    // One-move probe for the CPU/GPU simulation split (SearchStats carries
+    // the breakdown, so the generic engine interface suffices).
+    auto probe = engine::make_searcher<ReversiGame>(
+        engine::SchemeSpec::hybrid(blocks, tpb).with_seed(flags.seed));
+    (void)probe->choose_move(ReversiGame::initial_state(), flags.budget);
+    const auto cpu_sims = probe->last_stats().cpu_iterations;
+    const auto total_sims = probe->last_stats().simulations;
 
     // Match-level comparison.
     auto run = [&](bool overlap) {
-      auto subject = harness::make_player(
-          harness::hybrid_player(blocks, tpb, overlap, flags.seed));
-      auto opponent = harness::make_player(
-          harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+      auto subject = engine::make_searcher<ReversiGame>(
+          engine::SchemeSpec::hybrid(blocks, tpb, overlap)
+              .with_seed(flags.seed));
+      trace.attach(*subject);
+      auto opponent = engine::make_searcher<ReversiGame>(
+          engine::SchemeSpec::sequential().with_seed(
+              util::derive_seed(flags.seed, 0x0bb)));
       harness::ArenaOptions options;
       options.subject_budget_seconds = flags.budget;
       options.opponent_budget_seconds = flags.opponent_budget;
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
         .add(gpu_only.win_ratio, 3);
   }
   bench::emit(table, flags, "ablation_hybrid");
+  trace.finish();
 
   std::cout << "Reading: the CPU contributes few simulations but deep, "
                "selective ones — depth\nrises with overlap on, and strength "

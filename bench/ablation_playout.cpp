@@ -6,8 +6,8 @@
 #include <memory>
 
 #include "bench_common.hpp"
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "mcts/policy_playout.hpp"
 #include "mcts/policy_searcher.hpp"
 #include "reversi/playout_policy.hpp"
@@ -30,8 +30,9 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: playout policy (uniform vs corner-greedy)",
                       flags);
 
-  auto opponent = harness::make_player(
-      harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+  auto opponent = engine::make_searcher<ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(
+          util::derive_seed(flags.seed, 0x0bb)));
 
   util::Table table({"policy", "win_ratio_vs_uniform_uct", "sims_per_second",
                      "mean_final_diff"});

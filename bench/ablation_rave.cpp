@@ -5,8 +5,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "mcts/rave.hpp"
 #include "reversi/reversi_game.hpp"
 #include "util/rng.hpp"
@@ -27,8 +27,9 @@ int main(int argc, char** argv) {
   bench::print_header("Ablation: UCT-RAVE vs UCT (sequential, equal time)",
                       flags);
 
-  auto opponent = harness::make_player(
-      harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+  auto opponent = engine::make_searcher<ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(
+          util::derive_seed(flags.seed, 0x0bb)));
 
   std::vector<double> ks = {100.0, 1000.0, 10000.0};
   if (flags.quick) ks = {1000.0};

@@ -4,8 +4,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -13,12 +13,13 @@ namespace {
 
 using namespace gpu_mcts;
 
-double win_ratio(harness::PlayerConfig config, mcts::SelectionPolicy policy,
+double win_ratio(engine::SchemeSpec spec, mcts::SelectionPolicy policy,
                  const bench::CommonFlags& flags) {
-  config.search.selection = policy;
-  auto subject = harness::make_player(config);
-  auto opponent = harness::make_player(
-      harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+  spec.search.selection = policy;
+  auto subject = engine::make_searcher<reversi::ReversiGame>(spec);
+  auto opponent = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(
+          util::derive_seed(flags.seed, 0x0bb)));
   harness::ArenaOptions options;
   options.subject_budget_seconds = flags.budget;
   options.opponent_budget_seconds = flags.opponent_budget;
@@ -39,15 +40,17 @@ int main(int argc, char** argv) {
   util::Table table({"searcher", "ucb1_winratio", "ucb1_tuned_winratio"});
   table.begin_row()
       .add("sequential CPU")
-      .add(win_ratio(harness::sequential_player(flags.seed),
+      .add(win_ratio(engine::SchemeSpec::sequential().with_seed(flags.seed),
                      mcts::SelectionPolicy::kUcb1, flags), 3)
-      .add(win_ratio(harness::sequential_player(flags.seed),
+      .add(win_ratio(engine::SchemeSpec::sequential().with_seed(flags.seed),
                      mcts::SelectionPolicy::kUcb1Tuned, flags), 3);
   table.begin_row()
       .add("block GPU 1024x128")
-      .add(win_ratio(harness::block_gpu_player(1024, 128, flags.seed),
+      .add(win_ratio(engine::SchemeSpec::block_gpu_threads(1024, 128)
+                         .with_seed(flags.seed),
                      mcts::SelectionPolicy::kUcb1, flags), 3)
-      .add(win_ratio(harness::block_gpu_player(1024, 128, flags.seed),
+      .add(win_ratio(engine::SchemeSpec::block_gpu_threads(1024, 128)
+                         .with_seed(flags.seed),
                      mcts::SelectionPolicy::kUcb1Tuned, flags), 3);
   bench::emit(table, flags, "ablation_selection");
 

@@ -4,8 +4,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -13,13 +13,14 @@ namespace {
 
 using namespace gpu_mcts;
 
-double win_ratio_with_c(harness::PlayerConfig config, double ucb_c,
+double win_ratio_with_c(engine::SchemeSpec spec, double ucb_c,
                         const bench::CommonFlags& flags) {
-  config.search.ucb_c = ucb_c;
-  auto subject = harness::make_player(config);
+  spec.search.ucb_c = ucb_c;
+  auto subject = engine::make_searcher<reversi::ReversiGame>(spec);
   // Opponent keeps the default constant.
-  auto opponent = harness::make_player(
-      harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+  auto opponent = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(
+          util::derive_seed(flags.seed, 0x0bb)));
   harness::ArenaOptions options;
   options.subject_budget_seconds = flags.budget;
   options.opponent_budget_seconds = flags.opponent_budget;
@@ -42,12 +43,12 @@ int main(int argc, char** argv) {
   for (const double c : constants) {
     table.begin_row()
         .add(c, 4)
-        .add(win_ratio_with_c(harness::sequential_player(flags.seed), c,
-                              flags), 3)
         .add(win_ratio_with_c(
-                 harness::block_gpu_player(1024, 128,
-                                           flags.seed),
-                 c, flags), 3);
+                 engine::SchemeSpec::sequential().with_seed(flags.seed), c,
+                 flags), 3)
+        .add(win_ratio_with_c(engine::SchemeSpec::block_gpu_threads(1024, 128)
+                                  .with_seed(flags.seed),
+                              c, flags), 3);
   }
   bench::emit(table, flags, "ablation_ucb");
 

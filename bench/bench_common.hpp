@@ -8,6 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "mcts/searcher.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -23,6 +26,10 @@ struct CommonFlags {
   /// When non-empty, every emitted table is also written to
   /// <out>/<name>.csv for plotting scripts.
   std::string out_dir;
+  /// When non-empty, the bench attaches an obs::Tracer to its subject
+  /// players and exports the merged trace here (JSONL / Chrome formats).
+  std::string trace_jsonl;
+  std::string trace_chrome;
 
   static CommonFlags parse(const util::CliArgs& args) {
     CommonFlags f;
@@ -35,15 +42,75 @@ struct CommonFlags {
     f.seed = args.get_uint("seed", 1);
     f.csv = args.get_bool("csv", false);
     f.out_dir = args.get_string("out", "");
+    f.trace_jsonl = args.get_string("trace", "");
+    f.trace_chrome = args.get_string("chrome-trace", "");
     return f;
   }
+
+  [[nodiscard]] bool tracing() const noexcept {
+    return !trace_jsonl.empty() || !trace_chrome.empty();
+  }
+};
+
+/// Owns the bench's Tracer when --trace/--chrome-trace is given; otherwise
+/// attach() is a no-op and the subject runs the untraced (bit-exact) path.
+/// finish() writes the requested exports and prints the phase summary.
+class TraceSession {
+ public:
+  explicit TraceSession(const CommonFlags& flags) : flags_(flags) {}
+
+  /// Attaches the session tracer to `searcher` (no-op when not tracing).
+  template <typename G>
+  void attach(mcts::Searcher<G>& searcher) {
+    if (flags_.tracing()) searcher.set_tracer(&tracer_);
+  }
+
+  [[nodiscard]] obs::Tracer* tracer() noexcept {
+    return flags_.tracing() ? &tracer_ : nullptr;
+  }
+
+  /// Writes the exports requested by the flags and prints the summary table.
+  /// Returns false (after printing a diagnostic) if a file cannot be opened.
+  bool finish(std::ostream& out = std::cout) {
+    if (!flags_.tracing()) return true;
+    bool ok = true;
+    if (!flags_.trace_jsonl.empty()) {
+      std::ofstream file(flags_.trace_jsonl);
+      if (file) {
+        obs::write_jsonl(tracer_, file);
+        out << "(wrote trace " << flags_.trace_jsonl << ")\n";
+      } else {
+        out << "(could not write trace " << flags_.trace_jsonl << ")\n";
+        ok = false;
+      }
+    }
+    if (!flags_.trace_chrome.empty()) {
+      std::ofstream file(flags_.trace_chrome);
+      if (file) {
+        obs::write_chrome_trace(tracer_, file);
+        out << "(wrote Chrome trace " << flags_.trace_chrome << ")\n";
+      } else {
+        out << "(could not write Chrome trace " << flags_.trace_chrome
+            << ")\n";
+        ok = false;
+      }
+    }
+    out << '\n';
+    obs::print_summary(tracer_, out);
+    return ok;
+  }
+
+ private:
+  CommonFlags flags_;
+  obs::Tracer tracer_;
 };
 
 inline void print_header(const std::string& title, const CommonFlags& f) {
   std::cout << "==== " << title << " ====\n"
             << "games/config=" << f.games << "  budget=" << f.budget
             << "s (virtual)  seed=" << f.seed << "\n"
-            << "flags: --games N --budget SECONDS --seed N --csv --quick\n\n";
+            << "flags: --games N --budget SECONDS --seed N --csv --quick"
+               " --trace FILE.jsonl --chrome-trace FILE.json\n\n";
 }
 
 inline void emit(const util::Table& table, const CommonFlags& f,

@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "harness/player.hpp"
+#include "engine/factory.hpp"
 #include "reversi/reversi_game.hpp"
 #include "util/table.hpp"
 
@@ -20,8 +20,10 @@ namespace {
 
 using namespace gpu_mcts;
 
-double measure_rate(const harness::PlayerConfig& config, double budget) {
-  auto player = harness::make_player(config);
+double measure_rate(const engine::SchemeSpec& spec, double budget,
+                    bench::TraceSession& trace) {
+  auto player = engine::make_searcher<reversi::ReversiGame>(spec);
+  trace.attach(*player);
   (void)player->choose_move(reversi::ReversiGame::initial_state(), budget);
   return player->last_stats().simulations_per_second();
 }
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 5: simulations/second vs GPU threads", flags);
 
   const bool full = args.get_bool("full", !flags.quick);
+  bench::TraceSession trace(flags);
   util::Table table({"threads", "leaf_bs64_sims_per_s", "block_bs32_sims_per_s",
                      "block_bs128_sims_per_s"});
 
@@ -43,19 +46,29 @@ int main(int argc, char** argv) {
     table.begin_row().add(threads);
 
     // Leaf parallelism, block size 64.
-    table.add(measure_rate(
-        harness::leaf_gpu_player(threads, 64, flags.seed), flags.budget), 0);
+    table.add(
+        measure_rate(engine::SchemeSpec::leaf_gpu_threads(threads, 64)
+                         .with_seed(flags.seed),
+                     flags.budget, trace),
+        0);
 
     // Block parallelism, block size 32.
-    table.add(measure_rate(
-        harness::block_gpu_player(threads, 32, flags.seed), flags.budget), 0);
+    table.add(
+        measure_rate(engine::SchemeSpec::block_gpu_threads(threads, 32)
+                         .with_seed(flags.seed),
+                     flags.budget, trace),
+        0);
 
     // Block parallelism, block size 128 (sub-128 counts run one block).
-    table.add(measure_rate(
-        harness::block_gpu_player(threads, 128, flags.seed), flags.budget), 0);
+    table.add(
+        measure_rate(engine::SchemeSpec::block_gpu_threads(threads, 128)
+                         .with_seed(flags.seed),
+                     flags.budget, trace),
+        0);
   }
 
   bench::emit(table, flags, "fig5_throughput");
+  trace.finish();
 
   std::cout << "Expected shape (paper): leaf(64) tops out ~8-9e5 sims/s at "
                "14336 threads;\nblock(128) below leaf; block(32) lowest at "

@@ -8,8 +8,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "util/statistics.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -18,11 +18,14 @@ namespace {
 
 using namespace gpu_mcts;
 
-double win_ratio_vs_sequential(const harness::PlayerConfig& config,
-                               const bench::CommonFlags& flags) {
-  auto subject = harness::make_player(config);
-  auto opponent = harness::make_player(
-      harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+double win_ratio_vs_sequential(const engine::SchemeSpec& spec,
+                               const bench::CommonFlags& flags,
+                               bench::TraceSession& trace) {
+  auto subject = engine::make_searcher<reversi::ReversiGame>(spec);
+  trace.attach(*subject);
+  auto opponent = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(
+          util::derive_seed(flags.seed, 0x0bb)));
   harness::ArenaOptions options;
   options.subject_budget_seconds = flags.budget;
   options.opponent_budget_seconds = flags.opponent_budget;
@@ -43,20 +46,28 @@ int main(int argc, char** argv) {
       "Figure 6: win ratio vs GPU threads (vs 1-core sequential MCTS)", flags);
 
   const bool full = args.get_bool("full", false);
+  bench::TraceSession trace(flags);
   util::Table table({"threads", "leaf_bs64_winratio", "block_bs32_winratio",
                      "block_bs128_winratio"});
 
   for (const int threads : bench::thread_axis(full)) {
     table.begin_row().add(threads);
     table.add(win_ratio_vs_sequential(
-        harness::leaf_gpu_player(threads, 64, flags.seed), flags), 3);
+        engine::SchemeSpec::leaf_gpu_threads(threads, 64)
+            .with_seed(flags.seed),
+        flags, trace), 3);
     table.add(win_ratio_vs_sequential(
-        harness::block_gpu_player(threads, 32, flags.seed), flags), 3);
+        engine::SchemeSpec::block_gpu_threads(threads, 32)
+            .with_seed(flags.seed),
+        flags, trace), 3);
     table.add(win_ratio_vs_sequential(
-        harness::block_gpu_player(threads, 128, flags.seed), flags), 3);
+        engine::SchemeSpec::block_gpu_threads(threads, 128)
+            .with_seed(flags.seed),
+        flags, trace), 3);
   }
 
   bench::emit(table, flags, "fig6_winratio");
+  trace.finish();
   std::cout << "Expected shape (paper): leaf saturates ~0.75 near 1024 "
                "threads; block keeps\nimproving with thread count; "
                "block(32) leads at low counts, block(128) at high.\n"

@@ -9,8 +9,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -18,12 +18,15 @@ namespace {
 
 using namespace gpu_mcts;
 
-std::vector<double> trace_vs_sequential(const harness::PlayerConfig& config,
+std::vector<double> trace_vs_sequential(const engine::SchemeSpec& spec,
                                         const bench::CommonFlags& flags,
+                                        bench::TraceSession& trace,
                                         double* final_diff) {
-  auto subject = harness::make_player(config);
-  auto opponent = harness::make_player(
-      harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+  auto subject = engine::make_searcher<reversi::ReversiGame>(spec);
+  trace.attach(*subject);
+  auto opponent = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(
+          util::derive_seed(flags.seed, 0x0bb)));
   harness::ArenaOptions options;
   options.subject_budget_seconds = flags.budget;
   options.opponent_budget_seconds = flags.opponent_budget;
@@ -55,23 +58,24 @@ int main(int argc, char** argv) {
   std::vector<std::string> header = {"step"};
   std::vector<std::vector<double>> series;
   std::vector<double> finals;
+  bench::TraceSession trace_session(flags);
 
   for (const int cpus : cpu_counts) {
     header.push_back(std::to_string(cpus) + "_cpus");
     double final_diff = 0.0;
     series.push_back(trace_vs_sequential(
-        harness::root_parallel_player(
-            cpus, util::derive_seed(flags.seed, cpus)),
-        flags, &final_diff));
+        engine::SchemeSpec::root_parallel(cpus).with_seed(
+            util::derive_seed(flags.seed, cpus)),
+        flags, trace_session, &final_diff));
     finals.push_back(final_diff);
   }
   header.emplace_back("1_gpu_block_bs128");
   {
     double final_diff = 0.0;
     series.push_back(trace_vs_sequential(
-        harness::block_gpu_player(14336, 128,
-                                  util::derive_seed(flags.seed, 999)),
-        flags, &final_diff));
+        engine::SchemeSpec::block_gpu_threads(14336, 128)
+            .with_seed(util::derive_seed(flags.seed, 999)),
+        flags, trace_session, &final_diff));
     finals.push_back(final_diff);
   }
 
@@ -93,6 +97,7 @@ int main(int argc, char** argv) {
   }
   summary.begin_row().add("1 GPU (block, bs=128)").add(finals.back(), 2);
   bench::emit(summary, flags, "fig7_final");
+  trace_session.finish();
 
   std::cout << "Expected shape (paper): curves order by CPU count; the GPU "
                "matches/beats 256\nCPUs and is strongest early in the game.\n";

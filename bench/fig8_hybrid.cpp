@@ -7,8 +7,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -16,11 +16,14 @@ namespace {
 
 using namespace gpu_mcts;
 
-harness::MatchResult run(const harness::PlayerConfig& config,
-                         const bench::CommonFlags& flags) {
-  auto subject = harness::make_player(config);
-  auto opponent = harness::make_player(
-      harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+harness::MatchResult run(const engine::SchemeSpec& spec,
+                         const bench::CommonFlags& flags,
+                         bench::TraceSession& trace) {
+  auto subject = engine::make_searcher<reversi::ReversiGame>(spec);
+  trace.attach(*subject);
+  auto opponent = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(
+          util::derive_seed(flags.seed, 0x0bb)));
   harness::ArenaOptions options;
   options.subject_budget_seconds = flags.budget;
   options.opponent_budget_seconds = flags.opponent_budget;
@@ -40,11 +43,14 @@ int main(int argc, char** argv) {
 
   const int blocks = static_cast<int>(args.get_int("blocks", 112));
   const int tpb = static_cast<int>(args.get_int("tpb", 128));
+  bench::TraceSession trace(flags);
 
   const harness::MatchResult hybrid = run(
-      harness::hybrid_player(blocks, tpb, true, flags.seed), flags);
+      engine::SchemeSpec::hybrid(blocks, tpb, true).with_seed(flags.seed),
+      flags, trace);
   const harness::MatchResult gpu_only = run(
-      harness::hybrid_player(blocks, tpb, false, flags.seed), flags);
+      engine::SchemeSpec::hybrid(blocks, tpb, false).with_seed(flags.seed),
+      flags, trace);
 
   util::Table table({"step", "hybrid_points", "gpu_points", "hybrid_depth",
                      "gpu_depth"});
@@ -73,6 +79,7 @@ int main(int argc, char** argv) {
       .add(hybrid.win_ratio, 3)
       .add(gpu_only.win_ratio, 3);
   bench::emit(summary, flags, "fig8_summary");
+  trace.finish();
 
   std::cout << "Expected shape (paper): hybrid depth > GPU-only depth at "
                "every step; hybrid\npoints >= GPU-only, widening late in "

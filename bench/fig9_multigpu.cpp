@@ -7,8 +7,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -23,11 +23,15 @@ struct RankPoint {
   double win_ratio;
 };
 
-RankPoint measure(int ranks, int blocks, const bench::CommonFlags& flags) {
-  auto subject = harness::make_player(harness::distributed_player(
-      ranks, blocks, 64, util::derive_seed(flags.seed, ranks)));
-  auto opponent = harness::make_player(
-      harness::sequential_player(util::derive_seed(flags.seed, 0x0bb)));
+RankPoint measure(int ranks, int blocks, const bench::CommonFlags& flags,
+                  bench::TraceSession& trace) {
+  auto subject = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::distributed(ranks, blocks, 64)
+          .with_seed(util::derive_seed(flags.seed, ranks)));
+  trace.attach(*subject);
+  auto opponent = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(
+          util::derive_seed(flags.seed, 0x0bb)));
   harness::ArenaOptions options;
   options.subject_budget_seconds = flags.budget;
   options.opponent_budget_seconds = flags.opponent_budget;
@@ -60,10 +64,11 @@ int main(int argc, char** argv) {
     rank_counts = {1, 4};
   }
 
+  bench::TraceSession trace(flags);
   util::Table table(
       {"gpus", "sims_per_second", "avg_point_difference", "win_ratio"});
   for (const int ranks : rank_counts) {
-    const RankPoint p = measure(ranks, blocks, flags);
+    const RankPoint p = measure(ranks, blocks, flags, trace);
     table.begin_row()
         .add(p.ranks)
         .add(p.sims_per_second, 0)
@@ -71,6 +76,7 @@ int main(int argc, char** argv) {
         .add(p.win_ratio, 3);
   }
   bench::emit(table, flags, "fig9_multigpu");
+  trace.finish();
 
   std::cout << "Expected shape (paper): sims/s grows near-linearly with GPU "
                "count (log panel);\npoint difference rises with diminishing "

@@ -5,8 +5,7 @@
 //   ./cluster_demo [--ranks 4] [--budget 0.01] [--moves 6]
 #include <iostream>
 
-#include "cluster/distributed.hpp"
-#include "harness/player.hpp"
+#include "engine/factory.hpp"
 #include "reversi/notation.hpp"
 #include "reversi/reversi_game.hpp"
 #include "util/cli.hpp"
@@ -18,8 +17,9 @@ int main(int argc, char** argv) {
   const double budget = args.get_double("budget", 0.01);
   const int max_moves = static_cast<int>(args.get_int("moves", 6));
 
-  auto player = harness::make_player(
-      harness::distributed_player(ranks, 112, 64, args.get_uint("seed", 1)));
+  auto player = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::distributed(ranks, 112, 64)
+          .with_seed(args.get_uint("seed", 1)));
 
   std::cout << "Cluster: " << player->name() << "\n"
             << "Each rank searches independently; root statistics are "

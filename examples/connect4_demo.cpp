@@ -8,9 +8,8 @@
 #include <array>
 #include <iostream>
 
+#include "engine/factory.hpp"
 #include "game/connect4.hpp"
-#include "mcts/sequential.hpp"
-#include "parallel/block_parallel.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -39,14 +38,15 @@ int main(int argc, char** argv) {
   const int blocks = static_cast<int>(args.get_int("blocks", 28));
   const int tpb = static_cast<int>(args.get_int("tpb", 64));
 
-  mcts::SearchConfig gpu_config;
-  gpu_config.ucb_c = mcts::kBatchUcbC;
-  gpu_config.seed = args.get_uint("seed", 17);
-  parallel::BlockParallelGpuSearcher<ConnectFour> gpu(
-      {.launch = {.blocks = blocks, .threads_per_block = tpb}}, gpu_config);
-  mcts::SequentialSearcher<ConnectFour> cpu;
+  // The engine factory is game-generic: the same specs that drive the
+  // Reversi benches build Connect Four searchers (the builders apply the
+  // batch-UCB default for GPU schemes).
+  auto gpu = engine::make_searcher<ConnectFour>(
+      engine::SchemeSpec::block_gpu(blocks, tpb)
+          .with_seed(args.get_uint("seed", 17)));
+  auto cpu = engine::make_searcher<ConnectFour>(engine::SchemeSpec::sequential());
 
-  std::cout << "Connect Four: " << gpu.name() << " (X) vs " << cpu.name()
+  std::cout << "Connect Four: " << gpu->name() << " (X) vs " << cpu->name()
             << " (O), " << budget << "s/move (virtual)\n\n";
 
   ConnectFour::State s = ConnectFour::initial_state();
@@ -55,14 +55,14 @@ int main(int argc, char** argv) {
     const bool gpu_turn =
         ConnectFour::player_to_move(s) == game::Player::kFirst;
     const ConnectFour::Move m = gpu_turn
-                                    ? gpu.choose_move(s, budget)
-                                    : cpu.choose_move(s, budget);
+                                    ? gpu->choose_move(s, budget)
+                                    : cpu->choose_move(s, budget);
     s = ConnectFour::apply(s, m);
     std::cout << "ply " << ++ply << ": " << (gpu_turn ? "GPU" : "CPU")
               << " drops column " << static_cast<int>(m);
     if (gpu_turn) {
-      std::cout << "  [" << gpu.last_stats().simulations << " sims, "
-                << gpu.last_stats().rounds << " rounds]";
+      std::cout << "  [" << gpu->last_stats().simulations << " sims, "
+                << gpu->last_stats().rounds << " rounds]";
     }
     std::cout << '\n';
   }

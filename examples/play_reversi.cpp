@@ -1,6 +1,10 @@
 // Interactive Reversi against any scheme in the library.
 //
-//   ./play_reversi [--scheme block-gpu] [--budget 0.1] [--color white]
+//   ./play_reversi [--scheme block:112x64] [--budget 0.1] [--color white]
+//
+// --scheme takes an engine spec string ("seq", "root:32", "block:112x64",
+// "hybrid:112x64", "dist:2x56x64", ...); a few bare legacy names
+// ("block-gpu", "root", ...) expand to their historical defaults.
 //
 // Enter moves as algebraic squares ("d3"), "pass" when you must pass,
 // "hint" for the engine's root statistics, or "quit". EOF ends the game
@@ -8,8 +12,8 @@
 #include <iostream>
 #include <string>
 
+#include "engine/factory.hpp"
 #include "harness/endgame_wrapper.hpp"
-#include "harness/player.hpp"
 #include "reversi/notation.hpp"
 #include "reversi/reversi_game.hpp"
 #include "util/cli.hpp"
@@ -18,29 +22,35 @@ namespace {
 
 using namespace gpu_mcts;
 
-harness::PlayerConfig config_for(const std::string& scheme,
-                                 std::uint64_t seed) {
-  if (scheme == "sequential") return harness::sequential_player(seed);
-  if (scheme == "root") return harness::root_parallel_player(32, seed);
-  if (scheme == "tree") return harness::tree_parallel_player(8, seed);
-  if (scheme == "flat") return harness::flat_mc_player(seed);
-  if (scheme == "leaf-gpu") return harness::leaf_gpu_player(1024, 64, seed);
-  if (scheme == "hybrid") return harness::hybrid_player(112, 64, true, seed);
-  if (scheme == "distributed")
-    return harness::distributed_player(2, 56, 64, seed);
-  return harness::block_gpu_player(7168, 64, seed);  // "block-gpu" default
+/// Bare legacy scheme names keep their historical parameters; anything else
+/// goes straight to the engine's spec grammar.
+std::string expand_legacy(const std::string& scheme) {
+  if (scheme == "root") return "root:32";
+  if (scheme == "tree") return "tree:8";
+  if (scheme == "leaf-gpu") return "leaf:16x64";
+  if (scheme == "block-gpu") return "block:112x64";
+  if (scheme == "hybrid") return "hybrid:112x64";
+  if (scheme == "distributed") return "dist:2x56x64";
+  return scheme;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
-  const std::string scheme = args.get_string("scheme", "block-gpu");
+  const std::string scheme =
+      expand_legacy(args.get_string("scheme", "block:112x64"));
   const double budget = args.get_double("budget", 0.1);
   const bool human_is_black = args.get_string("color", "black") != "white";
 
-  std::unique_ptr<mcts::Searcher<reversi::ReversiGame>> engine =
-      harness::make_player(config_for(scheme, args.get_uint("seed", 1)));
+  std::unique_ptr<mcts::Searcher<reversi::ReversiGame>> engine;
+  try {
+    engine = engine::make_searcher<reversi::ReversiGame>(
+        engine::SchemeSpec::parse(scheme).with_seed(args.get_uint("seed", 1)));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "bad --scheme: " << e.what() << '\n';
+    return 1;
+  }
   // --endgame N: play provably optimal moves once N empties remain.
   if (const auto solve_at = args.get_int("endgame", 0); solve_at > 0) {
     engine = std::make_unique<harness::EndgameAwareSearcher>(

@@ -1,10 +1,18 @@
-// Quickstart: build a block-parallel GPU player (the paper's contribution),
+// Quickstart: build a player from a scheme spec string (the engine API),
 // ask it for one move from the opening position, and inspect its statistics.
+// Optionally record the search as a virtual-time trace.
 //
-//   ./quickstart [--budget 0.05] [--blocks 112] [--tpb 128]
+//   ./quickstart [--scheme block:112x128] [--budget 0.05]
+//                [--trace out.jsonl] [--chrome-trace out.json]
+//
+// Scheme spec examples: "seq", "root:8", "leaf:8x128", "block:112x128",
+// "hybrid:112x128", "dist:4x56x128" (see engine/spec.hpp for the grammar).
+#include <fstream>
 #include <iostream>
 
-#include "harness/player.hpp"
+#include "engine/factory.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
 #include "reversi/notation.hpp"
 #include "reversi/reversi_game.hpp"
 #include "util/cli.hpp"
@@ -13,18 +21,21 @@ int main(int argc, char** argv) {
   using namespace gpu_mcts;
   const util::CliArgs args(argc, argv);
   const double budget = args.get_double("budget", 0.05);
-  const int blocks = static_cast<int>(args.get_int("blocks", 112));
-  const int tpb = static_cast<int>(args.get_int("tpb", 128));
+  const std::string spec_text = args.get_string("scheme", "block:112x128");
+  const std::string trace_jsonl = args.get_string("trace", "");
+  const std::string trace_chrome = args.get_string("chrome-trace", "");
 
-  // 1. Describe a player: block parallelism, one tree per GPU block.
-  harness::PlayerConfig config;
-  config.scheme = harness::Scheme::kBlockGpu;
-  config.blocks = blocks;
-  config.threads_per_block = tpb;
-  config.search.seed = args.get_uint("seed", 2011);
+  // 1. Describe a player with a spec string and build it for Reversi. The
+  //    same spec builds a searcher for any registered game.
+  engine::SchemeSpec spec = engine::SchemeSpec::parse(spec_text);
+  spec.search.seed = args.get_uint("seed", 2011);
+  auto player = engine::make_searcher<reversi::ReversiGame>(spec);
 
-  // 2. Build it and show the position it will think about.
-  auto player = harness::make_player(config);
+  // 2. Optionally attach a tracer: spans and metrics in *virtual* time.
+  obs::Tracer tracer;
+  const bool tracing = !trace_jsonl.empty() || !trace_chrome.empty();
+  if (tracing) player->set_tracer(&tracer);
+
   const reversi::Position opening = reversi::initial_position();
   std::cout << "Position:\n" << reversi::board_to_string(opening) << '\n';
 
@@ -36,11 +47,38 @@ int main(int argc, char** argv) {
   std::cout << player->name() << " chose: " << reversi::move_to_string(move)
             << "\n\n"
             << "simulations        " << stats.simulations << '\n'
+            << "  on the CPU       " << stats.cpu_iterations << '\n'
+            << "  on the GPU       " << stats.gpu_simulations << '\n'
             << "kernel rounds      " << stats.rounds << '\n'
             << "tree nodes         " << stats.tree_nodes << '\n'
             << "max tree depth     " << stats.max_depth << '\n'
             << "virtual seconds    " << stats.virtual_seconds << '\n'
             << "simulations/second " << stats.simulations_per_second() << '\n'
             << "divergence waste   " << stats.divergence_waste << '\n';
+
+  // 5. Trace exports: JSONL (stable schema, tools/trace_validate checks it)
+  //    and Chrome trace_event (load in chrome://tracing or ui.perfetto.dev).
+  if (tracing) {
+    if (!trace_jsonl.empty()) {
+      std::ofstream file(trace_jsonl);
+      if (!file) {
+        std::cerr << "cannot write " << trace_jsonl << '\n';
+        return 1;
+      }
+      obs::write_jsonl(tracer, file);
+      std::cout << "\nwrote trace " << trace_jsonl << '\n';
+    }
+    if (!trace_chrome.empty()) {
+      std::ofstream file(trace_chrome);
+      if (!file) {
+        std::cerr << "cannot write " << trace_chrome << '\n';
+        return 1;
+      }
+      obs::write_chrome_trace(tracer, file);
+      std::cout << "wrote Chrome trace " << trace_chrome << '\n';
+    }
+    std::cout << '\n';
+    obs::print_summary(tracer, std::cout);
+  }
   return 0;
 }

@@ -5,8 +5,8 @@
 //   ./selfplay [--budget 0.01] [--show-boards] [--seed N]
 #include <iostream>
 
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "reversi/notation.hpp"
 #include "util/cli.hpp"
 
@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   const bool show_boards = args.get_bool("show-boards", false);
   const std::uint64_t seed = args.get_uint("seed", 7);
 
-  auto gpu = harness::make_player(harness::block_gpu_player(14336, 128, seed));
-  auto cpu = harness::make_player(harness::sequential_player(seed + 1));
+  auto gpu = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::block_gpu_threads(14336, 128).with_seed(seed));
+  auto cpu = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(seed + 1));
   gpu->reseed(seed);
   cpu->reseed(seed + 1);
 

@@ -7,8 +7,8 @@
 #include <memory>
 #include <vector>
 
+#include "engine/factory.hpp"
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
 #include "util/cli.hpp"
 #include "util/elo.hpp"
 #include "util/rng.hpp"
@@ -21,19 +21,21 @@ int main(int argc, char** argv) {
   const auto games = args.get_uint("games", 2);
   const std::uint64_t seed = args.get_uint("seed", 3);
 
+  // Every entrant is an engine spec string — the same strings work on any
+  // registered game and on the bench/example --scheme flags.
   struct Entrant {
     std::string label;
-    harness::PlayerConfig config;
+    std::string spec;
   };
   const std::vector<Entrant> entrants = {
-      {"flat-mc", harness::flat_mc_player(seed)},
-      {"seq-1cpu", harness::sequential_player(seed)},
-      {"tree-8cpu", harness::tree_parallel_player(8, seed)},
-      {"root-32cpu", harness::root_parallel_player(32, seed)},
-      {"leaf-1024", harness::leaf_gpu_player(1024, 64, seed)},
-      {"block-112x64", harness::block_gpu_player(7168, 64, seed)},
-      {"hybrid-112x64", harness::hybrid_player(112, 64, true, seed)},
-      {"dist-2gpu", harness::distributed_player(2, 56, 64, seed)},
+      {"flat-mc", "flat"},
+      {"seq-1cpu", "seq"},
+      {"tree-8cpu", "tree:8"},
+      {"root-32cpu", "root:32"},
+      {"leaf-1024", "leaf:16x64"},
+      {"block-112x64", "block:112x64"},
+      {"hybrid-112x64", "hybrid:112x64"},
+      {"dist-2gpu", "dist:2x56x64"},
   };
 
   std::cout << "Round-robin, " << games << " game(s) per pairing, budget "
@@ -53,8 +55,10 @@ int main(int argc, char** argv) {
         table.add("-");
         continue;
       }
-      auto subject = harness::make_player(entrants[i].config);
-      auto opponent = harness::make_player(entrants[j].config);
+      auto subject = engine::make_searcher<reversi::ReversiGame>(
+          engine::SchemeSpec::parse(entrants[i].spec).with_seed(seed));
+      auto opponent = engine::make_searcher<reversi::ReversiGame>(
+          engine::SchemeSpec::parse(entrants[j].spec).with_seed(seed));
       harness::ArenaOptions options;
       options.subject_budget_seconds = budget;
       options.opponent_budget_seconds = budget;

@@ -169,9 +169,11 @@ AllreduceResult Communicator::allreduce_sum(
   // Time: survivors meet at the latest survivor's entry; a dead rank makes
   // everyone wait out the watchdog timeout before the partial reduction.
   std::uint64_t latest = 0;
+  std::uint64_t entered = 0;
   for (int r = 0; r < ranks_; ++r) {
     if (alive(r)) latest = std::max(latest, clock(r).cycles());
   }
+  entered = latest;
   result.timed_out = result.contributors < ranks_;
   if (result.timed_out) {
     latest += static_cast<std::uint64_t>(costs_.collective_timeout_cycles);
@@ -182,6 +184,18 @@ AllreduceResult Communicator::allreduce_sum(
                                  tree_cost_cycles(words, result.contributors));
   for (int r = 0; r < ranks_; ++r) {
     if (alive(r)) clock(r).advance_to(done);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->begin(comm_track_, "allreduce", entered,
+                   {{"words", static_cast<double>(words)},
+                    {"contributors", static_cast<double>(result.contributors)},
+                    {"timed_out", result.timed_out ? 1.0 : 0.0}});
+    tracer_->end(comm_track_, "allreduce", done);
+    tracer_->metrics()
+        .histogram("allreduce_cycles",
+                   {1e5, 2e5, 5e5, 1e6, 2e6, 5e6, 1e7, 2e7})
+        .observe(static_cast<double>(done - entered));
+    tracer_->metrics().counter("allreduces").add(1);
   }
   return result;
 }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/clock.hpp"
 #include "util/fault.hpp"
@@ -110,6 +111,13 @@ class Communicator {
     return injector_;
   }
 
+  /// Attaches an observability tracer: collectives emit spans on the "comm"
+  /// track and record an "allreduce_cycles" histogram. nullptr disables.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    comm_track_ = tracer != nullptr ? tracer->track("comm") : 0;
+  }
+
   /// Marks a rank dead: it stops sending, receiving, and contributing to
   /// collectives. Recorded as a kDeadRank fault.
   void kill_rank(int rank);
@@ -162,6 +170,8 @@ class Communicator {
   // mailboxes_[to][from] = FIFO of undelivered messages.
   std::vector<std::vector<std::deque<Message>>> mailboxes_;
   util::FaultInjector injector_;
+  obs::Tracer* tracer_ = nullptr;
+  int comm_track_ = 0;
 };
 
 }  // namespace gpu_mcts::cluster

@@ -14,6 +14,7 @@
 #include "game/game_traits.hpp"
 #include "mcts/config.hpp"
 #include "mcts/searcher.hpp"
+#include "obs/trace.hpp"
 #include "parallel/block_parallel.hpp"
 #include "parallel/merge.hpp"
 #include "util/check.hpp"
@@ -61,6 +62,12 @@ class DistributedRootSearcher final : public mcts::Searcher<G> {
     for (const int dead : options_.dead_ranks) comm.kill_rank(dead);
     util::expects(comm.alive_ranks() >= 1, "at least one surviving rank");
 
+    if (tracer_ != nullptr) {
+      (void)tracer_->begin_search(name());
+      tracer_->set_frequency(comm.clock(0).frequency_hz());
+      comm.set_tracer(tracer_);
+    }
+
     // Each rank spends the move budget minus its share of communication
     // (the allreduce must fit inside the move clock).
     const double comm_seconds =
@@ -85,11 +92,24 @@ class DistributedRootSearcher final : public mcts::Searcher<G> {
       const auto& rank_stats = searcher.last_stats();
       stats_.simulations += rank_stats.simulations;
       stats_.rounds += rank_stats.rounds;
+      stats_.cpu_iterations += rank_stats.cpu_iterations;
+      stats_.gpu_simulations += rank_stats.gpu_simulations;
       stats_.tree_nodes += rank_stats.tree_nodes;
       if (rank_stats.max_depth > stats_.max_depth)
         stats_.max_depth = rank_stats.max_depth;
       comm.clock(r).advance(static_cast<std::uint64_t>(
           rank_stats.virtual_seconds * comm.clock(r).frequency_hz()));
+      if (tracer_ != nullptr) {
+        // Ranks are concurrent in model time (searched serially here), so
+        // each gets its own track with a span covering its search window.
+        const int track = tracer_->track("rank" + std::to_string(r));
+        tracer_->begin(track, "rank_search", 0,
+                       {{"simulations",
+                         static_cast<double>(rank_stats.simulations)},
+                        {"gpu_simulations",
+                         static_cast<double>(rank_stats.gpu_simulations)}});
+        tracer_->end(track, "rank_search", comm.clock(r).cycles());
+      }
 
       auto& table = contributions[static_cast<std::size_t>(r)];
       for (const auto& m : searcher.last_root_stats()) {
@@ -143,6 +163,11 @@ class DistributedRootSearcher final : public mcts::Searcher<G> {
     }
   }
 
+  /// The tracer covers the cluster level (per-rank spans, comm collectives);
+  /// it is deliberately not forwarded into the per-rank block searchers,
+  /// whose per-round events would interleave meaninglessly across ranks.
+  void set_tracer(obs::Tracer* tracer) noexcept override { tracer_ = tracer; }
+
  private:
   /// Move ids for supported games are < 128 (Reversi: 0..64 incl. pass).
   static constexpr std::size_t kMoveSlots = 128;
@@ -153,6 +178,7 @@ class DistributedRootSearcher final : public mcts::Searcher<G> {
   std::uint64_t seed_;
   std::vector<std::unique_ptr<parallel::BlockParallelGpuSearcher<G>>> ranks_;
   mcts::SearchStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpu_mcts::cluster

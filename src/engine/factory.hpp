@@ -1,0 +1,165 @@
+// make_searcher<G>(spec): the engine factory — one entry point that turns a
+// SchemeSpec into a searcher for *any* game satisfying game::Game, replacing
+// the Reversi-only harness::make_player switch (which now delegates here).
+//
+//   auto searcher = engine::make_searcher<reversi::ReversiGame>(
+//       engine::SchemeSpec::parse("block:112x128").with_seed(42));
+//
+// Construction goes through a per-game SearcherRegistry keyed by canonical
+// scheme name. The built-in schemes are registered on first use; experiments
+// can add their own with
+//   engine::SearcherRegistry<G>::instance().add("my-scheme", builder);
+// and select them with SchemeSpec{.scheme = "my-scheme", ...}.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/distributed.hpp"
+#include "engine/spec.hpp"
+#include "game/game_traits.hpp"
+#include "mcts/flat_mc.hpp"
+#include "mcts/searcher.hpp"
+#include "mcts/sequential.hpp"
+#include "parallel/block_parallel.hpp"
+#include "parallel/hybrid.hpp"
+#include "parallel/leaf_parallel.hpp"
+#include "parallel/root_parallel.hpp"
+#include "parallel/tree_parallel.hpp"
+#include "simt/vgpu.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::engine {
+
+/// Builds the virtual GPU a spec describes, arming the fault injector only
+/// when the spec carries a fault scenario (the common no-fault path is
+/// identical to constructing VirtualGpu directly).
+template <typename Spec = SchemeSpec>
+[[nodiscard]] inline simt::VirtualGpu make_vgpu(const Spec& spec) {
+  simt::VirtualGpu gpu(spec.device, spec.host, spec.cost);
+  if (spec.gpu_faults.any()) {
+    const std::uint64_t seed =
+        spec.fault_seed != 0
+            ? spec.fault_seed
+            : util::derive_seed(spec.search.seed, 0x6f0a17ULL);
+    gpu.set_fault_injector(util::FaultInjector(spec.gpu_faults, seed));
+  }
+  return gpu;
+}
+
+/// Name -> builder registry for one game type. Function-local singleton per
+/// G; built-in schemes register in the constructor.
+template <game::Game G>
+class SearcherRegistry {
+ public:
+  using SearcherPtr = std::unique_ptr<mcts::Searcher<G>>;
+  using Builder = std::function<SearcherPtr(const SchemeSpec&)>;
+
+  [[nodiscard]] static SearcherRegistry& instance() {
+    static SearcherRegistry registry;
+    return registry;
+  }
+
+  /// Registers (or replaces) a scheme builder.
+  void add(const std::string& name, Builder builder) {
+    builders_[name] = std::move(builder);
+  }
+
+  [[nodiscard]] SearcherPtr make(const SchemeSpec& spec) const {
+    const auto it = builders_.find(spec.scheme);
+    if (it == builders_.end()) {
+      std::string known;
+      for (const auto& [name, builder] : builders_) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      throw std::invalid_argument("unknown scheme \"" + spec.scheme +
+                                  "\"; registered: " + known);
+    }
+    return it->second(spec);
+  }
+
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(builders_.size());
+    for (const auto& [name, builder] : builders_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  SearcherRegistry() { register_builtins(); }
+
+  void register_builtins() {
+    add("sequential", [](const SchemeSpec& spec) -> SearcherPtr {
+      return std::make_unique<mcts::SequentialSearcher<G>>(
+          spec.search, spec.host, spec.cost);
+    });
+    add("flat-mc", [](const SchemeSpec& spec) -> SearcherPtr {
+      return std::make_unique<mcts::FlatMonteCarloSearcher<G>>(
+          spec.search, spec.host, spec.cost);
+    });
+    add("root-parallel", [](const SchemeSpec& spec) -> SearcherPtr {
+      return std::make_unique<parallel::RootParallelSearcher<G>>(
+          typename parallel::RootParallelSearcher<G>::Options{
+              .threads = spec.cpu_threads, .use_host_threads = false},
+          spec.search, spec.host, spec.cost);
+    });
+    add("tree-parallel", [](const SchemeSpec& spec) -> SearcherPtr {
+      return std::make_unique<parallel::TreeParallelSearcher<G>>(
+          typename parallel::TreeParallelSearcher<G>::Options{
+              .workers = spec.cpu_threads, .virtual_loss = 1},
+          spec.search, spec.host, spec.cost);
+    });
+    add("leaf-gpu", [](const SchemeSpec& spec) -> SearcherPtr {
+      return std::make_unique<parallel::LeafParallelGpuSearcher<G>>(
+          typename parallel::LeafParallelGpuSearcher<G>::Options{
+              spec.launch()},
+          spec.search, make_vgpu(spec));
+    });
+    add("block-gpu", [](const SchemeSpec& spec) -> SearcherPtr {
+      return std::make_unique<parallel::BlockParallelGpuSearcher<G>>(
+          typename parallel::BlockParallelGpuSearcher<G>::Options{
+              spec.launch()},
+          spec.search, make_vgpu(spec));
+    });
+    add("hybrid", [](const SchemeSpec& spec) -> SearcherPtr {
+      return std::make_unique<parallel::HybridSearcher<G>>(
+          typename parallel::HybridSearcher<G>::Options{spec.launch(),
+                                                        spec.cpu_overlap},
+          spec.search, make_vgpu(spec));
+    });
+    add("distributed", [](const SchemeSpec& spec) -> SearcherPtr {
+      return std::make_unique<cluster::DistributedRootSearcher<G>>(
+          typename cluster::DistributedRootSearcher<G>::Options{
+              .ranks = spec.ranks,
+              .launch = spec.launch(),
+              .comm = spec.comm,
+              .dead_ranks = spec.dead_ranks,
+              .comm_faults = spec.comm_faults},
+          spec.search, make_vgpu(spec));
+    });
+  }
+
+  std::map<std::string, Builder> builders_;
+};
+
+/// Builds the searcher described by `spec`.
+template <game::Game G>
+[[nodiscard]] std::unique_ptr<mcts::Searcher<G>> make_searcher(
+    const SchemeSpec& spec) {
+  return SearcherRegistry<G>::instance().make(spec);
+}
+
+/// Convenience: parse + build in one call.
+template <game::Game G>
+[[nodiscard]] std::unique_ptr<mcts::Searcher<G>> make_searcher(
+    std::string_view spec_string) {
+  return make_searcher<G>(SchemeSpec::parse(spec_string));
+}
+
+}  // namespace gpu_mcts::engine

@@ -1,0 +1,228 @@
+#include "engine/spec.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace gpu_mcts::engine {
+
+namespace {
+
+constexpr const char* kGrammar =
+    "expected one of: seq | flat | root:<threads> | tree:<workers> | "
+    "leaf:<blocks>x<tpb> | block:<blocks>x<tpb> | hybrid:<blocks>x<tpb> | "
+    "gpu-only:<blocks>x<tpb> | dist:<ranks>x<blocks>x<tpb>";
+
+[[noreturn]] void parse_fail(std::string_view text, const std::string& why) {
+  throw std::invalid_argument("bad scheme spec \"" + std::string(text) +
+                              "\": " + why + "; " + kGrammar);
+}
+
+/// Splits "AxB" / "AxBxC" into positive integers.
+std::vector<int> parse_dims(std::string_view text, std::string_view dims,
+                            std::size_t expect) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos <= dims.size()) {
+    const std::size_t next = dims.find('x', pos);
+    const std::string_view part =
+        dims.substr(pos, next == std::string_view::npos ? next : next - pos);
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || value < 1) {
+      std::string why = "\"";
+      why += part;
+      why += "\" is not a positive integer";
+      parse_fail(text, why);
+    }
+    out.push_back(value);
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+  if (out.size() != expect) {
+    parse_fail(text, "expected " + std::to_string(expect) +
+                         " 'x'-separated dimensions, got " +
+                         std::to_string(out.size()));
+  }
+  return out;
+}
+
+}  // namespace
+
+SchemeSpec SchemeSpec::parse(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  const std::string_view head = text.substr(0, colon);
+  const std::string_view rest =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : text.substr(colon + 1);
+  const auto require_arg = [&]() {
+    if (rest.empty()) parse_fail(text, "missing parameters after ':'");
+  };
+  const auto require_bare = [&]() {
+    if (colon != std::string_view::npos) {
+      parse_fail(text, "scheme takes no parameters");
+    }
+  };
+
+  if (head == "seq" || head == "sequential") {
+    require_bare();
+    return sequential();
+  }
+  if (head == "flat" || head == "flat-mc") {
+    require_bare();
+    return flat_mc();
+  }
+  if (head == "root" || head == "root-parallel") {
+    require_arg();
+    return root_parallel(parse_dims(text, rest, 1)[0]);
+  }
+  if (head == "tree" || head == "tree-parallel") {
+    require_arg();
+    return tree_parallel(parse_dims(text, rest, 1)[0]);
+  }
+  if (head == "leaf" || head == "leaf-gpu") {
+    require_arg();
+    const auto d = parse_dims(text, rest, 2);
+    return leaf_gpu(d[0], d[1]);
+  }
+  if (head == "block" || head == "block-gpu") {
+    require_arg();
+    const auto d = parse_dims(text, rest, 2);
+    return block_gpu(d[0], d[1]);
+  }
+  if (head == "hybrid") {
+    require_arg();
+    const auto d = parse_dims(text, rest, 2);
+    return hybrid(d[0], d[1], true);
+  }
+  if (head == "gpu-only") {
+    require_arg();
+    const auto d = parse_dims(text, rest, 2);
+    return hybrid(d[0], d[1], false);
+  }
+  if (head == "dist" || head == "distributed") {
+    require_arg();
+    const auto d = parse_dims(text, rest, 3);
+    return distributed(d[0], d[1], d[2]);
+  }
+  parse_fail(text, "unknown scheme \"" + std::string(head) + '"');
+}
+
+SchemeSpec SchemeSpec::sequential() {
+  SchemeSpec s;
+  s.scheme = "sequential";
+  return s;
+}
+
+SchemeSpec SchemeSpec::flat_mc() {
+  SchemeSpec s;
+  s.scheme = "flat-mc";
+  return s;
+}
+
+SchemeSpec SchemeSpec::root_parallel(int threads) {
+  util::expects(threads >= 1, "at least one thread");
+  SchemeSpec s;
+  s.scheme = "root-parallel";
+  s.cpu_threads = threads;
+  return s;
+}
+
+SchemeSpec SchemeSpec::tree_parallel(int workers) {
+  util::expects(workers >= 1, "at least one worker");
+  SchemeSpec s;
+  s.scheme = "tree-parallel";
+  s.cpu_threads = workers;
+  return s;
+}
+
+SchemeSpec SchemeSpec::leaf_gpu(int blocks, int threads_per_block) {
+  util::expects(blocks >= 1 && threads_per_block >= 1, "positive geometry");
+  SchemeSpec s;
+  s.scheme = "leaf-gpu";
+  s.blocks = blocks;
+  s.threads_per_block = threads_per_block;
+  s.search.ucb_c = mcts::kBatchUcbC;  // batch backprops need a small C
+  return s;
+}
+
+SchemeSpec SchemeSpec::block_gpu(int blocks, int threads_per_block) {
+  util::expects(blocks >= 1 && threads_per_block >= 1, "positive geometry");
+  SchemeSpec s;
+  s.scheme = "block-gpu";
+  s.blocks = blocks;
+  s.threads_per_block = threads_per_block;
+  s.search.ucb_c = mcts::kBatchUcbC;  // batch backprops need a small C
+  return s;
+}
+
+SchemeSpec SchemeSpec::hybrid(int blocks, int threads_per_block,
+                              bool cpu_overlap) {
+  util::expects(blocks >= 1 && threads_per_block >= 1, "positive geometry");
+  SchemeSpec s;
+  s.scheme = "hybrid";
+  s.blocks = blocks;
+  s.threads_per_block = threads_per_block;
+  s.cpu_overlap = cpu_overlap;
+  s.search.ucb_c = mcts::kBatchUcbC;  // batch backprops need a small C
+  return s;
+}
+
+SchemeSpec SchemeSpec::distributed(int ranks, int blocks,
+                                   int threads_per_block) {
+  util::expects(ranks >= 1, "at least one rank");
+  util::expects(blocks >= 1 && threads_per_block >= 1, "positive geometry");
+  SchemeSpec s;
+  s.scheme = "distributed";
+  s.ranks = ranks;
+  s.blocks = blocks;
+  s.threads_per_block = threads_per_block;
+  s.search.ucb_c = mcts::kBatchUcbC;  // batch backprops need a small C
+  return s;
+}
+
+SchemeSpec SchemeSpec::leaf_gpu_threads(int total_threads, int block_size) {
+  const simt::LaunchConfig grid = grid_for(total_threads, block_size);
+  return leaf_gpu(grid.blocks, grid.threads_per_block);
+}
+
+SchemeSpec SchemeSpec::block_gpu_threads(int total_threads, int block_size) {
+  const simt::LaunchConfig grid = grid_for(total_threads, block_size);
+  return block_gpu(grid.blocks, grid.threads_per_block);
+}
+
+SchemeSpec SchemeSpec::with_seed(std::uint64_t seed) const {
+  SchemeSpec copy = *this;
+  copy.search.seed = seed;
+  return copy;
+}
+
+std::string SchemeSpec::to_string() const {
+  const std::string grid = std::to_string(blocks) + "x" +
+                           std::to_string(threads_per_block);
+  if (scheme == "sequential") return "seq";
+  if (scheme == "flat-mc") return "flat";
+  if (scheme == "root-parallel") return "root:" + std::to_string(cpu_threads);
+  if (scheme == "tree-parallel") return "tree:" + std::to_string(cpu_threads);
+  if (scheme == "leaf-gpu") return "leaf:" + grid;
+  if (scheme == "block-gpu") return "block:" + grid;
+  if (scheme == "hybrid") return (cpu_overlap ? "hybrid:" : "gpu-only:") + grid;
+  if (scheme == "distributed") {
+    return "dist:" + std::to_string(ranks) + "x" + grid;
+  }
+  return scheme;
+}
+
+simt::LaunchConfig grid_for(int total_threads, int block_size) {
+  util::expects(total_threads >= 1 && block_size >= 1, "positive geometry");
+  if (total_threads <= block_size) {
+    return simt::LaunchConfig{1, total_threads};
+  }
+  util::expects(total_threads % block_size == 0,
+                "thread count divisible by block size");
+  return simt::LaunchConfig{total_threads / block_size, block_size};
+}
+
+}  // namespace gpu_mcts::engine

@@ -1,0 +1,119 @@
+// SchemeSpec: one value that fully describes a searcher to construct —
+// which parallelization scheme, its geometry (CPU threads / GPU grid /
+// rank count), the search parameters, and the modeled hardware. This is
+// the configuration half of the engine API (DESIGN.md §8); the factory
+// half (engine/factory.hpp) turns a spec into a `mcts::Searcher<G>` for
+// any game.
+//
+// Specs come from three places:
+//  * SchemeSpec::parse("block:112x128") — the command-line string form
+//    every example and bench binary accepts (see the grammar below);
+//  * the static builders (SchemeSpec::block_gpu(112, 128), ...) — the
+//    programmatic form, which also apply the per-scheme search defaults
+//    (batch-backpropagating schemes get mcts::kBatchUcbC);
+//  * field-by-field construction, for experiments that override the device
+//    or cost model.
+//
+// Grammar accepted by parse():
+//   "seq" | "sequential"            sequential UCT, 1 CPU core
+//   "flat" | "flat-mc"              flat Monte Carlo (no tree)
+//   "root:<threads>"                root parallelism on CPU threads
+//   "tree:<workers>"                tree parallelism + virtual loss
+//   "leaf:<blocks>x<tpb>"           leaf parallelism on the virtual GPU
+//   "block:<blocks>x<tpb>"          block parallelism (the paper's scheme)
+//   "hybrid:<blocks>x<tpb>"         block parallelism + CPU overlap
+//   "gpu-only:<blocks>x<tpb>"       hybrid plumbing, overlap disabled
+//   "dist:<ranks>x<blocks>x<tpb>"   distributed root parallelism
+//   ("distributed:..." is accepted as an alias for "dist:...".)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/comm.hpp"
+#include "mcts/config.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device_props.hpp"
+#include "simt/geometry.hpp"
+#include "util/fault.hpp"
+
+namespace gpu_mcts::engine {
+
+struct SchemeSpec {
+  /// Canonical scheme name; the factory's registry key. Built-ins:
+  /// "sequential", "flat-mc", "root-parallel", "tree-parallel", "leaf-gpu",
+  /// "block-gpu", "hybrid", "distributed".
+  std::string scheme = "sequential";
+
+  /// CPU thread/worker count (root-parallel and tree-parallel).
+  int cpu_threads = 1;
+  /// GPU grid geometry (GPU schemes).
+  int blocks = 112;
+  int threads_per_block = 128;
+  /// Rank count (distributed only).
+  int ranks = 1;
+  /// Hybrid: disable to get a GPU-only control with identical plumbing.
+  bool cpu_overlap = true;
+
+  /// Search parameters (seed, UCB constant, node cap).
+  mcts::SearchConfig search{};
+
+  /// Modeled hardware (swapped by ablation benches).
+  simt::DeviceProperties device = simt::tesla_c2050();
+  simt::HostProperties host = simt::xeon_x5670();
+  simt::CostModel cost = simt::default_cost_model();
+  cluster::CommCosts comm{};
+
+  /// Fault-injection scenario (distributed: ranks dead from the start;
+  /// any GPU scheme: launch/transfer faults on the virtual GPU).
+  std::vector<int> dead_ranks{};
+  util::FaultPolicy comm_faults{};
+  util::FaultPolicy gpu_faults{};
+  /// Seed for the GPU fault injector; 0 derives one from `search.seed`.
+  std::uint64_t fault_seed = 0;
+
+  /// Parses the spec-string grammar above. Throws std::invalid_argument
+  /// (listing the accepted forms) on anything it does not recognize.
+  [[nodiscard]] static SchemeSpec parse(std::string_view text);
+
+  // Programmatic builders, one per scheme. The GPU/batch builders set
+  // search.ucb_c = mcts::kBatchUcbC, matching what parse() produces.
+  [[nodiscard]] static SchemeSpec sequential();
+  [[nodiscard]] static SchemeSpec flat_mc();
+  [[nodiscard]] static SchemeSpec root_parallel(int threads);
+  [[nodiscard]] static SchemeSpec tree_parallel(int workers);
+  [[nodiscard]] static SchemeSpec leaf_gpu(int blocks, int threads_per_block);
+  [[nodiscard]] static SchemeSpec block_gpu(int blocks, int threads_per_block);
+  [[nodiscard]] static SchemeSpec hybrid(int blocks, int threads_per_block,
+                                         bool cpu_overlap = true);
+  [[nodiscard]] static SchemeSpec distributed(int ranks, int blocks,
+                                              int threads_per_block);
+
+  /// Thread-sweep variants: split a total thread count into a grid the way
+  /// the paper's figures do (single partial block below one full block;
+  /// otherwise the count must divide evenly).
+  [[nodiscard]] static SchemeSpec leaf_gpu_threads(int total_threads,
+                                                   int block_size);
+  [[nodiscard]] static SchemeSpec block_gpu_threads(int total_threads,
+                                                    int block_size);
+
+  /// Returns a copy with `search.seed` replaced — the common chaining form:
+  ///   make_searcher<G>(SchemeSpec::block_gpu(112, 128).with_seed(seed))
+  [[nodiscard]] SchemeSpec with_seed(std::uint64_t seed) const;
+
+  /// Canonical spec string; parse(to_string()) reproduces the geometry.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] simt::LaunchConfig launch() const noexcept {
+    return simt::LaunchConfig{blocks, threads_per_block};
+  }
+};
+
+/// The paper's thread-sweep split (shared by the *_threads builders): totals
+/// at or below one block run a single partial block; larger totals must be
+/// block-size-divisible.
+[[nodiscard]] simt::LaunchConfig grid_for(int total_threads, int block_size);
+
+}  // namespace gpu_mcts::engine

@@ -101,6 +101,7 @@ MatchResult play_match(mcts::Searcher<ReversiGame>& subject,
           subject_depth_total / static_cast<double>(moves_by_subject);
     }
     sims_per_sec_sum += record.subject_stats.simulations_per_second();
+    result.subject_stats.accumulate(record.subject_stats);
   }
 
   const double n = static_cast<double>(games);

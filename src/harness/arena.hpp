@@ -73,6 +73,10 @@ struct MatchResult {
   double subject_sims_per_second = 0.0;
   /// Mean of subjects' max tree depth per move.
   double subject_mean_depth = 0.0;
+  /// Subject search statistics accumulated across every move of every game
+  /// (simulation-weighted divergence, CPU-iteration/GPU-simulation split) —
+  /// the match-level aggregate the observability layer reports from.
+  mcts::SearchStats subject_stats;
 };
 
 /// Plays `games` games, alternating the subject's color, aggregating traces.

@@ -1,16 +1,7 @@
 #include "harness/player.hpp"
 
-#include <algorithm>
-
-#include "cluster/distributed.hpp"
-#include "mcts/flat_mc.hpp"
-#include "mcts/sequential.hpp"
-#include "parallel/block_parallel.hpp"
-#include "parallel/hybrid.hpp"
-#include "parallel/leaf_parallel.hpp"
-#include "parallel/root_parallel.hpp"
-#include "parallel/tree_parallel.hpp"
-#include "simt/vgpu.hpp"
+#include "engine/factory.hpp"
+#include "engine/spec.hpp"
 #include "util/check.hpp"
 
 namespace gpu_mcts::harness {
@@ -31,69 +22,30 @@ std::string to_string(Scheme scheme) {
   return "unknown";
 }
 
+engine::SchemeSpec to_spec(const PlayerConfig& config) {
+  engine::SchemeSpec spec;
+  // to_string(Scheme) values are exactly the engine registry's canonical
+  // scheme names, so the enum maps straight through.
+  spec.scheme = to_string(config.scheme);
+  spec.cpu_threads = config.cpu_threads;
+  spec.blocks = config.blocks;
+  spec.threads_per_block = config.threads_per_block;
+  spec.ranks = config.ranks;
+  spec.cpu_overlap = config.cpu_overlap;
+  // Copied verbatim — the spec builders' per-scheme defaults (kBatchUcbC)
+  // must not re-apply here, or configs that deliberately override ucb_c
+  // would change behaviour.
+  spec.search = config.search;
+  spec.device = config.device;
+  spec.host = config.host;
+  spec.cost = config.cost;
+  spec.comm = config.comm;
+  return spec;
+}
+
 std::unique_ptr<ReversiSearcher> make_player(const PlayerConfig& config) {
-  const simt::VirtualGpu gpu(config.device, config.host, config.cost);
-  switch (config.scheme) {
-    case Scheme::kSequential:
-      return std::make_unique<mcts::SequentialSearcher<ReversiGame>>(
-          config.search, config.host, config.cost);
-    case Scheme::kRootParallel:
-      return std::make_unique<parallel::RootParallelSearcher<ReversiGame>>(
-          parallel::RootParallelSearcher<ReversiGame>::Options{
-              .threads = config.cpu_threads, .use_host_threads = false},
-          config.search, config.host, config.cost);
-    case Scheme::kTreeParallel:
-      return std::make_unique<parallel::TreeParallelSearcher<ReversiGame>>(
-          parallel::TreeParallelSearcher<ReversiGame>::Options{
-              .workers = config.cpu_threads, .virtual_loss = 1},
-          config.search, config.host, config.cost);
-    case Scheme::kFlatMc:
-      return std::make_unique<mcts::FlatMonteCarloSearcher<ReversiGame>>(
-          config.search, config.host, config.cost);
-    case Scheme::kLeafGpu:
-      return std::make_unique<parallel::LeafParallelGpuSearcher<ReversiGame>>(
-          parallel::LeafParallelGpuSearcher<ReversiGame>::Options{
-              simt::LaunchConfig{config.blocks, config.threads_per_block}},
-          config.search, gpu);
-    case Scheme::kBlockGpu:
-      return std::make_unique<parallel::BlockParallelGpuSearcher<ReversiGame>>(
-          parallel::BlockParallelGpuSearcher<ReversiGame>::Options{
-              simt::LaunchConfig{config.blocks, config.threads_per_block}},
-          config.search, gpu);
-    case Scheme::kHybrid:
-      return std::make_unique<parallel::HybridSearcher<ReversiGame>>(
-          parallel::HybridSearcher<ReversiGame>::Options{
-              simt::LaunchConfig{config.blocks, config.threads_per_block},
-              config.cpu_overlap},
-          config.search, gpu);
-    case Scheme::kDistributed:
-      return std::make_unique<cluster::DistributedRootSearcher<ReversiGame>>(
-          cluster::DistributedRootSearcher<ReversiGame>::Options{
-              .ranks = config.ranks,
-              .launch =
-                  simt::LaunchConfig{config.blocks, config.threads_per_block},
-              .comm = config.comm},
-          config.search, gpu);
-  }
-  util::check(false, "unreachable scheme");
-  return nullptr;
+  return engine::make_searcher<ReversiGame>(to_spec(config));
 }
-
-namespace {
-
-/// Splits a total thread count into (blocks, block size) the way the paper's
-/// sweeps do: grids below one block run a single partial block.
-[[nodiscard]] simt::LaunchConfig grid_for(int total_threads, int block_size) {
-  util::expects(total_threads >= 1 && block_size >= 1, "positive geometry");
-  if (total_threads <= block_size) {
-    return simt::LaunchConfig{1, total_threads};
-  }
-  util::expects(total_threads % block_size == 0,
-                "thread count divisible by block size");
-  return simt::LaunchConfig{total_threads / block_size, block_size};
-}
-
-}  // namespace
 
 PlayerConfig sequential_player(std::uint64_t seed) {
   PlayerConfig c;
@@ -130,7 +82,7 @@ PlayerConfig leaf_gpu_player(int total_threads, int block_size,
   PlayerConfig c;
   c.search.ucb_c = mcts::kBatchUcbC;  // batch backprops need a small C
   c.scheme = Scheme::kLeafGpu;
-  const auto grid = grid_for(total_threads, block_size);
+  const auto grid = engine::grid_for(total_threads, block_size);
   c.blocks = grid.blocks;
   c.threads_per_block = grid.threads_per_block;
   c.search.seed = seed;
@@ -142,7 +94,7 @@ PlayerConfig block_gpu_player(int total_threads, int block_size,
   PlayerConfig c;
   c.search.ucb_c = mcts::kBatchUcbC;  // batch backprops need a small C
   c.scheme = Scheme::kBlockGpu;
-  const auto grid = grid_for(total_threads, block_size);
+  const auto grid = engine::grid_for(total_threads, block_size);
   c.blocks = grid.blocks;
   c.threads_per_block = grid.threads_per_block;
   c.search.seed = seed;

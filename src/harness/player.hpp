@@ -1,12 +1,18 @@
 // Player factory: experiment configuration -> a Reversi searcher.
-// Bench binaries and examples construct every player through this single
-// point so scheme parameters are named consistently across experiments.
+//
+// DEPRECATED as a construction path: this header is now a thin Reversi-only
+// shim over the game-generic engine API. New code should build searchers
+// through engine::make_searcher<G>(engine::SchemeSpec) — or from a spec
+// string like "block:112x128" via engine::SchemeSpec::parse — which works
+// for every registered game, not just Reversi. PlayerConfig and the presets
+// below remain so the existing bench suite keeps its exact seeds and knobs.
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "cluster/comm.hpp"
+#include "engine/spec.hpp"
 #include "mcts/config.hpp"
 #include "mcts/searcher.hpp"
 #include "reversi/reversi_game.hpp"
@@ -50,7 +56,12 @@ struct PlayerConfig {
   cluster::CommCosts comm{};
 };
 
-/// Builds the searcher described by `config`.
+/// Translates a PlayerConfig into the equivalent engine spec (the search
+/// config is copied verbatim — no per-scheme defaults are re-applied).
+[[nodiscard]] engine::SchemeSpec to_spec(const PlayerConfig& config);
+
+/// Builds the searcher described by `config`. Equivalent to
+/// engine::make_searcher<reversi::ReversiGame>(to_spec(config)).
 [[nodiscard]] std::unique_ptr<ReversiSearcher> make_player(
     const PlayerConfig& config);
 

@@ -71,6 +71,7 @@ class FlatMonteCarloSearcher final : public Searcher<G> {
           cost_.host_tree_op_cycles / 4.0));  // no tree: cheaper bookkeeping
       stats_.simulations += 1;
       stats_.rounds += 1;
+      stats_.cpu_iterations += 1;
     } while (clock.cycles() < deadline);
 
     int best = 0;

@@ -8,6 +8,10 @@
 #include "game/game_traits.hpp"
 #include "mcts/stats.hpp"
 
+namespace gpu_mcts::obs {
+class Tracer;
+}
+
 namespace gpu_mcts::mcts {
 
 template <game::Game G>
@@ -29,6 +33,11 @@ class Searcher {
 
   /// Re-seeds the searcher's stochastic components (between games).
   virtual void reseed(std::uint64_t seed) = 0;
+
+  /// Attaches an observability tracer (obs/trace.hpp); nullptr detaches.
+  /// The default is a no-op so schemes opt in; with no tracer attached a
+  /// searcher's behaviour is bit-identical to one built without tracing.
+  virtual void set_tracer(obs::Tracer* tracer) noexcept { (void)tracer; }
 };
 
 }  // namespace gpu_mcts::mcts

@@ -18,6 +18,7 @@
 #include "mcts/searcher.hpp"
 #include "mcts/stats.hpp"
 #include "mcts/tree.hpp"
+#include "obs/trace.hpp"
 #include "simt/cost_model.hpp"
 #include "simt/device_props.hpp"
 #include "util/check.hpp"
@@ -45,6 +46,11 @@ class SequentialSearcher final : public Searcher<G> {
     ++move_counter_;
 
     stats_ = {};
+    if (tracer_ != nullptr) {
+      (void)tracer_->begin_search(name());
+      tracer_->set_frequency(clock.frequency_hz());
+      tracer_->begin(obs::Tracer::kHostTrack, "search", clock.cycles());
+    }
     // do-while: even a zero budget performs one iteration so the root is
     // expanded and best_move() is well-defined.
     do {
@@ -65,11 +71,21 @@ class SequentialSearcher final : public Searcher<G> {
           cost_.host_cycles_per_ply * static_cast<double>(plies)));
       stats_.simulations += 1;
       stats_.rounds += 1;
+      stats_.cpu_iterations += 1;
+      if (tracer_ != nullptr) {
+        tracer_->metrics().histogram("playout_plies").observe(plies);
+      }
     } while (clock.cycles() < deadline);
 
     stats_.tree_nodes = tree.node_count();
     stats_.max_depth = tree.max_depth();
     stats_.virtual_seconds = clock.seconds();
+    if (tracer_ != nullptr) {
+      tracer_->end(obs::Tracer::kHostTrack, "search", clock.cycles());
+      tracer_->counter(obs::Tracer::kHostTrack, "iterations", clock.cycles(),
+                       static_cast<double>(stats_.simulations));
+      tracer_->metrics().counter("cpu_iterations").add(stats_.cpu_iterations);
+    }
     return tree.best_move();
   }
 
@@ -86,6 +102,8 @@ class SequentialSearcher final : public Searcher<G> {
     move_counter_ = 0;
   }
 
+  void set_tracer(obs::Tracer* tracer) noexcept override { tracer_ = tracer; }
+
  private:
   SearchConfig config_;
   simt::HostProperties host_;
@@ -93,6 +111,7 @@ class SequentialSearcher final : public Searcher<G> {
   std::uint64_t seed_;
   std::uint64_t move_counter_ = 0;
   SearchStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpu_mcts::mcts

@@ -14,6 +14,12 @@ struct SearchStats {
   std::uint64_t simulations = 0;
   /// Iterations (sequential) or kernel rounds (GPU schemes).
   std::uint64_t rounds = 0;
+  /// Simulations run as plain CPU iterations (sequential schemes, hybrid
+  /// overlap, terminal-leaf shortcuts, fault-recovery fallback batches).
+  /// cpu_iterations + gpu_simulations == simulations for every scheme.
+  std::uint64_t cpu_iterations = 0;
+  /// Simulations executed by virtual-GPU kernel launches.
+  std::uint64_t gpu_simulations = 0;
   /// Nodes allocated across all trees.
   std::uint64_t tree_nodes = 0;
   /// Deepest selection path reached in any tree (root = depth 0).
@@ -35,15 +41,23 @@ struct SearchStats {
 
   /// Accumulates per-move stats into a per-game or per-experiment total.
   void accumulate(const SearchStats& other) {
+    // Simulation-weighted mean: a move searched with 14k playouts should
+    // dominate one searched with 50, and accumulating a zero-simulation
+    // entry must not move the value.
+    const std::uint64_t total = simulations + other.simulations;
+    if (total > 0) {
+      divergence_waste =
+          (divergence_waste * static_cast<double>(simulations) +
+           other.divergence_waste * static_cast<double>(other.simulations)) /
+          static_cast<double>(total);
+    }
     simulations += other.simulations;
     rounds += other.rounds;
+    cpu_iterations += other.cpu_iterations;
+    gpu_simulations += other.gpu_simulations;
     tree_nodes += other.tree_nodes;
     if (other.max_depth > max_depth) max_depth = other.max_depth;
     virtual_seconds += other.virtual_seconds;
-    // Weighted by simulations would be more precise; max is good enough for
-    // reporting and keeps the field meaningful for mixed schemes.
-    if (other.divergence_waste > divergence_waste)
-      divergence_waste = other.divergence_waste;
     faults.accumulate(other.faults);
   }
 };

@@ -1,0 +1,159 @@
+// MetricsRegistry: the aggregate half of the observability layer
+// (DESIGN.md §8) — named counters, gauges, and histograms that survive
+// across kernel rounds, moves, and whole matches, where trace events would
+// be too voluminous (e.g. one histogram observation per playout).
+//
+// Deterministic: registries iterate in lexicographic name order, histogram
+// buckets are fixed at creation, and no wall-clock or host state enters any
+// value — so exported metrics are bit-reproducible alongside the trace.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gpu_mcts::obs {
+
+/// Monotonically increasing count (simulations, kernel rounds, faults...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value (current tree count, configured block size...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper edges; one overflow
+/// bucket catches everything above the last edge.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)),
+        counts_(bounds_.size() + 1, 0) {
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+      util::expects(bounds_[i] > bounds_[i - 1],
+                    "histogram bounds strictly increasing");
+    }
+  }
+
+  void observe(double v) noexcept {
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    counts_[b] += 1;
+    count_ += 1;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts()
+      const noexcept {
+    return counts_;
+  }
+
+  void reset() noexcept {
+    for (auto& c : counts_) c = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Bucket edges suited to playout lengths / per-round counts in this repo's
+/// games (Reversi playouts run ~45-70 plies from the opening).
+[[nodiscard]] inline std::vector<double> default_histogram_bounds() {
+  return {1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 256};
+}
+
+/// Name-keyed registry. Lookup creates on first use; re-lookup returns the
+/// same instrument, so call sites stay one-liners:
+///   metrics.counter("gpu_simulations").add(n);
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return counters_.try_emplace(name).first->second;
+  }
+  [[nodiscard]] Gauge& gauge(const std::string& name) {
+    return gauges_.try_emplace(name).first->second;
+  }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return histogram(name, default_histogram_bounds());
+  }
+  /// Bounds apply on first creation only; later lookups reuse the original.
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> upper_bounds) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+    return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
+        .first->second;
+  }
+
+  // Deterministic (name-ordered) iteration for sinks.
+  [[nodiscard]] const std::map<std::string, Counter>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Zeroes every instrument but keeps registrations (bucket layouts).
+  void clear() noexcept {
+    for (auto& [name, c] : counters_) c.reset();
+    for (auto& [name, g] : gauges_) g.reset();
+    for (auto& [name, h] : histograms_) h.reset();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace gpu_mcts::obs

@@ -1,0 +1,509 @@
+#include "obs/schema.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+
+namespace gpu_mcts::obs {
+
+namespace {
+
+/// Recursive-descent JSON parser over a single line. Scope-limited on
+/// purpose: no \uXXXX surrogate pairs beyond basic BMP decoding to UTF-8,
+/// and a shallow recursion cap — trace lines are flat objects with at most
+/// one nested object/array level.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string& error)
+      : s_(text), error_(error) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 16;
+
+  bool fail(const std::string& msg) {
+    error_ = msg + " (offset " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return fail("invalid literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string str;
+        if (!parse_string(str)) return false;
+        out.v = std::move(str);
+        return true;
+      }
+      case 't':
+        if (!consume_literal("true")) return false;
+        out.v = true;
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return false;
+        out.v = false;
+        return true;
+      case 'n':
+        if (!consume_literal("null")) return false;
+        out.v = nullptr;
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object obj;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      out.v = std::move(obj);
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("expected ':' after key");
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      obj.emplace(std::move(key), std::move(value));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        out.v = std::move(obj);
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    JsonValue::Array arr;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      out.v = std::move(arr);
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      arr.push_back(std::move(value));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        out.v = std::move(arr);
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) return fail("unterminated escape");
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid hex digit in \\u escape");
+          }
+          // Basic-plane code points only (all we ever emit); encode UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("invalid number");
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit required after decimal point");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit required in exponent");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    out.v = std::strtod(s_.c_str() + start, nullptr);
+    return true;
+  }
+
+  const std::string& s_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+};
+
+// --- schema-v1 field checks -------------------------------------------------
+
+const JsonValue* find(const JsonValue::Object& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+bool require_number(const JsonValue::Object& obj, const std::string& key,
+                    std::string& error, double* out = nullptr) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || !v->is_number()) {
+    error = "missing or non-numeric field \"" + key + '"';
+    return false;
+  }
+  if (out != nullptr) *out = v->number();
+  return true;
+}
+
+bool require_nonneg_int(const JsonValue::Object& obj, const std::string& key,
+                        std::string& error, double* out = nullptr) {
+  double v = 0.0;
+  if (!require_number(obj, key, error, &v)) return false;
+  if (v < 0.0 || v != std::floor(v)) {
+    error = "field \"" + key + "\" must be a non-negative integer";
+    return false;
+  }
+  if (out != nullptr) *out = v;
+  return true;
+}
+
+bool require_string(const JsonValue::Object& obj, const std::string& key,
+                    std::string& error, std::string* out = nullptr) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || !v->is_string()) {
+    error = "missing or non-string field \"" + key + '"';
+    return false;
+  }
+  if (out != nullptr) *out = v->string();
+  return true;
+}
+
+bool require_number_array(const JsonValue::Object& obj, const std::string& key,
+                          std::string& error, std::size_t* size_out = nullptr) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || !v->is_array()) {
+    error = "missing or non-array field \"" + key + '"';
+    return false;
+  }
+  for (const JsonValue& item : v->array()) {
+    if (!item.is_number()) {
+      error = "array field \"" + key + "\" must contain only numbers";
+      return false;
+    }
+  }
+  if (size_out != nullptr) *size_out = v->array().size();
+  return true;
+}
+
+bool check_in_range(double value, std::size_t limit, const std::string& key,
+                    std::string& error) {
+  // limit 0 means "count unknown" (single-line validation): skip the check.
+  if (limit > 0 && value >= static_cast<double>(limit)) {
+    error = "field \"" + key + "\" (" + std::to_string(
+                static_cast<long long>(value)) +
+            ") out of range; " + std::to_string(limit) + " declared";
+    return false;
+  }
+  return true;
+}
+
+bool validate_event_line(const JsonValue::Object& obj, const std::string& type,
+                         std::size_t tracks, std::size_t searches,
+                         std::string& error) {
+  double track = 0.0;
+  double search = 0.0;
+  if (!require_nonneg_int(obj, "search", error, &search)) return false;
+  if (!require_nonneg_int(obj, "track", error, &track)) return false;
+  if (!require_nonneg_int(obj, "t", error)) return false;
+  if (!require_string(obj, "name", error)) return false;
+  if (!check_in_range(track, tracks, "track", error)) return false;
+  if (!check_in_range(search, searches, "search", error)) return false;
+  if (type == "counter" && !require_number(obj, "value", error)) return false;
+  const JsonValue* args = find(obj, "args");
+  if (args != nullptr) {
+    if (!args->is_object()) {
+      error = "field \"args\" must be an object";
+      return false;
+    }
+    for (const auto& [key, value] : args->object()) {
+      if (!value.is_number()) {
+        error = "args entry \"" + key + "\" must be numeric";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool validate_metric_line(const JsonValue::Object& obj, std::string& error) {
+  std::string kind;
+  if (!require_string(obj, "kind", error, &kind)) return false;
+  if (!require_string(obj, "name", error)) return false;
+  if (kind == "counter" || kind == "gauge") {
+    return require_number(obj, "value", error);
+  }
+  if (kind == "histogram") {
+    if (!require_nonneg_int(obj, "count", error)) return false;
+    if (!require_number(obj, "sum", error)) return false;
+    if (!require_number(obj, "min", error)) return false;
+    if (!require_number(obj, "max", error)) return false;
+    std::size_t bounds = 0;
+    std::size_t counts = 0;
+    if (!require_number_array(obj, "bounds", error, &bounds)) return false;
+    if (!require_number_array(obj, "counts", error, &counts)) return false;
+    if (counts != bounds + 1) {
+      error = "histogram \"counts\" must have bounds+1 entries";
+      return false;
+    }
+    return true;
+  }
+  error = "unknown metric kind \"" + kind + '"';
+  return false;
+}
+
+struct LineVerdict {
+  bool ok = false;
+  std::string type;
+};
+
+LineVerdict validate_line_impl(const std::string& line, std::size_t tracks,
+                               std::size_t searches, std::string& error) {
+  JsonValue doc;
+  if (!parse_json(line, doc, error)) return {};
+  if (!doc.is_object()) {
+    error = "line is not a JSON object";
+    return {};
+  }
+  const JsonValue::Object& obj = doc.object();
+  std::string type;
+  if (!require_string(obj, "type", error, &type)) return {};
+  LineVerdict verdict{false, type};
+
+  if (type == "meta") {
+    double version = 0.0;
+    if (!require_nonneg_int(obj, "version", error, &version)) return verdict;
+    if (version != 1.0) {
+      error = "unsupported schema version " +
+              std::to_string(static_cast<long long>(version));
+      return verdict;
+    }
+    double hz = 0.0;
+    if (!require_number(obj, "clock_hz", error, &hz)) return verdict;
+    if (hz <= 0.0) {
+      error = "\"clock_hz\" must be positive";
+      return verdict;
+    }
+    if (!require_nonneg_int(obj, "tracks", error)) return verdict;
+    if (!require_nonneg_int(obj, "searches", error)) return verdict;
+  } else if (type == "track") {
+    double track = 0.0;
+    if (!require_nonneg_int(obj, "track", error, &track)) return verdict;
+    if (!require_string(obj, "name", error)) return verdict;
+    if (!check_in_range(track, tracks, "track", error)) return verdict;
+  } else if (type == "search") {
+    double search = 0.0;
+    if (!require_nonneg_int(obj, "search", error, &search)) return verdict;
+    if (!require_string(obj, "label", error)) return verdict;
+    if (!check_in_range(search, searches, "search", error)) return verdict;
+  } else if (type == "begin" || type == "end" || type == "instant" ||
+             type == "counter") {
+    if (!validate_event_line(obj, type, tracks, searches, error)) {
+      return verdict;
+    }
+  } else if (type == "metric") {
+    if (!validate_metric_line(obj, error)) return verdict;
+  } else if (type == "end_of_trace") {
+    if (!require_nonneg_int(obj, "events", error)) return verdict;
+    if (!require_nonneg_int(obj, "dropped", error)) return verdict;
+  } else {
+    error = "unknown line type \"" + type + '"';
+    return verdict;
+  }
+  verdict.ok = true;
+  return verdict;
+}
+
+}  // namespace
+
+bool parse_json(const std::string& text, JsonValue& out, std::string& error) {
+  Parser parser(text, error);
+  return parser.parse(out);
+}
+
+bool validate_trace_line(const std::string& line, std::size_t tracks,
+                         std::size_t searches, std::string& error) {
+  return validate_line_impl(line, tracks, searches, error).ok;
+}
+
+ValidationResult validate_trace_stream(std::istream& in) {
+  ValidationResult result;
+  std::size_t tracks = 0;
+  std::size_t searches = 0;
+  bool saw_meta = false;
+  bool saw_trailer = false;
+  std::string line;
+  const auto fail = [&](const std::string& message) {
+    result.ok = false;
+    result.line = result.lines;
+    result.error = message;
+    return result;
+  };
+
+  while (std::getline(in, line)) {
+    ++result.lines;
+    if (line.empty()) return fail("empty line");
+    if (saw_trailer) return fail("content after end_of_trace");
+    std::string error;
+    const LineVerdict verdict =
+        validate_line_impl(line, tracks, searches, error);
+    if (!verdict.ok) return fail(error);
+    if (verdict.type == "meta") {
+      if (saw_meta) return fail("duplicate meta line");
+      if (result.lines != 1) return fail("meta line must come first");
+      saw_meta = true;
+      // Re-parse to pull the declared counts for downstream range checks.
+      JsonValue doc;
+      std::string ignored;
+      if (parse_json(line, doc, ignored) && doc.is_object()) {
+        if (const JsonValue* v = find(doc.object(), "tracks");
+            v != nullptr && v->is_number()) {
+          tracks = static_cast<std::size_t>(v->number());
+        }
+        if (const JsonValue* v = find(doc.object(), "searches");
+            v != nullptr && v->is_number()) {
+          searches = static_cast<std::size_t>(v->number());
+        }
+      }
+    } else {
+      if (!saw_meta) return fail("first line must be a meta line");
+      if (verdict.type == "end_of_trace") {
+        saw_trailer = true;
+        // The trailer's declared event count must match what the stream
+        // actually carried — a mismatch means the trace was truncated or
+        // edited after the fact.
+        JsonValue doc;
+        std::string ignored;
+        if (parse_json(line, doc, ignored) && doc.is_object()) {
+          if (const JsonValue* v = find(doc.object(), "events");
+              v != nullptr && v->is_number() &&
+              static_cast<std::size_t>(v->number()) != result.events) {
+            return fail("end_of_trace declares " +
+                        std::to_string(static_cast<std::size_t>(v->number())) +
+                        " events but the stream carries " +
+                        std::to_string(result.events));
+          }
+        }
+      }
+      if (verdict.type == "begin" || verdict.type == "end" ||
+          verdict.type == "instant" || verdict.type == "counter") {
+        ++result.events;
+      }
+    }
+  }
+  if (!saw_meta) return fail("trace is empty (no meta line)");
+  if (!saw_trailer) return fail("missing end_of_trace trailer");
+  return result;
+}
+
+}  // namespace gpu_mcts::obs

@@ -1,0 +1,73 @@
+// JSONL trace-schema validation (DESIGN.md §8).
+//
+// The JSONL export is the machine-readable contract of the observability
+// layer; this header is its checker. validate_trace_stream() parses every
+// line with a real (minimal) JSON parser and verifies the schema-v1 rules:
+// known line types, required keys with the right primitive types, events
+// referencing declared tracks/searches, and a trailer whose counts match.
+// Used by tests/obs and by the `trace_validate` tool the CI smoke job runs
+// over a freshly produced trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gpu_mcts::obs {
+
+/// Minimal JSON value (enough for flat trace lines with one nesting level).
+struct JsonValue {
+  using Object = std::map<std::string, JsonValue>;
+  using Array = std::vector<JsonValue>;
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v =
+      nullptr;
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v);
+  }
+  [[nodiscard]] const Object& object() const { return std::get<Object>(v); }
+  [[nodiscard]] const Array& array() const { return std::get<Array>(v); }
+  [[nodiscard]] double number() const { return std::get<double>(v); }
+  [[nodiscard]] const std::string& string() const {
+    return std::get<std::string>(v);
+  }
+};
+
+/// Parses one JSON document from `text`. Returns false (and fills `error`)
+/// on malformed input or trailing garbage.
+[[nodiscard]] bool parse_json(const std::string& text, JsonValue& out,
+                              std::string& error);
+
+struct ValidationResult {
+  bool ok = true;
+  /// 1-based line of the first error (0 when ok).
+  std::size_t line = 0;
+  std::string error;
+  /// Totals over the validated stream.
+  std::size_t lines = 0;
+  std::size_t events = 0;
+};
+
+/// Validates a full JSONL trace stream against schema v1.
+[[nodiscard]] ValidationResult validate_trace_stream(std::istream& in);
+
+/// Validates a single line given the declared track/search counts (meta and
+/// declaration lines pass their own checks; counts of 0 skip range checks).
+[[nodiscard]] bool validate_trace_line(const std::string& line,
+                                       std::size_t tracks,
+                                       std::size_t searches,
+                                       std::string& error);
+
+}  // namespace gpu_mcts::obs

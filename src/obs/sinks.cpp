@@ -1,0 +1,279 @@
+#include "obs/sinks.hpp"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace gpu_mcts::obs {
+
+namespace {
+
+/// JSON string escaping for the small, ASCII-dominated names we emit.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Round-trippable double formatting ("%.17g" without trailing noise for
+/// integral values, which most cycle-derived numbers are).
+std::string json_number(double v) {
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+const char* kind_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kBegin: return "begin";
+    case TraceEvent::Kind::kEnd: return "end";
+    case TraceEvent::Kind::kInstant: return "instant";
+    case TraceEvent::Kind::kCounter: return "counter";
+  }
+  return "instant";
+}
+
+void write_args_object(std::ostream& os, const TraceEvent& e) {
+  os << ",\"args\":{";
+  for (std::uint8_t a = 0; a < e.arg_count; ++a) {
+    if (a > 0) os << ',';
+    os << '"' << json_escape(e.args[a].name)
+       << "\":" << json_number(e.args[a].value);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_jsonl(const Tracer& tracer, std::ostream& os) {
+  os << "{\"type\":\"meta\",\"version\":" << kTraceSchemaVersion
+     << ",\"clock_hz\":" << json_number(tracer.frequency_hz())
+     << ",\"tracks\":" << tracer.track_count()
+     << ",\"searches\":" << tracer.searches() << "}\n";
+  for (std::size_t t = 0; t < tracer.track_count(); ++t) {
+    os << "{\"type\":\"track\",\"track\":" << t << ",\"name\":\""
+       << json_escape(tracer.track_name(static_cast<int>(t))) << "\"}\n";
+  }
+  const auto& labels = tracer.search_labels();
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    os << "{\"type\":\"search\",\"search\":" << s << ",\"label\":\""
+       << json_escape(labels[s]) << "\"}\n";
+  }
+  for (const TraceEvent& e : tracer.merged()) {
+    os << "{\"type\":\"" << kind_string(e.kind) << "\",\"search\":" << e.search
+       << ",\"track\":" << e.track << ",\"t\":" << e.cycles << ",\"name\":\""
+       << json_escape(e.name) << '"';
+    if (e.kind == TraceEvent::Kind::kCounter) {
+      os << ",\"value\":" << json_number(e.value);
+    }
+    if (e.arg_count > 0) write_args_object(os, e);
+    os << "}\n";
+  }
+  const MetricsRegistry& m = tracer.metrics();
+  for (const auto& [name, c] : m.counters()) {
+    os << "{\"type\":\"metric\",\"kind\":\"counter\",\"name\":\""
+       << json_escape(name) << "\",\"value\":" << c.value() << "}\n";
+  }
+  for (const auto& [name, g] : m.gauges()) {
+    os << "{\"type\":\"metric\",\"kind\":\"gauge\",\"name\":\""
+       << json_escape(name) << "\",\"value\":" << json_number(g.value())
+       << "}\n";
+  }
+  for (const auto& [name, h] : m.histograms()) {
+    os << "{\"type\":\"metric\",\"kind\":\"histogram\",\"name\":\""
+       << json_escape(name) << "\",\"count\":" << h.count()
+       << ",\"sum\":" << json_number(h.sum())
+       << ",\"min\":" << json_number(h.min())
+       << ",\"max\":" << json_number(h.max()) << ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i > 0) os << ',';
+      os << json_number(h.bounds()[i]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+      if (i > 0) os << ',';
+      os << h.bucket_counts()[i];
+    }
+    os << "]}\n";
+  }
+  os << "{\"type\":\"end_of_trace\",\"events\":" << tracer.emitted()
+     << ",\"dropped\":" << tracer.dropped() << "}\n";
+}
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  const double us_per_cycle = 1.0e6 / tracer.frequency_hz();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    if (!first) os << ',';
+    first = false;
+    os << '\n' << line;
+  };
+
+  // Process (= search epoch) and thread (= track) naming metadata.
+  const auto& labels = tracer.search_labels();
+  const std::size_t searches = labels.empty() ? 1 : labels.size();
+  for (std::size_t s = 0; s < searches; ++s) {
+    const std::string label =
+        s < labels.size() ? labels[s] : std::string("search");
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(s) +
+         ",\"name\":\"process_name\",\"args\":{\"name\":\"search " +
+         std::to_string(s) + ": " + json_escape(label) + "\"}}");
+    for (std::size_t t = 0; t < tracer.track_count(); ++t) {
+      emit("{\"ph\":\"M\",\"pid\":" + std::to_string(s) +
+           ",\"tid\":" + std::to_string(t) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           json_escape(tracer.track_name(static_cast<int>(t))) + "\"}}");
+    }
+  }
+
+  for (const TraceEvent& e : tracer.merged()) {
+    const double ts = static_cast<double>(e.cycles) * us_per_cycle;
+    std::string line = "{\"ph\":\"";
+    switch (e.kind) {
+      case TraceEvent::Kind::kBegin: line += 'B'; break;
+      case TraceEvent::Kind::kEnd: line += 'E'; break;
+      case TraceEvent::Kind::kInstant: line += 'i'; break;
+      case TraceEvent::Kind::kCounter: line += 'C'; break;
+    }
+    line += "\",\"pid\":" + std::to_string(e.search) +
+            ",\"tid\":" + std::to_string(e.track) +
+            ",\"ts\":" + json_number(ts) + ",\"name\":\"" +
+            json_escape(e.name) + '"';
+    if (e.kind == TraceEvent::Kind::kInstant) line += ",\"s\":\"t\"";
+    if (e.kind == TraceEvent::Kind::kCounter) {
+      line += ",\"args\":{\"value\":" + json_number(e.value) + '}';
+    } else if (e.arg_count > 0) {
+      line += ",\"args\":{";
+      for (std::uint8_t a = 0; a < e.arg_count; ++a) {
+        if (a > 0) line += ',';
+        line += '"' + json_escape(e.args[a].name) +
+                "\":" + json_number(e.args[a].value);
+      }
+      line += '}';
+    }
+    line += '}';
+    emit(line);
+  }
+  os << "\n]}\n";
+}
+
+util::Table phase_table(const Tracer& tracer) {
+  // Inclusive span time per (track, phase) across all searches, recovered by
+  // replaying begin/end pairs per track (per-track events are well nested —
+  // the Tracer enforces it at emission).
+  struct PhaseTotal {
+    std::uint64_t spans = 0;
+    std::uint64_t cycles = 0;
+  };
+  std::map<std::pair<std::uint16_t, std::string>, PhaseTotal> totals;
+  std::map<std::uint16_t, std::uint64_t> track_cycles;
+  std::vector<std::vector<std::pair<const char*, std::uint64_t>>> stacks(
+      tracer.track_count());
+  for (const TraceEvent& e : tracer.merged()) {
+    auto& stack = stacks[e.track];
+    if (e.kind == TraceEvent::Kind::kBegin) {
+      stack.push_back({e.name, e.cycles});
+    } else if (e.kind == TraceEvent::Kind::kEnd && !stack.empty()) {
+      const auto [name, begin_cycles] = stack.back();
+      stack.pop_back();
+      PhaseTotal& pt = totals[{e.track, name}];
+      pt.spans += 1;
+      const std::uint64_t d =
+          e.cycles >= begin_cycles ? e.cycles - begin_cycles : 0;
+      pt.cycles += d;
+      // Top-level spans only: nested time already counts toward the parent.
+      if (stack.empty()) track_cycles[e.track] += d;
+    }
+  }
+
+  util::Table table({"track", "phase", "spans", "virtual_ms", "track_share"});
+  const double ms_per_cycle = 1.0e3 / tracer.frequency_hz();
+  for (const auto& [key, pt] : totals) {
+    const auto& [track, name] = key;
+    const double track_total =
+        static_cast<double>(track_cycles.count(track) ? track_cycles[track] : 0);
+    table.begin_row()
+        .add(tracer.track_name(static_cast<int>(track)))
+        .add(name)
+        .add(static_cast<unsigned long long>(pt.spans))
+        .add(static_cast<double>(pt.cycles) * ms_per_cycle, 3)
+        .add(track_total > 0.0
+                 ? static_cast<double>(pt.cycles) / track_total
+                 : 0.0,
+             3);
+  }
+  return table;
+}
+
+util::Table metrics_table(const MetricsRegistry& metrics) {
+  util::Table table({"metric", "kind", "count", "value/sum", "mean", "max"});
+  for (const auto& [name, c] : metrics.counters()) {
+    table.begin_row()
+        .add(name)
+        .add("counter")
+        .add("-")
+        .add(static_cast<unsigned long long>(c.value()))
+        .add("-")
+        .add("-");
+  }
+  for (const auto& [name, g] : metrics.gauges()) {
+    table.begin_row()
+        .add(name)
+        .add("gauge")
+        .add("-")
+        .add(g.value(), 3)
+        .add("-")
+        .add("-");
+  }
+  for (const auto& [name, h] : metrics.histograms()) {
+    table.begin_row()
+        .add(name)
+        .add("histogram")
+        .add(static_cast<unsigned long long>(h.count()))
+        .add(h.sum(), 3)
+        .add(h.mean(), 3)
+        .add(h.max(), 3);
+  }
+  return table;
+}
+
+void print_summary(const Tracer& tracer, std::ostream& os) {
+  os << "-- per-phase virtual time --\n";
+  phase_table(tracer).print(os);
+  if (!tracer.metrics().empty()) {
+    os << "\n-- metrics --\n";
+    metrics_table(tracer.metrics()).print(os);
+  }
+  if (tracer.dropped() > 0) {
+    os << "\n(" << tracer.dropped()
+       << " events dropped at the per-track buffer cap)\n";
+  }
+}
+
+}  // namespace gpu_mcts::obs

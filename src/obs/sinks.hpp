@@ -1,0 +1,43 @@
+// Trace/metric sinks (DESIGN.md §8):
+//  * write_jsonl       — one JSON object per line, stable schema v1; the
+//                        machine-readable export (validated by obs/schema.hpp
+//                        and the trace_validate tool in CI).
+//  * write_chrome_trace — Chrome trace_event JSON; open in chrome://tracing
+//                        or https://ui.perfetto.dev to see per-phase spans,
+//                        CPU/GPU overlap, and counter series on a timeline.
+//  * phase_table /     — human-readable per-search summaries: virtual time
+//    metrics_table       per phase per track, and every registered metric.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+namespace gpu_mcts::obs {
+
+/// Current JSONL schema version (the "version" field of the meta line).
+inline constexpr int kTraceSchemaVersion = 1;
+
+/// Writes the full trace as JSONL: a meta line, one line per track, one line
+/// per search epoch, every event in deterministic merged order, one line per
+/// metric, and an end_of_trace trailer with exact emitted/dropped counts.
+void write_jsonl(const Tracer& tracer, std::ostream& os);
+
+/// Writes the trace in Chrome trace_event format. Searches map to processes
+/// (pid = search index, named by their label), tracks map to threads, and
+/// timestamps are virtual microseconds (cycles / frequency_hz * 1e6).
+void write_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+/// Per-phase virtual-time totals: one row per (track, span name) with span
+/// count, total virtual milliseconds, and share of the track's span time.
+[[nodiscard]] util::Table phase_table(const Tracer& tracer);
+
+/// One row per registered metric (counters, gauges, then histograms).
+[[nodiscard]] util::Table metrics_table(const MetricsRegistry& metrics);
+
+/// Convenience: prints phase_table and metrics_table with headers.
+void print_summary(const Tracer& tracer, std::ostream& os);
+
+}  // namespace gpu_mcts::obs

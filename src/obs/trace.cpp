@@ -1,0 +1,34 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace gpu_mcts::obs {
+
+std::vector<TraceEvent> Tracer::merged() const {
+  // Tag every event with its per-track sequence number so ties (zero-length
+  // spans, simultaneous cross-track events) break identically on every run.
+  struct Keyed {
+    TraceEvent event;
+    std::uint32_t seq;
+  };
+  std::vector<Keyed> keyed;
+  std::size_t total = 0;
+  for (const Track& t : tracks_) total += t.events.size();
+  keyed.reserve(total);
+  for (const Track& t : tracks_) {
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+      keyed.push_back({t.events[i], static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    return std::tuple(a.event.search, a.event.cycles, a.event.track, a.seq) <
+           std::tuple(b.event.search, b.event.cycles, b.event.track, b.seq);
+  });
+  std::vector<TraceEvent> out;
+  out.reserve(keyed.size());
+  for (const Keyed& k : keyed) out.push_back(k.event);
+  return out;
+}
+
+}  // namespace gpu_mcts::obs

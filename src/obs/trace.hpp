@@ -1,0 +1,282 @@
+// Tracer: the event half of the observability layer (DESIGN.md §8).
+//
+// Every searcher in this repo runs on *virtual* time (util::VirtualClock), so
+// a trace is not a profile of the host — it is a reconstruction of where the
+// modeled hardware spends its cycles: selection vs. kernel vs. PCIe transfer
+// vs. allreduce. Events are spans (begin/end), instants, and counters, each
+// stamped with the emitting timeline's virtual cycle count and the index of
+// the search (choose_move call) that produced it.
+//
+// Guarantees:
+//  * Zero overhead when disabled. Searchers hold a `Tracer*` that is nullptr
+//    by default; every instrumentation site is a single pointer test. With no
+//    tracer attached the search path is bit-identical to a build without the
+//    subsystem (tests/obs/test_bitexact.cpp holds this to golden numbers).
+//  * Deterministic. Events live in per-track buffers (host timeline, device
+//    timeline, per-rank timelines, ...) appended in program order; merged()
+//    produces a total order keyed by (cycles, track, sequence) that is a pure
+//    function of the search — identical on every run and host.
+//  * Bounded. Each track caps its buffer (kDefaultMaxEventsPerTrack);
+//    overflow drops records but keeps exact drop counts, so a soak run
+//    cannot balloon memory and truncation is always visible in the export.
+//
+// Names passed to begin()/end()/instant()/counter() and Arg::name must be
+// string literals (or otherwise outlive the tracer): events store the
+// pointer, not a copy. All in-tree call sites use the stable phase
+// vocabulary documented in DESIGN.md §8.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/clock.hpp"
+
+namespace gpu_mcts::obs {
+
+/// One named numeric attachment on an event (kernel geometry, ply counts...).
+struct Arg {
+  const char* name = "";
+  double value = 0.0;
+};
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kBegin = 0,   ///< span opens on its track
+    kEnd,         ///< span closes (innermost open span, matching name)
+    kInstant,     ///< point event
+    kCounter,     ///< sampled value (renders as a counter series)
+  };
+  static constexpr std::size_t kMaxArgs = 4;
+
+  Kind kind = Kind::kInstant;
+  /// Track (timeline) the event belongs to.
+  std::uint16_t track = 0;
+  /// Index of the search (begin_search call) that emitted the event.
+  std::uint32_t search = 0;
+  /// Virtual-clock timestamp, in cycles of the emitting timeline.
+  std::uint64_t cycles = 0;
+  const char* name = "";
+  /// Counter value (kCounter only).
+  double value = 0.0;
+  std::uint8_t arg_count = 0;
+  std::array<Arg, kMaxArgs> args{};
+};
+
+/// Collects trace events on named tracks and owns the MetricsRegistry.
+/// One Tracer instruments one subject (searcher); attach with
+/// `searcher.set_tracer(&tracer)` and export through obs/sinks.hpp.
+class Tracer {
+ public:
+  /// Track 0 always exists: the controlling host CPU's timeline.
+  static constexpr int kHostTrack = 0;
+  static constexpr std::size_t kDefaultMaxEventsPerTrack = 1u << 18;
+
+  Tracer() { tracks_.emplace_back("host"); }
+
+  /// Returns the id of the named track, creating it on first use.
+  [[nodiscard]] int track(const std::string& name) {
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+      if (tracks_[i].name == name) return static_cast<int>(i);
+    }
+    util::check(tracks_.size() < (1u << 16), "trace track count bounded");
+    tracks_.emplace_back(name);
+    return static_cast<int>(tracks_.size() - 1);
+  }
+
+  /// Opens a new search epoch: subsequent events are stamped with its index
+  /// (exports separate epochs so successive choose_move calls, whose virtual
+  /// clocks each restart at zero, do not overlap). Returns the epoch index.
+  std::uint32_t begin_search(const std::string& label) {
+    current_search_ = static_cast<std::uint32_t>(search_labels_.size());
+    search_labels_.push_back(label);
+    return current_search_;
+  }
+
+  [[nodiscard]] std::uint32_t searches() const noexcept {
+    return static_cast<std::uint32_t>(search_labels_.size());
+  }
+  [[nodiscard]] const std::vector<std::string>& search_labels()
+      const noexcept {
+    return search_labels_;
+  }
+
+  /// Nominal frequency used by sinks to convert cycles to seconds; searchers
+  /// set it from their host clock at search start.
+  void set_frequency(double hz) noexcept {
+    if (hz > 0.0) frequency_hz_ = hz;
+  }
+  [[nodiscard]] double frequency_hz() const noexcept { return frequency_hz_; }
+
+  void begin(int track_id, const char* name, std::uint64_t cycles,
+             std::initializer_list<Arg> args = {}) {
+    Track& t = track_at(track_id);
+    t.open.push_back(name);
+    push(t, make_event(TraceEvent::Kind::kBegin, track_id, cycles, name, 0.0,
+                       args));
+  }
+
+  /// Closes the innermost open span on the track; `name` must match it
+  /// (spans nest strictly per track — enforced, so exports are well-formed).
+  void end(int track_id, const char* name, std::uint64_t cycles) {
+    Track& t = track_at(track_id);
+    util::check(!t.open.empty(), "span end without matching begin");
+    util::check(std::strcmp(t.open.back(), name) == 0,
+                "span end name matches innermost open span");
+    t.open.pop_back();
+    push(t, make_event(TraceEvent::Kind::kEnd, track_id, cycles, name, 0.0,
+                       {}));
+  }
+
+  void instant(int track_id, const char* name, std::uint64_t cycles,
+               std::initializer_list<Arg> args = {}) {
+    push(track_at(track_id),
+         make_event(TraceEvent::Kind::kInstant, track_id, cycles, name, 0.0,
+                    args));
+  }
+
+  void counter(int track_id, const char* name, std::uint64_t cycles,
+               double value) {
+    push(track_at(track_id),
+         make_event(TraceEvent::Kind::kCounter, track_id, cycles, name, value,
+                    {}));
+  }
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  [[nodiscard]] std::size_t track_count() const noexcept {
+    return tracks_.size();
+  }
+  [[nodiscard]] const std::string& track_name(int track_id) const {
+    return tracks_.at(static_cast<std::size_t>(track_id)).name;
+  }
+  [[nodiscard]] const std::vector<TraceEvent>& track_events(
+      int track_id) const {
+    return tracks_.at(static_cast<std::size_t>(track_id)).events;
+  }
+
+  /// Events emitted (including dropped ones) and records actually dropped.
+  [[nodiscard]] std::uint64_t emitted() const noexcept {
+    std::uint64_t n = 0;
+    for (const Track& t : tracks_) n += t.emitted;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    std::uint64_t n = 0;
+    for (const Track& t : tracks_) n += t.dropped;
+    return n;
+  }
+
+  void set_max_events_per_track(std::size_t cap) noexcept {
+    max_events_per_track_ = cap;
+  }
+
+  /// All events in a deterministic total order: ascending (cycles, track,
+  /// per-track sequence). A pure function of the emitted events — stable
+  /// across runs and hosts, which is what makes trace diffs meaningful.
+  [[nodiscard]] std::vector<TraceEvent> merged() const;
+
+  /// Drops events, epochs, and metrics; keeps tracks (ids stay valid).
+  void clear() {
+    for (Track& t : tracks_) {
+      t.events.clear();
+      t.open.clear();
+      t.emitted = 0;
+      t.dropped = 0;
+    }
+    search_labels_.clear();
+    current_search_ = 0;
+    metrics_.clear();
+  }
+
+ private:
+  struct Track {
+    explicit Track(std::string track_name) : name(std::move(track_name)) {}
+    std::string name;
+    std::vector<TraceEvent> events;
+    /// Stack of open span names (nesting enforcement; maintained even when
+    /// the buffer is full so pairing checks survive truncation).
+    std::vector<const char*> open;
+    std::uint64_t emitted = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  [[nodiscard]] Track& track_at(int track_id) {
+    util::check(track_id >= 0 &&
+                    static_cast<std::size_t>(track_id) < tracks_.size(),
+                "trace event on an existing track");
+    return tracks_[static_cast<std::size_t>(track_id)];
+  }
+
+  [[nodiscard]] TraceEvent make_event(TraceEvent::Kind kind, int track_id,
+                                      std::uint64_t cycles, const char* name,
+                                      double value,
+                                      std::initializer_list<Arg> args) const {
+    TraceEvent e;
+    e.kind = kind;
+    e.track = static_cast<std::uint16_t>(track_id);
+    e.search = current_search_;
+    e.cycles = cycles;
+    e.name = name;
+    e.value = value;
+    for (const Arg& a : args) {
+      if (e.arg_count >= TraceEvent::kMaxArgs) break;
+      e.args[e.arg_count++] = a;
+    }
+    return e;
+  }
+
+  void push(Track& t, const TraceEvent& e) {
+    ++t.emitted;
+    if (t.events.size() >= max_events_per_track_) {
+      ++t.dropped;
+      return;
+    }
+    t.events.push_back(e);
+  }
+
+  // deque: track() may grow the container while other tracks' buffers are
+  // being appended; deque never relocates existing elements.
+  std::deque<Track> tracks_;
+  std::vector<std::string> search_labels_;
+  std::uint32_t current_search_ = 0;
+  double frequency_hz_ = 1.0e9;
+  std::size_t max_events_per_track_ = kDefaultMaxEventsPerTrack;
+  MetricsRegistry metrics_;
+};
+
+/// RAII span tied to a virtual clock: begins on construction, ends (at the
+/// clock's *current* cycle) on destruction — so spans close correctly even
+/// when the body throws (GPU transfer faults). Null tracer = no-op, letting
+/// instrumentation sites stay single statements on the disabled path.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, int track_id, const char* name,
+             const util::VirtualClock& clock,
+             std::initializer_list<Arg> args = {})
+      : tracer_(tracer), track_(track_id), name_(name), clock_(clock) {
+    if (tracer_ != nullptr) tracer_->begin(track_, name_, clock_.cycles(), args);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->end(track_, name_, clock_.cycles());
+  }
+
+ private:
+  Tracer* tracer_;
+  int track_;
+  const char* name_;
+  const util::VirtualClock& clock_;
+};
+
+}  // namespace gpu_mcts::obs

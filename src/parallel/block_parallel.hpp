@@ -21,6 +21,7 @@
 #include "mcts/playout.hpp"
 #include "mcts/searcher.hpp"
 #include "mcts/tree.hpp"
+#include "obs/trace.hpp"
 #include "parallel/merge.hpp"
 #include "simt/device_buffer.hpp"
 #include "simt/playout_kernel.hpp"
@@ -95,6 +96,12 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
     int failed_rounds = 0;
     bool gpu_abandoned = false;
 
+    constexpr int host_track = obs::Tracer::kHostTrack;
+    if (tracer_ != nullptr) {
+      (void)tracer_->begin_search(name());
+      tracer_->set_frequency(clock.frequency_hz());
+    }
+
     // Degradation path: one ordinary sequential MCTS iteration on a
     // rotating tree, for rounds where the device produced nothing.
     const auto cpu_iteration = [&] {
@@ -117,6 +124,10 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
           gpu_.cost().host_tree_op_cycles +
           gpu_.cost().host_cycles_per_ply * static_cast<double>(plies)));
       stats_.simulations += 1;
+      stats_.cpu_iterations += 1;
+      if (tracer_ != nullptr) {
+        tracer_->metrics().histogram("playout_plies").observe(plies);
+      }
     };
 
     do {
@@ -125,36 +136,70 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
         // Sequential host part: select/expand every tree — "at most one CPU
         // controls one GPU, certain part of the algorithm has to be
         // processed sequentially" (paper §IV).
-        for (std::size_t t = 0; t < trees_n; ++t) {
-          const mcts::Selection<G> sel = trees[t]->select();
-          roots.host()[t] = sel.state;
-          leaves[t] = sel.node;
-          terminal[t] = sel.terminal ? 1 : 0;
-          clock.advance(
-              static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+        std::uint64_t nodes_before = 0;
+        if (tracer_ != nullptr) {
+          for (const auto& tree : trees) nodes_before += tree->node_count();
+        }
+        {
+          obs::ScopedSpan span(tracer_, host_track, "selection", clock,
+                               {{"trees", static_cast<double>(trees_n)}});
+          for (std::size_t t = 0; t < trees_n; ++t) {
+            const mcts::Selection<G> sel = trees[t]->select();
+            roots.host()[t] = sel.state;
+            leaves[t] = sel.node;
+            terminal[t] = sel.terminal ? 1 : 0;
+            clock.advance(
+                static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+          }
+        }
+        if (tracer_ != nullptr) {
+          std::uint64_t nodes_after = 0;
+          for (const auto& tree : trees) nodes_after += tree->node_count();
+          tracer_->instant(host_track, "expansion", clock.cycles(),
+                           {{"nodes_added",
+                             static_cast<double>(nodes_after - nodes_before)}});
         }
         try {
-          roots.upload(clock);
+          {
+            obs::ScopedSpan span(tracer_, host_track, "upload", clock);
+            roots.upload(clock);
+          }
 
           simt::LaunchResult launch;
-          const bool launched = util::with_retry(
-              options_.retry, clock, &fault_log, [&](int /*attempt*/) {
-                const std::span<simt::BlockResult> device_results =
-                    results.device_view();
-                for (auto& r : device_results) r = simt::BlockResult{};
-                simt::PlayoutKernel<G> kernel(roots.device_view(),
-                                              search_seed, round,
-                                              device_results);
-                launch = gpu_.launch(options_.launch, kernel, clock);
-                return launch.ok();
-              });
+          bool launched = false;
+          {
+            obs::ScopedSpan span(
+                tracer_, host_track, "kernel", clock,
+                {{"blocks", static_cast<double>(options_.launch.blocks)},
+                 {"threads_per_block",
+                  static_cast<double>(options_.launch.threads_per_block)}});
+            launched = util::with_retry(
+                options_.retry, clock, &fault_log, [&](int /*attempt*/) {
+                  const std::span<simt::BlockResult> device_results =
+                      results.device_view();
+                  for (auto& r : device_results) r = simt::BlockResult{};
+                  simt::PlayoutKernel<G> kernel(roots.device_view(),
+                                                search_seed, round,
+                                                device_results);
+                  launch = gpu_.launch(options_.launch, kernel, clock);
+                  return launch.ok();
+                });
+          }
           if (launched) {
             waste_sum += launch.stats.divergence_waste();
+            if (tracer_ != nullptr) {
+              tracer_->counter(host_track, "divergence", clock.cycles(),
+                               launch.stats.divergence_waste());
+            }
 
             // Sequential host part: read back and backpropagate per tree.
-            results.download(clock);
+            {
+              obs::ScopedSpan span(tracer_, host_track, "download", clock);
+              results.download(clock);
+            }
             const std::span<const simt::BlockResult> tallies =
                 results.host_checked();
+            obs::ScopedSpan span(tracer_, host_track, "backprop", clock);
             for (std::size_t t = 0; t < trees_n; ++t) {
               if (terminal[t]) {
                 // Lanes replayed a terminal state: every playout returned
@@ -165,6 +210,17 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
                                       tallies[t].simulations,
                                       tallies[t].value_sq_first);
               stats_.simulations += tallies[t].simulations;
+              stats_.gpu_simulations += tallies[t].simulations;
+              if (tracer_ != nullptr) {
+                tracer_->metrics()
+                    .histogram("block_simulations")
+                    .observe(tallies[t].simulations);
+                if (tallies[t].simulations > 0) {
+                  tracer_->metrics().histogram("playout_plies").observe(
+                      static_cast<double>(tallies[t].total_plies) /
+                      static_cast<double>(tallies[t].simulations));
+                }
+              }
             }
             gpu_round_ok = true;
           }
@@ -177,11 +233,15 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
           gpu_abandoned = true;
           fault_log.record_recovery(util::RecoveryKind::kCpuFallback,
                                     clock.cycles(), failed_rounds);
+          if (tracer_ != nullptr) {
+            tracer_->instant(host_track, "gpu_abandoned", clock.cycles());
+          }
         }
       }
       if (!gpu_round_ok) {
         // CPU-only batch: keep every tree growing and the clock moving so
         // a legal move is still chosen within the virtual budget.
+        obs::ScopedSpan span(tracer_, host_track, "cpu_fallback", clock);
         for (std::size_t i = 0; i < trees_n && clock.cycles() < deadline;
              ++i) {
           cpu_iteration();
@@ -203,6 +263,14 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
     if (stats_.rounds > 0)
       stats_.divergence_waste = waste_sum / static_cast<double>(stats_.rounds);
     stats_.faults = fault_log;
+
+    if (tracer_ != nullptr) {
+      tracer_->counter(host_track, "simulations", clock.cycles(),
+                       static_cast<double>(stats_.simulations));
+      tracer_->metrics().counter("gpu_simulations").add(stats_.gpu_simulations);
+      tracer_->metrics().counter("cpu_iterations").add(stats_.cpu_iterations);
+      tracer_->metrics().counter("kernel_rounds").add(stats_.rounds);
+    }
 
     last_root_stats_ = merge_root_stats<G>(per_tree);
     return best_merged_move(last_root_stats_);
@@ -229,6 +297,11 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
     move_counter_ = 0;
   }
 
+  void set_tracer(obs::Tracer* tracer) noexcept override {
+    tracer_ = tracer;
+    gpu_.set_tracer(tracer);
+  }
+
  private:
   Options options_;
   mcts::SearchConfig config_;
@@ -237,6 +310,7 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
   std::uint64_t move_counter_ = 0;
   mcts::SearchStats stats_;
   std::vector<MergedMove<typename G::Move>> last_root_stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpu_mcts::parallel

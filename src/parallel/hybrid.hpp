@@ -19,6 +19,7 @@
 #include "mcts/playout.hpp"
 #include "mcts/searcher.hpp"
 #include "mcts/tree.hpp"
+#include "obs/trace.hpp"
 #include "parallel/merge.hpp"
 #include "simt/device_buffer.hpp"
 #include "simt/playout_kernel.hpp"
@@ -83,11 +84,17 @@ class HybridSearcher final : public mcts::Searcher<G> {
     std::vector<mcts::NodeIndex> leaves(trees_n);
 
     stats_ = {};
-    cpu_simulations_ = 0;
     std::uint64_t round = 0;
     std::size_t cpu_tree_cursor = 0;
     int failed_rounds = 0;
     bool gpu_abandoned = false;
+
+    constexpr int host_track = obs::Tracer::kHostTrack;
+    const int gpu_track = tracer_ != nullptr ? tracer_->track("gpu") : 0;
+    if (tracer_ != nullptr) {
+      (void)tracer_->begin_search(name());
+      tracer_->set_frequency(clock.frequency_hz());
+    }
 
     // One CPU-side sequential iteration (the same loop body the paper's
     // "CPU can work here!" overlap uses, and our degradation path).
@@ -110,22 +117,32 @@ class HybridSearcher final : public mcts::Searcher<G> {
       clock.advance(static_cast<std::uint64_t>(
           gpu_.cost().host_tree_op_cycles +
           gpu_.cost().host_cycles_per_ply * static_cast<double>(plies)));
-      ++cpu_simulations_;
       stats_.simulations += 1;
+      stats_.cpu_iterations += 1;
+      if (tracer_ != nullptr) {
+        tracer_->metrics().histogram("playout_plies").observe(plies);
+      }
     };
 
     do {
       bool gpu_round_ok = false;
       if (!gpu_abandoned) {
-        for (std::size_t t = 0; t < trees_n; ++t) {
-          const mcts::Selection<G> sel = trees[t]->select();
-          roots.host()[t] = sel.state;
-          leaves[t] = sel.node;
-          clock.advance(
-              static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+        {
+          obs::ScopedSpan span(tracer_, host_track, "selection", clock,
+                               {{"trees", static_cast<double>(trees_n)}});
+          for (std::size_t t = 0; t < trees_n; ++t) {
+            const mcts::Selection<G> sel = trees[t]->select();
+            roots.host()[t] = sel.state;
+            leaves[t] = sel.node;
+            clock.advance(
+                static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+          }
         }
         try {
-          roots.upload(clock);
+          {
+            obs::ScopedSpan span(tracer_, host_track, "upload", clock);
+            roots.upload(clock);
+          }
 
           simt::Event event;
           const bool launched = util::with_retry(
@@ -140,21 +157,52 @@ class HybridSearcher final : public mcts::Searcher<G> {
                 return event.result.ok();
               });
           if (launched) {
+            if (tracer_ != nullptr) {
+              // The device timeline is known up front (virtual time): emit
+              // the kernel span with explicit begin/end stamps so the export
+              // shows the CPU overlap running alongside it.
+              tracer_->begin(
+                  gpu_track, "kernel", clock.cycles(),
+                  {{"blocks", static_cast<double>(options_.launch.blocks)},
+                   {"threads_per_block",
+                    static_cast<double>(options_.launch.threads_per_block)}});
+              tracer_->end(gpu_track, "kernel", event.completion_host_cycle);
+            }
             // "CPU can work here!" — iterate sequential MCTS on the same
             // trees until the gpu-ready event fires.
-            while (options_.cpu_overlap &&
-                   !simt::VirtualGpu::query(event, clock)) {
-              cpu_iteration();
+            {
+              const std::uint64_t overlap_start = stats_.cpu_iterations;
+              obs::ScopedSpan span(tracer_, host_track, "cpu_overlap", clock);
+              while (options_.cpu_overlap &&
+                     !simt::VirtualGpu::query(event, clock)) {
+                cpu_iteration();
+              }
+              if (tracer_ != nullptr) {
+                tracer_->counter(
+                    host_track, "overlap_iterations", clock.cycles(),
+                    static_cast<double>(stats_.cpu_iterations -
+                                        overlap_start));
+              }
             }
             gpu_.wait_for(event, clock);
-            results.download(clock);
+            {
+              obs::ScopedSpan span(tracer_, host_track, "download", clock);
+              results.download(clock);
+            }
             const std::span<const simt::BlockResult> tallies =
                 results.host_checked();
+            obs::ScopedSpan span(tracer_, host_track, "backprop", clock);
             for (std::size_t t = 0; t < trees_n; ++t) {
               trees[t]->backpropagate(leaves[t], tallies[t].value_first,
                                       tallies[t].simulations,
                                       tallies[t].value_sq_first);
               stats_.simulations += tallies[t].simulations;
+              stats_.gpu_simulations += tallies[t].simulations;
+              if (tracer_ != nullptr) {
+                tracer_->metrics()
+                    .histogram("block_simulations")
+                    .observe(tallies[t].simulations);
+              }
             }
             gpu_round_ok = true;
           }
@@ -171,11 +219,15 @@ class HybridSearcher final : public mcts::Searcher<G> {
           gpu_abandoned = true;
           fault_log.record_recovery(util::RecoveryKind::kCpuFallback,
                                     clock.cycles(), failed_rounds);
+          if (tracer_ != nullptr) {
+            tracer_->instant(host_track, "gpu_abandoned", clock.cycles());
+          }
         }
       }
       if (!gpu_round_ok) {
         // CPU-only batch: one sequential iteration per tree keeps every
         // tree growing and the clock advancing toward the deadline.
+        obs::ScopedSpan span(tracer_, host_track, "cpu_fallback", clock);
         for (std::size_t i = 0; i < trees_n && clock.cycles() < deadline;
              ++i) {
           cpu_iteration();
@@ -196,6 +248,14 @@ class HybridSearcher final : public mcts::Searcher<G> {
     stats_.virtual_seconds = clock.seconds();
     stats_.faults = fault_log;
 
+    if (tracer_ != nullptr) {
+      tracer_->counter(host_track, "simulations", clock.cycles(),
+                       static_cast<double>(stats_.simulations));
+      tracer_->metrics().counter("gpu_simulations").add(stats_.gpu_simulations);
+      tracer_->metrics().counter("cpu_iterations").add(stats_.cpu_iterations);
+      tracer_->metrics().counter("kernel_rounds").add(stats_.rounds);
+    }
+
     const auto merged = merge_root_stats<G>(per_tree);
     return best_merged_move(merged);
   }
@@ -207,7 +267,7 @@ class HybridSearcher final : public mcts::Searcher<G> {
   /// CPU-side simulations contributed during kernel overlap in the last
   /// choose_move — the quantity the hybrid scheme adds over GPU-only.
   [[nodiscard]] std::uint64_t cpu_overlap_simulations() const noexcept {
-    return cpu_simulations_;
+    return stats_.cpu_iterations;
   }
 
   [[nodiscard]] std::string name() const override {
@@ -222,14 +282,19 @@ class HybridSearcher final : public mcts::Searcher<G> {
     move_counter_ = 0;
   }
 
+  void set_tracer(obs::Tracer* tracer) noexcept override {
+    tracer_ = tracer;
+    gpu_.set_tracer(tracer);
+  }
+
  private:
   Options options_;
   mcts::SearchConfig config_;
   simt::VirtualGpu gpu_;
   std::uint64_t seed_;
   std::uint64_t move_counter_ = 0;
-  std::uint64_t cpu_simulations_ = 0;
   mcts::SearchStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpu_mcts::parallel

@@ -13,6 +13,7 @@
 #include "mcts/config.hpp"
 #include "mcts/searcher.hpp"
 #include "mcts/tree.hpp"
+#include "obs/trace.hpp"
 #include "simt/device_buffer.hpp"
 #include "simt/playout_kernel.hpp"
 #include "simt/vgpu.hpp"
@@ -50,12 +51,22 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
     double waste_sum = 0.0;
     std::uint64_t round = 0;
 
+    constexpr int host_track = obs::Tracer::kHostTrack;
+    if (tracer_ != nullptr) {
+      (void)tracer_->begin_search(name());
+      tracer_->set_frequency(clock.frequency_hz());
+    }
+
     do {
       // Host side: one tree operation (selection + expansion), charged to
       // the CPU controlling process.
-      const mcts::Selection<G> sel = tree.select();
-      clock.advance(
-          static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+      const mcts::Selection<G> sel = [&] {
+        obs::ScopedSpan span(tracer_, host_track, "selection", clock);
+        const mcts::Selection<G> selected = tree.select();
+        clock.advance(
+            static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+        return selected;
+      }();
 
       if (sel.terminal) {
         // Nothing to simulate: score the terminal leaf directly.
@@ -63,25 +74,52 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
             G::outcome_for(sel.state, game::Player::kFirst));
         tree.backpropagate(sel.node, v, 1, v * v);
         stats_.simulations += 1;
+        stats_.cpu_iterations += 1;
       } else {
         // One root up, one aggregate tally down per round.
         simt::DeviceBuffer<typename G::State> root(1);
         simt::DeviceBuffer<simt::BlockResult> result(1);
         root.host()[0] = sel.state;
-        root.upload(clock);
+        {
+          obs::ScopedSpan span(tracer_, host_track, "upload", clock);
+          root.upload(clock);
+        }
         const std::span<simt::BlockResult> device_result =
             result.device_view();
         device_result[0] = simt::BlockResult{};
         simt::PlayoutKernel<G> kernel(root.device_view(), search_seed, round,
                                       device_result);
-        const simt::LaunchResult launch =
-            gpu_.launch(options_.launch, kernel, clock);
-        result.download(clock);
+        simt::LaunchResult launch;
+        {
+          obs::ScopedSpan span(
+              tracer_, host_track, "kernel", clock,
+              {{"blocks", static_cast<double>(options_.launch.blocks)},
+               {"threads_per_block",
+                static_cast<double>(options_.launch.threads_per_block)}});
+          launch = gpu_.launch(options_.launch, kernel, clock);
+        }
+        {
+          obs::ScopedSpan span(tracer_, host_track, "download", clock);
+          result.download(clock);
+        }
         const simt::BlockResult tally = result.host_checked()[0];
-        tree.backpropagate(sel.node, tally.value_first, tally.simulations,
-                           tally.value_sq_first);
+        {
+          obs::ScopedSpan span(tracer_, host_track, "backprop", clock);
+          tree.backpropagate(sel.node, tally.value_first, tally.simulations,
+                             tally.value_sq_first);
+        }
         stats_.simulations += tally.simulations;
+        stats_.gpu_simulations += tally.simulations;
         waste_sum += launch.stats.divergence_waste();
+        if (tracer_ != nullptr) {
+          tracer_->counter(host_track, "divergence", clock.cycles(),
+                           launch.stats.divergence_waste());
+          if (tally.simulations > 0) {
+            tracer_->metrics().histogram("playout_plies").observe(
+                static_cast<double>(tally.total_plies) /
+                static_cast<double>(tally.simulations));
+          }
+        }
       }
       ++round;
       stats_.rounds += 1;
@@ -92,6 +130,13 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
     stats_.virtual_seconds = clock.seconds();
     if (stats_.rounds > 0)
       stats_.divergence_waste = waste_sum / static_cast<double>(stats_.rounds);
+    if (tracer_ != nullptr) {
+      tracer_->counter(host_track, "simulations", clock.cycles(),
+                       static_cast<double>(stats_.simulations));
+      tracer_->metrics().counter("gpu_simulations").add(stats_.gpu_simulations);
+      tracer_->metrics().counter("cpu_iterations").add(stats_.cpu_iterations);
+      tracer_->metrics().counter("kernel_rounds").add(stats_.rounds);
+    }
     return tree.best_move();
   }
 
@@ -109,6 +154,11 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
     move_counter_ = 0;
   }
 
+  void set_tracer(obs::Tracer* tracer) noexcept override {
+    tracer_ = tracer;
+    gpu_.set_tracer(tracer);
+  }
+
  private:
   Options options_;
   mcts::SearchConfig config_;
@@ -116,6 +166,7 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
   std::uint64_t seed_;
   std::uint64_t move_counter_ = 0;
   mcts::SearchStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpu_mcts::parallel

@@ -19,6 +19,7 @@
 #include "mcts/playout.hpp"
 #include "mcts/searcher.hpp"
 #include "mcts/tree.hpp"
+#include "obs/trace.hpp"
 #include "parallel/merge.hpp"
 #include "simt/cost_model.hpp"
 #include "simt/device_props.hpp"
@@ -84,6 +85,7 @@ class RootParallelSearcher final : public mcts::Searcher<G> {
             cost_.host_cycles_per_ply * static_cast<double>(plies)));
         s.simulations += 1;
         s.rounds += 1;
+        s.cpu_iterations += 1;
       } while (clock.cycles() < deadline);
       s.tree_nodes = tree.node_count();
       s.max_depth = tree.max_depth();
@@ -104,6 +106,7 @@ class RootParallelSearcher final : public mcts::Searcher<G> {
     for (const auto& s : per_tree) {
       stats_.simulations += s.simulations;
       stats_.rounds += s.rounds;
+      stats_.cpu_iterations += s.cpu_iterations;
       stats_.tree_nodes += s.tree_nodes;
       if (s.max_depth > stats_.max_depth) stats_.max_depth = s.max_depth;
     }
@@ -111,6 +114,26 @@ class RootParallelSearcher final : public mcts::Searcher<G> {
     for (const auto& s : per_tree) {
       if (s.virtual_seconds > stats_.virtual_seconds)
         stats_.virtual_seconds = s.virtual_seconds;
+    }
+
+    if (tracer_ != nullptr) {
+      // Trees are concurrent in model time and may have run on host threads,
+      // so their spans are emitted here, post-hoc, from the per-tree stats
+      // (the Tracer itself is not written to from worker threads).
+      (void)tracer_->begin_search(name());
+      tracer_->set_frequency(host_.clock_hz);
+      for (std::size_t t = 0; t < n; ++t) {
+        const int track = tracer_->track("tree" + std::to_string(t));
+        const auto end_cycle = static_cast<std::uint64_t>(
+            per_tree[t].virtual_seconds * host_.clock_hz);
+        tracer_->begin(track, "tree_search", 0,
+                       {{"simulations",
+                         static_cast<double>(per_tree[t].simulations)},
+                        {"nodes",
+                         static_cast<double>(per_tree[t].tree_nodes)}});
+        tracer_->end(track, "tree_search", end_cycle);
+      }
+      tracer_->metrics().counter("cpu_iterations").add(stats_.cpu_iterations);
     }
 
     const auto merged = merge_root_stats<G>(stats);
@@ -131,6 +154,8 @@ class RootParallelSearcher final : public mcts::Searcher<G> {
     move_counter_ = 0;
   }
 
+  void set_tracer(obs::Tracer* tracer) noexcept override { tracer_ = tracer; }
+
  private:
   Options options_;
   mcts::SearchConfig config_;
@@ -139,6 +164,7 @@ class RootParallelSearcher final : public mcts::Searcher<G> {
   std::uint64_t seed_;
   std::uint64_t move_counter_ = 0;
   mcts::SearchStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpu_mcts::parallel

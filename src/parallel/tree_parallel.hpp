@@ -90,6 +90,7 @@ class TreeParallelSearcher final : public mcts::Searcher<G> {
         tree.backpropagate(batch[w].node, value, 1, value * value);
         if (plies > max_plies) max_plies = plies;
         stats_.simulations += 1;
+        stats_.cpu_iterations += 1;
       }
       // Workers are concurrent: charge the slowest playout once, plus the
       // serialized tree operations (selection needs the shared tree's lock).

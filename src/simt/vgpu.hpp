@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "simt/cost_model.hpp"
 #include "simt/device_props.hpp"
 #include "simt/geometry.hpp"
@@ -54,6 +55,14 @@ class VirtualGpu {
     return injector_;
   }
 
+  /// Attaches an observability tracer: every launch emits a "kernel_launch"
+  /// instant on the "gpu" track with grid geometry, modeled device cycles,
+  /// and divergence waste. nullptr (the default) is zero-cost.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    gpu_track_ = tracer != nullptr ? tracer->track("gpu") : 0;
+  }
+
   /// Executes the kernel over the grid, warp-lockstep within each warp.
   /// The caller's VirtualClock is advanced by launch overhead + device time
   /// (synchronous semantics: the host blocks until completion).
@@ -64,15 +73,18 @@ class VirtualGpu {
   template <LaneKernel K>
   LaunchResult launch(const LaunchConfig& cfg, K& kernel,
                       util::VirtualClock& host_clock) {
+    const std::uint64_t start_cycle = host_clock.cycles();
     if (injector_.kernel_launch_fails(host_clock.cycles())) {
       host_clock.advance(launch_overhead_cycles());
       LaunchResult failed;
       failed.status = LaunchStatus::kFailed;
+      trace_launch(cfg, failed, start_cycle);
       return failed;
     }
     LaunchResult result = execute(cfg, kernel);
     apply_stall(result, host_clock);
     host_clock.advance(host_cycles_for(result));
+    trace_launch(cfg, result, start_cycle);
     return result;
   }
 
@@ -91,11 +103,13 @@ class VirtualGpu {
     // is paid at synchronization (event query + readback), matching how CUDA
     // driver costs split across cudaLaunch / cudaEventSynchronize. The two
     // halves sum to launch_overhead_cycles() exactly, odd overheads included.
+    const std::uint64_t start_cycle = host_clock.cycles();
     if (injector_.kernel_launch_fails(host_clock.cycles())) {
       host_clock.advance(enqueue_overhead_cycles());
       Event ev;
       ev.result.status = LaunchStatus::kFailed;
       ev.completion_host_cycle = host_clock.cycles();
+      trace_launch(cfg, ev.result, start_cycle);
       return ev;
     }
     LaunchResult result = execute(cfg, kernel);
@@ -107,6 +121,7 @@ class VirtualGpu {
         host_clock.cycles() +
         static_cast<std::uint64_t>(cost_.device_to_host_cycles(
             result.device_cycles, dev_, host_));
+    trace_launch(cfg, ev.result, start_cycle);
     return ev;
   }
 
@@ -147,6 +162,24 @@ class VirtualGpu {
   }
 
  private:
+  /// Emits the per-launch trace instant (no-op without a tracer attached).
+  void trace_launch(const LaunchConfig& cfg, const LaunchResult& result,
+                    std::uint64_t start_cycle) {
+    if (tracer_ == nullptr) return;
+    const char* name = result.status == LaunchStatus::kFailed
+                           ? "kernel_launch_failed"
+                           : "kernel_launch";
+    tracer_->instant(
+        gpu_track_, name, start_cycle,
+        {{"blocks", static_cast<double>(cfg.blocks)},
+         {"threads_per_block", static_cast<double>(cfg.threads_per_block)},
+         {"device_cycles", static_cast<double>(result.device_cycles)},
+         {"divergence", result.stats.divergence_waste()}});
+    tracer_->metrics().histogram("kernel_divergence", {0.01, 0.02, 0.05, 0.1,
+                                                       0.2, 0.3, 0.5, 0.75})
+        .observe(result.stats.divergence_waste());
+  }
+
   /// Converts an injected stall into extra device time on the result.
   void apply_stall(LaunchResult& result, const util::VirtualClock& clock) {
     if (injector_.kernel_stalls(clock.cycles())) {
@@ -223,6 +256,8 @@ class VirtualGpu {
   HostProperties host_;
   CostModel cost_;
   util::FaultInjector injector_;
+  obs::Tracer* tracer_ = nullptr;
+  int gpu_track_ = 0;
 };
 
 }  // namespace gpu_mcts::simt

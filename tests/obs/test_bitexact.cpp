@@ -1,0 +1,125 @@
+// Bit-exactness guarantees of the observability PR: every scheme still
+// produces the pre-refactor golden search results, tracing-disabled runs
+// are identical to never constructing a tracer, and the engine factory
+// reproduces the legacy harness factory exactly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "engine/factory.hpp"
+#include "harness/player.hpp"
+#include "obs/trace.hpp"
+#include "reversi/reversi_game.hpp"
+
+namespace gpu_mcts {
+namespace {
+
+using reversi::ReversiGame;
+
+constexpr double kBudget = 0.01;
+
+struct Golden {
+  const char* label;
+  harness::PlayerConfig config;
+  int move;
+  std::uint64_t simulations;
+  std::uint64_t rounds;
+  std::uint64_t tree_nodes;
+  std::uint32_t max_depth;
+  double virtual_seconds;
+  double divergence_waste;
+};
+
+/// Golden numbers recorded from the pre-observability seed (same presets,
+/// seeds, and budget). Any drift here means the refactor changed search
+/// behaviour, not just how it is reported.
+std::vector<Golden> golden_table() {
+  using namespace harness;
+  return {
+      {"seq", sequential_player(11),
+       19, 53, 53, 89, 4, 0.010135017064846416, 0.0},
+      {"root4", root_parallel_player(4, 12),
+       44, 211, 211, 331, 4, 0.010141365187713311, 0.0},
+      {"leaf128x64", leaf_gpu_player(128, 64, 13),
+       19, 384, 3, 5, 1, 0.012604815358361774, 0.037669584824212267},
+      {"block8x32", block_gpu_player(256, 32, 14),
+       44, 768, 3, 40, 1, 0.012935091808873721, 0.032835295591182367},
+      {"block112x128", block_gpu_player(14336, 128, 15),
+       26, 14336, 1, 560, 1, 0.017492901365187712, 0.032910428428500005},
+      {"hybrid8x32", hybrid_player(8, 32, true, 16),
+       37, 834, 3, 125, 3, 0.01303979795221843, 0.0},
+      {"hybrid112x128", hybrid_player(112, 128, true, 17),
+       26, 14421, 1, 560, 1, 0.017644888395904435, 0.0},
+      {"gpuonly8x32", hybrid_player(8, 32, false, 18),
+       37, 768, 3, 40, 1, 0.012869004778156997, 0.0},
+      {"dist2", distributed_player(2, 8, 32, 19),
+       19, 1536, 6, 80, 1, 0.012921247781569965, 0.0},
+      {"flat", flat_mc_player(20),
+       19, 53, 53, 5, 1, 0.010095955631399317, 0.0},
+      {"tree4", tree_parallel_player(4, 21),
+       26, 188, 47, 305, 5, 0.010058430034129692, 0.0},
+  };
+}
+
+void expect_matches(const Golden& g, reversi::Move move,
+                    const mcts::SearchStats& stats) {
+  EXPECT_EQ(static_cast<int>(move), g.move);
+  EXPECT_EQ(stats.simulations, g.simulations);
+  EXPECT_EQ(stats.rounds, g.rounds);
+  EXPECT_EQ(stats.tree_nodes, g.tree_nodes);
+  EXPECT_EQ(stats.max_depth, g.max_depth);
+  EXPECT_DOUBLE_EQ(stats.virtual_seconds, g.virtual_seconds);
+  EXPECT_DOUBLE_EQ(stats.divergence_waste, g.divergence_waste);
+  EXPECT_EQ(stats.cpu_iterations + stats.gpu_simulations, stats.simulations);
+}
+
+TEST(BitExact, EverySchemeReproducesTheSeedGoldenNumbers) {
+  const auto state = ReversiGame::initial_state();
+  for (const Golden& g : golden_table()) {
+    SCOPED_TRACE(g.label);
+    auto player = harness::make_player(g.config);
+    const reversi::Move move = player->choose_move(state, kBudget);
+    expect_matches(g, move, player->last_stats());
+  }
+}
+
+TEST(BitExact, TracingAttachedDoesNotPerturbTheSearch) {
+  const auto state = ReversiGame::initial_state();
+  for (const Golden& g : golden_table()) {
+    SCOPED_TRACE(g.label);
+    obs::Tracer tracer;
+    auto player = harness::make_player(g.config);
+    player->set_tracer(&tracer);
+    const reversi::Move move = player->choose_move(state, kBudget);
+    // Same move, same stats — the tracer only *reads* the virtual clock.
+    expect_matches(g, move, player->last_stats());
+  }
+}
+
+TEST(BitExact, EngineFactoryMatchesLegacyHarnessFactory) {
+  const auto state = ReversiGame::initial_state();
+  for (const Golden& g : golden_table()) {
+    SCOPED_TRACE(g.label);
+    auto via_engine =
+        engine::make_searcher<ReversiGame>(harness::to_spec(g.config));
+    const reversi::Move move = via_engine->choose_move(state, kBudget);
+    expect_matches(g, move, via_engine->last_stats());
+  }
+}
+
+TEST(BitExact, SpecStringsReproducePresetGeometry) {
+  // The spec-string path applies the same per-scheme defaults the presets
+  // do, so "block:8x32" with the preset's seed is the same search.
+  const auto state = ReversiGame::initial_state();
+  const Golden g{"block8x32", harness::block_gpu_player(256, 32, 14),
+                 44, 768, 3, 40, 1, 0.012935091808873721,
+                 0.032835295591182367};
+  auto searcher = engine::make_searcher<ReversiGame>(
+      engine::SchemeSpec::parse("block:8x32").with_seed(14));
+  const reversi::Move move = searcher->choose_move(state, kBudget);
+  expect_matches(g, move, searcher->last_stats());
+}
+
+}  // namespace
+}  // namespace gpu_mcts

@@ -1,0 +1,227 @@
+// Engine API: the SchemeSpec string grammar, the per-scheme search
+// defaults, and make_searcher<G> across every built-in scheme for more
+// than one game.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "engine/factory.hpp"
+#include "engine/spec.hpp"
+#include "game/tictactoe.hpp"
+#include "mcts/config.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/check.hpp"
+
+namespace gpu_mcts::engine {
+namespace {
+
+TEST(SchemeSpecParse, BareSchemes) {
+  for (const char* text : {"seq", "sequential"}) {
+    const SchemeSpec spec = SchemeSpec::parse(text);
+    EXPECT_EQ(spec.scheme, "sequential");
+    EXPECT_EQ(spec.cpu_threads, 1);
+  }
+  for (const char* text : {"flat", "flat-mc"}) {
+    EXPECT_EQ(SchemeSpec::parse(text).scheme, "flat-mc");
+  }
+}
+
+TEST(SchemeSpecParse, CpuSchemesTakeOneDimension) {
+  const SchemeSpec root = SchemeSpec::parse("root:8");
+  EXPECT_EQ(root.scheme, "root-parallel");
+  EXPECT_EQ(root.cpu_threads, 8);
+
+  const SchemeSpec tree = SchemeSpec::parse("tree-parallel:4");
+  EXPECT_EQ(tree.scheme, "tree-parallel");
+  EXPECT_EQ(tree.cpu_threads, 4);
+}
+
+TEST(SchemeSpecParse, GpuSchemesTakeGridGeometry) {
+  const SchemeSpec block = SchemeSpec::parse("block:112x128");
+  EXPECT_EQ(block.scheme, "block-gpu");
+  EXPECT_EQ(block.blocks, 112);
+  EXPECT_EQ(block.threads_per_block, 128);
+
+  const SchemeSpec leaf = SchemeSpec::parse("leaf-gpu:16x64");
+  EXPECT_EQ(leaf.scheme, "leaf-gpu");
+  EXPECT_EQ(leaf.blocks, 16);
+  EXPECT_EQ(leaf.threads_per_block, 64);
+}
+
+TEST(SchemeSpecParse, HybridAndGpuOnlyDifferInOverlap) {
+  const SchemeSpec hybrid = SchemeSpec::parse("hybrid:112x64");
+  EXPECT_EQ(hybrid.scheme, "hybrid");
+  EXPECT_TRUE(hybrid.cpu_overlap);
+
+  const SchemeSpec control = SchemeSpec::parse("gpu-only:112x64");
+  EXPECT_EQ(control.scheme, "hybrid");
+  EXPECT_FALSE(control.cpu_overlap);
+  EXPECT_EQ(control.blocks, 112);
+}
+
+TEST(SchemeSpecParse, DistributedTakesThreeDimensions) {
+  for (const char* text : {"dist:2x56x64", "distributed:2x56x64"}) {
+    const SchemeSpec spec = SchemeSpec::parse(text);
+    EXPECT_EQ(spec.scheme, "distributed");
+    EXPECT_EQ(spec.ranks, 2);
+    EXPECT_EQ(spec.blocks, 56);
+    EXPECT_EQ(spec.threads_per_block, 64);
+  }
+}
+
+TEST(SchemeSpecParse, BatchSchemesGetTheSmallUcbConstant) {
+  // Batch-backpropagating schemes default to kBatchUcbC; per-simulation
+  // schemes keep the textbook sqrt(2).
+  for (const char* text :
+       {"leaf:16x64", "block:8x32", "hybrid:8x32", "gpu-only:8x32",
+        "dist:2x8x32"}) {
+    EXPECT_EQ(SchemeSpec::parse(text).search.ucb_c, mcts::kBatchUcbC) << text;
+  }
+  for (const char* text : {"seq", "flat", "root:4", "tree:4"}) {
+    EXPECT_NE(SchemeSpec::parse(text).search.ucb_c, mcts::kBatchUcbC) << text;
+  }
+}
+
+TEST(SchemeSpecParse, RejectsMalformedSpecs) {
+  for (const char* text :
+       {"", "warp:4", "seq:1", "flat:2x2", "root:", "root:0", "root:-3",
+        "root:4x4", "block:112", "block:112x128x2", "block:112x",
+        "block:ax128", "block:112 x128", "dist:2x56", "leaf:0x64",
+        "hybrid:8x32x1", "gpu_only:8x32"}) {
+    EXPECT_THROW((void)SchemeSpec::parse(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(SchemeSpecParse, ErrorsNameTheOffendingSpecAndGrammar) {
+  try {
+    (void)SchemeSpec::parse("warp:4");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp:4"), std::string::npos);
+    EXPECT_NE(what.find("block:<blocks>x<tpb>"), std::string::npos);
+  }
+}
+
+TEST(SchemeSpecToString, RoundTripsThroughParse) {
+  for (const char* text :
+       {"seq", "flat", "root:8", "tree:4", "leaf:16x64", "block:112x128",
+        "hybrid:112x64", "gpu-only:112x64", "dist:2x56x64"}) {
+    const SchemeSpec spec = SchemeSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text);
+    const SchemeSpec again = SchemeSpec::parse(spec.to_string());
+    EXPECT_EQ(again.scheme, spec.scheme);
+    EXPECT_EQ(again.cpu_threads, spec.cpu_threads);
+    EXPECT_EQ(again.blocks, spec.blocks);
+    EXPECT_EQ(again.threads_per_block, spec.threads_per_block);
+    EXPECT_EQ(again.ranks, spec.ranks);
+    EXPECT_EQ(again.cpu_overlap, spec.cpu_overlap);
+  }
+}
+
+TEST(SchemeSpecBuilders, MatchWhatParseProduces) {
+  EXPECT_EQ(SchemeSpec::block_gpu(112, 128).to_string(),
+            SchemeSpec::parse("block:112x128").to_string());
+  EXPECT_EQ(SchemeSpec::hybrid(8, 32, false).to_string(), "gpu-only:8x32");
+  EXPECT_EQ(SchemeSpec::block_gpu(112, 128).search.ucb_c, mcts::kBatchUcbC);
+}
+
+TEST(SchemeSpecBuilders, WithSeedOnlyChangesTheSeed) {
+  const SchemeSpec base = SchemeSpec::block_gpu(8, 32);
+  const SchemeSpec seeded = base.with_seed(99);
+  EXPECT_EQ(seeded.search.seed, 99u);
+  EXPECT_EQ(seeded.search.ucb_c, base.search.ucb_c);
+  EXPECT_EQ(seeded.to_string(), base.to_string());
+}
+
+TEST(GridFor, SplitsTotalsLikeThePaper) {
+  // At or below one block: a single partial block.
+  EXPECT_EQ(grid_for(48, 64).blocks, 1);
+  EXPECT_EQ(grid_for(48, 64).threads_per_block, 48);
+  EXPECT_EQ(grid_for(64, 64).blocks, 1);
+  // Above: must divide evenly.
+  EXPECT_EQ(grid_for(14336, 128).blocks, 112);
+  EXPECT_EQ(grid_for(14336, 128).threads_per_block, 128);
+  EXPECT_THROW((void)grid_for(100, 64), util::ContractViolation);
+  EXPECT_THROW((void)grid_for(0, 64), util::ContractViolation);
+}
+
+/// Every built-in scheme, sized small enough to search a position quickly.
+const char* kAllSchemes[] = {"seq",        "flat",         "root:2",
+                             "tree:2",     "leaf:2x16",    "block:2x16",
+                             "hybrid:2x16", "gpu-only:2x16", "dist:2x2x16"};
+
+template <typename G>
+bool is_legal(const typename G::State& state, typename G::Move move) {
+  typename G::Move moves[G::kMaxMoves];
+  const int n = G::legal_moves(state, moves);
+  for (int i = 0; i < n; ++i) {
+    if (std::memcmp(&moves[i], &move, sizeof(move)) == 0) return true;
+  }
+  return false;
+}
+
+template <typename G>
+void exercise_all_schemes() {
+  const auto state = G::initial_state();
+  for (const char* text : kAllSchemes) {
+    SCOPED_TRACE(text);
+    auto searcher =
+        make_searcher<G>(SchemeSpec::parse(text).with_seed(2011));
+    ASSERT_NE(searcher, nullptr);
+    EXPECT_FALSE(searcher->name().empty());
+    const auto move = searcher->choose_move(state, 0.002);
+    EXPECT_TRUE(is_legal<G>(state, move));
+    EXPECT_GT(searcher->last_stats().simulations, 0u);
+  }
+}
+
+TEST(MakeSearcher, BuildsEverySchemeForReversi) {
+  exercise_all_schemes<reversi::ReversiGame>();
+}
+
+TEST(MakeSearcher, BuildsEverySchemeForTicTacToe) {
+  exercise_all_schemes<game::TicTacToe>();
+}
+
+TEST(MakeSearcher, StringOverloadParsesAndBuilds) {
+  auto searcher = make_searcher<game::TicTacToe>("block:2x16");
+  EXPECT_FALSE(searcher->name().empty());
+}
+
+TEST(MakeSearcher, UnknownSchemeListsTheRegistry) {
+  SchemeSpec spec;
+  spec.scheme = "warp-parallel";
+  try {
+    (void)make_searcher<reversi::ReversiGame>(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp-parallel"), std::string::npos);
+    EXPECT_NE(what.find("block-gpu"), std::string::npos);
+    EXPECT_NE(what.find("sequential"), std::string::npos);
+  }
+}
+
+TEST(SearcherRegistry, CustomSchemesCanBeRegistered) {
+  using G = game::TicTacToe;
+  auto& registry = SearcherRegistry<G>::instance();
+  registry.add("custom-seq", [](const SchemeSpec& spec) {
+    return std::make_unique<mcts::SequentialSearcher<G>>(
+        spec.search, spec.host, spec.cost);
+  });
+  SchemeSpec spec;
+  spec.scheme = "custom-seq";
+  auto searcher = make_searcher<G>(spec);
+  ASSERT_NE(searcher, nullptr);
+  bool listed = false;
+  for (const auto& name : registry.names()) {
+    if (name == "custom-seq") listed = true;
+  }
+  EXPECT_TRUE(listed);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::engine

@@ -1,0 +1,135 @@
+// MetricsRegistry instruments, plus the SearchStats aggregation semantics
+// the metrics layer reports from (simulation-weighted divergence, the
+// CPU-iteration/GPU-simulation split).
+#include <gtest/gtest.h>
+
+#include "mcts/stats.hpp"
+#include "obs/metrics.hpp"
+
+namespace gpu_mcts {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  obs::Gauge g;
+  g.set(3.5);
+  g.set(-1.0);
+  EXPECT_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, BucketsByInclusiveUpperEdge) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.observe(1.0);    // first bucket (inclusive edge)
+  h.observe(1.5);    // second
+  h.observe(10.0);   // second
+  h.observe(99.0);   // third
+  h.observe(1e6);    // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.5 + 10.0 + 99.0 + 1e6);
+}
+
+TEST(Histogram, EmptyHistogramHasDefinedStats) {
+  obs::Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), util::ContractViolation);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), util::ContractViolation);
+}
+
+TEST(MetricsRegistry, CreateOnFirstUseReturnsSameInstrument) {
+  obs::MetricsRegistry reg;
+  reg.counter("sims").add(5);
+  reg.counter("sims").add(5);
+  EXPECT_EQ(reg.counter("sims").value(), 10u);
+  EXPECT_TRUE(reg.gauges().empty());
+  reg.gauge("depth").set(4);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistry, HistogramBoundsFixedAtCreation) {
+  obs::MetricsRegistry reg;
+  reg.histogram("h", {1.0, 2.0}).observe(1.5);
+  // Later lookups with different bounds reuse the original buckets.
+  reg.histogram("h", {100.0}).observe(1.5);
+  EXPECT_EQ(reg.histogram("h").bounds().size(), 2u);
+  EXPECT_EQ(reg.histogram("h").count(), 2u);
+}
+
+TEST(MetricsRegistry, ClearZeroesButKeepsRegistrations) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").add(1);
+  reg.histogram("h").observe(3.0);
+  reg.clear();
+  EXPECT_EQ(reg.counters().size(), 1u);
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+}
+
+TEST(SearchStats, AccumulateWeighsDivergenceBySimulations) {
+  mcts::SearchStats a;
+  a.simulations = 100;
+  a.divergence_waste = 0.10;
+  mcts::SearchStats b;
+  b.simulations = 300;
+  b.divergence_waste = 0.30;
+  a.accumulate(b);
+  EXPECT_EQ(a.simulations, 400u);
+  // (0.10*100 + 0.30*300) / 400 = 0.25 — the mean over simulations, not the
+  // max of the two searches.
+  EXPECT_DOUBLE_EQ(a.divergence_waste, 0.25);
+}
+
+TEST(SearchStats, AccumulateIntoEmptyTakesOtherMean) {
+  mcts::SearchStats a;  // zero simulations
+  mcts::SearchStats b;
+  b.simulations = 50;
+  b.divergence_waste = 0.2;
+  a.accumulate(b);
+  EXPECT_DOUBLE_EQ(a.divergence_waste, 0.2);
+}
+
+TEST(SearchStats, AccumulateOfTwoEmptiesStaysZero) {
+  mcts::SearchStats a;
+  mcts::SearchStats b;
+  a.accumulate(b);
+  EXPECT_EQ(a.divergence_waste, 0.0);
+  EXPECT_EQ(a.simulations, 0u);
+}
+
+TEST(SearchStats, CpuGpuSplitAccumulates) {
+  mcts::SearchStats a;
+  a.simulations = 10;
+  a.cpu_iterations = 10;
+  mcts::SearchStats b;
+  b.simulations = 768;
+  b.cpu_iterations = 5;
+  b.gpu_simulations = 763;
+  a.accumulate(b);
+  EXPECT_EQ(a.cpu_iterations, 15u);
+  EXPECT_EQ(a.gpu_simulations, 763u);
+  EXPECT_EQ(a.cpu_iterations + a.gpu_simulations, a.simulations);
+}
+
+}  // namespace
+}  // namespace gpu_mcts

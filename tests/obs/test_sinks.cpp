@@ -1,0 +1,205 @@
+// Sinks: the JSONL export round-trips through the schema validator, the
+// Chrome export is well-formed trace_event JSON, and the summary tables
+// report per-phase virtual time.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/schema.hpp"
+#include "obs/sinks.hpp"
+#include "obs/trace.hpp"
+
+namespace gpu_mcts::obs {
+namespace {
+
+/// A small but representative trace: two searches, three tracks, all four
+/// event kinds, args, and metrics of every kind.
+Tracer sample_tracer() {
+  Tracer tracer;
+  tracer.set_frequency(1.0e9);
+  const int gpu = tracer.track("gpu");
+  const int comm = tracer.track("comm");
+
+  (void)tracer.begin_search("move 1 (block)");
+  tracer.begin(Tracer::kHostTrack, "search", 0);
+  tracer.begin(Tracer::kHostTrack, "selection", 10, {{"trees", 8}});
+  tracer.end(Tracer::kHostTrack, "selection", 400);
+  tracer.instant(Tracer::kHostTrack, "expansion", 400, {{"nodes_added", 32}});
+  tracer.instant(gpu, "kernel_launch", 450,
+                 {{"blocks", 8}, {"threads_per_block", 32}});
+  tracer.counter(gpu, "divergence", 500, 0.031);
+  tracer.begin(comm, "allreduce", 600, {{"words", 64.0}});
+  tracer.end(comm, "allreduce", 900);
+  tracer.end(Tracer::kHostTrack, "search", 1000);
+
+  (void)tracer.begin_search("move 2 (block)");
+  tracer.begin(Tracer::kHostTrack, "search", 0);
+  tracer.end(Tracer::kHostTrack, "search", 50);
+
+  tracer.metrics().counter("gpu_simulations").add(768);
+  tracer.metrics().gauge("trees").set(8);
+  tracer.metrics().histogram("playout_plies").observe(58.0);
+  tracer.metrics().histogram("playout_plies").observe(61.0);
+  return tracer;
+}
+
+TEST(JsonlSink, RoundTripsThroughSchemaValidator) {
+  const Tracer tracer = sample_tracer();
+  std::stringstream out;
+  write_jsonl(tracer, out);
+
+  const ValidationResult result = validate_trace_stream(out);
+  EXPECT_TRUE(result.ok) << "line " << result.line << ": " << result.error;
+  EXPECT_EQ(result.events, tracer.merged().size());
+}
+
+TEST(JsonlSink, EmptyTracerStillValidates) {
+  Tracer tracer;
+  std::stringstream out;
+  write_jsonl(tracer, out);
+  const ValidationResult result = validate_trace_stream(out);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.events, 0u);
+}
+
+TEST(JsonlSink, OutputIsDeterministic) {
+  std::stringstream a;
+  std::stringstream b;
+  write_jsonl(sample_tracer(), a);
+  write_jsonl(sample_tracer(), b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(JsonlSink, EscapesAndSpecialNumbersSurviveParsing) {
+  Tracer tracer;
+  (void)tracer.begin_search("label \"quoted\" \\ and\ttab");
+  tracer.counter(Tracer::kHostTrack, "weird", 1, 1e-17);
+  tracer.counter(Tracer::kHostTrack, "weird", 2, -0.0);
+  std::stringstream out;
+  write_jsonl(tracer, out);
+  const ValidationResult result = validate_trace_stream(out);
+  EXPECT_TRUE(result.ok) << "line " << result.line << ": " << result.error;
+}
+
+TEST(ChromeSink, ProducesParseableTraceEventJson) {
+  const Tracer tracer = sample_tracer();
+  std::stringstream out;
+  write_chrome_trace(tracer, out);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(out.str(), doc, error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  const auto& top = doc.object();
+  ASSERT_TRUE(top.contains("traceEvents"));
+  const auto& events = top.at("traceEvents").array();
+  // Metadata (process/thread names) + the 13 trace events.
+  EXPECT_GT(events.size(), 13u);
+
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  std::size_t metadata = 0;
+  for (const auto& e : events) {
+    const auto& obj = e.object();
+    const std::string& ph = obj.at("ph").string();
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (ph == "M") ++metadata;
+    ASSERT_TRUE(obj.contains("pid"));
+    // process_name metadata is per-process, so it carries no tid.
+    if (ph != "M" || obj.at("name").string() != "process_name") {
+      ASSERT_TRUE(obj.contains("tid"));
+    }
+  }
+  EXPECT_EQ(begins, ends);   // spans pair up
+  EXPECT_GE(metadata, 4u);   // 2 searches + >=2 named tracks
+}
+
+TEST(ChromeSink, TimestampsAreVirtualMicroseconds) {
+  Tracer tracer;
+  tracer.set_frequency(2.0e9);  // 2 GHz: 1000 cycles = 0.5 us
+  (void)tracer.begin_search("s");
+  tracer.instant(Tracer::kHostTrack, "tick", 1000);
+  std::stringstream out;
+  write_chrome_trace(tracer, out);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(out.str(), doc, error)) << error;
+  bool found = false;
+  for (const auto& e : doc.object().at("traceEvents").array()) {
+    const auto& obj = e.object();
+    if (obj.at("ph").string() == "i") {
+      EXPECT_DOUBLE_EQ(obj.at("ts").number(), 0.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PhaseTable, ReportsSpanTotalsPerTrack) {
+  const Tracer tracer = sample_tracer();
+  const util::Table table = phase_table(tracer);
+  // Rows: host/search, host/selection, comm/allreduce.
+  ASSERT_EQ(table.rows(), 3u);
+  bool saw_selection = false;
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    if (table.row(r)[1] == "selection") {
+      saw_selection = true;
+      EXPECT_EQ(table.row(r)[0], "host");
+      EXPECT_EQ(table.row(r)[2], "1");  // one selection span
+    }
+  }
+  EXPECT_TRUE(saw_selection);
+}
+
+TEST(MetricsTable, ListsEveryInstrument) {
+  const Tracer tracer = sample_tracer();
+  const util::Table table = metrics_table(tracer.metrics());
+  ASSERT_EQ(table.rows(), 3u);  // counter + gauge + histogram
+  EXPECT_EQ(table.row(0)[0], "gpu_simulations");
+  EXPECT_EQ(table.row(0)[1], "counter");
+  EXPECT_EQ(table.row(1)[0], "trees");
+  EXPECT_EQ(table.row(2)[0], "playout_plies");
+  EXPECT_EQ(table.row(2)[1], "histogram");
+}
+
+TEST(SchemaValidator, RejectsTamperedStreams) {
+  const auto validate_text = [](const std::string& text) {
+    std::stringstream in(text);
+    return validate_trace_stream(in);
+  };
+
+  // A valid stream, produced by the sink.
+  std::stringstream good;
+  write_jsonl(sample_tracer(), good);
+  const std::string text = good.str();
+
+  // Missing trailer.
+  {
+    const std::string cut = text.substr(0, text.rfind("{\"type\":\"end_of_trace\""));
+    EXPECT_FALSE(validate_text(cut).ok);
+  }
+  // Garbage line injected.
+  {
+    EXPECT_FALSE(validate_text("not json\n" + text).ok);
+  }
+  // Event referencing an undeclared track.
+  {
+    std::string bad = text;
+    const std::string needle = "\"track\":0";
+    bad.replace(bad.find(needle, bad.find("\"type\":\"begin\"")), needle.size(),
+                "\"track\":99");
+    EXPECT_FALSE(validate_text(bad).ok);
+  }
+  // Wrong trailer count.
+  {
+    std::string bad = text;
+    const std::string needle = "\"events\":";
+    const std::size_t pos = bad.find(needle);
+    bad.replace(pos, needle.size() + 1, "\"events\":9");
+    EXPECT_FALSE(validate_text(bad).ok);
+  }
+}
+
+}  // namespace
+}  // namespace gpu_mcts::obs

@@ -1,0 +1,207 @@
+// Tracer invariants: span nesting enforcement, deterministic merged()
+// ordering, search epochs, buffer caps with exact drop accounting, clear().
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/clock.hpp"
+
+namespace gpu_mcts::obs {
+namespace {
+
+TEST(Tracer, HostTrackAlwaysExists) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.track_count(), 1u);
+  EXPECT_EQ(tracer.track_name(Tracer::kHostTrack), "host");
+  // Named lookup of "host" resolves to track 0, not a new track.
+  EXPECT_EQ(tracer.track("host"), Tracer::kHostTrack);
+}
+
+TEST(Tracer, TrackCreationIsIdempotent) {
+  Tracer tracer;
+  const int gpu = tracer.track("gpu");
+  EXPECT_EQ(tracer.track("gpu"), gpu);
+  EXPECT_EQ(tracer.track_count(), 2u);
+  const int comm = tracer.track("comm");
+  EXPECT_NE(comm, gpu);
+  EXPECT_EQ(tracer.track_count(), 3u);
+}
+
+TEST(Tracer, SpansNestStrictlyPerTrack) {
+  Tracer tracer;
+  tracer.begin(Tracer::kHostTrack, "search", 0);
+  tracer.begin(Tracer::kHostTrack, "selection", 10);
+  // Closing the outer span while the inner is open violates nesting.
+  EXPECT_THROW(tracer.end(Tracer::kHostTrack, "search", 20),
+               util::ContractViolation);
+  tracer.end(Tracer::kHostTrack, "selection", 20);
+  tracer.end(Tracer::kHostTrack, "search", 30);
+  // Ending with nothing open is also an error.
+  EXPECT_THROW(tracer.end(Tracer::kHostTrack, "search", 40),
+               util::ContractViolation);
+}
+
+TEST(Tracer, TracksNestIndependently) {
+  Tracer tracer;
+  const int gpu = tracer.track("gpu");
+  tracer.begin(Tracer::kHostTrack, "kernel", 0);
+  tracer.begin(gpu, "kernel", 5);
+  // Closing the gpu-track span does not disturb the host-track span.
+  tracer.end(gpu, "kernel", 15);
+  tracer.end(Tracer::kHostTrack, "kernel", 20);
+  EXPECT_EQ(tracer.track_events(Tracer::kHostTrack).size(), 2u);
+  EXPECT_EQ(tracer.track_events(gpu).size(), 2u);
+}
+
+TEST(Tracer, MergedOrderIsDeterministicAndTotal) {
+  // Events deliberately appended out of cycle order across tracks.
+  const auto build = [] {
+    Tracer tracer;
+    const int gpu = tracer.track("gpu");
+    (void)tracer.begin_search("a");
+    tracer.instant(Tracer::kHostTrack, "x", 30);
+    tracer.instant(gpu, "y", 10);
+    tracer.instant(Tracer::kHostTrack, "z", 10);
+    tracer.counter(gpu, "c", 30, 1.0);
+    (void)tracer.begin_search("b");
+    tracer.instant(Tracer::kHostTrack, "w", 0);
+    return tracer;
+  };
+  const Tracer t1 = build();
+  const std::vector<TraceEvent> merged = t1.merged();
+  ASSERT_EQ(merged.size(), 5u);
+  // Primary key: search epoch. Within an epoch: cycles, then track.
+  EXPECT_STREQ(merged[0].name, "z");  // search 0, t=10, host(0)
+  EXPECT_STREQ(merged[1].name, "y");  // search 0, t=10, gpu(1)
+  EXPECT_STREQ(merged[2].name, "x");  // search 0, t=30, host
+  EXPECT_STREQ(merged[3].name, "c");  // search 0, t=30, gpu
+  EXPECT_STREQ(merged[4].name, "w");  // search 1, t=0
+  // Pure function of the emitted events: a rebuild merges identically.
+  const std::vector<TraceEvent> again = build().merged();
+  ASSERT_EQ(again.size(), merged.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_STREQ(again[i].name, merged[i].name);
+    EXPECT_EQ(again[i].cycles, merged[i].cycles);
+    EXPECT_EQ(again[i].track, merged[i].track);
+    EXPECT_EQ(again[i].search, merged[i].search);
+  }
+}
+
+TEST(Tracer, SameCycleSameTrackKeepsProgramOrder) {
+  Tracer tracer;
+  tracer.instant(Tracer::kHostTrack, "first", 7);
+  tracer.instant(Tracer::kHostTrack, "second", 7);
+  tracer.instant(Tracer::kHostTrack, "third", 7);
+  const auto merged = tracer.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_STREQ(merged[0].name, "first");
+  EXPECT_STREQ(merged[1].name, "second");
+  EXPECT_STREQ(merged[2].name, "third");
+}
+
+TEST(Tracer, SearchEpochsStampSubsequentEvents) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.searches(), 0u);
+  const std::uint32_t first = tracer.begin_search("move 1");
+  tracer.instant(Tracer::kHostTrack, "a", 1);
+  const std::uint32_t second = tracer.begin_search("move 2");
+  tracer.instant(Tracer::kHostTrack, "b", 1);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(second, 1u);
+  EXPECT_EQ(tracer.searches(), 2u);
+  const auto& events = tracer.track_events(Tracer::kHostTrack);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].search, 0u);
+  EXPECT_EQ(events[1].search, 1u);
+  EXPECT_EQ(tracer.search_labels()[1], "move 2");
+}
+
+TEST(Tracer, CapDropsWithExactCounts) {
+  Tracer tracer;
+  tracer.set_max_events_per_track(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.instant(Tracer::kHostTrack, "e", static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(tracer.emitted(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.track_events(Tracer::kHostTrack).size(), 4u);
+}
+
+TEST(Tracer, NestingSurvivesBufferOverflow) {
+  Tracer tracer;
+  tracer.set_max_events_per_track(1);
+  tracer.begin(Tracer::kHostTrack, "outer", 0);  // recorded
+  tracer.begin(Tracer::kHostTrack, "inner", 1);  // dropped, but still open
+  EXPECT_THROW(tracer.end(Tracer::kHostTrack, "outer", 2),
+               util::ContractViolation);
+  tracer.end(Tracer::kHostTrack, "inner", 2);
+  tracer.end(Tracer::kHostTrack, "outer", 3);
+  EXPECT_EQ(tracer.dropped(), 3u);
+}
+
+TEST(Tracer, ArgsAreCappedAtMax) {
+  Tracer tracer;
+  tracer.instant(Tracer::kHostTrack, "geo", 0,
+                 {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
+  const auto& e = tracer.track_events(Tracer::kHostTrack).front();
+  EXPECT_EQ(e.arg_count, TraceEvent::kMaxArgs);
+  EXPECT_STREQ(e.args[0].name, "a");
+  EXPECT_EQ(e.args[3].value, 4.0);
+}
+
+TEST(Tracer, ClearKeepsTracksAndDropsEverythingElse) {
+  Tracer tracer;
+  const int gpu = tracer.track("gpu");
+  (void)tracer.begin_search("s");
+  tracer.instant(gpu, "e", 1);
+  tracer.metrics().counter("n").add(3);
+  tracer.clear();
+  EXPECT_EQ(tracer.track_count(), 2u);        // ids stay valid
+  EXPECT_EQ(tracer.track("gpu"), gpu);
+  EXPECT_EQ(tracer.emitted(), 0u);
+  EXPECT_EQ(tracer.searches(), 0u);
+  EXPECT_EQ(tracer.metrics().counter("n").value(), 0u);  // zeroed, not gone
+}
+
+TEST(ScopedSpan, BeginsAndEndsWithClockCycles) {
+  Tracer tracer;
+  util::VirtualClock clock(1000.0);
+  clock.advance(5);
+  {
+    ScopedSpan span(&tracer, Tracer::kHostTrack, "phase", clock);
+    clock.advance(10);
+  }
+  const auto& events = tracer.track_events(Tracer::kHostTrack);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kBegin);
+  EXPECT_EQ(events[0].cycles, 5u);
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kEnd);
+  EXPECT_EQ(events[1].cycles, 15u);
+}
+
+TEST(ScopedSpan, NullTracerIsANoOp) {
+  util::VirtualClock clock(1000.0);
+  ScopedSpan span(nullptr, Tracer::kHostTrack, "phase", clock);
+  // Destructor must also be a no-op; reaching here without a crash is the
+  // assertion.
+  SUCCEED();
+}
+
+TEST(ScopedSpan, EndsSpanWhenBodyThrows) {
+  Tracer tracer;
+  util::VirtualClock clock(1000.0);
+  try {
+    ScopedSpan span(&tracer, Tracer::kHostTrack, "risky", clock);
+    throw std::runtime_error("transfer fault");
+  } catch (const std::runtime_error&) {
+  }
+  const auto& events = tracer.track_events(Tracer::kHostTrack);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kEnd);
+  // The track is clean: a fresh span opens and closes without violation.
+  tracer.begin(Tracer::kHostTrack, "next", 1);
+  tracer.end(Tracer::kHostTrack, "next", 2);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::obs

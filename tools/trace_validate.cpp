@@ -1,0 +1,38 @@
+// trace_validate: checks a JSONL trace export against schema v1.
+//
+//   ./trace_validate out.jsonl [more.jsonl ...]
+//
+// Exit 0 when every file validates; exit 1 with "<file>:<line>: <error>" on
+// the first violation. CI runs this over traces freshly produced by the
+// bench binaries' --trace flag, so schema drift fails the build.
+#include <fstream>
+#include <iostream>
+
+#include "obs/schema.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: trace_validate TRACE.jsonl [...]\n";
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i]);
+    if (!file) {
+      std::cerr << argv[i] << ": cannot open\n";
+      ok = false;
+      continue;
+    }
+    const gpu_mcts::obs::ValidationResult result =
+        gpu_mcts::obs::validate_trace_stream(file);
+    if (!result.ok) {
+      std::cerr << argv[i] << ":" << result.line << ": " << result.error
+                << '\n';
+      ok = false;
+      continue;
+    }
+    std::cout << argv[i] << ": ok (" << result.lines << " lines, "
+              << result.events << " events)\n";
+  }
+  return ok ? 0 : 1;
+}
