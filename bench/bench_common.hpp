@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -30,6 +31,10 @@ struct CommonFlags {
   /// players and exports the merged trace here (JSONL / Chrome formats).
   std::string trace_jsonl;
   std::string trace_chrome;
+  /// Host worker threads for the VirtualGpu execution backend (0 = inherit
+  /// GPU_MCTS_EXEC_THREADS). Bit-identical results for every value; this
+  /// only changes wall-clock time (DESIGN.md §9).
+  int exec_threads = 0;
 
   static CommonFlags parse(const util::CliArgs& args) {
     CommonFlags f;
@@ -44,6 +49,14 @@ struct CommonFlags {
     f.out_dir = args.get_string("out", "");
     f.trace_jsonl = args.get_string("trace", "");
     f.trace_chrome = args.get_string("chrome-trace", "");
+    f.exec_threads = static_cast<int>(args.get_uint("exec-threads", 0));
+    // Export through the environment knob so every VirtualGpu the bench
+    // constructs (subjects, opponents, probes) inherits it without each
+    // call site threading the value through its SchemeSpec.
+    if (f.exec_threads > 0) {
+      ::setenv("GPU_MCTS_EXEC_THREADS",
+               std::to_string(f.exec_threads).c_str(), /*overwrite=*/1);
+    }
     return f;
   }
 
@@ -110,7 +123,8 @@ inline void print_header(const std::string& title, const CommonFlags& f) {
             << "games/config=" << f.games << "  budget=" << f.budget
             << "s (virtual)  seed=" << f.seed << "\n"
             << "flags: --games N --budget SECONDS --seed N --csv --quick"
-               " --trace FILE.jsonl --chrome-trace FILE.json\n\n";
+               " --trace FILE.jsonl --chrome-trace FILE.json"
+               " --exec-threads N\n\n";
 }
 
 inline void emit(const util::Table& table, const CommonFlags& f,

@@ -1,0 +1,60 @@
+// Wall-clock microbenchmark for the VirtualGpu execution backend
+// (DESIGN.md §9): the same 112x128 playout-kernel launch, executed
+// sequentially and on worker pools of increasing size. Results are
+// bit-identical for every thread count — this measures the only thing the
+// knob changes, host throughput. The per-iteration lane count is reported
+// through SetItemsProcessed, so `items_per_second` is directly comparable
+// across thread counts (the acceptance bar is >= 2x at 4 workers).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "reversi/reversi_game.hpp"
+#include "simt/playout_kernel.hpp"
+#include "simt/vgpu.hpp"
+#include "util/clock.hpp"
+
+namespace {
+
+using namespace gpu_mcts;
+using reversi::ReversiGame;
+
+// One full-device launch (the paper's 112x128 grid) per iteration; the
+// benchmark argument is the execution policy's thread count.
+void BM_ExecBackendLaunch(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kBlocks = 112;
+  constexpr int kThreadsPerBlock = 128;
+
+  simt::VirtualGpu gpu;
+  gpu.set_execution_policy(simt::ExecutionPolicy{.threads = threads});
+  const simt::LaunchConfig cfg{.blocks = kBlocks,
+                               .threads_per_block = kThreadsPerBlock};
+  const auto root = ReversiGame::initial_state();
+  std::vector<ReversiGame::State> roots(kBlocks, root);
+  std::vector<simt::BlockResult> results(kBlocks);
+  std::uint64_t round = 0;
+
+  for (auto _ : state) {
+    for (auto& r : results) r = simt::BlockResult{};
+    simt::PlayoutKernel<ReversiGame> kernel(roots, 7, round++,
+                                            std::span(results));
+    util::VirtualClock clock(gpu.host().clock_hz);
+    benchmark::DoNotOptimize(gpu.launch(cfg, kernel, clock));
+  }
+  state.SetItemsProcessed(state.iterations() * kBlocks * kThreadsPerBlock);
+  state.counters["exec_threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ExecBackendLaunch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,7 +3,8 @@
 // Optionally record the search as a virtual-time trace.
 //
 //   ./quickstart [--scheme block:112x128] [--budget 0.05]
-//                [--trace out.jsonl] [--chrome-trace out.json]
+//                [--exec-threads N] [--trace out.jsonl]
+//                [--chrome-trace out.json]
 //
 // Scheme spec examples: "seq", "root:8", "leaf:8x128", "block:112x128",
 // "hybrid:112x128", "dist:4x56x128" (see engine/spec.hpp for the grammar).
@@ -29,6 +30,10 @@ int main(int argc, char** argv) {
   //    same spec builds a searcher for any registered game.
   engine::SchemeSpec spec = engine::SchemeSpec::parse(spec_text);
   spec.search.seed = args.get_uint("seed", 2011);
+  // Host workers for the virtual GPU's execution backend. Results are
+  // bit-identical for every value — this only buys wall-clock speed
+  // (DESIGN.md §9). 0 inherits GPU_MCTS_EXEC_THREADS.
+  spec.exec_threads = static_cast<int>(args.get_uint("exec-threads", 0));
   auto player = engine::make_searcher<reversi::ReversiGame>(spec);
 
   // 2. Optionally attach a tracer: spans and metrics in *virtual* time.

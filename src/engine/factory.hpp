@@ -49,6 +49,10 @@ template <typename Spec = SchemeSpec>
             : util::derive_seed(spec.search.seed, 0x6f0a17ULL);
     gpu.set_fault_injector(util::FaultInjector(spec.gpu_faults, seed));
   }
+  if (spec.exec_threads > 0) {
+    gpu.set_execution_policy(
+        simt::ExecutionPolicy{.threads = spec.exec_threads});
+  }
   return gpu;
 }
 

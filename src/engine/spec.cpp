@@ -199,6 +199,12 @@ SchemeSpec SchemeSpec::with_seed(std::uint64_t seed) const {
   return copy;
 }
 
+SchemeSpec SchemeSpec::with_exec_threads(int threads) const {
+  SchemeSpec copy = *this;
+  copy.exec_threads = threads;
+  return copy;
+}
+
 std::string SchemeSpec::to_string() const {
   const std::string grid = std::to_string(blocks) + "x" +
                            std::to_string(threads_per_block);

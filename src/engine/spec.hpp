@@ -56,6 +56,11 @@ struct SchemeSpec {
   int ranks = 1;
   /// Hybrid: disable to get a GPU-only control with identical plumbing.
   bool cpu_overlap = true;
+  /// Host worker threads for the VirtualGpu execution backend (kernel grids
+  /// and per-tree host phases; results are bit-identical for every value —
+  /// the knob only buys wall-clock speed, see DESIGN.md §9). 0 (the
+  /// default) inherits the GPU_MCTS_EXEC_THREADS environment variable.
+  int exec_threads = 0;
 
   /// Search parameters (seed, UCB constant, node cap).
   mcts::SearchConfig search{};
@@ -102,6 +107,9 @@ struct SchemeSpec {
   /// Returns a copy with `search.seed` replaced — the common chaining form:
   ///   make_searcher<G>(SchemeSpec::block_gpu(112, 128).with_seed(seed))
   [[nodiscard]] SchemeSpec with_seed(std::uint64_t seed) const;
+
+  /// Returns a copy with `exec_threads` replaced (the --exec-threads flag).
+  [[nodiscard]] SchemeSpec with_exec_threads(int threads) const;
 
   /// Canonical spec string; parse(to_string()) reproduces the geometry.
   [[nodiscard]] std::string to_string() const;

@@ -14,6 +14,12 @@ struct SearchStats {
   std::uint64_t simulations = 0;
   /// Iterations (sequential) or kernel rounds (GPU schemes).
   std::uint64_t rounds = 0;
+  /// Rounds whose kernel launched and whose results were backpropagated —
+  /// the denominator of `divergence_waste`. Excludes CPU-fallback rounds,
+  /// fault-failed rounds, and terminal-leaf shortcut rounds, all of which
+  /// ran no kernel (gpu_rounds == rounds for fault-free GPU schemes; 0 for
+  /// CPU schemes).
+  std::uint64_t gpu_rounds = 0;
   /// Simulations run as plain CPU iterations (sequential schemes, hybrid
   /// overlap, terminal-leaf shortcuts, fault-recovery fallback batches).
   /// cpu_iterations + gpu_simulations == simulations for every scheme.
@@ -53,6 +59,7 @@ struct SearchStats {
     }
     simulations += other.simulations;
     rounds += other.rounds;
+    gpu_rounds += other.gpu_rounds;
     cpu_iterations += other.cpu_iterations;
     gpu_simulations += other.gpu_simulations;
     tree_nodes += other.tree_nodes;

@@ -180,7 +180,22 @@ class Tree {
     std::vector<std::pair<NodeIndex, NodeIndex>> queue;  // (old, new parent)
     Node<G> new_root = nodes_[child];
     new_root.parent = kNoNode;
-    new_root.mover = game::opponent_of(G::player_to_move(new_root_state));
+    const game::Player new_mover =
+        game::opponent_of(G::player_to_move(new_root_state));
+    if (new_mover != new_root.mover) {
+      // The recomputed perspective flipped relative to the stored node's —
+      // in Reversi this happens when a pass sits between the stored child
+      // and `new_root_state` (the same side is to move again). The stored
+      // wins/win_squares are sums of per-playout values x from the old
+      // mover's perspective; re-express them for the new mover (values
+      // become 1 - x): sum(1-x) = n - sum(x) and
+      // sum((1-x)^2) = n - 2*sum(x) + sum(x^2).
+      const double n_d = static_cast<double>(new_root.visits);
+      const double old_wins = new_root.wins;
+      new_root.wins = n_d - old_wins;
+      new_root.win_squares = n_d - 2.0 * old_wins + new_root.win_squares;
+    }
+    new_root.mover = new_mover;
     fresh.push_back(new_root);
     queue.emplace_back(child, 0);
 
@@ -314,7 +329,15 @@ class Tree {
     nodes_[index].next_unexpanded = 0;
   }
 
-  /// Selection-bound argmax over the (fully-visited) children of `index`.
+  /// Selection-bound argmax over the children of `index`. Children are
+  /// normally all visited by the time this runs, but a child can legitimately
+  /// carry zero visits: in the hybrid scheme the GPU round's selections sit
+  /// un-backpropagated while overlap iterations descend the same tree, and a
+  /// fault-failed round loses its backpropagation entirely. Such children are
+  /// preferred outright (first-play urgency — an unvisited arm has an
+  /// infinite upper confidence bound); dividing by their zero visit count
+  /// would produce NaN scores that silently degrade the argmax to "first
+  /// child".
   [[nodiscard]] NodeIndex best_ucb_child(NodeIndex index) const {
     const Node<G>& node = nodes_[index];
     const double log_parent =
@@ -324,6 +347,7 @@ class Tree {
     for (NodeIndex c = node.first_child;
          c < node.first_child + node.num_children; ++c) {
       const Node<G>& child = nodes_[c];
+      if (child.visits == 0) return c;
       const double v = static_cast<double>(child.visits);
       const double mean = child.wins / v;
       double explore;
@@ -338,6 +362,9 @@ class Tree {
         explore = std::sqrt(log_parent / v);
       }
       const double score = mean + config_.ucb_c * explore;
+#ifdef GPU_MCTS_SANITIZE_ENABLED
+      util::check(!std::isnan(score), "UCB score must not be NaN");
+#endif
       if (score > best_score) {
         best_score = score;
         best = c;

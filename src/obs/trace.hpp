@@ -24,6 +24,17 @@
 // string literals (or otherwise outlive the tracer): events store the
 // pointer, not a copy. All in-tree call sites use the stable phase
 // vocabulary documented in DESIGN.md §8.
+//
+// Threading: a Tracer is single-owner — it must only be driven from the
+// thread that controls the traced subject. The multi-threaded execution
+// backend (DESIGN.md §9) honours this by keeping every instrumentation site
+// on the controlling thread: pool workers report through canonical
+// per-block / per-tree slots that the controller folds (and traces)
+// deterministically afterwards, which is also what keeps traces
+// bit-identical across thread counts. Sanitized builds
+// (GPU_MCTS_SANITIZE_ENABLED) enforce the affinity on every event;
+// bind_to_current_thread() re-homes a tracer that was constructed on a
+// different thread than the one driving the search.
 #pragma once
 
 #include <array>
@@ -32,6 +43,7 @@
 #include <deque>
 #include <initializer_list>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -180,6 +192,13 @@ class Tracer {
     max_events_per_track_ = cap;
   }
 
+  /// Re-homes the tracer onto the calling thread (for subjects driven from a
+  /// different thread than the one that constructed the tracer). Only the
+  /// owning thread may emit events; sanitized builds enforce this.
+  void bind_to_current_thread() noexcept {
+    owner_ = std::this_thread::get_id();
+  }
+
   /// All events in a deterministic total order: ascending (cycles, track,
   /// per-track sequence). A pure function of the emitted events — stable
   /// across runs and hosts, which is what makes trace diffs meaningful.
@@ -211,6 +230,14 @@ class Tracer {
   };
 
   [[nodiscard]] Track& track_at(int track_id) {
+#ifdef GPU_MCTS_SANITIZE_ENABLED
+    // Catch cross-thread emission in sanitized builds: the tracer's buffers
+    // are unsynchronized by design (events must land in deterministic
+    // program order), so any off-owner emission is a correctness bug, not
+    // merely a race.
+    util::check(std::this_thread::get_id() == owner_,
+                "trace events must come from the owning thread");
+#endif
     util::check(track_id >= 0 &&
                     static_cast<std::size_t>(track_id) < tracks_.size(),
                 "trace event on an existing track");
@@ -247,6 +274,8 @@ class Tracer {
   // deque: track() may grow the container while other tracks' buffers are
   // being appended; deque never relocates existing elements.
   std::deque<Track> tracks_;
+  /// The only thread allowed to emit events (see bind_to_current_thread).
+  std::thread::id owner_ = std::this_thread::get_id();
   std::vector<std::string> search_labels_;
   std::uint32_t current_search_ = 0;
   double frequency_hz_ = 1.0e9;

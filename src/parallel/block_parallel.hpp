@@ -31,6 +31,7 @@
 #include "util/fault.hpp"
 #include "util/retry.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gpu_mcts::parallel {
 
@@ -95,6 +96,12 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
     std::size_t fallback_cursor = 0;
     int failed_rounds = 0;
     bool gpu_abandoned = false;
+    // Threaded execution backend: the same pool that partitions kernel
+    // grids also runs the per-tree host phases. Each tree owns its RNG and
+    // arena, so running selection/backpropagation for different trees
+    // concurrently cannot change any tree's evolution; virtual time is
+    // charged exactly as on the sequential path. nullptr = sequential.
+    util::ThreadPool* pool = gpu_.worker_pool();
 
     constexpr int host_track = obs::Tracer::kHostTrack;
     if (tracer_ != nullptr) {
@@ -143,13 +150,32 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
         {
           obs::ScopedSpan span(tracer_, host_track, "selection", clock,
                                {{"trees", static_cast<double>(trees_n)}});
-          for (std::size_t t = 0; t < trees_n; ++t) {
+          const auto select_tree = [&](std::size_t t) {
             const mcts::Selection<G> sel = trees[t]->select();
             roots.host()[t] = sel.state;
             leaves[t] = sel.node;
             terminal[t] = sel.terminal ? 1 : 0;
+          };
+          if (pool != nullptr) {
+            pool->parallel_for_ranges(trees_n,
+                                      [&](std::size_t begin, std::size_t end) {
+                                        for (std::size_t t = begin; t < end;
+                                             ++t) {
+                                          select_tree(t);
+                                        }
+                                      });
+            // The host core still performs every tree operation in the
+            // model: charge the same per-tree cycles the sequential loop
+            // accumulates one tree at a time.
             clock.advance(
+                trees_n *
                 static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+          } else {
+            for (std::size_t t = 0; t < trees_n; ++t) {
+              select_tree(t);
+              clock.advance(
+                  static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+            }
           }
         }
         if (tracer_ != nullptr) {
@@ -186,13 +212,13 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
                 });
           }
           if (launched) {
-            waste_sum += launch.stats.divergence_waste();
             if (tracer_ != nullptr) {
               tracer_->counter(host_track, "divergence", clock.cycles(),
                                launch.stats.divergence_waste());
             }
 
-            // Sequential host part: read back and backpropagate per tree.
+            // Host part: read back and backpropagate per tree (each tree's
+            // update is independent, so the pool may fan them out).
             {
               obs::ScopedSpan span(tracer_, host_track, "download", clock);
               results.download(clock);
@@ -200,15 +226,30 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
             const std::span<const simt::BlockResult> tallies =
                 results.host_checked();
             obs::ScopedSpan span(tracer_, host_track, "backprop", clock);
+            if (pool != nullptr) {
+              pool->parallel_for_ranges(
+                  trees_n, [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t t = begin; t < end; ++t) {
+                      trees[t]->backpropagate(leaves[t],
+                                              tallies[t].value_first,
+                                              tallies[t].simulations,
+                                              tallies[t].value_sq_first);
+                    }
+                  });
+            }
             for (std::size_t t = 0; t < trees_n; ++t) {
               if (terminal[t]) {
                 // Lanes replayed a terminal state: every playout returned
                 // its exact value, so the aggregate is still correct;
                 // nothing special to do. (Kept explicit for clarity.)
               }
-              trees[t]->backpropagate(leaves[t], tallies[t].value_first,
-                                      tallies[t].simulations,
-                                      tallies[t].value_sq_first);
+              if (pool == nullptr) {
+                trees[t]->backpropagate(leaves[t], tallies[t].value_first,
+                                        tallies[t].simulations,
+                                        tallies[t].value_sq_first);
+              }
+              // Stats and tracer observations stay on the controlling
+              // thread, in tree order — identical with and without the pool.
               stats_.simulations += tallies[t].simulations;
               stats_.gpu_simulations += tallies[t].simulations;
               if (tracer_ != nullptr) {
@@ -222,6 +263,12 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
                 }
               }
             }
+            // Divergence is averaged over *successful* GPU rounds only: a
+            // failed or CPU-fallback round launched no kernel (or lost its
+            // results), and counting it in the denominator understates
+            // divergence under faults.
+            waste_sum += launch.stats.divergence_waste();
+            stats_.gpu_rounds += 1;
             gpu_round_ok = true;
           }
         } catch (const util::FaultError&) {
@@ -260,8 +307,9 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
         stats_.max_depth = tree->max_depth();
     }
     stats_.virtual_seconds = clock.seconds();
-    if (stats_.rounds > 0)
-      stats_.divergence_waste = waste_sum / static_cast<double>(stats_.rounds);
+    if (stats_.gpu_rounds > 0)
+      stats_.divergence_waste =
+          waste_sum / static_cast<double>(stats_.gpu_rounds);
     stats_.faults = fault_log;
 
     if (tracer_ != nullptr) {

@@ -29,6 +29,7 @@
 #include "util/fault.hpp"
 #include "util/retry.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gpu_mcts::parallel {
 
@@ -84,10 +85,17 @@ class HybridSearcher final : public mcts::Searcher<G> {
     std::vector<mcts::NodeIndex> leaves(trees_n);
 
     stats_ = {};
+    double waste_sum = 0.0;
     std::uint64_t round = 0;
     std::size_t cpu_tree_cursor = 0;
     int failed_rounds = 0;
     bool gpu_abandoned = false;
+    // Threaded execution backend: the same pool that partitions kernel
+    // grids also fans out the per-tree host phases (each tree owns its RNG
+    // and arena, so parallel order cannot change results). nullptr =
+    // sequential. The overlap iterations stay sequential: they share one
+    // cpu_rng and a rotating cursor, so their order is load-bearing.
+    util::ThreadPool* pool = gpu_.worker_pool();
 
     constexpr int host_track = obs::Tracer::kHostTrack;
     const int gpu_track = tracer_ != nullptr ? tracer_->track("gpu") : 0;
@@ -130,12 +138,29 @@ class HybridSearcher final : public mcts::Searcher<G> {
         {
           obs::ScopedSpan span(tracer_, host_track, "selection", clock,
                                {{"trees", static_cast<double>(trees_n)}});
-          for (std::size_t t = 0; t < trees_n; ++t) {
+          const auto select_tree = [&](std::size_t t) {
             const mcts::Selection<G> sel = trees[t]->select();
             roots.host()[t] = sel.state;
             leaves[t] = sel.node;
+          };
+          if (pool != nullptr) {
+            pool->parallel_for_ranges(trees_n,
+                                      [&](std::size_t begin, std::size_t end) {
+                                        for (std::size_t t = begin; t < end;
+                                             ++t) {
+                                          select_tree(t);
+                                        }
+                                      });
+            // Same virtual-time charge as the sequential loop, in one step.
             clock.advance(
+                trees_n *
                 static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+          } else {
+            for (std::size_t t = 0; t < trees_n; ++t) {
+              select_tree(t);
+              clock.advance(
+                  static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+            }
           }
         }
         try {
@@ -167,6 +192,8 @@ class HybridSearcher final : public mcts::Searcher<G> {
                    {"threads_per_block",
                     static_cast<double>(options_.launch.threads_per_block)}});
               tracer_->end(gpu_track, "kernel", event.completion_host_cycle);
+              tracer_->counter(host_track, "divergence", clock.cycles(),
+                               event.result.stats.divergence_waste());
             }
             // "CPU can work here!" — iterate sequential MCTS on the same
             // trees until the gpu-ready event fires.
@@ -192,10 +219,25 @@ class HybridSearcher final : public mcts::Searcher<G> {
             const std::span<const simt::BlockResult> tallies =
                 results.host_checked();
             obs::ScopedSpan span(tracer_, host_track, "backprop", clock);
+            if (pool != nullptr) {
+              pool->parallel_for_ranges(
+                  trees_n, [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t t = begin; t < end; ++t) {
+                      trees[t]->backpropagate(leaves[t],
+                                              tallies[t].value_first,
+                                              tallies[t].simulations,
+                                              tallies[t].value_sq_first);
+                    }
+                  });
+            }
             for (std::size_t t = 0; t < trees_n; ++t) {
-              trees[t]->backpropagate(leaves[t], tallies[t].value_first,
-                                      tallies[t].simulations,
-                                      tallies[t].value_sq_first);
+              if (pool == nullptr) {
+                trees[t]->backpropagate(leaves[t], tallies[t].value_first,
+                                        tallies[t].simulations,
+                                        tallies[t].value_sq_first);
+              }
+              // Stats and tracer observations stay on the controlling
+              // thread, in tree order — identical with and without the pool.
               stats_.simulations += tallies[t].simulations;
               stats_.gpu_simulations += tallies[t].simulations;
               if (tracer_ != nullptr) {
@@ -204,6 +246,11 @@ class HybridSearcher final : public mcts::Searcher<G> {
                     .observe(tallies[t].simulations);
               }
             }
+            // Divergence is averaged over *successful* GPU rounds only
+            // (same audit as BlockParallelGpuSearcher): failed and
+            // CPU-fallback rounds produced no kernel results.
+            waste_sum += event.result.stats.divergence_waste();
+            stats_.gpu_rounds += 1;
             gpu_round_ok = true;
           }
         } catch (const util::FaultError&) {
@@ -246,6 +293,9 @@ class HybridSearcher final : public mcts::Searcher<G> {
         stats_.max_depth = tree->max_depth();
     }
     stats_.virtual_seconds = clock.seconds();
+    if (stats_.gpu_rounds > 0)
+      stats_.divergence_waste =
+          waste_sum / static_cast<double>(stats_.gpu_rounds);
     stats_.faults = fault_log;
 
     if (tracer_ != nullptr) {

@@ -110,6 +110,7 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
         }
         stats_.simulations += tally.simulations;
         stats_.gpu_simulations += tally.simulations;
+        stats_.gpu_rounds += 1;
         waste_sum += launch.stats.divergence_waste();
         if (tracer_ != nullptr) {
           tracer_->counter(host_track, "divergence", clock.cycles(),
@@ -128,8 +129,11 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
     stats_.tree_nodes = tree.node_count();
     stats_.max_depth = tree.max_depth();
     stats_.virtual_seconds = clock.seconds();
-    if (stats_.rounds > 0)
-      stats_.divergence_waste = waste_sum / static_cast<double>(stats_.rounds);
+    // Averaged over rounds that actually launched a kernel: terminal-leaf
+    // shortcut rounds are CPU-only and would dilute the figure.
+    if (stats_.gpu_rounds > 0)
+      stats_.divergence_waste =
+          waste_sum / static_cast<double>(stats_.gpu_rounds);
     if (tracer_ != nullptr) {
       tracer_->counter(host_track, "simulations", clock.cycles(),
                        static_cast<double>(stats_.simulations));

@@ -21,6 +21,14 @@ namespace gpu_mcts::simt {
 ///  * make_lane(id)        — construct the lane's private state (registers).
 ///  * lane_step(state)     — execute one SIMT step; false once the lane is done.
 ///  * lane_finish(state,id)— commit the lane's result to output buffers.
+///
+/// Threaded execution contract (simt::ExecutionPolicy with threads > 1):
+/// make_lane and lane_step may run concurrently for lanes of *different
+/// blocks* and must therefore not mutate kernel-shared state — they should
+/// read shared inputs and write only the lane's own state, exactly as a real
+/// GPU kernel body would. lane_finish is exempt: the executor always commits
+/// it from the launching thread, in canonical (block, thread) order, so
+/// shared output accumulation stays deterministic.
 template <typename K>
 concept LaneKernel = requires(K k, typename K::LaneState& lane,
                               const LaneId& id) {

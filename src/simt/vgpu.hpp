@@ -7,9 +7,20 @@
 // cycle at which the device will signal completion, enabling the paper's
 // hybrid CPU/GPU overlap (Figure 4: "kernel execution call ... cpu can work
 // here ... gpu ready event").
+//
+// Execution backend (DESIGN.md §9): blocks are independent by construction
+// (per-lane RNG streams, per-block result slots), so the grid can be
+// partitioned by block across a worker pool. The threaded path stages every
+// lane's final state and commits lane_finish() on the calling thread in
+// canonical (block, thread) order, and per-warp traces land in canonical
+// slots — results, divergence statistics, and modeled device cycles are
+// bit-identical to the sequential path. threads == 1 (the default) runs the
+// original single-thread loop.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "obs/trace.hpp"
@@ -21,6 +32,7 @@
 #include "util/check.hpp"
 #include "util/clock.hpp"
 #include "util/fault.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gpu_mcts::simt {
 
@@ -29,6 +41,30 @@ struct Event {
   /// Host-clock cycle at which the kernel (plus launch overhead) completes.
   std::uint64_t completion_host_cycle = 0;
   LaunchResult result;
+};
+
+/// How the VirtualGpu executes a grid on the host. `threads == 1` (the
+/// default) runs blocks sequentially on the calling thread; `threads > 1`
+/// partitions the grid by block across that many pool workers. Kernel
+/// outputs, warp traces, and device cycles are bit-identical either way
+/// (the point of the backend is wall-clock speed, not modeled behaviour),
+/// which requires kernels' make_lane/lane_step to be safe to call
+/// concurrently for lanes of different blocks — true of every in-tree
+/// kernel, whose lane steps touch only the lane's own state.
+struct ExecutionPolicy {
+  int threads = 1;
+
+  /// Policy from the GPU_MCTS_EXEC_THREADS environment variable (default 1,
+  /// clamped to [1, 1024]). Freshly constructed VirtualGpus start from this,
+  /// so benches and examples pick up the knob without plumbing.
+  [[nodiscard]] static ExecutionPolicy from_env() {
+    ExecutionPolicy policy;
+    if (const char* env = std::getenv("GPU_MCTS_EXEC_THREADS")) {
+      const int n = std::atoi(env);
+      policy.threads = n < 1 ? 1 : (n > 1024 ? 1024 : n);
+    }
+    return policy;
+  }
 };
 
 class VirtualGpu {
@@ -57,10 +93,38 @@ class VirtualGpu {
 
   /// Attaches an observability tracer: every launch emits a "kernel_launch"
   /// instant on the "gpu" track with grid geometry, modeled device cycles,
-  /// and divergence waste. nullptr (the default) is zero-cost.
+  /// and divergence waste. nullptr (the default) is zero-cost. The tracer is
+  /// only touched from the launching thread — worker threads report through
+  /// canonical per-block slots that are folded on the caller (DESIGN.md §9).
   void set_tracer(obs::Tracer* tracer) {
     tracer_ = tracer;
     gpu_track_ = tracer != nullptr ? tracer->track("gpu") : 0;
+  }
+
+  /// Selects the execution backend. Dropping to 1 thread releases the pool;
+  /// raising the count re-creates it lazily on the next launch.
+  void set_execution_policy(ExecutionPolicy policy) {
+    util::expects(policy.threads >= 1, "execution threads >= 1");
+    exec_ = policy;
+    pool_.reset();
+  }
+  [[nodiscard]] const ExecutionPolicy& execution_policy() const noexcept {
+    return exec_;
+  }
+
+  /// The worker pool backing threaded execution, or nullptr when the policy
+  /// is sequential. Searchers reuse this pool for their independent-tree
+  /// host phases (per-tree selection/backpropagation), so one knob sizes all
+  /// host parallelism. Lazily created; copies of this VirtualGpu made before
+  /// first use each get their own pool, copies made after share it (the pool
+  /// is thread-safe, and sharing keeps thread counts bounded).
+  [[nodiscard]] util::ThreadPool* worker_pool() {
+    if (exec_.threads <= 1) return nullptr;
+    if (!pool_) {
+      pool_ = std::make_shared<util::ThreadPool>(
+          static_cast<std::size_t>(exec_.threads));
+    }
+    return pool_.get();
   }
 
   /// Executes the kernel over the grid, warp-lockstep within each warp.
@@ -188,68 +252,146 @@ class VirtualGpu {
     }
   }
 
-  /// Runs every warp of the grid in lockstep and derives timing from traces.
+  /// Per-worker scratch for one warp's lockstep execution.
+  template <typename LaneState>
+  struct WarpScratch {
+    explicit WarpScratch(int warp_size)
+        : lanes(static_cast<std::size_t>(warp_size)),
+          ids(static_cast<std::size_t>(warp_size)),
+          active(static_cast<std::size_t>(warp_size)) {}
+    std::vector<LaneState> lanes;
+    std::vector<LaneId> ids;
+    std::vector<bool> active;
+  };
+
+  /// Runs one warp in lockstep: one pass over the warp = one warp-step; the
+  /// warp retires when no lane remains active (divergent lanes idle, costing
+  /// slots). Leaves the retired lane states in `scratch.lanes` — the caller
+  /// decides when to commit them through lane_finish. Shared by both
+  /// execution backends so their per-warp behaviour cannot drift.
+  template <LaneKernel K>
+  WarpTrace run_warp(const LaunchConfig& cfg, K& kernel, int block, int warp,
+                     WarpScratch<typename K::LaneState>& scratch) const {
+    const int first_thread = warp * dev_.warp_size;
+    const int lanes_here =
+        std::min(dev_.warp_size, cfg.threads_per_block - first_thread);
+
+    for (int lane = 0; lane < lanes_here; ++lane) {
+      scratch.ids[lane] = make_lane_id(cfg, dev_, block, first_thread + lane);
+      scratch.lanes[lane] = kernel.make_lane(scratch.ids[lane]);
+      scratch.active[lane] = true;
+    }
+
+    WarpTrace trace;
+    trace.block = block;
+    trace.warp_in_block = warp;
+    trace.lanes = lanes_here;
+
+    bool any_active = lanes_here > 0;
+    while (any_active) {
+      any_active = false;
+      std::uint32_t active_this_step = 0;
+      for (int lane = 0; lane < lanes_here; ++lane) {
+        if (!scratch.active[lane]) continue;
+        ++active_this_step;
+        if (!kernel.lane_step(scratch.lanes[lane])) {
+          scratch.active[lane] = false;
+        } else {
+          any_active = true;
+        }
+      }
+      trace.steps += 1;
+      trace.active_lane_steps += active_this_step;
+      // A lane's final step (the one returning false) still occupies its
+      // slot, hence counting before deactivation above.
+    }
+    return trace;
+  }
+
+  /// Runs every warp of the grid and derives timing from the traces,
+  /// dispatching to the backend the execution policy selects.
   template <LaneKernel K>
   LaunchResult execute(const LaunchConfig& cfg, K& kernel) {
     validate(cfg, dev_);
-    std::vector<WarpTrace> traces;
-    traces.reserve(static_cast<std::size_t>(cfg.total_warps(dev_)));
-
-    using LaneState = typename K::LaneState;
-    std::vector<LaneState> lanes(static_cast<std::size_t>(dev_.warp_size));
-    std::vector<LaneId> ids(static_cast<std::size_t>(dev_.warp_size));
-    std::vector<bool> active(static_cast<std::size_t>(dev_.warp_size));
-
-    for (int block = 0; block < cfg.blocks; ++block) {
-      const int warps = cfg.warps_per_block(dev_);
-      for (int warp = 0; warp < warps; ++warp) {
-        const int first_thread = warp * dev_.warp_size;
-        const int lanes_here =
-            std::min(dev_.warp_size, cfg.threads_per_block - first_thread);
-
-        for (int lane = 0; lane < lanes_here; ++lane) {
-          ids[lane] = make_lane_id(cfg, dev_, block, first_thread + lane);
-          lanes[lane] = kernel.make_lane(ids[lane]);
-          active[lane] = true;
-        }
-
-        WarpTrace trace;
-        trace.block = block;
-        trace.warp_in_block = warp;
-        trace.lanes = lanes_here;
-
-        // Lockstep: one pass over the warp = one warp-step; the warp retires
-        // when no lane remains active (divergent lanes idle, costing slots).
-        bool any_active = lanes_here > 0;
-        while (any_active) {
-          any_active = false;
-          std::uint32_t active_this_step = 0;
-          for (int lane = 0; lane < lanes_here; ++lane) {
-            if (!active[lane]) continue;
-            ++active_this_step;
-            if (!kernel.lane_step(lanes[lane])) {
-              active[lane] = false;
-            } else {
-              any_active = true;
-            }
-          }
-          trace.steps += 1;
-          trace.active_lane_steps += active_this_step;
-          // A lane's final step (the one returning false) still occupies its
-          // slot, hence counting before deactivation above.
-        }
-
-        for (int lane = 0; lane < lanes_here; ++lane) {
-          kernel.lane_finish(lanes[lane], ids[lane]);
-        }
-        traces.push_back(trace);
-      }
-    }
-
+    const std::vector<WarpTrace> traces =
+        exec_.threads > 1 && cfg.blocks > 1
+            ? execute_blocks_parallel(cfg, kernel, *worker_pool())
+            : execute_blocks_sequential(cfg, kernel);
     LaunchResult result;
     result.device_cycles = device_cycles_for(traces, cfg, dev_, cost_);
     result.stats = aggregate_stats(traces, dev_);
     return result;
+  }
+
+  /// Sequential backend: block-major, warp within; lane_finish commits each
+  /// warp as it retires.
+  template <LaneKernel K>
+  std::vector<WarpTrace> execute_blocks_sequential(const LaunchConfig& cfg,
+                                                   K& kernel) const {
+    std::vector<WarpTrace> traces;
+    traces.reserve(static_cast<std::size_t>(cfg.total_warps(dev_)));
+    WarpScratch<typename K::LaneState> scratch(dev_.warp_size);
+    const int warps = cfg.warps_per_block(dev_);
+    for (int block = 0; block < cfg.blocks; ++block) {
+      for (int warp = 0; warp < warps; ++warp) {
+        traces.push_back(run_warp(cfg, kernel, block, warp, scratch));
+        const int lanes_here = traces.back().lanes;
+        for (int lane = 0; lane < lanes_here; ++lane) {
+          kernel.lane_finish(scratch.lanes[lane], scratch.ids[lane]);
+        }
+      }
+    }
+    return traces;
+  }
+
+  /// Threaded backend: contiguous block ranges run on pool workers; every
+  /// per-warp trace lands in its canonical slot (block-major order, exactly
+  /// the sequential push_back order) and every lane's retired state is
+  /// staged in canonical (block, thread) order. lane_finish then commits on
+  /// the calling thread in that order, so kernels whose lanes alias one
+  /// output slot (leaf parallelism: one tally for the whole grid) accumulate
+  /// floating-point sums in exactly the sequential order — bit-identical
+  /// results by construction, not by accident.
+  template <LaneKernel K>
+  std::vector<WarpTrace> execute_blocks_parallel(const LaunchConfig& cfg,
+                                                 K& kernel,
+                                                 util::ThreadPool& pool) const {
+    using LaneState = typename K::LaneState;
+    const int warps = cfg.warps_per_block(dev_);
+    const std::size_t tpb = static_cast<std::size_t>(cfg.threads_per_block);
+    std::vector<WarpTrace> traces(static_cast<std::size_t>(cfg.total_warps(dev_)));
+    std::vector<LaneState> retired(static_cast<std::size_t>(cfg.blocks) * tpb);
+
+    pool.parallel_for_ranges(
+        static_cast<std::size_t>(cfg.blocks),
+        [&](std::size_t begin, std::size_t end) {
+          WarpScratch<LaneState> scratch(dev_.warp_size);
+          for (std::size_t b = begin; b < end; ++b) {
+            const int block = static_cast<int>(b);
+            for (int warp = 0; warp < warps; ++warp) {
+              const WarpTrace trace =
+                  run_warp(cfg, kernel, block, warp, scratch);
+              traces[b * static_cast<std::size_t>(warps) +
+                     static_cast<std::size_t>(warp)] = trace;
+              const std::size_t first =
+                  b * tpb + static_cast<std::size_t>(warp * dev_.warp_size);
+              for (int lane = 0; lane < trace.lanes; ++lane) {
+                retired[first + static_cast<std::size_t>(lane)] =
+                    scratch.lanes[lane];
+              }
+            }
+          }
+        });
+
+    for (int block = 0; block < cfg.blocks; ++block) {
+      for (int thread = 0; thread < cfg.threads_per_block; ++thread) {
+        kernel.lane_finish(
+            retired[static_cast<std::size_t>(block) * tpb +
+                    static_cast<std::size_t>(thread)],
+            make_lane_id(cfg, dev_, block, thread));
+      }
+    }
+    return traces;
   }
 
   DeviceProperties dev_;
@@ -258,6 +400,10 @@ class VirtualGpu {
   util::FaultInjector injector_;
   obs::Tracer* tracer_ = nullptr;
   int gpu_track_ = 0;
+  ExecutionPolicy exec_ = ExecutionPolicy::from_env();
+  /// Lazily created when the policy asks for threads; shared across copies
+  /// made after creation.
+  std::shared_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace gpu_mcts::simt

@@ -2,7 +2,9 @@
 //
 // Used by the root-parallel CPU searcher when *real* host parallelism is
 // requested (the default experiment mode uses virtual-time equivalence
-// instead, see DESIGN.md §5.1, so results do not depend on host core count).
+// instead, see DESIGN.md §5.1, so results do not depend on host core count),
+// and by the multi-threaded VirtualGpu execution backend (DESIGN.md §9),
+// which partitions kernel grids and per-tree host phases across the pool.
 #pragma once
 
 #include <condition_variable>
@@ -31,12 +33,25 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Runs fn(begin, end) over a deterministic chunked partition of [0, n)
+  /// and waits for completion. Chunks are contiguous ranges (at most
+  /// 4 * worker_count() of them, for load balance without per-item task
+  /// overhead); the partition depends only on n and the worker count, never
+  /// on scheduling, so callers can rely on it for reproducible decomposition.
+  void parallel_for_ranges(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return threads_.size();
   }
 
  private:
   void worker_loop();
+
+  /// Waits for every future (so no task can outlive its captured state),
+  /// then rethrows the first exception encountered, if any.
+  static void wait_all(std::vector<std::future<void>>& futures);
 
   std::vector<std::thread> threads_;
   std::deque<std::packaged_task<void()>> queue_;

@@ -7,6 +7,7 @@
 #include "game/tictactoe.hpp"
 #include "mcts/sequential.hpp"
 #include "mcts/playout.hpp"
+#include "reversi/notation.hpp"
 #include "reversi/reversi_game.hpp"
 #include "util/rng.hpp"
 
@@ -49,6 +50,71 @@ TEST(AdvanceRoot, KeepsSubtreeStatistics) {
     tree.backpropagate(sel.node, v, 1, v * v);
   }
   EXPECT_EQ(tree.root_visits(), child_visits + 200);
+}
+
+TEST(AdvanceRoot, PassBetweenMovesConvertsPerspective) {
+  // Regression: after "our" move the opponent may have to pass, so the same
+  // side is to move again at the new root. advance_root recomputes the root
+  // mover from the new state — before the fix it reassigned the mover
+  // without converting the stored statistics, leaving wins counted for the
+  // wrong side (win rates inverted for the whole retained subtree root).
+  //
+  // Crafted position (X to move): X a1/a3, O b1..g1/b3. X's h1 flips the
+  // entire rank-1 O run; O's only remaining disc (b3) has no legal
+  // placement, so O passes and X is to move again.
+  const auto a = reversi::position_from_diagram(
+      "XOOOOOO."
+      "........"
+      "XO......"
+      "........"
+      "........"
+      "........"
+      "........"
+      "........",
+      game::Player::kFirst);
+  ASSERT_TRUE(a.has_value());
+  const auto m = static_cast<ReversiGame::Move>(reversi::square_at(7, 0));
+
+  Tree<ReversiGame> tree(*a, {}, 9);
+  // Visit every root child once with a known value so the h1 child carries
+  // deterministic statistics: value 0.25 for X with exact squares.
+  const auto first_sel = tree.select();
+  const std::uint16_t children = tree.node(0).num_children;
+  tree.backpropagate(first_sel.node, 0.25, 1, 0.0625);
+  for (std::uint16_t i = 1; i < children; ++i) {
+    const auto sel = tree.select();
+    tree.backpropagate(sel.node, 0.25, 1, 0.0625);
+  }
+
+  const auto b = ReversiGame::apply(*a, m);
+  // O is blocked: the only legal move is the pass.
+  std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
+  ASSERT_EQ(ReversiGame::legal_moves(b, std::span(moves)), 1);
+  ASSERT_EQ(moves[0], reversi::kPassMove);
+  const auto b_after_pass = ReversiGame::apply(b, reversi::kPassMove);
+  ASSERT_FALSE(ReversiGame::is_terminal(b_after_pass));
+  ASSERT_EQ(ReversiGame::player_to_move(b_after_pass), game::Player::kFirst);
+
+  const std::size_t kept = tree.advance_root(m, b_after_pass);
+  ASSERT_GE(kept, 1u);
+  const auto& root = tree.node(0);
+  // The stored child was moved by X (kFirst); after the pass the new root's
+  // incoming mover recomputes to O (kSecond), so the stored sums must be
+  // re-expressed: wins 0.25 -> 1 - 0.25, squares 0.0625 -> (1 - 0.25)^2.
+  EXPECT_EQ(root.mover, game::Player::kSecond);
+  EXPECT_EQ(root.visits, 1u);
+  EXPECT_DOUBLE_EQ(root.wins, 0.75);
+  EXPECT_DOUBLE_EQ(root.win_squares, 0.5625);
+  // And the re-rooted tree still searches soundly.
+  util::XorShift128Plus rng(10);
+  for (int i = 0; i < 50; ++i) {
+    const auto sel = tree.select();
+    const double v =
+        sel.terminal ? 0.5
+                     : random_playout<ReversiGame>(sel.state, rng).value_first;
+    tree.backpropagate(sel.node, v, 1, v * v);
+  }
+  EXPECT_EQ(tree.root_visits(), 51u);
 }
 
 TEST(AdvanceRoot, UnknownMoveResets) {

@@ -150,6 +150,36 @@ TEST(Tree, TerminalSelectionIsFlagged) {
   // Terminal flag must agree with the game rules at the selected state.
 }
 
+TEST(Tree, UcbSelectionPrefersUnvisitedChildren) {
+  // Regression: children can legitimately carry zero visits when UCB
+  // selection runs (hybrid overlap iterations between kernel launch and
+  // backpropagation; fault-failed rounds losing their updates). The old
+  // argmax computed 0/0 = NaN for such children; every NaN comparison is
+  // false, so the argmax silently degraded to "first child" — the one
+  // visited arm — instead of trying an unvisited one.
+  Tree<TicTacToe> tree(TicTacToe::initial_state(), {}, 5);
+  std::vector<NodeIndex> selected;
+  for (int i = 0; i < 9; ++i) {
+    const Selection<TicTacToe> sel = tree.select();
+    EXPECT_EQ(sel.depth, 1u);
+    selected.push_back(sel.node);
+  }
+  // Only the first child's playout ever lands: the other eight stay at
+  // zero visits while selection must keep descending.
+  tree.backpropagate(selected.front(), 1.0, 1);
+
+  const Selection<TicTacToe> sel = tree.select();
+  NodeIndex ancestor = sel.node;
+  while (tree.node(ancestor).parent != 0) {
+    ancestor = tree.node(ancestor).parent;
+  }
+  // First-play urgency: an unvisited arm has an infinite confidence bound,
+  // so selection must descend one of the zero-visit children — not funnel
+  // into the lone visited child via NaN-poisoned scores.
+  EXPECT_NE(ancestor, selected.front());
+  EXPECT_EQ(tree.node(ancestor).visits, 0u);
+}
+
 TEST(Tree, ResetClearsState) {
   Tree<ReversiGame> tree(ReversiGame::initial_state(), {}, 3);
   for (int i = 0; i < 10; ++i) {

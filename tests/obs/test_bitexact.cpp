@@ -34,6 +34,17 @@ struct Golden {
 /// Golden numbers recorded from the pre-observability seed (same presets,
 /// seeds, and budget). Any drift here means the refactor changed search
 /// behaviour, not just how it is reported.
+///
+/// The hybrid rows were re-recorded for two deliberate bug fixes:
+///  * best_ucb_child now prefers unvisited children outright instead of
+///    computing 0/0 (NaN) for them — the hybrid overlap's CPU iterations hit
+///    zero-visit children constantly, so hybrid8x32 grows a wider tree
+///    (nodes 125 -> 140) and its clock drifts accordingly;
+///  * divergence_waste is now accumulated by the hybrid searcher (it was
+///    dropped entirely before) and averaged over successful GPU rounds, so
+///    the hybrid-family rows report nonzero divergence like the other GPU
+///    schemes.
+/// Every non-hybrid row and every chosen move is unchanged.
 std::vector<Golden> golden_table() {
   using namespace harness;
   return {
@@ -48,11 +59,11 @@ std::vector<Golden> golden_table() {
       {"block112x128", block_gpu_player(14336, 128, 15),
        26, 14336, 1, 560, 1, 0.017492901365187712, 0.032910428428500005},
       {"hybrid8x32", hybrid_player(8, 32, true, 16),
-       37, 834, 3, 125, 3, 0.01303979795221843, 0.0},
+       37, 834, 3, 140, 3, 0.013030275767918089, 0.034199347348826681},
       {"hybrid112x128", hybrid_player(112, 128, true, 17),
-       26, 14421, 1, 560, 1, 0.017644888395904435, 0.0},
+       26, 14421, 1, 560, 1, 0.017644888395904435, 0.032405049151027709},
       {"gpuonly8x32", hybrid_player(8, 32, false, 18),
-       37, 768, 3, 40, 1, 0.012869004778156997, 0.0},
+       37, 768, 3, 40, 1, 0.012869004778156997, 0.032659329934508485},
       {"dist2", distributed_player(2, 8, 32, 19),
        19, 1536, 6, 80, 1, 0.012921247781569965, 0.0},
       {"flat", flat_mc_player(20),

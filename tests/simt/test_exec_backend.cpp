@@ -1,0 +1,173 @@
+// Multi-threaded execution backend (DESIGN.md §9): a VirtualGpu running
+// under any thread count must be indistinguishable from the sequential
+// backend in everything but wall-clock time — kernel outputs, modeled
+// device cycles, divergence statistics, and emitted trace events are all
+// bit-identical.
+#include "simt/vgpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "reversi/reversi_game.hpp"
+#include "simt/playout_kernel.hpp"
+#include "util/clock.hpp"
+
+namespace gpu_mcts::simt {
+namespace {
+
+using reversi::ReversiGame;
+
+struct LaunchCapture {
+  std::vector<BlockResult> results;
+  LaunchResult launch;
+  std::uint64_t host_cycles = 0;
+};
+
+/// One playout-kernel launch under the given policy. `result_slots` below
+/// the block count exercises the aliased-slot (leaf parallelism) layout.
+LaunchCapture run_playout(int threads, const LaunchConfig& cfg,
+                          std::size_t result_slots) {
+  VirtualGpu gpu;
+  gpu.set_execution_policy(ExecutionPolicy{.threads = threads});
+  const auto root = ReversiGame::initial_state();
+  const std::vector<ReversiGame::State> roots(
+      result_slots == 1 ? 1 : static_cast<std::size_t>(cfg.blocks), root);
+  LaunchCapture out;
+  out.results.assign(result_slots, BlockResult{});
+  PlayoutKernel<ReversiGame> kernel(roots, 2011, 3,
+                                    std::span(out.results));
+  util::VirtualClock clock(gpu.host().clock_hz);
+  out.launch = gpu.launch(cfg, kernel, clock);
+  out.host_cycles = clock.cycles();
+  return out;
+}
+
+void expect_identical(const LaunchCapture& a, const LaunchCapture& b) {
+  EXPECT_EQ(a.launch.device_cycles, b.launch.device_cycles);
+  EXPECT_EQ(a.launch.status, b.launch.status);
+  EXPECT_EQ(a.launch.stats.warps, b.launch.stats.warps);
+  EXPECT_EQ(a.launch.stats.max_warp_steps, b.launch.stats.max_warp_steps);
+  EXPECT_EQ(a.launch.stats.total_warp_steps, b.launch.stats.total_warp_steps);
+  EXPECT_EQ(a.launch.stats.total_active_lane_steps,
+            b.launch.stats.total_active_lane_steps);
+  EXPECT_EQ(a.launch.stats.total_lane_slots, b.launch.stats.total_lane_slots);
+  EXPECT_EQ(a.host_cycles, b.host_cycles);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    // Bitwise floating-point equality: the threaded backend commits
+    // lane_finish in the sequential accumulation order by construction.
+    EXPECT_EQ(a.results[i].value_first, b.results[i].value_first) << i;
+    EXPECT_EQ(a.results[i].value_sq_first, b.results[i].value_sq_first) << i;
+    EXPECT_EQ(a.results[i].simulations, b.results[i].simulations) << i;
+    EXPECT_EQ(a.results[i].total_plies, b.results[i].total_plies) << i;
+  }
+}
+
+TEST(ExecBackend, PerBlockResultsBitIdenticalAcrossThreadCounts) {
+  const LaunchConfig cfg{.blocks = 8, .threads_per_block = 64};
+  const LaunchCapture sequential = run_playout(1, cfg, 8);
+  for (const int threads : {2, 3, 4, 8}) {
+    SCOPED_TRACE(threads);
+    expect_identical(sequential, run_playout(threads, cfg, 8));
+  }
+}
+
+TEST(ExecBackend, AliasedResultSlotKeepsSequentialAccumulationOrder) {
+  // Leaf parallelism: every block's lanes accumulate into ONE shared slot,
+  // so floating-point accumulation order is observable. The threaded
+  // backend must reproduce the sequential sum exactly, not merely a
+  // permutation of it.
+  const LaunchConfig cfg{.blocks = 6, .threads_per_block = 64};
+  const LaunchCapture sequential = run_playout(1, cfg, 1);
+  for (const int threads : {2, 4}) {
+    SCOPED_TRACE(threads);
+    expect_identical(sequential, run_playout(threads, cfg, 1));
+  }
+}
+
+TEST(ExecBackend, PartialWarpGridMatchesSequential) {
+  // 70 threads/block = two full warps + a 6-lane partial warp per block.
+  const LaunchConfig cfg{.blocks = 5, .threads_per_block = 70};
+  expect_identical(run_playout(1, cfg, 5), run_playout(4, cfg, 5));
+}
+
+TEST(ExecBackend, SingleBlockGridRunsUnderThreadedPolicy) {
+  // One block cannot be partitioned; the threaded policy must still work
+  // (it falls through to the sequential path).
+  const LaunchConfig cfg{.blocks = 1, .threads_per_block = 64};
+  expect_identical(run_playout(1, cfg, 1), run_playout(4, cfg, 1));
+}
+
+TEST(ExecBackend, TraceEventsIdenticalAcrossThreadCounts) {
+  const LaunchConfig cfg{.blocks = 4, .threads_per_block = 64};
+  const auto trace_run = [&](int threads) {
+    VirtualGpu gpu;
+    gpu.set_execution_policy(ExecutionPolicy{.threads = threads});
+    obs::Tracer tracer;
+    gpu.set_tracer(&tracer);
+    const auto root = ReversiGame::initial_state();
+    const std::vector<ReversiGame::State> roots(4, root);
+    std::vector<BlockResult> results(4);
+    PlayoutKernel<ReversiGame> kernel(roots, 5, 0, std::span(results));
+    util::VirtualClock clock(gpu.host().clock_hz);
+    (void)gpu.launch(cfg, kernel, clock);
+    return tracer.merged();
+  };
+  const auto seq = trace_run(1);
+  const auto par = trace_run(4);
+  ASSERT_EQ(seq.size(), par.size());
+  ASSERT_FALSE(seq.empty());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].cycles, par[i].cycles);
+    EXPECT_STREQ(seq[i].name, par[i].name);
+    EXPECT_EQ(seq[i].arg_count, par[i].arg_count);
+    for (std::uint8_t k = 0; k < seq[i].arg_count; ++k) {
+      EXPECT_STREQ(seq[i].args[k].name, par[i].args[k].name);
+      EXPECT_EQ(seq[i].args[k].value, par[i].args[k].value);
+    }
+  }
+}
+
+TEST(ExecBackend, PolicyValidatesAndReleasesPool) {
+  // The default policy tracks GPU_MCTS_EXEC_THREADS (CI's TSan job runs
+  // this suite with it set), so pin an explicit policy before asserting.
+  VirtualGpu gpu;
+  gpu.set_execution_policy(ExecutionPolicy{.threads = 1});
+  EXPECT_EQ(gpu.worker_pool(), nullptr);  // sequential: no pool
+  gpu.set_execution_policy(ExecutionPolicy{.threads = 3});
+  ASSERT_NE(gpu.worker_pool(), nullptr);
+  EXPECT_EQ(gpu.worker_pool()->worker_count(), 3u);
+  gpu.set_execution_policy(ExecutionPolicy{.threads = 1});
+  EXPECT_EQ(gpu.worker_pool(), nullptr);
+  EXPECT_THROW(gpu.set_execution_policy(ExecutionPolicy{.threads = 0}),
+               util::ContractViolation);
+}
+
+TEST(ExecBackend, PolicyFromEnvParsesAndClamps) {
+  const char* saved = std::getenv("GPU_MCTS_EXEC_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  ::unsetenv("GPU_MCTS_EXEC_THREADS");
+  EXPECT_EQ(ExecutionPolicy::from_env().threads, 1);
+  ::setenv("GPU_MCTS_EXEC_THREADS", "6", 1);
+  EXPECT_EQ(ExecutionPolicy::from_env().threads, 6);
+  ::setenv("GPU_MCTS_EXEC_THREADS", "0", 1);
+  EXPECT_EQ(ExecutionPolicy::from_env().threads, 1);
+  ::setenv("GPU_MCTS_EXEC_THREADS", "99999", 1);
+  EXPECT_EQ(ExecutionPolicy::from_env().threads, 1024);
+
+  if (saved != nullptr) {
+    ::setenv("GPU_MCTS_EXEC_THREADS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("GPU_MCTS_EXEC_THREADS");
+  }
+}
+
+}  // namespace
+}  // namespace gpu_mcts::simt
