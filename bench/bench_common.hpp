@@ -3,10 +3,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mcts/searcher.hpp"
@@ -35,6 +37,9 @@ struct CommonFlags {
   /// GPU_MCTS_EXEC_THREADS). Bit-identical results for every value; this
   /// only changes wall-clock time (DESIGN.md §9).
   int exec_threads = 0;
+  /// Stream-pipelined rounds for the leaf/block GPU subjects (the
+  /// "+pipeline" spec suffix). Bit-identical results; wall-clock only.
+  bool pipeline = false;
 
   static CommonFlags parse(const util::CliArgs& args) {
     CommonFlags f;
@@ -50,6 +55,7 @@ struct CommonFlags {
     f.trace_jsonl = args.get_string("trace", "");
     f.trace_chrome = args.get_string("chrome-trace", "");
     f.exec_threads = static_cast<int>(args.get_uint("exec-threads", 0));
+    f.pipeline = args.get_bool("pipeline", false);
     // Export through the environment knob so every VirtualGpu the bench
     // constructs (subjects, opponents, probes) inherits it without each
     // call site threading the value through its SchemeSpec.
@@ -124,7 +130,7 @@ inline void print_header(const std::string& title, const CommonFlags& f) {
             << "s (virtual)  seed=" << f.seed << "\n"
             << "flags: --games N --budget SECONDS --seed N --csv --quick"
                " --trace FILE.jsonl --chrome-trace FILE.json"
-               " --exec-threads N\n\n";
+               " --exec-threads N --pipeline\n\n";
 }
 
 inline void emit(const util::Table& table, const CommonFlags& f,
@@ -144,6 +150,87 @@ inline void emit(const util::Table& table, const CommonFlags& f,
     }
   }
   std::cout << std::endl;
+}
+
+/// Pre-rendered JSON value for the BENCH_<name>.json artifacts below.
+struct JsonValue {
+  std::string raw;
+};
+
+[[nodiscard]] inline JsonValue jstr(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // no control characters appear in bench strings
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return {out};
+}
+
+[[nodiscard]] inline JsonValue jnum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return {buf};
+}
+
+[[nodiscard]] inline JsonValue jint(std::uint64_t v) {
+  return {std::to_string(v)};
+}
+
+[[nodiscard]] inline JsonValue jbool(bool v) {
+  return {v ? "true" : "false"};
+}
+
+/// One flat JSON object: ordered key -> pre-rendered value pairs.
+using JsonRow = std::vector<std::pair<std::string, JsonValue>>;
+
+inline void write_json_object(std::ostream& out, const JsonRow& row,
+                              const char* indent) {
+  out << "{";
+  bool first = true;
+  for (const auto& [key, value] : row) {
+    out << (first ? "\n" : ",\n") << indent << "  " << jstr(key).raw << ": "
+        << value.raw;
+    first = false;
+  }
+  out << "\n" << indent << "}";
+}
+
+/// Writes BENCH_<name>.json: top-level metadata plus an array of row
+/// objects — the machine-readable artifact mirroring a bench's table so
+/// drivers don't scrape stdout. Returns false after a diagnostic on I/O
+/// failure.
+inline bool write_bench_json(const std::string& name, const JsonRow& meta,
+                             const std::string& rows_key,
+                             const std::vector<JsonRow>& rows,
+                             std::ostream& log = std::cout) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream file(path);
+  if (!file) {
+    log << "(could not write " << path << ")\n";
+    return false;
+  }
+  file << "{";
+  bool first = true;
+  for (const auto& [key, value] : meta) {
+    file << (first ? "\n" : ",\n") << "  " << jstr(key).raw << ": "
+         << value.raw;
+    first = false;
+  }
+  file << (first ? "\n" : ",\n") << "  " << jstr(rows_key).raw << ": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    file << (i == 0 ? "\n    " : ",\n    ");
+    write_json_object(file, rows[i], "    ");
+  }
+  file << (rows.empty() ? "]" : "\n  ]") << "\n}\n";
+  log << "(wrote " << path << ")\n";
+  return bool(file);
 }
 
 /// The paper's Figure 5/6 thread axis (1..14336). The full axis is heavy on

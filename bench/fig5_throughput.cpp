@@ -9,7 +9,15 @@
 // grows ("as I decrease the number of threads per block and at the same time
 // increase the number of trees, the number of simulations per second
 // decreases. This is due to the CPU's sequential part").
+//
+// Besides the table, the run emits BENCH_fig5_throughput.json: every row in
+// machine-readable form plus a pipelined-vs-synchronous comparison for the
+// flagship block configuration (same virtual-time results — that is the
+// bit-exactness contract — compared on *wall-clock* sims/s, where stream
+// pipelining can only help when the host has spare cores).
+#include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "engine/factory.hpp"
@@ -20,12 +28,31 @@ namespace {
 
 using namespace gpu_mcts;
 
-double measure_rate(const engine::SchemeSpec& spec, double budget,
+struct Measurement {
+  double virtual_rate = 0.0;  // simulations per *virtual* second
+  double wall_seconds = 0.0;
+  std::uint64_t simulations = 0;
+
+  [[nodiscard]] double wall_rate() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(simulations) / wall_seconds
+               : 0.0;
+  }
+};
+
+Measurement measure(const engine::SchemeSpec& spec, double budget,
                     bench::TraceSession& trace) {
   auto player = engine::make_searcher<reversi::ReversiGame>(spec);
   trace.attach(*player);
+  const auto start = std::chrono::steady_clock::now();
   (void)player->choose_move(reversi::ReversiGame::initial_state(), budget);
-  return player->last_stats().simulations_per_second();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  Measurement m;
+  m.virtual_rate = player->last_stats().simulations_per_second();
+  m.wall_seconds = elapsed.count();
+  m.simulations = player->last_stats().simulations;
+  return m;
 }
 
 }  // namespace
@@ -41,33 +68,86 @@ int main(int argc, char** argv) {
   bench::TraceSession trace(flags);
   util::Table table({"threads", "leaf_bs64_sims_per_s", "block_bs32_sims_per_s",
                      "block_bs128_sims_per_s"});
+  std::vector<bench::JsonRow> json_rows;
 
   for (const int threads : bench::thread_axis(full)) {
     table.begin_row().add(threads);
 
-    // Leaf parallelism, block size 64.
-    table.add(
-        measure_rate(engine::SchemeSpec::leaf_gpu_threads(threads, 64)
-                         .with_seed(flags.seed),
-                     flags.budget, trace),
-        0);
-
-    // Block parallelism, block size 32.
-    table.add(
-        measure_rate(engine::SchemeSpec::block_gpu_threads(threads, 32)
-                         .with_seed(flags.seed),
-                     flags.budget, trace),
-        0);
-
-    // Block parallelism, block size 128 (sub-128 counts run one block).
-    table.add(
-        measure_rate(engine::SchemeSpec::block_gpu_threads(threads, 128)
-                         .with_seed(flags.seed),
-                     flags.budget, trace),
-        0);
+    const engine::SchemeSpec specs[] = {
+        engine::SchemeSpec::leaf_gpu_threads(threads, 64)
+            .with_seed(flags.seed)
+            .with_pipeline(flags.pipeline),
+        engine::SchemeSpec::block_gpu_threads(threads, 32)
+            .with_seed(flags.seed)
+            .with_pipeline(flags.pipeline),
+        engine::SchemeSpec::block_gpu_threads(threads, 128)
+            .with_seed(flags.seed)
+            .with_pipeline(flags.pipeline),
+    };
+    for (const engine::SchemeSpec& spec : specs) {
+      const Measurement m = measure(spec, flags.budget, trace);
+      table.add(m.virtual_rate, 0);
+      json_rows.push_back({{"scheme", bench::jstr(spec.to_string())},
+                           {"threads", bench::jint(
+                               static_cast<std::uint64_t>(threads))},
+                           {"virtual_sims_per_s", bench::jnum(m.virtual_rate)},
+                           {"wall_seconds", bench::jnum(m.wall_seconds)},
+                           {"wall_sims_per_s", bench::jnum(m.wall_rate())},
+                           {"simulations", bench::jint(m.simulations)}});
+    }
   }
 
   bench::emit(table, flags, "fig5_throughput");
+
+  // Pipelined vs synchronous, flagship block configuration: identical
+  // virtual-time results by construction; the comparison is wall-clock.
+  const engine::SchemeSpec sync_spec =
+      engine::SchemeSpec::block_gpu(112, 128).with_seed(flags.seed);
+  const Measurement sync_m = measure(sync_spec, flags.budget, trace);
+  const Measurement pipe_m =
+      measure(sync_spec.with_pipeline(), flags.budget, trace);
+  const double ratio =
+      sync_m.wall_rate() > 0.0 ? pipe_m.wall_rate() / sync_m.wall_rate() : 0.0;
+  util::Table pipe_table({"config", "wall_seconds", "wall_sims_per_s",
+                          "virtual_sims_per_s"});
+  pipe_table.begin_row()
+      .add(sync_spec.to_string())
+      .add(sync_m.wall_seconds)
+      .add(sync_m.wall_rate(), 0)
+      .add(sync_m.virtual_rate, 0);
+  pipe_table.begin_row()
+      .add(sync_spec.with_pipeline().to_string())
+      .add(pipe_m.wall_seconds)
+      .add(pipe_m.wall_rate(), 0)
+      .add(pipe_m.virtual_rate, 0);
+  std::cout << "Pipelined vs synchronous (wall-clock; virtual results are "
+               "bit-identical):\n";
+  bench::emit(pipe_table, flags, "fig5_pipeline_comparison");
+  std::cout << "pipelined/sync wall-clock speedup: " << ratio << " (host has "
+            << std::thread::hardware_concurrency() << " hardware threads)\n\n";
+
+  json_rows.push_back(
+      {{"scheme", bench::jstr("pipeline_comparison")},
+       {"config", bench::jstr(sync_spec.to_string())},
+       {"sync_wall_seconds", bench::jnum(sync_m.wall_seconds)},
+       {"sync_wall_sims_per_s", bench::jnum(sync_m.wall_rate())},
+       {"pipelined_wall_seconds", bench::jnum(pipe_m.wall_seconds)},
+       {"pipelined_wall_sims_per_s", bench::jnum(pipe_m.wall_rate())},
+       {"wall_speedup", bench::jnum(ratio)},
+       {"virtual_results_identical",
+        bench::jbool(sync_m.simulations == pipe_m.simulations &&
+                     sync_m.virtual_rate == pipe_m.virtual_rate)}});
+  bench::write_bench_json(
+      "fig5_throughput",
+      {{"bench", bench::jstr("fig5_throughput")},
+       {"budget_virtual_seconds", bench::jnum(flags.budget)},
+       {"seed", bench::jint(flags.seed)},
+       {"exec_threads", bench::jint(
+           static_cast<std::uint64_t>(flags.exec_threads))},
+       {"hardware_concurrency",
+        bench::jint(std::thread::hardware_concurrency())},
+       {"pipeline_flag", bench::jbool(flags.pipeline)}},
+      "rows", json_rows);
   trace.finish();
 
   std::cout << "Expected shape (paper): leaf(64) tops out ~8-9e5 sims/s at "

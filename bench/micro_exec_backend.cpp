@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "reversi/reversi_game.hpp"
@@ -55,6 +57,76 @@ BENCHMARK(BM_ExecBackendLaunch)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The same grid split into two block_offset halves enqueued on two streams
+// (the pipelined searchers' shape, DESIGN.md §10) — the direct
+// pipelined-vs-synchronous comparison row for this backend. Lane work is
+// identical to BM_ExecBackendLaunch, so items_per_second is comparable
+// between the two benchmarks at equal thread counts.
+void BM_ExecBackendPipelined(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kBlocks = 112;
+  constexpr int kThreadsPerBlock = 128;
+  constexpr int kHalf = kBlocks / 2;
+
+  simt::VirtualGpu gpu;
+  gpu.set_execution_policy(simt::ExecutionPolicy{.threads = threads});
+  const simt::LaunchConfig half_cfg[2] = {
+      {.blocks = kHalf, .threads_per_block = kThreadsPerBlock,
+       .block_offset = 0},
+      {.blocks = kBlocks - kHalf, .threads_per_block = kThreadsPerBlock,
+       .block_offset = kHalf}};
+  const auto root = ReversiGame::initial_state();
+  std::vector<ReversiGame::State> roots(kBlocks, root);
+  std::vector<simt::BlockResult> results(kBlocks);
+  std::uint64_t round = 0;
+
+  for (auto _ : state) {
+    for (auto& r : results) r = simt::BlockResult{};
+    simt::PlayoutKernel<ReversiGame> kernel(roots, 7, round++,
+                                            std::span(results));
+    util::VirtualClock clock(gpu.host().clock_hz);
+    const simt::StreamTicket tickets[2] = {
+        gpu.launch_on(0, half_cfg[0], kernel, clock),
+        gpu.launch_on(1, half_cfg[1], kernel, clock)};
+    benchmark::DoNotOptimize(gpu.wait(tickets[0], clock));
+    benchmark::DoNotOptimize(gpu.wait(tickets[1], clock));
+  }
+  state.SetItemsProcessed(state.iterations() * kBlocks * kThreadsPerBlock);
+  state.counters["exec_threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ExecBackendPipelined)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a default --benchmark_out: unless the caller
+// already passed one, results also land in BENCH_micro_exec_backend.json
+// (machine-readable, same data as the console table).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_exec_backend.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -122,13 +122,13 @@ class SearcherRegistry {
     add("leaf-gpu", [](const SchemeSpec& spec) -> SearcherPtr {
       return std::make_unique<parallel::LeafParallelGpuSearcher<G>>(
           typename parallel::LeafParallelGpuSearcher<G>::Options{
-              spec.launch()},
+              .launch = spec.launch(), .pipeline = spec.pipeline},
           spec.search, make_vgpu(spec));
     });
     add("block-gpu", [](const SchemeSpec& spec) -> SearcherPtr {
       return std::make_unique<parallel::BlockParallelGpuSearcher<G>>(
           typename parallel::BlockParallelGpuSearcher<G>::Options{
-              spec.launch()},
+              .launch = spec.launch(), .pipeline = spec.pipeline},
           spec.search, make_vgpu(spec));
     });
     add("hybrid", [](const SchemeSpec& spec) -> SearcherPtr {

@@ -11,8 +11,9 @@ namespace {
 
 constexpr const char* kGrammar =
     "expected one of: seq | flat | root:<threads> | tree:<workers> | "
-    "leaf:<blocks>x<tpb> | block:<blocks>x<tpb> | hybrid:<blocks>x<tpb> | "
-    "gpu-only:<blocks>x<tpb> | dist:<ranks>x<blocks>x<tpb>";
+    "leaf:<blocks>x<tpb>[+pipeline] | block:<blocks>x<tpb>[+pipeline] | "
+    "hybrid:<blocks>x<tpb> | gpu-only:<blocks>x<tpb> | "
+    "dist:<ranks>x<blocks>x<tpb>";
 
 [[noreturn]] void parse_fail(std::string_view text, const std::string& why) {
   throw std::invalid_argument("bad scheme spec \"" + std::string(text) +
@@ -54,9 +55,23 @@ std::vector<int> parse_dims(std::string_view text, std::string_view dims,
 SchemeSpec SchemeSpec::parse(std::string_view text) {
   const std::size_t colon = text.find(':');
   const std::string_view head = text.substr(0, colon);
-  const std::string_view rest =
-      colon == std::string_view::npos ? std::string_view{}
-                                      : text.substr(colon + 1);
+  std::string_view rest = colon == std::string_view::npos
+                              ? std::string_view{}
+                              : text.substr(colon + 1);
+  // "+pipeline" suffix: strip it before the dimensions are parsed, then
+  // reject it for the schemes that have no pipelined implementation.
+  constexpr std::string_view kPipelineSuffix = "+pipeline";
+  bool pipeline = false;
+  if (rest.size() >= kPipelineSuffix.size() &&
+      rest.substr(rest.size() - kPipelineSuffix.size()) == kPipelineSuffix) {
+    pipeline = true;
+    rest.remove_suffix(kPipelineSuffix.size());
+  }
+  const auto reject_pipeline = [&]() {
+    if (pipeline) {
+      parse_fail(text, "\"+pipeline\" applies only to leaf and block schemes");
+    }
+  };
   const auto require_arg = [&]() {
     if (rest.empty()) parse_fail(text, "missing parameters after ':'");
   };
@@ -76,34 +91,39 @@ SchemeSpec SchemeSpec::parse(std::string_view text) {
   }
   if (head == "root" || head == "root-parallel") {
     require_arg();
+    reject_pipeline();
     return root_parallel(parse_dims(text, rest, 1)[0]);
   }
   if (head == "tree" || head == "tree-parallel") {
     require_arg();
+    reject_pipeline();
     return tree_parallel(parse_dims(text, rest, 1)[0]);
   }
   if (head == "leaf" || head == "leaf-gpu") {
     require_arg();
     const auto d = parse_dims(text, rest, 2);
-    return leaf_gpu(d[0], d[1]);
+    return leaf_gpu(d[0], d[1]).with_pipeline(pipeline);
   }
   if (head == "block" || head == "block-gpu") {
     require_arg();
     const auto d = parse_dims(text, rest, 2);
-    return block_gpu(d[0], d[1]);
+    return block_gpu(d[0], d[1]).with_pipeline(pipeline);
   }
   if (head == "hybrid") {
     require_arg();
+    reject_pipeline();
     const auto d = parse_dims(text, rest, 2);
     return hybrid(d[0], d[1], true);
   }
   if (head == "gpu-only") {
     require_arg();
+    reject_pipeline();
     const auto d = parse_dims(text, rest, 2);
     return hybrid(d[0], d[1], false);
   }
   if (head == "dist" || head == "distributed") {
     require_arg();
+    reject_pipeline();
     const auto d = parse_dims(text, rest, 3);
     return distributed(d[0], d[1], d[2]);
   }
@@ -205,9 +225,16 @@ SchemeSpec SchemeSpec::with_exec_threads(int threads) const {
   return copy;
 }
 
+SchemeSpec SchemeSpec::with_pipeline(bool on) const {
+  SchemeSpec copy = *this;
+  copy.pipeline = on;
+  return copy;
+}
+
 std::string SchemeSpec::to_string() const {
   const std::string grid = std::to_string(blocks) + "x" +
-                           std::to_string(threads_per_block);
+                           std::to_string(threads_per_block) +
+                           (pipeline ? "+pipeline" : "");
   if (scheme == "sequential") return "seq";
   if (scheme == "flat-mc") return "flat";
   if (scheme == "root-parallel") return "root:" + std::to_string(cpu_threads);

@@ -25,6 +25,9 @@
 //   "gpu-only:<blocks>x<tpb>"       hybrid plumbing, overlap disabled
 //   "dist:<ranks>x<blocks>x<tpb>"   distributed root parallelism
 //   ("distributed:..." is accepted as an alias for "dist:...".)
+// The leaf and block forms accept a "+pipeline" suffix — e.g.
+// "block:112x128+pipeline" — enabling the stream-pipelined rounds of
+// DESIGN.md §10 (results are bit-identical with or without it).
 #pragma once
 
 #include <cstdint>
@@ -56,6 +59,11 @@ struct SchemeSpec {
   int ranks = 1;
   /// Hybrid: disable to get a GPU-only control with identical plumbing.
   bool cpu_overlap = true;
+  /// Leaf/block GPU schemes: pipelined stream-overlapped rounds (the
+  /// "+pipeline" spec suffix, --pipeline in the binaries). Per-tree results
+  /// and stats are bit-identical with this on or off; it only buys
+  /// wall-clock overlap between host phases and kernels (DESIGN.md §10).
+  bool pipeline = false;
   /// Host worker threads for the VirtualGpu execution backend (kernel grids
   /// and per-tree host phases; results are bit-identical for every value —
   /// the knob only buys wall-clock speed, see DESIGN.md §9). 0 (the
@@ -110,6 +118,10 @@ struct SchemeSpec {
 
   /// Returns a copy with `exec_threads` replaced (the --exec-threads flag).
   [[nodiscard]] SchemeSpec with_exec_threads(int threads) const;
+
+  /// Returns a copy with `pipeline` set (the --pipeline flag). Only
+  /// meaningful for the leaf-gpu and block-gpu schemes.
+  [[nodiscard]] SchemeSpec with_pipeline(bool on = true) const;
 
   /// Canonical spec string; parse(to_string()) reproduces the geometry.
   [[nodiscard]] std::string to_string() const;

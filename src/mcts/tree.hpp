@@ -41,7 +41,9 @@ struct Node {
   typename G::Move move{};
   /// Player who played `move` to reach this node.
   game::Player mover = game::Player::kSecond;
-  /// True once legal moves were generated (or the node is terminal/capped).
+  /// True once children were allocated (or the node is terminal). A node
+  /// that hit the arena's max_nodes cap stays *un*expanded so selection
+  /// re-attempts it once advance_root frees space.
   bool expanded = false;
   std::uint32_t visits = 0;
   /// Win credit for `mover` (draws count 0.5).
@@ -304,11 +306,23 @@ class Tree {
   void expand(NodeIndex index, const State& state) {
     std::array<Move, static_cast<std::size_t>(G::kMaxMoves)> moves{};
     const int n = G::legal_moves(state, std::span(moves));
-    nodes_[index].expanded = true;
-    if (n == 0) return;  // terminal; select() normally catches this earlier
-    if (nodes_.size() + static_cast<std::size_t>(n) > config_.max_nodes) {
-      return;  // pool cap: leave unexpanded-with-zero-children
+    if (n == 0) {
+      // Terminal (select() normally catches this earlier): permanently a
+      // leaf, so remember the verdict.
+      nodes_[index].expanded = true;
+      return;
     }
+    if (nodes_.size() + static_cast<std::size_t>(n) > config_.max_nodes) {
+      // Pool cap: a *capped* node is not expanded — it stays a playout leaf
+      // for now but must be re-attempted later, because advance_root can
+      // free most of the arena and the node would otherwise be frozen
+      // childless forever. Leaving `expanded` false costs nothing while the
+      // cap persists (the RNG is only consumed on success below, so the
+      // re-attempts don't perturb any stream) and resumes growth the moment
+      // capacity returns.
+      return;
+    }
+    nodes_[index].expanded = true;
     // Shuffle so unvisited-child order is unbiased (Fisher-Yates).
     for (int i = n - 1; i > 0; --i) {
       const auto j = static_cast<int>(

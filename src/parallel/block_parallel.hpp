@@ -9,10 +9,24 @@
 // observation that simulations/second falls as the number of blocks grows
 // while *strength* rises (more trees diminish "the effect of being stuck in
 // a local extremum").
+//
+// Pipelined rounds (Options::pipeline, DESIGN.md §10): the tree set splits
+// into two cohorts on two VirtualGpu streams; while cohort B's kernel is in
+// flight on its stream worker, the host selects (and later backpropagates)
+// cohort A on the exec backend — the structured pipeline parallelism of
+// Mirsoleimani et al.'s 3PMCTS, applied across cohorts. Each tree's rounds
+// stay totally ordered inside its cohort and cohort grids are slices of the
+// same logical grid (LaunchConfig::block_offset), so every tree's evolution
+// — results, stats — is bit-identical with pipelining on or off; without
+// faults the main clock is advanced by exactly the synchronous round total
+// each round, keeping virtual time bit-identical too.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +39,7 @@
 #include "parallel/merge.hpp"
 #include "simt/device_buffer.hpp"
 #include "simt/playout_kernel.hpp"
+#include "simt/timing.hpp"
 #include "simt/vgpu.hpp"
 #include "util/check.hpp"
 #include "util/clock.hpp"
@@ -46,8 +61,14 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
     /// under an enabled util::FaultInjector on the VirtualGpu).
     util::RetryPolicy retry{};
     /// Consecutive unrecoverable GPU rounds before the searcher stops
-    /// launching and degrades to CPU-only sequential iterations.
+    /// launching and degrades to CPU-only sequential iterations. In
+    /// pipelined mode the counter is per cohort: one cohort can abandon its
+    /// stream while the other keeps launching.
     int max_failed_rounds = 2;
+    /// Pipelined double-buffered rounds over two streams (requires at least
+    /// two blocks; ignored otherwise). Results, stats, and per-tree
+    /// evolution are bit-identical with this on or off.
+    bool pipeline = false;
   };
 
   BlockParallelGpuSearcher(Options options, mcts::SearchConfig config = {},
@@ -109,11 +130,10 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
       tracer_->set_frequency(clock.frequency_hz());
     }
 
-    // Degradation path: one ordinary sequential MCTS iteration on a
-    // rotating tree, for rounds where the device produced nothing.
-    const auto cpu_iteration = [&] {
-      mcts::Tree<G>& tree = *trees[fallback_cursor];
-      fallback_cursor = (fallback_cursor + 1) % trees_n;
+    // Degradation path: one ordinary sequential MCTS iteration on tree `t`,
+    // for trees whose round produced no device results.
+    const auto cpu_iteration_on = [&](std::size_t t) {
+      mcts::Tree<G>& tree = *trees[t];
       const mcts::Selection<G> sel = tree.select();
       double value;
       std::uint32_t plies = 0;
@@ -136,8 +156,316 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
         tracer_->metrics().histogram("playout_plies").observe(plies);
       }
     };
+    const auto cpu_iteration = [&] {
+      cpu_iteration_on(fallback_cursor);
+      fallback_cursor = (fallback_cursor + 1) % trees_n;
+    };
+
+    // ---- Pipelined double-buffered rounds (DESIGN.md §10) ----------------
+    //
+    // Two cohorts on two streams: select A -> enqueue A -> select B (overlaps
+    // kernel A) -> enqueue B -> wait A -> backprop A (overlaps kernel B) ->
+    // wait B -> backprop B. Cohort grids are block_offset slices of the one
+    // logical grid, so the union of their lanes — identities, RNG streams,
+    // SM placement — is exactly the synchronous launch's.
+    //
+    // Two timelines. `pipe` is the honest overlapped schedule: stream
+    // enqueues/waits, split transfers, and per-cohort host phases charge it,
+    // and every trace event of a pipelined round is stamped with it. Without
+    // faults the *main* clock instead advances once per round by exactly the
+    // synchronous round total (reproducible because both cohorts always
+    // succeed and their combined traces equal the covering launch's) — that
+    // canonical timeline is what keeps deadline decisions, and therefore
+    // every result and stat, bit-identical with pipelining off. Under faults
+    // there is no synchronous total to reproduce (retries and fallbacks
+    // restructure the round), so the main clock itself runs the honest
+    // schedule and `pipe` aliases it.
+    const bool pipelined = options_.pipeline && options_.launch.blocks >= 2;
+    const bool faults_enabled = gpu_.fault_injector().enabled();
+    util::VirtualClock overlap_clock(gpu_.host().clock_hz);
+    util::VirtualClock& pipe = faults_enabled ? clock : overlap_clock;
+    if (pipelined) gpu_.reset_stream_timeline();
+
+    struct Cohort {
+      std::size_t begin = 0;
+      std::size_t count = 0;
+      int stream = 0;
+      simt::LaunchConfig cfg;
+      int failed_rounds = 0;
+      bool abandoned = false;
+    };
+    std::array<Cohort, 2> cohorts{};
+    if (pipelined) {
+      const std::size_t half = trees_n / 2;
+      cohorts[0] = {0, half, 0,
+                    simt::LaunchConfig{
+                        .blocks = static_cast<int>(half),
+                        .threads_per_block = options_.launch.threads_per_block,
+                        .block_offset = 0}};
+      cohorts[1] = {half, trees_n - half, 1,
+                    simt::LaunchConfig{
+                        .blocks = static_cast<int>(trees_n - half),
+                        .threads_per_block = options_.launch.threads_per_block,
+                        .block_offset = static_cast<int>(half)}};
+    }
+    // Stream kernels must outlive their wait (the worker holds a reference).
+    std::array<std::optional<simt::PlayoutKernel<G>>, 2> kernels;
+
+    const auto select_cohort = [&](const Cohort& c) {
+      std::uint64_t nodes_before = 0;
+      if (tracer_ != nullptr) {
+        for (std::size_t t = c.begin; t < c.begin + c.count; ++t) {
+          nodes_before += trees[t]->node_count();
+        }
+      }
+      {
+        obs::ScopedSpan span(tracer_, host_track, "selection", pipe,
+                             {{"trees", static_cast<double>(c.count)},
+                              {"cohort", static_cast<double>(c.stream)}});
+        const auto select_tree = [&](std::size_t t) {
+          const mcts::Selection<G> sel = trees[t]->select();
+          roots.host()[t] = sel.state;
+          leaves[t] = sel.node;
+          terminal[t] = sel.terminal ? 1 : 0;
+        };
+        if (pool != nullptr) {
+          pool->parallel_for_ranges(c.count,
+                                    [&](std::size_t begin, std::size_t end) {
+                                      for (std::size_t i = begin; i < end; ++i) {
+                                        select_tree(c.begin + i);
+                                      }
+                                    });
+        } else {
+          for (std::size_t i = 0; i < c.count; ++i) select_tree(c.begin + i);
+        }
+        // Bulk charge on either backend, so the overlapped timeline is
+        // bit-identical at any exec thread count.
+        pipe.advance(c.count *
+                     static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+      }
+      if (tracer_ != nullptr) {
+        std::uint64_t nodes_after = 0;
+        for (std::size_t t = c.begin; t < c.begin + c.count; ++t) {
+          nodes_after += trees[t]->node_count();
+        }
+        tracer_->instant(
+            host_track, "expansion", pipe.cycles(),
+            {{"nodes_added", static_cast<double>(nodes_after - nodes_before)},
+             {"cohort", static_cast<double>(c.stream)}});
+      }
+    };
+
+    const auto zero_cohort_results = [&](const Cohort& c) {
+      // Range-scoped view: marking the whole buffer dirty here would
+      // re-poison the sibling cohort's slots after it already downloaded
+      // them (a retry re-zeroes mid-round).
+      const std::span<simt::BlockResult> device_results =
+          results.device_view_partial(c.begin, c.count);
+      for (std::size_t t = c.begin; t < c.begin + c.count; ++t) {
+        device_results[t] = simt::BlockResult{};
+      }
+    };
+
+    // Upload + enqueue one cohort; throws util::FaultError when the upload's
+    // retry budget is exhausted. The kernel gets the full-size device spans
+    // (it indexes roots/results by global block id) but only this cohort's
+    // slice of the grid, so transfers and kernels of the two cohorts touch
+    // disjoint element ranges.
+    const auto enqueue_cohort = [&](const Cohort& c) {
+      {
+        obs::ScopedSpan span(tracer_, host_track, "upload", pipe,
+                             {{"cohort", static_cast<double>(c.stream)}});
+        roots.upload_range(pipe, c.begin, c.count);
+      }
+      zero_cohort_results(c);
+      kernels[static_cast<std::size_t>(c.stream)].emplace(
+          roots.device_view_partial(c.begin, c.count), search_seed, round,
+          results.device_view_partial(c.begin, c.count));
+      return gpu_.launch_on(
+          c.stream, c.cfg, *kernels[static_cast<std::size_t>(c.stream)], pipe);
+    };
+
+    // Waits for one cohort's kernel and backpropagates its tallies. Attempt
+    // 0 consumes the ticket enqueued earlier (so the other cohort's kernel
+    // kept overlapping); failed launches re-enqueue on the same stream.
+    // Returns false when the launch retry budget is exhausted; throws
+    // util::FaultError when the download's is.
+    const auto wait_cohort = [&](const Cohort& c, simt::StreamTicket ticket,
+                                 simt::StreamLaunch& out) {
+      bool launched = false;
+      {
+        obs::ScopedSpan span(
+            tracer_, host_track, "kernel", pipe,
+            {{"blocks", static_cast<double>(c.cfg.blocks)},
+             {"block_offset", static_cast<double>(c.cfg.block_offset)},
+             {"threads_per_block",
+              static_cast<double>(c.cfg.threads_per_block)}});
+        launched = util::with_retry(
+            options_.retry, pipe, &fault_log, [&](int attempt) {
+              if (attempt > 0) {
+                zero_cohort_results(c);
+                ticket = gpu_.launch_on(
+                    c.stream, c.cfg,
+                    *kernels[static_cast<std::size_t>(c.stream)], pipe);
+              }
+              out = gpu_.wait(ticket, pipe);
+              return out.result.ok();
+            });
+      }
+      if (!launched) return false;
+      {
+        obs::ScopedSpan span(tracer_, host_track, "download", pipe,
+                             {{"cohort", static_cast<double>(c.stream)}});
+        results.download_range(pipe, c.begin, c.count);
+      }
+      obs::ScopedSpan span(tracer_, host_track, "backprop", pipe,
+                           {{"cohort", static_cast<double>(c.stream)}});
+      const std::span<const simt::BlockResult> tallies =
+          results.host_checked_range(c.begin, c.count);
+      const auto backprop_tree = [&](std::size_t i) {
+        const std::size_t t = c.begin + i;
+        trees[t]->backpropagate(leaves[t], tallies[i].value_first,
+                                tallies[i].simulations,
+                                tallies[i].value_sq_first);
+      };
+      if (pool != nullptr) {
+        pool->parallel_for_ranges(c.count,
+                                  [&](std::size_t begin, std::size_t end) {
+                                    for (std::size_t i = begin; i < end; ++i) {
+                                      backprop_tree(i);
+                                    }
+                                  });
+      } else {
+        for (std::size_t i = 0; i < c.count; ++i) backprop_tree(i);
+      }
+      return true;
+    };
+
+    // Degradation without stalling the other cohort: a failed (or abandoned)
+    // cohort's trees each get one CPU iteration this round.
+    const auto cohort_fallback = [&](const Cohort& c) {
+      obs::ScopedSpan span(tracer_, host_track, "cpu_fallback", pipe,
+                           {{"cohort", static_cast<double>(c.stream)}});
+      for (std::size_t i = 0; i < c.count && clock.cycles() < deadline; ++i) {
+        cpu_iteration_on(c.begin + i);
+      }
+    };
+
+    // One pipelined round. Handles per-cohort fault recovery internally;
+    // returns whether any cohort produced kernel results.
+    const auto pipelined_round = [&] {
+      std::array<simt::StreamTicket, 2> tickets{};
+      std::array<bool, 2> enqueued{};
+      std::array<bool, 2> ok{};
+      std::array<simt::StreamLaunch, 2> launches{};
+      for (Cohort& c : cohorts) {
+        if (c.abandoned) continue;
+        select_cohort(c);
+        try {
+          tickets[static_cast<std::size_t>(c.stream)] = enqueue_cohort(c);
+          enqueued[static_cast<std::size_t>(c.stream)] = true;
+        } catch (const util::FaultError&) {
+          // Upload retries exhausted: this cohort's round is lost; the other
+          // cohort proceeds untouched.
+        }
+      }
+      for (Cohort& c : cohorts) {
+        const auto s = static_cast<std::size_t>(c.stream);
+        if (c.abandoned || !enqueued[s]) continue;
+        try {
+          ok[s] = wait_cohort(c, tickets[s], launches[s]);
+        } catch (const util::FaultError&) {
+          ok[s] = false;
+        }
+      }
+      // Stats and tracer observations on the controlling thread in tree
+      // order (cohort A holds the lower tree indices) — identical to the
+      // synchronous path's order and to any exec thread count.
+      std::vector<simt::WarpTrace> round_traces;
+      bool any_ok = false;
+      for (const Cohort& c : cohorts) {
+        const auto s = static_cast<std::size_t>(c.stream);
+        if (!ok[s]) continue;
+        any_ok = true;
+        const std::span<const simt::BlockResult> tallies =
+            results.host_checked_range(c.begin, c.count);
+        for (std::size_t i = 0; i < c.count; ++i) {
+          stats_.simulations += tallies[i].simulations;
+          stats_.gpu_simulations += tallies[i].simulations;
+          if (tracer_ != nullptr) {
+            tracer_->metrics()
+                .histogram("block_simulations")
+                .observe(tallies[i].simulations);
+            if (tallies[i].simulations > 0) {
+              tracer_->metrics().histogram("playout_plies").observe(
+                  static_cast<double>(tallies[i].total_plies) /
+                  static_cast<double>(tallies[i].simulations));
+            }
+          }
+        }
+        round_traces.insert(round_traces.end(), launches[s].traces.begin(),
+                            launches[s].traces.end());
+      }
+      if (any_ok) {
+        // One divergence sample per successful GPU round, aggregated over
+        // the successful cohorts' traces — with both cohorts ok this equals
+        // the covering synchronous launch's figure exactly (integer sums).
+        const simt::LaunchStats agg =
+            simt::aggregate_stats(round_traces, gpu_.device());
+        if (tracer_ != nullptr) {
+          tracer_->counter(host_track, "divergence", pipe.cycles(),
+                           agg.divergence_waste());
+        }
+        waste_sum += agg.divergence_waste();
+        stats_.gpu_rounds += 1;
+      }
+      if (!faults_enabled) {
+        // Canonical charge: selection for every tree + full-buffer upload +
+        // one launch overhead + device time of the combined traces + full
+        // readback — term for term the synchronous round's clock advances.
+        const double combined_cycles = simt::device_cycles_for(
+            round_traces, options_.launch, gpu_.device(), gpu_.cost());
+        clock.advance(
+            trees_n *
+                static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles) +
+            roots.costs().cost(roots.bytes()) + gpu_.launch_overhead_cycles() +
+            static_cast<std::uint64_t>(gpu_.cost().device_to_host_cycles(
+                combined_cycles, gpu_.device(), gpu_.host())) +
+            results.costs().cost(results.bytes()));
+      }
+      for (Cohort& c : cohorts) {
+        const auto s = static_cast<std::size_t>(c.stream);
+        if (!c.abandoned) {
+          if (ok[s]) {
+            c.failed_rounds = 0;
+          } else if (++c.failed_rounds >= options_.max_failed_rounds) {
+            c.abandoned = true;
+            fault_log.record_recovery(util::RecoveryKind::kCpuFallback,
+                                      clock.cycles(), c.failed_rounds);
+            if (tracer_ != nullptr) {
+              tracer_->instant(host_track, "cohort_abandoned", clock.cycles(),
+                               {{"cohort", static_cast<double>(c.stream)}});
+            }
+          }
+        }
+        if (!ok[s]) cohort_fallback(c);
+      }
+      if (cohorts[0].abandoned && cohorts[1].abandoned && !gpu_abandoned) {
+        gpu_abandoned = true;
+        if (tracer_ != nullptr) {
+          tracer_->instant(host_track, "gpu_abandoned", clock.cycles());
+        }
+      }
+      return any_ok;
+    };
 
     do {
+      if (pipelined) {
+        (void)pipelined_round();
+        ++round;
+        stats_.rounds += 1;
+        continue;
+      }
       bool gpu_round_ok = false;
       if (!gpu_abandoned) {
         // Sequential host part: select/expand every tree — "at most one CPU
@@ -337,7 +665,8 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
 
   [[nodiscard]] std::string name() const override {
     return "block-parallel GPU (" + std::to_string(options_.launch.blocks) +
-           "x" + std::to_string(options_.launch.threads_per_block) + ")";
+           "x" + std::to_string(options_.launch.threads_per_block) +
+           (options_.pipeline ? ", pipelined" : "") + ")";
   }
 
   void reseed(std::uint64_t seed) override {

@@ -3,9 +3,23 @@
 // random games from the single selected leaf and backpropagates the
 // aggregate. Simple, but every round samples the same node, so accuracy
 // saturates (Figure 6: win ratio stalls near 0.75 at ~1024 threads).
+//
+// Pipelined rounds (Options::pipeline, DESIGN.md §10): a single tree gives
+// each round a strict select -> simulate -> backprop dependency, so unlike
+// the block searcher there is nothing to double-buffer *across* rounds
+// without changing results. Instead the round's grid is split into two
+// block_offset halves launched on two streams, whose workers execute
+// concurrently on the host. Each half tallies into its own slot; adding the
+// two half-sums reproduces the covering launch's sequential accumulation
+// bit for bit (playout values are dyadic rationals — 0, 0.5, 1 — whose
+// partial sums are exact in a double), so the tree's evolution is
+// bit-identical with pipelining on or off.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,6 +30,7 @@
 #include "obs/trace.hpp"
 #include "simt/device_buffer.hpp"
 #include "simt/playout_kernel.hpp"
+#include "simt/timing.hpp"
 #include "simt/vgpu.hpp"
 #include "util/check.hpp"
 #include "util/clock.hpp"
@@ -29,6 +44,10 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
   struct Options {
     /// Grid geometry; the paper's leaf experiments use block size 64.
     simt::LaunchConfig launch{.blocks = 1, .threads_per_block = 64};
+    /// Split each round's grid across two concurrent streams (requires at
+    /// least two blocks; ignored otherwise). Results and stats are
+    /// bit-identical with this on or off.
+    bool pipeline = false;
   };
 
   LeafParallelGpuSearcher(Options options, mcts::SearchConfig config = {},
@@ -51,6 +70,29 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
     double waste_sum = 0.0;
     std::uint64_t round = 0;
 
+    // Pipelined split-grid rounds: `op_clock` is the timeline operations
+    // charge honestly. Without faults it is a separate overlapped clock and
+    // the *main* clock advances by exactly the synchronous round total each
+    // round (the canonical timeline — what keeps deadline decisions and
+    // stats bit-identical with pipelining off). Under faults the honest
+    // schedule is the only schedule, so op_clock aliases the main clock.
+    const bool pipelined = options_.pipeline && options_.launch.blocks >= 2;
+    const bool faults_enabled = gpu_.fault_injector().enabled();
+    util::VirtualClock overlap_clock(gpu_.host().clock_hz);
+    util::VirtualClock& op_clock =
+        pipelined && !faults_enabled ? overlap_clock : clock;
+    std::array<simt::LaunchConfig, 2> half_cfg{};
+    if (pipelined) {
+      gpu_.reset_stream_timeline();
+      const int half = options_.launch.blocks / 2;
+      half_cfg[0] = {.blocks = half,
+                     .threads_per_block = options_.launch.threads_per_block,
+                     .block_offset = 0};
+      half_cfg[1] = {.blocks = options_.launch.blocks - half,
+                     .threads_per_block = options_.launch.threads_per_block,
+                     .block_offset = half};
+    }
+
     constexpr int host_track = obs::Tracer::kHostTrack;
     if (tracer_ != nullptr) {
       (void)tracer_->begin_search(name());
@@ -61,12 +103,17 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
       // Host side: one tree operation (selection + expansion), charged to
       // the CPU controlling process.
       const mcts::Selection<G> sel = [&] {
-        obs::ScopedSpan span(tracer_, host_track, "selection", clock);
+        obs::ScopedSpan span(tracer_, host_track, "selection", op_clock);
         const mcts::Selection<G> selected = tree.select();
-        clock.advance(
+        op_clock.advance(
             static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
         return selected;
       }();
+      if (pipelined && !faults_enabled) {
+        // Canonical charge for the selection the overlapped timeline paid.
+        clock.advance(
+            static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
+      }
 
       if (sel.terminal) {
         // Nothing to simulate: score the terminal leaf directly.
@@ -75,6 +122,91 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
         tree.backpropagate(sel.node, v, 1, v * v);
         stats_.simulations += 1;
         stats_.cpu_iterations += 1;
+      } else if (pipelined) {
+        // One root up (shared by both halves), one tally slot per half down.
+        simt::DeviceBuffer<typename G::State> root(1);
+        simt::DeviceBuffer<simt::BlockResult> result(2);
+        root.host()[0] = sel.state;
+        {
+          obs::ScopedSpan span(tracer_, host_track, "upload", op_clock);
+          root.upload(op_clock);
+        }
+        const std::span<simt::BlockResult> device_result =
+            result.device_view();
+        device_result[0] = simt::BlockResult{};
+        device_result[1] = simt::BlockResult{};
+        // Kernels must outlive their wait (the stream worker holds a
+        // reference). Each half-grid is a block_offset slice, so its lanes
+        // carry the same identities and RNG streams the covering launch
+        // would hand them.
+        std::array<std::optional<simt::PlayoutKernel<G>>, 2> kernels;
+        std::array<simt::StreamTicket, 2> tickets{};
+        for (int s = 0; s < 2; ++s) {
+          kernels[static_cast<std::size_t>(s)].emplace(
+              root.device_view(), search_seed, round,
+              device_result.subspan(static_cast<std::size_t>(s), 1));
+          tickets[static_cast<std::size_t>(s)] = gpu_.launch_on(
+              s, half_cfg[static_cast<std::size_t>(s)],
+              *kernels[static_cast<std::size_t>(s)], op_clock);
+        }
+        std::vector<simt::WarpTrace> round_traces;
+        for (int s = 0; s < 2; ++s) {
+          const simt::StreamLaunch done =
+              gpu_.wait(tickets[static_cast<std::size_t>(s)], op_clock);
+          // Fault-oblivious like the synchronous path: a failed half left
+          // its zeroed slot untouched and contributes nothing to the tally.
+          if (done.result.ok()) {
+            round_traces.insert(round_traces.end(), done.traces.begin(),
+                                done.traces.end());
+          }
+        }
+        {
+          obs::ScopedSpan span(tracer_, host_track, "download", op_clock);
+          result.download_range(op_clock, 0, 1);
+          result.download_range(op_clock, 1, 1);
+        }
+        const std::span<const simt::BlockResult> tallies =
+            result.host_checked_range(0, 2);
+        simt::BlockResult tally{};
+        for (const simt::BlockResult& r : tallies) {
+          tally.value_first += r.value_first;
+          tally.value_sq_first += r.value_sq_first;
+          tally.simulations += r.simulations;
+          tally.total_plies += r.total_plies;
+        }
+        {
+          obs::ScopedSpan span(tracer_, host_track, "backprop", op_clock);
+          tree.backpropagate(sel.node, tally.value_first, tally.simulations,
+                             tally.value_sq_first);
+        }
+        const simt::LaunchStats agg =
+            simt::aggregate_stats(round_traces, gpu_.device());
+        stats_.simulations += tally.simulations;
+        stats_.gpu_simulations += tally.simulations;
+        stats_.gpu_rounds += 1;
+        waste_sum += agg.divergence_waste();
+        if (tracer_ != nullptr) {
+          tracer_->counter(host_track, "divergence", op_clock.cycles(),
+                           agg.divergence_waste());
+          if (tally.simulations > 0) {
+            tracer_->metrics().histogram("playout_plies").observe(
+                static_cast<double>(tally.total_plies) /
+                static_cast<double>(tally.simulations));
+          }
+        }
+        if (!faults_enabled) {
+          // Canonical charge: full-root upload + one launch overhead +
+          // device time of the combined half traces + a single-tally
+          // readback — term for term the synchronous round's advances.
+          const double combined_cycles = simt::device_cycles_for(
+              round_traces, options_.launch, gpu_.device(), gpu_.cost());
+          clock.advance(
+              root.costs().cost(root.bytes()) +
+              gpu_.launch_overhead_cycles() +
+              static_cast<std::uint64_t>(gpu_.cost().device_to_host_cycles(
+                  combined_cycles, gpu_.device(), gpu_.host())) +
+              result.costs().cost(sizeof(simt::BlockResult)));
+        }
       } else {
         // One root up, one aggregate tally down per round.
         simt::DeviceBuffer<typename G::State> root(1);
@@ -150,7 +282,8 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
 
   [[nodiscard]] std::string name() const override {
     return "leaf-parallel GPU (" + std::to_string(options_.launch.blocks) +
-           "x" + std::to_string(options_.launch.threads_per_block) + ")";
+           "x" + std::to_string(options_.launch.threads_per_block) +
+           (options_.pipeline ? ", pipelined" : "") + ")";
   }
 
   void reseed(std::uint64_t seed) override {

@@ -45,10 +45,26 @@ template <game::Game G>
 }
 
 /// Majority-vote winner: most total visits, win rate as tie-break.
+///
+/// Degenerate case: every merged move can carry zero visits — all GPU rounds
+/// faulted before a single backpropagation and the deadline passed before
+/// any CPU fallback iteration ran. There is no evidence to vote on, so the
+/// fallback is *explicitly* the smallest move in the move ordering (for the
+/// in-tree games, the lowest board square) — a deliberate, documented, and
+/// deterministic choice rather than an accident of map iteration order.
 template <typename MoveT>
 [[nodiscard]] MoveT best_merged_move(
     const std::vector<MergedMove<MoveT>>& merged) {
   util::expects(!merged.empty(), "no root statistics to merge");
+  bool any_visits = false;
+  for (const auto& m : merged) any_visits = any_visits || m.visits > 0;
+  if (!any_visits) {
+    MoveT lowest = merged.front().move;
+    for (const auto& m : merged) {
+      if (m.move < lowest) lowest = m.move;
+    }
+    return lowest;
+  }
   const MergedMove<MoveT>* best = &merged.front();
   for (const auto& m : merged) {
     const double rate_m =

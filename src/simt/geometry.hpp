@@ -11,9 +11,20 @@ namespace gpu_mcts::simt {
 
 /// A 1-D launch: the paper's kernels are all 1-D grids of 1-D blocks
 /// ("n = blocks(trees) x threads (simulations at once)").
+///
+/// `block_offset` makes the launch a *slice* of a larger logical grid:
+/// lane identities (LaneId::block / global_thread), warp-trace block ids,
+/// and the SM assignment all use the global block index
+/// `block_offset + local_block`. Two launches covering [0, k) and [k, n)
+/// therefore execute exactly the lanes — same RNG streams, same root/result
+/// slots, same SM placement — that one launch of n blocks would, which is
+/// what lets the pipelined searchers split a round across streams without
+/// changing any tree's evolution (DESIGN.md §10).
 struct LaunchConfig {
   int blocks = 1;
   int threads_per_block = 32;
+  /// Global index of this launch's first block (0 = a whole grid).
+  int block_offset = 0;
 
   [[nodiscard]] constexpr int total_threads() const noexcept {
     return blocks * threads_per_block;
@@ -35,11 +46,16 @@ inline void validate(const LaunchConfig& cfg, const DeviceProperties& dev) {
   util::expects(cfg.threads_per_block >= 1 &&
                     cfg.threads_per_block <= dev.max_threads_per_block,
                 "threads per block within device limits");
+  util::expects(cfg.block_offset >= 0 &&
+                    cfg.block_offset + cfg.blocks <= dev.max_blocks,
+                "grid slice within device limits");
 }
 
-/// Identity of one lane during kernel execution.
+/// Identity of one lane during kernel execution. `block` and `global_thread`
+/// are *logical-grid* indices: a sliced launch (block_offset > 0) hands its
+/// lanes the same identities the covering full-grid launch would.
 struct LaneId {
-  int block = 0;           ///< blockIdx.x
+  int block = 0;           ///< blockIdx.x, in the logical grid
   int thread = 0;          ///< threadIdx.x
   int warp_in_block = 0;   ///< threadIdx.x / warpSize
   int lane_in_warp = 0;    ///< threadIdx.x % warpSize
@@ -50,11 +66,11 @@ struct LaneId {
                                             const DeviceProperties& dev,
                                             int block, int thread) noexcept {
   LaneId id;
-  id.block = block;
+  id.block = cfg.block_offset + block;
   id.thread = thread;
   id.warp_in_block = thread / dev.warp_size;
   id.lane_in_warp = thread % dev.warp_size;
-  id.global_thread = block * cfg.threads_per_block + thread;
+  id.global_thread = id.block * cfg.threads_per_block + thread;
   return id;
 }
 

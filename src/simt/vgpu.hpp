@@ -8,6 +8,14 @@
 // hybrid CPU/GPU overlap (Figure 4: "kernel execution call ... cpu can work
 // here ... gpu ready event").
 //
+// Streams (DESIGN.md §10): launch_on enqueues a kernel on one of a small
+// pool of streams, each backed by a dedicated worker thread, so launches on
+// different streams execute concurrently on the host while the controlling
+// thread keeps doing tree work — real wall-clock overlap. Modeled time is
+// settled at wait(): the single modeled device retires stream kernels in
+// wait order (start = max(enqueue, previous completion)), and per-stream
+// "gpu.s<k>" trace tracks make the overlap visible in Chrome traces.
+//
 // Execution backend (DESIGN.md §9): blocks are independent by construction
 // (per-lane RNG streams, per-block result slots), so the grid can be
 // partitioned by block across a worker pool. The threaded path stages every
@@ -18,9 +26,19 @@
 // original single-thread loop.
 #pragma once
 
+#include <algorithm>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/trace.hpp"
@@ -41,6 +59,33 @@ struct Event {
   /// Host-clock cycle at which the kernel (plus launch overhead) completes.
   std::uint64_t completion_host_cycle = 0;
   LaunchResult result;
+};
+
+/// Handle to one in-flight launch on a stream (VirtualGpu::launch_on).
+/// Tickets of one stream complete in issue order; wait() consumes them in
+/// that order.
+struct StreamTicket {
+  int stream = 0;
+  std::uint64_t op = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return op != 0; }
+};
+
+/// A completed stream launch, returned by VirtualGpu::wait(). Carries the
+/// raw warp traces so callers that split one logical grid across streams
+/// (pipelined searchers) can re-derive the *combined* launch's device time
+/// and divergence — the timing model is not additive across slices
+/// (occupancy changes), so per-slice results alone would mis-charge.
+struct StreamLaunch {
+  LaunchResult result;
+  std::vector<WarpTrace> traces;
+  /// Host cycle at which the launch was enqueued (after the enqueue charge).
+  std::uint64_t enqueue_cycle = 0;
+  /// Modeled device-busy interval in host-clock cycles: the kernel starts
+  /// when both its enqueue has happened and the device has retired every
+  /// earlier kernel (one device — kernels from all streams serialize).
+  std::uint64_t device_start_cycle = 0;
+  std::uint64_t completion_cycle = 0;
 };
 
 /// How the VirtualGpu executes a grid on the host. `threads == 1` (the
@@ -99,6 +144,7 @@ class VirtualGpu {
   void set_tracer(obs::Tracer* tracer) {
     tracer_ = tracer;
     gpu_track_ = tracer != nullptr ? tracer->track("gpu") : 0;
+    stream_tracks_.clear();
   }
 
   /// Selects the execution backend. Dropping to 1 thread releases the pool;
@@ -203,6 +249,117 @@ class VirtualGpu {
     host_clock.advance(sync_overhead_cycles());
   }
 
+  /// Stream slots available to launch_on (CUDA-style small fixed pool).
+  static constexpr int kMaxStreams = 8;
+
+  /// Enqueues the kernel on a stream and returns a ticket without blocking.
+  /// Unlike launch_async (which executes eagerly on the caller), the grid
+  /// runs on the stream's dedicated worker thread — launches on *different*
+  /// streams execute concurrently on the host, which is where the pipelined
+  /// searchers get their wall-clock overlap. Launches on one stream run in
+  /// issue order, and wait() must consume a stream's tickets in that order.
+  ///
+  /// The kernel object is captured by reference: it must stay alive, and its
+  /// inputs/outputs must not be touched by the caller, until wait() returns
+  /// this ticket's StreamLaunch (the future inside wait() is the
+  /// synchronization point). Grids with more than one block use the worker
+  /// pool when the execution policy is threaded — the pool is shared with
+  /// the controller's own host phases and is safe to use from both sides.
+  ///
+  /// The host clock is charged the enqueue half of the launch overhead.
+  /// Fault draws (launch failure, stall) happen here, on the controlling
+  /// thread in enqueue order, so fault schedules stay deterministic; an
+  /// injected failure executes nothing and surfaces at wait(), like a real
+  /// driver reporting at the next synchronization point.
+  template <LaneKernel K>
+  StreamTicket launch_on(int stream, const LaunchConfig& cfg, K& kernel,
+                         util::VirtualClock& host_clock) {
+    validate(cfg, dev_);
+    StreamSet& streams = stream_set();
+    util::expects(stream >= 0 && stream < kMaxStreams, "stream id in range");
+    PendingStreamLaunch pending;
+    pending.op = ++streams.next_op;
+    pending.cfg = cfg;
+    const std::uint64_t draw_cycle = host_clock.cycles();
+    if (injector_.kernel_launch_fails(draw_cycle)) {
+      pending.failed = true;
+    } else {
+      pending.stalled = injector_.kernel_stalls(draw_cycle);
+      util::ThreadPool* pool = cfg.blocks > 1 ? worker_pool() : nullptr;
+      std::packaged_task<StreamExecution()> task(
+          [this, cfg, &kernel, pool] { return execute_traced(cfg, kernel, pool); });
+      pending.execution = task.get_future();
+      streams.enqueue(stream, std::move(task));
+    }
+    host_clock.advance(enqueue_overhead_cycles());
+    pending.enqueue_cycle = host_clock.cycles();
+    const StreamTicket ticket{stream, pending.op};
+    streams.pending[static_cast<std::size_t>(stream)].push_back(
+        std::move(pending));
+    return ticket;
+  }
+
+  /// Retires a stream's oldest in-flight launch (tickets are FIFO per
+  /// stream — enforced). Blocks the calling thread until the worker is done,
+  /// then settles modeled time: the device serializes kernels across
+  /// streams, so the kernel starts at max(its enqueue cycle, the previous
+  /// kernel's completion) and the host clock advances to its completion plus
+  /// the synchronization half of the launch overhead. Emits the per-stream
+  /// "kernel" span (track "gpu.s<k>") so Chrome traces show the overlap.
+  StreamLaunch wait(const StreamTicket& ticket,
+                    util::VirtualClock& host_clock) {
+    StreamSet& streams = stream_set();
+    util::expects(ticket.stream >= 0 && ticket.stream < kMaxStreams,
+                  "stream id in range");
+    auto& queue = streams.pending[static_cast<std::size_t>(ticket.stream)];
+    util::expects(!queue.empty() && queue.front().op == ticket.op,
+                  "stream tickets waited in issue order");
+    PendingStreamLaunch pending = std::move(queue.front());
+    queue.pop_front();
+
+    StreamLaunch done;
+    done.enqueue_cycle = pending.enqueue_cycle;
+    if (pending.failed) {
+      done.result.status = LaunchStatus::kFailed;
+      done.device_start_cycle = pending.enqueue_cycle;
+      done.completion_cycle = pending.enqueue_cycle;
+      host_clock.advance_to(pending.enqueue_cycle);
+      host_clock.advance(sync_overhead_cycles());
+      trace_stream_wait(ticket.stream, pending.cfg, done);
+      return done;
+    }
+    StreamExecution exec = pending.execution.get();  // worker handoff point
+    done.result = exec.result;
+    done.traces = std::move(exec.traces);
+    if (pending.stalled) {
+      done.result.device_cycles *= injector_.policy().stall_multiplier;
+      done.result.status = LaunchStatus::kStalled;
+    }
+    done.device_start_cycle =
+        std::max(pending.enqueue_cycle, streams.device_busy_until);
+    done.completion_cycle =
+        done.device_start_cycle +
+        static_cast<std::uint64_t>(cost_.device_to_host_cycles(
+            done.result.device_cycles, dev_, host_));
+    streams.device_busy_until = done.completion_cycle;
+    host_clock.advance_to(done.completion_cycle);
+    host_clock.advance(sync_overhead_cycles());
+    trace_stream_wait(ticket.stream, pending.cfg, done);
+    return done;
+  }
+
+  /// Resets the modeled device timeline for stream launches. Call at search
+  /// start: each choose_move restarts its virtual clock at zero, so a stale
+  /// busy-until horizon from a previous search would push every completion
+  /// into the far future. Requires no launches in flight.
+  void reset_stream_timeline() {
+    if (!streams_) return;
+    for (const auto& queue : streams_->pending) {
+      util::expects(queue.empty(), "no stream launches in flight across searches");
+    }
+    streams_->device_busy_until = 0;
+  }
+
   /// Host cycles a synchronous launch costs in total.
   [[nodiscard]] std::uint64_t host_cycles_for(
       const LaunchResult& result) const noexcept {
@@ -283,7 +440,7 @@ class VirtualGpu {
     }
 
     WarpTrace trace;
-    trace.block = block;
+    trace.block = cfg.block_offset + block;
     trace.warp_in_block = warp;
     trace.lanes = lanes_here;
 
@@ -394,16 +551,174 @@ class VirtualGpu {
     return traces;
   }
 
+  /// What a stream worker hands back for one launch: the kernel's launch
+  /// result plus the raw warp traces (wait() forwards them on StreamLaunch).
+  struct StreamExecution {
+    LaunchResult result;
+    std::vector<WarpTrace> traces;
+  };
+
+  /// One enqueued-but-not-yet-waited stream launch. Touched only by the
+  /// controlling thread; the future is the sole synchronization point with
+  /// the stream worker.
+  struct PendingStreamLaunch {
+    std::uint64_t op = 0;
+    LaunchConfig cfg;
+    std::uint64_t enqueue_cycle = 0;
+    bool failed = false;   ///< injected launch failure — nothing enqueued
+    bool stalled = false;  ///< injected stall — applied at wait()
+    std::future<StreamExecution> execution;  ///< invalid when `failed`
+  };
+
+  /// The stream machinery: one FIFO worker thread per used stream, plus the
+  /// modeled device timeline those streams feed. Held by shared_ptr like the
+  /// worker pool — lazily created, so copies of this VirtualGpu made before
+  /// first stream use each get their own streams; copies made after share
+  /// them (and the single modeled device).
+  class StreamSet {
+   public:
+    explicit StreamSet(int streams)
+        : pending(static_cast<std::size_t>(streams)),
+          workers_(static_cast<std::size_t>(streams)) {}
+
+    ~StreamSet() {
+      for (auto& slot : workers_) {
+        if (!slot) continue;
+        {
+          const std::lock_guard lock(slot->mutex);
+          slot->stopping = true;
+        }
+        slot->cv.notify_all();
+        slot->thread.join();
+      }
+    }
+
+    StreamSet(const StreamSet&) = delete;
+    StreamSet& operator=(const StreamSet&) = delete;
+
+    void enqueue(int stream, std::packaged_task<StreamExecution()> task) {
+      Worker& w = worker(stream);
+      {
+        const std::lock_guard lock(w.mutex);
+        w.queue.push_back(std::move(task));
+      }
+      w.cv.notify_one();
+    }
+
+    /// Ticket id source (never hands out 0, so default tickets are invalid).
+    std::uint64_t next_op = 0;
+    /// In-flight launches per stream, oldest first. Controller thread only.
+    std::vector<std::deque<PendingStreamLaunch>> pending;
+    /// Host cycle until which the modeled device is busy retiring earlier
+    /// stream kernels. Controller thread only.
+    std::uint64_t device_busy_until = 0;
+
+   private:
+    struct Worker {
+      std::thread thread;
+      std::mutex mutex;
+      std::condition_variable cv;
+      std::deque<std::packaged_task<StreamExecution()>> queue;
+      bool stopping = false;
+    };
+
+    /// Returns the stream's worker, spawning its thread on first use (a
+    /// stream that is never launched on costs nothing).
+    Worker& worker(int stream) {
+      auto& slot = workers_[static_cast<std::size_t>(stream)];
+      if (!slot) {
+        slot = std::make_unique<Worker>();
+        Worker* w = slot.get();
+        w->thread = std::thread([w] {
+          for (;;) {
+            std::packaged_task<StreamExecution()> task;
+            {
+              std::unique_lock lock(w->mutex);
+              w->cv.wait(lock,
+                         [w] { return w->stopping || !w->queue.empty(); });
+              if (w->queue.empty()) return;  // stopping and drained
+              task = std::move(w->queue.front());
+              w->queue.pop_front();
+            }
+            task();
+          }
+        });
+      }
+      return *slot;
+    }
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+  };
+
+  [[nodiscard]] StreamSet& stream_set() {
+    if (!streams_) streams_ = std::make_shared<StreamSet>(kMaxStreams);
+    return *streams_;
+  }
+
+  /// Grid execution on a stream worker thread. Deliberately touches only
+  /// immutable configuration (dev_, cost_) plus the shared thread-safe pool;
+  /// the injector and tracer stay controller-only.
+  template <LaneKernel K>
+  StreamExecution execute_traced(const LaunchConfig& cfg, K& kernel,
+                                 util::ThreadPool* pool) const {
+    StreamExecution out;
+    out.traces = pool != nullptr ? execute_blocks_parallel(cfg, kernel, *pool)
+                                 : execute_blocks_sequential(cfg, kernel);
+    out.result.device_cycles = device_cycles_for(out.traces, cfg, dev_, cost_);
+    out.result.stats = aggregate_stats(out.traces, dev_);
+    return out;
+  }
+
+  /// Per-stream trace emission, on the controlling thread at wait() time:
+  /// a "kernel" span on track "gpu.s<k>" spanning the modeled device-busy
+  /// interval (or a "kernel_launch_failed" instant at the enqueue cycle).
+  void trace_stream_wait(int stream, const LaunchConfig& cfg,
+                         const StreamLaunch& done) {
+    if (tracer_ == nullptr) return;
+    const int track = stream_track(stream);
+    if (done.result.status == LaunchStatus::kFailed) {
+      tracer_->instant(
+          track, "kernel_launch_failed", done.enqueue_cycle,
+          {{"blocks", static_cast<double>(cfg.blocks)},
+           {"block_offset", static_cast<double>(cfg.block_offset)}});
+      return;
+    }
+    tracer_->begin(
+        track, "kernel", done.device_start_cycle,
+        {{"blocks", static_cast<double>(cfg.blocks)},
+         {"block_offset", static_cast<double>(cfg.block_offset)},
+         {"device_cycles", static_cast<double>(done.result.device_cycles)},
+         {"divergence", done.result.stats.divergence_waste()}});
+    tracer_->end(track, "kernel", done.completion_cycle);
+    tracer_->metrics().histogram("kernel_divergence", {0.01, 0.02, 0.05, 0.1,
+                                                       0.2, 0.3, 0.5, 0.75})
+        .observe(done.result.stats.divergence_waste());
+  }
+
+  /// Track id for "gpu.s<k>", created lazily on the attached tracer.
+  [[nodiscard]] int stream_track(int stream) {
+    const auto index = static_cast<std::size_t>(stream);
+    if (index >= stream_tracks_.size()) stream_tracks_.resize(index + 1, -1);
+    if (stream_tracks_[index] < 0) {
+      stream_tracks_[index] = tracer_->track("gpu.s" + std::to_string(stream));
+    }
+    return stream_tracks_[index];
+  }
+
   DeviceProperties dev_;
   HostProperties host_;
   CostModel cost_;
   util::FaultInjector injector_;
   obs::Tracer* tracer_ = nullptr;
   int gpu_track_ = 0;
+  /// Lazily created track ids for the per-stream "gpu.s<k>" tracks.
+  std::vector<int> stream_tracks_;
   ExecutionPolicy exec_ = ExecutionPolicy::from_env();
   /// Lazily created when the policy asks for threads; shared across copies
   /// made after creation.
   std::shared_ptr<util::ThreadPool> pool_;
+  /// Lazily created on first launch_on; shared across copies made after.
+  std::shared_ptr<StreamSet> streams_;
 };
 
 }  // namespace gpu_mcts::simt

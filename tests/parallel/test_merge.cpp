@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "game/tictactoe.hpp"
 #include "mcts/playout.hpp"
+#include "parallel/block_parallel.hpp"
+#include "simt/vgpu.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace gpu_mcts::parallel {
@@ -37,6 +42,34 @@ TEST(Merge, TieBrokenByWinRate) {
   std::vector<MergedMove<TicTacToe::Move>> merged = {
       {3, 10, 4.0}, {5, 10, 9.0}};
   EXPECT_EQ(best_merged_move(merged), 5);
+}
+
+TEST(Merge, AllZeroVisitsFallsBackToSmallestMove) {
+  // No tree ever backpropagated: there is no evidence to vote on, and the
+  // winner must be the *documented* deterministic fallback (the smallest
+  // move), not an accident of container iteration order.
+  const std::vector<MergedMove<TicTacToe::Move>> merged = {
+      {7, 0, 0.0}, {2, 0, 0.0}, {4, 0, 0.0}};
+  EXPECT_EQ(best_merged_move(merged), 2);
+}
+
+TEST(Merge, AllFaultedSearchStillReturnsSmallestMoveDeterministically) {
+  // End-to-end: every kernel launch fails and the budget expires before a
+  // single CPU fallback iteration can run, so every root child of every
+  // tree still has zero visits when the vote happens.
+  BlockParallelGpuSearcher<TicTacToe>::Options options;
+  options.launch = {.blocks = 4, .threads_per_block = 32};
+  mcts::SearchConfig config;
+  config.seed = 9;
+  simt::VirtualGpu gpu;
+  gpu.set_fault_injector(util::FaultInjector(
+      util::FaultPolicy{.kernel_launch_failure = 1.0}, /*seed=*/31));
+  BlockParallelGpuSearcher<TicTacToe> searcher(options, config,
+                                               std::move(gpu));
+  const TicTacToe::Move move =
+      searcher.choose_move(TicTacToe::initial_state(), 1e-7);
+  EXPECT_EQ(searcher.last_stats().simulations, 0u);
+  EXPECT_EQ(move, 0);  // smallest legal opening move, by contract
 }
 
 TEST(Merge, EmptyThrows) {

@@ -1,0 +1,194 @@
+// The pipelined searchers' determinism contract (DESIGN.md §10):
+//  * pipelining ON vs OFF — same move and bit-identical SearchStats (down to
+//    virtual_seconds and divergence_waste), for the block and leaf schemes;
+//  * within pipelined mode, exec_threads must not change anything — move,
+//    stats, and the full trace event stream are compared, fault-injected
+//    runs included (under faults the schedule is the honest overlapped one,
+//    so sync equality is not required — thread-count equality is);
+//  * kernels launched on streams appear on per-stream device tracks
+//    ("gpu.s0"/"gpu.s1");
+//  * a cohort that exhausts its retry budget degrades to CPU fallback
+//    without taking the search down.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/factory.hpp"
+#include "engine/spec.hpp"
+#include "obs/trace.hpp"
+#include "reversi/reversi_game.hpp"
+
+namespace gpu_mcts::parallel {
+namespace {
+
+using reversi::ReversiGame;
+
+constexpr double kBudget = 0.004;
+
+struct SearchCapture {
+  reversi::Move move{};
+  mcts::SearchStats stats;
+  std::vector<obs::TraceEvent> events;
+  std::vector<std::string> track_names;
+};
+
+SearchCapture run_search(const engine::SchemeSpec& spec, int exec_threads,
+                         double budget = kBudget) {
+  SearchCapture out;
+  obs::Tracer tracer;
+  auto searcher = engine::make_searcher<ReversiGame>(
+      spec.with_exec_threads(exec_threads));
+  searcher->set_tracer(&tracer);
+  out.move = searcher->choose_move(ReversiGame::initial_state(), budget);
+  out.stats = searcher->last_stats();
+  out.events = tracer.merged();
+  for (std::size_t t = 0; t < tracer.track_count(); ++t) {
+    out.track_names.push_back(tracer.track_name(static_cast<int>(t)));
+  }
+  return out;
+}
+
+/// Move + every SearchStats field, doubles compared bitwise. Trace streams
+/// are *not* compared here: pipelined runs legitimately emit per-stream
+/// device events the synchronous schedule does not.
+void expect_same_results(const SearchCapture& a, const SearchCapture& b) {
+  EXPECT_EQ(a.move, b.move);
+  EXPECT_EQ(a.stats.simulations, b.stats.simulations);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.gpu_rounds, b.stats.gpu_rounds);
+  EXPECT_EQ(a.stats.cpu_iterations, b.stats.cpu_iterations);
+  EXPECT_EQ(a.stats.gpu_simulations, b.stats.gpu_simulations);
+  EXPECT_EQ(a.stats.tree_nodes, b.stats.tree_nodes);
+  EXPECT_EQ(a.stats.max_depth, b.stats.max_depth);
+  EXPECT_EQ(a.stats.virtual_seconds, b.stats.virtual_seconds);
+  EXPECT_EQ(a.stats.divergence_waste, b.stats.divergence_waste);
+}
+
+/// Results plus the full trace event stream (the exec-threads contract).
+void expect_bit_identical(const SearchCapture& a, const SearchCapture& b) {
+  expect_same_results(a, b);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind) << i;
+    EXPECT_EQ(a.events[i].track, b.events[i].track) << i;
+    EXPECT_EQ(a.events[i].cycles, b.events[i].cycles) << i;
+    EXPECT_STREQ(a.events[i].name, b.events[i].name) << i;
+    EXPECT_EQ(a.events[i].value, b.events[i].value) << i;
+    ASSERT_EQ(a.events[i].arg_count, b.events[i].arg_count) << i;
+    for (std::uint8_t k = 0; k < a.events[i].arg_count; ++k) {
+      EXPECT_EQ(a.events[i].args[k].value, b.events[i].args[k].value) << i;
+    }
+  }
+}
+
+TEST(PipelineBitExact, BlockPipelinedMatchesSynchronous) {
+  const auto spec = engine::SchemeSpec::block_gpu(8, 32).with_seed(21);
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    const SearchCapture sync = run_search(spec, threads);
+    const SearchCapture piped = run_search(spec.with_pipeline(), threads);
+    EXPECT_GT(sync.stats.gpu_rounds, 0u);
+    expect_same_results(sync, piped);
+  }
+}
+
+TEST(PipelineBitExact, LeafPipelinedMatchesSynchronous) {
+  // Leaf is the strict FP case: both halves tally dyadic playout values
+  // whose half-sums must recombine to the sequential accumulation exactly.
+  const auto spec = engine::SchemeSpec::leaf_gpu(4, 64).with_seed(22);
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    const SearchCapture sync = run_search(spec, threads);
+    const SearchCapture piped = run_search(spec.with_pipeline(), threads);
+    EXPECT_GT(sync.stats.gpu_rounds, 0u);
+    expect_same_results(sync, piped);
+  }
+}
+
+TEST(PipelineBitExact, OddGridPipelinedMatchesSynchronous) {
+  // Odd block counts split unevenly (3 -> 1 + 2): the cohorts differ in
+  // size, which exercises the block_offset arithmetic hardest.
+  const auto block = engine::SchemeSpec::block_gpu(7, 32).with_seed(23);
+  expect_same_results(run_search(block, 1),
+                      run_search(block.with_pipeline(), 1));
+  const auto leaf = engine::SchemeSpec::leaf_gpu(5, 32).with_seed(24);
+  expect_same_results(run_search(leaf, 1),
+                      run_search(leaf.with_pipeline(), 1));
+}
+
+TEST(PipelineBitExact, PipelinedIdenticalAcrossExecThreads) {
+  const auto block =
+      engine::SchemeSpec::block_gpu(8, 32).with_seed(25).with_pipeline();
+  expect_bit_identical(run_search(block, 1), run_search(block, 4));
+  const auto leaf =
+      engine::SchemeSpec::leaf_gpu(4, 64).with_seed(26).with_pipeline();
+  expect_bit_identical(run_search(leaf, 1), run_search(leaf, 4));
+}
+
+TEST(PipelineBitExact, FaultedPipelinedIdenticalAcrossExecThreads) {
+  // Under faults the pipelined schedule runs on its single honest timeline;
+  // the contract that remains is exec-thread invariance, traces included.
+  auto block =
+      engine::SchemeSpec::block_gpu(8, 32).with_seed(27).with_pipeline();
+  block.gpu_faults.kernel_launch_failure = 0.3;
+  block.fault_seed = 71;
+  expect_bit_identical(run_search(block, 1), run_search(block, 4));
+
+  auto leaf =
+      engine::SchemeSpec::leaf_gpu(4, 64).with_seed(28).with_pipeline();
+  leaf.gpu_faults.kernel_launch_failure = 0.3;
+  leaf.fault_seed = 72;
+  expect_bit_identical(run_search(leaf, 1), run_search(leaf, 4));
+}
+
+TEST(PipelineBitExact, PipelinedRunEmitsPerStreamDeviceTracks) {
+  const auto spec =
+      engine::SchemeSpec::block_gpu(8, 32).with_seed(29).with_pipeline();
+  const SearchCapture run = run_search(spec, 1);
+  const auto has_track = [&](std::string_view name) {
+    return std::find(run.track_names.begin(), run.track_names.end(), name) !=
+           run.track_names.end();
+  };
+  EXPECT_TRUE(has_track("gpu.s0"));
+  EXPECT_TRUE(has_track("gpu.s1"));
+  // And the streams really carried kernel spans.
+  std::uint64_t stream_kernels = 0;
+  for (const obs::TraceEvent& e : run.events) {
+    if (e.kind == obs::TraceEvent::Kind::kBegin &&
+        std::string_view(e.name) == "kernel" &&
+        run.track_names.at(e.track).starts_with("gpu.s")) {
+      ++stream_kernels;
+    }
+  }
+  EXPECT_EQ(stream_kernels, 2 * run.stats.gpu_rounds);
+}
+
+TEST(PipelineBitExact, AllLaunchesFailedDegradesToCpuPerCohort) {
+  // Every launch fails -> both cohorts exhaust max_failed_rounds, abandon
+  // their streams, and the search survives on CPU fallback iterations.
+  auto spec =
+      engine::SchemeSpec::block_gpu(8, 32).with_seed(30).with_pipeline();
+  spec.gpu_faults.kernel_launch_failure = 1.0;
+  spec.fault_seed = 73;
+  const SearchCapture run = run_search(spec, 1);
+  EXPECT_EQ(run.stats.gpu_rounds, 0u);
+  EXPECT_EQ(run.stats.gpu_simulations, 0u);
+  EXPECT_GT(run.stats.rounds, 0u);
+  EXPECT_GT(run.stats.cpu_iterations, 0u);
+  EXPECT_EQ(run.stats.divergence_waste, 0.0);
+  std::uint64_t abandoned = 0;
+  for (const obs::TraceEvent& e : run.events) {
+    if (e.kind == obs::TraceEvent::Kind::kInstant &&
+        std::string_view(e.name) == "cohort_abandoned") {
+      ++abandoned;
+    }
+  }
+  EXPECT_EQ(abandoned, 2u);  // one per cohort
+}
+
+}  // namespace
+}  // namespace gpu_mcts::parallel

@@ -1,0 +1,189 @@
+// Stream semantics of the VirtualGpu (DESIGN.md §10): per-stream FIFO
+// ordering, block_offset grid slices reproducing the covering launch's lane
+// identities and modeled device time, failed enqueues surfacing at wait()
+// like a real driver, and the single modeled device serializing kernels
+// across streams.
+#include "simt/vgpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/device_buffer.hpp"
+#include "util/check.hpp"
+#include "util/fault.hpp"
+
+namespace gpu_mcts::simt {
+namespace {
+
+/// Toy kernel sized for a *covering* grid: lanes of any slice record into
+/// global_thread-indexed slots, so slices of one covering launch never
+/// collide and their union can be compared against the full launch.
+class SliceKernel {
+ public:
+  struct LaneState {
+    std::int32_t remaining = 0;
+    std::int32_t executed = 0;
+  };
+
+  explicit SliceKernel(int covering_threads)
+      : steps_done(static_cast<std::size_t>(covering_threads), -1) {}
+
+  [[nodiscard]] LaneState make_lane(const LaneId& id) const {
+    LaneState s;
+    s.remaining = id.thread % 7 + 1 + id.block % 3;
+    return s;
+  }
+
+  [[nodiscard]] bool lane_step(LaneState& s) const {
+    ++s.executed;
+    --s.remaining;
+    return s.remaining > 0;
+  }
+
+  void lane_finish(const LaneState& s, const LaneId& id) {
+    steps_done[static_cast<std::size_t>(id.global_thread)] = s.executed;
+  }
+
+  std::vector<std::int32_t> steps_done;
+};
+
+TEST(Streams, SlicedLaunchesMatchCoveringLaunch) {
+  const LaunchConfig full{.blocks = 4, .threads_per_block = 32};
+
+  VirtualGpu sync_gpu;
+  SliceKernel sync_kernel(full.total_threads());
+  util::VirtualClock sync_clock(sync_gpu.host().clock_hz);
+  const LaunchResult covering = sync_gpu.launch(full, sync_kernel, sync_clock);
+  ASSERT_TRUE(covering.ok());
+
+  VirtualGpu gpu;
+  SliceKernel kernel(full.total_threads());
+  util::VirtualClock clock(gpu.host().clock_hz);
+  const LaunchConfig half_a{.blocks = 2, .threads_per_block = 32,
+                            .block_offset = 0};
+  const LaunchConfig half_b{.blocks = 2, .threads_per_block = 32,
+                            .block_offset = 2};
+  const StreamTicket ta = gpu.launch_on(0, half_a, kernel, clock);
+  const StreamTicket tb = gpu.launch_on(1, half_b, kernel, clock);
+  const StreamLaunch da = gpu.wait(ta, clock);
+  const StreamLaunch db = gpu.wait(tb, clock);
+  ASSERT_TRUE(da.result.ok());
+  ASSERT_TRUE(db.result.ok());
+
+  // Same lanes, same per-lane work: block_offset hands each slice the
+  // covering launch's identities.
+  EXPECT_EQ(kernel.steps_done, sync_kernel.steps_done);
+
+  // The union of the slices' traces carries the covering launch's modeled
+  // device time (per-SM placement uses the *global* block index).
+  std::vector<WarpTrace> combined = da.traces;
+  combined.insert(combined.end(), db.traces.begin(), db.traces.end());
+  const double combined_cycles =
+      device_cycles_for(combined, full, gpu.device(), gpu.cost());
+  EXPECT_DOUBLE_EQ(combined_cycles, covering.device_cycles);
+}
+
+TEST(Streams, TicketsRetireInIssueOrderPerStream) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 1, .threads_per_block = 8};
+  SliceKernel kernel(cfg.total_threads());
+  util::VirtualClock clock(gpu.host().clock_hz);
+
+  const StreamTicket first = gpu.launch_on(0, cfg, kernel, clock);
+  const StreamTicket second = gpu.launch_on(0, cfg, kernel, clock);
+  EXPECT_THROW((void)gpu.wait(second, clock), util::ContractViolation);
+  EXPECT_TRUE(gpu.wait(first, clock).result.ok());
+  EXPECT_TRUE(gpu.wait(second, clock).result.ok());
+}
+
+TEST(Streams, DeviceSerializesAcrossStreams) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 1, .threads_per_block = 32};
+  SliceKernel kernel(cfg.total_threads());
+  SliceKernel other(cfg.total_threads());
+  util::VirtualClock clock(gpu.host().clock_hz);
+
+  const StreamTicket ta = gpu.launch_on(0, cfg, kernel, clock);
+  const StreamTicket tb = gpu.launch_on(1, cfg, other, clock);
+  const StreamLaunch da = gpu.wait(ta, clock);
+  const StreamLaunch db = gpu.wait(tb, clock);
+
+  // One modeled device: the second kernel cannot start before the first
+  // finishes, regardless of which stream carried it.
+  EXPECT_GE(da.device_start_cycle, da.enqueue_cycle);
+  EXPECT_GE(db.device_start_cycle, da.completion_cycle);
+  EXPECT_GT(db.completion_cycle, db.device_start_cycle);
+}
+
+TEST(Streams, ResetStreamTimelineClearsBusyHorizon) {
+  VirtualGpu gpu;
+  const LaunchConfig cfg{.blocks = 1, .threads_per_block = 32};
+  SliceKernel kernel(cfg.total_threads());
+
+  util::VirtualClock first_search(gpu.host().clock_hz);
+  (void)gpu.wait(gpu.launch_on(0, cfg, kernel, first_search), first_search);
+
+  // A new search restarts virtual time at zero; without the reset the old
+  // busy horizon would delay this kernel's modeled start.
+  gpu.reset_stream_timeline();
+  util::VirtualClock second_search(gpu.host().clock_hz);
+  const StreamLaunch done = gpu.wait(
+      gpu.launch_on(0, cfg, kernel, second_search), second_search);
+  EXPECT_EQ(done.device_start_cycle, done.enqueue_cycle);
+}
+
+TEST(Streams, FailedEnqueueExecutesNothingAndSurfacesAtWait) {
+  VirtualGpu gpu;
+  gpu.set_fault_injector(util::FaultInjector(
+      util::FaultPolicy{.kernel_launch_failure = 1.0}, /*seed=*/11));
+  const LaunchConfig cfg{.blocks = 1, .threads_per_block = 8};
+  SliceKernel kernel(cfg.total_threads());
+  util::VirtualClock clock(gpu.host().clock_hz);
+
+  const StreamTicket ticket = gpu.launch_on(0, cfg, kernel, clock);
+  const StreamLaunch done = gpu.wait(ticket, clock);
+  EXPECT_EQ(done.result.status, LaunchStatus::kFailed);
+  EXPECT_TRUE(done.traces.empty());
+  EXPECT_EQ(done.completion_cycle, done.enqueue_cycle);
+  for (const std::int32_t steps : kernel.steps_done) {
+    EXPECT_EQ(steps, -1);  // no lane ever ran
+  }
+}
+
+TEST(Streams, RangeTransfersTrackPerElementDirtiness) {
+  DeviceBuffer<int> buffer(4);
+  util::VirtualClock clock(2.93e9);
+  for (int i = 0; i < 4; ++i) buffer.host()[i] = i;
+  buffer.upload(clock);
+
+  auto device = buffer.device_view();  // marks everything device-dirty
+  device[0] = 10;
+  device[1] = 11;
+  EXPECT_TRUE(buffer.device_dirty());
+  EXPECT_THROW((void)buffer.host_checked(), util::ContractViolation);
+
+  buffer.download_range(clock, 0, 2);
+  const auto front = buffer.host_checked_range(0, 2);
+  EXPECT_EQ(front[0], 10);
+  EXPECT_EQ(front[1], 11);
+  // The tail of the buffer is still device-dirty until its own download.
+  EXPECT_THROW((void)buffer.host_checked_range(2, 2),
+               util::ContractViolation);
+  buffer.download_range(clock, 2, 2);
+  EXPECT_FALSE(buffer.device_dirty());
+  EXPECT_EQ(buffer.host_checked()[2], 2);
+}
+
+TEST(Streams, RangeTransfersChargeSlicedBytes) {
+  DeviceBuffer<std::uint64_t> buffer(8);
+  util::VirtualClock clock(2.93e9);
+  const std::uint64_t before = clock.cycles();
+  buffer.upload_range(clock, 2, 3);
+  EXPECT_EQ(clock.cycles() - before,
+            buffer.costs().cost(3 * sizeof(std::uint64_t)));
+}
+
+}  // namespace
+}  // namespace gpu_mcts::simt
