@@ -76,13 +76,16 @@ int main(int argc, char** argv) {
     const engine::SchemeSpec specs[] = {
         engine::SchemeSpec::leaf_gpu_threads(threads, 64)
             .with_seed(flags.seed)
-            .with_pipeline(flags.pipeline),
+            .with_pipeline(flags.pipeline)
+            .with_pipeline_depth(flags.pipeline_depth),
         engine::SchemeSpec::block_gpu_threads(threads, 32)
             .with_seed(flags.seed)
-            .with_pipeline(flags.pipeline),
+            .with_pipeline(flags.pipeline)
+            .with_pipeline_depth(flags.pipeline_depth),
         engine::SchemeSpec::block_gpu_threads(threads, 128)
             .with_seed(flags.seed)
-            .with_pipeline(flags.pipeline),
+            .with_pipeline(flags.pipeline)
+            .with_pipeline_depth(flags.pipeline_depth),
     };
     for (const engine::SchemeSpec& spec : specs) {
       const Measurement m = measure(spec, flags.budget, trace);
@@ -125,6 +128,44 @@ int main(int argc, char** argv) {
   bench::emit(pipe_table, flags, "fig5_pipeline_comparison");
   std::cout << "pipelined/sync wall-clock speedup: " << ratio << " (host has "
             << std::thread::hardware_concurrency() << " hardware threads)\n\n";
+
+  // Pipeline-depth sweep (DESIGN.md §11): flagship leaf/block/hybrid at
+  // stream depths 1, 2, and 3. For leaf and block the virtual results are
+  // bit-identical at every depth (depth 1 is the synchronous path), so the
+  // sweep compares wall-clock only; hybrid folds its overlap iterations into
+  // the one honest timeline, so its virtual rate is reported per depth.
+  util::Table depth_table({"config", "depth", "wall_seconds",
+                           "wall_sims_per_s", "virtual_sims_per_s"});
+  const engine::SchemeSpec sweep_bases[] = {
+      engine::SchemeSpec::leaf_gpu(8, 64).with_seed(flags.seed),
+      engine::SchemeSpec::block_gpu(112, 128).with_seed(flags.seed),
+      engine::SchemeSpec::hybrid(112, 128).with_seed(flags.seed),
+  };
+  for (const engine::SchemeSpec& base : sweep_bases) {
+    for (const int depth : {1, 2, 3}) {
+      const engine::SchemeSpec spec =
+          base.with_pipeline().with_pipeline_depth(depth);
+      const Measurement m = measure(spec, flags.budget, trace);
+      depth_table.begin_row()
+          .add(spec.to_string())
+          .add(depth)
+          .add(m.wall_seconds)
+          .add(m.wall_rate(), 0)
+          .add(m.virtual_rate, 0);
+      json_rows.push_back(
+          {{"scheme", bench::jstr("pipeline_depth_sweep")},
+           {"config", bench::jstr(spec.to_string())},
+           {"pipeline_depth",
+            bench::jint(static_cast<std::uint64_t>(depth))},
+           {"wall_seconds", bench::jnum(m.wall_seconds)},
+           {"wall_sims_per_s", bench::jnum(m.wall_rate())},
+           {"virtual_sims_per_s", bench::jnum(m.virtual_rate)},
+           {"simulations", bench::jint(m.simulations)}});
+    }
+  }
+  std::cout << "Pipeline-depth sweep (leaf/block virtual results are "
+               "depth-invariant; wall-clock varies):\n";
+  bench::emit(depth_table, flags, "fig5_pipeline_depth_sweep");
 
   json_rows.push_back(
       {{"scheme", bench::jstr("pipeline_comparison")},

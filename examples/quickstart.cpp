@@ -3,12 +3,12 @@
 // Optionally record the search as a virtual-time trace.
 //
 //   ./quickstart [--scheme block:112x128] [--budget 0.05]
-//                [--exec-threads N] [--pipeline] [--trace out.jsonl]
-//                [--chrome-trace out.json]
+//                [--exec-threads N] [--pipeline] [--pipeline-depth N]
+//                [--trace out.jsonl] [--chrome-trace out.json]
 //
 // Scheme spec examples: "seq", "root:8", "leaf:8x128", "block:112x128",
-// "block:112x128+pipeline", "hybrid:112x128", "dist:4x56x128" (see
-// engine/spec.hpp for the grammar).
+// "block:112x128+pipeline", "hybrid:112x128+pipeline:3", "dist:4x56x128"
+// (see engine/spec.hpp for the grammar).
 #include <fstream>
 #include <iostream>
 
@@ -35,9 +35,12 @@ int main(int argc, char** argv) {
   // bit-identical for every value — this only buys wall-clock speed
   // (DESIGN.md §9). 0 inherits GPU_MCTS_EXEC_THREADS.
   spec.exec_threads = static_cast<int>(args.get_uint("exec-threads", 0));
-  // Stream-pipelined rounds for the leaf/block GPU schemes (equivalent to
-  // the "+pipeline" spec suffix); results are bit-identical either way.
+  // Stream-pipelined rounds for the leaf/block/hybrid GPU schemes
+  // (equivalent to the "+pipeline[:<depth>]" spec suffix); leaf/block
+  // results are bit-identical either way.
   if (args.get_bool("pipeline", false)) spec.pipeline = true;
+  spec.pipeline_depth = static_cast<int>(
+      args.get_uint("pipeline-depth", spec.pipeline_depth));
   auto player = engine::make_searcher<reversi::ReversiGame>(spec);
 
   // 2. Optionally attach a tracer: spans and metrics in *virtual* time.

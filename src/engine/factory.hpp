@@ -122,19 +122,26 @@ class SearcherRegistry {
     add("leaf-gpu", [](const SchemeSpec& spec) -> SearcherPtr {
       return std::make_unique<parallel::LeafParallelGpuSearcher<G>>(
           typename parallel::LeafParallelGpuSearcher<G>::Options{
-              .launch = spec.launch(), .pipeline = spec.pipeline},
+              .launch = spec.launch(),
+              .pipeline = spec.pipeline,
+              .pipeline_depth = spec.pipeline_depth},
           spec.search, make_vgpu(spec));
     });
     add("block-gpu", [](const SchemeSpec& spec) -> SearcherPtr {
       return std::make_unique<parallel::BlockParallelGpuSearcher<G>>(
           typename parallel::BlockParallelGpuSearcher<G>::Options{
-              .launch = spec.launch(), .pipeline = spec.pipeline},
+              .launch = spec.launch(),
+              .pipeline = spec.pipeline,
+              .pipeline_depth = spec.pipeline_depth},
           spec.search, make_vgpu(spec));
     });
     add("hybrid", [](const SchemeSpec& spec) -> SearcherPtr {
       return std::make_unique<parallel::HybridSearcher<G>>(
-          typename parallel::HybridSearcher<G>::Options{spec.launch(),
-                                                        spec.cpu_overlap},
+          typename parallel::HybridSearcher<G>::Options{
+              .launch = spec.launch(),
+              .cpu_overlap = spec.cpu_overlap,
+              .pipeline = spec.pipeline,
+              .pipeline_depth = spec.pipeline_depth},
           spec.search, make_vgpu(spec));
     });
     add("distributed", [](const SchemeSpec& spec) -> SearcherPtr {

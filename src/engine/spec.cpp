@@ -3,21 +3,65 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "simt/vgpu.hpp"
 #include "util/check.hpp"
 
 namespace gpu_mcts::engine {
 
 namespace {
 
-constexpr const char* kGrammar =
-    "expected one of: seq | flat | root:<threads> | tree:<workers> | "
-    "leaf:<blocks>x<tpb>[+pipeline] | block:<blocks>x<tpb>[+pipeline] | "
-    "hybrid:<blocks>x<tpb> | gpu-only:<blocks>x<tpb> | "
-    "dist:<ranks>x<blocks>x<tpb>";
+/// One row per accepted spec form: the short name, its grammar fragment, and
+/// whether the form takes the "+pipeline[:<depth>]" suffix. Both the
+/// "expected one of: ..." grammar in parse errors and the list of schemes
+/// named by the misplaced-"+pipeline" error are generated from this table,
+/// so adding a scheme (or giving one a pipelined implementation) is a
+/// one-row change here plus its branch in parse().
+struct SchemeForm {
+  std::string_view name;
+  std::string_view params;  // grammar after the name, e.g. ":<blocks>x<tpb>"
+  bool pipeline_ok;
+};
+
+constexpr SchemeForm kForms[] = {
+    {"seq", "", false},
+    {"flat", "", false},
+    {"root", ":<threads>", false},
+    {"tree", ":<workers>", false},
+    {"leaf", ":<blocks>x<tpb>", true},
+    {"block", ":<blocks>x<tpb>", true},
+    {"hybrid", ":<blocks>x<tpb>", true},
+    {"gpu-only", ":<blocks>x<tpb>", true},
+    {"dist", ":<ranks>x<blocks>x<tpb>", false},
+};
+
+std::string grammar() {
+  std::string out = "expected one of: ";
+  bool first = true;
+  for (const SchemeForm& form : kForms) {
+    if (!first) out += " | ";
+    first = false;
+    out += form.name;
+    out += form.params;
+    if (form.pipeline_ok) out += "[+pipeline[:<depth>]]";
+  }
+  return out;
+}
+
+std::string pipeline_schemes() {
+  std::string out;
+  bool first = true;
+  for (const SchemeForm& form : kForms) {
+    if (!form.pipeline_ok) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += form.name;
+  }
+  return out;
+}
 
 [[noreturn]] void parse_fail(std::string_view text, const std::string& why) {
   throw std::invalid_argument("bad scheme spec \"" + std::string(text) +
-                              "\": " + why + "; " + kGrammar);
+                              "\": " + why + "; " + grammar());
 }
 
 /// Splits "AxB" / "AxBxC" into positive integers.
@@ -58,18 +102,43 @@ SchemeSpec SchemeSpec::parse(std::string_view text) {
   std::string_view rest = colon == std::string_view::npos
                               ? std::string_view{}
                               : text.substr(colon + 1);
-  // "+pipeline" suffix: strip it before the dimensions are parsed, then
-  // reject it for the schemes that have no pipelined implementation.
-  constexpr std::string_view kPipelineSuffix = "+pipeline";
+  // "+pipeline[:<depth>]" suffix: strip it before the dimensions are
+  // parsed, then reject it for the schemes that have no pipelined
+  // implementation (the pipeline_ok column of kForms).
+  constexpr std::string_view kPipelineWord = "+pipeline";
   bool pipeline = false;
-  if (rest.size() >= kPipelineSuffix.size() &&
-      rest.substr(rest.size() - kPipelineSuffix.size()) == kPipelineSuffix) {
+  int pipeline_depth = 2;
+  const std::size_t plus = rest.rfind('+');
+  if (plus != std::string_view::npos) {
+    const std::string_view suffix = rest.substr(plus);
+    if (suffix.substr(0, kPipelineWord.size()) != kPipelineWord) {
+      parse_fail(text, "unknown suffix \"" + std::string(suffix) + '"');
+    }
+    std::string_view depth_text = suffix.substr(kPipelineWord.size());
+    if (!depth_text.empty()) {
+      if (depth_text[0] != ':') {
+        parse_fail(text, "unknown suffix \"" + std::string(suffix) + '"');
+      }
+      depth_text.remove_prefix(1);
+      constexpr int kMaxDepth = simt::VirtualGpu::kMaxStreams;
+      int value = 0;
+      const auto [ptr, ec] = std::from_chars(
+          depth_text.data(), depth_text.data() + depth_text.size(), value);
+      if (ec != std::errc{} || ptr != depth_text.data() + depth_text.size() ||
+          value < 1 || value > kMaxDepth) {
+        parse_fail(text, "pipeline depth \"" + std::string(depth_text) +
+                             "\" must be an integer in 1.." +
+                             std::to_string(kMaxDepth));
+      }
+      pipeline_depth = value;
+    }
     pipeline = true;
-    rest.remove_suffix(kPipelineSuffix.size());
+    rest = rest.substr(0, plus);
   }
   const auto reject_pipeline = [&]() {
     if (pipeline) {
-      parse_fail(text, "\"+pipeline\" applies only to leaf and block schemes");
+      parse_fail(text, "\"+pipeline\" applies only to the GPU round schemes (" +
+                           pipeline_schemes() + ")");
     }
   };
   const auto require_arg = [&]() {
@@ -102,24 +171,30 @@ SchemeSpec SchemeSpec::parse(std::string_view text) {
   if (head == "leaf" || head == "leaf-gpu") {
     require_arg();
     const auto d = parse_dims(text, rest, 2);
-    return leaf_gpu(d[0], d[1]).with_pipeline(pipeline);
+    return leaf_gpu(d[0], d[1])
+        .with_pipeline(pipeline)
+        .with_pipeline_depth(pipeline_depth);
   }
   if (head == "block" || head == "block-gpu") {
     require_arg();
     const auto d = parse_dims(text, rest, 2);
-    return block_gpu(d[0], d[1]).with_pipeline(pipeline);
+    return block_gpu(d[0], d[1])
+        .with_pipeline(pipeline)
+        .with_pipeline_depth(pipeline_depth);
   }
   if (head == "hybrid") {
     require_arg();
-    reject_pipeline();
     const auto d = parse_dims(text, rest, 2);
-    return hybrid(d[0], d[1], true);
+    return hybrid(d[0], d[1], true)
+        .with_pipeline(pipeline)
+        .with_pipeline_depth(pipeline_depth);
   }
   if (head == "gpu-only") {
     require_arg();
-    reject_pipeline();
     const auto d = parse_dims(text, rest, 2);
-    return hybrid(d[0], d[1], false);
+    return hybrid(d[0], d[1], false)
+        .with_pipeline(pipeline)
+        .with_pipeline_depth(pipeline_depth);
   }
   if (head == "dist" || head == "distributed") {
     require_arg();
@@ -231,10 +306,23 @@ SchemeSpec SchemeSpec::with_pipeline(bool on) const {
   return copy;
 }
 
+SchemeSpec SchemeSpec::with_pipeline_depth(int depth) const {
+  util::expects(depth >= 1 && depth <= simt::VirtualGpu::kMaxStreams,
+                "pipeline depth between 1 and the device stream count");
+  SchemeSpec copy = *this;
+  copy.pipeline_depth = depth;
+  return copy;
+}
+
 std::string SchemeSpec::to_string() const {
+  // Depth 2 is the suffix's default, so it round-trips as bare "+pipeline".
+  const std::string pipe =
+      !pipeline ? ""
+      : pipeline_depth == 2
+          ? "+pipeline"
+          : "+pipeline:" + std::to_string(pipeline_depth);
   const std::string grid = std::to_string(blocks) + "x" +
-                           std::to_string(threads_per_block) +
-                           (pipeline ? "+pipeline" : "");
+                           std::to_string(threads_per_block) + pipe;
   if (scheme == "sequential") return "seq";
   if (scheme == "flat-mc") return "flat";
   if (scheme == "root-parallel") return "root:" + std::to_string(cpu_threads);

@@ -25,9 +25,12 @@
 //   "gpu-only:<blocks>x<tpb>"       hybrid plumbing, overlap disabled
 //   "dist:<ranks>x<blocks>x<tpb>"   distributed root parallelism
 //   ("distributed:..." is accepted as an alias for "dist:...".)
-// The leaf and block forms accept a "+pipeline" suffix — e.g.
-// "block:112x128+pipeline" — enabling the stream-pipelined rounds of
-// DESIGN.md §10 (results are bit-identical with or without it).
+// The leaf, block, hybrid, and gpu-only forms accept a
+// "+pipeline[:<depth>]" suffix — e.g. "block:112x128+pipeline" or
+// "leaf:4x64+pipeline:3" — enabling the stream-pipelined rounds of
+// DESIGN.md §10/§11 over <depth> streams (default 2, the legacy two-stream
+// ping-pong). For leaf and block, results are bit-identical with or without
+// it; hybrid overlaps CPU iterations against each in-flight cohort kernel.
 #pragma once
 
 #include <cstdint>
@@ -59,11 +62,17 @@ struct SchemeSpec {
   int ranks = 1;
   /// Hybrid: disable to get a GPU-only control with identical plumbing.
   bool cpu_overlap = true;
-  /// Leaf/block GPU schemes: pipelined stream-overlapped rounds (the
-  /// "+pipeline" spec suffix, --pipeline in the binaries). Per-tree results
-  /// and stats are bit-identical with this on or off; it only buys
-  /// wall-clock overlap between host phases and kernels (DESIGN.md §10).
+  /// Leaf/block/hybrid GPU schemes: pipelined stream-overlapped rounds (the
+  /// "+pipeline[:<depth>]" spec suffix, --pipeline in the binaries). For
+  /// leaf and block, per-tree results and stats are bit-identical with this
+  /// on or off; it only buys wall-clock overlap between host phases and
+  /// kernels (DESIGN.md §10). For hybrid it overlaps CPU iterations against
+  /// each in-flight cohort kernel (DESIGN.md §11).
   bool pipeline = false;
+  /// Stream cohorts per pipelined round (the ":<depth>" of the suffix);
+  /// 2 reproduces the legacy two-stream ping-pong bit-exactly. Clamped to
+  /// the device stream count and block count by the driver.
+  int pipeline_depth = 2;
   /// Host worker threads for the VirtualGpu execution backend (kernel grids
   /// and per-tree host phases; results are bit-identical for every value —
   /// the knob only buys wall-clock speed, see DESIGN.md §9). 0 (the
@@ -120,8 +129,13 @@ struct SchemeSpec {
   [[nodiscard]] SchemeSpec with_exec_threads(int threads) const;
 
   /// Returns a copy with `pipeline` set (the --pipeline flag). Only
-  /// meaningful for the leaf-gpu and block-gpu schemes.
+  /// meaningful for the leaf-gpu, block-gpu, and hybrid schemes.
   [[nodiscard]] SchemeSpec with_pipeline(bool on = true) const;
+
+  /// Returns a copy with `pipeline_depth` replaced (1..8; the
+  /// "+pipeline:<depth>" suffix / --pipeline-depth flag). Depth 1 runs
+  /// synchronous rounds even with `pipeline` set.
+  [[nodiscard]] SchemeSpec with_pipeline_depth(int depth) const;
 
   /// Canonical spec string; parse(to_string()) reproduces the geometry.
   [[nodiscard]] std::string to_string() const;

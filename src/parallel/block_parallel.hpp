@@ -3,50 +3,34 @@
 // One GPU block serves one MCTS tree; the threads of the block run
 // independent playouts from that tree's selected leaf. The single host core
 // drives every tree: per kernel round it performs selection/expansion for
-// each tree sequentially, launches one kernel whose block b simulates tree
-// b's leaf, then backpropagates each block's aggregate result. The
-// sequential host part is charged per tree, reproducing the paper's
-// observation that simulations/second falls as the number of blocks grows
-// while *strength* rises (more trees diminish "the effect of being stuck in
-// a local extremum").
+// each tree, launches one kernel whose block b simulates tree b's leaf, then
+// backpropagates each block's aggregate result. The sequential host part is
+// charged per tree, reproducing the paper's observation that
+// simulations/second falls as the number of blocks grows while *strength*
+// rises (more trees diminish "the effect of being stuck in a local
+// extremum").
 //
-// Pipelined rounds (Options::pipeline, DESIGN.md §10): the tree set splits
-// into two cohorts on two VirtualGpu streams; while cohort B's kernel is in
-// flight on its stream worker, the host selects (and later backpropagates)
-// cohort A on the exec backend — the structured pipeline parallelism of
-// Mirsoleimani et al.'s 3PMCTS, applied across cohorts. Each tree's rounds
-// stay totally ordered inside its cohort and cohort grids are slices of the
-// same logical grid (LaunchConfig::block_offset), so every tree's evolution
-// — results, stats — is bit-identical with pipelining on or off; without
-// faults the main clock is advanced by exactly the synchronous round total
-// each round, keeping virtual time bit-identical too.
+// Thin policy bundle over the RoundDriver engine (DESIGN.md §11): cohort
+// source (one tree per block), per-tree sink, CPU fallback (retry, per-
+// cohort abandonment, sequential degradation). Pipelined rounds
+// (Options::pipeline, DESIGN.md §10) rotate the tree set across
+// Options::pipeline_depth stream cohorts; every tree's evolution — results,
+// stats, virtual time — is bit-identical with pipelining on or off.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <memory>
-#include <optional>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "game/game_traits.hpp"
 #include "mcts/config.hpp"
-#include "mcts/playout.hpp"
 #include "mcts/searcher.hpp"
-#include "mcts/tree.hpp"
 #include "obs/trace.hpp"
+#include "parallel/driver/round_driver.hpp"
 #include "parallel/merge.hpp"
-#include "simt/device_buffer.hpp"
-#include "simt/playout_kernel.hpp"
-#include "simt/timing.hpp"
 #include "simt/vgpu.hpp"
-#include "util/check.hpp"
-#include "util/clock.hpp"
-#include "util/fault.hpp"
 #include "util/retry.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
 
 namespace gpu_mcts::parallel {
 
@@ -63,597 +47,43 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
     /// Consecutive unrecoverable GPU rounds before the searcher stops
     /// launching and degrades to CPU-only sequential iterations. In
     /// pipelined mode the counter is per cohort: one cohort can abandon its
-    /// stream while the other keeps launching.
+    /// stream while the others keep launching.
     int max_failed_rounds = 2;
-    /// Pipelined double-buffered rounds over two streams (requires at least
-    /// two blocks; ignored otherwise). Results, stats, and per-tree
-    /// evolution are bit-identical with this on or off.
+    /// Pipelined rounds over pipeline_depth streams (requires at least two
+    /// blocks; ignored otherwise). Results, stats, and per-tree evolution
+    /// are bit-identical with this on or off.
     bool pipeline = false;
+    /// Number of stream cohorts per pipelined round.
+    int pipeline_depth = 2;
   };
 
   BlockParallelGpuSearcher(Options options, mcts::SearchConfig config = {},
                            simt::VirtualGpu gpu = simt::VirtualGpu())
-      : options_(options), config_(config), gpu_(std::move(gpu)),
-        seed_(config.seed) {
-    simt::validate(options_.launch, gpu_.device());
-  }
+      : options_(options),
+        driver_({.launch = options.launch,
+                 .pipeline_depth = options.pipeline ? options.pipeline_depth
+                                                    : 1,
+                 .mode = driver::SimulateMode::kSync},
+                {.expansion_instant = true},
+                {.playout_plies_histogram = true},
+                {.retry = options.retry,
+                 .max_failed_rounds = options.max_failed_rounds,
+                 .rng_salt = 0xfa11ULL},
+                config, std::move(gpu)),
+        seed_(config.seed) {}
 
   [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
                                              double budget_seconds) override {
-    util::expects(!G::is_terminal(state), "choose_move on terminal state");
-    util::VirtualClock clock(gpu_.host().clock_hz);
-    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
     const std::uint64_t search_seed =
         util::derive_seed(seed_, move_counter_++);
-    const auto trees_n = static_cast<std::size_t>(options_.launch.blocks);
-
-    std::vector<std::unique_ptr<mcts::Tree<G>>> trees;
-    trees.reserve(trees_n);
-    for (std::size_t t = 0; t < trees_n; ++t) {
-      trees.push_back(std::make_unique<mcts::Tree<G>>(
-          state, config_, util::derive_seed(search_seed, t)));
-    }
-
-    // Kernel I/O goes through device buffers: roots up, results down, with
-    // PCIe transfer costs charged per round (paper: "the results are written
-    // to an array in the GPU's memory ... and CPU reads the results back").
-    gpu_.fault_injector().reset_log();
-    util::FaultLog& fault_log = gpu_.fault_injector().log();
-
-    simt::DeviceBuffer<typename G::State> roots(trees_n);
-    simt::DeviceBuffer<simt::BlockResult> results(trees_n);
-    roots.set_fault_injector(&gpu_.fault_injector());
-    roots.set_retry_policy(options_.retry);
-    results.set_fault_injector(&gpu_.fault_injector());
-    results.set_retry_policy(options_.retry);
-    std::vector<mcts::NodeIndex> leaves(trees_n);
-    std::vector<std::uint8_t> terminal(trees_n);
-    util::XorShift128Plus fallback_rng(
-        util::derive_seed(search_seed, 0xfa11ULL));
-
-    stats_ = {};
-    double waste_sum = 0.0;
-    std::uint64_t round = 0;
-    std::size_t fallback_cursor = 0;
-    int failed_rounds = 0;
-    bool gpu_abandoned = false;
-    // Threaded execution backend: the same pool that partitions kernel
-    // grids also runs the per-tree host phases. Each tree owns its RNG and
-    // arena, so running selection/backpropagation for different trees
-    // concurrently cannot change any tree's evolution; virtual time is
-    // charged exactly as on the sequential path. nullptr = sequential.
-    util::ThreadPool* pool = gpu_.worker_pool();
-
-    constexpr int host_track = obs::Tracer::kHostTrack;
-    if (tracer_ != nullptr) {
-      (void)tracer_->begin_search(name());
-      tracer_->set_frequency(clock.frequency_hz());
-    }
-
-    // Degradation path: one ordinary sequential MCTS iteration on tree `t`,
-    // for trees whose round produced no device results.
-    const auto cpu_iteration_on = [&](std::size_t t) {
-      mcts::Tree<G>& tree = *trees[t];
-      const mcts::Selection<G> sel = tree.select();
-      double value;
-      std::uint32_t plies = 0;
-      if (sel.terminal) {
-        value =
-            game::value_of(G::outcome_for(sel.state, game::Player::kFirst));
-      } else {
-        const mcts::PlayoutResult playout =
-            mcts::random_playout<G>(sel.state, fallback_rng);
-        value = playout.value_first;
-        plies = playout.plies;
-      }
-      tree.backpropagate(sel.node, value, 1, value * value);
-      clock.advance(static_cast<std::uint64_t>(
-          gpu_.cost().host_tree_op_cycles +
-          gpu_.cost().host_cycles_per_ply * static_cast<double>(plies)));
-      stats_.simulations += 1;
-      stats_.cpu_iterations += 1;
-      if (tracer_ != nullptr) {
-        tracer_->metrics().histogram("playout_plies").observe(plies);
-      }
-    };
-    const auto cpu_iteration = [&] {
-      cpu_iteration_on(fallback_cursor);
-      fallback_cursor = (fallback_cursor + 1) % trees_n;
-    };
-
-    // ---- Pipelined double-buffered rounds (DESIGN.md §10) ----------------
-    //
-    // Two cohorts on two streams: select A -> enqueue A -> select B (overlaps
-    // kernel A) -> enqueue B -> wait A -> backprop A (overlaps kernel B) ->
-    // wait B -> backprop B. Cohort grids are block_offset slices of the one
-    // logical grid, so the union of their lanes — identities, RNG streams,
-    // SM placement — is exactly the synchronous launch's.
-    //
-    // Two timelines. `pipe` is the honest overlapped schedule: stream
-    // enqueues/waits, split transfers, and per-cohort host phases charge it,
-    // and every trace event of a pipelined round is stamped with it. Without
-    // faults the *main* clock instead advances once per round by exactly the
-    // synchronous round total (reproducible because both cohorts always
-    // succeed and their combined traces equal the covering launch's) — that
-    // canonical timeline is what keeps deadline decisions, and therefore
-    // every result and stat, bit-identical with pipelining off. Under faults
-    // there is no synchronous total to reproduce (retries and fallbacks
-    // restructure the round), so the main clock itself runs the honest
-    // schedule and `pipe` aliases it.
-    const bool pipelined = options_.pipeline && options_.launch.blocks >= 2;
-    const bool faults_enabled = gpu_.fault_injector().enabled();
-    util::VirtualClock overlap_clock(gpu_.host().clock_hz);
-    util::VirtualClock& pipe = faults_enabled ? clock : overlap_clock;
-    if (pipelined) gpu_.reset_stream_timeline();
-
-    struct Cohort {
-      std::size_t begin = 0;
-      std::size_t count = 0;
-      int stream = 0;
-      simt::LaunchConfig cfg;
-      int failed_rounds = 0;
-      bool abandoned = false;
-    };
-    std::array<Cohort, 2> cohorts{};
-    if (pipelined) {
-      const std::size_t half = trees_n / 2;
-      cohorts[0] = {0, half, 0,
-                    simt::LaunchConfig{
-                        .blocks = static_cast<int>(half),
-                        .threads_per_block = options_.launch.threads_per_block,
-                        .block_offset = 0}};
-      cohorts[1] = {half, trees_n - half, 1,
-                    simt::LaunchConfig{
-                        .blocks = static_cast<int>(trees_n - half),
-                        .threads_per_block = options_.launch.threads_per_block,
-                        .block_offset = static_cast<int>(half)}};
-    }
-    // Stream kernels must outlive their wait (the worker holds a reference).
-    std::array<std::optional<simt::PlayoutKernel<G>>, 2> kernels;
-
-    const auto select_cohort = [&](const Cohort& c) {
-      std::uint64_t nodes_before = 0;
-      if (tracer_ != nullptr) {
-        for (std::size_t t = c.begin; t < c.begin + c.count; ++t) {
-          nodes_before += trees[t]->node_count();
-        }
-      }
-      {
-        obs::ScopedSpan span(tracer_, host_track, "selection", pipe,
-                             {{"trees", static_cast<double>(c.count)},
-                              {"cohort", static_cast<double>(c.stream)}});
-        const auto select_tree = [&](std::size_t t) {
-          const mcts::Selection<G> sel = trees[t]->select();
-          roots.host()[t] = sel.state;
-          leaves[t] = sel.node;
-          terminal[t] = sel.terminal ? 1 : 0;
-        };
-        if (pool != nullptr) {
-          pool->parallel_for_ranges(c.count,
-                                    [&](std::size_t begin, std::size_t end) {
-                                      for (std::size_t i = begin; i < end; ++i) {
-                                        select_tree(c.begin + i);
-                                      }
-                                    });
-        } else {
-          for (std::size_t i = 0; i < c.count; ++i) select_tree(c.begin + i);
-        }
-        // Bulk charge on either backend, so the overlapped timeline is
-        // bit-identical at any exec thread count.
-        pipe.advance(c.count *
-                     static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
-      }
-      if (tracer_ != nullptr) {
-        std::uint64_t nodes_after = 0;
-        for (std::size_t t = c.begin; t < c.begin + c.count; ++t) {
-          nodes_after += trees[t]->node_count();
-        }
-        tracer_->instant(
-            host_track, "expansion", pipe.cycles(),
-            {{"nodes_added", static_cast<double>(nodes_after - nodes_before)},
-             {"cohort", static_cast<double>(c.stream)}});
-      }
-    };
-
-    const auto zero_cohort_results = [&](const Cohort& c) {
-      // Range-scoped view: marking the whole buffer dirty here would
-      // re-poison the sibling cohort's slots after it already downloaded
-      // them (a retry re-zeroes mid-round).
-      const std::span<simt::BlockResult> device_results =
-          results.device_view_partial(c.begin, c.count);
-      for (std::size_t t = c.begin; t < c.begin + c.count; ++t) {
-        device_results[t] = simt::BlockResult{};
-      }
-    };
-
-    // Upload + enqueue one cohort; throws util::FaultError when the upload's
-    // retry budget is exhausted. The kernel gets the full-size device spans
-    // (it indexes roots/results by global block id) but only this cohort's
-    // slice of the grid, so transfers and kernels of the two cohorts touch
-    // disjoint element ranges.
-    const auto enqueue_cohort = [&](const Cohort& c) {
-      {
-        obs::ScopedSpan span(tracer_, host_track, "upload", pipe,
-                             {{"cohort", static_cast<double>(c.stream)}});
-        roots.upload_range(pipe, c.begin, c.count);
-      }
-      zero_cohort_results(c);
-      kernels[static_cast<std::size_t>(c.stream)].emplace(
-          roots.device_view_partial(c.begin, c.count), search_seed, round,
-          results.device_view_partial(c.begin, c.count));
-      return gpu_.launch_on(
-          c.stream, c.cfg, *kernels[static_cast<std::size_t>(c.stream)], pipe);
-    };
-
-    // Waits for one cohort's kernel and backpropagates its tallies. Attempt
-    // 0 consumes the ticket enqueued earlier (so the other cohort's kernel
-    // kept overlapping); failed launches re-enqueue on the same stream.
-    // Returns false when the launch retry budget is exhausted; throws
-    // util::FaultError when the download's is.
-    const auto wait_cohort = [&](const Cohort& c, simt::StreamTicket ticket,
-                                 simt::StreamLaunch& out) {
-      bool launched = false;
-      {
-        obs::ScopedSpan span(
-            tracer_, host_track, "kernel", pipe,
-            {{"blocks", static_cast<double>(c.cfg.blocks)},
-             {"block_offset", static_cast<double>(c.cfg.block_offset)},
-             {"threads_per_block",
-              static_cast<double>(c.cfg.threads_per_block)}});
-        launched = util::with_retry(
-            options_.retry, pipe, &fault_log, [&](int attempt) {
-              if (attempt > 0) {
-                zero_cohort_results(c);
-                ticket = gpu_.launch_on(
-                    c.stream, c.cfg,
-                    *kernels[static_cast<std::size_t>(c.stream)], pipe);
-              }
-              out = gpu_.wait(ticket, pipe);
-              return out.result.ok();
-            });
-      }
-      if (!launched) return false;
-      {
-        obs::ScopedSpan span(tracer_, host_track, "download", pipe,
-                             {{"cohort", static_cast<double>(c.stream)}});
-        results.download_range(pipe, c.begin, c.count);
-      }
-      obs::ScopedSpan span(tracer_, host_track, "backprop", pipe,
-                           {{"cohort", static_cast<double>(c.stream)}});
-      const std::span<const simt::BlockResult> tallies =
-          results.host_checked_range(c.begin, c.count);
-      const auto backprop_tree = [&](std::size_t i) {
-        const std::size_t t = c.begin + i;
-        trees[t]->backpropagate(leaves[t], tallies[i].value_first,
-                                tallies[i].simulations,
-                                tallies[i].value_sq_first);
-      };
-      if (pool != nullptr) {
-        pool->parallel_for_ranges(c.count,
-                                  [&](std::size_t begin, std::size_t end) {
-                                    for (std::size_t i = begin; i < end; ++i) {
-                                      backprop_tree(i);
-                                    }
-                                  });
-      } else {
-        for (std::size_t i = 0; i < c.count; ++i) backprop_tree(i);
-      }
-      return true;
-    };
-
-    // Degradation without stalling the other cohort: a failed (or abandoned)
-    // cohort's trees each get one CPU iteration this round.
-    const auto cohort_fallback = [&](const Cohort& c) {
-      obs::ScopedSpan span(tracer_, host_track, "cpu_fallback", pipe,
-                           {{"cohort", static_cast<double>(c.stream)}});
-      for (std::size_t i = 0; i < c.count && clock.cycles() < deadline; ++i) {
-        cpu_iteration_on(c.begin + i);
-      }
-    };
-
-    // One pipelined round. Handles per-cohort fault recovery internally;
-    // returns whether any cohort produced kernel results.
-    const auto pipelined_round = [&] {
-      std::array<simt::StreamTicket, 2> tickets{};
-      std::array<bool, 2> enqueued{};
-      std::array<bool, 2> ok{};
-      std::array<simt::StreamLaunch, 2> launches{};
-      for (Cohort& c : cohorts) {
-        if (c.abandoned) continue;
-        select_cohort(c);
-        try {
-          tickets[static_cast<std::size_t>(c.stream)] = enqueue_cohort(c);
-          enqueued[static_cast<std::size_t>(c.stream)] = true;
-        } catch (const util::FaultError&) {
-          // Upload retries exhausted: this cohort's round is lost; the other
-          // cohort proceeds untouched.
-        }
-      }
-      for (Cohort& c : cohorts) {
-        const auto s = static_cast<std::size_t>(c.stream);
-        if (c.abandoned || !enqueued[s]) continue;
-        try {
-          ok[s] = wait_cohort(c, tickets[s], launches[s]);
-        } catch (const util::FaultError&) {
-          ok[s] = false;
-        }
-      }
-      // Stats and tracer observations on the controlling thread in tree
-      // order (cohort A holds the lower tree indices) — identical to the
-      // synchronous path's order and to any exec thread count.
-      std::vector<simt::WarpTrace> round_traces;
-      bool any_ok = false;
-      for (const Cohort& c : cohorts) {
-        const auto s = static_cast<std::size_t>(c.stream);
-        if (!ok[s]) continue;
-        any_ok = true;
-        const std::span<const simt::BlockResult> tallies =
-            results.host_checked_range(c.begin, c.count);
-        for (std::size_t i = 0; i < c.count; ++i) {
-          stats_.simulations += tallies[i].simulations;
-          stats_.gpu_simulations += tallies[i].simulations;
-          if (tracer_ != nullptr) {
-            tracer_->metrics()
-                .histogram("block_simulations")
-                .observe(tallies[i].simulations);
-            if (tallies[i].simulations > 0) {
-              tracer_->metrics().histogram("playout_plies").observe(
-                  static_cast<double>(tallies[i].total_plies) /
-                  static_cast<double>(tallies[i].simulations));
-            }
-          }
-        }
-        round_traces.insert(round_traces.end(), launches[s].traces.begin(),
-                            launches[s].traces.end());
-      }
-      if (any_ok) {
-        // One divergence sample per successful GPU round, aggregated over
-        // the successful cohorts' traces — with both cohorts ok this equals
-        // the covering synchronous launch's figure exactly (integer sums).
-        const simt::LaunchStats agg =
-            simt::aggregate_stats(round_traces, gpu_.device());
-        if (tracer_ != nullptr) {
-          tracer_->counter(host_track, "divergence", pipe.cycles(),
-                           agg.divergence_waste());
-        }
-        waste_sum += agg.divergence_waste();
-        stats_.gpu_rounds += 1;
-      }
-      if (!faults_enabled) {
-        // Canonical charge: selection for every tree + full-buffer upload +
-        // one launch overhead + device time of the combined traces + full
-        // readback — term for term the synchronous round's clock advances.
-        const double combined_cycles = simt::device_cycles_for(
-            round_traces, options_.launch, gpu_.device(), gpu_.cost());
-        clock.advance(
-            trees_n *
-                static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles) +
-            roots.costs().cost(roots.bytes()) + gpu_.launch_overhead_cycles() +
-            static_cast<std::uint64_t>(gpu_.cost().device_to_host_cycles(
-                combined_cycles, gpu_.device(), gpu_.host())) +
-            results.costs().cost(results.bytes()));
-      }
-      for (Cohort& c : cohorts) {
-        const auto s = static_cast<std::size_t>(c.stream);
-        if (!c.abandoned) {
-          if (ok[s]) {
-            c.failed_rounds = 0;
-          } else if (++c.failed_rounds >= options_.max_failed_rounds) {
-            c.abandoned = true;
-            fault_log.record_recovery(util::RecoveryKind::kCpuFallback,
-                                      clock.cycles(), c.failed_rounds);
-            if (tracer_ != nullptr) {
-              tracer_->instant(host_track, "cohort_abandoned", clock.cycles(),
-                               {{"cohort", static_cast<double>(c.stream)}});
-            }
-          }
-        }
-        if (!ok[s]) cohort_fallback(c);
-      }
-      if (cohorts[0].abandoned && cohorts[1].abandoned && !gpu_abandoned) {
-        gpu_abandoned = true;
-        if (tracer_ != nullptr) {
-          tracer_->instant(host_track, "gpu_abandoned", clock.cycles());
-        }
-      }
-      return any_ok;
-    };
-
-    do {
-      if (pipelined) {
-        (void)pipelined_round();
-        ++round;
-        stats_.rounds += 1;
-        continue;
-      }
-      bool gpu_round_ok = false;
-      if (!gpu_abandoned) {
-        // Sequential host part: select/expand every tree — "at most one CPU
-        // controls one GPU, certain part of the algorithm has to be
-        // processed sequentially" (paper §IV).
-        std::uint64_t nodes_before = 0;
-        if (tracer_ != nullptr) {
-          for (const auto& tree : trees) nodes_before += tree->node_count();
-        }
-        {
-          obs::ScopedSpan span(tracer_, host_track, "selection", clock,
-                               {{"trees", static_cast<double>(trees_n)}});
-          const auto select_tree = [&](std::size_t t) {
-            const mcts::Selection<G> sel = trees[t]->select();
-            roots.host()[t] = sel.state;
-            leaves[t] = sel.node;
-            terminal[t] = sel.terminal ? 1 : 0;
-          };
-          if (pool != nullptr) {
-            pool->parallel_for_ranges(trees_n,
-                                      [&](std::size_t begin, std::size_t end) {
-                                        for (std::size_t t = begin; t < end;
-                                             ++t) {
-                                          select_tree(t);
-                                        }
-                                      });
-            // The host core still performs every tree operation in the
-            // model: charge the same per-tree cycles the sequential loop
-            // accumulates one tree at a time.
-            clock.advance(
-                trees_n *
-                static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
-          } else {
-            for (std::size_t t = 0; t < trees_n; ++t) {
-              select_tree(t);
-              clock.advance(
-                  static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
-            }
-          }
-        }
-        if (tracer_ != nullptr) {
-          std::uint64_t nodes_after = 0;
-          for (const auto& tree : trees) nodes_after += tree->node_count();
-          tracer_->instant(host_track, "expansion", clock.cycles(),
-                           {{"nodes_added",
-                             static_cast<double>(nodes_after - nodes_before)}});
-        }
-        try {
-          {
-            obs::ScopedSpan span(tracer_, host_track, "upload", clock);
-            roots.upload(clock);
-          }
-
-          simt::LaunchResult launch;
-          bool launched = false;
-          {
-            obs::ScopedSpan span(
-                tracer_, host_track, "kernel", clock,
-                {{"blocks", static_cast<double>(options_.launch.blocks)},
-                 {"threads_per_block",
-                  static_cast<double>(options_.launch.threads_per_block)}});
-            launched = util::with_retry(
-                options_.retry, clock, &fault_log, [&](int /*attempt*/) {
-                  const std::span<simt::BlockResult> device_results =
-                      results.device_view();
-                  for (auto& r : device_results) r = simt::BlockResult{};
-                  simt::PlayoutKernel<G> kernel(roots.device_view(),
-                                                search_seed, round,
-                                                device_results);
-                  launch = gpu_.launch(options_.launch, kernel, clock);
-                  return launch.ok();
-                });
-          }
-          if (launched) {
-            if (tracer_ != nullptr) {
-              tracer_->counter(host_track, "divergence", clock.cycles(),
-                               launch.stats.divergence_waste());
-            }
-
-            // Host part: read back and backpropagate per tree (each tree's
-            // update is independent, so the pool may fan them out).
-            {
-              obs::ScopedSpan span(tracer_, host_track, "download", clock);
-              results.download(clock);
-            }
-            const std::span<const simt::BlockResult> tallies =
-                results.host_checked();
-            obs::ScopedSpan span(tracer_, host_track, "backprop", clock);
-            if (pool != nullptr) {
-              pool->parallel_for_ranges(
-                  trees_n, [&](std::size_t begin, std::size_t end) {
-                    for (std::size_t t = begin; t < end; ++t) {
-                      trees[t]->backpropagate(leaves[t],
-                                              tallies[t].value_first,
-                                              tallies[t].simulations,
-                                              tallies[t].value_sq_first);
-                    }
-                  });
-            }
-            for (std::size_t t = 0; t < trees_n; ++t) {
-              if (terminal[t]) {
-                // Lanes replayed a terminal state: every playout returned
-                // its exact value, so the aggregate is still correct;
-                // nothing special to do. (Kept explicit for clarity.)
-              }
-              if (pool == nullptr) {
-                trees[t]->backpropagate(leaves[t], tallies[t].value_first,
-                                        tallies[t].simulations,
-                                        tallies[t].value_sq_first);
-              }
-              // Stats and tracer observations stay on the controlling
-              // thread, in tree order — identical with and without the pool.
-              stats_.simulations += tallies[t].simulations;
-              stats_.gpu_simulations += tallies[t].simulations;
-              if (tracer_ != nullptr) {
-                tracer_->metrics()
-                    .histogram("block_simulations")
-                    .observe(tallies[t].simulations);
-                if (tallies[t].simulations > 0) {
-                  tracer_->metrics().histogram("playout_plies").observe(
-                      static_cast<double>(tallies[t].total_plies) /
-                      static_cast<double>(tallies[t].simulations));
-                }
-              }
-            }
-            // Divergence is averaged over *successful* GPU rounds only: a
-            // failed or CPU-fallback round launched no kernel (or lost its
-            // results), and counting it in the denominator understates
-            // divergence under faults.
-            waste_sum += launch.stats.divergence_waste();
-            stats_.gpu_rounds += 1;
-            gpu_round_ok = true;
-          }
-        } catch (const util::FaultError&) {
-          // Transfer retries exhausted: this round's GPU work is lost.
-        }
-        if (gpu_round_ok) {
-          failed_rounds = 0;
-        } else if (++failed_rounds >= options_.max_failed_rounds) {
-          gpu_abandoned = true;
-          fault_log.record_recovery(util::RecoveryKind::kCpuFallback,
-                                    clock.cycles(), failed_rounds);
-          if (tracer_ != nullptr) {
-            tracer_->instant(host_track, "gpu_abandoned", clock.cycles());
-          }
-        }
-      }
-      if (!gpu_round_ok) {
-        // CPU-only batch: keep every tree growing and the clock moving so
-        // a legal move is still chosen within the virtual budget.
-        obs::ScopedSpan span(tracer_, host_track, "cpu_fallback", clock);
-        for (std::size_t i = 0; i < trees_n && clock.cycles() < deadline;
-             ++i) {
-          cpu_iteration();
-        }
-      }
-      ++round;
-      stats_.rounds += 1;
-    } while (clock.cycles() < deadline);
-
-    std::vector<std::vector<typename mcts::Tree<G>::RootChildStat>> per_tree;
-    per_tree.reserve(trees_n);
-    for (const auto& tree : trees) {
-      per_tree.push_back(tree->root_child_stats());
-      stats_.tree_nodes += tree->node_count();
-      if (tree->max_depth() > stats_.max_depth)
-        stats_.max_depth = tree->max_depth();
-    }
-    stats_.virtual_seconds = clock.seconds();
-    if (stats_.gpu_rounds > 0)
-      stats_.divergence_waste =
-          waste_sum / static_cast<double>(stats_.gpu_rounds);
-    stats_.faults = fault_log;
-
-    if (tracer_ != nullptr) {
-      tracer_->counter(host_track, "simulations", clock.cycles(),
-                       static_cast<double>(stats_.simulations));
-      tracer_->metrics().counter("gpu_simulations").add(stats_.gpu_simulations);
-      tracer_->metrics().counter("cpu_iterations").add(stats_.cpu_iterations);
-      tracer_->metrics().counter("kernel_rounds").add(stats_.rounds);
-    }
-
-    last_root_stats_ = merge_root_stats<G>(per_tree);
-    return best_merged_move(last_root_stats_);
+    driver::SearchOutcome<G> outcome =
+        driver_.run(state, budget_seconds, search_seed, name());
+    last_root_stats_ = std::move(outcome.root_stats);
+    return outcome.move;
   }
 
   [[nodiscard]] const mcts::SearchStats& last_stats() const noexcept override {
-    return stats_;
+    return driver_.stats();
   }
 
   /// Merged root statistics of the last search — what a multi-GPU rank
@@ -666,7 +96,9 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
   [[nodiscard]] std::string name() const override {
     return "block-parallel GPU (" + std::to_string(options_.launch.blocks) +
            "x" + std::to_string(options_.launch.threads_per_block) +
-           (options_.pipeline ? ", pipelined" : "") + ")";
+           driver::pipeline_suffix(options_.pipeline,
+                                   options_.pipeline_depth) +
+           ")";
   }
 
   void reseed(std::uint64_t seed) override {
@@ -675,19 +107,19 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
   }
 
   void set_tracer(obs::Tracer* tracer) noexcept override {
-    tracer_ = tracer;
-    gpu_.set_tracer(tracer);
+    driver_.set_tracer(tracer);
   }
 
  private:
+  using Driver =
+      driver::RoundDriver<G, driver::CohortTreesSource<G>,
+                          driver::PerTreeSink<G>, driver::CpuFallback<G>>;
+
   Options options_;
-  mcts::SearchConfig config_;
-  simt::VirtualGpu gpu_;
+  Driver driver_;
   std::uint64_t seed_;
   std::uint64_t move_counter_ = 0;
-  mcts::SearchStats stats_;
   std::vector<MergedMove<typename G::Move>> last_root_stats_;
-  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpu_mcts::parallel

@@ -7,29 +7,27 @@
 //
 // The effect reproduced in Figure 8: hybrid trees are deeper and the late
 // game (smaller search space, where depth matters most) improves.
+//
+// Thin policy bundle over the RoundDriver engine (DESIGN.md §11): the same
+// cohort source and CPU-iteration engine as the block scheme, run in
+// kAsyncOverlap mode — the fallback policy's iterations double as the
+// overlap work. Pipelined rounds (Options::pipeline — a configuration the
+// pre-driver architecture could not express) rotate the trees across
+// pipeline_depth stream cohorts and overlap CPU iterations against each
+// in-flight cohort kernel on the one honest timeline.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "game/game_traits.hpp"
 #include "mcts/config.hpp"
-#include "mcts/playout.hpp"
 #include "mcts/searcher.hpp"
-#include "mcts/tree.hpp"
 #include "obs/trace.hpp"
-#include "parallel/merge.hpp"
-#include "simt/device_buffer.hpp"
-#include "simt/playout_kernel.hpp"
+#include "parallel/driver/round_driver.hpp"
 #include "simt/vgpu.hpp"
-#include "util/check.hpp"
-#include "util/clock.hpp"
-#include "util/fault.hpp"
 #include "util/retry.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
 
 namespace gpu_mcts::parallel {
 
@@ -47,284 +45,55 @@ class HybridSearcher final : public mcts::Searcher<G> {
     /// Consecutive unrecoverable GPU rounds before the searcher stops
     /// launching and degrades to CPU-only sequential iterations.
     int max_failed_rounds = 2;
+    /// Pipelined rounds over pipeline_depth stream cohorts, with CPU
+    /// overlap against each in-flight cohort kernel (requires at least two
+    /// blocks; ignored otherwise).
+    bool pipeline = false;
+    /// Number of stream cohorts per pipelined round.
+    int pipeline_depth = 2;
   };
 
   HybridSearcher(Options options, mcts::SearchConfig config = {},
                  simt::VirtualGpu gpu = simt::VirtualGpu())
-      : options_(options), config_(config), gpu_(std::move(gpu)),
-        seed_(config.seed) {
-    simt::validate(options_.launch, gpu_.device());
-  }
+      : options_(options),
+        driver_({.launch = options.launch,
+                 .pipeline_depth = options.pipeline ? options.pipeline_depth
+                                                    : 1,
+                 .mode = driver::SimulateMode::kAsyncOverlap,
+                 .cpu_overlap = options.cpu_overlap},
+                {.expansion_instant = false},
+                {.playout_plies_histogram = false},
+                {.retry = options.retry,
+                 .max_failed_rounds = options.max_failed_rounds,
+                 .rng_salt = 0xc0deULL},
+                config, std::move(gpu)),
+        seed_(config.seed) {}
 
   [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
                                              double budget_seconds) override {
-    util::expects(!G::is_terminal(state), "choose_move on terminal state");
-    util::VirtualClock clock(gpu_.host().clock_hz);
-    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
     const std::uint64_t search_seed =
         util::derive_seed(seed_, move_counter_++);
-    const auto trees_n = static_cast<std::size_t>(options_.launch.blocks);
-
-    std::vector<std::unique_ptr<mcts::Tree<G>>> trees;
-    trees.reserve(trees_n);
-    for (std::size_t t = 0; t < trees_n; ++t) {
-      trees.push_back(std::make_unique<mcts::Tree<G>>(
-          state, config_, util::derive_seed(search_seed, t)));
-    }
-    util::XorShift128Plus cpu_rng(util::derive_seed(search_seed, 0xc0deULL));
-
-    gpu_.fault_injector().reset_log();
-    util::FaultLog& fault_log = gpu_.fault_injector().log();
-
-    simt::DeviceBuffer<typename G::State> roots(trees_n);
-    simt::DeviceBuffer<simt::BlockResult> results(trees_n);
-    roots.set_fault_injector(&gpu_.fault_injector());
-    roots.set_retry_policy(options_.retry);
-    results.set_fault_injector(&gpu_.fault_injector());
-    results.set_retry_policy(options_.retry);
-    std::vector<mcts::NodeIndex> leaves(trees_n);
-
-    stats_ = {};
-    double waste_sum = 0.0;
-    std::uint64_t round = 0;
-    std::size_t cpu_tree_cursor = 0;
-    int failed_rounds = 0;
-    bool gpu_abandoned = false;
-    // Threaded execution backend: the same pool that partitions kernel
-    // grids also fans out the per-tree host phases (each tree owns its RNG
-    // and arena, so parallel order cannot change results). nullptr =
-    // sequential. The overlap iterations stay sequential: they share one
-    // cpu_rng and a rotating cursor, so their order is load-bearing.
-    util::ThreadPool* pool = gpu_.worker_pool();
-
-    constexpr int host_track = obs::Tracer::kHostTrack;
-    const int gpu_track = tracer_ != nullptr ? tracer_->track("gpu") : 0;
-    if (tracer_ != nullptr) {
-      (void)tracer_->begin_search(name());
-      tracer_->set_frequency(clock.frequency_hz());
-    }
-
-    // One CPU-side sequential iteration (the same loop body the paper's
-    // "CPU can work here!" overlap uses, and our degradation path).
-    const auto cpu_iteration = [&] {
-      mcts::Tree<G>& tree = *trees[cpu_tree_cursor];
-      cpu_tree_cursor = (cpu_tree_cursor + 1) % trees_n;
-      const mcts::Selection<G> sel = tree.select();
-      double value;
-      std::uint32_t plies = 0;
-      if (sel.terminal) {
-        value =
-            game::value_of(G::outcome_for(sel.state, game::Player::kFirst));
-      } else {
-        const mcts::PlayoutResult playout =
-            mcts::random_playout<G>(sel.state, cpu_rng);
-        value = playout.value_first;
-        plies = playout.plies;
-      }
-      tree.backpropagate(sel.node, value, 1, value * value);
-      clock.advance(static_cast<std::uint64_t>(
-          gpu_.cost().host_tree_op_cycles +
-          gpu_.cost().host_cycles_per_ply * static_cast<double>(plies)));
-      stats_.simulations += 1;
-      stats_.cpu_iterations += 1;
-      if (tracer_ != nullptr) {
-        tracer_->metrics().histogram("playout_plies").observe(plies);
-      }
-    };
-
-    do {
-      bool gpu_round_ok = false;
-      if (!gpu_abandoned) {
-        {
-          obs::ScopedSpan span(tracer_, host_track, "selection", clock,
-                               {{"trees", static_cast<double>(trees_n)}});
-          const auto select_tree = [&](std::size_t t) {
-            const mcts::Selection<G> sel = trees[t]->select();
-            roots.host()[t] = sel.state;
-            leaves[t] = sel.node;
-          };
-          if (pool != nullptr) {
-            pool->parallel_for_ranges(trees_n,
-                                      [&](std::size_t begin, std::size_t end) {
-                                        for (std::size_t t = begin; t < end;
-                                             ++t) {
-                                          select_tree(t);
-                                        }
-                                      });
-            // Same virtual-time charge as the sequential loop, in one step.
-            clock.advance(
-                trees_n *
-                static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
-          } else {
-            for (std::size_t t = 0; t < trees_n; ++t) {
-              select_tree(t);
-              clock.advance(
-                  static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
-            }
-          }
-        }
-        try {
-          {
-            obs::ScopedSpan span(tracer_, host_track, "upload", clock);
-            roots.upload(clock);
-          }
-
-          simt::Event event;
-          const bool launched = util::with_retry(
-              options_.retry, clock, &fault_log, [&](int /*attempt*/) {
-                const std::span<simt::BlockResult> device_results =
-                    results.device_view();
-                for (auto& r : device_results) r = simt::BlockResult{};
-                simt::PlayoutKernel<G> kernel(roots.device_view(),
-                                              search_seed, round,
-                                              device_results);
-                event = gpu_.launch_async(options_.launch, kernel, clock);
-                return event.result.ok();
-              });
-          if (launched) {
-            if (tracer_ != nullptr) {
-              // The device timeline is known up front (virtual time): emit
-              // the kernel span with explicit begin/end stamps so the export
-              // shows the CPU overlap running alongside it.
-              tracer_->begin(
-                  gpu_track, "kernel", clock.cycles(),
-                  {{"blocks", static_cast<double>(options_.launch.blocks)},
-                   {"threads_per_block",
-                    static_cast<double>(options_.launch.threads_per_block)}});
-              tracer_->end(gpu_track, "kernel", event.completion_host_cycle);
-              tracer_->counter(host_track, "divergence", clock.cycles(),
-                               event.result.stats.divergence_waste());
-            }
-            // "CPU can work here!" — iterate sequential MCTS on the same
-            // trees until the gpu-ready event fires.
-            {
-              const std::uint64_t overlap_start = stats_.cpu_iterations;
-              obs::ScopedSpan span(tracer_, host_track, "cpu_overlap", clock);
-              while (options_.cpu_overlap &&
-                     !simt::VirtualGpu::query(event, clock)) {
-                cpu_iteration();
-              }
-              if (tracer_ != nullptr) {
-                tracer_->counter(
-                    host_track, "overlap_iterations", clock.cycles(),
-                    static_cast<double>(stats_.cpu_iterations -
-                                        overlap_start));
-              }
-            }
-            gpu_.wait_for(event, clock);
-            {
-              obs::ScopedSpan span(tracer_, host_track, "download", clock);
-              results.download(clock);
-            }
-            const std::span<const simt::BlockResult> tallies =
-                results.host_checked();
-            obs::ScopedSpan span(tracer_, host_track, "backprop", clock);
-            if (pool != nullptr) {
-              pool->parallel_for_ranges(
-                  trees_n, [&](std::size_t begin, std::size_t end) {
-                    for (std::size_t t = begin; t < end; ++t) {
-                      trees[t]->backpropagate(leaves[t],
-                                              tallies[t].value_first,
-                                              tallies[t].simulations,
-                                              tallies[t].value_sq_first);
-                    }
-                  });
-            }
-            for (std::size_t t = 0; t < trees_n; ++t) {
-              if (pool == nullptr) {
-                trees[t]->backpropagate(leaves[t], tallies[t].value_first,
-                                        tallies[t].simulations,
-                                        tallies[t].value_sq_first);
-              }
-              // Stats and tracer observations stay on the controlling
-              // thread, in tree order — identical with and without the pool.
-              stats_.simulations += tallies[t].simulations;
-              stats_.gpu_simulations += tallies[t].simulations;
-              if (tracer_ != nullptr) {
-                tracer_->metrics()
-                    .histogram("block_simulations")
-                    .observe(tallies[t].simulations);
-              }
-            }
-            // Divergence is averaged over *successful* GPU rounds only
-            // (same audit as BlockParallelGpuSearcher): failed and
-            // CPU-fallback rounds produced no kernel results.
-            waste_sum += event.result.stats.divergence_waste();
-            stats_.gpu_rounds += 1;
-            gpu_round_ok = true;
-          }
-        } catch (const util::FaultError&) {
-          // Transfer retries exhausted; the round's GPU work is lost (the
-          // trees keep their selections un-backpropagated, like real lost
-          // in-flight work) and we fall through to the CPU path.
-        }
-        if (gpu_round_ok) {
-          failed_rounds = 0;
-        } else if (++failed_rounds >= options_.max_failed_rounds) {
-          // The device is gone for this search: degrade to CPU-only
-          // sequential MCTS on the same trees and still answer in budget.
-          gpu_abandoned = true;
-          fault_log.record_recovery(util::RecoveryKind::kCpuFallback,
-                                    clock.cycles(), failed_rounds);
-          if (tracer_ != nullptr) {
-            tracer_->instant(host_track, "gpu_abandoned", clock.cycles());
-          }
-        }
-      }
-      if (!gpu_round_ok) {
-        // CPU-only batch: one sequential iteration per tree keeps every
-        // tree growing and the clock advancing toward the deadline.
-        obs::ScopedSpan span(tracer_, host_track, "cpu_fallback", clock);
-        for (std::size_t i = 0; i < trees_n && clock.cycles() < deadline;
-             ++i) {
-          cpu_iteration();
-        }
-      }
-      ++round;
-      stats_.rounds += 1;
-    } while (clock.cycles() < deadline);
-
-    std::vector<std::vector<typename mcts::Tree<G>::RootChildStat>> per_tree;
-    per_tree.reserve(trees_n);
-    for (const auto& tree : trees) {
-      per_tree.push_back(tree->root_child_stats());
-      stats_.tree_nodes += tree->node_count();
-      if (tree->max_depth() > stats_.max_depth)
-        stats_.max_depth = tree->max_depth();
-    }
-    stats_.virtual_seconds = clock.seconds();
-    if (stats_.gpu_rounds > 0)
-      stats_.divergence_waste =
-          waste_sum / static_cast<double>(stats_.gpu_rounds);
-    stats_.faults = fault_log;
-
-    if (tracer_ != nullptr) {
-      tracer_->counter(host_track, "simulations", clock.cycles(),
-                       static_cast<double>(stats_.simulations));
-      tracer_->metrics().counter("gpu_simulations").add(stats_.gpu_simulations);
-      tracer_->metrics().counter("cpu_iterations").add(stats_.cpu_iterations);
-      tracer_->metrics().counter("kernel_rounds").add(stats_.rounds);
-    }
-
-    const auto merged = merge_root_stats<G>(per_tree);
-    return best_merged_move(merged);
+    return driver_.run(state, budget_seconds, search_seed, name()).move;
   }
 
   [[nodiscard]] const mcts::SearchStats& last_stats() const noexcept override {
-    return stats_;
+    return driver_.stats();
   }
 
   /// CPU-side simulations contributed during kernel overlap in the last
   /// choose_move — the quantity the hybrid scheme adds over GPU-only.
   [[nodiscard]] std::uint64_t cpu_overlap_simulations() const noexcept {
-    return stats_.cpu_iterations;
+    return driver_.stats().cpu_iterations;
   }
 
   [[nodiscard]] std::string name() const override {
     return std::string(options_.cpu_overlap ? "hybrid CPU+GPU ("
                                             : "block-parallel GPU-only (") +
            std::to_string(options_.launch.blocks) + "x" +
-           std::to_string(options_.launch.threads_per_block) + ")";
+           std::to_string(options_.launch.threads_per_block) +
+           driver::pipeline_suffix(options_.pipeline,
+                                   options_.pipeline_depth) +
+           ")";
   }
 
   void reseed(std::uint64_t seed) override {
@@ -333,18 +102,18 @@ class HybridSearcher final : public mcts::Searcher<G> {
   }
 
   void set_tracer(obs::Tracer* tracer) noexcept override {
-    tracer_ = tracer;
-    gpu_.set_tracer(tracer);
+    driver_.set_tracer(tracer);
   }
 
  private:
+  using Driver =
+      driver::RoundDriver<G, driver::CohortTreesSource<G>,
+                          driver::PerTreeSink<G>, driver::CpuFallback<G>>;
+
   Options options_;
-  mcts::SearchConfig config_;
-  simt::VirtualGpu gpu_;
+  Driver driver_;
   std::uint64_t seed_;
   std::uint64_t move_counter_ = 0;
-  mcts::SearchStats stats_;
-  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpu_mcts::parallel

@@ -4,36 +4,24 @@
 // aggregate. Simple, but every round samples the same node, so accuracy
 // saturates (Figure 6: win ratio stalls near 0.75 at ~1024 threads).
 //
-// Pipelined rounds (Options::pipeline, DESIGN.md §10): a single tree gives
-// each round a strict select -> simulate -> backprop dependency, so unlike
-// the block searcher there is nothing to double-buffer *across* rounds
-// without changing results. Instead the round's grid is split into two
-// block_offset halves launched on two streams, whose workers execute
-// concurrently on the host. Each half tallies into its own slot; adding the
-// two half-sums reproduces the covering launch's sequential accumulation
-// bit for bit (playout values are dyadic rationals — 0, 0.5, 1 — whose
-// partial sums are exact in a double), so the tree's evolution is
-// bit-identical with pipelining on or off.
+// Thin policy bundle over the RoundDriver engine (DESIGN.md §11):
+// shared-root source (one tree feeds the whole grid), summed sink (slice
+// tallies recombine in slot order — bit-identical to the covering launch),
+// no fallback (rounds are fault-oblivious: a failed launch contributes a
+// zero tally). Pipelined rounds (Options::pipeline, DESIGN.md §10) slice
+// each round's grid across Options::pipeline_depth streams; results and
+// stats are bit-identical with pipelining on or off at any depth.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <optional>
-#include <span>
 #include <string>
-#include <vector>
 
 #include "game/game_traits.hpp"
 #include "mcts/config.hpp"
 #include "mcts/searcher.hpp"
-#include "mcts/tree.hpp"
 #include "obs/trace.hpp"
-#include "simt/device_buffer.hpp"
-#include "simt/playout_kernel.hpp"
-#include "simt/timing.hpp"
+#include "parallel/driver/round_driver.hpp"
 #include "simt/vgpu.hpp"
-#include "util/check.hpp"
-#include "util/clock.hpp"
 #include "util/rng.hpp"
 
 namespace gpu_mcts::parallel {
@@ -44,246 +32,41 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
   struct Options {
     /// Grid geometry; the paper's leaf experiments use block size 64.
     simt::LaunchConfig launch{.blocks = 1, .threads_per_block = 64};
-    /// Split each round's grid across two concurrent streams (requires at
-    /// least two blocks; ignored otherwise). Results and stats are
-    /// bit-identical with this on or off.
+    /// Split each round's grid across pipeline_depth concurrent streams
+    /// (requires at least two blocks; ignored otherwise). Results and stats
+    /// are bit-identical with this on or off.
     bool pipeline = false;
+    /// Number of grid slices (streams) per pipelined round.
+    int pipeline_depth = 2;
   };
 
   LeafParallelGpuSearcher(Options options, mcts::SearchConfig config = {},
                           simt::VirtualGpu gpu = simt::VirtualGpu())
-      : options_(options), config_(config), gpu_(std::move(gpu)),
-        seed_(config.seed) {
-    simt::validate(options_.launch, gpu_.device());
-  }
+      : options_(options),
+        driver_({.launch = options.launch,
+                 .pipeline_depth = options.pipeline ? options.pipeline_depth
+                                                    : 1,
+                 .mode = driver::SimulateMode::kSync},
+                {}, {}, {}, config, std::move(gpu)),
+        seed_(config.seed) {}
 
   [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
                                              double budget_seconds) override {
-    util::expects(!G::is_terminal(state), "choose_move on terminal state");
-    util::VirtualClock clock(gpu_.host().clock_hz);
-    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
     const std::uint64_t search_seed =
         util::derive_seed(seed_, move_counter_++);
-
-    mcts::Tree<G> tree(state, config_, search_seed);
-    stats_ = {};
-    double waste_sum = 0.0;
-    std::uint64_t round = 0;
-
-    // Pipelined split-grid rounds: `op_clock` is the timeline operations
-    // charge honestly. Without faults it is a separate overlapped clock and
-    // the *main* clock advances by exactly the synchronous round total each
-    // round (the canonical timeline — what keeps deadline decisions and
-    // stats bit-identical with pipelining off). Under faults the honest
-    // schedule is the only schedule, so op_clock aliases the main clock.
-    const bool pipelined = options_.pipeline && options_.launch.blocks >= 2;
-    const bool faults_enabled = gpu_.fault_injector().enabled();
-    util::VirtualClock overlap_clock(gpu_.host().clock_hz);
-    util::VirtualClock& op_clock =
-        pipelined && !faults_enabled ? overlap_clock : clock;
-    std::array<simt::LaunchConfig, 2> half_cfg{};
-    if (pipelined) {
-      gpu_.reset_stream_timeline();
-      const int half = options_.launch.blocks / 2;
-      half_cfg[0] = {.blocks = half,
-                     .threads_per_block = options_.launch.threads_per_block,
-                     .block_offset = 0};
-      half_cfg[1] = {.blocks = options_.launch.blocks - half,
-                     .threads_per_block = options_.launch.threads_per_block,
-                     .block_offset = half};
-    }
-
-    constexpr int host_track = obs::Tracer::kHostTrack;
-    if (tracer_ != nullptr) {
-      (void)tracer_->begin_search(name());
-      tracer_->set_frequency(clock.frequency_hz());
-    }
-
-    do {
-      // Host side: one tree operation (selection + expansion), charged to
-      // the CPU controlling process.
-      const mcts::Selection<G> sel = [&] {
-        obs::ScopedSpan span(tracer_, host_track, "selection", op_clock);
-        const mcts::Selection<G> selected = tree.select();
-        op_clock.advance(
-            static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
-        return selected;
-      }();
-      if (pipelined && !faults_enabled) {
-        // Canonical charge for the selection the overlapped timeline paid.
-        clock.advance(
-            static_cast<std::uint64_t>(gpu_.cost().host_tree_op_cycles));
-      }
-
-      if (sel.terminal) {
-        // Nothing to simulate: score the terminal leaf directly.
-        const double v = game::value_of(
-            G::outcome_for(sel.state, game::Player::kFirst));
-        tree.backpropagate(sel.node, v, 1, v * v);
-        stats_.simulations += 1;
-        stats_.cpu_iterations += 1;
-      } else if (pipelined) {
-        // One root up (shared by both halves), one tally slot per half down.
-        simt::DeviceBuffer<typename G::State> root(1);
-        simt::DeviceBuffer<simt::BlockResult> result(2);
-        root.host()[0] = sel.state;
-        {
-          obs::ScopedSpan span(tracer_, host_track, "upload", op_clock);
-          root.upload(op_clock);
-        }
-        const std::span<simt::BlockResult> device_result =
-            result.device_view();
-        device_result[0] = simt::BlockResult{};
-        device_result[1] = simt::BlockResult{};
-        // Kernels must outlive their wait (the stream worker holds a
-        // reference). Each half-grid is a block_offset slice, so its lanes
-        // carry the same identities and RNG streams the covering launch
-        // would hand them.
-        std::array<std::optional<simt::PlayoutKernel<G>>, 2> kernels;
-        std::array<simt::StreamTicket, 2> tickets{};
-        for (int s = 0; s < 2; ++s) {
-          kernels[static_cast<std::size_t>(s)].emplace(
-              root.device_view(), search_seed, round,
-              device_result.subspan(static_cast<std::size_t>(s), 1));
-          tickets[static_cast<std::size_t>(s)] = gpu_.launch_on(
-              s, half_cfg[static_cast<std::size_t>(s)],
-              *kernels[static_cast<std::size_t>(s)], op_clock);
-        }
-        std::vector<simt::WarpTrace> round_traces;
-        for (int s = 0; s < 2; ++s) {
-          const simt::StreamLaunch done =
-              gpu_.wait(tickets[static_cast<std::size_t>(s)], op_clock);
-          // Fault-oblivious like the synchronous path: a failed half left
-          // its zeroed slot untouched and contributes nothing to the tally.
-          if (done.result.ok()) {
-            round_traces.insert(round_traces.end(), done.traces.begin(),
-                                done.traces.end());
-          }
-        }
-        {
-          obs::ScopedSpan span(tracer_, host_track, "download", op_clock);
-          result.download_range(op_clock, 0, 1);
-          result.download_range(op_clock, 1, 1);
-        }
-        const std::span<const simt::BlockResult> tallies =
-            result.host_checked_range(0, 2);
-        simt::BlockResult tally{};
-        for (const simt::BlockResult& r : tallies) {
-          tally.value_first += r.value_first;
-          tally.value_sq_first += r.value_sq_first;
-          tally.simulations += r.simulations;
-          tally.total_plies += r.total_plies;
-        }
-        {
-          obs::ScopedSpan span(tracer_, host_track, "backprop", op_clock);
-          tree.backpropagate(sel.node, tally.value_first, tally.simulations,
-                             tally.value_sq_first);
-        }
-        const simt::LaunchStats agg =
-            simt::aggregate_stats(round_traces, gpu_.device());
-        stats_.simulations += tally.simulations;
-        stats_.gpu_simulations += tally.simulations;
-        stats_.gpu_rounds += 1;
-        waste_sum += agg.divergence_waste();
-        if (tracer_ != nullptr) {
-          tracer_->counter(host_track, "divergence", op_clock.cycles(),
-                           agg.divergence_waste());
-          if (tally.simulations > 0) {
-            tracer_->metrics().histogram("playout_plies").observe(
-                static_cast<double>(tally.total_plies) /
-                static_cast<double>(tally.simulations));
-          }
-        }
-        if (!faults_enabled) {
-          // Canonical charge: full-root upload + one launch overhead +
-          // device time of the combined half traces + a single-tally
-          // readback — term for term the synchronous round's advances.
-          const double combined_cycles = simt::device_cycles_for(
-              round_traces, options_.launch, gpu_.device(), gpu_.cost());
-          clock.advance(
-              root.costs().cost(root.bytes()) +
-              gpu_.launch_overhead_cycles() +
-              static_cast<std::uint64_t>(gpu_.cost().device_to_host_cycles(
-                  combined_cycles, gpu_.device(), gpu_.host())) +
-              result.costs().cost(sizeof(simt::BlockResult)));
-        }
-      } else {
-        // One root up, one aggregate tally down per round.
-        simt::DeviceBuffer<typename G::State> root(1);
-        simt::DeviceBuffer<simt::BlockResult> result(1);
-        root.host()[0] = sel.state;
-        {
-          obs::ScopedSpan span(tracer_, host_track, "upload", clock);
-          root.upload(clock);
-        }
-        const std::span<simt::BlockResult> device_result =
-            result.device_view();
-        device_result[0] = simt::BlockResult{};
-        simt::PlayoutKernel<G> kernel(root.device_view(), search_seed, round,
-                                      device_result);
-        simt::LaunchResult launch;
-        {
-          obs::ScopedSpan span(
-              tracer_, host_track, "kernel", clock,
-              {{"blocks", static_cast<double>(options_.launch.blocks)},
-               {"threads_per_block",
-                static_cast<double>(options_.launch.threads_per_block)}});
-          launch = gpu_.launch(options_.launch, kernel, clock);
-        }
-        {
-          obs::ScopedSpan span(tracer_, host_track, "download", clock);
-          result.download(clock);
-        }
-        const simt::BlockResult tally = result.host_checked()[0];
-        {
-          obs::ScopedSpan span(tracer_, host_track, "backprop", clock);
-          tree.backpropagate(sel.node, tally.value_first, tally.simulations,
-                             tally.value_sq_first);
-        }
-        stats_.simulations += tally.simulations;
-        stats_.gpu_simulations += tally.simulations;
-        stats_.gpu_rounds += 1;
-        waste_sum += launch.stats.divergence_waste();
-        if (tracer_ != nullptr) {
-          tracer_->counter(host_track, "divergence", clock.cycles(),
-                           launch.stats.divergence_waste());
-          if (tally.simulations > 0) {
-            tracer_->metrics().histogram("playout_plies").observe(
-                static_cast<double>(tally.total_plies) /
-                static_cast<double>(tally.simulations));
-          }
-        }
-      }
-      ++round;
-      stats_.rounds += 1;
-    } while (clock.cycles() < deadline);
-
-    stats_.tree_nodes = tree.node_count();
-    stats_.max_depth = tree.max_depth();
-    stats_.virtual_seconds = clock.seconds();
-    // Averaged over rounds that actually launched a kernel: terminal-leaf
-    // shortcut rounds are CPU-only and would dilute the figure.
-    if (stats_.gpu_rounds > 0)
-      stats_.divergence_waste =
-          waste_sum / static_cast<double>(stats_.gpu_rounds);
-    if (tracer_ != nullptr) {
-      tracer_->counter(host_track, "simulations", clock.cycles(),
-                       static_cast<double>(stats_.simulations));
-      tracer_->metrics().counter("gpu_simulations").add(stats_.gpu_simulations);
-      tracer_->metrics().counter("cpu_iterations").add(stats_.cpu_iterations);
-      tracer_->metrics().counter("kernel_rounds").add(stats_.rounds);
-    }
-    return tree.best_move();
+    return driver_.run(state, budget_seconds, search_seed, name()).move;
   }
 
   [[nodiscard]] const mcts::SearchStats& last_stats() const noexcept override {
-    return stats_;
+    return driver_.stats();
   }
 
   [[nodiscard]] std::string name() const override {
     return "leaf-parallel GPU (" + std::to_string(options_.launch.blocks) +
            "x" + std::to_string(options_.launch.threads_per_block) +
-           (options_.pipeline ? ", pipelined" : "") + ")";
+           driver::pipeline_suffix(options_.pipeline,
+                                   options_.pipeline_depth) +
+           ")";
   }
 
   void reseed(std::uint64_t seed) override {
@@ -292,18 +75,18 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
   }
 
   void set_tracer(obs::Tracer* tracer) noexcept override {
-    tracer_ = tracer;
-    gpu_.set_tracer(tracer);
+    driver_.set_tracer(tracer);
   }
 
  private:
+  using Driver =
+      driver::RoundDriver<G, driver::SharedLeafSource<G>,
+                          driver::SummedTallySink<G>, driver::NoFallback>;
+
   Options options_;
-  mcts::SearchConfig config_;
-  simt::VirtualGpu gpu_;
+  Driver driver_;
   std::uint64_t seed_;
   std::uint64_t move_counter_ = 0;
-  mcts::SearchStats stats_;
-  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace gpu_mcts::parallel

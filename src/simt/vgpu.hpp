@@ -328,7 +328,10 @@ class VirtualGpu {
       trace_stream_wait(ticket.stream, pending.cfg, done);
       return done;
     }
-    StreamExecution exec = pending.execution.get();  // worker handoff point
+    // Worker handoff point — unless peek_completion() already resolved the
+    // future, in which case the cached execution is consumed instead.
+    StreamExecution exec =
+        pending.resolved ? std::move(pending.exec) : pending.execution.get();
     done.result = exec.result;
     done.traces = std::move(exec.traces);
     if (pending.stalled) {
@@ -346,6 +349,40 @@ class VirtualGpu {
     host_clock.advance(sync_overhead_cycles());
     trace_stream_wait(ticket.stream, pending.cfg, done);
     return done;
+  }
+
+  /// Stream-rotation helper for overlapped schedules: the completion cycle
+  /// wait() would settle this ticket to if called now, without retiring the
+  /// ticket or advancing any clock. The ticket must be its stream's oldest
+  /// in-flight launch (the one wait() would consume). For an injected launch
+  /// failure the "completion" is the enqueue cycle — the caller's poll loop
+  /// then runs zero overlap iterations and the failure surfaces at wait().
+  ///
+  /// This is the synchronization point with the stream worker: the execution
+  /// future is resolved (and cached, so the eventual wait() is non-blocking)
+  /// to learn the kernel's modeled duration. The device timeline is not
+  /// touched — callers that retire tickets in rotation order (the pipelined
+  /// searchers) have already waited every earlier kernel, so
+  /// max(enqueue, device_busy_until) + duration is exact.
+  [[nodiscard]] std::uint64_t peek_completion(const StreamTicket& ticket) {
+    StreamSet& streams = stream_set();
+    util::expects(ticket.stream >= 0 && ticket.stream < kMaxStreams,
+                  "stream id in range");
+    auto& queue = streams.pending[static_cast<std::size_t>(ticket.stream)];
+    util::expects(!queue.empty() && queue.front().op == ticket.op,
+                  "peek the stream's oldest in-flight ticket");
+    PendingStreamLaunch& pending = queue.front();
+    if (pending.failed) return pending.enqueue_cycle;
+    if (!pending.resolved) {
+      pending.exec = pending.execution.get();
+      pending.resolved = true;
+    }
+    double device_cycles = pending.exec.result.device_cycles;
+    if (pending.stalled) device_cycles *= injector_.policy().stall_multiplier;
+    const std::uint64_t start =
+        std::max(pending.enqueue_cycle, streams.device_busy_until);
+    return start + static_cast<std::uint64_t>(
+                       cost_.device_to_host_cycles(device_cycles, dev_, host_));
   }
 
   /// Resets the modeled device timeline for stream launches. Call at search
@@ -568,6 +605,9 @@ class VirtualGpu {
     bool failed = false;   ///< injected launch failure — nothing enqueued
     bool stalled = false;  ///< injected stall — applied at wait()
     std::future<StreamExecution> execution;  ///< invalid when `failed`
+    /// peek_completion() resolved the future early; `exec` holds the result.
+    bool resolved = false;
+    StreamExecution exec;
   };
 
   /// The stream machinery: one FIFO worker thread per used stream, plus the

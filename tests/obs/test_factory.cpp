@@ -84,6 +84,50 @@ TEST(SchemeSpecParse, BatchSchemesGetTheSmallUcbConstant) {
   }
 }
 
+TEST(SchemeSpecParse, PipelineSuffixTakesOptionalDepth) {
+  const SchemeSpec legacy = SchemeSpec::parse("block:8x32+pipeline");
+  EXPECT_TRUE(legacy.pipeline);
+  EXPECT_EQ(legacy.pipeline_depth, 2);  // bare suffix = two-stream ping-pong
+
+  const SchemeSpec deep = SchemeSpec::parse("leaf:4x64+pipeline:3");
+  EXPECT_TRUE(deep.pipeline);
+  EXPECT_EQ(deep.pipeline_depth, 3);
+
+  const SchemeSpec sync = SchemeSpec::parse("block:8x32+pipeline:1");
+  EXPECT_TRUE(sync.pipeline);
+  EXPECT_EQ(sync.pipeline_depth, 1);  // depth 1 runs the synchronous path
+
+  const SchemeSpec hybrid = SchemeSpec::parse("hybrid:8x32+pipeline:2");
+  EXPECT_EQ(hybrid.scheme, "hybrid");
+  EXPECT_TRUE(hybrid.cpu_overlap);
+  EXPECT_TRUE(hybrid.pipeline);
+
+  const SchemeSpec control = SchemeSpec::parse("gpu-only:8x32+pipeline");
+  EXPECT_FALSE(control.cpu_overlap);
+  EXPECT_TRUE(control.pipeline);
+}
+
+TEST(SchemeSpecParse, RejectsBadPipelineSuffixes) {
+  for (const char* text :
+       {"root:4+pipeline", "tree:4+pipeline", "dist:2x8x32+pipeline",
+        "seq+pipeline", "block:8x32+pipeline:0", "block:8x32+pipeline:9",
+        "block:8x32+pipeline:x", "block:8x32+pipeline:",
+        "block:8x32+pipelined", "block:8x32+turbo"}) {
+    EXPECT_THROW((void)SchemeSpec::parse(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(SchemeSpecParse, MisplacedPipelineNamesTheSchemesThatTakeIt) {
+  try {
+    (void)SchemeSpec::parse("tree:4+pipeline");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("leaf, block, hybrid, gpu-only"), std::string::npos)
+        << what;
+  }
+}
+
 TEST(SchemeSpecParse, RejectsMalformedSpecs) {
   for (const char* text :
        {"", "warp:4", "seq:1", "flat:2x2", "root:", "root:0", "root:-3",
@@ -119,6 +163,23 @@ TEST(SchemeSpecToString, RoundTripsThroughParse) {
     EXPECT_EQ(again.ranks, spec.ranks);
     EXPECT_EQ(again.cpu_overlap, spec.cpu_overlap);
   }
+}
+
+TEST(SchemeSpecToString, PipelineSuffixRoundTrips) {
+  // Depth 2 is the suffix default, so it canonicalizes to bare "+pipeline";
+  // other depths keep the explicit ":<depth>".
+  for (const char* text :
+       {"leaf:16x64+pipeline", "block:112x128+pipeline:3",
+        "hybrid:112x64+pipeline", "gpu-only:112x64+pipeline:4",
+        "block:8x32+pipeline:1"}) {
+    const SchemeSpec spec = SchemeSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text);
+    const SchemeSpec again = SchemeSpec::parse(spec.to_string());
+    EXPECT_EQ(again.pipeline, spec.pipeline);
+    EXPECT_EQ(again.pipeline_depth, spec.pipeline_depth);
+  }
+  EXPECT_EQ(SchemeSpec::parse("block:8x32+pipeline:2").to_string(),
+            "block:8x32+pipeline");
 }
 
 TEST(SchemeSpecBuilders, MatchWhatParseProduces) {

@@ -1,0 +1,326 @@
+// Driver-level bit-exactness suite (DESIGN.md §11).
+//
+// Every pre-RoundDriver scheme spec is pinned against golden results
+// captured from the seed (pre-refactor) searcher implementations: the chosen
+// move, every SearchStats field (doubles bitwise), the fault log, and an
+// FNV-1a hash over the complete trace event stream, track names included.
+// The RoundDriver reimplementation of the leaf/block/hybrid searchers must
+// reproduce all of it bit for bit — at exec thread count 1 and 4, faults on
+// or off, pipelining on or off.
+//
+// Regenerating goldens (only legitimate when the *seed* behaviour itself is
+// deliberately changed): GPU_MCTS_DUMP_GOLDEN=1 ./test_parallel \
+//   --gtest_filter='DriverBitExact.DumpGoldens' prints the table.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/factory.hpp"
+#include "engine/spec.hpp"
+#include "obs/trace.hpp"
+#include "reversi/reversi_game.hpp"
+
+namespace gpu_mcts::parallel {
+namespace {
+
+using reversi::ReversiGame;
+
+constexpr double kBudget = 0.05;
+
+// ---- capture + encoding ---------------------------------------------------
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+std::uint64_t hash_double(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return hash_u64(h, bits);
+}
+
+std::uint64_t hash_str(std::uint64_t h, const char* s) {
+  return fnv1a(h, s, std::strlen(s));
+}
+
+struct SearchCapture {
+  int move = 0;
+  mcts::SearchStats stats;
+  std::uint64_t trace_hash = 0;
+  std::size_t tracks = 0;
+};
+
+SearchCapture run_search(const engine::SchemeSpec& spec, int exec_threads) {
+  SearchCapture out;
+  obs::Tracer tracer;
+  auto searcher = engine::make_searcher<ReversiGame>(
+      spec.with_exec_threads(exec_threads));
+  searcher->set_tracer(&tracer);
+  out.move = static_cast<int>(
+      searcher->choose_move(ReversiGame::initial_state(), kBudget));
+  out.stats = searcher->last_stats();
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const obs::TraceEvent& e : tracer.merged()) {
+    h = hash_u64(h, static_cast<std::uint64_t>(e.kind));
+    h = hash_u64(h, e.track);
+    h = hash_u64(h, e.search);
+    h = hash_u64(h, e.cycles);
+    h = hash_str(h, e.name);
+    h = hash_double(h, e.value);
+    h = hash_u64(h, e.arg_count);
+    for (std::uint8_t k = 0; k < e.arg_count; ++k) {
+      h = hash_str(h, e.args[k].name);
+      h = hash_double(h, e.args[k].value);
+    }
+  }
+  out.tracks = tracer.track_count();
+  for (std::size_t t = 0; t < out.tracks; ++t) {
+    h = hash_str(h, tracer.track_name(static_cast<int>(t)).c_str());
+  }
+  out.trace_hash = h;
+  return out;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// The result-and-stats half of encode(): move, SearchStats (doubles
+/// bitwise), and fault/recovery counts — for comparisons where the trace
+/// streams legitimately differ (a different pipeline depth changes the
+/// stream track layout but must not change results).
+std::string encode_results(const SearchCapture& c) {
+  std::string s;
+  s += "m=" + std::to_string(c.move);
+  s += " s=" + std::to_string(c.stats.simulations);
+  s += " r=" + std::to_string(c.stats.rounds);
+  s += " gr=" + std::to_string(c.stats.gpu_rounds);
+  s += " ci=" + std::to_string(c.stats.cpu_iterations);
+  s += " gs=" + std::to_string(c.stats.gpu_simulations);
+  s += " tn=" + std::to_string(c.stats.tree_nodes);
+  s += " md=" + std::to_string(c.stats.max_depth);
+  s += " vs=" + hex64(double_bits(c.stats.virtual_seconds));
+  s += " dw=" + hex64(double_bits(c.stats.divergence_waste));
+  s += " f=" + std::to_string(c.stats.faults.faults()) + "/" +
+       std::to_string(c.stats.faults.recoveries());
+  return s;
+}
+
+/// One line that pins everything: the results above plus the trace stream
+/// hash and the track count.
+std::string encode(const SearchCapture& c) {
+  std::string s = encode_results(c);
+  s += " th=" + hex64(c.trace_hash);
+  s += " tk=" + std::to_string(c.tracks);
+  return s;
+}
+
+// ---- the pinned scheme specs ----------------------------------------------
+
+engine::SchemeSpec faulted(engine::SchemeSpec spec, double launch_failure,
+                           double transfer_failure, std::uint64_t fault_seed) {
+  spec.gpu_faults.kernel_launch_failure = launch_failure;
+  spec.gpu_faults.transfer_failure = transfer_failure;
+  spec.fault_seed = fault_seed;
+  return spec;
+}
+
+struct GoldenCase {
+  const char* label;
+  engine::SchemeSpec spec;
+  const char* golden;
+};
+
+// Goldens captured from the seed (pre-RoundDriver) searchers at exec_threads
+// = 1; the seed implementations were exec-thread-invariant, so the same
+// goldens pin exec_threads = 4 as well. Aliased leaf slots are covered by
+// every leaf case (the leaf kernel folds all lanes into one result slot).
+std::vector<GoldenCase> golden_cases() {
+  using engine::SchemeSpec;
+  return {
+      {"leaf_4x64",
+       SchemeSpec::leaf_gpu(4, 64).with_seed(101),
+       "m=19 s=3072 r=12 gr=12 ci=0 gs=3072 tn=14 md=2 vs=3fa9a992e0a2b3bf dw=3fa0bad473a05611 f=0/0 th=8bac6c7adc2d24ec tk=2"},
+      {"leaf_1x32_pipeline_ignored",
+       SchemeSpec::leaf_gpu(1, 32).with_seed(102).with_pipeline(),
+       "m=19 s=416 r=13 gr=13 ci=0 gs=416 tn=18 md=3 vs=3fab5cca922b2419 dw=3fa06ae67616274c f=0/0 th=bb700cf535350b5d tk=2"},
+      {"leaf_5x32_pipelined_odd",
+       SchemeSpec::leaf_gpu(5, 32).with_seed(103).with_pipeline(),
+       "m=26 s=2080 r=13 gr=13 ci=0 gs=2080 tn=20 md=3 vs=3fabbc132d5b61e2 dw=3fa0d5792313738b f=0/0 th=5047b234a321797e tk=4"},
+      {"leaf_4x64_pipelined",
+       SchemeSpec::leaf_gpu(4, 64).with_seed(104).with_pipeline(),
+       "m=19 s=3072 r=12 gr=12 ci=0 gs=3072 tn=17 md=2 vs=3fa9b23c69c52da9 dw=3fa0c05bb0d99548 f=0/0 th=41ce5b5f5d37a8f9 tk=4"},
+      {"block_8x32",
+       SchemeSpec::block_gpu(8, 32).with_seed(105),
+       "m=19 s=3072 r=12 gr=12 ci=0 gs=3072 tn=158 md=3 vs=3faa41141a1432be dw=3fa08d2facef68bf f=0/0 th=dcc39b599bbb83f2 tk=2"},
+      {"block_7x32_pipelined_odd",
+       SchemeSpec::block_gpu(7, 32).with_seed(106).with_pipeline(),
+       "m=44 s=2688 r=12 gr=12 ci=0 gs=2688 tn=138 md=3 vs=3faa4eb3df8afeba dw=3fa1e804f7ed77bb f=0/0 th=69132e076f2b7f9c tk=4"},
+      {"block_8x32_pipelined",
+       SchemeSpec::block_gpu(8, 32).with_seed(107).with_pipeline(),
+       "m=19 s=3072 r=12 gr=12 ci=0 gs=3072 tn=141 md=4 vs=3faa2fc1109ace30 dw=3fa08be46310a003 f=0/0 th=f3d0efc4ba07e2c5 tk=4"},
+      {"hybrid_8x32",
+       SchemeSpec::hybrid(8, 32).with_seed(108),
+       "m=19 s=3336 r=12 gr=12 ci=264 gs=3072 tn=587 md=5 vs=3faa3e0a76ae19d8 dw=3fa09669cb00443c f=0/0 th=1dedb63712041600 tk=2"},
+      {"gpu_only_8x32",
+       SchemeSpec::hybrid(8, 32, /*cpu_overlap=*/false).with_seed(109),
+       "m=44 s=3072 r=12 gr=12 ci=0 gs=3072 tn=157 md=3 vs=3faa1e6e0a0feeb9 dw=3fa0cce97205f87d f=0/0 th=c042f0c9abf2fd54 tk=2"},
+      {"block_8x32_faulted",
+       faulted(SchemeSpec::block_gpu(8, 32).with_seed(110), 0.3, 0.0, 71),
+       "m=37 s=3072 r=12 gr=12 ci=0 gs=3072 tn=160 md=3 vs=3faa0ee51e1d65a3 dw=3fa0e7771af856d1 f=1/1 th=93f6c6b74e65a6d0 tk=2"},
+      {"block_8x32_pipelined_faulted",
+       faulted(SchemeSpec::block_gpu(8, 32).with_seed(111).with_pipeline(),
+               0.3, 0.0, 72),
+       "m=26 s=1668 r=7 gr=7 ci=4 gs=1664 tn=85 md=2 vs=3fac9ef9673dd3b0 dw=3fa23ad56977352b f=7/7 th=4563c944234f1289 tk=4"},
+      {"leaf_4x64_faulted",
+       faulted(SchemeSpec::leaf_gpu(4, 64).with_seed(112), 0.3, 0.0, 73),
+       "m=19 s=3072 r=15 gr=15 ci=0 gs=3072 tn=23 md=3 vs=3fa9a910b0dcadb5 dw=3f9cdf9f655b7efe f=0/0 th=65ba43eb3be03110 tk=2"},
+      {"leaf_4x64_pipelined_faulted",
+       faulted(SchemeSpec::leaf_gpu(4, 64).with_seed(113).with_pipeline(),
+               0.3, 0.0, 74),
+       "m=19 s=1792 r=8 gr=8 ci=0 gs=1792 tn=11 md=2 vs=3fadbe1ca3aef828 dw=3f9ff01a69b734e4 f=0/0 th=7c1a355f02af8fd5 tk=4"},
+      {"hybrid_8x32_faulted",
+       faulted(SchemeSpec::hybrid(8, 32).with_seed(114), 0.3, 0.2, 75),
+       "m=19 s=3347 r=13 gr=12 ci=275 gs=3072 tn=626 md=5 vs=3fab5b23104b5e53 dw=3fa201c9456a5761 f=19/19 th=f8f95fdc190d3f88 tk=2"},
+      {"block_8x32_pipelined_transfer_faults",
+       faulted(SchemeSpec::block_gpu(8, 32).with_seed(115).with_pipeline(),
+               0.0, 0.4, 76),
+       "m=19 s=1412 r=6 gr=6 ci=4 gs=1408 tn=85 md=2 vs=3faa52000c399bf9 dw=3fa078920de4e668 f=16/16 th=152e2124e93fb955 tk=4"},
+      {"block_8x32_all_launches_fail",
+       faulted(SchemeSpec::block_gpu(8, 32).with_seed(116), 1.0, 0.0, 77),
+       "m=19 s=263 r=33 gr=0 ci=263 gs=0 tn=408 md=5 vs=3fa99a9d9577f89f dw=0000000000000000 f=6/7 th=d6f4d3b7c0292d69 tk=2"},
+  };
+}
+
+TEST(DriverBitExact, MatchesSeedGoldens) {
+  for (const GoldenCase& c : golden_cases()) {
+    SCOPED_TRACE(c.label);
+    EXPECT_EQ(encode(run_search(c.spec, 1)), c.golden);
+  }
+}
+
+TEST(DriverBitExact, GoldensHoldAtFourExecThreads) {
+  for (const GoldenCase& c : golden_cases()) {
+    SCOPED_TRACE(c.label);
+    EXPECT_EQ(encode(run_search(c.spec, 4)), c.golden);
+  }
+}
+
+// ---- post-refactor invariants ---------------------------------------------
+// The N-way stream rotation is a capability the seed searchers did not have;
+// these pin the new depths against the synchronous/legacy behaviour.
+
+TEST(DriverDepth, ExplicitDepthTwoEqualsLegacyPipelineSuffix) {
+  // "+pipeline:2" must be byte-for-byte the old two-stream "+pipeline" —
+  // same goldens, same trace stream.
+  const auto block_legacy = run_search(
+      engine::SchemeSpec::block_gpu(8, 32).with_seed(107).with_pipeline(), 1);
+  const auto block_explicit = run_search(
+      engine::SchemeSpec::parse("block:8x32+pipeline:2").with_seed(107), 1);
+  EXPECT_EQ(encode(block_explicit), encode(block_legacy));
+
+  const auto leaf_legacy = run_search(
+      engine::SchemeSpec::leaf_gpu(4, 64).with_seed(104).with_pipeline(), 1);
+  const auto leaf_explicit = run_search(
+      engine::SchemeSpec::parse("leaf:4x64+pipeline:2").with_seed(104), 1);
+  EXPECT_EQ(encode(leaf_explicit), encode(leaf_legacy));
+}
+
+TEST(DriverDepth, DepthOneRunsTheSynchronousPath) {
+  // Depth 1 is one cohort covering the whole grid: the driver takes the
+  // synchronous path, so even the trace stream matches the unpipelined run.
+  for (const engine::SchemeSpec& base :
+       {engine::SchemeSpec::leaf_gpu(4, 64).with_seed(101),
+        engine::SchemeSpec::block_gpu(8, 32).with_seed(105)}) {
+    SCOPED_TRACE(base.to_string());
+    const auto sync = run_search(base, 1);
+    const auto depth1 =
+        run_search(base.with_pipeline().with_pipeline_depth(1), 1);
+    EXPECT_EQ(encode(depth1), encode(sync));
+  }
+}
+
+TEST(DriverDepth, DepthThreeIsResultInvariantForLeafAndBlock) {
+  // Three stream cohorts instead of two: the trace stream legitimately
+  // differs (one more gpu.s<k> track), but moves, every SearchStats field,
+  // virtual time, and the fault log are depth-invariant.
+  for (const engine::SchemeSpec& base :
+       {engine::SchemeSpec::leaf_gpu(5, 32).with_seed(103),
+        engine::SchemeSpec::block_gpu(8, 32).with_seed(107)}) {
+    SCOPED_TRACE(base.to_string());
+    const auto sync = run_search(base, 1);
+    const auto depth3 =
+        run_search(base.with_pipeline().with_pipeline_depth(3), 1);
+    EXPECT_EQ(encode_results(depth3), encode_results(sync));
+  }
+}
+
+TEST(DriverDepth, DepthThreeHoldsAtFourExecThreads) {
+  const engine::SchemeSpec spec = engine::SchemeSpec::block_gpu(8, 32)
+                                      .with_seed(107)
+                                      .with_pipeline()
+                                      .with_pipeline_depth(3);
+  EXPECT_EQ(encode(run_search(spec, 4)), encode(run_search(spec, 1)));
+}
+
+TEST(DriverDepth, HybridPipelinedIsDeterministicAcrossExecThreads) {
+  // Pipelined hybrid is new with the driver: no seed golden exists, so pin
+  // determinism — the virtual timeline must not depend on exec threads or
+  // on rerunning, and both halves of the scheme must contribute.
+  const engine::SchemeSpec spec =
+      engine::SchemeSpec::parse("hybrid:8x32+pipeline").with_seed(118);
+  const SearchCapture once = run_search(spec, 1);
+  EXPECT_GT(once.stats.gpu_rounds, 0u);
+  EXPECT_GT(once.stats.cpu_iterations, 0u);  // overlap iterations ran
+  EXPECT_EQ(encode(run_search(spec, 1)), encode(once));
+  EXPECT_EQ(encode(run_search(spec, 4)), encode(once));
+}
+
+TEST(DriverDepth, HybridPipelinedFaultedIsDeterministic) {
+  const engine::SchemeSpec spec =
+      faulted(engine::SchemeSpec::hybrid(8, 32)
+                  .with_seed(119)
+                  .with_pipeline()
+                  .with_pipeline_depth(3),
+              0.3, 0.2, 78);
+  const SearchCapture once = run_search(spec, 1);
+  EXPECT_GT(once.stats.faults.faults(), 0u);
+  EXPECT_EQ(encode(run_search(spec, 4)), encode(once));
+}
+
+// Prints the golden table (for regeneration after a deliberate seed-path
+// change); skipped unless GPU_MCTS_DUMP_GOLDEN is set.
+TEST(DriverBitExact, DumpGoldens) {
+  if (std::getenv("GPU_MCTS_DUMP_GOLDEN") == nullptr) {
+    GTEST_SKIP() << "set GPU_MCTS_DUMP_GOLDEN=1 to dump";
+  }
+  for (const GoldenCase& c : golden_cases()) {
+    std::printf("GOLDEN %s %s\n", c.label, encode(run_search(c.spec, 1)).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace gpu_mcts::parallel
