@@ -2,7 +2,7 @@
 // ask it for one move from the opening position, and inspect its statistics.
 // Optionally record the search as a virtual-time trace.
 //
-//   ./quickstart [--scheme block:112x128] [--budget 0.05]
+//   ./quickstart [--scheme block:112x128] [--budget 0.05] [--wall-ms MS]
 //                [--exec-threads N] [--pipeline] [--pipeline-depth N]
 //                [--trace out.jsonl] [--chrome-trace out.json]
 //
@@ -15,9 +15,22 @@
 #include "engine/factory.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
+#include "mcts/budget.hpp"
 #include "reversi/notation.hpp"
 #include "reversi/reversi_game.hpp"
 #include "util/cli.hpp"
+
+namespace {
+const char* stop_reason_name(gpu_mcts::mcts::StopReason reason) {
+  switch (reason) {
+    case gpu_mcts::mcts::StopReason::kBudget: return "budget";
+    case gpu_mcts::mcts::StopReason::kWallDeadline: return "wall-deadline";
+    case gpu_mcts::mcts::StopReason::kCancelled: return "cancelled";
+    case gpu_mcts::mcts::StopReason::kTreeSaturated: return "tree-saturated";
+  }
+  return "?";
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gpu_mcts;
@@ -51,8 +64,15 @@ int main(int argc, char** argv) {
   const reversi::Position opening = reversi::initial_position();
   std::cout << "Position:\n" << reversi::board_to_string(opening) << '\n';
 
-  // 3. One decision under a virtual-time budget.
-  const reversi::Move move = player->choose_move(opening, budget);
+  // 3. One decision under a virtual-time budget, optionally capped by a
+  //    wall-clock deadline (DESIGN.md §12): the search returns its
+  //    best-so-far move within ~2x the deadline even under GPU faults.
+  mcts::SearchBudget search_budget;
+  search_budget.virtual_seconds = budget;
+  if (args.has("wall-ms")) {
+    search_budget.wall_ms = args.get_double("wall-ms", 0.0);
+  }
+  const reversi::Move move = player->choose_move(opening, search_budget);
 
   // 4. Results.
   const mcts::SearchStats& stats = player->last_stats();
@@ -66,7 +86,9 @@ int main(int argc, char** argv) {
             << "max tree depth     " << stats.max_depth << '\n'
             << "virtual seconds    " << stats.virtual_seconds << '\n'
             << "simulations/second " << stats.simulations_per_second() << '\n'
-            << "divergence waste   " << stats.divergence_waste << '\n';
+            << "divergence waste   " << stats.divergence_waste << '\n'
+            << "stopped by         " << stop_reason_name(stats.stop_reason)
+            << '\n';
 
   // 5. Trace exports: JSONL (stable schema, tools/trace_validate checks it)
   //    and Chrome trace_event (load in chrome://tracing or ui.perfetto.dev).

@@ -29,8 +29,25 @@ class EndgameAwareSearcher final : public mcts::Searcher<reversi::ReversiGame> {
                   "solver threshold in a sane range");
   }
 
+  /// Virtual solver throughput used to charge exact-search time: alpha-beta
+  /// endgame nodes are a table lookup plus a flip, roughly 10^7/s on the
+  /// modeled single host core (cf. the ~10^4 MCTS iterations/s calibration —
+  /// a solver node is ~1000x lighter than a full playout iteration). The
+  /// charge is driven by the nodes the solve actually visited, so a trivial
+  /// 2-empties position costs ~nothing and a hard 12-empties one costs more
+  /// — unlike the former flat 10% slice of the caller's budget, which made
+  /// solver time vary with an unrelated knob.
+  static constexpr double kSolverNodesPerSecond = 1.0e7;
+
   [[nodiscard]] reversi::Move choose_move(const reversi::Position& state,
                                           double budget_seconds) override {
+    return choose_move(state,
+                       mcts::SearchBudget::from_seconds(budget_seconds));
+  }
+
+  [[nodiscard]] reversi::Move choose_move(
+      const reversi::Position& state,
+      const mcts::SearchBudget& budget) override {
     if (reversi::popcount(state.empty()) <= solve_at_empties_) {
       const reversi::SolveResult result =
           reversi::solve_endgame(state, solve_at_empties_);
@@ -39,12 +56,12 @@ class EndgameAwareSearcher final : public mcts::Searcher<reversi::ReversiGame> {
       stats_ = {};
       stats_.simulations = result.nodes;  // solver nodes stand in for sims
       stats_.rounds = 1;
-      // Exact search is fast; charge a nominal slice of the budget.
-      stats_.virtual_seconds = budget_seconds * 0.1;
+      stats_.virtual_seconds =
+          static_cast<double>(result.nodes) / kSolverNodesPerSecond;
       return result.best_move;
     }
     solved_last_ = false;
-    return inner_->choose_move(state, budget_seconds);
+    return inner_->choose_move(state, budget);
   }
 
   [[nodiscard]] const mcts::SearchStats& last_stats()

@@ -1,0 +1,59 @@
+// SearchBudget: every bound a supervised search runs under, and StopReason:
+// which of them ended it (DESIGN.md §12).
+//
+// The virtual-time budget is the paper's experiment knob and stays the
+// primary limit; the wall-clock deadline and the cancellation token are the
+// serving-system bounds layered on top. A search stopped early by any of
+// them still returns a legal best-so-far move (the anytime contract).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/cancel.hpp"
+
+namespace gpu_mcts::mcts {
+
+/// Why a search returned when it did. Recorded in SearchStats::stop_reason.
+enum class StopReason : std::uint8_t {
+  /// The virtual-time budget was spent (the normal, unsupervised outcome).
+  kBudget = 0,
+  /// The wall-clock deadline expired before the virtual budget did.
+  kWallDeadline,
+  /// The CancelToken was cancelled.
+  kCancelled,
+  /// The tree(s) stopped growing (arena cap or exhausted position) and the
+  /// caller opted into stopping rather than re-sampling a frozen tree.
+  kTreeSaturated,
+};
+inline constexpr std::size_t kStopReasons = 4;
+
+/// The bounds of one choose_move call. Default-constructed, it reproduces
+/// the unsupervised seed behaviour exactly: virtual budget only, no wall
+/// deadline, no cancellation — searchers are bit-identical either way.
+struct SearchBudget {
+  /// Virtual seconds of search (the classic budget_seconds argument).
+  double virtual_seconds = 0.0;
+  /// Optional wall-clock deadline in milliseconds, measured from the start
+  /// of choose_move on a steady clock. Checked at round and cohort
+  /// boundaries, and it clamps the hang watchdog, so the search returns
+  /// within a small multiple of this bound even under injected hangs.
+  std::optional<double> wall_ms;
+  /// Optional cooperative cancellation; not owned, may be cancelled from any
+  /// thread. nullptr = not cancellable.
+  util::CancelToken* cancel = nullptr;
+  /// Stop with StopReason::kTreeSaturated once a full round allocates no new
+  /// tree node. Off by default: re-sampling a capped tree still sharpens its
+  /// visit counts, and the seed schemes always run the budget out.
+  bool stop_on_tree_saturation = false;
+
+  /// The classic unsupervised budget: virtual seconds only. What the
+  /// `choose_move(state, double)` overloads forward through.
+  [[nodiscard]] static SearchBudget from_seconds(double virtual_seconds) {
+    SearchBudget budget;
+    budget.virtual_seconds = virtual_seconds;
+    return budget;
+  }
+};
+
+}  // namespace gpu_mcts::mcts

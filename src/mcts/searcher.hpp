@@ -6,6 +6,7 @@
 #include <string>
 
 #include "game/game_traits.hpp"
+#include "mcts/budget.hpp"
 #include "mcts/stats.hpp"
 
 namespace gpu_mcts::obs {
@@ -24,6 +25,19 @@ class Searcher {
   /// `state` must not be terminal.
   [[nodiscard]] virtual typename G::Move choose_move(
       const typename G::State& state, double budget_seconds) = 0;
+
+  /// Supervised overload (DESIGN.md §12): the same search bounded by the
+  /// full SearchBudget — virtual time plus an optional wall-clock deadline
+  /// and cancellation token. Always returns a legal best-so-far move (the
+  /// anytime contract), with SearchStats::stop_reason saying which bound
+  /// ended the search. The default forwards to the virtual-only overload so
+  /// every searcher accepts a budget; schemes with supervised loops
+  /// (sequential, tree/root-parallel, and the RoundDriver schemes) override
+  /// it to honor the wall deadline and token.
+  [[nodiscard]] virtual typename G::Move choose_move(
+      const typename G::State& state, const SearchBudget& budget) {
+    return choose_move(state, budget.virtual_seconds);
+  }
 
   /// Statistics of the most recent choose_move call.
   [[nodiscard]] virtual const SearchStats& last_stats() const noexcept = 0;

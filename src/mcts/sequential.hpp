@@ -37,9 +37,32 @@ class SequentialSearcher final : public Searcher<G> {
 
   [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
                                              double budget_seconds) override {
+    return choose_move(state,
+                       SearchBudget::from_seconds(budget_seconds));
+  }
+
+  [[nodiscard]] typename G::Move choose_move(
+      const typename G::State& state, const SearchBudget& budget) override {
     util::expects(!G::is_terminal(state), "choose_move on terminal state");
+    util::WallTimer wall;
+    const bool wall_limited = budget.wall_ms.has_value();
+    StopReason stop_reason = StopReason::kBudget;
+    // Iteration-boundary stop check (token before deadline); the do-while
+    // still guarantees one iteration, so best_move() stays well-defined
+    // even when the budget arrives already cancelled or expired.
+    const auto should_stop = [&]() -> bool {
+      if (budget.cancel != nullptr && budget.cancel->cancelled()) {
+        stop_reason = StopReason::kCancelled;
+        return true;
+      }
+      if (wall_limited && wall.elapsed_seconds() * 1000.0 >= *budget.wall_ms) {
+        stop_reason = StopReason::kWallDeadline;
+        return true;
+      }
+      return false;
+    };
     util::VirtualClock clock(host_.clock_hz);
-    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+    const std::uint64_t deadline = clock.to_cycles(budget.virtual_seconds);
 
     Tree<G> tree(state, config_, util::derive_seed(seed_, move_counter_));
     util::XorShift128Plus rng(util::derive_seed(seed_, move_counter_ ^ 0xfeedULL));
@@ -75,8 +98,9 @@ class SequentialSearcher final : public Searcher<G> {
       if (tracer_ != nullptr) {
         tracer_->metrics().histogram("playout_plies").observe(plies);
       }
-    } while (clock.cycles() < deadline);
+    } while (!should_stop() && clock.cycles() < deadline);
 
+    stats_.stop_reason = stop_reason;
     stats_.tree_nodes = tree.node_count();
     stats_.max_depth = tree.max_depth();
     stats_.virtual_seconds = clock.seconds();

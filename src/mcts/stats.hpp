@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "mcts/budget.hpp"
 #include "util/fault.hpp"
 
 namespace gpu_mcts::mcts {
@@ -34,6 +35,12 @@ struct SearchStats {
   double virtual_seconds = 0.0;
   /// Fraction of SIMD lane-slots wasted (GPU schemes only; 0 for CPU).
   double divergence_waste = 0.0;
+  /// Why the search returned (DESIGN.md §12). kBudget — the default — is
+  /// the unsupervised outcome: the virtual budget ran out.
+  StopReason stop_reason = StopReason::kBudget;
+  /// Kernel launches the hang watchdog timed out (each also appears in
+  /// `faults` as FaultKind::kKernelHang — the counts match one to one).
+  std::uint64_t watchdog_timeouts = 0;
   /// Injected faults and recovery actions observed during this search
   /// (empty unless a util::FaultInjector was enabled — degradation is
   /// observable, never silent).
@@ -65,6 +72,9 @@ struct SearchStats {
     tree_nodes += other.tree_nodes;
     if (other.max_depth > max_depth) max_depth = other.max_depth;
     virtual_seconds += other.virtual_seconds;
+    watchdog_timeouts += other.watchdog_timeouts;
+    // stop_reason is per-move, not additive; an accumulated total keeps its
+    // own default.
     faults.accumulate(other.faults);
   }
 };

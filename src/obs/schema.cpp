@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <istream>
 
+#include "mcts/budget.hpp"
+
 namespace gpu_mcts::obs {
 
 namespace {
@@ -313,10 +315,11 @@ bool validate_event_line(const JsonValue::Object& obj, const std::string& type,
                          std::string& error) {
   double track = 0.0;
   double search = 0.0;
+  std::string name;
   if (!require_nonneg_int(obj, "search", error, &search)) return false;
   if (!require_nonneg_int(obj, "track", error, &track)) return false;
   if (!require_nonneg_int(obj, "t", error)) return false;
-  if (!require_string(obj, "name", error)) return false;
+  if (!require_string(obj, "name", error, &name)) return false;
   if (!check_in_range(track, tracks, "track", error)) return false;
   if (!check_in_range(search, searches, "search", error)) return false;
   if (type == "counter" && !require_number(obj, "value", error)) return false;
@@ -331,6 +334,26 @@ bool validate_event_line(const JsonValue::Object& obj, const std::string& type,
         error = "args entry \"" + key + "\" must be numeric";
         return false;
       }
+    }
+  }
+  if (type == "instant" && name == "stop_reason") {
+    // Supervised searches (DESIGN.md §12) record why they returned as an
+    // instant carrying the StopReason enum; pin the encoding so enum drift
+    // (or a garbage value) fails validation instead of silently shipping.
+    if (args == nullptr || !args->is_object()) {
+      error = "\"stop_reason\" instant requires an args object";
+      return false;
+    }
+    const JsonValue* reason = find(args->object(), "reason");
+    if (reason == nullptr || !reason->is_number()) {
+      error = "\"stop_reason\" instant requires numeric args.reason";
+      return false;
+    }
+    const double r = reason->number();
+    if (r != std::floor(r) || r < 0.0 ||
+        r >= static_cast<double>(mcts::kStopReasons)) {
+      error = "args.reason (" + std::to_string(r) + ") is not a StopReason";
+      return false;
     }
   }
   return true;

@@ -5,6 +5,9 @@
 // line with a real (minimal) JSON parser and verifies the schema-v1 rules:
 // known line types, required keys with the right primitive types, events
 // referencing declared tracks/searches, and a trailer whose counts match.
+// Well-known events get semantic checks on top: a "stop_reason" instant
+// (emitted by supervised searches, DESIGN.md §12) must carry args.reason as
+// an integral mcts::StopReason value in [0, mcts::kStopReasons).
 // Used by tests/obs and by the `trace_validate` tool the CI smoke job runs
 // over a freshly produced trace.
 #pragma once

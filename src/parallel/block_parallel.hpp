@@ -74,10 +74,17 @@ class BlockParallelGpuSearcher final : public mcts::Searcher<G> {
 
   [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
                                              double budget_seconds) override {
+    return choose_move(state,
+                       mcts::SearchBudget::from_seconds(budget_seconds));
+  }
+
+  [[nodiscard]] typename G::Move choose_move(
+      const typename G::State& state,
+      const mcts::SearchBudget& budget) override {
     const std::uint64_t search_seed =
         util::derive_seed(seed_, move_counter_++);
     driver::SearchOutcome<G> outcome =
-        driver_.run(state, budget_seconds, search_seed, name());
+        driver_.run(state, budget, search_seed, name());
     last_root_stats_ = std::move(outcome.root_stats);
     return outcome.move;
   }

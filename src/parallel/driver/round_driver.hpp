@@ -22,6 +22,7 @@
 // where the interleaved schedule *is* the timeline).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "game/game_traits.hpp"
+#include "mcts/budget.hpp"
 #include "mcts/config.hpp"
 #include "mcts/searcher.hpp"
 #include "obs/trace.hpp"
@@ -109,9 +111,27 @@ class RoundDriver {
                                      double budget_seconds,
                                      std::uint64_t search_seed,
                                      const std::string& label) {
+    return run(state, mcts::SearchBudget::from_seconds(budget_seconds),
+               search_seed, label);
+  }
+
+  /// Supervised run (DESIGN.md §12): the virtual budget plus an optional
+  /// wall-clock deadline, cancellation token, and saturation stop. All of
+  /// them are checked at round boundaries, the wall deadline and token
+  /// additionally at cohort boundaries inside a pipelined round, and the
+  /// wall deadline clamps the hang watchdog on every stream wait — so even
+  /// under injected hangs the call returns within a small multiple of
+  /// wall_ms, always with a legal best-so-far move (the anytime contract).
+  /// A default-constructed budget takes exactly the unsupervised paths: no
+  /// extra fault draws, no extra trace events, bit-identical results.
+  [[nodiscard]] SearchOutcome<G> run(const typename G::State& state,
+                                     const mcts::SearchBudget& budget,
+                                     std::uint64_t search_seed,
+                                     const std::string& label) {
     util::expects(!G::is_terminal(state), "choose_move on terminal state");
+    util::WallTimer wall;
     util::VirtualClock clock(gpu_.host().clock_hz);
-    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+    const std::uint64_t deadline = clock.to_cycles(budget.virtual_seconds);
     const std::size_t trees_n =
         SourceT::kSharedRoot ? 1
                              : static_cast<std::size_t>(config_.launch.blocks);
@@ -119,6 +139,48 @@ class RoundDriver {
     source_.init(state, search_config_, search_seed, trees_n);
     fallback_.init(search_seed, trees_n);
     stats_ = {};
+
+    // ---- Supervision (DESIGN.md §12) -------------------------------------
+    const bool wall_limited = budget.wall_ms.has_value();
+    const bool supervised = wall_limited || budget.cancel != nullptr ||
+                            budget.stop_on_tree_saturation;
+    mcts::StopReason stop_reason = mcts::StopReason::kBudget;
+    bool stop = false;
+    // Boundary stop check: token first (an explicit cancel beats a deadline
+    // that expired in the same instant), then the wall deadline. Latches —
+    // once a search decides to stop it never un-decides.
+    const auto should_stop = [&]() -> bool {
+      if (stop) return true;
+      if (budget.cancel != nullptr && budget.cancel->cancelled()) {
+        stop = true;
+        stop_reason = mcts::StopReason::kCancelled;
+      } else if (wall_limited &&
+                 wall.elapsed_seconds() * 1000.0 >= *budget.wall_ms) {
+        stop = true;
+        stop_reason = mcts::StopReason::kWallDeadline;
+      }
+      return stop;
+    };
+    // Hang-watchdog bound for stream waits: the fault policy's interval,
+    // clamped to the remaining wall time so a hang surfacing right at the
+    // deadline costs ~nothing extra. Ordinary launches are never timed out
+    // (VirtualGpu::wait_for only fires for injected hangs), so the bound is
+    // free on the happy path.
+    const auto watchdog_ms = [&]() -> double {
+      const double policy_ms = gpu_.fault_injector().policy().hang_timeout_ms;
+      if (!wall_limited) return policy_ms;
+      const double remaining_ms =
+          *budget.wall_ms - wall.elapsed_seconds() * 1000.0;
+      return std::min(policy_ms, std::max(remaining_ms, 0.0));
+    };
+    [[maybe_unused]] const auto supervised_wait =
+        [&](const simt::StreamTicket& ticket, util::VirtualClock& clk) {
+          simt::StreamLaunch done = gpu_.wait_for(ticket, clk, watchdog_ms());
+          if (done.result.status == simt::LaunchStatus::kHungTimeout) {
+            stats_.watchdog_timeouts += 1;
+          }
+          return done;
+        };
 
     if constexpr (FallbackT::kEnabled) gpu_.fault_injector().reset_log();
     [[maybe_unused]] util::FaultLog& fault_log = gpu_.fault_injector().log();
@@ -211,7 +273,8 @@ class RoundDriver {
     [[maybe_unused]] const auto fallback_batch = [&] {
       if constexpr (FallbackT::kEnabled && !SourceT::kSharedRoot) {
         obs::ScopedSpan span(tracer_, host_track, "cpu_fallback", clock);
-        for (std::size_t i = 0; i < trees_n && clock.cycles() < deadline;
+        for (std::size_t i = 0; i < trees_n && clock.cycles() < deadline &&
+                                !should_stop();
              ++i) {
           fallback_.iterate_rotating(source_, clock, gpu_.cost(), stats_,
                                      tracer_);
@@ -255,11 +318,17 @@ class RoundDriver {
                     static_cast<double>(config_.launch.threads_per_block)}});
               launched = zero_and_launch([&](simt::PlayoutKernel<G>& kernel) {
                 launch = gpu_.launch(config_.launch, kernel, clock);
+                if (launch.status == simt::LaunchStatus::kHungTimeout) {
+                  stats_.watchdog_timeouts += 1;
+                }
                 return launch.ok();
               });
             } else {
               launched = zero_and_launch([&](simt::PlayoutKernel<G>& kernel) {
                 event = gpu_.launch_async(config_.launch, kernel, clock);
+                if (event.result.status == simt::LaunchStatus::kHungTimeout) {
+                  stats_.watchdog_timeouts += 1;
+                }
                 return event.result.ok();
               });
             }
@@ -374,6 +443,9 @@ class RoundDriver {
                {"threads_per_block",
                 static_cast<double>(config_.launch.threads_per_block)}});
           launch = gpu_.launch(config_.launch, kernel, clock);
+          if (launch.status == simt::LaunchStatus::kHungTimeout) {
+            stats_.watchdog_timeouts += 1;
+          }
         }
         {
           obs::ScopedSpan span(tracer_, host_track, "download", clock);
@@ -465,7 +537,7 @@ class RoundDriver {
                         c.stream, c.cfg,
                         *kernels[static_cast<std::size_t>(c.stream)], pipe);
                   }
-                  out = gpu_.wait(ticket, pipe);
+                  out = supervised_wait(ticket, pipe);
                   return out.result.ok();
                 });
           }
@@ -487,7 +559,8 @@ class RoundDriver {
         const auto cohort_fallback = [&](const Cohort& c) {
           obs::ScopedSpan span(tracer_, host_track, "cpu_fallback", pipe,
                                {{"cohort", static_cast<double>(c.stream)}});
-          for (std::size_t i = 0; i < c.count && clock.cycles() < deadline;
+          for (std::size_t i = 0; i < c.count && clock.cycles() < deadline &&
+                                  !should_stop();
                ++i) {
             fallback_.iterate_on(source_, c.begin + i, clock, gpu_.cost(),
                                  stats_, tracer_);
@@ -496,6 +569,9 @@ class RoundDriver {
 
         for (Cohort& c : cohorts) {
           if (c.abandoned) continue;
+          // Cohort boundary: once the search decides to stop, later cohorts
+          // are not enqueued (the ones already in flight are drained below).
+          if (should_stop()) break;
           source_.select(tracer_, pipe, pool, gpu_.cost(), roots->host(),
                          c.begin, c.count, c.stream);
           try {
@@ -509,7 +585,11 @@ class RoundDriver {
         for (Cohort& c : cohorts) {
           const auto s = static_cast<std::size_t>(c.stream);
           if (c.abandoned || enqueued[s] == 0) continue;
-          if (config_.mode == SimulateMode::kAsyncOverlap) {
+          // Cohort boundary: every enqueued ticket is still waited (the
+          // stream FIFO must drain, and its results only sharpen the final
+          // move), but a stopping search skips the optional overlap work.
+          const bool draining = should_stop();
+          if (!draining && config_.mode == SimulateMode::kAsyncOverlap) {
             // Hybrid overlap against this cohort's kernel: CPU iterations
             // until its peeked completion cycle. Earlier cohorts were
             // already retired in rotation order, so the peek is exact; a
@@ -579,6 +659,10 @@ class RoundDriver {
                   combined_cycles, gpu_.device(), gpu_.host())) +
               results->costs().cost(results->bytes()));
         }
+        // A stopping round skips the failure bookkeeping and degradation
+        // batch: abandonment is a policy about *future* rounds, and there
+        // are none.
+        if (stop) return;
         bool all_abandoned = true;
         for (Cohort& c : cohorts) {
           const auto s = static_cast<std::size_t>(c.stream);
@@ -651,8 +735,8 @@ class RoundDriver {
         }
         std::vector<simt::WarpTrace> round_traces;
         for (const Cohort& c : cohorts) {
-          const simt::StreamLaunch done =
-              gpu_.wait(tickets[static_cast<std::size_t>(c.stream)], pipe);
+          const simt::StreamLaunch done = supervised_wait(
+              tickets[static_cast<std::size_t>(c.stream)], pipe);
           // Fault-oblivious like the synchronous path: a failed slice left
           // its zeroed slot untouched and contributes nothing to the tally.
           if (done.result.ok()) {
@@ -698,7 +782,24 @@ class RoundDriver {
       }
     };
 
+    // Live node count across the source's trees, for the opt-in saturation
+    // stop. Only sampled when that stop is requested.
+    const auto total_tree_nodes = [&]() -> std::uint64_t {
+      if constexpr (SourceT::kSharedRoot) {
+        return source_.tree().node_count();
+      } else {
+        std::uint64_t n = 0;
+        for (std::size_t t = 0; t < trees_n; ++t) {
+          n += source_.tree(t).node_count();
+        }
+        return n;
+      }
+    };
+    std::uint64_t nodes_before_round = 0;
     do {
+      if (budget.stop_on_tree_saturation) {
+        nodes_before_round = total_tree_nodes();
+      }
       if (pipelined) {
         if constexpr (SourceT::kSharedRoot) {
           pipelined_shared_round();
@@ -714,9 +815,29 @@ class RoundDriver {
       }
       ++round;
       stats_.rounds += 1;
-    } while (clock.cycles() < deadline);
+      // Saturation: a full round that grew no tree — every arena is at its
+      // node cap (or the position is exhausted); further rounds only
+      // re-sample.
+      if (budget.stop_on_tree_saturation && !stop &&
+          total_tree_nodes() == nodes_before_round) {
+        stop = true;
+        stop_reason = mcts::StopReason::kTreeSaturated;
+      }
+    } while (!should_stop() && clock.cycles() < deadline);
 
+    // Anytime guard (supervised only): an early stop — or a hang that
+    // swallowed the whole virtual budget — can leave every tree without a
+    // single completed simulation; one CPU iteration on tree 0 makes the
+    // returned move backed by real search. Unsupervised runs keep the seed
+    // contract instead: zero simulations fall through to best_merged_move's
+    // deterministic smallest-legal-move fallback.
+    if constexpr (FallbackT::kEnabled && !SourceT::kSharedRoot) {
+      if (supervised && stats_.simulations == 0) {
+        fallback_.iterate_on(source_, 0, clock, gpu_.cost(), stats_, tracer_);
+      }
+    }
     SearchOutcome<G> outcome = source_.conclude(stats_);
+    stats_.stop_reason = stop_reason;
     stats_.virtual_seconds = clock.seconds();
     // Averaged over rounds that actually produced kernel results: failed,
     // CPU-fallback, and terminal-shortcut rounds ran no kernel (or lost its
@@ -733,6 +854,19 @@ class RoundDriver {
       tracer_->metrics().counter("gpu_simulations").add(stats_.gpu_simulations);
       tracer_->metrics().counter("cpu_iterations").add(stats_.cpu_iterations);
       tracer_->metrics().counter("kernel_rounds").add(stats_.rounds);
+      // Supervision observability — gated so an unsupervised run's trace
+      // stream (and hash) is byte-identical to the seed's.
+      if (supervised) {
+        tracer_->instant(
+            host_track, "stop_reason", clock.cycles(),
+            {{"reason", static_cast<double>(static_cast<unsigned>(
+                            stats_.stop_reason))}});
+      }
+      if (stats_.watchdog_timeouts > 0) {
+        tracer_->metrics()
+            .counter("watchdog_timeouts")
+            .add(stats_.watchdog_timeouts);
+      }
     }
     return outcome;
   }

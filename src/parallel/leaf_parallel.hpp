@@ -52,9 +52,16 @@ class LeafParallelGpuSearcher final : public mcts::Searcher<G> {
 
   [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
                                              double budget_seconds) override {
+    return choose_move(state,
+                       mcts::SearchBudget::from_seconds(budget_seconds));
+  }
+
+  [[nodiscard]] typename G::Move choose_move(
+      const typename G::State& state,
+      const mcts::SearchBudget& budget) override {
     const std::uint64_t search_seed =
         util::derive_seed(seed_, move_counter_++);
-    return driver_.run(state, budget_seconds, search_seed, name()).move;
+    return driver_.run(state, budget, search_seed, name()).move;
   }
 
   [[nodiscard]] const mcts::SearchStats& last_stats() const noexcept override {

@@ -53,10 +53,23 @@ class RootParallelSearcher final : public mcts::Searcher<G> {
 
   [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
                                              double budget_seconds) override {
+    return choose_move(state,
+                       mcts::SearchBudget::from_seconds(budget_seconds));
+  }
+
+  [[nodiscard]] typename G::Move choose_move(
+      const typename G::State& state,
+      const mcts::SearchBudget& budget) override {
     util::expects(!G::is_terminal(state), "choose_move on terminal state");
     const auto n = static_cast<std::size_t>(options_.threads);
     std::vector<std::vector<typename mcts::Tree<G>::RootChildStat>> stats(n);
     std::vector<mcts::SearchStats> per_tree(n);
+    // One wall timer and token shared by every tree (they are concurrent in
+    // model time, and in host time under use_host_threads — both reads are
+    // thread-safe). Each tree latches the reason it stopped into its own
+    // stats slot; the fold below merges them (cancel beats deadline).
+    util::WallTimer wall;
+    const bool wall_limited = budget.wall_ms.has_value();
 
     auto run_tree = [&](std::size_t t) {
       const std::uint64_t tree_seed =
@@ -64,8 +77,20 @@ class RootParallelSearcher final : public mcts::Searcher<G> {
       mcts::Tree<G> tree(state, config_, tree_seed);
       util::XorShift128Plus rng(util::derive_seed(tree_seed, 0x9a10ULL));
       util::VirtualClock clock(host_.clock_hz);
-      const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+      const std::uint64_t deadline = clock.to_cycles(budget.virtual_seconds);
       mcts::SearchStats s;
+      const auto should_stop = [&]() -> bool {
+        if (budget.cancel != nullptr && budget.cancel->cancelled()) {
+          s.stop_reason = mcts::StopReason::kCancelled;
+          return true;
+        }
+        if (wall_limited &&
+            wall.elapsed_seconds() * 1000.0 >= *budget.wall_ms) {
+          s.stop_reason = mcts::StopReason::kWallDeadline;
+          return true;
+        }
+        return false;
+      };
       do {
         const mcts::Selection<G> sel = tree.select();
         double value;
@@ -86,7 +111,7 @@ class RootParallelSearcher final : public mcts::Searcher<G> {
         s.simulations += 1;
         s.rounds += 1;
         s.cpu_iterations += 1;
-      } while (clock.cycles() < deadline);
+      } while (!should_stop() && clock.cycles() < deadline);
       s.tree_nodes = tree.node_count();
       s.max_depth = tree.max_depth();
       s.virtual_seconds = clock.seconds();
@@ -109,6 +134,14 @@ class RootParallelSearcher final : public mcts::Searcher<G> {
       stats_.cpu_iterations += s.cpu_iterations;
       stats_.tree_nodes += s.tree_nodes;
       if (s.max_depth > stats_.max_depth) stats_.max_depth = s.max_depth;
+      // Merge the per-tree stop reasons: an explicit cancel beats a wall
+      // deadline beats the plain budget (trees can race the boundary and
+      // disagree; report the strongest interruption any of them saw).
+      if (s.stop_reason == mcts::StopReason::kCancelled ||
+          (s.stop_reason == mcts::StopReason::kWallDeadline &&
+           stats_.stop_reason == mcts::StopReason::kBudget)) {
+        stats_.stop_reason = s.stop_reason;
+      }
     }
     // Threads are concurrent in model time: elapsed = max over trees.
     for (const auto& s : per_tree) {

@@ -52,9 +52,32 @@ class TreeParallelSearcher final : public mcts::Searcher<G> {
 
   [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
                                              double budget_seconds) override {
+    return choose_move(state,
+                       mcts::SearchBudget::from_seconds(budget_seconds));
+  }
+
+  [[nodiscard]] typename G::Move choose_move(
+      const typename G::State& state,
+      const mcts::SearchBudget& budget) override {
     util::expects(!G::is_terminal(state), "choose_move on terminal state");
+    util::WallTimer wall;
+    const bool wall_limited = budget.wall_ms.has_value();
+    mcts::StopReason stop_reason = mcts::StopReason::kBudget;
+    // Round-boundary stop check, same order as the RoundDriver's (token
+    // before deadline). A default budget never stops early.
+    const auto should_stop = [&]() -> bool {
+      if (budget.cancel != nullptr && budget.cancel->cancelled()) {
+        stop_reason = mcts::StopReason::kCancelled;
+        return true;
+      }
+      if (wall_limited && wall.elapsed_seconds() * 1000.0 >= *budget.wall_ms) {
+        stop_reason = mcts::StopReason::kWallDeadline;
+        return true;
+      }
+      return false;
+    };
     util::VirtualClock clock(host_.clock_hz);
-    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+    const std::uint64_t deadline = clock.to_cycles(budget.virtual_seconds);
     const std::uint64_t search_seed =
         util::derive_seed(seed_, move_counter_++);
 
@@ -98,8 +121,9 @@ class TreeParallelSearcher final : public mcts::Searcher<G> {
           static_cast<double>(workers) * cost_.host_tree_op_cycles +
           cost_.host_cycles_per_ply * static_cast<double>(max_plies)));
       stats_.rounds += 1;
-    } while (clock.cycles() < deadline);
+    } while (!should_stop() && clock.cycles() < deadline);
 
+    stats_.stop_reason = stop_reason;
     stats_.tree_nodes = tree.node_count();
     stats_.max_depth = tree.max_depth();
     stats_.virtual_seconds = clock.seconds();

@@ -79,6 +79,9 @@ enum class LaunchStatus : std::uint8_t {
   /// The kernel completed correctly but took stall_multiplier times its
   /// modeled device time (a straggler, not an error).
   kStalled,
+  /// The launch never completed; the hang watchdog (VirtualGpu::wait_for)
+  /// timed the wait out. No results were produced.
+  kHungTimeout,
 };
 
 /// Result of a (synchronous) launch: how long the device took, plus stats.
@@ -88,7 +91,8 @@ struct LaunchResult {
   LaunchStats stats;
 
   [[nodiscard]] bool ok() const noexcept {
-    return status != LaunchStatus::kFailed;
+    return status != LaunchStatus::kFailed &&
+           status != LaunchStatus::kHungTimeout;
   }
 };
 

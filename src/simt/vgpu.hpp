@@ -27,6 +27,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -191,6 +192,19 @@ class VirtualGpu {
       trace_launch(cfg, failed, start_cycle);
       return failed;
     }
+    if (injector_.kernel_hangs(host_clock.cycles())) {
+      // Synchronous semantics: the caller's watchdog interval elapses on the
+      // virtual timeline (kernels execute inline here, so no real thread is
+      // wedged — the stream path is where the genuine hang lives), then the
+      // timeout surfaces. Nothing executed, no results produced.
+      host_clock.advance(launch_overhead_cycles() +
+                         hang_charge_cycles(host_clock,
+                                            injector_.policy().hang_timeout_ms));
+      LaunchResult hung;
+      hung.status = LaunchStatus::kHungTimeout;
+      trace_launch(cfg, hung, start_cycle);
+      return hung;
+    }
     LaunchResult result = execute(cfg, kernel);
     apply_stall(result, host_clock);
     host_clock.advance(host_cycles_for(result));
@@ -218,6 +232,19 @@ class VirtualGpu {
       host_clock.advance(enqueue_overhead_cycles());
       Event ev;
       ev.result.status = LaunchStatus::kFailed;
+      ev.completion_host_cycle = host_clock.cycles();
+      trace_launch(cfg, ev.result, start_cycle);
+      return ev;
+    }
+    if (injector_.kernel_hangs(host_clock.cycles())) {
+      // Like a launch failure, a hang surfaces at the synchronization point;
+      // the watchdog interval is charged up front (the controlling thread
+      // spent it discovering the kernel would never signal).
+      host_clock.advance(enqueue_overhead_cycles() +
+                         hang_charge_cycles(host_clock,
+                                            injector_.policy().hang_timeout_ms));
+      Event ev;
+      ev.result.status = LaunchStatus::kHungTimeout;
       ev.completion_host_cycle = host_clock.cycles();
       trace_launch(cfg, ev.result, start_cycle);
       return ev;
@@ -283,6 +310,22 @@ class VirtualGpu {
     const std::uint64_t draw_cycle = host_clock.cycles();
     if (injector_.kernel_launch_fails(draw_cycle)) {
       pending.failed = true;
+    } else if (injector_.kernel_hangs(draw_cycle)) {
+      // A hang genuinely wedges the stream's worker thread: the task blocks
+      // on a gate only the watchdog (wait_for) releases. Launches enqueued
+      // behind it on the same stream stay queued, exactly like work behind a
+      // hung kernel on a real stream. The task deliberately captures no
+      // kernel reference — by the time the gate opens the controller may
+      // have reused or destroyed the kernel.
+      pending.hung = true;
+      pending.gate = std::make_shared<HangGate>();
+      std::packaged_task<StreamExecution()> task(
+          [gate = pending.gate] {
+            gate->wait_released();
+            return StreamExecution{};
+          });
+      pending.execution = task.get_future();
+      streams.enqueue(stream, std::move(task));
     } else {
       pending.stalled = injector_.kernel_stalls(draw_cycle);
       util::ThreadPool* pool = cfg.blocks > 1 ? worker_pool() : nullptr;
@@ -308,6 +351,20 @@ class VirtualGpu {
   /// "kernel" span (track "gpu.s<k>") so Chrome traces show the overlap.
   StreamLaunch wait(const StreamTicket& ticket,
                     util::VirtualClock& host_clock) {
+    return wait_for(ticket, host_clock, injector_.policy().hang_timeout_ms);
+  }
+
+  /// wait() with an explicit hang-watchdog bound: if the launch was an
+  /// injected hang, the calling thread waits at most ~wall_timeout_ms of
+  /// *real* time, then releases the wedged worker (clean teardown — the
+  /// stream drains and stays usable) and surfaces LaunchStatus::kHungTimeout
+  /// with the timeout charged to the virtual clock. Ordinary launches are
+  /// settled identically to wait() — the timeout only ever fires for hangs,
+  /// so a conservative bound costs nothing on the happy path. Callers under
+  /// a wall deadline clamp the bound to their remaining wall time.
+  StreamLaunch wait_for(const StreamTicket& ticket,
+                        util::VirtualClock& host_clock,
+                        double wall_timeout_ms) {
     StreamSet& streams = stream_set();
     util::expects(ticket.stream >= 0 && ticket.stream < kMaxStreams,
                   "stream id in range");
@@ -319,6 +376,26 @@ class VirtualGpu {
 
     StreamLaunch done;
     done.enqueue_cycle = pending.enqueue_cycle;
+    if (pending.hung) {
+      // The worker really is wedged behind the gate, so the watchdog
+      // interval elapses in real time; then teardown: open the gate, join
+      // the (now trivial) execution so the worker thread is provably past
+      // the task before we return, and report the timeout.
+      if (wall_timeout_ms > 0.0) {
+        (void)pending.execution.wait_for(
+            std::chrono::duration<double, std::milli>(wall_timeout_ms));
+      }
+      pending.gate->release();
+      (void)pending.execution.get();
+      done.result.status = LaunchStatus::kHungTimeout;
+      done.device_start_cycle = pending.enqueue_cycle;
+      done.completion_cycle = pending.enqueue_cycle;
+      host_clock.advance_to(pending.enqueue_cycle);
+      host_clock.advance(hang_charge_cycles(host_clock, wall_timeout_ms) +
+                         sync_overhead_cycles());
+      trace_stream_wait(ticket.stream, pending.cfg, done);
+      return done;
+    }
     if (pending.failed) {
       done.result.status = LaunchStatus::kFailed;
       done.device_start_cycle = pending.enqueue_cycle;
@@ -372,7 +449,10 @@ class VirtualGpu {
     util::expects(!queue.empty() && queue.front().op == ticket.op,
                   "peek the stream's oldest in-flight ticket");
     PendingStreamLaunch& pending = queue.front();
-    if (pending.failed) return pending.enqueue_cycle;
+    // Failed and hung launches "complete" at their enqueue cycle: the poll
+    // loop runs zero overlap iterations and the fault surfaces at wait()/
+    // wait_for(). Resolving a hung future here would block forever.
+    if (pending.failed || pending.hung) return pending.enqueue_cycle;
     if (!pending.resolved) {
       pending.exec = pending.execution.get();
       pending.resolved = true;
@@ -418,6 +498,14 @@ class VirtualGpu {
   [[nodiscard]] std::uint64_t sync_overhead_cycles() const noexcept {
     return launch_overhead_cycles() - launch_overhead_cycles() / 2;
   }
+  /// Virtual cycles a surfaced hang costs the controlling thread: the
+  /// watchdog interval itself, converted at the waiting clock's rate. The
+  /// virtual timeline stays honest — time spent discovering that a kernel
+  /// will never finish is time not spent searching.
+  [[nodiscard]] static std::uint64_t hang_charge_cycles(
+      const util::VirtualClock& clock, double timeout_ms) noexcept {
+    return clock.to_cycles(std::max(timeout_ms, 0.0) / 1000.0);
+  }
 
  private:
   /// Emits the per-launch trace instant (no-op without a tracer attached).
@@ -426,6 +514,8 @@ class VirtualGpu {
     if (tracer_ == nullptr) return;
     const char* name = result.status == LaunchStatus::kFailed
                            ? "kernel_launch_failed"
+                       : result.status == LaunchStatus::kHungTimeout
+                           ? "kernel_hung"
                            : "kernel_launch";
     tracer_->instant(
         gpu_track_, name, start_cycle,
@@ -595,6 +685,28 @@ class VirtualGpu {
     std::vector<WarpTrace> traces;
   };
 
+  /// Blocks the stream worker of an injected hang until the watchdog
+  /// releases it. Shared between the wedged task and the pending entry so
+  /// the task holds no reference to the kernel (which the controller is free
+  /// to reuse once the timeout surfaces).
+  struct HangGate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool released = false;
+
+    void release() {
+      {
+        const std::lock_guard lock(mutex);
+        released = true;
+      }
+      cv.notify_all();
+    }
+    void wait_released() {
+      std::unique_lock lock(mutex);
+      cv.wait(lock, [this] { return released; });
+    }
+  };
+
   /// One enqueued-but-not-yet-waited stream launch. Touched only by the
   /// controlling thread; the future is the sole synchronization point with
   /// the stream worker.
@@ -604,6 +716,8 @@ class VirtualGpu {
     std::uint64_t enqueue_cycle = 0;
     bool failed = false;   ///< injected launch failure — nothing enqueued
     bool stalled = false;  ///< injected stall — applied at wait()
+    bool hung = false;     ///< injected hang — surfaces via wait_for's watchdog
+    std::shared_ptr<HangGate> gate;          ///< set iff `hung`
     std::future<StreamExecution> execution;  ///< invalid when `failed`
     /// peek_completion() resolved the future early; `exec` holds the result.
     bool resolved = false;
@@ -622,6 +736,14 @@ class VirtualGpu {
           workers_(static_cast<std::size_t>(streams)) {}
 
     ~StreamSet() {
+      // A hung launch that was never waited (e.g. an exception unwound past
+      // its wait_for) still wedges its worker; open every gate so the joins
+      // below cannot deadlock.
+      for (auto& queue : pending) {
+        for (auto& p : queue) {
+          if (p.gate) p.gate->release();
+        }
+      }
       for (auto& slot : workers_) {
         if (!slot) continue;
         {
@@ -716,9 +838,13 @@ class VirtualGpu {
                          const StreamLaunch& done) {
     if (tracer_ == nullptr) return;
     const int track = stream_track(stream);
-    if (done.result.status == LaunchStatus::kFailed) {
+    if (done.result.status == LaunchStatus::kFailed ||
+        done.result.status == LaunchStatus::kHungTimeout) {
       tracer_->instant(
-          track, "kernel_launch_failed", done.enqueue_cycle,
+          track,
+          done.result.status == LaunchStatus::kFailed ? "kernel_launch_failed"
+                                                      : "kernel_hung",
+          done.enqueue_cycle,
           {{"blocks", static_cast<double>(cfg.blocks)},
            {"block_offset", static_cast<double>(cfg.block_offset)}});
       return;

@@ -1,0 +1,39 @@
+// Cooperative cancellation for long-running searches.
+//
+// A CancelToken is a thread-safe latch: any thread may request cancellation
+// at any time, and the search's controlling loops poll it at round and cohort
+// boundaries (DESIGN.md §12). Cancellation is cooperative — in-flight device
+// work is drained, not killed — so a cancelled search still upholds the
+// anytime contract (a legal best-so-far move is returned).
+#pragma once
+
+#include <atomic>
+
+namespace gpu_mcts::util {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  // A token is a synchronization point shared by reference between the
+  // requesting thread and the search; copying one would silently split that
+  // channel in two.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Safe to call from any thread, any number of
+  /// times; the token stays cancelled until reset().
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arms the token for a new search (between moves, not mid-search).
+  void reset() noexcept { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace gpu_mcts::util

@@ -45,8 +45,10 @@ enum class FaultKind : std::uint8_t {
   kDroppedMessage,           ///< point-to-point message lost in transit
   kDelayedMessage,           ///< message delivered delay_multiplier late
   kDeadRank,                 ///< rank stopped participating entirely
+  kKernelHang,               ///< launch never completes (distinct from
+                             ///< kKernelStall: only a watchdog surfaces it)
 };
-inline constexpr std::size_t kFaultKinds = 7;
+inline constexpr std::size_t kFaultKinds = 8;
 
 /// What the system did about it.
 enum class RecoveryKind : std::uint8_t {
@@ -70,12 +72,23 @@ struct FaultPolicy {
   double message_delay = 0.0;
   /// Latency multiplier applied to a delayed message.
   double delay_multiplier = 8.0;
+  /// Probability that a kernel launch *never* completes. Unlike a stall
+  /// (slow but finishes) or a launch failure (reported immediately), a hang
+  /// only surfaces through the watchdog: VirtualGpu::wait_for times the wait
+  /// out after hang_timeout_ms of real wall time and reports
+  /// LaunchStatus::kHungTimeout (DESIGN.md §12).
+  double kernel_hang = 0.0;
+  /// Wall-clock milliseconds the watchdog waits before declaring a launch
+  /// hung. Also the virtual-time charge of a surfaced hang (the host really
+  /// spent that long blocked). Tests use small values (2-5 ms); callers with
+  /// a wall deadline clamp the wait to the budget that remains.
+  double hang_timeout_ms = 50.0;
 
   /// True when any probability is positive (the injector can ever fire).
   [[nodiscard]] constexpr bool any() const noexcept {
     return kernel_launch_failure > 0.0 || kernel_stall > 0.0 ||
            transfer_failure > 0.0 || corrupt_readback > 0.0 ||
-           message_drop > 0.0 || message_delay > 0.0;
+           message_drop > 0.0 || message_delay > 0.0 || kernel_hang > 0.0;
   }
 };
 
@@ -194,10 +207,12 @@ class FaultInjector {
                 valid_probability(policy.transfer_failure) &&
                 valid_probability(policy.corrupt_readback) &&
                 valid_probability(policy.message_drop) &&
-                valid_probability(policy.message_delay),
+                valid_probability(policy.message_delay) &&
+                valid_probability(policy.kernel_hang),
             "fault probabilities in [0, 1]");
     expects(policy.stall_multiplier >= 1.0 && policy.delay_multiplier >= 1.0,
             "fault multipliers >= 1");
+    expects(policy.hang_timeout_ms > 0.0, "hang timeout positive");
   }
 
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
@@ -231,6 +246,9 @@ class FaultInjector {
                                      int to) {
     return fire(policy_.message_delay, FaultKind::kDelayedMessage, at_cycle,
                 from, to);
+  }
+  [[nodiscard]] bool kernel_hangs(std::uint64_t at_cycle) {
+    return fire(policy_.kernel_hang, FaultKind::kKernelHang, at_cycle);
   }
 
  private:

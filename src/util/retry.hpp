@@ -23,10 +23,25 @@ struct RetryPolicy {
   /// Backoff growth per re-attempt (exponential).
   double backoff_multiplier = 2.0;
 
-  /// Backoff charged after failed attempt `attempt` (0-based).
+  /// Exponential backoff saturates here: one virtual second at the nominal
+  /// 1 GHz clock. Without the clamp the double grows to +inf for large
+  /// attempt counts and the double -> uint64_t conversion below is undefined
+  /// behaviour (the value exceeds the representable range).
+  static constexpr std::uint64_t kMaxBackoffCycles = 1'000'000'000;
+
+  /// Backoff charged after failed attempt `attempt` (0-based), clamped to
+  /// kMaxBackoffCycles.
   [[nodiscard]] std::uint64_t backoff_cycles(int attempt) const noexcept {
     double cycles = static_cast<double>(backoff_base_cycles);
-    for (int i = 0; i < attempt; ++i) cycles *= backoff_multiplier;
+    for (int i = 0; i < attempt; ++i) {
+      cycles *= backoff_multiplier;
+      if (cycles >= static_cast<double>(kMaxBackoffCycles)) {
+        return kMaxBackoffCycles;
+      }
+    }
+    if (cycles >= static_cast<double>(kMaxBackoffCycles)) {
+      return kMaxBackoffCycles;
+    }
     return static_cast<std::uint64_t>(cycles);
   }
 };

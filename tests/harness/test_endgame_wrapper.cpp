@@ -62,6 +62,48 @@ TEST(EndgameWrapper, BeatsPlainSearcherGivenEqualMidgame) {
   EXPECT_GE(match.win_ratio, 0.5);
 }
 
+TEST(EndgameWrapper, SolverTimeChargedByNodesNotCallerBudget) {
+  // Pin the virtual-time model of an exact solve: nodes / kSolverNodesPerSecond,
+  // independent of the caller's budget (the former behaviour charged a flat
+  // 10% of budget_seconds, so doubling an unrelated knob doubled solver time).
+  EndgameAwareSearcher searcher(make_player(sequential_player(1)), 10);
+  const auto pos = position_with_empties(5, 8);
+  (void)searcher.choose_move(pos, 0.004);
+  ASSERT_TRUE(searcher.solved_last());
+  const mcts::SearchStats first = searcher.last_stats();
+  EXPECT_GT(first.simulations, 0u);
+  EXPECT_DOUBLE_EQ(first.virtual_seconds,
+                   static_cast<double>(first.simulations) /
+                       EndgameAwareSearcher::kSolverNodesPerSecond);
+
+  // Two orders of magnitude more budget: identical solve, identical charge.
+  (void)searcher.choose_move(pos, 0.4);
+  const mcts::SearchStats second = searcher.last_stats();
+  EXPECT_EQ(second.simulations, first.simulations);
+  EXPECT_DOUBLE_EQ(second.virtual_seconds, first.virtual_seconds);
+}
+
+TEST(EndgameWrapper, ForwardsSearchBudgetToInner) {
+  // The wrapper passes the full budget through to the inner searcher; a
+  // pre-cancelled token must surface in the inner scheme's stop_reason.
+  EndgameAwareSearcher searcher(make_player(sequential_player(1)), 4);
+  util::CancelToken token;
+  token.cancel();
+  mcts::SearchBudget budget;
+  budget.virtual_seconds = 0.004;
+  budget.cancel = &token;
+  const auto move = searcher.choose_move(reversi::initial_position(), budget);
+  EXPECT_FALSE(searcher.solved_last());
+  EXPECT_EQ(searcher.last_stats().stop_reason, mcts::StopReason::kCancelled);
+  // Anytime contract: the move is still legal.
+  std::array<reversi::Move, 34> moves{};
+  const int n =
+      reversi::legal_moves(reversi::initial_position(), std::span(moves));
+  bool legal = false;
+  for (int i = 0; i < n; ++i) legal = legal || moves[i] == move;
+  EXPECT_TRUE(legal);
+}
+
 TEST(EndgameWrapper, RequiresInnerSearcher) {
   EXPECT_THROW(EndgameAwareSearcher(nullptr, 10), util::ContractViolation);
 }

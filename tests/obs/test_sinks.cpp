@@ -201,5 +201,36 @@ TEST(SchemaValidator, RejectsTamperedStreams) {
   }
 }
 
+TEST(SchemaValidator, PinsStopReasonInstantEncoding) {
+  // Supervised searches emit a "stop_reason" instant (DESIGN.md §12) whose
+  // args.reason is the StopReason enum; the validator rejects drifted or
+  // malformed encodings.
+  std::string error;
+  EXPECT_TRUE(validate_trace_line(
+      R"({"type":"instant","search":0,"track":0,"t":5,"name":"stop_reason",)"
+      R"("args":{"reason":1}})",
+      0, 0, error))
+      << error;
+  // Out of range for the declared enum.
+  EXPECT_FALSE(validate_trace_line(
+      R"({"type":"instant","search":0,"track":0,"t":5,"name":"stop_reason",)"
+      R"("args":{"reason":99}})",
+      0, 0, error));
+  // Non-integral.
+  EXPECT_FALSE(validate_trace_line(
+      R"({"type":"instant","search":0,"track":0,"t":5,"name":"stop_reason",)"
+      R"("args":{"reason":1.5}})",
+      0, 0, error));
+  // Missing args entirely.
+  EXPECT_FALSE(validate_trace_line(
+      R"({"type":"instant","search":0,"track":0,"t":5,"name":"stop_reason"})",
+      0, 0, error));
+  // Other instants are unaffected.
+  EXPECT_TRUE(validate_trace_line(
+      R"({"type":"instant","search":0,"track":0,"t":5,"name":"kernel_hung"})",
+      0, 0, error))
+      << error;
+}
+
 }  // namespace
 }  // namespace gpu_mcts::obs

@@ -92,6 +92,38 @@ TEST(Degradation, HybridSurvivesFlakyKernelsAndTransfers) {
   EXPECT_GT(searcher.last_stats().faults.faults(), 0u);
 }
 
+TEST(Degradation, PipelinedHybridExhaustsDownloadRetriesAndTakesCpuRung) {
+  // End-to-end walk down the whole recovery ladder under a pipelined hybrid:
+  // every readback arrives corrupted, so each cohort's download retries
+  // until the budget exhausts (kAbandon), the round's GPU work is lost, the
+  // per-cohort failure counter trips, and the search ends on the CPU rung —
+  // still returning a legal move from real simulations.
+  util::FaultPolicy policy;
+  policy.corrupt_readback = 1.0;
+  parallel::HybridSearcher<G>::Options options;
+  options.launch = {.blocks = 8, .threads_per_block = 32};
+  options.pipeline = true;
+  options.pipeline_depth = 2;
+  options.retry.max_attempts = 3;
+  // Abandon a cohort on its first fully-failed round, so the CPU rung is
+  // reached within the short budget (kernel time + retry backoffs make each
+  // corrupted round expensive).
+  options.max_failed_rounds = 1;
+  parallel::HybridSearcher<G> searcher(options, {}, gpu_with(policy, 11));
+
+  const auto state = G::initial_state();
+  const auto move = searcher.choose_move(state, 0.01);
+  EXPECT_TRUE(is_legal(state, move));
+  const auto& stats = searcher.last_stats();
+  EXPECT_GT(stats.faults.count(util::FaultKind::kCorruptReadback), 0u);
+  EXPECT_GT(stats.faults.count(util::RecoveryKind::kRetry), 0u);
+  EXPECT_GT(stats.faults.count(util::RecoveryKind::kAbandon), 0u);
+  EXPECT_GE(stats.faults.count(util::RecoveryKind::kCpuFallback), 1u);
+  EXPECT_GT(stats.cpu_iterations, 0u);
+  EXPECT_EQ(stats.gpu_simulations, 0u);  // no readback ever survived
+  EXPECT_GT(stats.simulations, 0u);      // ...yet the move is real search
+}
+
 TEST(Degradation, StalledKernelsSlowButDoNotBreakTheSearch) {
   util::FaultPolicy policy;
   policy.kernel_stall = 1.0;

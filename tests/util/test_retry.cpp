@@ -1,0 +1,74 @@
+// RetryPolicy backoff arithmetic, including the overflow clamp: extreme
+// attempt counts and multipliers must saturate at kMaxBackoffCycles instead
+// of overflowing the double->uint64 cast into UB.
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/clock.hpp"
+#include "util/fault.hpp"
+
+namespace gpu_mcts::util {
+namespace {
+
+TEST(RetryPolicy, BackoffGrowsGeometrically) {
+  RetryPolicy policy;
+  policy.backoff_base_cycles = 10'000;
+  policy.backoff_multiplier = 2.0;
+  EXPECT_EQ(policy.backoff_cycles(0), 10'000u);
+  EXPECT_EQ(policy.backoff_cycles(1), 20'000u);
+  EXPECT_EQ(policy.backoff_cycles(2), 40'000u);
+  EXPECT_EQ(policy.backoff_cycles(3), 80'000u);
+}
+
+TEST(RetryPolicy, ExtremeAttemptCountSaturatesAtClamp) {
+  // Before the clamp, 10'000 * 2^1000 overflowed double range and the cast
+  // back to uint64 was undefined behaviour. Now it saturates.
+  RetryPolicy policy;
+  policy.backoff_base_cycles = 10'000;
+  policy.backoff_multiplier = 2.0;
+  EXPECT_EQ(policy.backoff_cycles(1000), RetryPolicy::kMaxBackoffCycles);
+  EXPECT_EQ(policy.backoff_cycles(64), RetryPolicy::kMaxBackoffCycles);
+}
+
+TEST(RetryPolicy, ExtremeMultiplierSaturatesAtClamp) {
+  RetryPolicy policy;
+  policy.backoff_base_cycles = 1;
+  policy.backoff_multiplier = 1.0e308;  // one step past anything sane
+  EXPECT_EQ(policy.backoff_cycles(1), RetryPolicy::kMaxBackoffCycles);
+  EXPECT_EQ(policy.backoff_cycles(2), RetryPolicy::kMaxBackoffCycles);
+  // Attempt 0 never multiplies, so the base passes through unclamped.
+  EXPECT_EQ(policy.backoff_cycles(0), 1u);
+}
+
+TEST(RetryPolicy, BaseAboveClampIsClamped) {
+  RetryPolicy policy;
+  policy.backoff_base_cycles = RetryPolicy::kMaxBackoffCycles * 4;
+  policy.backoff_multiplier = 1.5;
+  EXPECT_EQ(policy.backoff_cycles(0), RetryPolicy::kMaxBackoffCycles);
+}
+
+TEST(RetryPolicy, WithRetryUnderExtremePolicyTerminates) {
+  // An always-failing operation with a huge attempt budget and explosive
+  // multiplier must still terminate with bounded virtual-time charges
+  // (max_attempts * kMaxBackoffCycles, not 2^max_attempts).
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.backoff_base_cycles = 1'000;
+  policy.backoff_multiplier = 10.0;
+  VirtualClock clock;
+  FaultLog log;
+  const bool ok =
+      with_retry(policy, clock, &log, [](int /*attempt*/) { return false; });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(log.count(RecoveryKind::kAbandon), 1u);
+  EXPECT_LE(clock.cycles(),
+            static_cast<std::uint64_t>(policy.max_attempts) *
+                RetryPolicy::kMaxBackoffCycles);
+  EXPECT_GT(clock.cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace gpu_mcts::util
