@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
         engine::SchemeSpec::sequential().with_seed(
             util::derive_seed(flags.seed, 0x0bb)));
     harness::ArenaOptions options;
-    options.subject_budget_seconds = flags.budget;
-    options.opponent_budget_seconds = flags.opponent_budget;
+    options.subject_budget = mcts::SearchBudget::from_seconds(flags.budget);
+    options.opponent_budget = mcts::SearchBudget::from_seconds(flags.opponent_budget);
     options.seed = flags.seed;
     const harness::MatchResult match =
         harness::play_match(*subject, *opponent, flags.games, options);

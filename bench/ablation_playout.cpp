@@ -46,8 +46,8 @@ int main(int argc, char** argv) {
     mcts::PolicySearcher<ReversiGame, decltype(policy)> subject(
         policy, label, config);
     harness::ArenaOptions options;
-    options.subject_budget_seconds = flags.budget;
-    options.opponent_budget_seconds = flags.opponent_budget;
+    options.subject_budget = mcts::SearchBudget::from_seconds(flags.budget);
+    options.opponent_budget = mcts::SearchBudget::from_seconds(flags.opponent_budget);
     options.seed = flags.seed;
     const harness::MatchResult match =
         harness::play_match(subject, *opponent, flags.games, options);

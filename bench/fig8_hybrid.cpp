@@ -25,8 +25,8 @@ harness::MatchResult run(const engine::SchemeSpec& spec,
       engine::SchemeSpec::sequential().with_seed(
           util::derive_seed(flags.seed, 0x0bb)));
   harness::ArenaOptions options;
-  options.subject_budget_seconds = flags.budget;
-  options.opponent_budget_seconds = flags.opponent_budget;
+  options.subject_budget = mcts::SearchBudget::from_seconds(flags.budget);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(flags.opponent_budget);
   options.seed = flags.seed;
   return harness::play_match(*subject, *opponent, flags.games, options);
 }

@@ -33,8 +33,8 @@ RankPoint measure(int ranks, int blocks, const bench::CommonFlags& flags,
       engine::SchemeSpec::sequential().with_seed(
           util::derive_seed(flags.seed, 0x0bb)));
   harness::ArenaOptions options;
-  options.subject_budget_seconds = flags.budget;
-  options.opponent_budget_seconds = flags.opponent_budget;
+  options.subject_budget = mcts::SearchBudget::from_seconds(flags.budget);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(flags.opponent_budget);
   options.seed = flags.seed;
   const harness::MatchResult match =
       harness::play_match(*subject, *opponent, flags.games, options);

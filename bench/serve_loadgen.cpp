@@ -1,0 +1,237 @@
+// serve_loadgen — load generator for the multi-tenant search service
+// (DESIGN.md §13): N concurrent Reversi sessions submit move tickets on a
+// seeded Poisson arrival schedule (virtual time), the service packs them
+// into shared grids via cross-session cohort batching, and the bench
+// reports move-latency percentiles (p50/p95/p99, virtual seconds) plus
+// aggregate simulations/second, both printed and exported as
+// BENCH_serve.json.
+//
+// Everything is virtual-time deterministic: the arrival schedule is derived
+// from --seed, sessions pre-roll their positions from per-session RNG
+// streams, and the service is driven single-threadedly — so two runs with
+// the same flags produce identical moves, latencies, and `digest` at every
+// --exec-threads value (the CI serve smoke job compares exactly that).
+//
+// Extra flags beyond the common set (bench_common.hpp):
+//   --sessions N   concurrent sessions            (default 32; quick: 8)
+//   --moves N      tickets submitted per session  (default 3; quick: 2)
+//   --blocks N     per-session grid share, blocks (default 14)
+//   --tpb N        threads per block = service grid block size (default 32)
+//   --rate R       Poisson arrival rate per session, arrivals per virtual
+//                  second (default 1/budget)
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/spec.hpp"
+#include "reversi/reversi_game.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gpu_mcts;
+using Game = reversi::ReversiGame;
+
+/// Deterministic opening diversity: each session searches its own position,
+/// reached by a seeded random prefix of 0..11 plies from the initial state.
+Game::State preroll(std::mt19937_64& rng) {
+  Game::State state = Game::initial_state();
+  std::array<Game::Move, Game::kMaxMoves> moves{};
+  const int plies = static_cast<int>(rng() % 12);
+  for (int p = 0; p < plies && !Game::is_terminal(state); ++p) {
+    const int n = Game::legal_moves(state, moves);
+    state = Game::apply(state, moves[rng() % static_cast<std::uint64_t>(n)]);
+  }
+  return state;
+}
+
+/// FNV-1a over each finished ticket's observable result — the determinism
+/// fingerprint the CI smoke job compares across exec-thread counts.
+class Digest {
+ public:
+  void add_bytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  template <typename T>
+  void add(const T& value) {
+    add_bytes(&value, sizeof value);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+[[nodiscard]] double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto flags = bench::CommonFlags::parse(args);
+  // A move budget of 5 ms of model time keeps a full 100-session sweep
+  // cheap while still running several kernel rounds per ticket.
+  flags.budget = args.get_double("budget", flags.quick ? 0.002 : 0.005);
+  const int sessions =
+      static_cast<int>(args.get_uint("sessions", flags.quick ? 8 : 32));
+  const int moves =
+      static_cast<int>(args.get_uint("moves", flags.quick ? 2 : 3));
+  const int blocks = static_cast<int>(args.get_uint("blocks", 14));
+  const int tpb = static_cast<int>(args.get_uint("tpb", 32));
+  const double rate = args.get_double("rate", 1.0 / flags.budget);
+  bench::print_header("Serve: multi-session load generator", flags);
+  std::cout << "sessions=" << sessions << "  moves/session=" << moves
+            << "  share=" << blocks << "x" << tpb << "  arrival rate=" << rate
+            << "/s (Poisson, virtual)\n\n";
+
+  serve::ServiceOptions options;
+  options.grid = {.blocks = 112, .threads_per_block = tpb};
+  options.max_sessions = sessions;
+  options.max_queued_per_session = static_cast<std::size_t>(moves);
+  serve::SearchService<Game> service(options);
+  bench::TraceSession trace(flags);
+  service.set_tracer(trace.tracer());
+
+  const engine::SchemeSpec spec = engine::SchemeSpec::block_gpu(blocks, tpb);
+  const mcts::SearchBudget budget =
+      mcts::SearchBudget::from_seconds(flags.budget);
+
+  struct TicketRef {
+    int session_index = 0;
+    serve::SessionId session = 0;
+    serve::TicketId ticket = 0;
+  };
+  std::vector<TicketRef> tickets;
+  std::vector<serve::SessionId> session_ids;
+  // Submit the whole virtual-arrival schedule up front; the service clock
+  // fast-forwards across idle gaps, so run_until_idle replays the open
+  // system exactly.
+  for (int s = 0; s < sessions; ++s) {
+    const std::uint64_t session_seed =
+        util::derive_seed(flags.seed, static_cast<std::uint64_t>(s));
+    std::mt19937_64 rng(session_seed);
+    std::exponential_distribution<double> interarrival(rate);
+    const serve::SessionId id = service.open_session(spec, session_seed);
+    session_ids.push_back(id);
+    const Game::State state = preroll(rng);
+    double arrival = 0.0;
+    for (int m = 0; m < moves; ++m) {
+      arrival += interarrival(rng);
+      serve::SubmitOptions submit_opts;
+      submit_opts.arrival_virtual_seconds = arrival;
+      const serve::TicketId ticket =
+          service.submit(id, state, budget, submit_opts);
+      tickets.push_back({s, id, ticket});
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  service.run_until_idle();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  Digest digest;
+  std::vector<double> latencies;
+  std::uint64_t total_simulations = 0;
+  struct PerSession {
+    std::uint64_t simulations = 0;
+    double latency_sum = 0.0;
+    double latency_max = 0.0;
+    int tickets = 0;
+  };
+  std::vector<PerSession> per_session(static_cast<std::size_t>(sessions));
+  for (const TicketRef& ref : tickets) {
+    const auto result = service.poll(ref.ticket);
+    util::check(result.has_value(), "idle service has no pending tickets");
+    const double latency = result->latency_virtual_seconds();
+    latencies.push_back(latency);
+    total_simulations += result->stats.simulations;
+    PerSession& ps = per_session[static_cast<std::size_t>(ref.session_index)];
+    ps.simulations += result->stats.simulations;
+    ps.latency_sum += latency;
+    ps.latency_max = std::max(ps.latency_max, latency);
+    ps.tickets += 1;
+    digest.add(ref.ticket);
+    digest.add(result->move);
+    digest.add(result->stats.simulations);
+    digest.add(result->stats.tree_nodes);
+    digest.add(result->completion_virtual_seconds);
+  }
+  for (const serve::SessionId id : session_ids) service.close_session(id);
+
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 0.50);
+  const double p95 = percentile(latencies, 0.95);
+  const double p99 = percentile(latencies, 0.99);
+  const double virtual_seconds = service.virtual_now_seconds();
+  const double sims_per_vs =
+      virtual_seconds > 0.0
+          ? static_cast<double>(total_simulations) / virtual_seconds
+          : 0.0;
+
+  util::Table table({"session", "tickets", "simulations", "mean_latency_ms",
+                     "max_latency_ms"});
+  std::vector<bench::JsonRow> rows;
+  for (int s = 0; s < sessions; ++s) {
+    const PerSession& ps = per_session[static_cast<std::size_t>(s)];
+    const double mean =
+        ps.tickets > 0 ? ps.latency_sum / static_cast<double>(ps.tickets) : 0.0;
+    table.begin_row()
+        .add(s)
+        .add(ps.tickets)
+        .add(static_cast<unsigned long long>(ps.simulations))
+        .add(mean * 1e3)
+        .add(ps.latency_max * 1e3);
+    rows.push_back({{"session", bench::jint(static_cast<std::uint64_t>(s))},
+                    {"tickets", bench::jint(static_cast<std::uint64_t>(
+                                    ps.tickets))},
+                    {"simulations", bench::jint(ps.simulations)},
+                    {"mean_latency_virtual_seconds", bench::jnum(mean)},
+                    {"max_latency_virtual_seconds",
+                     bench::jnum(ps.latency_max)}});
+  }
+  bench::emit(table, flags, "serve_loadgen");
+  std::cout << "latency p50=" << p50 * 1e3 << " ms  p95=" << p95 * 1e3
+            << " ms  p99=" << p99 * 1e3 << " ms (virtual)\n"
+            << "aggregate " << sims_per_vs
+            << " sims/virtual-second over " << virtual_seconds
+            << " virtual s (" << wall.count() << " wall s)\n"
+            << "digest " << std::hex << digest.value() << std::dec << "\n\n";
+
+  const bench::JsonRow meta = {
+      {"bench", bench::jstr("serve_loadgen")},
+      {"sessions", bench::jint(static_cast<std::uint64_t>(sessions))},
+      {"moves_per_session", bench::jint(static_cast<std::uint64_t>(moves))},
+      {"blocks_per_session", bench::jint(static_cast<std::uint64_t>(blocks))},
+      {"threads_per_block", bench::jint(static_cast<std::uint64_t>(tpb))},
+      {"budget_virtual_seconds", bench::jnum(flags.budget)},
+      {"arrival_rate_per_second", bench::jnum(rate)},
+      {"seed", bench::jint(flags.seed)},
+      {"p50_latency_virtual_seconds", bench::jnum(p50)},
+      {"p95_latency_virtual_seconds", bench::jnum(p95)},
+      {"p99_latency_virtual_seconds", bench::jnum(p99)},
+      {"total_simulations", bench::jint(total_simulations)},
+      {"virtual_seconds", bench::jnum(virtual_seconds)},
+      {"simulations_per_virtual_second", bench::jnum(sims_per_vs)},
+      {"wall_seconds", bench::jnum(wall.count())},
+      {"digest", bench::jint(digest.value())},
+  };
+  const bool wrote =
+      bench::write_bench_json("serve", meta, "per_session", rows);
+  return trace.finish() && wrote ? 0 : 1;
+}

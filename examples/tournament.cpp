@@ -60,8 +60,8 @@ int main(int argc, char** argv) {
       auto opponent = engine::make_searcher<reversi::ReversiGame>(
           engine::SchemeSpec::parse(entrants[j].spec).with_seed(seed));
       harness::ArenaOptions options;
-      options.subject_budget_seconds = budget;
-      options.opponent_budget_seconds = budget;
+      options.subject_budget = mcts::SearchBudget::from_seconds(budget);
+      options.opponent_budget = mcts::SearchBudget::from_seconds(budget);
       options.seed = util::derive_seed(seed, i * 16 + j);
       const harness::MatchResult match =
           harness::play_match(*subject, *opponent, games, options);

@@ -53,8 +53,12 @@ class DistributedRootSearcher final : public mcts::Searcher<G> {
     }
   }
 
-  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
-                                             double budget_seconds) override {
+  using mcts::Searcher<G>::choose_move;
+
+  [[nodiscard]] typename G::Move choose_move(
+      const typename G::State& state,
+      const mcts::SearchBudget& budget) override {
+    const double budget_seconds = budget.virtual_seconds;
     util::expects(!G::is_terminal(state), "choose_move on terminal state");
     Communicator comm(options_.ranks, options_.comm);
     comm.set_fault_injector(util::FaultInjector(

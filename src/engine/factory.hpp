@@ -1,6 +1,7 @@
 // make_searcher<G>(spec): the engine factory — one entry point that turns a
-// SchemeSpec into a searcher for *any* game satisfying game::Game, replacing
-// the Reversi-only harness::make_player switch (which now delegates here).
+// SchemeSpec into a searcher for *any* game satisfying game::Game. This is
+// the sole construction path; the former Reversi-only harness player
+// factory has been removed.
 //
 //   auto searcher = engine::make_searcher<reversi::ReversiGame>(
 //       engine::SchemeSpec::parse("block:112x128").with_seed(42));

@@ -32,13 +32,13 @@ GameRecord play_game(mcts::Searcher<ReversiGame>& subject,
     sr.step = ++step;
     sr.mover = pos.to_move;
     if (subject_to_move) {
-      sr.move = subject.choose_move(pos, options.subject_budget_seconds);
+      sr.move = subject.choose_move(pos, options.subject_budget);
       const mcts::SearchStats& stats = subject.last_stats();
       sr.subject_depth = stats.max_depth;
       sr.subject_simulations = stats.simulations;
       record.subject_stats.accumulate(stats);
     } else {
-      sr.move = opponent.choose_move(pos, options.opponent_budget_seconds);
+      sr.move = opponent.choose_move(pos, options.opponent_budget);
     }
     pos = ReversiGame::apply(pos, sr.move);
     sr.point_difference = reversi::disc_difference(pos, subject_player);

@@ -42,11 +42,29 @@ struct GameRecord {
 };
 
 struct ArenaOptions {
-  double subject_budget_seconds = 0.02;
-  double opponent_budget_seconds = 0.02;
+  /// Per-move budget for the subject (virtual seconds plus, optionally, the
+  /// supervision knobs: wall deadline, cancel token, saturation stop).
+  mcts::SearchBudget subject_budget = mcts::SearchBudget::from_seconds(0.02);
+  /// Per-move budget for the opponent.
+  mcts::SearchBudget opponent_budget = mcts::SearchBudget::from_seconds(0.02);
   /// 0 = subject plays black, 1 = white.
   int subject_color = 0;
   std::uint64_t seed = 1;
+
+  /// Deprecated: set subject_budget instead. Kept for one release so callers
+  /// migrating from the seconds-only interface keep compiling.
+  [[deprecated("use subject_budget")]] ArenaOptions& set_subject_budget_seconds(
+      double seconds) {
+    subject_budget = mcts::SearchBudget::from_seconds(seconds);
+    return *this;
+  }
+  /// Deprecated: set opponent_budget instead.
+  [[deprecated(
+      "use opponent_budget")]] ArenaOptions& set_opponent_budget_seconds(
+      double seconds) {
+    opponent_budget = mcts::SearchBudget::from_seconds(seconds);
+    return *this;
+  }
 };
 
 /// Plays one game; `subject` and `opponent` are reseeded from options.seed.

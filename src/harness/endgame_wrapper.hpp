@@ -39,11 +39,7 @@ class EndgameAwareSearcher final : public mcts::Searcher<reversi::ReversiGame> {
   /// solver time vary with an unrelated knob.
   static constexpr double kSolverNodesPerSecond = 1.0e7;
 
-  [[nodiscard]] reversi::Move choose_move(const reversi::Position& state,
-                                          double budget_seconds) override {
-    return choose_move(state,
-                       mcts::SearchBudget::from_seconds(budget_seconds));
-  }
+  using mcts::Searcher<reversi::ReversiGame>::choose_move;
 
   [[nodiscard]] reversi::Move choose_move(
       const reversi::Position& state,

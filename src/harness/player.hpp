@@ -1,85 +1,19 @@
-// Player factory: experiment configuration -> a Reversi searcher.
+// Reversi searcher alias for the harness layer.
 //
-// DEPRECATED as a construction path: this header is now a thin Reversi-only
-// shim over the game-generic engine API. New code should build searchers
-// through engine::make_searcher<G>(engine::SchemeSpec) — or from a spec
-// string like "block:112x128" via engine::SchemeSpec::parse — which works
-// for every registered game, not just Reversi. PlayerConfig and the presets
-// below remain so the existing bench suite keeps its exact seeds and knobs.
+// The former player factory (PlayerConfig / make_player / per-scheme
+// presets) is gone: construction goes through the game-generic engine API —
+// engine::make_searcher<G>(engine::SchemeSpec) or a spec string like
+// "block:112x128" via engine::SchemeSpec::parse. The spec builders
+// (SchemeSpec::sequential(), ::block_gpu_threads(total, block), ...) carry
+// the same defaults the old presets applied, so configurations and seeds
+// translate one-to-one.
 #pragma once
 
-#include <memory>
-#include <string>
-
-#include "cluster/comm.hpp"
-#include "engine/spec.hpp"
-#include "mcts/config.hpp"
 #include "mcts/searcher.hpp"
 #include "reversi/reversi_game.hpp"
-#include "simt/cost_model.hpp"
-#include "simt/device_props.hpp"
 
 namespace gpu_mcts::harness {
 
 using ReversiSearcher = mcts::Searcher<reversi::ReversiGame>;
-
-enum class Scheme {
-  kSequential,     ///< 1 CPU core (the paper's universal opponent)
-  kRootParallel,   ///< n CPU threads, n trees (paper [3][4])
-  kTreeParallel,   ///< shared tree + virtual loss (paper reference [3])
-  kFlatMc,         ///< no tree: uniform playout split (pre-MCTS baseline)
-  kLeafGpu,        ///< leaf parallelism on the virtual GPU (paper §III.5)
-  kBlockGpu,       ///< block parallelism (paper §III.6, the contribution)
-  kHybrid,         ///< block parallelism + CPU overlap (paper §III-A)
-  kDistributed,    ///< multi-GPU root parallelism over ranks (paper Fig. 9)
-};
-
-[[nodiscard]] std::string to_string(Scheme scheme);
-
-struct PlayerConfig {
-  Scheme scheme = Scheme::kSequential;
-  /// Root-parallel thread count (kRootParallel only).
-  int cpu_threads = 1;
-  /// GPU grid geometry (GPU schemes).
-  int blocks = 112;
-  int threads_per_block = 128;
-  /// Rank count (kDistributed only).
-  int ranks = 1;
-  /// Hybrid: disable to get a GPU-only control with identical plumbing.
-  bool cpu_overlap = true;
-  /// Search parameters.
-  mcts::SearchConfig search{};
-  /// Device/cost model (swapped by ablation benches).
-  simt::DeviceProperties device = simt::tesla_c2050();
-  simt::HostProperties host = simt::xeon_x5670();
-  simt::CostModel cost = simt::default_cost_model();
-  cluster::CommCosts comm{};
-};
-
-/// Translates a PlayerConfig into the equivalent engine spec (the search
-/// config is copied verbatim — no per-scheme defaults are re-applied).
-[[nodiscard]] engine::SchemeSpec to_spec(const PlayerConfig& config);
-
-/// Builds the searcher described by `config`. Equivalent to
-/// engine::make_searcher<reversi::ReversiGame>(to_spec(config)).
-[[nodiscard]] std::unique_ptr<ReversiSearcher> make_player(
-    const PlayerConfig& config);
-
-/// Convenience presets used across the bench suite.
-[[nodiscard]] PlayerConfig sequential_player(std::uint64_t seed);
-[[nodiscard]] PlayerConfig root_parallel_player(int threads,
-                                                std::uint64_t seed);
-[[nodiscard]] PlayerConfig tree_parallel_player(int workers,
-                                                std::uint64_t seed);
-[[nodiscard]] PlayerConfig flat_mc_player(std::uint64_t seed);
-[[nodiscard]] PlayerConfig leaf_gpu_player(int total_threads, int block_size,
-                                           std::uint64_t seed);
-[[nodiscard]] PlayerConfig block_gpu_player(int total_threads, int block_size,
-                                            std::uint64_t seed);
-[[nodiscard]] PlayerConfig hybrid_player(int blocks, int threads_per_block,
-                                         bool cpu_overlap, std::uint64_t seed);
-[[nodiscard]] PlayerConfig distributed_player(int ranks, int blocks,
-                                              int threads_per_block,
-                                              std::uint64_t seed);
 
 }  // namespace gpu_mcts::harness

@@ -30,11 +30,14 @@ class FlatMonteCarloSearcher final : public Searcher<G> {
       simt::CostModel cost = simt::default_cost_model())
       : config_(config), host_(host), cost_(cost), seed_(config.seed) {}
 
-  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
-                                             double budget_seconds) override {
+  using Searcher<G>::choose_move;
+
+  [[nodiscard]] typename G::Move choose_move(
+      const typename G::State& state,
+      const SearchBudget& budget) override {
     util::expects(!G::is_terminal(state), "choose_move on terminal state");
     util::VirtualClock clock(host_.clock_hz);
-    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+    const std::uint64_t deadline = clock.to_cycles(budget.virtual_seconds);
     util::XorShift128Plus rng(util::derive_seed(seed_, move_counter_++));
 
     std::array<typename G::Move, static_cast<std::size_t>(G::kMaxMoves)>

@@ -35,11 +35,14 @@ class ReuseSequentialSearcher final : public Searcher<G> {
       : config_(config), host_(host), cost_(cost), seed_(config.seed),
         rng_(config.seed) {}
 
-  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
-                                             double budget_seconds) override {
+  using Searcher<G>::choose_move;
+
+  [[nodiscard]] typename G::Move choose_move(
+      const typename G::State& state,
+      const SearchBudget& budget) override {
     util::expects(!G::is_terminal(state), "choose_move on terminal state");
     util::VirtualClock clock(host_.clock_hz);
-    const std::uint64_t deadline = clock.to_cycles(budget_seconds);
+    const std::uint64_t deadline = clock.to_cycles(budget.virtual_seconds);
 
     reused_nodes_ = rebase_tree(state);
 

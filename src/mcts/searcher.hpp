@@ -20,23 +20,26 @@ class Searcher {
  public:
   virtual ~Searcher() = default;
 
-  /// Chooses a move for the side to move in `state`, spending up to
-  /// `budget_seconds` of *virtual* time (see DESIGN.md §5.1).
-  /// `state` must not be terminal.
+  /// Chooses a move for the side to move in `state` under the given
+  /// SearchBudget (DESIGN.md §12) — virtual time plus an optional wall-clock
+  /// deadline, cancellation token, and saturation stop. This is the single
+  /// virtual entry point every scheme implements. Always returns a legal
+  /// best-so-far move (the anytime contract), with SearchStats::stop_reason
+  /// saying which bound ended the search. A budget built by
+  /// SearchBudget::from_seconds is bit-identical to the classic
+  /// unsupervised virtual-time-only search. `state` must not be terminal.
   [[nodiscard]] virtual typename G::Move choose_move(
-      const typename G::State& state, double budget_seconds) = 0;
+      const typename G::State& state, const SearchBudget& budget) = 0;
 
-  /// Supervised overload (DESIGN.md §12): the same search bounded by the
-  /// full SearchBudget — virtual time plus an optional wall-clock deadline
-  /// and cancellation token. Always returns a legal best-so-far move (the
-  /// anytime contract), with SearchStats::stop_reason saying which bound
-  /// ended the search. The default forwards to the virtual-only overload so
-  /// every searcher accepts a budget; schemes with supervised loops
-  /// (sequential, tree/root-parallel, and the RoundDriver schemes) override
-  /// it to honor the wall deadline and token.
-  [[nodiscard]] virtual typename G::Move choose_move(
-      const typename G::State& state, const SearchBudget& budget) {
-    return choose_move(state, budget.virtual_seconds);
+  /// Convenience: the classic unsupervised call, spending up to
+  /// `budget_seconds` of *virtual* time (see DESIGN.md §5.1). Non-virtual —
+  /// it forwards to the SearchBudget overload, so derived schemes implement
+  /// exactly one entry point. Derived classes that want this overload
+  /// callable on their concrete type pull it in with
+  /// `using mcts::Searcher<G>::choose_move;`.
+  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
+                                             double budget_seconds) {
+    return choose_move(state, SearchBudget::from_seconds(budget_seconds));
   }
 
   /// Statistics of the most recent choose_move call.

@@ -35,11 +35,7 @@ class SequentialSearcher final : public Searcher<G> {
                               simt::CostModel cost = simt::default_cost_model())
       : config_(config), host_(host), cost_(cost), seed_(config.seed) {}
 
-  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
-                                             double budget_seconds) override {
-    return choose_move(state,
-                       SearchBudget::from_seconds(budget_seconds));
-  }
+  using Searcher<G>::choose_move;
 
   [[nodiscard]] typename G::Move choose_move(
       const typename G::State& state, const SearchBudget& budget) override {

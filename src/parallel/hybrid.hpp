@@ -69,11 +69,7 @@ class HybridSearcher final : public mcts::Searcher<G> {
                 config, std::move(gpu)),
         seed_(config.seed) {}
 
-  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
-                                             double budget_seconds) override {
-    return choose_move(state,
-                       mcts::SearchBudget::from_seconds(budget_seconds));
-  }
+  using mcts::Searcher<G>::choose_move;
 
   [[nodiscard]] typename G::Move choose_move(
       const typename G::State& state,

@@ -51,11 +51,7 @@ class RootParallelSearcher final : public mcts::Searcher<G> {
     util::expects(options.threads >= 1, "at least one root-parallel thread");
   }
 
-  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
-                                             double budget_seconds) override {
-    return choose_move(state,
-                       mcts::SearchBudget::from_seconds(budget_seconds));
-  }
+  using mcts::Searcher<G>::choose_move;
 
   [[nodiscard]] typename G::Move choose_move(
       const typename G::State& state,

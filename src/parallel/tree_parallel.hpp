@@ -50,11 +50,7 @@ class TreeParallelSearcher final : public mcts::Searcher<G> {
     util::expects(options.workers >= 1, "at least one worker");
   }
 
-  [[nodiscard]] typename G::Move choose_move(const typename G::State& state,
-                                             double budget_seconds) override {
-    return choose_move(state,
-                       mcts::SearchBudget::from_seconds(budget_seconds));
-  }
+  using mcts::Searcher<G>::choose_move;
 
   [[nodiscard]] typename G::Move choose_move(
       const typename G::State& state,

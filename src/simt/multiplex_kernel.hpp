@@ -1,0 +1,98 @@
+// MultiplexKernel: several logical launches packed into one physical grid.
+//
+// The serving layer (DESIGN.md §13) fills one grid with blocks drawn from
+// many independent search sessions — the cross-session generalization of the
+// paper's block parallelism, where the "trees" of one launch now belong to
+// different tenants. Each tenant contributes a contiguous segment of blocks
+// backed by its own inner kernel (session-local roots, results, and RNG
+// seed); the multiplexer remaps every lane's combined-grid identity to the
+// identity the tenant's standalone launch would have handed it.
+//
+// That remap is the isolation argument: the inner kernel sees LaneId::block
+// and LaneId::global_thread counted from *its segment's* origin, so a
+// tenant's RNG streams, root indexing, and result slots are bit-identical to
+// a standalone launch of its own grid, no matter where the scheduler packed
+// its segment or who shares the device. Only modeled *time* couples tenants
+// (the combined launch is one kernel); results never do.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "simt/geometry.hpp"
+#include "simt/kernel.hpp"
+#include "util/check.hpp"
+
+namespace gpu_mcts::simt {
+
+/// Wraps one inner LaneKernel per tenant. In addition to the LaneKernel
+/// threaded-execution contract, the inner kernel's lane_step must depend
+/// only on the lane's own state (not on which instance is called) — true of
+/// PlayoutKernel, whose step touches nothing but the LaneState — because
+/// lanes of every tenant advance through a single instance here.
+template <LaneKernel K>
+class MultiplexKernel {
+ public:
+  using LaneState = typename K::LaneState;
+
+  /// One tenant's slice of the combined grid. `kernel` is borrowed and must
+  /// outlive the launch.
+  struct Segment {
+    int begin = 0;  ///< first combined-grid block of this tenant
+    int count = 0;  ///< tenant's block count
+    K* kernel = nullptr;
+  };
+
+  MultiplexKernel(std::vector<Segment> segments, int threads_per_block)
+      : segments_(std::move(segments)), tpb_(threads_per_block) {
+    util::expects(!segments_.empty(), "multiplex kernel has tenants");
+    util::expects(tpb_ >= 1, "positive block size");
+    int next = 0;
+    for (const Segment& s : segments_) {
+      util::expects(s.kernel != nullptr, "tenant kernel attached");
+      util::expects(s.count >= 1 && s.begin == next,
+                    "tenant segments tile the grid contiguously from 0");
+      next += s.count;
+    }
+  }
+
+  [[nodiscard]] LaneState make_lane(const LaneId& id) const {
+    const Segment& seg = segment_of(id.block);
+    return seg.kernel->make_lane(local_id(seg, id));
+  }
+
+  [[nodiscard]] bool lane_step(LaneState& lane) const {
+    // Any tenant's instance can advance any lane (see the class contract);
+    // routing through the first avoids a per-step segment lookup.
+    return segments_.front().kernel->lane_step(lane);
+  }
+
+  void lane_finish(const LaneState& lane, const LaneId& id) {
+    const Segment& seg = segment_of(id.block);
+    seg.kernel->lane_finish(lane, local_id(seg, id));
+  }
+
+ private:
+  [[nodiscard]] const Segment& segment_of(int block) const {
+    for (const Segment& s : segments_) {
+      if (block < s.begin + s.count) return s;
+    }
+    util::expects(false, "lane block within a tenant segment");
+    return segments_.back();
+  }
+
+  /// The identity the tenant's standalone launch of `count` blocks would
+  /// have produced for this lane.
+  [[nodiscard]] LaneId local_id(const Segment& seg,
+                                const LaneId& id) const noexcept {
+    LaneId local = id;
+    local.block = id.block - seg.begin;
+    local.global_thread = local.block * tpb_ + id.thread;
+    return local;
+  }
+
+  std::vector<Segment> segments_;
+  int tpb_;
+};
+
+}  // namespace gpu_mcts::simt

@@ -89,6 +89,17 @@ struct StreamLaunch {
   std::uint64_t completion_cycle = 0;
 };
 
+/// A synchronous launch that hands the raw warp traces back to the caller
+/// (VirtualGpu::launch_traced). Multiplexers that pack several tenants'
+/// blocks into one grid need the traces to slice per-tenant divergence and
+/// to re-derive what each tenant's launch would have cost — and they emit
+/// their own per-tenant trace events, so launch_traced deliberately skips
+/// the VirtualGpu's own "kernel_launch" instant.
+struct TracedLaunch {
+  LaunchResult result;
+  std::vector<WarpTrace> traces;
+};
+
 /// How the VirtualGpu executes a grid on the host. `threads == 1` (the
 /// default) runs blocks sequentially on the calling thread; `threads > 1`
 /// partitions the grid by block across that many pool workers. Kernel
@@ -210,6 +221,39 @@ class VirtualGpu {
     host_clock.advance(host_cycles_for(result));
     trace_launch(cfg, result, start_cycle);
     return result;
+  }
+
+  /// Synchronous launch that also returns the raw warp traces. Identical to
+  /// launch() in every modeled respect — fault branches, stall handling,
+  /// clock advance — but emits no "kernel_launch" trace event: callers that
+  /// multiplex several logical launches into one grid own the per-tenant
+  /// emission (see serve::SearchService). On a fault branch the trace
+  /// vector is empty (nothing executed).
+  template <LaneKernel K>
+  TracedLaunch launch_traced(const LaunchConfig& cfg, K& kernel,
+                             util::VirtualClock& host_clock) {
+    TracedLaunch out;
+    if (injector_.kernel_launch_fails(host_clock.cycles())) {
+      host_clock.advance(launch_overhead_cycles());
+      out.result.status = LaunchStatus::kFailed;
+      return out;
+    }
+    if (injector_.kernel_hangs(host_clock.cycles())) {
+      host_clock.advance(launch_overhead_cycles() +
+                         hang_charge_cycles(host_clock,
+                                            injector_.policy().hang_timeout_ms));
+      out.result.status = LaunchStatus::kHungTimeout;
+      return out;
+    }
+    validate(cfg, dev_);
+    StreamExecution exec = execute_traced(
+        cfg, kernel,
+        exec_.threads > 1 && cfg.blocks > 1 ? worker_pool() : nullptr);
+    out.result = exec.result;
+    out.traces = std::move(exec.traces);
+    apply_stall(out.result, host_clock);
+    host_clock.advance(host_cycles_for(out.result));
+    return out;
   }
 
   /// Asynchronous launch: the kernel body runs immediately (results are

@@ -2,17 +2,19 @@
 
 #include <gtest/gtest.h>
 
-#include "harness/player.hpp"
+#include "engine/factory.hpp"
 
 namespace gpu_mcts::harness {
 namespace {
 
 TEST(Arena, PlaysACompleteGame) {
-  auto a = make_player(sequential_player(1));
-  auto b = make_player(sequential_player(2));
+  auto a = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1));
+  auto b = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(2));
   ArenaOptions options;
-  options.subject_budget_seconds = 0.002;
-  options.opponent_budget_seconds = 0.002;
+  options.subject_budget = mcts::SearchBudget::from_seconds(0.002);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(0.002);
   const GameRecord record = play_game(*a, *b, options);
   EXPECT_GE(record.steps.size(), 9u);
   EXPECT_LE(record.steps.size(),
@@ -28,11 +30,13 @@ TEST(Arena, PlaysACompleteGame) {
 }
 
 TEST(Arena, SubjectColorIsRespected) {
-  auto a = make_player(sequential_player(1));
-  auto b = make_player(sequential_player(2));
+  auto a = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1));
+  auto b = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(2));
   ArenaOptions options;
-  options.subject_budget_seconds = 0.002;
-  options.opponent_budget_seconds = 0.002;
+  options.subject_budget = mcts::SearchBudget::from_seconds(0.002);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(0.002);
   options.subject_color = 1;
   const GameRecord record = play_game(*a, *b, options);
   EXPECT_EQ(record.subject_color, 1);
@@ -42,13 +46,17 @@ TEST(Arena, SubjectColorIsRespected) {
 }
 
 TEST(Arena, GamesAreReproducibleBySeed) {
-  auto a1 = make_player(sequential_player(1));
-  auto b1 = make_player(sequential_player(2));
-  auto a2 = make_player(sequential_player(1));
-  auto b2 = make_player(sequential_player(2));
+  auto a1 = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1));
+  auto b1 = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(2));
+  auto a2 = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1));
+  auto b2 = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(2));
   ArenaOptions options;
-  options.subject_budget_seconds = 0.002;
-  options.opponent_budget_seconds = 0.002;
+  options.subject_budget = mcts::SearchBudget::from_seconds(0.002);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(0.002);
   options.seed = 42;
   const GameRecord r1 = play_game(*a1, *b1, options);
   const GameRecord r2 = play_game(*a2, *b2, options);
@@ -60,11 +68,13 @@ TEST(Arena, GamesAreReproducibleBySeed) {
 }
 
 TEST(Arena, DifferentSeedsGiveDifferentGames) {
-  auto a = make_player(sequential_player(1));
-  auto b = make_player(sequential_player(2));
+  auto a = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1));
+  auto b = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(2));
   ArenaOptions o1;
-  o1.subject_budget_seconds = 0.002;
-  o1.opponent_budget_seconds = 0.002;
+  o1.subject_budget = mcts::SearchBudget::from_seconds(0.002);
+  o1.opponent_budget = mcts::SearchBudget::from_seconds(0.002);
   o1.seed = 1;
   ArenaOptions o2 = o1;
   o2.seed = 2;
@@ -80,11 +90,13 @@ TEST(Arena, DifferentSeedsGiveDifferentGames) {
 }
 
 TEST(Arena, MatchAggregatesConsistently) {
-  auto a = make_player(sequential_player(1));
-  auto b = make_player(sequential_player(2));
+  auto a = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1));
+  auto b = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(2));
   ArenaOptions options;
-  options.subject_budget_seconds = 0.002;
-  options.opponent_budget_seconds = 0.002;
+  options.subject_budget = mcts::SearchBudget::from_seconds(0.002);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(0.002);
   const MatchResult match = play_match(*a, *b, 4, options);
   EXPECT_EQ(match.games, 4u);
   EXPECT_GE(match.win_ratio, 0.0);
@@ -100,8 +112,10 @@ TEST(Arena, MatchAggregatesConsistently) {
 }
 
 TEST(Arena, MatchRequiresGames) {
-  auto a = make_player(sequential_player(1));
-  auto b = make_player(sequential_player(2));
+  auto a = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1));
+  auto b = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(2));
   EXPECT_THROW((void)play_match(*a, *b, 0, {}), util::ContractViolation);
 }
 

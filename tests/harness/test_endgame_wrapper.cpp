@@ -5,7 +5,7 @@
 #include <array>
 
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
+#include "engine/factory.hpp"
 #include "util/rng.hpp"
 
 namespace gpu_mcts::harness {
@@ -30,14 +30,16 @@ reversi::Position position_with_empties(std::uint64_t seed, int empties) {
 }
 
 TEST(EndgameWrapper, DelegatesMidgame) {
-  EndgameAwareSearcher searcher(make_player(sequential_player(1)), 10);
+  EndgameAwareSearcher searcher(engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1)), 10);
   (void)searcher.choose_move(reversi::initial_position(), 0.004);
   EXPECT_FALSE(searcher.solved_last());
   EXPECT_NE(searcher.name().find("exact endgame"), std::string::npos);
 }
 
 TEST(EndgameWrapper, SolvesTheEndgameExactly) {
-  EndgameAwareSearcher searcher(make_player(sequential_player(1)), 10);
+  EndgameAwareSearcher searcher(engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1)), 10);
   const auto pos = position_with_empties(5, 8);
   const auto move = searcher.choose_move(pos, 0.004);
   EXPECT_TRUE(searcher.solved_last());
@@ -52,11 +54,13 @@ TEST(EndgameWrapper, BeatsPlainSearcherGivenEqualMidgame) {
   // Same inner scheme and seeds; the wrapped player plays perfect endgames.
   // Across a small match it must score at least as well.
   auto wrapped = std::make_unique<EndgameAwareSearcher>(
-      make_player(sequential_player(3)), 12);
-  auto plain = make_player(sequential_player(3));
+      engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(3)), 12);
+  auto plain = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(3));
   ArenaOptions options;
-  options.subject_budget_seconds = 0.01;
-  options.opponent_budget_seconds = 0.01;
+  options.subject_budget = mcts::SearchBudget::from_seconds(0.01);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(0.01);
   options.seed = 7;
   const MatchResult match = play_match(*wrapped, *plain, 6, options);
   EXPECT_GE(match.win_ratio, 0.5);
@@ -66,7 +70,8 @@ TEST(EndgameWrapper, SolverTimeChargedByNodesNotCallerBudget) {
   // Pin the virtual-time model of an exact solve: nodes / kSolverNodesPerSecond,
   // independent of the caller's budget (the former behaviour charged a flat
   // 10% of budget_seconds, so doubling an unrelated knob doubled solver time).
-  EndgameAwareSearcher searcher(make_player(sequential_player(1)), 10);
+  EndgameAwareSearcher searcher(engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1)), 10);
   const auto pos = position_with_empties(5, 8);
   (void)searcher.choose_move(pos, 0.004);
   ASSERT_TRUE(searcher.solved_last());
@@ -86,7 +91,8 @@ TEST(EndgameWrapper, SolverTimeChargedByNodesNotCallerBudget) {
 TEST(EndgameWrapper, ForwardsSearchBudgetToInner) {
   // The wrapper passes the full budget through to the inner searcher; a
   // pre-cancelled token must surface in the inner scheme's stop_reason.
-  EndgameAwareSearcher searcher(make_player(sequential_player(1)), 4);
+  EndgameAwareSearcher searcher(engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1)), 4);
   util::CancelToken token;
   token.cancel();
   mcts::SearchBudget budget;
@@ -109,7 +115,8 @@ TEST(EndgameWrapper, RequiresInnerSearcher) {
 }
 
 TEST(EndgameWrapper, ThresholdValidated) {
-  EXPECT_THROW(EndgameAwareSearcher(make_player(sequential_player(1)), 40),
+  EXPECT_THROW(EndgameAwareSearcher(engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(1)), 40),
                util::ContractViolation);
 }
 

@@ -1,9 +1,14 @@
+// Searcher construction through the engine API — the coverage the retired
+// harness player factory used to provide: every scheme builds and plays a
+// legal opening move, thread-count helpers split grids the way the paper's
+// configurations expect, and bad geometry is rejected.
 #include "harness/player.hpp"
 
 #include <gtest/gtest.h>
 
 #include <array>
 
+#include "engine/factory.hpp"
 #include "reversi/reversi_game.hpp"
 
 namespace gpu_mcts::harness {
@@ -22,17 +27,18 @@ bool is_legal_opening_move(reversi::Move move) {
 }
 
 TEST(PlayerFactory, BuildsEveryScheme) {
-  const std::array<PlayerConfig, 6> configs = {
-      sequential_player(1),
-      root_parallel_player(4, 2),
-      leaf_gpu_player(128, 64, 3),
-      block_gpu_player(256, 32, 4),
-      hybrid_player(8, 32, true, 5),
-      distributed_player(2, 8, 32, 6),
+  const std::array<engine::SchemeSpec, 6> specs = {
+      engine::SchemeSpec::sequential().with_seed(1),
+      engine::SchemeSpec::root_parallel(4).with_seed(2),
+      engine::SchemeSpec::leaf_gpu_threads(128, 64).with_seed(3),
+      engine::SchemeSpec::block_gpu_threads(256, 32).with_seed(4),
+      engine::SchemeSpec::hybrid(8, 32, true).with_seed(5),
+      engine::SchemeSpec::distributed(2, 8, 32).with_seed(6),
   };
-  for (const auto& config : configs) {
-    auto player = make_player(config);
-    ASSERT_NE(player, nullptr) << to_string(config.scheme);
+  for (const auto& spec : specs) {
+    std::unique_ptr<ReversiSearcher> player =
+        engine::make_searcher<ReversiGame>(spec);
+    ASSERT_NE(player, nullptr) << spec.scheme;
     const auto move =
         player->choose_move(ReversiGame::initial_state(), 0.005);
     EXPECT_TRUE(is_legal_opening_move(move)) << player->name();
@@ -42,23 +48,24 @@ TEST(PlayerFactory, BuildsEveryScheme) {
 
 TEST(PlayerFactory, GridSplitsThreadCounts) {
   // 14336 threads at block size 128 -> the paper's 112-block flagship.
-  const PlayerConfig c = block_gpu_player(14336, 128, 1);
+  const engine::SchemeSpec c = engine::SchemeSpec::block_gpu_threads(14336, 128);
   EXPECT_EQ(c.blocks, 112);
   EXPECT_EQ(c.threads_per_block, 128);
   // Sub-block counts collapse to one partial block.
-  const PlayerConfig s = leaf_gpu_player(16, 64, 1);
+  const engine::SchemeSpec s = engine::SchemeSpec::leaf_gpu_threads(16, 64);
   EXPECT_EQ(s.blocks, 1);
   EXPECT_EQ(s.threads_per_block, 16);
 }
 
 TEST(PlayerFactory, IndivisibleThreadCountRejected) {
-  EXPECT_THROW((void)leaf_gpu_player(100, 64, 1), util::ContractViolation);
+  EXPECT_THROW((void)engine::SchemeSpec::leaf_gpu_threads(100, 64),
+               util::ContractViolation);
 }
 
-TEST(PlayerFactory, SchemeNamesAreDistinct) {
-  EXPECT_EQ(to_string(Scheme::kSequential), "sequential");
-  EXPECT_EQ(to_string(Scheme::kBlockGpu), "block-gpu");
-  EXPECT_EQ(to_string(Scheme::kDistributed), "distributed");
+TEST(PlayerFactory, SchemeNamesAreCanonical) {
+  EXPECT_EQ(engine::SchemeSpec::sequential().scheme, "sequential");
+  EXPECT_EQ(engine::SchemeSpec::block_gpu(8, 32).scheme, "block-gpu");
+  EXPECT_EQ(engine::SchemeSpec::distributed(2, 8, 32).scheme, "distributed");
 }
 
 }  // namespace

@@ -2,18 +2,20 @@
 
 #include <gtest/gtest.h>
 
-#include "harness/player.hpp"
+#include "engine/factory.hpp"
 #include "reversi/notation.hpp"
 
 namespace gpu_mcts::harness {
 namespace {
 
 GameRecord quick_game(std::uint64_t seed) {
-  auto a = make_player(sequential_player(seed));
-  auto b = make_player(sequential_player(seed + 1));
+  auto a = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(seed));
+  auto b = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(seed + 1));
   ArenaOptions options;
-  options.subject_budget_seconds = 0.002;
-  options.opponent_budget_seconds = 0.002;
+  options.subject_budget = mcts::SearchBudget::from_seconds(0.002);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(0.002);
   options.seed = seed;
   return play_game(*a, *b, options);
 }

@@ -3,20 +3,22 @@
 #include <gtest/gtest.h>
 
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
+#include "engine/factory.hpp"
 
 namespace gpu_mcts::harness {
 namespace {
 
 TEST(Reproducibility, IdenticalMatchesForIdenticalSeeds) {
   ArenaOptions options;
-  options.subject_budget_seconds = 0.004;
-  options.opponent_budget_seconds = 0.004;
+  options.subject_budget = mcts::SearchBudget::from_seconds(0.004);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(0.004);
   options.seed = 777;
 
   auto run = [&options] {
-    auto subject = make_player(block_gpu_player(256, 32, 9));
-    auto opponent = make_player(sequential_player(10));
+    auto subject = engine::make_searcher<reversi::ReversiGame>(
+        engine::SchemeSpec::block_gpu_threads(256, 32).with_seed(9));
+    auto opponent = engine::make_searcher<reversi::ReversiGame>(
+        engine::SchemeSpec::sequential().with_seed(10));
     return play_match(*subject, *opponent, 2, options);
   };
   const MatchResult a = run();
@@ -31,8 +33,10 @@ TEST(Reproducibility, IdenticalMatchesForIdenticalSeeds) {
 TEST(Reproducibility, VirtualTimeIsHostIndependent) {
   // The virtual-seconds a search reports is a pure function of the model,
   // never of wall-clock: two runs must agree exactly.
-  auto s1 = make_player(leaf_gpu_player(512, 64, 3));
-  auto s2 = make_player(leaf_gpu_player(512, 64, 3));
+  auto s1 = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::leaf_gpu_threads(512, 64).with_seed(3));
+  auto s2 = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::leaf_gpu_threads(512, 64).with_seed(3));
   s1->reseed(5);
   s2->reseed(5);
   (void)s1->choose_move(reversi::ReversiGame::initial_state(), 0.01);
@@ -44,7 +48,8 @@ TEST(Reproducibility, VirtualTimeIsHostIndependent) {
 
 TEST(Reproducibility, DistributedSearchIsDeterministic) {
   auto run = [] {
-    auto searcher = make_player(distributed_player(3, 8, 32, 21));
+    auto searcher = engine::make_searcher<reversi::ReversiGame>(
+        engine::SchemeSpec::distributed(3, 8, 32).with_seed(21));
     searcher->reseed(4);
     const auto move =
         searcher->choose_move(reversi::ReversiGame::initial_state(), 0.01);

@@ -9,7 +9,7 @@
 #include <memory>
 #include <string>
 
-#include "harness/player.hpp"
+#include "engine/factory.hpp"
 #include "reversi/notation.hpp"
 #include "reversi/reversi_game.hpp"
 #include "util/rng.hpp"
@@ -21,19 +21,22 @@ using reversi::ReversiGame;
 
 struct SchemeCase {
   std::string label;
-  PlayerConfig config;
+  engine::SchemeSpec spec;
 };
 
 std::vector<SchemeCase> all_schemes() {
   return {
-      {"sequential", sequential_player(1)},
-      {"flat-mc", flat_mc_player(2)},
-      {"root-parallel-8", root_parallel_player(8, 3)},
-      {"tree-parallel-4", tree_parallel_player(4, 4)},
-      {"leaf-gpu-128", leaf_gpu_player(128, 64, 5)},
-      {"block-gpu-256", block_gpu_player(256, 32, 6)},
-      {"hybrid-8x32", hybrid_player(8, 32, true, 7)},
-      {"distributed-2", distributed_player(2, 4, 32, 8)},
+      {"sequential", engine::SchemeSpec::sequential().with_seed(1)},
+      {"flat-mc", engine::SchemeSpec::flat_mc().with_seed(2)},
+      {"root-parallel-8", engine::SchemeSpec::root_parallel(8).with_seed(3)},
+      {"tree-parallel-4", engine::SchemeSpec::tree_parallel(4).with_seed(4)},
+      {"leaf-gpu-128",
+       engine::SchemeSpec::leaf_gpu_threads(128, 64).with_seed(5)},
+      {"block-gpu-256",
+       engine::SchemeSpec::block_gpu_threads(256, 32).with_seed(6)},
+      {"hybrid-8x32", engine::SchemeSpec::hybrid(8, 32, true).with_seed(7)},
+      {"distributed-2",
+       engine::SchemeSpec::distributed(2, 4, 32).with_seed(8)},
   };
 }
 
@@ -52,7 +55,7 @@ ReversiGame::State midgame_position(std::uint64_t seed, int plies) {
 }
 
 TEST_P(SearcherConformance, LegalMovesFromManyPositions) {
-  auto searcher = make_player(GetParam().config);
+  auto searcher = engine::make_searcher<reversi::ReversiGame>(GetParam().spec);
   std::array<ReversiGame::Move, ReversiGame::kMaxMoves> moves{};
   for (const int plies : {0, 10, 25, 45}) {
     const auto state = midgame_position(99 + plies, plies);
@@ -67,7 +70,7 @@ TEST_P(SearcherConformance, LegalMovesFromManyPositions) {
 }
 
 TEST_P(SearcherConformance, RejectsTerminalPositions) {
-  auto searcher = make_player(GetParam().config);
+  auto searcher = engine::make_searcher<reversi::ReversiGame>(GetParam().spec);
   // Play a full random game to reach a genuine terminal position.
   auto state = midgame_position(5, ReversiGame::kMaxGameLength);
   ASSERT_TRUE(ReversiGame::is_terminal(state));
@@ -77,7 +80,7 @@ TEST_P(SearcherConformance, RejectsTerminalPositions) {
 }
 
 TEST_P(SearcherConformance, StatsArePopulated) {
-  auto searcher = make_player(GetParam().config);
+  auto searcher = engine::make_searcher<reversi::ReversiGame>(GetParam().spec);
   (void)searcher->choose_move(ReversiGame::initial_state(), 0.01);
   const mcts::SearchStats& stats = searcher->last_stats();
   EXPECT_GT(stats.simulations, 0u) << GetParam().label;
@@ -88,8 +91,8 @@ TEST_P(SearcherConformance, StatsArePopulated) {
 }
 
 TEST_P(SearcherConformance, ReseedGivesIdenticalDecisions) {
-  auto a = make_player(GetParam().config);
-  auto b = make_player(GetParam().config);
+  auto a = engine::make_searcher<reversi::ReversiGame>(GetParam().spec);
+  auto b = engine::make_searcher<reversi::ReversiGame>(GetParam().spec);
   a->reseed(123);
   b->reseed(123);
   const auto state = midgame_position(7, 12);
@@ -101,7 +104,7 @@ TEST_P(SearcherConformance, ReseedGivesIdenticalDecisions) {
 }
 
 TEST_P(SearcherConformance, BudgetIsRespectedWithinOneRound) {
-  auto searcher = make_player(GetParam().config);
+  auto searcher = engine::make_searcher<reversi::ReversiGame>(GetParam().spec);
   (void)searcher->choose_move(ReversiGame::initial_state(), 0.02);
   const double elapsed = searcher->last_stats().virtual_seconds;
   EXPECT_GE(elapsed, 0.02) << GetParam().label;

@@ -4,20 +4,21 @@
 #include <gtest/gtest.h>
 
 #include "harness/arena.hpp"
-#include "harness/player.hpp"
+#include "engine/factory.hpp"
 
 namespace gpu_mcts::harness {
 namespace {
 
-MatchResult quick_match(const PlayerConfig& subject_cfg,
-                        const PlayerConfig& opponent_cfg, std::size_t games,
+MatchResult quick_match(const engine::SchemeSpec& subject_spec,
+                        const engine::SchemeSpec& opponent_spec,
+                        std::size_t games,
                         double subject_budget, double opponent_budget,
                         std::uint64_t seed) {
-  auto subject = make_player(subject_cfg);
-  auto opponent = make_player(opponent_cfg);
+  auto subject = engine::make_searcher<reversi::ReversiGame>(subject_spec);
+  auto opponent = engine::make_searcher<reversi::ReversiGame>(opponent_spec);
   ArenaOptions options;
-  options.subject_budget_seconds = subject_budget;
-  options.opponent_budget_seconds = opponent_budget;
+  options.subject_budget = mcts::SearchBudget::from_seconds(subject_budget);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(opponent_budget);
   options.seed = seed;
   return play_match(*subject, *opponent, games, options);
 }
@@ -25,7 +26,8 @@ MatchResult quick_match(const PlayerConfig& subject_cfg,
 TEST(Strength, BiggerBudgetBeatsSmallerBudget) {
   // 10x the thinking time must dominate across a small match.
   const MatchResult match =
-      quick_match(sequential_player(1), sequential_player(2),
+      quick_match(engine::SchemeSpec::sequential().with_seed(1),
+                  engine::SchemeSpec::sequential().with_seed(2),
                   6, 0.02, 0.002, 100);
   EXPECT_GE(match.win_ratio, 0.75);
 }
@@ -34,7 +36,8 @@ TEST(Strength, RootParallelBeatsSingleThread) {
   // The root-parallelism premise: n trees > 1 tree at the same per-thread
   // rate (paper §III / prior work [3][4]).
   const MatchResult match =
-      quick_match(root_parallel_player(16, 1), sequential_player(2),
+      quick_match(engine::SchemeSpec::root_parallel(16).with_seed(1),
+                  engine::SchemeSpec::sequential().with_seed(2),
                   6, 0.02, 0.02, 200);
   EXPECT_GE(match.win_ratio, 0.6);
 }
@@ -45,7 +48,8 @@ TEST(Strength, BlockGpuBeatsSequentialCpu) {
   // kernel rounds (~100 here) before their root vote concentrates
   // (DESIGN.md §5.7), so this is the slowest test in the suite.
   const MatchResult match =
-      quick_match(block_gpu_player(1024, 128, 1), sequential_player(2),
+      quick_match(engine::SchemeSpec::block_gpu_threads(1024, 128).with_seed(1),
+                  engine::SchemeSpec::sequential().with_seed(2),
                   2, 0.4, 0.4, 300);
   EXPECT_GE(match.win_ratio, 0.5);
   EXPECT_GT(match.mean_final_point_difference, -5.0);
@@ -53,7 +57,8 @@ TEST(Strength, BlockGpuBeatsSequentialCpu) {
 
 TEST(Strength, GamesProduceFullTraces) {
   const MatchResult match =
-      quick_match(block_gpu_player(1024, 32, 1), sequential_player(2),
+      quick_match(engine::SchemeSpec::block_gpu_threads(1024, 32).with_seed(1),
+                  engine::SchemeSpec::sequential().with_seed(2),
                   2, 0.005, 0.005, 400);
   // Early steps hover near zero difference; the trace must be populated.
   EXPECT_EQ(match.mean_point_difference_by_step.size(),

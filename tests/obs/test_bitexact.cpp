@@ -1,14 +1,13 @@
 // Bit-exactness guarantees of the observability PR: every scheme still
 // produces the pre-refactor golden search results, tracing-disabled runs
-// are identical to never constructing a tracer, and the engine factory
-// reproduces the legacy harness factory exactly.
+// are identical to never constructing a tracer, and spec strings reproduce
+// the builder-constructed searchers exactly.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
 #include "engine/factory.hpp"
-#include "harness/player.hpp"
 #include "obs/trace.hpp"
 #include "reversi/reversi_game.hpp"
 
@@ -21,7 +20,7 @@ constexpr double kBudget = 0.01;
 
 struct Golden {
   const char* label;
-  harness::PlayerConfig config;
+  engine::SchemeSpec spec;
   int move;
   std::uint64_t simulations;
   std::uint64_t rounds;
@@ -32,8 +31,8 @@ struct Golden {
 };
 
 /// Golden numbers recorded from the pre-observability seed (same presets,
-/// seeds, and budget). Any drift here means the refactor changed search
-/// behaviour, not just how it is reported.
+/// seeds, and budget — the spec builders carry the defaults the retired
+/// harness presets applied, so the rows translate one-to-one).
 ///
 /// The hybrid rows were re-recorded for two deliberate bug fixes:
 ///  * best_ucb_child now prefers unvisited children outright instead of
@@ -46,29 +45,29 @@ struct Golden {
 ///    schemes.
 /// Every non-hybrid row and every chosen move is unchanged.
 std::vector<Golden> golden_table() {
-  using namespace harness;
+  using engine::SchemeSpec;
   return {
-      {"seq", sequential_player(11),
+      {"seq", SchemeSpec::sequential().with_seed(11),
        19, 53, 53, 89, 4, 0.010135017064846416, 0.0},
-      {"root4", root_parallel_player(4, 12),
+      {"root4", SchemeSpec::root_parallel(4).with_seed(12),
        44, 211, 211, 331, 4, 0.010141365187713311, 0.0},
-      {"leaf128x64", leaf_gpu_player(128, 64, 13),
+      {"leaf128x64", SchemeSpec::leaf_gpu_threads(128, 64).with_seed(13),
        19, 384, 3, 5, 1, 0.012604815358361774, 0.037669584824212267},
-      {"block8x32", block_gpu_player(256, 32, 14),
+      {"block8x32", SchemeSpec::block_gpu_threads(256, 32).with_seed(14),
        44, 768, 3, 40, 1, 0.012935091808873721, 0.032835295591182367},
-      {"block112x128", block_gpu_player(14336, 128, 15),
+      {"block112x128", SchemeSpec::block_gpu_threads(14336, 128).with_seed(15),
        26, 14336, 1, 560, 1, 0.017492901365187712, 0.032910428428500005},
-      {"hybrid8x32", hybrid_player(8, 32, true, 16),
+      {"hybrid8x32", SchemeSpec::hybrid(8, 32, true).with_seed(16),
        37, 834, 3, 140, 3, 0.013030275767918089, 0.034199347348826681},
-      {"hybrid112x128", hybrid_player(112, 128, true, 17),
+      {"hybrid112x128", SchemeSpec::hybrid(112, 128, true).with_seed(17),
        26, 14421, 1, 560, 1, 0.017644888395904435, 0.032405049151027709},
-      {"gpuonly8x32", hybrid_player(8, 32, false, 18),
+      {"gpuonly8x32", SchemeSpec::hybrid(8, 32, false).with_seed(18),
        37, 768, 3, 40, 1, 0.012869004778156997, 0.032659329934508485},
-      {"dist2", distributed_player(2, 8, 32, 19),
+      {"dist2", SchemeSpec::distributed(2, 8, 32).with_seed(19),
        19, 1536, 6, 80, 1, 0.012921247781569965, 0.0},
-      {"flat", flat_mc_player(20),
+      {"flat", SchemeSpec::flat_mc().with_seed(20),
        19, 53, 53, 5, 1, 0.010095955631399317, 0.0},
-      {"tree4", tree_parallel_player(4, 21),
+      {"tree4", SchemeSpec::tree_parallel(4).with_seed(21),
        26, 188, 47, 305, 5, 0.010058430034129692, 0.0},
   };
 }
@@ -89,7 +88,7 @@ TEST(BitExact, EverySchemeReproducesTheSeedGoldenNumbers) {
   const auto state = ReversiGame::initial_state();
   for (const Golden& g : golden_table()) {
     SCOPED_TRACE(g.label);
-    auto player = harness::make_player(g.config);
+    auto player = engine::make_searcher<ReversiGame>(g.spec);
     const reversi::Move move = player->choose_move(state, kBudget);
     expect_matches(g, move, player->last_stats());
   }
@@ -100,7 +99,7 @@ TEST(BitExact, TracingAttachedDoesNotPerturbTheSearch) {
   for (const Golden& g : golden_table()) {
     SCOPED_TRACE(g.label);
     obs::Tracer tracer;
-    auto player = harness::make_player(g.config);
+    auto player = engine::make_searcher<ReversiGame>(g.spec);
     player->set_tracer(&tracer);
     const reversi::Move move = player->choose_move(state, kBudget);
     // Same move, same stats — the tracer only *reads* the virtual clock.
@@ -108,22 +107,26 @@ TEST(BitExact, TracingAttachedDoesNotPerturbTheSearch) {
   }
 }
 
-TEST(BitExact, EngineFactoryMatchesLegacyHarnessFactory) {
+TEST(BitExact, SpecStringRoundTripPreservesTheSearch) {
+  // Parsing a spec's own to_string must construct the identical searcher:
+  // same move, same bitwise stats for every golden row.
   const auto state = ReversiGame::initial_state();
   for (const Golden& g : golden_table()) {
     SCOPED_TRACE(g.label);
-    auto via_engine =
-        engine::make_searcher<ReversiGame>(harness::to_spec(g.config));
-    const reversi::Move move = via_engine->choose_move(state, kBudget);
-    expect_matches(g, move, via_engine->last_stats());
+    auto reparsed = engine::make_searcher<ReversiGame>(
+        engine::SchemeSpec::parse(g.spec.to_string())
+            .with_seed(g.spec.search.seed));
+    const reversi::Move move = reparsed->choose_move(state, kBudget);
+    expect_matches(g, move, reparsed->last_stats());
   }
 }
 
 TEST(BitExact, SpecStringsReproducePresetGeometry) {
-  // The spec-string path applies the same per-scheme defaults the presets
-  // do, so "block:8x32" with the preset's seed is the same search.
+  // The spec-string path applies the same per-scheme defaults the builders
+  // do, so "block:8x32" with the builder's seed is the same search.
   const auto state = ReversiGame::initial_state();
-  const Golden g{"block8x32", harness::block_gpu_player(256, 32, 14),
+  const Golden g{"block8x32",
+                 engine::SchemeSpec::block_gpu_threads(256, 32).with_seed(14),
                  44, 768, 3, 40, 1, 0.012935091808873721,
                  0.032835295591182367};
   auto searcher = engine::make_searcher<ReversiGame>(

@@ -138,6 +138,91 @@ TEST(SchemeSpecParse, RejectsMalformedSpecs) {
   }
 }
 
+/// Captures parse()'s exception text for exact-stability assertions.
+std::string parse_error(const char* text) {
+  try {
+    (void)SchemeSpec::parse(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument for \"" << text << '"';
+  return "";
+}
+
+// The full grammar appended to every parse error — generated row by row
+// from kForms in engine/spec.cpp, pinned here verbatim so an accidental
+// table edit (or a wording drift scripts already grep for) fails loudly.
+constexpr const char* kGrammar =
+    "expected one of: seq | flat | root:<threads> | tree:<workers> | "
+    "leaf:<blocks>x<tpb>[+pipeline[:<depth>]] | "
+    "block:<blocks>x<tpb>[+pipeline[:<depth>]] | "
+    "hybrid:<blocks>x<tpb>[+pipeline[:<depth>]] | "
+    "gpu-only:<blocks>x<tpb>[+pipeline[:<depth>]] | "
+    "dist:<ranks>x<blocks>x<tpb>";
+
+TEST(SchemeSpecParseErrors, ExactTextForUnknownScheme) {
+  EXPECT_EQ(parse_error("warp:4"),
+            "bad scheme spec \"warp:4\": unknown scheme \"warp\"; " +
+                std::string(kGrammar));
+}
+
+TEST(SchemeSpecParseErrors, ExactTextForPipelineDepths) {
+  // Depth 0, above kMaxStreams (8), and non-numeric all name the bad depth
+  // and the accepted range.
+  for (const auto& [text, depth] :
+       std::initializer_list<std::pair<const char*, const char*>>{
+           {"block:8x32+pipeline:0", "0"},
+           {"block:8x32+pipeline:9", "9"},
+           {"block:8x32+pipeline:two", "two"},
+           {"block:8x32+pipeline:", ""}}) {
+    EXPECT_EQ(parse_error(text),
+              "bad scheme spec \"" + std::string(text) +
+                  "\": pipeline depth \"" + depth +
+                  "\" must be an integer in 1..8; " + kGrammar)
+        << text;
+  }
+}
+
+TEST(SchemeSpecParseErrors, ExactTextForUnknownSuffixes) {
+  EXPECT_EQ(parse_error("block:8x32+turbo"),
+            "bad scheme spec \"block:8x32+turbo\": unknown suffix "
+            "\"+turbo\"; " +
+                std::string(kGrammar));
+  // "+pipelined" is not "+pipeline:<depth>" — the ':' check catches it.
+  EXPECT_EQ(parse_error("block:8x32+pipelined"),
+            "bad scheme spec \"block:8x32+pipelined\": unknown suffix "
+            "\"+pipelined\"; " +
+                std::string(kGrammar));
+}
+
+TEST(SchemeSpecParseErrors, ExactTextForMisplacedPipeline) {
+  EXPECT_EQ(parse_error("dist:2x8x32+pipeline"),
+            "bad scheme spec \"dist:2x8x32+pipeline\": \"+pipeline\" applies "
+            "only to the GPU round schemes (leaf, block, hybrid, gpu-only); " +
+                std::string(kGrammar));
+}
+
+TEST(SchemeSpecParseErrors, ExactTextPerFormRow) {
+  // One representative malformed spec per kForms row; every message carries
+  // the offending spec, the row-specific diagnosis, and the grammar.
+  const std::pair<const char*, const char*> cases[] = {
+      {"seq:1", "scheme takes no parameters"},
+      {"flat:2x2", "scheme takes no parameters"},
+      {"root:", "missing parameters after ':'"},
+      {"tree:0", "\"0\" is not a positive integer"},
+      {"leaf:4", "expected 2 'x'-separated dimensions, got 1"},
+      {"block:ax128", "\"a\" is not a positive integer"},
+      {"hybrid:8x32x2", "expected 2 'x'-separated dimensions, got 3"},
+      {"gpu-only:8x", "\"\" is not a positive integer"},
+      {"dist:2x56", "expected 3 'x'-separated dimensions, got 2"},
+  };
+  for (const auto& [text, why] : cases) {
+    EXPECT_EQ(parse_error(text), "bad scheme spec \"" + std::string(text) +
+                                     "\": " + why + "; " + kGrammar)
+        << text;
+  }
+}
+
 TEST(SchemeSpecParse, ErrorsNameTheOffendingSpecAndGrammar) {
   try {
     (void)SchemeSpec::parse("warp:4");
