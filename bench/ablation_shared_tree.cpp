@@ -1,0 +1,165 @@
+// Ablation: real shared-tree parallelism (shared:W) measured two ways.
+//
+//  1. Scaling: wall-clock simulations/second at W = 1/2/4/8 host threads on
+//     one shared ConcurrentTree. Unlike every modeled scheme, this axis
+//     measures REAL wall time — speedup depends on the machine's core count,
+//     so the JSON records hardware_threads alongside each row and the
+//     acceptance criterion (shared:4 >= 2x shared:1) is meaningful only on a
+//     multi-core runner.
+//  2. Strength: shared:4 vs the deterministic modeled tree:4 reference and
+//     vs block:8x32 at equal virtual budget — the check that atomic
+//     statistics + virtual loss do not cost playing strength.
+#include <cstdint>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/factory.hpp"
+#include "harness/arena.hpp"
+#include "parallel/shared_tree.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gpu_mcts;
+using reversi::ReversiGame;
+
+struct ScalingPoint {
+  int workers = 1;
+  double wall_seconds = 0.0;
+  std::uint64_t simulations = 0;
+  double sims_per_second = 0.0;
+};
+
+/// One wall-limited search on the initial position: an effectively unbounded
+/// virtual budget with a real wall deadline, so the measurement is "how many
+/// playouts did W threads complete in T wall seconds".
+ScalingPoint run_scaling(int workers, double wall_ms, std::uint64_t seed) {
+  parallel::SharedTreeSearcher<ReversiGame> searcher(
+      {.workers = workers},
+      {.seed = util::derive_seed(seed, static_cast<std::uint64_t>(workers))});
+  mcts::SearchBudget budget;
+  budget.virtual_seconds = 1.0e9;  // never binds; the wall deadline does
+  budget.wall_ms = wall_ms;
+  util::WallTimer timer;
+  (void)searcher.choose_move(ReversiGame::initial_state(), budget);
+  ScalingPoint point;
+  point.workers = workers;
+  point.wall_seconds = timer.elapsed_seconds();
+  point.simulations = searcher.last_stats().simulations;
+  point.sims_per_second =
+      point.wall_seconds > 0.0
+          ? static_cast<double>(point.simulations) / point.wall_seconds
+          : 0.0;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto flags = bench::CommonFlags::parse(args);
+  flags.games = args.get_uint("games", flags.quick ? 2 : 8);
+  flags.budget = args.get_double("budget", flags.quick ? 0.005 : 0.05);
+  const double wall_ms =
+      args.get_double("wall-ms", flags.quick ? 100.0 : 1000.0);
+  const int max_threads =
+      static_cast<int>(args.get_uint("threads", flags.quick ? 4 : 8));
+  bench::print_header("Ablation: shared-tree scaling and strength", flags);
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::cout << "hardware threads: " << hardware
+            << "  (scaling rows are wall-clock; expect ~flat speedup when "
+               "workers > cores)\n\n";
+
+  std::vector<bench::JsonRow> json_rows;
+
+  // --- Scaling: sims/s over the shared tree at W threads -------------------
+  std::vector<int> worker_axis;
+  for (int w = 1; w <= max_threads; w *= 2) worker_axis.push_back(w);
+
+  util::Table scaling({"workers", "wall_seconds", "simulations",
+                       "sims_per_second", "speedup_vs_one"});
+  double base_rate = 0.0;
+  for (const int w : worker_axis) {
+    const ScalingPoint point = run_scaling(w, wall_ms, flags.seed);
+    if (w == 1) base_rate = point.sims_per_second;
+    const double speedup =
+        base_rate > 0.0 ? point.sims_per_second / base_rate : 0.0;
+    scaling.begin_row()
+        .add(static_cast<double>(point.workers), 0)
+        .add(point.wall_seconds, 3)
+        .add(static_cast<double>(point.simulations), 0)
+        .add(point.sims_per_second, 0)
+        .add(speedup, 2);
+    json_rows.push_back({{"kind", bench::jstr("scaling")},
+                         {"workers", bench::jint(static_cast<std::uint64_t>(
+                                         point.workers))},
+                         {"wall_seconds", bench::jnum(point.wall_seconds)},
+                         {"simulations", bench::jint(point.simulations)},
+                         {"sims_per_second",
+                          bench::jnum(point.sims_per_second)},
+                         {"speedup_vs_one", bench::jnum(speedup)}});
+  }
+  bench::emit(scaling, flags, "ablation_shared_tree_scaling");
+
+  // --- Strength: shared:4 vs modeled references at equal budget ------------
+  const std::vector<std::string> opponents = {"tree:4", "block:8x32"};
+  util::Table strength({"opponent", "win_ratio", "subject_sims_per_second",
+                        "mean_final_diff"});
+  for (const std::string& opp : opponents) {
+    auto subject = engine::make_searcher<ReversiGame>(
+        engine::SchemeSpec::shared_tree(4).with_seed(
+            util::derive_seed(flags.seed, 0x5dA)));
+    auto opponent = engine::make_searcher<ReversiGame>(
+        engine::SchemeSpec::parse(opp).with_seed(
+            util::derive_seed(flags.seed, 0x0bb)));
+    harness::ArenaOptions options;
+    options.subject_budget = mcts::SearchBudget::from_seconds(flags.budget);
+    options.opponent_budget =
+        mcts::SearchBudget::from_seconds(flags.opponent_budget);
+    options.seed = flags.seed;
+    const harness::MatchResult match =
+        harness::play_match(*subject, *opponent, flags.games, options);
+    strength.begin_row()
+        .add(opp)
+        .add(match.win_ratio, 3)
+        .add(match.subject_sims_per_second, 0)
+        .add(match.mean_final_point_difference, 1);
+    json_rows.push_back(
+        {{"kind", bench::jstr("strength")},
+         {"subject", bench::jstr("shared:4")},
+         {"opponent", bench::jstr(opp)},
+         {"games", bench::jint(flags.games)},
+         {"win_ratio", bench::jnum(match.win_ratio)},
+         {"subject_sims_per_second",
+          bench::jnum(match.subject_sims_per_second)},
+         {"mean_final_point_difference",
+          bench::jnum(match.mean_final_point_difference)}});
+  }
+  bench::emit(strength, flags, "ablation_shared_tree_strength");
+
+  bench::write_bench_json(
+      "shared_tree",
+      {{"bench", bench::jstr("ablation_shared_tree")},
+       {"quick", bench::jbool(flags.quick)},
+       {"hardware_threads", bench::jint(hardware)},
+       {"wall_ms", bench::jnum(wall_ms)},
+       {"strength_budget_virtual_seconds", bench::jnum(flags.budget)},
+       {"games_per_match", bench::jint(flags.games)},
+       {"seed", bench::jint(flags.seed)}},
+      "rows", json_rows);
+
+  std::cout << "Reading: scaling is wall-clock and machine-dependent — on a\n"
+               "single-core runner all rows collapse to ~1x; on >=4 cores\n"
+               "shared:4 should clear 2x shared:1. Strength at equal virtual\n"
+               "budget lands a little below 0.5 vs tree:4: virtual-loss /\n"
+               "WU-UCT diversification trades per-simulation quality for\n"
+               "concurrency — the documented cost of the scheme, repaid only\n"
+               "in wall-clock terms on real cores.\n";
+  return 0;
+}

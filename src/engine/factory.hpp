@@ -31,6 +31,7 @@
 #include "parallel/hybrid.hpp"
 #include "parallel/leaf_parallel.hpp"
 #include "parallel/root_parallel.hpp"
+#include "parallel/shared_tree.hpp"
 #include "parallel/tree_parallel.hpp"
 #include "simt/vgpu.hpp"
 #include "util/rng.hpp"
@@ -117,7 +118,17 @@ class SearcherRegistry {
     add("tree-parallel", [](const SchemeSpec& spec) -> SearcherPtr {
       return std::make_unique<parallel::TreeParallelSearcher<G>>(
           typename parallel::TreeParallelSearcher<G>::Options{
-              .workers = spec.cpu_threads, .virtual_loss = 1},
+              .workers = spec.cpu_threads,
+              .virtual_loss =
+                  static_cast<std::uint32_t>(spec.virtual_loss)},
+          spec.search, spec.host, spec.cost);
+    });
+    add("shared-tree", [](const SchemeSpec& spec) -> SearcherPtr {
+      return std::make_unique<parallel::SharedTreeSearcher<G>>(
+          typename parallel::SharedTreeSearcher<G>::Options{
+              .workers = spec.cpu_threads,
+              .virtual_loss = static_cast<std::uint32_t>(spec.virtual_loss),
+              .wu_uct = spec.wu_uct},
           spec.search, spec.host, spec.cost);
     });
     add("leaf-gpu", [](const SchemeSpec& spec) -> SearcherPtr {

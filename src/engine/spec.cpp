@@ -26,7 +26,8 @@ constexpr SchemeForm kForms[] = {
     {"seq", "", false},
     {"flat", "", false},
     {"root", ":<threads>", false},
-    {"tree", ":<workers>", false},
+    {"tree", ":<workers>[:vl=<loss>]", false},
+    {"shared", ":<workers>[:vl=<loss>][:wu]", false},
     {"leaf", ":<blocks>x<tpb>", true},
     {"block", ":<blocks>x<tpb>", true},
     {"hybrid", ":<blocks>x<tpb>", true},
@@ -90,6 +91,55 @@ std::vector<int> parse_dims(std::string_view text, std::string_view dims,
     parse_fail(text, "expected " + std::to_string(expect) +
                          " 'x'-separated dimensions, got " +
                          std::to_string(out.size()));
+  }
+  return out;
+}
+
+/// Parsed ":<workers>[:vl=<loss>][:wu]" parameters of the CPU tree schemes.
+struct TreeParams {
+  int workers = 1;
+  int virtual_loss = 1;
+  bool wu_uct = false;
+};
+
+/// Splits the tree/shared parameter list on ':'. The first token is the
+/// worker count; the rest are options ("vl=<loss>", and "wu" where
+/// `wu_ok`). Error text names the offending token, matching the style of
+/// the other parse errors.
+TreeParams parse_tree_params(std::string_view text, std::string_view rest,
+                             bool wu_ok) {
+  TreeParams out;
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t next = rest.find(':', pos);
+    tokens.push_back(rest.substr(
+        pos, next == std::string_view::npos ? next : next - pos));
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+  out.workers = parse_dims(text, tokens[0], 1)[0];
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    if (token.substr(0, 3) == "vl=") {
+      const std::string_view num = token.substr(3);
+      int value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(num.data(), num.data() + num.size(), value);
+      if (ec != std::errc{} || ptr != num.data() + num.size() || value < 0) {
+        parse_fail(text, "virtual loss \"" + std::string(num) +
+                             "\" must be a non-negative integer");
+      }
+      out.virtual_loss = value;
+    } else if (token == "wu") {
+      if (!wu_ok) {
+        parse_fail(text, "\"wu\" applies only to the shared scheme");
+      }
+      out.wu_uct = true;
+    } else {
+      parse_fail(text, "unknown option \"" + std::string(token) +
+                           "\" (expected vl=<loss> or wu)");
+    }
   }
   return out;
 }
@@ -166,7 +216,14 @@ SchemeSpec SchemeSpec::parse(std::string_view text) {
   if (head == "tree" || head == "tree-parallel") {
     require_arg();
     reject_pipeline();
-    return tree_parallel(parse_dims(text, rest, 1)[0]);
+    const TreeParams p = parse_tree_params(text, rest, /*wu_ok=*/false);
+    return tree_parallel(p.workers, p.virtual_loss);
+  }
+  if (head == "shared" || head == "shared-tree") {
+    require_arg();
+    reject_pipeline();
+    const TreeParams p = parse_tree_params(text, rest, /*wu_ok=*/true);
+    return shared_tree(p.workers, p.virtual_loss, p.wu_uct);
   }
   if (head == "leaf" || head == "leaf-gpu") {
     require_arg();
@@ -225,11 +282,25 @@ SchemeSpec SchemeSpec::root_parallel(int threads) {
   return s;
 }
 
-SchemeSpec SchemeSpec::tree_parallel(int workers) {
+SchemeSpec SchemeSpec::tree_parallel(int workers, int virtual_loss) {
   util::expects(workers >= 1, "at least one worker");
+  util::expects(virtual_loss >= 0, "non-negative virtual loss");
   SchemeSpec s;
   s.scheme = "tree-parallel";
   s.cpu_threads = workers;
+  s.virtual_loss = virtual_loss;
+  return s;
+}
+
+SchemeSpec SchemeSpec::shared_tree(int workers, int virtual_loss,
+                                   bool wu_uct) {
+  util::expects(workers >= 1, "at least one worker");
+  util::expects(virtual_loss >= 0, "non-negative virtual loss");
+  SchemeSpec s;
+  s.scheme = "shared-tree";
+  s.cpu_threads = workers;
+  s.virtual_loss = virtual_loss;
+  s.wu_uct = wu_uct;
   return s;
 }
 
@@ -325,8 +396,17 @@ std::string SchemeSpec::to_string() const {
                            std::to_string(threads_per_block) + pipe;
   if (scheme == "sequential") return "seq";
   if (scheme == "flat-mc") return "flat";
+  // vl=1 is the option's default, so it round-trips unspelled.
+  const std::string vl =
+      virtual_loss == 1 ? "" : ":vl=" + std::to_string(virtual_loss);
   if (scheme == "root-parallel") return "root:" + std::to_string(cpu_threads);
-  if (scheme == "tree-parallel") return "tree:" + std::to_string(cpu_threads);
+  if (scheme == "tree-parallel") {
+    return "tree:" + std::to_string(cpu_threads) + vl;
+  }
+  if (scheme == "shared-tree") {
+    return "shared:" + std::to_string(cpu_threads) + vl +
+           (wu_uct ? ":wu" : "");
+  }
   if (scheme == "leaf-gpu") return "leaf:" + grid;
   if (scheme == "block-gpu") return "block:" + grid;
   if (scheme == "hybrid") return (cpu_overlap ? "hybrid:" : "gpu-only:") + grid;

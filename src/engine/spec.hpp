@@ -18,7 +18,10 @@
 //   "seq" | "sequential"            sequential UCT, 1 CPU core
 //   "flat" | "flat-mc"              flat Monte Carlo (no tree)
 //   "root:<threads>"                root parallelism on CPU threads
-//   "tree:<workers>"                tree parallelism + virtual loss
+//   "tree:<workers>[:vl=<loss>]"    tree parallelism + virtual loss (modeled)
+//   "shared:<workers>[:vl=<loss>][:wu]"
+//                                   shared-tree on real host threads
+//                                   (atomic tree; ":wu" selects WU-UCT)
 //   "leaf:<blocks>x<tpb>"           leaf parallelism on the virtual GPU
 //   "block:<blocks>x<tpb>"          block parallelism (the paper's scheme)
 //   "hybrid:<blocks>x<tpb>"         block parallelism + CPU overlap
@@ -49,12 +52,18 @@ namespace gpu_mcts::engine {
 
 struct SchemeSpec {
   /// Canonical scheme name; the factory's registry key. Built-ins:
-  /// "sequential", "flat-mc", "root-parallel", "tree-parallel", "leaf-gpu",
-  /// "block-gpu", "hybrid", "distributed".
+  /// "sequential", "flat-mc", "root-parallel", "tree-parallel",
+  /// "shared-tree", "leaf-gpu", "block-gpu", "hybrid", "distributed".
   std::string scheme = "sequential";
 
-  /// CPU thread/worker count (root-parallel and tree-parallel).
+  /// CPU thread/worker count (root-parallel, tree-parallel, shared-tree).
   int cpu_threads = 1;
+  /// Visits charged per in-flight selection (tree-parallel and shared-tree;
+  /// the ":vl=<loss>" spec option). 0 disables virtual loss.
+  int virtual_loss = 1;
+  /// Shared-tree only: score with the WU-UCT bound instead of
+  /// virtual-loss-adjusted UCB1 (the ":wu" spec option).
+  bool wu_uct = false;
   /// GPU grid geometry (GPU schemes).
   int blocks = 112;
   int threads_per_block = 128;
@@ -105,7 +114,11 @@ struct SchemeSpec {
   [[nodiscard]] static SchemeSpec sequential();
   [[nodiscard]] static SchemeSpec flat_mc();
   [[nodiscard]] static SchemeSpec root_parallel(int threads);
-  [[nodiscard]] static SchemeSpec tree_parallel(int workers);
+  [[nodiscard]] static SchemeSpec tree_parallel(int workers,
+                                               int virtual_loss = 1);
+  [[nodiscard]] static SchemeSpec shared_tree(int workers,
+                                              int virtual_loss = 1,
+                                              bool wu_uct = false);
   [[nodiscard]] static SchemeSpec leaf_gpu(int blocks, int threads_per_block);
   [[nodiscard]] static SchemeSpec block_gpu(int blocks, int threads_per_block);
   [[nodiscard]] static SchemeSpec hybrid(int blocks, int threads_per_block,

@@ -1,0 +1,436 @@
+// ConcurrentTree: the MCTS game tree rebuilt for *real* shared-memory
+// parallelism — N host threads run select → expand → playout → backprop
+// concurrently against one tree, with no global lock anywhere on the hot
+// path. This is the modern shared-tree baseline the 2011 paper lacks (it
+// dismisses tree parallelism because fine-grained synchronization was
+// impossible on that era's GPUs); see DESIGN.md §15.
+//
+// Concurrency design, piece by piece:
+//  * Bump-arena allocation. Nodes live in fixed-size chunks allocated on
+//    demand; a relaxed-atomic high-water mark hands out contiguous index
+//    ranges via compare-exchange (never overshooting the cap, so a capped
+//    tree behaves exactly like the sequential arena: the node stays
+//    unexpanded and is re-attempted when asked again). Node indices are
+//    stable forever — there is no std::vector reallocation to invalidate
+//    concurrent readers.
+//  * Per-node expansion latch. The first thread to arrive at an unexpanded
+//    node compare-exchanges kUnexpanded → kExpanding and becomes the sole
+//    expander; it generates moves, claims an index range, initializes the
+//    children with plain stores (it owns them exclusively), and publishes
+//    with a release store of kExpanded. Latecomers that see kExpanding do
+//    NOT spin: they treat the node as a playout leaf and keep working — the
+//    lock-free pipeline discipline of Mirsoleimani et al. (PAPERS.md).
+//  * Atomic statistics. visits / wins / in-flight counts are relaxed
+//    atomics; wins are stored as fixed-point half-points (win = 2,
+//    draw = 1, loss = 0) in a uint64 so draws accumulate exactly — no
+//    floating-point read-modify-write, no lost updates.
+//  * Virtual loss + WU-UCT. Selection increments an `inflight` counter on
+//    every node along its path (decremented by backpropagation). The same
+//    counter serves two selection policies: classic virtual loss charges
+//    each in-flight pass as `virtual_loss` lost visits (pessimistic mean),
+//    while WU-UCT ("Watch the Unobserved", PAPERS.md) leaves the observed
+//    mean untouched and only feeds the unobserved count O(s) into the
+//    exploration term. shared_selection_score below implements both.
+//
+// Unlike mcts::Tree, results are interleaving-dependent: which thread wins
+// an expansion race decides the RNG stream that shuffles the children.
+// With one worker the tree is exactly as deterministic as the sequential
+// arena; that degenerate case is the seeded reference the tests pin.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "game/game_traits.hpp"
+#include "mcts/config.hpp"
+#include "mcts/tree.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts::mcts {
+
+/// Inputs of one child's selection score, snapshotted from the atomics.
+struct SharedScoreInputs {
+  /// Observed win credit for the child's mover, in half-points (draw = 1).
+  std::uint64_t wins_half = 0;
+  /// Completed (backpropagated) visits of the child.
+  std::uint32_t visits = 0;
+  /// In-flight selections through the child — WU-UCT's O(s).
+  std::uint32_t inflight = 0;
+  /// Completed visits of the parent.
+  std::uint64_t parent_visits = 0;
+  /// In-flight selections through the parent.
+  std::uint32_t parent_inflight = 0;
+};
+
+/// The shared-tree selection bound. With `wu_uct` off this is UCB1 over
+/// virtual-loss-adjusted counts: every in-flight selection counts as
+/// `virtual_loss` extra visits with zero wins, so the mean of a busy child
+/// sags and concurrent workers spread out. With `wu_uct` on it is the
+/// WU-UCT bound: the mean uses *observed* outcomes only (in-flight work is
+/// not presumed lost) and the unobserved counts O(s) inflate both
+/// occurrence terms, shrinking the exploration bonus of a child that
+/// already has work racing toward it. Exposed as a free function so tests
+/// can pin its monotonicity directly.
+[[nodiscard]] inline double shared_selection_score(
+    const SharedScoreInputs& in, double ucb_c, std::uint32_t virtual_loss,
+    bool wu_uct) {
+  const double observed = static_cast<double>(in.visits);
+  const double wins = static_cast<double>(in.wins_half) / 2.0;
+  double n_eff;     // the child occurrence count under the policy
+  double parent_eff;
+  double mean;
+  if (wu_uct) {
+    n_eff = observed + static_cast<double>(in.inflight);
+    parent_eff = static_cast<double>(in.parent_visits) +
+                 static_cast<double>(in.parent_inflight);
+    // Unobserved arms keep a neutral prior; observed means stay exact.
+    mean = in.visits > 0 ? wins / observed : 0.5;
+  } else {
+    const double loss = static_cast<double>(virtual_loss);
+    n_eff = observed + loss * static_cast<double>(in.inflight);
+    parent_eff = static_cast<double>(in.parent_visits) +
+                 loss * static_cast<double>(in.parent_inflight);
+    // In-flight passes count as losses: wins stay, the denominator grows.
+    mean = n_eff > 0.0 ? wins / n_eff : 0.5;
+  }
+  const double log_parent = std::log(std::max(1.0, parent_eff));
+  const double explore = std::sqrt(log_parent / std::max(1.0, n_eff));
+  return mean + ucb_c * explore;
+}
+
+template <game::Game G>
+class ConcurrentTree {
+ public:
+  using State = typename G::State;
+  using Move = typename G::Move;
+
+  /// Node of the concurrent arena. Immutable identity fields (parent, move,
+  /// mover) are written once by the expanding thread before the release
+  /// publication; statistics are relaxed atomics thereafter.
+  struct Node {
+    NodeIndex parent = kNoNode;
+    NodeIndex first_child = kNoNode;
+    std::uint16_t num_children = 0;
+    Move move{};
+    game::Player mover = game::Player::kSecond;
+    /// kUnexpanded → kExpanding (CAS latch) → kExpanded (release publish).
+    /// A capped expansion stores kUnexpanded back so growth resumes later.
+    std::atomic<std::uint8_t> expand_state{0};
+    /// Children [0, next_unexpanded) have been claimed for a first visit.
+    std::atomic<std::uint32_t> next_unexpanded{0};
+    /// Completed (backpropagated) visits.
+    std::atomic<std::uint32_t> visits{0};
+    /// Selections currently in flight through this node — the virtual-loss
+    /// charge and WU-UCT's O(s) at once. Balanced by backpropagate().
+    std::atomic<std::uint32_t> inflight{0};
+    /// Win credit for `mover` in half-points (win 2, draw 1, loss 0).
+    std::atomic<std::uint64_t> wins_half{0};
+  };
+
+  static constexpr std::uint8_t kUnexpanded = 0;
+  static constexpr std::uint8_t kExpanding = 1;
+  static constexpr std::uint8_t kExpanded = 2;
+
+  ConcurrentTree(const State& root_state, const SearchConfig& config,
+                 std::uint32_t virtual_loss, bool wu_uct)
+      : config_(config),
+        virtual_loss_(virtual_loss),
+        wu_uct_(wu_uct),
+        capacity_(static_cast<NodeIndex>(
+            std::min<std::size_t>(config.max_nodes, kMaxCapacity))),
+        chunks_((capacity_ + kChunkSize - 1) / kChunkSize),
+        root_state_(root_state) {
+    const NodeIndex root = try_allocate(1);
+    util::check(root == 0, "root allocates index 0");
+    Node& r = node_mutable(root);
+    r.mover = game::opponent_of(G::player_to_move(root_state));
+    r.expand_state.store(kUnexpanded, std::memory_order_relaxed);
+  }
+
+  ~ConcurrentTree() {
+    for (auto& slot : chunks_) delete[] slot.load(std::memory_order_acquire);
+  }
+
+  ConcurrentTree(const ConcurrentTree&) = delete;
+  ConcurrentTree& operator=(const ConcurrentTree&) = delete;
+
+  /// One selection + (possible) expansion pass. Safe to call from any
+  /// number of threads concurrently; `rng` must be the calling thread's
+  /// own stream. Applies one unit of in-flight charge to every node on the
+  /// returned path — backpropagate() removes it.
+  [[nodiscard]] Selection<G> select(util::XorShift128Plus& rng) {
+    Selection<G> sel;
+    sel.node = 0;
+    sel.state = root_state_;
+    for (;;) {
+      Node& nd = node_mutable(sel.node);
+      nd.inflight.fetch_add(1, std::memory_order_relaxed);
+      if (G::is_terminal(sel.state)) {
+        sel.terminal = true;
+        break;
+      }
+      std::uint8_t st = nd.expand_state.load(std::memory_order_acquire);
+      if (st == kUnexpanded) {
+        std::uint8_t expected = kUnexpanded;
+        if (nd.expand_state.compare_exchange_strong(
+                expected, kExpanding, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          expand(sel.node, sel.state, rng);
+          st = nd.expand_state.load(std::memory_order_acquire);
+        } else {
+          st = expected;
+        }
+      }
+      if (st != kExpanded) {
+        // Another thread holds the expansion latch (or the arena is
+        // capped): don't spin — play out from here and keep the pipeline
+        // moving.
+        break;
+      }
+      if (nd.num_children == 0) break;  // expanded terminal leaf
+      // One previously-unvisited child per pass, claimed atomically so two
+      // threads never "discover" the same child.
+      std::uint32_t k = nd.next_unexpanded.load(std::memory_order_relaxed);
+      NodeIndex next = kNoNode;
+      while (k < nd.num_children) {
+        if (nd.next_unexpanded.compare_exchange_weak(
+                k, k + 1, std::memory_order_relaxed)) {
+          next = nd.first_child + static_cast<NodeIndex>(k);
+          break;
+        }
+      }
+      if (next != kNoNode) {
+        sel.state = G::apply(sel.state, node(next).move);
+        sel.node = next;
+        ++sel.depth;
+        node_mutable(next).inflight.fetch_add(1, std::memory_order_relaxed);
+        sel.terminal = G::is_terminal(sel.state);
+        break;
+      }
+      next = best_child(sel.node);
+      sel.state = G::apply(sel.state, node(next).move);
+      sel.node = next;
+      ++sel.depth;
+    }
+    // Lock-free running max for the depth statistic.
+    std::uint32_t seen = max_depth_.load(std::memory_order_relaxed);
+    while (sel.depth > seen &&
+           !max_depth_.compare_exchange_weak(seen, sel.depth,
+                                             std::memory_order_relaxed)) {
+    }
+    return sel;
+  }
+
+  /// Adds one completed simulation along the path to the root and removes
+  /// the in-flight charge select() applied — the two must always pair.
+  void backpropagate(NodeIndex leaf, double value_first) {
+    util::expects(leaf < allocated(), "backpropagate into live node");
+    util::expects(value_first >= 0.0 && value_first <= 1.0,
+                  "playout value within [0, 1]");
+    const auto half_first =
+        static_cast<std::uint64_t>(std::lround(value_first * 2.0));
+    for (NodeIndex n = leaf; n != kNoNode;) {
+      Node& nd = node_mutable(n);
+      nd.visits.fetch_add(1, std::memory_order_relaxed);
+      nd.wins_half.fetch_add(nd.mover == game::Player::kFirst
+                                 ? half_first
+                                 : 2u - half_first,
+                             std::memory_order_relaxed);
+      nd.inflight.fetch_sub(1, std::memory_order_relaxed);
+      n = nd.parent;
+    }
+  }
+
+  /// The robust-child rule, as in mcts::Tree. Call only at rest (workers
+  /// joined); in sanitize builds an outstanding in-flight charge trips a
+  /// contract check rather than silently skewing the visit ranking.
+  [[nodiscard]] Move best_move() const {
+#ifdef GPU_MCTS_SANITIZE_ENABLED
+    util::check(outstanding_losses() == 0,
+                "no in-flight selections at best_move");
+#endif
+    const Node& root = node(0);
+    util::check(root.num_children > 0, "best_move needs an expanded root");
+    NodeIndex best = root.first_child;
+    for (NodeIndex c = root.first_child;
+         c < root.first_child + root.num_children; ++c) {
+      const Node& cand = node(c);
+      const Node& incumbent = node(best);
+      const std::uint32_t cv = cand.visits.load(std::memory_order_relaxed);
+      const std::uint32_t iv =
+          incumbent.visits.load(std::memory_order_relaxed);
+      if (cv > iv || (cv == iv && win_rate(cand) > win_rate(incumbent))) {
+        best = c;
+      }
+    }
+    return node(best).move;
+  }
+
+  /// Sum of all in-flight charges across the arena. Zero exactly when every
+  /// select() has been paired with a backpropagate() — the loss-balance
+  /// invariant the tests (and the sanitize-mode best_move check) pin.
+  [[nodiscard]] std::uint64_t outstanding_losses() const {
+    std::uint64_t total = 0;
+    const NodeIndex end = allocated();
+    for (NodeIndex i = 0; i < end; ++i) {
+      total += node(i).inflight.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  [[nodiscard]] NodeIndex allocated() const noexcept {
+    return std::min(high_water_.load(std::memory_order_acquire), capacity_);
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return allocated();
+  }
+  [[nodiscard]] std::uint32_t max_depth() const noexcept {
+    return max_depth_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t root_visits() const noexcept {
+    return node(0).visits.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const State& root_state() const noexcept {
+    return root_state_;
+  }
+  [[nodiscard]] const Node& node(NodeIndex i) const {
+    return chunks_[i >> kChunkShift].load(std::memory_order_acquire)
+        [i & kChunkMask];
+  }
+
+ private:
+  static constexpr std::uint32_t kChunkShift = 12;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;  // 4096
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+  /// NodeIndex is 32-bit and kNoNode is reserved.
+  static constexpr std::size_t kMaxCapacity =
+      static_cast<std::size_t>(kNoNode) - 1;
+
+  [[nodiscard]] Node& node_mutable(NodeIndex i) {
+    return chunks_[i >> kChunkShift].load(std::memory_order_acquire)
+        [i & kChunkMask];
+  }
+
+  static double win_rate(const Node& n) noexcept {
+    const std::uint32_t v = n.visits.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<double>(
+                       n.wins_half.load(std::memory_order_relaxed)) /
+                       (2.0 * static_cast<double>(v))
+                 : 0.0;
+  }
+
+  /// Claims `n` contiguous node indices, or kNoNode when the cap would be
+  /// exceeded. The CAS loop never overshoots the high-water mark, so a
+  /// capped tree resumes cleanly if capacity concerns ever change.
+  [[nodiscard]] NodeIndex try_allocate(std::uint32_t n) {
+    NodeIndex cur = high_water_.load(std::memory_order_relaxed);
+    do {
+      if (static_cast<std::uint64_t>(cur) + n > capacity_) return kNoNode;
+    } while (!high_water_.compare_exchange_weak(
+        cur, cur + n, std::memory_order_relaxed));
+    ensure_chunks(cur, n);
+    return cur;
+  }
+
+  /// Makes every chunk covering [first, first + n) exist. Losers of the
+  /// install race free their allocation; the winning pointer is published
+  /// with release so readers see fully-constructed nodes.
+  void ensure_chunks(NodeIndex first, std::uint32_t n) {
+    const std::uint32_t lo = first >> kChunkShift;
+    const std::uint32_t hi = (first + n - 1) >> kChunkShift;
+    for (std::uint32_t c = lo; c <= hi; ++c) {
+      if (chunks_[c].load(std::memory_order_acquire) != nullptr) continue;
+      Node* fresh = new Node[kChunkSize];
+      Node* expected = nullptr;
+      if (!chunks_[c].compare_exchange_strong(expected, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+        delete[] fresh;
+      }
+    }
+  }
+
+  /// Runs under the expansion latch: the caller is the unique thread that
+  /// moved this node to kExpanding. Publishes children (or a terminal
+  /// leaf) with kExpanded; a capped allocation stores kUnexpanded back so
+  /// a later pass retries, exactly like the sequential arena.
+  void expand(NodeIndex index, const State& state,
+              util::XorShift128Plus& rng) {
+    std::array<Move, static_cast<std::size_t>(G::kMaxMoves)> moves{};
+    const int n = G::legal_moves(state, std::span(moves));
+    Node& nd = node_mutable(index);
+    if (n == 0) {
+      nd.expand_state.store(kExpanded, std::memory_order_release);
+      return;
+    }
+    const NodeIndex first = try_allocate(static_cast<std::uint32_t>(n));
+    if (first == kNoNode) {
+      nd.expand_state.store(kUnexpanded, std::memory_order_release);
+      return;
+    }
+    // Shuffle so unvisited-child order is unbiased (Fisher-Yates). Which
+    // thread's stream shuffles is interleaving-dependent — the documented
+    // source of run-to-run variation at workers > 1.
+    for (int i = n - 1; i > 0; --i) {
+      const auto j = static_cast<int>(
+          rng.next_below(static_cast<std::uint32_t>(i + 1)));
+      std::swap(moves[i], moves[j]);
+    }
+    const game::Player mover = G::player_to_move(state);
+    for (int i = 0; i < n; ++i) {
+      Node& child = node_mutable(first + static_cast<NodeIndex>(i));
+      child.parent = index;
+      child.move = moves[i];
+      child.mover = mover;
+    }
+    nd.first_child = first;
+    nd.num_children = static_cast<std::uint16_t>(n);
+    nd.expand_state.store(kExpanded, std::memory_order_release);
+  }
+
+  /// Score-argmax over the children of `index` under the configured policy
+  /// (virtual loss or WU-UCT). A child that is neither visited nor
+  /// in-flight is preferred outright (first-play urgency).
+  [[nodiscard]] NodeIndex best_child(NodeIndex index) const {
+    const Node& parent = node(index);
+    SharedScoreInputs in;
+    in.parent_visits = parent.visits.load(std::memory_order_relaxed);
+    in.parent_inflight = parent.inflight.load(std::memory_order_relaxed);
+    NodeIndex best = parent.first_child;
+    double best_score = -1.0;
+    for (NodeIndex c = parent.first_child;
+         c < parent.first_child + parent.num_children; ++c) {
+      const Node& child = node(c);
+      in.visits = child.visits.load(std::memory_order_relaxed);
+      in.inflight = child.inflight.load(std::memory_order_relaxed);
+      if (in.visits == 0 && in.inflight == 0) return c;
+      in.wins_half = child.wins_half.load(std::memory_order_relaxed);
+      const double score =
+          shared_selection_score(in, config_.ucb_c, virtual_loss_, wu_uct_);
+#ifdef GPU_MCTS_SANITIZE_ENABLED
+      util::check(!std::isnan(score), "selection score must not be NaN");
+#endif
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  SearchConfig config_;
+  std::uint32_t virtual_loss_;
+  bool wu_uct_;
+  NodeIndex capacity_;
+  std::vector<std::atomic<Node*>> chunks_;
+  std::atomic<NodeIndex> high_water_{0};
+  std::atomic<std::uint32_t> max_depth_{0};
+  State root_state_{};
+};
+
+}  // namespace gpu_mcts::mcts

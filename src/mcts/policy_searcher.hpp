@@ -38,6 +38,22 @@ class PolicySearcher final : public Searcher<G> {
       const typename G::State& state,
       const SearchBudget& budget) override {
     util::expects(!G::is_terminal(state), "choose_move on terminal state");
+    util::WallTimer wall;
+    const bool wall_limited = budget.wall_ms.has_value();
+    StopReason stop_reason = StopReason::kBudget;
+    // Round-boundary supervision, token before deadline — the same
+    // attribution order as every other scheme (see tree_parallel.hpp).
+    const auto should_stop = [&]() -> bool {
+      if (budget.cancel != nullptr && budget.cancel->cancelled()) {
+        stop_reason = StopReason::kCancelled;
+        return true;
+      }
+      if (wall_limited && wall.elapsed_seconds() * 1000.0 >= *budget.wall_ms) {
+        stop_reason = StopReason::kWallDeadline;
+        return true;
+      }
+      return false;
+    };
     util::VirtualClock clock(host_.clock_hz);
     const std::uint64_t deadline = clock.to_cycles(budget.virtual_seconds);
 
@@ -67,8 +83,9 @@ class PolicySearcher final : public Searcher<G> {
           1.15 * cost_.host_cycles_per_ply * static_cast<double>(plies)));
       stats_.simulations += 1;
       stats_.rounds += 1;
-    } while (clock.cycles() < deadline);
+    } while (!should_stop() && clock.cycles() < deadline);
 
+    stats_.stop_reason = stop_reason;
     stats_.tree_nodes = tree.node_count();
     stats_.max_depth = tree.max_depth();
     stats_.virtual_seconds = clock.seconds();

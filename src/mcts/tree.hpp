@@ -81,6 +81,7 @@ class Tree {
     nodes_.reserve(1024);
     root_state_ = root_state;
     max_depth_ = 0;
+    outstanding_virtual_loss_ = 0;
     Node<G> root;
     root.mover = game::opponent_of(G::player_to_move(root_state));
     nodes_.push_back(root);
@@ -230,6 +231,7 @@ class Tree {
   /// look like losses so concurrent workers spread across the tree.
   void apply_virtual_loss(NodeIndex leaf, std::uint32_t amount) {
     util::expects(leaf < nodes_.size(), "virtual loss on live node");
+    outstanding_virtual_loss_ += amount;
     for (NodeIndex n = leaf; n != kNoNode; n = nodes_[n].parent) {
       nodes_[n].visits += amount;
     }
@@ -238,15 +240,29 @@ class Tree {
   /// Reverts apply_virtual_loss (must be called with the same leaf/amount).
   void remove_virtual_loss(NodeIndex leaf, std::uint32_t amount) {
     util::expects(leaf < nodes_.size(), "virtual loss on live node");
+    util::expects(outstanding_virtual_loss_ >= amount,
+                  "virtual loss balance");
+    outstanding_virtual_loss_ -= amount;
     for (NodeIndex n = leaf; n != kNoNode; n = nodes_[n].parent) {
       util::expects(nodes_[n].visits >= amount, "virtual loss balance");
       nodes_[n].visits -= amount;
     }
   }
 
+  /// Total virtual-loss visits currently applied and not yet removed. The
+  /// read APIs below require this to be zero — a leaked loss silently skews
+  /// the visit ranking — so sanitize builds assert it at those points.
+  [[nodiscard]] std::uint64_t outstanding_virtual_loss() const noexcept {
+    return outstanding_virtual_loss_;
+  }
+
   /// The move with the most visits at the root (ties broken by win rate) —
   /// the standard "robust child" final selection.
   [[nodiscard]] Move best_move() const {
+#ifdef GPU_MCTS_SANITIZE_ENABLED
+    util::check(outstanding_virtual_loss_ == 0,
+                "no outstanding virtual losses at best_move");
+#endif
     const Node<G>& root = nodes_[0];
     util::check(root.num_children > 0, "best_move needs an expanded root");
     NodeIndex best = root.first_child;
@@ -273,6 +289,10 @@ class Tree {
   };
 
   [[nodiscard]] std::vector<RootChildStat> root_child_stats() const {
+#ifdef GPU_MCTS_SANITIZE_ENABLED
+    util::check(outstanding_virtual_loss_ == 0,
+                "no outstanding virtual losses at root_child_stats");
+#endif
     std::vector<RootChildStat> out;
     const Node<G>& root = nodes_[0];
     out.reserve(root.num_children);
@@ -392,6 +412,8 @@ class Tree {
   std::vector<Node<G>> nodes_;
   State root_state_{};
   std::uint32_t max_depth_ = 0;
+  /// Applied-but-not-removed virtual-loss visits (see apply_virtual_loss).
+  std::uint64_t outstanding_virtual_loss_ = 0;
 };
 
 }  // namespace gpu_mcts::mcts

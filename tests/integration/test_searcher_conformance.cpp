@@ -30,6 +30,10 @@ std::vector<SchemeCase> all_schemes() {
       {"flat-mc", engine::SchemeSpec::flat_mc().with_seed(2)},
       {"root-parallel-8", engine::SchemeSpec::root_parallel(8).with_seed(3)},
       {"tree-parallel-4", engine::SchemeSpec::tree_parallel(4).with_seed(4)},
+      // Real host threads share one tree; at workers > 1 results are
+      // interleaving-dependent, so only the deterministic single-worker
+      // variant belongs in a suite that pins reseed reproducibility.
+      {"shared-tree-1", engine::SchemeSpec::shared_tree(1).with_seed(9)},
       {"leaf-gpu-128",
        engine::SchemeSpec::leaf_gpu_threads(128, 64).with_seed(5)},
       {"block-gpu-256",

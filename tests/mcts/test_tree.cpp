@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <set>
+#include <vector>
 
 #include "game/tictactoe.hpp"
 #include "mcts/playout.hpp"
@@ -214,6 +216,63 @@ TEST(Tree, UcbSelectionPrefersUnvisitedChildren) {
   EXPECT_NE(ancestor, selected.front());
   EXPECT_EQ(tree.node(ancestor).visits, 0u);
 }
+
+TEST(Tree, VirtualLossRoundTripsBitwise) {
+  // apply + remove with the same leaf and amount must restore the arena's
+  // stored bytes exactly — any residue would silently skew the robust-child
+  // ranking of best_move()/root_child_stats().
+  Tree<TicTacToe> tree(TicTacToe::initial_state(), {}, 13);
+  for (int i = 0; i < 40; ++i) {
+    const auto sel = tree.select();
+    tree.backpropagate(sel.node, 0.5, 1);
+  }
+  const auto sel = tree.select();
+  const std::size_t bytes = tree.node_count() * sizeof(Node<TicTacToe>);
+  std::vector<unsigned char> before(bytes);
+  std::memcpy(before.data(), &tree.node(0), bytes);
+
+  EXPECT_EQ(tree.outstanding_virtual_loss(), 0u);
+  tree.apply_virtual_loss(sel.node, 3);
+  EXPECT_EQ(tree.outstanding_virtual_loss(), 3u);
+  tree.remove_virtual_loss(sel.node, 3);
+  EXPECT_EQ(tree.outstanding_virtual_loss(), 0u);
+
+  std::vector<unsigned char> after(bytes);
+  std::memcpy(after.data(), &tree.node(0), bytes);
+  EXPECT_EQ(std::memcmp(before.data(), after.data(), bytes), 0);
+  tree.backpropagate(sel.node, 0.5, 1);  // balance the open selection
+}
+
+TEST(Tree, RemoveVirtualLossRejectsOverdraw) {
+  Tree<TicTacToe> tree(TicTacToe::initial_state(), {}, 13);
+  const auto sel = tree.select();
+  tree.apply_virtual_loss(sel.node, 1);
+  EXPECT_THROW(tree.remove_virtual_loss(sel.node, 2),
+               util::ContractViolation);
+  tree.remove_virtual_loss(sel.node, 1);
+  tree.backpropagate(sel.node, 0.5, 1);
+}
+
+#ifdef GPU_MCTS_SANITIZE_ENABLED
+TEST(Tree, OutstandingLossTripsReadChecksInSanitizeBuilds) {
+  // The read APIs rank children by visit counts; an outstanding virtual
+  // loss inflates those counts, so sanitize builds refuse to read through
+  // one instead of silently returning a skewed answer.
+  Tree<TicTacToe> tree(TicTacToe::initial_state(), {}, 17);
+  for (int i = 0; i < 20; ++i) {
+    const auto sel = tree.select();
+    tree.backpropagate(sel.node, 0.5, 1);
+  }
+  const auto sel = tree.select();
+  tree.apply_virtual_loss(sel.node, 1);
+  EXPECT_THROW((void)tree.best_move(), util::ContractViolation);
+  EXPECT_THROW((void)tree.root_child_stats(), util::ContractViolation);
+  tree.remove_virtual_loss(sel.node, 1);
+  tree.backpropagate(sel.node, 0.5, 1);
+  EXPECT_NO_THROW((void)tree.best_move());
+  EXPECT_NO_THROW((void)tree.root_child_stats());
+}
+#endif
 
 TEST(Tree, ResetClearsState) {
   Tree<ReversiGame> tree(ReversiGame::initial_state(), {}, 3);

@@ -36,6 +36,36 @@ TEST(SchemeSpecParse, CpuSchemesTakeOneDimension) {
   const SchemeSpec tree = SchemeSpec::parse("tree-parallel:4");
   EXPECT_EQ(tree.scheme, "tree-parallel");
   EXPECT_EQ(tree.cpu_threads, 4);
+  EXPECT_EQ(tree.virtual_loss, 1);  // option default
+}
+
+TEST(SchemeSpecParse, TreeSchemesTakeVirtualLossOption) {
+  const SchemeSpec tree = SchemeSpec::parse("tree:4:vl=3");
+  EXPECT_EQ(tree.scheme, "tree-parallel");
+  EXPECT_EQ(tree.cpu_threads, 4);
+  EXPECT_EQ(tree.virtual_loss, 3);
+
+  const SchemeSpec off = SchemeSpec::parse("shared:8:vl=0");
+  EXPECT_EQ(off.scheme, "shared-tree");
+  EXPECT_EQ(off.virtual_loss, 0);  // vl=0 disables virtual loss
+}
+
+TEST(SchemeSpecParse, SharedTreeTakesWorkersAndOptions) {
+  for (const char* text : {"shared:4", "shared-tree:4"}) {
+    const SchemeSpec spec = SchemeSpec::parse(text);
+    EXPECT_EQ(spec.scheme, "shared-tree");
+    EXPECT_EQ(spec.cpu_threads, 4);
+    EXPECT_EQ(spec.virtual_loss, 1);
+    EXPECT_FALSE(spec.wu_uct);
+  }
+  const SchemeSpec wu = SchemeSpec::parse("shared:8:wu");
+  EXPECT_EQ(wu.cpu_threads, 8);
+  EXPECT_TRUE(wu.wu_uct);
+
+  const SchemeSpec both = SchemeSpec::parse("shared:2:vl=2:wu");
+  EXPECT_EQ(both.cpu_threads, 2);
+  EXPECT_EQ(both.virtual_loss, 2);
+  EXPECT_TRUE(both.wu_uct);
 }
 
 TEST(SchemeSpecParse, GpuSchemesTakeGridGeometry) {
@@ -79,7 +109,7 @@ TEST(SchemeSpecParse, BatchSchemesGetTheSmallUcbConstant) {
         "dist:2x8x32"}) {
     EXPECT_EQ(SchemeSpec::parse(text).search.ucb_c, mcts::kBatchUcbC) << text;
   }
-  for (const char* text : {"seq", "flat", "root:4", "tree:4"}) {
+  for (const char* text : {"seq", "flat", "root:4", "tree:4", "shared:4"}) {
     EXPECT_NE(SchemeSpec::parse(text).search.ucb_c, mcts::kBatchUcbC) << text;
   }
 }
@@ -153,7 +183,9 @@ std::string parse_error(const char* text) {
 // from kForms in engine/spec.cpp, pinned here verbatim so an accidental
 // table edit (or a wording drift scripts already grep for) fails loudly.
 constexpr const char* kGrammar =
-    "expected one of: seq | flat | root:<threads> | tree:<workers> | "
+    "expected one of: seq | flat | root:<threads> | "
+    "tree:<workers>[:vl=<loss>] | "
+    "shared:<workers>[:vl=<loss>][:wu] | "
     "leaf:<blocks>x<tpb>[+pipeline[:<depth>]] | "
     "block:<blocks>x<tpb>[+pipeline[:<depth>]] | "
     "hybrid:<blocks>x<tpb>[+pipeline[:<depth>]] | "
@@ -210,6 +242,7 @@ TEST(SchemeSpecParseErrors, ExactTextPerFormRow) {
       {"flat:2x2", "scheme takes no parameters"},
       {"root:", "missing parameters after ':'"},
       {"tree:0", "\"0\" is not a positive integer"},
+      {"shared:0", "\"0\" is not a positive integer"},
       {"leaf:4", "expected 2 'x'-separated dimensions, got 1"},
       {"block:ax128", "\"a\" is not a positive integer"},
       {"hybrid:8x32x2", "expected 2 'x'-separated dimensions, got 3"},
@@ -221,6 +254,26 @@ TEST(SchemeSpecParseErrors, ExactTextPerFormRow) {
                                      "\": " + why + "; " + kGrammar)
         << text;
   }
+}
+
+TEST(SchemeSpecParseErrors, ExactTextForTreeOptions) {
+  // The ":vl=<loss>" / ":wu" options fail with the offending token named.
+  EXPECT_EQ(parse_error("tree:4:vl=x"),
+            "bad scheme spec \"tree:4:vl=x\": virtual loss \"x\" must be a "
+            "non-negative integer; " +
+                std::string(kGrammar));
+  EXPECT_EQ(parse_error("shared:4:vl=-1"),
+            "bad scheme spec \"shared:4:vl=-1\": virtual loss \"-1\" must "
+            "be a non-negative integer; " +
+                std::string(kGrammar));
+  EXPECT_EQ(parse_error("tree:4:wu"),
+            "bad scheme spec \"tree:4:wu\": \"wu\" applies only to the "
+            "shared scheme; " +
+                std::string(kGrammar));
+  EXPECT_EQ(parse_error("shared:4:turbo"),
+            "bad scheme spec \"shared:4:turbo\": unknown option \"turbo\" "
+            "(expected vl=<loss> or wu); " +
+                std::string(kGrammar));
 }
 
 TEST(SchemeSpecParse, ErrorsNameTheOffendingSpecAndGrammar) {
@@ -236,8 +289,10 @@ TEST(SchemeSpecParse, ErrorsNameTheOffendingSpecAndGrammar) {
 
 TEST(SchemeSpecToString, RoundTripsThroughParse) {
   for (const char* text :
-       {"seq", "flat", "root:8", "tree:4", "leaf:16x64", "block:112x128",
-        "hybrid:112x64", "gpu-only:112x64", "dist:2x56x64"}) {
+       {"seq", "flat", "root:8", "tree:4", "tree:4:vl=3", "shared:4",
+        "shared:8:vl=2", "shared:4:wu", "shared:2:vl=0:wu", "leaf:16x64",
+        "block:112x128", "hybrid:112x64", "gpu-only:112x64",
+        "dist:2x56x64"}) {
     const SchemeSpec spec = SchemeSpec::parse(text);
     EXPECT_EQ(spec.to_string(), text);
     const SchemeSpec again = SchemeSpec::parse(spec.to_string());
@@ -247,6 +302,8 @@ TEST(SchemeSpecToString, RoundTripsThroughParse) {
     EXPECT_EQ(again.threads_per_block, spec.threads_per_block);
     EXPECT_EQ(again.ranks, spec.ranks);
     EXPECT_EQ(again.cpu_overlap, spec.cpu_overlap);
+    EXPECT_EQ(again.virtual_loss, spec.virtual_loss);
+    EXPECT_EQ(again.wu_uct, spec.wu_uct);
   }
 }
 
@@ -295,9 +352,10 @@ TEST(GridFor, SplitsTotalsLikeThePaper) {
 }
 
 /// Every built-in scheme, sized small enough to search a position quickly.
-const char* kAllSchemes[] = {"seq",        "flat",         "root:2",
-                             "tree:2",     "leaf:2x16",    "block:2x16",
-                             "hybrid:2x16", "gpu-only:2x16", "dist:2x2x16"};
+const char* kAllSchemes[] = {"seq",         "flat",          "root:2",
+                             "tree:2",      "shared:2",      "shared:2:wu",
+                             "leaf:2x16",   "block:2x16",    "hybrid:2x16",
+                             "gpu-only:2x16", "dist:2x2x16"};
 
 template <typename G>
 bool is_legal(const typename G::State& state, typename G::Move move) {

@@ -1,0 +1,256 @@
+// SharedTreeSearcher + ConcurrentTree: the repo's first genuinely
+// concurrent tree mutation. Determinism tests pin the workers=1 degenerate
+// case (bit-reproducible, like every other scheme); the multi-worker tests
+// check invariants that must hold under ANY interleaving — loss balance,
+// legal moves, budget scaling — rather than exact values. The whole suite
+// runs under TSan in CI (thread-sanitize job) because that is where the
+// races would show.
+#include "parallel/shared_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <set>
+#include <span>
+#include <thread>
+
+#include "game/tictactoe.hpp"
+#include "mcts/concurrent_tree.hpp"
+#include "reversi/reversi_game.hpp"
+#include "util/cancel.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpu_mcts {
+namespace {
+
+using game::TicTacToe;
+using G = reversi::ReversiGame;
+
+[[nodiscard]] bool is_legal(const typename G::State& state,
+                            typename G::Move move) {
+  std::array<typename G::Move, static_cast<std::size_t>(G::kMaxMoves)> moves{};
+  const int n = G::legal_moves(state, std::span(moves));
+  return std::find(moves.begin(), moves.begin() + n, move) !=
+         moves.begin() + n;
+}
+
+// --- The searcher ---------------------------------------------------------
+
+TEST(SharedTree, ReturnsLegalMoveWithStats) {
+  parallel::SharedTreeSearcher<G> searcher({.workers = 4}, {.seed = 11});
+  const auto state = G::initial_state();
+  const auto move = searcher.choose_move(state, 0.002);
+  EXPECT_TRUE(is_legal(state, move));
+  const auto& stats = searcher.last_stats();
+  EXPECT_GT(stats.simulations, 0u);
+  EXPECT_GT(stats.tree_nodes, 1u);
+  EXPECT_GT(stats.max_depth, 0u);
+  EXPECT_GE(stats.virtual_seconds, 0.002);
+  EXPECT_EQ(stats.stop_reason, mcts::StopReason::kBudget);
+}
+
+TEST(SharedTree, RequiresPositiveWorkers) {
+  EXPECT_THROW(parallel::SharedTreeSearcher<G>({.workers = 0}),
+               util::ContractViolation);
+}
+
+TEST(SharedTree, WorkerOneIsDeterministic) {
+  // With a single worker there is exactly one mutator: the search must be
+  // bit-reproducible across instances and across reseeds, like the modeled
+  // tree:W reference.
+  const auto state = G::initial_state();
+  parallel::SharedTreeSearcher<G> a({.workers = 1}, {.seed = 9});
+  parallel::SharedTreeSearcher<G> b({.workers = 1}, {.seed = 9});
+  const auto move_a = a.choose_move(state, 0.004);
+  const auto move_b = b.choose_move(state, 0.004);
+  EXPECT_EQ(move_a, move_b);
+  EXPECT_EQ(a.last_stats().simulations, b.last_stats().simulations);
+  EXPECT_EQ(a.last_stats().tree_nodes, b.last_stats().tree_nodes);
+  EXPECT_EQ(a.last_stats().max_depth, b.last_stats().max_depth);
+  EXPECT_EQ(a.last_stats().virtual_seconds, b.last_stats().virtual_seconds);
+
+  a.reseed(9);
+  const auto move_c = a.choose_move(state, 0.004);
+  EXPECT_EQ(move_a, move_c);
+  EXPECT_EQ(a.last_stats().simulations, b.last_stats().simulations);
+}
+
+TEST(SharedTree, SimulationsScaleWithVirtualBudgetAcrossWorkers) {
+  // The virtual-time model: each worker burns its own core, so at equal
+  // per-worker budget, 4 workers complete ~4x the simulations of 1 (modulo
+  // per-playout length variance — we only require a comfortably >1 ratio).
+  const auto state = G::initial_state();
+  parallel::SharedTreeSearcher<G> one({.workers = 1}, {.seed = 21});
+  parallel::SharedTreeSearcher<G> four({.workers = 4}, {.seed = 21});
+  (void)one.choose_move(state, 0.01);
+  (void)four.choose_move(state, 0.01);
+  EXPECT_GT(four.last_stats().simulations,
+            2.5 * static_cast<double>(one.last_stats().simulations));
+}
+
+TEST(SharedTree, WuUctVariantSearchesAndLabels) {
+  parallel::SharedTreeSearcher<G> searcher(
+      {.workers = 4, .wu_uct = true}, {.seed = 5});
+  const auto state = G::initial_state();
+  const auto move = searcher.choose_move(state, 0.002);
+  EXPECT_TRUE(is_legal(state, move));
+  EXPECT_GT(searcher.last_stats().simulations, 0u);
+  EXPECT_NE(searcher.name().find("wu-uct"), std::string::npos);
+}
+
+TEST(SharedTree, CancelFromAnotherThreadMidSearch) {
+  // Chaos-style: an enormous virtual budget with cancellation arriving on a
+  // foreign thread mid-search. All workers must drain, losses must balance
+  // (the sanitize-gated check inside choose_move), and the move is legal.
+  parallel::SharedTreeSearcher<G> searcher({.workers = 4}, {.seed = 31});
+  util::CancelToken token;
+  mcts::SearchBudget budget;
+  budget.virtual_seconds = 1000.0;
+  budget.cancel = &token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    token.cancel();
+  });
+  const auto state = G::initial_state();
+  const auto move = searcher.choose_move(state, budget);
+  canceller.join();
+  EXPECT_TRUE(is_legal(state, move));
+  EXPECT_EQ(searcher.last_stats().stop_reason, mcts::StopReason::kCancelled);
+  EXPECT_GT(searcher.last_stats().simulations, 0u);
+}
+
+TEST(SharedTree, WallDeadlineHonoredWithinSlack) {
+  parallel::SharedTreeSearcher<G> searcher({.workers = 4}, {.seed = 37});
+  mcts::SearchBudget budget;
+  budget.virtual_seconds = 1000.0;
+  budget.wall_ms = 50.0;
+  const auto state = G::initial_state();
+  util::WallTimer timer;
+  const auto move = searcher.choose_move(state, budget);
+  EXPECT_LE(timer.elapsed_seconds() * 1000.0, 2.0 * 50.0 + 1000.0);
+  EXPECT_TRUE(is_legal(state, move));
+  EXPECT_EQ(searcher.last_stats().stop_reason,
+            mcts::StopReason::kWallDeadline);
+}
+
+// --- The concurrent tree --------------------------------------------------
+
+TEST(ConcurrentTree, SelectBackpropBalancesInflight) {
+  mcts::ConcurrentTree<TicTacToe> tree(TicTacToe::initial_state(), {},
+                                       /*virtual_loss=*/1,
+                                       /*wu_uct=*/false);
+  util::XorShift128Plus rng(3);
+  // Open several selections at once (as concurrent workers would), then
+  // backpropagate them all: the in-flight count must return to zero.
+  std::array<mcts::Selection<TicTacToe>, 5> open{};
+  for (auto& sel : open) sel = tree.select(rng);
+  EXPECT_GT(tree.outstanding_losses(), 0u);
+  for (const auto& sel : open) tree.backpropagate(sel.node, 0.5);
+  EXPECT_EQ(tree.outstanding_losses(), 0u);
+  EXPECT_EQ(tree.root_visits(), 5u);
+  EXPECT_NO_THROW((void)tree.best_move());
+}
+
+TEST(ConcurrentTree, OpenSelectionsDiversify) {
+  // Five selections opened without intervening backprops must not pile on
+  // one leaf: virtual loss pushes each following pass elsewhere. (With one
+  // unvisited child claimed per pass, the first five passes each claim a
+  // distinct root child.)
+  mcts::ConcurrentTree<TicTacToe> tree(TicTacToe::initial_state(), {},
+                                       /*virtual_loss=*/1,
+                                       /*wu_uct=*/false);
+  util::XorShift128Plus rng(7);
+  std::array<mcts::Selection<TicTacToe>, 5> open{};
+  std::set<mcts::NodeIndex> leaves;
+  for (auto& sel : open) {
+    sel = tree.select(rng);
+    leaves.insert(sel.node);
+  }
+  EXPECT_EQ(leaves.size(), open.size());
+  for (const auto& sel : open) tree.backpropagate(sel.node, 0.5);
+}
+
+TEST(ConcurrentTree, ArenaCapIsRespected) {
+  mcts::SearchConfig config;
+  config.max_nodes = 12;  // root + 9 children fit; grandchildren never do
+  mcts::ConcurrentTree<TicTacToe> tree(TicTacToe::initial_state(), config, 1,
+                                       false);
+  util::XorShift128Plus rng(9);
+  for (int i = 0; i < 60; ++i) {
+    const auto sel = tree.select(rng);
+    tree.backpropagate(sel.node, 0.5);
+  }
+  EXPECT_LE(tree.node_count(), 12u);
+  EXPECT_EQ(tree.root_visits(), 60u);
+  EXPECT_EQ(tree.outstanding_losses(), 0u);
+}
+
+TEST(ConcurrentTree, DrawsAccumulateExactlyAsHalfPoints) {
+  mcts::ConcurrentTree<TicTacToe> tree(TicTacToe::initial_state(), {}, 1,
+                                       false);
+  util::XorShift128Plus rng(13);
+  for (int i = 0; i < 25; ++i) {
+    const auto sel = tree.select(rng);
+    tree.backpropagate(sel.node, 0.5);
+  }
+  // Every playout was a draw: the root's half-point total equals its visit
+  // count exactly (no floating-point drift possible with uint64 counters).
+  EXPECT_EQ(tree.node(0).wins_half.load(), tree.root_visits());
+}
+
+// --- The WU-UCT / virtual-loss score --------------------------------------
+
+TEST(SharedSelectionScore, DecreasesWithInflightUnderBothPolicies) {
+  mcts::SharedScoreInputs in;
+  in.wins_half = 12;  // 6.0 wins
+  in.visits = 10;
+  in.parent_visits = 100;
+  in.parent_inflight = 0;
+  for (const bool wu : {false, true}) {
+    SCOPED_TRACE(wu ? "wu-uct" : "virtual loss");
+    double prev = 1e9;
+    for (std::uint32_t inflight = 0; inflight <= 8; ++inflight) {
+      in.inflight = inflight;
+      const double score = mcts::shared_selection_score(in, 1.0, 1, wu);
+      EXPECT_LT(score, prev)
+          << "score must fall as in-flight work accumulates (O(s)="
+          << inflight << ")";
+      prev = score;
+    }
+  }
+}
+
+TEST(SharedSelectionScore, WuUctKeepsObservedMeanVirtualLossDoesNot) {
+  // The defining difference: with in-flight work present, classic virtual
+  // loss drags the *mean* toward a loss, while WU-UCT leaves the observed
+  // mean intact and only shrinks the exploration bonus.
+  mcts::SharedScoreInputs in;
+  in.wins_half = 16;  // 8 wins of 10 -> observed mean 0.8
+  in.visits = 10;
+  in.inflight = 5;
+  in.parent_visits = 50;
+  in.parent_inflight = 5;
+  const double observed_mean = 0.8;
+  // ucb_c = 0: the scores ARE the means under each policy.
+  const double vl_mean = mcts::shared_selection_score(in, 0.0, 1, false);
+  const double wu_mean = mcts::shared_selection_score(in, 0.0, 1, true);
+  EXPECT_LT(vl_mean, observed_mean);
+  EXPECT_DOUBLE_EQ(wu_mean, observed_mean);
+}
+
+TEST(SharedSelectionScore, HigherVirtualLossPenalizesHarder) {
+  mcts::SharedScoreInputs in;
+  in.wins_half = 10;
+  in.visits = 8;
+  in.inflight = 3;
+  in.parent_visits = 64;
+  const double vl1 = mcts::shared_selection_score(in, 1.0, 1, false);
+  const double vl3 = mcts::shared_selection_score(in, 1.0, 3, false);
+  EXPECT_LT(vl3, vl1);
+}
+
+}  // namespace
+}  // namespace gpu_mcts

@@ -15,11 +15,16 @@
 #include <vector>
 
 #include "mcts/budget.hpp"
+#include "mcts/flat_mc.hpp"
+#include "mcts/policy_searcher.hpp"
+#include "mcts/rave.hpp"
+#include "mcts/reuse_searcher.hpp"
 #include "mcts/sequential.hpp"
 #include "parallel/block_parallel.hpp"
 #include "parallel/hybrid.hpp"
 #include "parallel/leaf_parallel.hpp"
 #include "parallel/root_parallel.hpp"
+#include "parallel/shared_tree.hpp"
 #include "parallel/tree_parallel.hpp"
 #include "reversi/reversi_game.hpp"
 #include "util/cancel.hpp"
@@ -188,7 +193,16 @@ TEST(Supervision, CpuSchemesHonorPreCancelledToken) {
   mcts::SequentialSearcher<G> sequential({.seed = 1});
   parallel::TreeParallelSearcher<G> tree({.workers = 4}, {.seed = 1});
   parallel::RootParallelSearcher<G> root({.threads = 2}, {.seed = 1});
-  const std::array<mcts::Searcher<G>*, 3> searchers{&sequential, &tree, &root};
+  // Regression: these four silently ignored cancel/wall_ms and never set
+  // stop_reason; they now run the same round-boundary check as the rest.
+  mcts::RaveSearcher<G> rave({.seed = 1});
+  mcts::FlatMonteCarloSearcher<G> flat({.seed = 1});
+  mcts::PolicySearcher<G, mcts::UniformPolicy> policy(
+      mcts::UniformPolicy{}, "uniform", {.seed = 1});
+  mcts::ReuseSequentialSearcher<G> reuse({.seed = 1});
+  parallel::SharedTreeSearcher<G> shared({.workers = 4}, {.seed = 1});
+  const std::array<mcts::Searcher<G>*, 8> searchers{
+      &sequential, &tree, &root, &rave, &flat, &policy, &reuse, &shared};
   for (mcts::Searcher<G>* s : searchers) {
     SCOPED_TRACE(s->name());
     const auto move = s->choose_move(state, budget);
@@ -211,8 +225,16 @@ TEST(Supervision, CpuSchemesHonorWallDeadline) {
   parallel::RootParallelSearcher<G> root_host({.threads = 2,
                                                .use_host_threads = true},
                                               {.seed = 2});
-  const std::array<mcts::Searcher<G>*, 3> searchers{&sequential, &tree,
-                                                    &root_host};
+  // Regression: these four used to burn the whole (here: enormous) virtual
+  // budget with the deadline long gone.
+  mcts::RaveSearcher<G> rave({.seed = 2});
+  mcts::FlatMonteCarloSearcher<G> flat({.seed = 2});
+  mcts::PolicySearcher<G, mcts::UniformPolicy> policy(
+      mcts::UniformPolicy{}, "uniform", {.seed = 2});
+  mcts::ReuseSequentialSearcher<G> reuse({.seed = 2});
+  parallel::SharedTreeSearcher<G> shared({.workers = 4}, {.seed = 2});
+  const std::array<mcts::Searcher<G>*, 8> searchers{
+      &sequential, &tree, &root_host, &rave, &flat, &policy, &reuse, &shared};
   for (mcts::Searcher<G>* s : searchers) {
     SCOPED_TRACE(s->name());
     util::WallTimer timer;
@@ -220,6 +242,40 @@ TEST(Supervision, CpuSchemesHonorWallDeadline) {
     EXPECT_LE(timer.elapsed_seconds() * 1000.0, 2.0 * 50.0 + 1000.0);
     EXPECT_TRUE(is_legal(state, move));
     EXPECT_EQ(s->last_stats().stop_reason, mcts::StopReason::kWallDeadline);
+    EXPECT_GT(s->last_stats().simulations, 0u);
+  }
+}
+
+TEST(Supervision, CpuSchemesStopOnCrossThreadCancellation) {
+  // Cancel arrives mid-search from another thread; every CPU searcher must
+  // notice at a round boundary, attribute kCancelled, and still return a
+  // legal move. The virtual budget (1000 s) would otherwise run for minutes.
+  const auto state = G::initial_state();
+
+  mcts::RaveSearcher<G> rave({.seed = 3});
+  mcts::FlatMonteCarloSearcher<G> flat({.seed = 3});
+  mcts::PolicySearcher<G, mcts::UniformPolicy> policy(
+      mcts::UniformPolicy{}, "uniform", {.seed = 3});
+  mcts::ReuseSequentialSearcher<G> reuse({.seed = 3});
+  parallel::SharedTreeSearcher<G> shared({.workers = 4}, {.seed = 3});
+  const std::array<mcts::Searcher<G>*, 5> searchers{&rave, &flat, &policy,
+                                                    &reuse, &shared};
+  for (mcts::Searcher<G>* s : searchers) {
+    SCOPED_TRACE(s->name());
+    util::CancelToken token;
+    mcts::SearchBudget budget;
+    budget.virtual_seconds = 1000.0;
+    budget.cancel = &token;
+    std::thread canceller([&token] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      token.cancel();
+    });
+    util::WallTimer timer;
+    const auto move = s->choose_move(state, budget);
+    canceller.join();
+    EXPECT_LE(timer.elapsed_seconds(), 10.0);  // generous CI slack
+    EXPECT_TRUE(is_legal(state, move));
+    EXPECT_EQ(s->last_stats().stop_reason, mcts::StopReason::kCancelled);
     EXPECT_GT(s->last_stats().simulations, 0u);
   }
 }
