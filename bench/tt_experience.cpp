@@ -1,0 +1,218 @@
+// Transposition table + experience store bench (DESIGN.md §16):
+//
+//   1. raw probe latency against a warm table (hit and miss paths),
+//   2. in-search hit rate for "seq+tt" self-play on Reversi,
+//   3. equal-budget strength: plain seq control, "+tt", and a table
+//      preloaded from an experience store recorded in warm-up games —
+//      each against the same plain sequential opponent.
+//
+// Emits BENCH_tt.json. Reading: the TT is a cache — at these tiny quick
+// budgets win ratios sit near 0.5 with wide error bars; the load-bearing
+// numbers are the hit rate (nonzero and growing with games) and probe
+// latency (tens of ns, not microseconds).
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "engine/factory.hpp"
+#include "harness/arena.hpp"
+#include "mcts/experience.hpp"
+#include "mcts/transposition.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gpu_mcts;
+
+struct ProbeTiming {
+  double hit_ns = 0.0;
+  double miss_ns = 0.0;
+};
+
+/// Times validated-hit and guaranteed-miss probes against a table holding
+/// kKeys sequential keys (well under capacity, so misses are empty-slot
+/// rejections like a cold search position, not collision evictions).
+ProbeTiming time_probes() {
+  mcts::TranspositionTable table(1 << 20);
+  constexpr std::uint64_t kKeys = 1 << 16;
+  constexpr std::uint64_t kRounds = 1 << 21;
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    table.store(k, 3, 4, static_cast<std::uint8_t>(k & 63));
+  }
+  ProbeTiming out;
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kRounds; ++i) {
+    if (const auto hit = table.probe(1 + (i & (kKeys - 1)))) {
+      sink += hit->visits;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kRounds; ++i) {
+    if (const auto hit = table.probe(kKeys + 1 + (i & (kKeys - 1)))) {
+      sink += hit->visits;
+    }
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  const auto ns = [](auto a, auto b) {
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                   .count()) /
+           static_cast<double>(kRounds);
+  };
+  out.hit_ns = ns(t0, t1);
+  out.miss_ns = ns(t1, t2);
+  if (sink == 0) std::cout << "";  // keep the probes observable
+  return out;
+}
+
+struct MatchPoint {
+  double win_ratio = 0.0;
+  double hit_rate = 0.0;
+  std::uint64_t stores = 0;
+  std::uint64_t probes = 0;
+};
+
+/// Equal-budget match of `subject` against a plain sequential opponent.
+MatchPoint run_match(mcts::Searcher<reversi::ReversiGame>& subject,
+                     const mcts::TranspositionTable* table,
+                     const bench::CommonFlags& flags) {
+  auto opponent = engine::make_searcher<reversi::ReversiGame>(
+      engine::SchemeSpec::sequential().with_seed(
+          util::derive_seed(flags.seed, 0x0bb)));
+  harness::ArenaOptions options;
+  options.subject_budget = mcts::SearchBudget::from_seconds(flags.budget);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(flags.budget);
+  options.seed = flags.seed;
+  MatchPoint point;
+  point.win_ratio =
+      harness::play_match(subject, *opponent, flags.games, options).win_ratio;
+  if (table != nullptr) {
+    const auto stats = table->stats();
+    point.hit_rate = stats.hit_rate();
+    point.stores = stats.stores;
+    point.probes = stats.probes;
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  auto flags = bench::CommonFlags::parse(args);
+  flags.games = args.get_uint("games", flags.quick ? 2 : 8);
+  const int tt_mb = static_cast<int>(args.get_uint("tt-mb", 16));
+  const std::size_t warmup_games = args.get_uint("warmup-games", 4);
+  bench::print_header(
+      "Transposition + experience: hit rate, probe latency, strength", flags);
+
+  const ProbeTiming timing = time_probes();
+  std::cout << "probe latency: hit " << timing.hit_ns << " ns, miss "
+            << timing.miss_ns << " ns\n\n";
+
+  util::Table table({"config", "win_ratio", "tt_hit_rate", "tt_probes"});
+  std::vector<bench::JsonRow> rows;
+
+  // Control: plain sequential, no table.
+  {
+    auto subject = engine::make_searcher<reversi::ReversiGame>(
+        engine::SchemeSpec::sequential().with_seed(flags.seed));
+    const MatchPoint p = run_match(*subject, nullptr, flags);
+    table.begin_row().add("seq").add(p.win_ratio, 3).add(0.0, 3).add(0);
+    rows.push_back({{"config", bench::jstr("seq")},
+                    {"win_ratio", bench::jnum(p.win_ratio)},
+                    {"tt_hit_rate", bench::jnum(0.0)},
+                    {"tt_probes", bench::jint(0)},
+                    {"tt_stores", bench::jint(0)}});
+  }
+
+  // "+tt": the factory-owned table persists across the games of the match.
+  const std::string tt_spec = "seq+tt:" + std::to_string(tt_mb);
+  {
+    auto subject = engine::make_searcher<reversi::ReversiGame>(
+        engine::SchemeSpec::parse(tt_spec).with_seed(flags.seed));
+    const MatchPoint p = run_match(*subject, subject->transposition(), flags);
+    table.begin_row()
+        .add(tt_spec)
+        .add(p.win_ratio, 3)
+        .add(p.hit_rate, 3)
+        .add(static_cast<std::size_t>(p.probes));
+    rows.push_back({{"config", bench::jstr(tt_spec)},
+                    {"win_ratio", bench::jnum(p.win_ratio)},
+                    {"tt_hit_rate", bench::jnum(p.hit_rate)},
+                    {"tt_probes", bench::jint(static_cast<long>(p.probes))},
+                    {"tt_stores", bench::jint(static_cast<long>(p.stores))}});
+  }
+
+  // Experience-warmed: record warm-up self-play, round-trip the store
+  // through disk (the format smoke CI greps for), preload a fresh table.
+  std::size_t preloaded = 0;
+  {
+    mcts::ExperienceStore store;
+    auto a = engine::make_searcher<reversi::ReversiGame>(
+        engine::SchemeSpec::sequential().with_seed(flags.seed + 1));
+    auto b = engine::make_searcher<reversi::ReversiGame>(
+        engine::SchemeSpec::sequential().with_seed(flags.seed + 2));
+    harness::ArenaOptions warmup;
+    warmup.subject_budget = mcts::SearchBudget::from_seconds(flags.budget);
+    warmup.opponent_budget = mcts::SearchBudget::from_seconds(flags.budget);
+    warmup.seed = flags.seed + 3;
+    warmup.experience = &store;
+    (void)harness::play_match(*a, *b, warmup_games, warmup);
+
+    const std::string path = "BENCH_tt_experience.gmx";
+    const bool saved = store.save(path);
+    mcts::ExperienceStore loaded;
+    const bool round_trip = saved && loaded.load(path);
+    std::remove(path.c_str());
+    std::cout << "experience: " << store.size() << " positions, round-trip "
+              << (round_trip ? "ok" : "FAILED") << "\n";
+
+    mcts::TranspositionTable warmed(
+        mcts::TranspositionTable::entries_for_megabytes(tt_mb));
+    preloaded = loaded.preload_into(warmed);
+    engine::SchemeSpec spec =
+        engine::SchemeSpec::sequential().with_seed(flags.seed);
+    spec.search.transposition = &warmed;
+    auto subject = engine::make_searcher<reversi::ReversiGame>(spec);
+    const MatchPoint p = run_match(*subject, &warmed, flags);
+    table.begin_row()
+        .add("seq+experience")
+        .add(p.win_ratio, 3)
+        .add(p.hit_rate, 3)
+        .add(static_cast<std::size_t>(p.probes));
+    rows.push_back(
+        {{"config", bench::jstr("seq+experience")},
+         {"win_ratio", bench::jnum(p.win_ratio)},
+         {"tt_hit_rate", bench::jnum(p.hit_rate)},
+         {"tt_probes", bench::jint(static_cast<long>(p.probes))},
+         {"tt_stores", bench::jint(static_cast<long>(p.stores))},
+         {"experience_round_trip", bench::jbool(round_trip)},
+         {"preloaded_entries", bench::jint(static_cast<long>(preloaded))}});
+  }
+
+  bench::emit(table, flags, "tt_experience");
+
+  bench::write_bench_json(
+      "tt",
+      {{"bench", bench::jstr("tt_experience")},
+       {"quick", bench::jbool(flags.quick)},
+       {"tt_mb", bench::jint(tt_mb)},
+       {"probe_hit_ns", bench::jnum(timing.hit_ns)},
+       {"probe_miss_ns", bench::jnum(timing.miss_ns)},
+       {"warmup_games", bench::jint(static_cast<long>(warmup_games))},
+       {"budget_virtual_seconds", bench::jnum(flags.budget)},
+       {"games_per_match", bench::jint(static_cast<long>(flags.games))},
+       {"seed", bench::jint(static_cast<long>(flags.seed))}},
+      "rows", rows);
+
+  std::cout << "Reading: hit rate and probe latency are the signal here; at\n"
+               "equal budgets the table trades a little per-iteration time\n"
+               "for prior knowledge, so strength gains only show up at\n"
+               "longer budgets (--budget 0.5 --games 16).\n";
+  return 0;
+}

@@ -27,6 +27,7 @@
 #include "mcts/flat_mc.hpp"
 #include "mcts/searcher.hpp"
 #include "mcts/sequential.hpp"
+#include "mcts/transposition.hpp"
 #include "parallel/block_parallel.hpp"
 #include "parallel/hybrid.hpp"
 #include "parallel/leaf_parallel.hpp"
@@ -171,10 +172,62 @@ class SearcherRegistry {
   std::map<std::string, Builder> builders_;
 };
 
+/// Decorator the factory wraps around a scheme when `spec.tt_mb > 0`: owns
+/// the shared TranspositionTable every tree of the inner searcher attaches
+/// to (via SearchConfig::transposition) and advances the table's aging
+/// epoch once per move decision. Everything else forwards verbatim, so a
+/// spec without "+tt" never constructs this class and stays bit-exact with
+/// the pre-table engine.
+template <game::Game G>
+class TranspositionScopedSearcher final : public mcts::Searcher<G> {
+ public:
+  TranspositionScopedSearcher(std::shared_ptr<mcts::TranspositionTable> table,
+                              std::unique_ptr<mcts::Searcher<G>> inner)
+      : table_(std::move(table)), inner_(std::move(inner)) {}
+
+  [[nodiscard]] typename G::Move choose_move(
+      const typename G::State& state,
+      const mcts::SearchBudget& budget) override {
+    table_->bump_epoch();
+    return inner_->choose_move(state, budget);
+  }
+
+  [[nodiscard]] const mcts::SearchStats& last_stats() const noexcept override {
+    return inner_->last_stats();
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + " + transposition";
+  }
+
+  void reseed(std::uint64_t seed) override { inner_->reseed(seed); }
+
+  void set_tracer(obs::Tracer* tracer) noexcept override {
+    inner_->set_tracer(tracer);
+  }
+
+  [[nodiscard]] const mcts::TranspositionTable* transposition()
+      const noexcept override {
+    return table_.get();
+  }
+
+ private:
+  std::shared_ptr<mcts::TranspositionTable> table_;
+  std::unique_ptr<mcts::Searcher<G>> inner_;
+};
+
 /// Builds the searcher described by `spec`.
 template <game::Game G>
 [[nodiscard]] std::unique_ptr<mcts::Searcher<G>> make_searcher(
     const SchemeSpec& spec) {
+  if (spec.tt_mb > 0 && spec.search.transposition == nullptr) {
+    auto table = std::make_shared<mcts::TranspositionTable>(
+        mcts::TranspositionTable::entries_for_megabytes(spec.tt_mb));
+    SchemeSpec wired = spec;
+    wired.search.transposition = table.get();
+    return std::make_unique<TranspositionScopedSearcher<G>>(
+        std::move(table), SearcherRegistry<G>::instance().make(wired));
+  }
   return SearcherRegistry<G>::instance().make(spec);
 }
 

@@ -11,28 +11,29 @@ namespace gpu_mcts::engine {
 namespace {
 
 /// One row per accepted spec form: the short name, its grammar fragment, and
-/// whether the form takes the "+pipeline[:<depth>]" suffix. Both the
-/// "expected one of: ..." grammar in parse errors and the list of schemes
-/// named by the misplaced-"+pipeline" error are generated from this table,
-/// so adding a scheme (or giving one a pipelined implementation) is a
-/// one-row change here plus its branch in parse().
+/// which "+"-suffixes the form takes ("+pipeline[:<depth>]", "+tt:<mb>").
+/// Both the "expected one of: ..." grammar in parse errors and the scheme
+/// lists named by the misplaced-suffix errors are generated from this
+/// table, so adding a scheme (or giving one a pipelined or transposition
+/// implementation) is a one-row change here plus its branch in parse().
 struct SchemeForm {
   std::string_view name;
   std::string_view params;  // grammar after the name, e.g. ":<blocks>x<tpb>"
   bool pipeline_ok;
+  bool tt_ok;
 };
 
 constexpr SchemeForm kForms[] = {
-    {"seq", "", false},
-    {"flat", "", false},
-    {"root", ":<threads>", false},
-    {"tree", ":<workers>[:vl=<loss>]", false},
-    {"shared", ":<workers>[:vl=<loss>][:wu]", false},
-    {"leaf", ":<blocks>x<tpb>", true},
-    {"block", ":<blocks>x<tpb>", true},
-    {"hybrid", ":<blocks>x<tpb>", true},
-    {"gpu-only", ":<blocks>x<tpb>", true},
-    {"dist", ":<ranks>x<blocks>x<tpb>", false},
+    {"seq", "", false, true},
+    {"flat", "", false, false},
+    {"root", ":<threads>", false, false},
+    {"tree", ":<workers>[:vl=<loss>]", false, false},
+    {"shared", ":<workers>[:vl=<loss>][:wu]", false, true},
+    {"leaf", ":<blocks>x<tpb>", true, true},
+    {"block", ":<blocks>x<tpb>", true, true},
+    {"hybrid", ":<blocks>x<tpb>", true, true},
+    {"gpu-only", ":<blocks>x<tpb>", true, true},
+    {"dist", ":<ranks>x<blocks>x<tpb>", false, false},
 };
 
 std::string grammar() {
@@ -44,6 +45,7 @@ std::string grammar() {
     out += form.name;
     out += form.params;
     if (form.pipeline_ok) out += "[+pipeline[:<depth>]]";
+    if (form.tt_ok) out += "[+tt:<mb>]";
   }
   return out;
 }
@@ -53,6 +55,18 @@ std::string pipeline_schemes() {
   bool first = true;
   for (const SchemeForm& form : kForms) {
     if (!form.pipeline_ok) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += form.name;
+  }
+  return out;
+}
+
+std::string tt_schemes() {
+  std::string out;
+  bool first = true;
+  for (const SchemeForm& form : kForms) {
+    if (!form.tt_ok) continue;
     if (!first) out += ", ";
     first = false;
     out += form.name;
@@ -147,48 +161,84 @@ TreeParams parse_tree_params(std::string_view text, std::string_view rest,
 }  // namespace
 
 SchemeSpec SchemeSpec::parse(std::string_view text) {
-  const std::size_t colon = text.find(':');
-  const std::string_view head = text.substr(0, colon);
-  std::string_view rest = colon == std::string_view::npos
-                              ? std::string_view{}
-                              : text.substr(colon + 1);
-  // "+pipeline[:<depth>]" suffix: strip it before the dimensions are
-  // parsed, then reject it for the schemes that have no pipelined
-  // implementation (the pipeline_ok column of kForms).
+  // "+"-suffixes ("+pipeline[:<depth>]", "+tt:<mb>", in any order) are
+  // stripped from the *full* text before the scheme's own ':' split, so a
+  // suffix with a colon works the same on a parameterless scheme
+  // ("seq+tt:64") as on a parameterized one ("block:8x32+tt:64"). Each is
+  // then rejected for the schemes whose kForms row lacks the capability.
   constexpr std::string_view kPipelineWord = "+pipeline";
+  constexpr std::string_view kTtWord = "+tt";
   bool pipeline = false;
   int pipeline_depth = 2;
-  const std::size_t plus = rest.rfind('+');
-  if (plus != std::string_view::npos) {
-    const std::string_view suffix = rest.substr(plus);
-    if (suffix.substr(0, kPipelineWord.size()) != kPipelineWord) {
-      parse_fail(text, "unknown suffix \"" + std::string(suffix) + '"');
-    }
-    std::string_view depth_text = suffix.substr(kPipelineWord.size());
-    if (!depth_text.empty()) {
-      if (depth_text[0] != ':') {
-        parse_fail(text, "unknown suffix \"" + std::string(suffix) + '"');
+  int tt_mb = 0;
+  std::string_view body = text;
+  std::string_view suffixes;
+  if (const std::size_t plus = body.find('+');
+      plus != std::string_view::npos) {
+    suffixes = body.substr(plus);
+    body = body.substr(0, plus);
+  }
+  while (!suffixes.empty()) {
+    const std::size_t next = suffixes.find('+', 1);
+    const std::string_view suffix = suffixes.substr(0, next);
+    suffixes = next == std::string_view::npos ? std::string_view{}
+                                              : suffixes.substr(next);
+    if (suffix.substr(0, kPipelineWord.size()) == kPipelineWord) {
+      std::string_view depth_text = suffix.substr(kPipelineWord.size());
+      if (!depth_text.empty()) {
+        if (depth_text[0] != ':') {
+          parse_fail(text, "unknown suffix \"" + std::string(suffix) + '"');
+        }
+        depth_text.remove_prefix(1);
+        constexpr int kMaxDepth = simt::VirtualGpu::kMaxStreams;
+        int value = 0;
+        const auto [ptr, ec] = std::from_chars(
+            depth_text.data(), depth_text.data() + depth_text.size(), value);
+        if (ec != std::errc{} ||
+            ptr != depth_text.data() + depth_text.size() || value < 1 ||
+            value > kMaxDepth) {
+          parse_fail(text, "pipeline depth \"" + std::string(depth_text) +
+                               "\" must be an integer in 1.." +
+                               std::to_string(kMaxDepth));
+        }
+        pipeline_depth = value;
       }
-      depth_text.remove_prefix(1);
-      constexpr int kMaxDepth = simt::VirtualGpu::kMaxStreams;
+      pipeline = true;
+    } else if (suffix == kTtWord ||
+               suffix.substr(0, kTtWord.size() + 1) == "+tt:") {
+      std::string_view mb_text =
+          suffix.size() > kTtWord.size() ? suffix.substr(kTtWord.size() + 1)
+                                         : std::string_view{};
       int value = 0;
       const auto [ptr, ec] = std::from_chars(
-          depth_text.data(), depth_text.data() + depth_text.size(), value);
-      if (ec != std::errc{} || ptr != depth_text.data() + depth_text.size() ||
-          value < 1 || value > kMaxDepth) {
-        parse_fail(text, "pipeline depth \"" + std::string(depth_text) +
-                             "\" must be an integer in 1.." +
-                             std::to_string(kMaxDepth));
+          mb_text.data(), mb_text.data() + mb_text.size(), value);
+      if (ec != std::errc{} || ptr != mb_text.data() + mb_text.size() ||
+          value < 1 || value > 4096) {
+        parse_fail(text, "tt size \"" + std::string(mb_text) +
+                             "\" must be an integer number of megabytes in "
+                             "1..4096");
       }
-      pipeline_depth = value;
+      tt_mb = value;
+    } else {
+      parse_fail(text, "unknown suffix \"" + std::string(suffix) + '"');
     }
-    pipeline = true;
-    rest = rest.substr(0, plus);
   }
+  const std::size_t colon = body.find(':');
+  const std::string_view head = body.substr(0, colon);
+  const std::string_view rest = colon == std::string_view::npos
+                                    ? std::string_view{}
+                                    : body.substr(colon + 1);
   const auto reject_pipeline = [&]() {
     if (pipeline) {
       parse_fail(text, "\"+pipeline\" applies only to the GPU round schemes (" +
                            pipeline_schemes() + ")");
+    }
+  };
+  const auto reject_tt = [&]() {
+    if (tt_mb != 0) {
+      parse_fail(text,
+                 "\"+tt\" applies only to the transposition-capable schemes (" +
+                     tt_schemes() + ")");
     }
   };
   const auto require_arg = [&]() {
@@ -202,20 +252,25 @@ SchemeSpec SchemeSpec::parse(std::string_view text) {
 
   if (head == "seq" || head == "sequential") {
     require_bare();
-    return sequential();
+    reject_pipeline();
+    return sequential().with_tt(tt_mb);
   }
   if (head == "flat" || head == "flat-mc") {
     require_bare();
+    reject_pipeline();
+    reject_tt();
     return flat_mc();
   }
   if (head == "root" || head == "root-parallel") {
     require_arg();
     reject_pipeline();
+    reject_tt();
     return root_parallel(parse_dims(text, rest, 1)[0]);
   }
   if (head == "tree" || head == "tree-parallel") {
     require_arg();
     reject_pipeline();
+    reject_tt();
     const TreeParams p = parse_tree_params(text, rest, /*wu_ok=*/false);
     return tree_parallel(p.workers, p.virtual_loss);
   }
@@ -223,39 +278,44 @@ SchemeSpec SchemeSpec::parse(std::string_view text) {
     require_arg();
     reject_pipeline();
     const TreeParams p = parse_tree_params(text, rest, /*wu_ok=*/true);
-    return shared_tree(p.workers, p.virtual_loss, p.wu_uct);
+    return shared_tree(p.workers, p.virtual_loss, p.wu_uct).with_tt(tt_mb);
   }
   if (head == "leaf" || head == "leaf-gpu") {
     require_arg();
     const auto d = parse_dims(text, rest, 2);
     return leaf_gpu(d[0], d[1])
         .with_pipeline(pipeline)
-        .with_pipeline_depth(pipeline_depth);
+        .with_pipeline_depth(pipeline_depth)
+        .with_tt(tt_mb);
   }
   if (head == "block" || head == "block-gpu") {
     require_arg();
     const auto d = parse_dims(text, rest, 2);
     return block_gpu(d[0], d[1])
         .with_pipeline(pipeline)
-        .with_pipeline_depth(pipeline_depth);
+        .with_pipeline_depth(pipeline_depth)
+        .with_tt(tt_mb);
   }
   if (head == "hybrid") {
     require_arg();
     const auto d = parse_dims(text, rest, 2);
     return hybrid(d[0], d[1], true)
         .with_pipeline(pipeline)
-        .with_pipeline_depth(pipeline_depth);
+        .with_pipeline_depth(pipeline_depth)
+        .with_tt(tt_mb);
   }
   if (head == "gpu-only") {
     require_arg();
     const auto d = parse_dims(text, rest, 2);
     return hybrid(d[0], d[1], false)
         .with_pipeline(pipeline)
-        .with_pipeline_depth(pipeline_depth);
+        .with_pipeline_depth(pipeline_depth)
+        .with_tt(tt_mb);
   }
   if (head == "dist" || head == "distributed") {
     require_arg();
     reject_pipeline();
+    reject_tt();
     const auto d = parse_dims(text, rest, 3);
     return distributed(d[0], d[1], d[2]);
   }
@@ -385,6 +445,14 @@ SchemeSpec SchemeSpec::with_pipeline_depth(int depth) const {
   return copy;
 }
 
+SchemeSpec SchemeSpec::with_tt(int megabytes) const {
+  util::expects(megabytes >= 0 && megabytes <= 4096,
+                "transposition table size in 0..4096 megabytes");
+  SchemeSpec copy = *this;
+  copy.tt_mb = megabytes;
+  return copy;
+}
+
 std::string SchemeSpec::to_string() const {
   // Depth 2 is the suffix's default, so it round-trips as bare "+pipeline".
   const std::string pipe =
@@ -392,9 +460,11 @@ std::string SchemeSpec::to_string() const {
       : pipeline_depth == 2
           ? "+pipeline"
           : "+pipeline:" + std::to_string(pipeline_depth);
+  // Canonical suffix order is pipeline-then-tt; parse() accepts either.
+  const std::string tt = tt_mb == 0 ? "" : "+tt:" + std::to_string(tt_mb);
   const std::string grid = std::to_string(blocks) + "x" +
-                           std::to_string(threads_per_block) + pipe;
-  if (scheme == "sequential") return "seq";
+                           std::to_string(threads_per_block) + pipe + tt;
+  if (scheme == "sequential") return "seq" + tt;
   if (scheme == "flat-mc") return "flat";
   // vl=1 is the option's default, so it round-trips unspelled.
   const std::string vl =
@@ -405,7 +475,7 @@ std::string SchemeSpec::to_string() const {
   }
   if (scheme == "shared-tree") {
     return "shared:" + std::to_string(cpu_threads) + vl +
-           (wu_uct ? ":wu" : "");
+           (wu_uct ? ":wu" : "") + tt;
   }
   if (scheme == "leaf-gpu") return "leaf:" + grid;
   if (scheme == "block-gpu") return "block:" + grid;

@@ -34,6 +34,12 @@
 // DESIGN.md §10/§11 over <depth> streams (default 2, the legacy two-stream
 // ping-pong). For leaf and block, results are bit-identical with or without
 // it; hybrid overlaps CPU iterations against each in-flight cohort kernel.
+// The seq, shared, leaf, block, hybrid, and gpu-only forms accept a
+// "+tt:<mb>" suffix — e.g. "seq+tt:64" or "block:112x128+pipeline+tt:64"
+// (suffixes compose in any order) — attaching a shared transposition table
+// of <mb> megabytes to every tree of the searcher (DESIGN.md §16). Without
+// the suffix every scheme is bit-exact with a build that predates the
+// table.
 #pragma once
 
 #include <cstdint>
@@ -82,6 +88,11 @@ struct SchemeSpec {
   /// 2 reproduces the legacy two-stream ping-pong bit-exactly. Clamped to
   /// the device stream count and block count by the driver.
   int pipeline_depth = 2;
+  /// Shared transposition table size in megabytes (the "+tt:<mb>" spec
+  /// suffix); 0 (the default) searches without one — bit-exact with the
+  /// pre-table engine. The factory owns the table and shares it across
+  /// every tree the searcher builds; see mcts/transposition.hpp.
+  int tt_mb = 0;
   /// Host worker threads for the VirtualGpu execution backend (kernel grids
   /// and per-tree host phases; results are bit-identical for every value —
   /// the knob only buys wall-clock speed, see DESIGN.md §9). 0 (the
@@ -149,6 +160,11 @@ struct SchemeSpec {
   /// "+pipeline:<depth>" suffix / --pipeline-depth flag). Depth 1 runs
   /// synchronous rounds even with `pipeline` set.
   [[nodiscard]] SchemeSpec with_pipeline_depth(int depth) const;
+
+  /// Returns a copy with `tt_mb` replaced (0..4096; the "+tt:<mb>" suffix,
+  /// 0 = no table). Only meaningful for the transposition-capable schemes
+  /// (seq, shared, leaf, block, hybrid, gpu-only).
+  [[nodiscard]] SchemeSpec with_tt(int megabytes) const;
 
   /// Canonical spec string; parse(to_string()) reproduces the geometry.
   [[nodiscard]] std::string to_string() const;

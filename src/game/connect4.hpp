@@ -102,6 +102,13 @@ class ConnectFour {
     }
     return 0;
   }
+
+  [[nodiscard]] static std::uint64_t hash(const State& s) noexcept {
+    std::uint64_t h = hash_mix(0xc0442ec7ULL);  // domain tag: connect4
+    h = hash_combine(h, s.stones[0]);
+    h = hash_combine(h, s.stones[1]);
+    return hash_combine(h, s.to_move);
+  }
 };
 
 static_assert(Game<ConnectFour>);

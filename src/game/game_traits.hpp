@@ -51,6 +51,25 @@ enum class Outcome : std::uint8_t { kLoss = 0, kDraw = 1, kWin = 2 };
   return Outcome::kDraw;
 }
 
+/// SplitMix64 finalizer — the mixing primitive the Game::hash
+/// implementations share. Strong enough that transposition-table keys can
+/// use the result directly (every output bit depends on every input bit).
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Folds `v` into running hash `h` (order-dependent, like boost::hash_combine
+/// but 64-bit and fully mixed).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t h,
+                                                  std::uint64_t v) noexcept {
+  return hash_mix(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
 // clang-format off
 /// A Game binds a State and Move type with the rules operating on them.
 /// All operations are static: a Game is a rules namespace, not an object.
@@ -69,6 +88,10 @@ concept Game =
   { G::player_to_move(s) } -> std::same_as<Player>;
   { G::outcome_for(s, p) } -> std::same_as<Outcome>;
   { G::score_difference(s, p) } -> std::same_as<int>;
+  // Position identity for transposition tables and the experience store:
+  // equal states (same occupancy, same side to move) hash equal, including
+  // transpositions reached by different move orders.
+  { G::hash(s) } -> std::same_as<std::uint64_t>;
 };
 // clang-format on
 

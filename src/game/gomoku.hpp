@@ -94,6 +94,17 @@ class Gomoku {
     return 0;
   }
 
+  /// Hash over stones + side to move only: `winner` and `placed` are
+  /// derivable from the stones, so transpositions reached by different move
+  /// orders (same final occupancy) hash equal.
+  [[nodiscard]] static std::uint64_t hash(const State& s) noexcept {
+    std::uint64_t h = hash_mix(0x60e0503bULL);  // domain tag: gomoku
+    for (const auto& side : s.stones) {
+      for (const std::uint64_t word : side) h = hash_combine(h, word);
+    }
+    return hash_combine(h, s.to_move);
+  }
+
   /// True when the stone at `cell` completes >= 5 in a row for its side.
   [[nodiscard]] static bool wins_through(
       const std::array<std::uint64_t, 4>& stones, int cell) noexcept {

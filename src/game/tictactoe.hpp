@@ -70,6 +70,13 @@ class TicTacToe {
     return 0;
   }
 
+  [[nodiscard]] static std::uint64_t hash(const State& s) noexcept {
+    std::uint64_t h = hash_mix(0x71c7ac70eULL);  // domain tag: tictactoe
+    h = hash_combine(h, s.marks[0]);
+    h = hash_combine(h, s.marks[1]);
+    return hash_combine(h, s.to_move);
+  }
+
   [[nodiscard]] static bool has_line(std::uint16_t marks) noexcept {
     constexpr std::uint16_t kLines[] = {
         0x007, 0x038, 0x1c0,   // rows

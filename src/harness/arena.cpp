@@ -24,6 +24,17 @@ GameRecord play_game(mcts::Searcher<ReversiGame>& subject,
       static_cast<game::Player>(options.subject_color);
 
   Position pos = reversi::initial_position();
+  // (position hash, move, mover) per ply, resolved against the final
+  // outcome once the game ends (experience recording).
+  struct PlyForExperience {
+    std::uint64_t hash;
+    reversi::Move move;
+    game::Player mover;
+  };
+  std::vector<PlyForExperience> plies;
+  if (options.experience != nullptr) {
+    plies.reserve(ReversiGame::kMaxGameLength);
+  }
   int step = 0;
   while (!ReversiGame::is_terminal(pos)) {
     const bool subject_to_move =
@@ -40,6 +51,10 @@ GameRecord play_game(mcts::Searcher<ReversiGame>& subject,
     } else {
       sr.move = opponent.choose_move(pos, options.opponent_budget);
     }
+    if (options.experience != nullptr) {
+      plies.push_back({ReversiGame::hash(pos), sr.move,
+                       ReversiGame::player_to_move(pos)});
+    }
     pos = ReversiGame::apply(pos, sr.move);
     sr.point_difference = reversi::disc_difference(pos, subject_player);
     record.steps.push_back(sr);
@@ -48,6 +63,13 @@ GameRecord play_game(mcts::Searcher<ReversiGame>& subject,
 
   record.subject_outcome = reversi::outcome_for(pos, subject_player);
   record.final_point_difference = reversi::disc_difference(pos, subject_player);
+  if (options.experience != nullptr) {
+    for (const PlyForExperience& ply : plies) {
+      options.experience->record(ply.hash,
+                                 static_cast<std::uint8_t>(ply.move),
+                                 reversi::outcome_for(pos, ply.mover));
+    }
+  }
   return record;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "game/game_traits.hpp"
+#include "mcts/experience.hpp"
 #include "mcts/searcher.hpp"
 #include "mcts/stats.hpp"
 #include "reversi/reversi_game.hpp"
@@ -50,6 +51,12 @@ struct ArenaOptions {
   /// 0 = subject plays black, 1 = white.
   int subject_color = 0;
   std::uint64_t seed = 1;
+  /// When non-null, every decision of the game (both players') is recorded
+  /// into this experience store once the final outcome is known: position
+  /// hash, move played, and the result from the mover's perspective. Feed
+  /// the store to TranspositionTable preloading (DESIGN.md §16) to warm
+  /// future searches; nullptr (the default) records nothing.
+  mcts::ExperienceStore* experience = nullptr;
 
   /// Deprecated: set subject_budget instead. Kept for one release so callers
   /// migrating from the seconds-only interface keep compiling.

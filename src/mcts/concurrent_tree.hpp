@@ -130,6 +130,11 @@ class ConcurrentTree {
     std::atomic<std::uint32_t> inflight{0};
     /// Win credit for `mover` in half-points (win 2, draw 1, loss 0).
     std::atomic<std::uint64_t> wins_half{0};
+    /// Position hash (G::hash of the state this node represents), written
+    /// once by the expanding thread before the kExpanded release publish —
+    /// an identity field like parent/move/mover, not an atomic. Only
+    /// maintained when a transposition table is attached; 0 otherwise.
+    std::uint64_t hash = 0;
   };
 
   static constexpr std::uint8_t kUnexpanded = 0;
@@ -149,6 +154,7 @@ class ConcurrentTree {
     util::check(root == 0, "root allocates index 0");
     Node& r = node_mutable(root);
     r.mover = game::opponent_of(G::player_to_move(root_state));
+    if (config_.transposition != nullptr) r.hash = G::hash(root_state);
     r.expand_state.store(kUnexpanded, std::memory_order_relaxed);
   }
 
@@ -234,6 +240,8 @@ class ConcurrentTree {
                   "playout value within [0, 1]");
     const auto half_first =
         static_cast<std::uint64_t>(std::lround(value_first * 2.0));
+    TranspositionTable* tt = config_.transposition;
+    std::uint8_t hint = TranspositionTable::kNoHint;
     for (NodeIndex n = leaf; n != kNoNode;) {
       Node& nd = node_mutable(n);
       nd.visits.fetch_add(1, std::memory_order_relaxed);
@@ -242,6 +250,16 @@ class ConcurrentTree {
                                  : 2u - half_first,
                              std::memory_order_relaxed);
       nd.inflight.fetch_sub(1, std::memory_order_relaxed);
+      if (tt != nullptr) {
+        // Delta-only feed into the shared table, scored for the side to
+        // move at the keyed position (the opponent of nd.mover); priors
+        // seeded at expansion are already in there.
+        tt->store(nd.hash, 1,
+                  nd.mover == game::Player::kFirst ? 2u - half_first
+                                                   : half_first,
+                  hint);
+        hint = static_cast<std::uint8_t>(nd.move);
+      }
       n = nd.parent;
     }
   }
@@ -304,6 +322,9 @@ class ConcurrentTree {
   }
 
  private:
+  /// Same prior cap as mcts::Tree (see its kTtSeedVisitCap rationale).
+  static constexpr std::uint32_t kTtSeedVisitCap = 64;
+
   static constexpr std::uint32_t kChunkShift = 12;
   static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;  // 4096
   static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
@@ -381,12 +402,44 @@ class ConcurrentTree {
           rng.next_below(static_cast<std::uint32_t>(i + 1)));
       std::swap(moves[i], moves[j]);
     }
+    TranspositionTable* tt = config_.transposition;
+    if (tt != nullptr) {
+      // Front-load the table's best-move hint (post-shuffle, so the RNG
+      // stream is table-independent).
+      if (const auto here = tt->probe(nd.hash);
+          here && here->move_hint != TranspositionTable::kNoHint) {
+        for (int i = 0; i < n; ++i) {
+          if (static_cast<std::uint8_t>(moves[i]) == here->move_hint) {
+            std::swap(moves[0], moves[i]);
+            break;
+          }
+        }
+      }
+    }
     const game::Player mover = G::player_to_move(state);
     for (int i = 0; i < n; ++i) {
       Node& child = node_mutable(first + static_cast<NodeIndex>(i));
       child.parent = index;
       child.move = moves[i];
       child.mover = mover;
+      if (tt != nullptr) {
+        // The expander owns these nodes until the kExpanded release publish
+        // below, so plain/relaxed initialization of the atomics is safe.
+        const State child_state = G::apply(state, moves[i]);
+        child.hash = G::hash(child_state);
+        if (const auto hit = tt->probe(child.hash); hit && hit->visits > 0) {
+          // Capped prior, converted from side-to-move (table) to `mover`
+          // (node) perspective: node half-points = 2*visits - stm.
+          const std::uint32_t sv = hit->visits < kTtSeedVisitCap
+                                       ? hit->visits
+                                       : kTtSeedVisitCap;
+          const std::uint64_t stm_half =
+              (hit->wins_half * sv + hit->visits / 2) / hit->visits;
+          child.visits.store(sv, std::memory_order_relaxed);
+          child.wins_half.store(2ull * sv - stm_half,
+                                std::memory_order_relaxed);
+        }
+      }
     }
     nd.first_child = first;
     nd.num_children = static_cast<std::uint16_t>(n);

@@ -22,6 +22,8 @@ enum class SelectionPolicy : std::uint8_t {
   kUcb1Tuned,  ///< Auer et al.'s variance-aware bound (extension)
 };
 
+class TranspositionTable;
+
 struct SearchConfig {
   /// UCB exploration constant ("C - a parameter to be adjusted", paper §II).
   /// sqrt(2) is the UCT default for 1-playout iterations; batch-
@@ -35,6 +37,12 @@ struct SearchConfig {
   std::size_t max_nodes = 1u << 20;
   /// Root RNG seed; all per-tree / per-lane streams derive from it.
   std::uint64_t seed = 0x5eedULL;
+  /// Optional shared transposition table (mcts/transposition.hpp), not
+  /// owned. Trees built from this config attach to it: expansion seeds new
+  /// children from table priors and backpropagation feeds deltas back.
+  /// nullptr (the default) keeps every search path bit-exact with a build
+  /// that predates the table — no hashing, no probes, no RNG divergence.
+  TranspositionTable* transposition = nullptr;
 };
 
 }  // namespace gpu_mcts::mcts

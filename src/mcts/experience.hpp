@@ -1,0 +1,239 @@
+// ExperienceStore: a persistent position -> (move, visits, score) memory
+// that survives across processes. DESIGN.md §16.
+//
+// The arena records every position visited during self-play together with
+// the move actually chosen and the final outcome for the mover; save()
+// serializes the aggregate to a small versioned file and load() restores
+// it. preload_into() then converts the aggregate into TranspositionTable
+// priors, so a fresh search starts with statistics distilled from earlier
+// games instead of a cold table — the "experience" half of this PR's
+// tentpole, measured by bench/tt_experience.
+//
+// Per-position aggregation is deliberately tiny: total visits, total score
+// in half-points (win = 2, draw = 1, loss = 0, mover's perspective — the
+// same convention as the transposition table), and a single retained move
+// chosen by the Misra-Gries k=1 heavy-hitter rule (counter++ on match,
+// counter-- on mismatch, replace at zero). That retains the majority move
+// when one exists using two bytes instead of a histogram.
+//
+// File format "GMX1" (all little-endian, independent of host endianness):
+//   offset 0: magic "GMX1" (4 bytes)
+//   offset 4: u32 version (currently 1)
+//   offset 8: u64 entry count N
+//   offset 16: N x 24-byte entries:
+//       u64 key | u32 visits | u32 score_half | u8 move | u8 move_weight
+//       | u16 reserved (0) | u32 reserved (0)
+//   tail: u64 FNV-1a checksum of every preceding byte.
+// load() returns false (store unchanged) on missing file, short read, bad
+// magic/version, or checksum mismatch — corruption is never half-applied.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "game/game_traits.hpp"
+#include "mcts/transposition.hpp"
+
+namespace gpu_mcts::mcts {
+
+class ExperienceStore {
+ public:
+  struct Record {
+    std::uint32_t visits = 0;
+    /// Cumulative outcome for the side to move, half-points per visit.
+    std::uint32_t score_half = 0;
+    /// Misra-Gries k=1 retained move and its counter.
+    std::uint8_t move = 0xff;
+    std::uint8_t move_weight = 0;
+  };
+
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::size_t kEntryBytes = 24;
+
+  /// Folds one observed decision into the store: at the position hashed
+  /// `key`, the side to move played `move` and eventually scored `outcome`
+  /// (from its own perspective).
+  void record(std::uint64_t key, std::uint8_t move,
+              game::Outcome outcome) {
+    Record& r = records_[key];
+    if (r.visits < 0xffffffffu - 2) {
+      r.visits += 1;
+      r.score_half += half_points(outcome);
+    }
+    if (r.move == move) {
+      if (r.move_weight < 0xff) ++r.move_weight;
+    } else if (r.move_weight == 0) {
+      r.move = move;
+      r.move_weight = 1;
+    } else {
+      --r.move_weight;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const std::unordered_map<std::uint64_t, Record>& records()
+      const noexcept {
+    return records_;
+  }
+
+  /// Merges another store into this one (used when several arenas feed one
+  /// file). Misra-Gries merge keeps the heavier retained move.
+  void merge(const ExperienceStore& other) {
+    for (const auto& [key, theirs] : other.records_) {
+      Record& mine = records_[key];
+      mine.visits += theirs.visits;
+      mine.score_half += theirs.score_half;
+      if (mine.move == theirs.move) {
+        const unsigned sum = mine.move_weight + theirs.move_weight;
+        mine.move_weight = sum < 0xff ? static_cast<std::uint8_t>(sum) : 0xff;
+      } else if (theirs.move_weight > mine.move_weight) {
+        mine.move = theirs.move;
+        mine.move_weight =
+            static_cast<std::uint8_t>(theirs.move_weight - mine.move_weight);
+      } else {
+        mine.move_weight =
+            static_cast<std::uint8_t>(mine.move_weight - theirs.move_weight);
+      }
+    }
+  }
+
+  /// Writes the store to `path`. Returns false on I/O failure.
+  [[nodiscard]] bool save(const std::string& path) const {
+    std::vector<std::uint8_t> buf;
+    buf.reserve(16 + records_.size() * kEntryBytes + 8);
+    buf.push_back('G');
+    buf.push_back('M');
+    buf.push_back('X');
+    buf.push_back('1');
+    put_u32(buf, kVersion);
+    put_u64(buf, records_.size());
+    for (const auto& [key, r] : records_) {
+      put_u64(buf, key);
+      put_u32(buf, r.visits);
+      put_u32(buf, r.score_half);
+      buf.push_back(r.move);
+      buf.push_back(r.move_weight);
+      put_u16(buf, 0);
+      put_u32(buf, 0);
+    }
+    put_u64(buf, fnv1a(buf.data(), buf.size()));
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+    const bool ok = std::fclose(f) == 0 && written == buf.size();
+    return ok;
+  }
+
+  /// Replaces this store's contents with the file at `path`. On any
+  /// failure — missing file, truncation, bad magic/version, checksum
+  /// mismatch — returns false and leaves the store untouched.
+  [[nodiscard]] bool load(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::vector<std::uint8_t> buf;
+    std::uint8_t chunk[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      buf.insert(buf.end(), chunk, chunk + n);
+    }
+    std::fclose(f);
+    if (buf.size() < 16 + 8) return false;
+    const std::size_t body = buf.size() - 8;
+    if (fnv1a(buf.data(), body) != get_u64(buf.data() + body)) return false;
+    if (buf[0] != 'G' || buf[1] != 'M' || buf[2] != 'X' || buf[3] != '1') {
+      return false;
+    }
+    if (get_u32(buf.data() + 4) != kVersion) return false;
+    const std::uint64_t count = get_u64(buf.data() + 8);
+    if (body != 16 + count * kEntryBytes) return false;
+    std::unordered_map<std::uint64_t, Record> loaded;
+    loaded.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint8_t* p = buf.data() + 16 + i * kEntryBytes;
+      Record r;
+      r.visits = get_u32(p + 8);
+      r.score_half = get_u32(p + 12);
+      r.move = p[16];
+      r.move_weight = p[17];
+      loaded[get_u64(p)] = r;
+    }
+    records_ = std::move(loaded);
+    return true;
+  }
+
+  /// Seeds a transposition table with this store's aggregate as priors.
+  /// Each position becomes one entry with visits scaled to at most
+  /// `max_seed_visits` (proportionally shrinking the score so the win rate
+  /// is preserved) plus the retained move as hint. Returns entries seeded.
+  std::size_t preload_into(TranspositionTable& table,
+                           std::uint32_t max_seed_visits = 64) const {
+    std::size_t seeded = 0;
+    for (const auto& [key, r] : records_) {
+      if (r.visits == 0) continue;
+      std::uint32_t visits = r.visits;
+      std::uint64_t score = r.score_half;
+      if (visits > max_seed_visits) {
+        score = (score * max_seed_visits + visits / 2) / visits;
+        visits = max_seed_visits;
+      }
+      const std::uint8_t hint =
+          r.move_weight > 0 ? r.move : TranspositionTable::kNoHint;
+      table.store(key, visits, score, hint);
+      ++seeded;
+    }
+    return seeded;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint32_t half_points(
+      game::Outcome o) noexcept {
+    switch (o) {
+      case game::Outcome::kWin: return 2;
+      case game::Outcome::kDraw: return 1;
+      case game::Outcome::kLoss: return 0;
+    }
+    return 0;
+  }
+
+  static void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+    b.push_back(static_cast<std::uint8_t>(v));
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  static void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  static void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  [[nodiscard]] static std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  }
+  [[nodiscard]] static std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  }
+
+  [[nodiscard]] static std::uint64_t fnv1a(const std::uint8_t* p,
+                                           std::size_t n) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  std::unordered_map<std::uint64_t, Record> records_;
+};
+
+}  // namespace gpu_mcts::mcts

@@ -80,6 +80,7 @@ class ReuseSequentialSearcher final : public Searcher<G> {
           cost_.host_tree_op_cycles +
           cost_.host_cycles_per_ply * static_cast<double>(plies)));
       stats_.simulations += 1;
+      stats_.cpu_iterations += 1;
       stats_.rounds += 1;
     } while (!should_stop() && clock.cycles() < deadline);
 

@@ -15,6 +15,8 @@ class Tracer;
 
 namespace gpu_mcts::mcts {
 
+class TranspositionTable;
+
 template <game::Game G>
 class Searcher {
  public:
@@ -55,6 +57,15 @@ class Searcher {
   /// The default is a no-op so schemes opt in; with no tracer attached a
   /// searcher's behaviour is bit-identical to one built without tracing.
   virtual void set_tracer(obs::Tracer* tracer) noexcept { (void)tracer; }
+
+  /// The shared transposition table this searcher feeds, or nullptr when
+  /// searching without one (the default). Overridden by the factory's
+  /// table-owning decorator; exposed so tests and the serving layer can
+  /// inspect hit-rates without knowing the concrete scheme.
+  [[nodiscard]] virtual const TranspositionTable* transposition()
+      const noexcept {
+    return nullptr;
+  }
 };
 
 }  // namespace gpu_mcts::mcts

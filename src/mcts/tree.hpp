@@ -23,6 +23,7 @@
 
 #include "game/game_traits.hpp"
 #include "mcts/config.hpp"
+#include "mcts/transposition.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -85,6 +86,10 @@ class Tree {
     Node<G> root;
     root.mover = game::opponent_of(G::player_to_move(root_state));
     nodes_.push_back(root);
+    hashes_.clear();
+    if (config_.transposition != nullptr) {
+      hashes_.push_back(G::hash(root_state));
+    }
   }
 
   /// One selection + (implicit) expansion pass: descends by UCB, visiting an
@@ -155,6 +160,26 @@ class Tree {
         node.win_squares += n_d - 2.0 * value_first_sum + value_sq_first_sum;
       }
     }
+    if (TranspositionTable* tt = config_.transposition; tt != nullptr) {
+      // Feed *deltas only* into the shared table — priors seeded at
+      // expansion are already in there, so re-storing node totals would
+      // double-count. Playout values are multiples of 0.5, so 2x the sum
+      // is an exact integer half-point count.
+      const auto half_first =
+          static_cast<std::uint64_t>(std::llround(value_first_sum * 2.0));
+      std::uint8_t hint = TranspositionTable::kNoHint;
+      for (NodeIndex n = leaf; n != kNoNode; n = nodes_[n].parent) {
+        const Node<G>& node = nodes_[n];
+        // Table entries score the *side to move* at the keyed position —
+        // the opponent of node.mover.
+        const std::uint64_t half_stm = node.mover == game::Player::kFirst
+                                           ? 2ull * sims - half_first
+                                           : half_first;
+        tt->store(hashes_[n], sims, half_stm, hint);
+        // The parent's hint is the move just walked: the move *into* n.
+        hint = static_cast<std::uint8_t>(node.move);
+      }
+    }
   }
 
   /// Re-roots the tree at the child reached by `move`, preserving that
@@ -180,6 +205,14 @@ class Tree {
     // children contiguous, which the node layout requires).
     std::vector<Node<G>> fresh;
     fresh.reserve(nodes_.size() / 2);
+    const bool keep_hashes = config_.transposition != nullptr;
+    std::vector<std::uint64_t> fresh_hashes;
+    if (keep_hashes) {
+      fresh_hashes.reserve(nodes_.size() / 2);
+      // Recomputed rather than copied: advance_root's contract is only that
+      // new_root_state is the position at `child`, and the hash is cheap.
+      fresh_hashes.push_back(G::hash(new_root_state));
+    }
     std::vector<std::pair<NodeIndex, NodeIndex>> queue;  // (old, new parent)
     Node<G> new_root = nodes_[child];
     new_root.parent = kNoNode;
@@ -212,6 +245,7 @@ class Tree {
         Node<G> copy = nodes_[c];
         copy.parent = new_index;
         fresh.push_back(copy);
+        if (keep_hashes) fresh_hashes.push_back(hashes_[c]);
       }
       fresh[new_index].first_child = first;
       for (std::uint16_t k = 0; k < old_node.num_children; ++k) {
@@ -221,6 +255,7 @@ class Tree {
     }
 
     nodes_ = std::move(fresh);
+    hashes_ = std::move(fresh_hashes);
     root_state_ = new_root_state;
     max_depth_ = 0;
     return nodes_.size();
@@ -349,6 +384,21 @@ class Tree {
           rng_.next_below(static_cast<std::uint32_t>(i + 1)));
       std::swap(moves[i], moves[j]);
     }
+    TranspositionTable* tt = config_.transposition;
+    if (tt != nullptr) {
+      // Front-load the table's best-move hint so it is the first unvisited
+      // child tried. Done *after* the shuffle — the RNG stream stays
+      // identical with and without a table attached.
+      if (const auto here = tt->probe(hashes_[index]);
+          here && here->move_hint != TranspositionTable::kNoHint) {
+        for (int i = 0; i < n; ++i) {
+          if (static_cast<std::uint8_t>(moves[i]) == here->move_hint) {
+            std::swap(moves[0], moves[i]);
+            break;
+          }
+        }
+      }
+    }
     const auto first = static_cast<NodeIndex>(nodes_.size());
     const game::Player mover = G::player_to_move(state);
     for (int i = 0; i < n; ++i) {
@@ -356,6 +406,28 @@ class Tree {
       child.parent = index;
       child.move = moves[i];
       child.mover = mover;
+      if (tt != nullptr) {
+        const State child_state = G::apply(state, moves[i]);
+        const std::uint64_t h = G::hash(child_state);
+        hashes_.push_back(h);
+        if (const auto hit = tt->probe(h); hit && hit->visits > 0) {
+          // Seed the child with a capped prior. Table wins score the side
+          // to move at child_state (the opponent of `mover`), so the
+          // node's mover-perspective wins are the complement. The scaled
+          // half-point total is re-expressed in points (x0.5).
+          const std::uint32_t sv = hit->visits < kTtSeedVisitCap
+                                       ? hit->visits
+                                       : kTtSeedVisitCap;
+          const double stm_points = static_cast<double>(hit->wins_half) *
+                                    (static_cast<double>(sv) /
+                                     static_cast<double>(hit->visits)) /
+                                    2.0;
+          child.visits = sv;
+          child.wins = static_cast<double>(sv) - stm_points;
+          // Win/loss-shaped prior (values in {0,1}): squares = wins.
+          child.win_squares = child.wins;
+        }
+      }
       nodes_.push_back(child);
     }
     nodes_[index].first_child = first;
@@ -407,9 +479,17 @@ class Tree {
     return best;
   }
 
+  /// Cap on transposition-seeded prior visits: enough to steer early
+  /// selection, small enough that live search evidence overturns a wrong
+  /// (or stale) prior within a few dozen iterations.
+  static constexpr std::uint32_t kTtSeedVisitCap = 64;
+
   SearchConfig config_;
   util::XorShift128Plus rng_;
   std::vector<Node<G>> nodes_;
+  /// Per-node position hashes, maintained (parallel to nodes_) only when
+  /// config_.transposition is attached; empty otherwise.
+  std::vector<std::uint64_t> hashes_;
   State root_state_{};
   std::uint32_t max_depth_ = 0;
   /// Applied-but-not-removed virtual-loss visits (see apply_virtual_loss).

@@ -2,10 +2,12 @@
 // the MCTS core and the SIMT playout kernel.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "game/game_traits.hpp"
 #include "reversi/position.hpp"
+#include "reversi/zobrist.hpp"
 
 namespace gpu_mcts::reversi {
 
@@ -49,6 +51,10 @@ class ReversiGame {
   [[nodiscard]] static int score_difference(const State& s,
                                             game::Player p) noexcept {
     return disc_difference(s, p);
+  }
+
+  [[nodiscard]] static std::uint64_t hash(const State& s) noexcept {
+    return Zobrist::hash(s);
   }
 
   /// Fast playout step (optional Game extension, detected by the playout

@@ -61,6 +61,15 @@ class Zobrist {
     return h ^ side_key();
   }
 
+  /// Incremental update for a pass: no discs change, only the side to move.
+  /// Passes are ordinary moves in this engine (game_traits.hpp), but
+  /// update() above is placement-shaped — before this existed, every
+  /// incremental-hash consumer silently diverged from hash() at the first
+  /// forced pass.
+  [[nodiscard]] static constexpr std::uint64_t pass(std::uint64_t h) noexcept {
+    return h ^ side_key();
+  }
+
   [[nodiscard]] static constexpr std::uint64_t side_key() noexcept {
     return detail::kZobristKeys.side;
   }

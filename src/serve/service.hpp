@@ -55,6 +55,7 @@
 #include "game/game_traits.hpp"
 #include "mcts/budget.hpp"
 #include "mcts/stats.hpp"
+#include "mcts/transposition.hpp"
 #include "obs/trace.hpp"
 #include "parallel/driver/session_source.hpp"
 #include "simt/geometry.hpp"
@@ -93,6 +94,13 @@ struct ServiceOptions {
   /// Execution backend for the shared VirtualGpu (wall-clock only;
   /// results are bit-identical at every thread count).
   simt::ExecutionPolicy exec = simt::ExecutionPolicy::from_env();
+  /// Shared transposition table size in megabytes; 0 (the default) runs
+  /// without one, bit-identical to the pre-table service. When set, every
+  /// session's trees attach to ONE service-owned table — cross-session
+  /// statistics sharing for tenants playing the same game, the serving-side
+  /// analogue of the "+tt:<mb>" scheme suffix (which sessions themselves
+  /// must not carry; the service owns the table).
+  int transposition_mb = 0;
 };
 
 /// Per-ticket scheduling knobs.
@@ -135,6 +143,14 @@ class SearchService {
     util::expects(options_.max_sessions >= 1, "service admits sessions");
     util::expects(options_.max_queued_per_session >= 1,
                   "service admits tickets");
+    util::expects(options_.transposition_mb >= 0 &&
+                      options_.transposition_mb <= 4096,
+                  "transposition table size in 0..4096 megabytes");
+    if (options_.transposition_mb > 0) {
+      transposition_ = std::make_unique<mcts::TranspositionTable>(
+          mcts::TranspositionTable::entries_for_megabytes(
+              options_.transposition_mb));
+    }
     gpu_.set_execution_policy(options_.exec);
   }
 
@@ -176,6 +192,9 @@ class SearchService {
                   "are not supported");
     util::expects(!spec.gpu_faults.any(),
                   "fault injection is not supported in the service");
+    util::expects(spec.tt_mb == 0 && spec.search.transposition == nullptr,
+                  "the service owns the transposition table; per-session "
+                  "tables are not supported");
     if (open_sessions_ >= options_.max_sessions) {
       throw AdmissionError("open_session: session limit reached (" +
                            std::to_string(options_.max_sessions) + ")");
@@ -183,6 +202,9 @@ class SearchService {
     const SessionId id = next_session_++;
     Session s;
     s.spec = spec;
+    // All sessions share the service's table (nullptr when disabled): the
+    // riders' trees pick the pointer up through SearchConfig.
+    s.spec.search.transposition = transposition_.get();
     s.seed = seed;
     s.label = "block-parallel GPU (" + std::to_string(spec.blocks) + "x" +
               std::to_string(spec.threads_per_block) + ")";
@@ -324,6 +346,13 @@ class SearchService {
     return options_;
   }
 
+  /// The service-wide shared transposition table, or nullptr when
+  /// `transposition_mb` is 0 (tests read hit-rates through this).
+  [[nodiscard]] const mcts::TranspositionTable* transposition()
+      const noexcept {
+    return transposition_.get();
+  }
+
  private:
   using Rider = parallel::driver::SessionRider<G>;
 
@@ -431,6 +460,9 @@ class SearchService {
   }
 
   void start_ticket(Ticket& t, Session& s) {
+    // One ticket = one move decision: age the shared table exactly as the
+    // factory's decorator does per choose_move.
+    if (transposition_ != nullptr) transposition_->bump_epoch();
     t.rider = std::make_unique<Rider>(
         t.state, s.spec.search, t.search_seed,
         static_cast<std::size_t>(s.spec.blocks), s.spec.threads_per_block,
@@ -464,6 +496,7 @@ class SearchService {
   }
 
   ServiceOptions options_;
+  std::unique_ptr<mcts::TranspositionTable> transposition_;
   simt::VirtualGpu gpu_;
   util::VirtualClock clock_;
   obs::Tracer* service_tracer_ = nullptr;

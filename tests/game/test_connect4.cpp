@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
+#include <map>
+#include <string>
 
 #include "mcts/playout.hpp"
 #include "mcts/sequential.hpp"
@@ -131,6 +134,38 @@ TEST(ConnectFour, CenterIsPreferredOpening) {
   const C4::Move m = searcher.choose_move(C4::initial_state(), 0.05);
   EXPECT_GE(m, 2);
   EXPECT_LE(m, 4);
+}
+
+// GameTraits hashing (DESIGN.md §16): deterministic, collision-free across
+// random playouts, and transposition-invariant (different drop orders that
+// reach the same board hash equal).
+TEST(Connect4, HashDistinguishesStatesAlongRandomPlayouts) {
+  util::XorShift128Plus rng(2027);
+  std::map<std::uint64_t, std::string> seen;
+  std::array<C4::Move, C4::kMaxMoves> moves{};
+  for (int g = 0; g < 40; ++g) {
+    C4::State s = C4::initial_state();
+    while (true) {
+      const std::uint64_t h = C4::hash(s);
+      EXPECT_EQ(h, C4::hash(s));
+      const std::string bytes(reinterpret_cast<const char*>(&s), sizeof(s));
+      const auto [it, inserted] = seen.emplace(h, bytes);
+      EXPECT_EQ(it->second, bytes);  // equal hash implies equal state
+      if (C4::is_terminal(s)) break;
+      const int n = C4::legal_moves(s, std::span(moves));
+      s = C4::apply(s, moves[rng.next_below(static_cast<std::uint32_t>(n))]);
+    }
+  }
+  EXPECT_GT(seen.size(), 400u);
+}
+
+TEST(Connect4, HashIsInvariantUnderTransposedMoveOrder) {
+  C4::State a = C4::initial_state();
+  for (const int m : {0, 6, 1, 5}) a = C4::apply(a, static_cast<C4::Move>(m));
+  C4::State b = C4::initial_state();
+  for (const int m : {1, 5, 0, 6}) b = C4::apply(b, static_cast<C4::Move>(m));
+  EXPECT_EQ(C4::hash(a), C4::hash(b));
+  EXPECT_NE(C4::hash(a), C4::hash(C4::initial_state()));
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "mcts/playout.hpp"
@@ -112,6 +115,42 @@ TEST(Gomoku, McTsCompletesItsOwnFive) {
   const GK::Move choice = searcher.choose_move(s, 0.5);
   EXPECT_TRUE(choice == at(7, 7) || choice == at(7, 2))
       << "got " << static_cast<int>(choice);
+}
+
+// GameTraits hashing (DESIGN.md §16): deterministic, collision-free across
+// random playouts (states dedup'd bytewise), and order-invariant — Gomoku
+// hashes stones + side to move only, so transposed move orders reaching
+// the same board hash equal.
+TEST(Gomoku, HashDistinguishesStatesAlongRandomPlayouts) {
+  util::XorShift128Plus rng(2028);
+  std::map<std::uint64_t, std::string> seen;
+  std::array<GK::Move, GK::kMaxMoves> moves{};
+  for (int g = 0; g < 4; ++g) {
+    GK::State s = GK::initial_state();
+    for (int ply = 0; ply < 80 && !GK::is_terminal(s); ++ply) {
+      const std::uint64_t h = GK::hash(s);
+      EXPECT_EQ(h, GK::hash(s));
+      const std::string bytes(reinterpret_cast<const char*>(&s), sizeof(s));
+      const auto [it, inserted] = seen.emplace(h, bytes);
+      EXPECT_EQ(it->second, bytes);  // equal hash implies equal state
+      const int n = GK::legal_moves(s, std::span(moves));
+      s = GK::apply(s, moves[rng.next_below(static_cast<std::uint32_t>(n))]);
+    }
+  }
+  EXPECT_GT(seen.size(), 300u);
+}
+
+TEST(Gomoku, HashIsInvariantUnderTransposedMoveOrder) {
+  GK::State a = GK::initial_state();
+  for (const GK::Move m : {at(7, 7), at(0, 0), at(8, 8), at(1, 1)}) {
+    a = GK::apply(a, m);
+  }
+  GK::State b = GK::initial_state();
+  for (const GK::Move m : {at(8, 8), at(1, 1), at(7, 7), at(0, 0)}) {
+    b = GK::apply(b, m);
+  }
+  EXPECT_EQ(GK::hash(a), GK::hash(b));
+  EXPECT_NE(GK::hash(a), GK::hash(GK::initial_state()));
 }
 
 }  // namespace

@@ -5,6 +5,10 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <string>
+
+#include "util/rng.hpp"
 
 namespace gpu_mcts::game {
 namespace {
@@ -121,6 +125,39 @@ TEST(TicTacToe, OutcomeIsAntisymmetric) {
   s = T::apply(s, 0);
   EXPECT_EQ(invert(T::outcome_for(s, Player::kFirst)),
             T::outcome_for(s, Player::kSecond));
+}
+
+// GameTraits hashing (DESIGN.md §16): deterministic, collision-free across
+// every state a batch of random playouts visits, and invariant under move
+// orderings that reach the same position (transpositions hash equal — the
+// whole point of keying a transposition table on it).
+TEST(TicTacToe, HashDistinguishesStatesAlongRandomPlayouts) {
+  util::XorShift128Plus rng(2026);
+  std::map<std::uint64_t, std::string> seen;  // hash -> state bytes
+  std::array<T::Move, 9> moves{};
+  for (int g = 0; g < 60; ++g) {
+    T::State s = T::initial_state();
+    while (true) {
+      const std::uint64_t h = T::hash(s);
+      EXPECT_EQ(h, T::hash(s));
+      const std::string bytes(reinterpret_cast<const char*>(&s), sizeof(s));
+      const auto [it, inserted] = seen.emplace(h, bytes);
+      EXPECT_EQ(it->second, bytes);  // equal hash implies equal state
+      if (T::is_terminal(s)) break;
+      const int n = T::legal_moves(s, std::span(moves));
+      s = T::apply(s, moves[rng.next_below(static_cast<std::uint32_t>(n))]);
+    }
+  }
+  EXPECT_GT(seen.size(), 100u);
+}
+
+TEST(TicTacToe, HashIsInvariantUnderTransposedMoveOrder) {
+  T::State a = T::initial_state();
+  for (const int m : {0, 8, 4, 2}) a = T::apply(a, static_cast<T::Move>(m));
+  T::State b = T::initial_state();
+  for (const int m : {4, 2, 0, 8}) b = T::apply(b, static_cast<T::Move>(m));
+  EXPECT_EQ(T::hash(a), T::hash(b));
+  EXPECT_NE(T::hash(a), T::hash(T::initial_state()));
 }
 
 }  // namespace

@@ -1,0 +1,201 @@
+// Tests for the persistent experience store (DESIGN.md §16): Misra-Gries
+// move retention, the versioned+checksummed file format (round-trip and
+// corruption rejection), merging, and preloading into a transposition
+// table as priors.
+#include "mcts/experience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "game/game_traits.hpp"
+#include "harness/arena.hpp"
+#include "mcts/sequential.hpp"
+#include "mcts/transposition.hpp"
+
+namespace gpu_mcts {
+namespace {
+
+using game::Outcome;
+using mcts::ExperienceStore;
+using mcts::TranspositionTable;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Experience, RecordAggregatesVisitsAndScore) {
+  ExperienceStore store;
+  store.record(1, 4, Outcome::kWin);
+  store.record(1, 4, Outcome::kDraw);
+  store.record(1, 4, Outcome::kLoss);
+  ASSERT_EQ(store.size(), 1u);
+  const auto& r = store.records().at(1);
+  EXPECT_EQ(r.visits, 3u);
+  EXPECT_EQ(r.score_half, 3u);  // 2 + 1 + 0
+  EXPECT_EQ(r.move, 4);
+  EXPECT_EQ(r.move_weight, 3);
+}
+
+TEST(Experience, MisraGriesRetainsTheMajorityMove) {
+  ExperienceStore store;
+  for (int i = 0; i < 5; ++i) store.record(1, 7, Outcome::kWin);
+  for (int i = 0; i < 3; ++i) store.record(1, 2, Outcome::kWin);
+  const auto& r = store.records().at(1);
+  EXPECT_EQ(r.move, 7);
+  EXPECT_EQ(r.move_weight, 2);  // 5 matches - 3 mismatches
+  // A new challenger must first drain the counter, then take over.
+  for (int i = 0; i < 3; ++i) store.record(1, 9, Outcome::kWin);
+  EXPECT_EQ(store.records().at(1).move, 9);
+  EXPECT_EQ(store.records().at(1).move_weight, 1);
+}
+
+TEST(Experience, SaveLoadRoundTripsExactly) {
+  ExperienceStore store;
+  store.record(0x1111, 3, Outcome::kWin);
+  store.record(0x1111, 3, Outcome::kDraw);
+  store.record(0x2222, 60, Outcome::kLoss);
+  store.record(0xffffffffffffffffULL, 64, Outcome::kWin);
+  const std::string path = temp_path("experience_roundtrip.gmx");
+  ASSERT_TRUE(store.save(path));
+
+  ExperienceStore loaded;
+  ASSERT_TRUE(loaded.load(path));
+  ASSERT_EQ(loaded.size(), store.size());
+  for (const auto& [key, r] : store.records()) {
+    const auto& l = loaded.records().at(key);
+    EXPECT_EQ(l.visits, r.visits);
+    EXPECT_EQ(l.score_half, r.score_half);
+    EXPECT_EQ(l.move, r.move);
+    EXPECT_EQ(l.move_weight, r.move_weight);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Experience, LoadRejectsCorruptionAndLeavesStoreUntouched) {
+  ExperienceStore store;
+  store.record(0xabcd, 1, Outcome::kWin);
+  const std::string path = temp_path("experience_corrupt.gmx");
+  ASSERT_TRUE(store.save(path));
+
+  // Flip one payload byte: the checksum must reject the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    char byte = 0;
+    f.seekg(20);
+    f.get(byte);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(20);
+    f.put(byte);
+  }
+  ExperienceStore sentinel;
+  sentinel.record(0x9999, 2, Outcome::kDraw);
+  EXPECT_FALSE(sentinel.load(path));
+  EXPECT_EQ(sentinel.size(), 1u);  // untouched
+  EXPECT_TRUE(sentinel.records().contains(0x9999));
+  std::remove(path.c_str());
+}
+
+TEST(Experience, LoadRejectsTruncationMissingFileAndBadMagic) {
+  ExperienceStore store;
+  store.record(1, 1, Outcome::kWin);
+  const std::string path = temp_path("experience_trunc.gmx");
+  ASSERT_TRUE(store.save(path));
+  // Truncate mid-entry.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 10));
+  }
+  ExperienceStore loaded;
+  EXPECT_FALSE(loaded.load(path));
+  EXPECT_FALSE(loaded.load(temp_path("does_not_exist.gmx")));
+  // Valid checksum but wrong magic.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const std::string junk(32, 'Z');
+    out.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  EXPECT_FALSE(loaded.load(path));
+  EXPECT_EQ(loaded.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Experience, MergeSumsStatsAndKeepsHeavierMove) {
+  ExperienceStore a, b;
+  for (int i = 0; i < 2; ++i) a.record(1, 3, Outcome::kWin);
+  for (int i = 0; i < 5; ++i) b.record(1, 6, Outcome::kLoss);
+  b.record(2, 8, Outcome::kDraw);
+  a.merge(b);
+  ASSERT_EQ(a.size(), 2u);
+  const auto& r = a.records().at(1);
+  EXPECT_EQ(r.visits, 7u);
+  EXPECT_EQ(r.score_half, 4u);  // 2 wins + 5 losses
+  EXPECT_EQ(r.move, 6);         // b's retained move outweighs a's
+  EXPECT_EQ(a.records().at(2).visits, 1u);
+}
+
+TEST(Experience, PreloadSeedsTableWithScaledPriorsAndHints) {
+  ExperienceStore store;
+  // 200 visits, all wins, move 5 — must scale down to the cap while
+  // preserving the win rate.
+  for (int i = 0; i < 200; ++i) store.record(0xaaa, 5, Outcome::kWin);
+  store.record(0xbbb, 7, Outcome::kLoss);
+
+  TranspositionTable table(1024);
+  EXPECT_EQ(store.preload_into(table, /*max_seed_visits=*/64), 2u);
+
+  const auto big = table.probe(0xaaa);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->visits, 64u);
+  EXPECT_EQ(big->wins_half, 128u);  // win rate 1.0 preserved
+  EXPECT_EQ(big->move_hint, 5);
+
+  const auto small = table.probe(0xbbb);
+  ASSERT_TRUE(small.has_value());
+  EXPECT_EQ(small->visits, 1u);
+  EXPECT_EQ(small->wins_half, 0u);
+  EXPECT_EQ(small->move_hint, 7);
+}
+
+// End-to-end: the arena records experience from a played game, the store
+// round-trips through disk, and preloading yields table hits in a fresh
+// search of the opening position.
+TEST(Experience, ArenaRecordsAndPreloadWarmsAFreshSearch) {
+  mcts::SearchConfig config;
+  config.seed = 11;
+  mcts::SequentialSearcher<reversi::ReversiGame> subject(config);
+  mcts::SequentialSearcher<reversi::ReversiGame> opponent(config);
+  ExperienceStore store;
+  harness::ArenaOptions options;
+  options.subject_budget = mcts::SearchBudget::from_seconds(0.002);
+  options.opponent_budget = mcts::SearchBudget::from_seconds(0.002);
+  options.experience = &store;
+  const auto record = harness::play_game(subject, opponent, options);
+  EXPECT_GE(store.size(), record.steps.size() - 1);  // one entry per ply
+
+  const std::string path = temp_path("experience_arena.gmx");
+  ASSERT_TRUE(store.save(path));
+  ExperienceStore loaded;
+  ASSERT_TRUE(loaded.load(path));
+  std::remove(path.c_str());
+
+  TranspositionTable table(1 << 12);
+  EXPECT_GT(loaded.preload_into(table), 0u);
+  mcts::SearchConfig warm = config;
+  warm.transposition = &table;
+  mcts::SequentialSearcher<reversi::ReversiGame> warmed(warm);
+  (void)warmed.choose_move(reversi::initial_position(), 0.002);
+  EXPECT_GT(table.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace gpu_mcts

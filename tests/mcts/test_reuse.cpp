@@ -183,6 +183,52 @@ TEST(ReuseSearcher, ReseedDropsTheTree) {
   EXPECT_EQ(searcher.reused_nodes(), 1u);  // fresh after reseed
 }
 
+// Regression: reuse must survive an opponent reply that is a forced pass.
+// rebase_tree matches the pass like any other reply and advances through
+// it; before the advance_root perspective fix (see AdvanceRoot test above)
+// the retained subtree carried inverted win rates. Both of X's moves here
+// (the h1/h8 corner captures) flip an entire rank and leave O without a
+// placement, so the reply is a pass whichever move the searcher prefers.
+TEST(ReuseSearcher, ReusesThroughForcedPassAndAgreesWithFreshSearch) {
+  const auto start = reversi::position_from_diagram(
+      "XOOOOOO."
+      "........"
+      "........"
+      "........"
+      "........"
+      "........"
+      "........"
+      "XOOOOOO.",
+      game::Player::kFirst);
+  ASSERT_TRUE(start.has_value());
+
+  ReuseSequentialSearcher<ReversiGame> reuse;
+  reuse.reseed(21);
+  const auto m1 = reuse.choose_move(*start, 0.005);
+  EXPECT_GT(reuse.last_stats().cpu_iterations, 0u);
+
+  std::array<ReversiGame::Move, 34> moves{};
+  const auto after_ours = ReversiGame::apply(*start, m1);
+  ASSERT_EQ(ReversiGame::legal_moves(after_ours, std::span(moves)), 1);
+  ASSERT_EQ(moves[0], reversi::kPassMove);
+  const auto after_pass = ReversiGame::apply(after_ours, moves[0]);
+  ASSERT_FALSE(ReversiGame::is_terminal(after_pass));
+
+  const auto m2 = reuse.choose_move(after_pass, 0.005);
+  EXPECT_GT(reuse.reused_nodes(), 1u);  // rebased through the pass
+  const int n = ReversiGame::legal_moves(after_pass, std::span(moves));
+  bool legal = false;
+  for (int i = 0; i < n; ++i) legal = legal || moves[i] == m2;
+  EXPECT_TRUE(legal);
+
+  // A fresh search of the post-pass position must agree — with the rank-1
+  // capture banked, taking the remaining corner is the only legal move, so
+  // any divergence means the reused tree is corrupt.
+  SequentialSearcher<ReversiGame> fresh;
+  fresh.reseed(22);
+  EXPECT_EQ(fresh.choose_move(after_pass, 0.005), m2);
+}
+
 TEST(ReuseSearcher, WorksOnTicTacToeToo) {
   ReuseSequentialSearcher<TicTacToe> searcher;
   auto s = TicTacToe::initial_state();

@@ -137,6 +137,40 @@ TEST(SchemeSpecParse, PipelineSuffixTakesOptionalDepth) {
   EXPECT_TRUE(control.pipeline);
 }
 
+TEST(SchemeSpecParse, TtSuffixSetsTableMegabytes) {
+  EXPECT_EQ(SchemeSpec::parse("seq").tt_mb, 0);  // off by default
+  const SchemeSpec seq = SchemeSpec::parse("seq+tt:64");
+  EXPECT_EQ(seq.scheme, "sequential");
+  EXPECT_EQ(seq.tt_mb, 64);
+
+  const SchemeSpec shared = SchemeSpec::parse("shared:4:vl=2+tt:8");
+  EXPECT_EQ(shared.scheme, "shared-tree");
+  EXPECT_EQ(shared.cpu_threads, 4);
+  EXPECT_EQ(shared.virtual_loss, 2);
+  EXPECT_EQ(shared.tt_mb, 8);
+
+  // Suffixes compose in either order; canonical order is pipeline-then-tt.
+  for (const char* text :
+       {"block:8x32+pipeline+tt:64", "block:8x32+tt:64+pipeline"}) {
+    const SchemeSpec spec = SchemeSpec::parse(text);
+    EXPECT_TRUE(spec.pipeline) << text;
+    EXPECT_EQ(spec.tt_mb, 64) << text;
+    EXPECT_EQ(spec.to_string(), "block:8x32+pipeline+tt:64") << text;
+  }
+  EXPECT_EQ(SchemeSpec::parse("gpu-only:8x32+tt:16").tt_mb, 16);
+  EXPECT_EQ(SchemeSpec::parse("leaf:4x64+tt:1").tt_mb, 1);
+  EXPECT_EQ(SchemeSpec::parse("hybrid:8x32+tt:4096").tt_mb, 4096);
+}
+
+TEST(SchemeSpecParse, RejectsBadTtSuffixes) {
+  for (const char* text :
+       {"seq+tt", "seq+tt:", "seq+tt:0", "seq+tt:-1", "seq+tt:4097",
+        "seq+tt:x", "seq+tt:64mb", "flat+tt:64", "root:4+tt:64",
+        "tree:4+tt:64", "dist:2x8x32+tt:64", "seq+transposition:64"}) {
+    EXPECT_THROW((void)SchemeSpec::parse(text), std::invalid_argument) << text;
+  }
+}
+
 TEST(SchemeSpecParse, RejectsBadPipelineSuffixes) {
   for (const char* text :
        {"root:4+pipeline", "tree:4+pipeline", "dist:2x8x32+pipeline",
@@ -183,13 +217,13 @@ std::string parse_error(const char* text) {
 // from kForms in engine/spec.cpp, pinned here verbatim so an accidental
 // table edit (or a wording drift scripts already grep for) fails loudly.
 constexpr const char* kGrammar =
-    "expected one of: seq | flat | root:<threads> | "
+    "expected one of: seq[+tt:<mb>] | flat | root:<threads> | "
     "tree:<workers>[:vl=<loss>] | "
-    "shared:<workers>[:vl=<loss>][:wu] | "
-    "leaf:<blocks>x<tpb>[+pipeline[:<depth>]] | "
-    "block:<blocks>x<tpb>[+pipeline[:<depth>]] | "
-    "hybrid:<blocks>x<tpb>[+pipeline[:<depth>]] | "
-    "gpu-only:<blocks>x<tpb>[+pipeline[:<depth>]] | "
+    "shared:<workers>[:vl=<loss>][:wu][+tt:<mb>] | "
+    "leaf:<blocks>x<tpb>[+pipeline[:<depth>]][+tt:<mb>] | "
+    "block:<blocks>x<tpb>[+pipeline[:<depth>]][+tt:<mb>] | "
+    "hybrid:<blocks>x<tpb>[+pipeline[:<depth>]][+tt:<mb>] | "
+    "gpu-only:<blocks>x<tpb>[+pipeline[:<depth>]][+tt:<mb>] | "
     "dist:<ranks>x<blocks>x<tpb>";
 
 TEST(SchemeSpecParseErrors, ExactTextForUnknownScheme) {
@@ -224,6 +258,38 @@ TEST(SchemeSpecParseErrors, ExactTextForUnknownSuffixes) {
   EXPECT_EQ(parse_error("block:8x32+pipelined"),
             "bad scheme spec \"block:8x32+pipelined\": unknown suffix "
             "\"+pipelined\"; " +
+                std::string(kGrammar));
+}
+
+TEST(SchemeSpecParseErrors, ExactTextForTtSizes) {
+  // Bad sizes name the offending token and the accepted megabyte range;
+  // pinned verbatim (scripts grep for these, like the pipeline texts).
+  for (const auto& [text, size] :
+       std::initializer_list<std::pair<const char*, const char*>>{
+           {"seq+tt:0", "0"},
+           {"seq+tt:4097", "4097"},
+           {"seq+tt:x", "x"},
+           {"seq+tt:", ""},
+           {"seq+tt", ""},
+           {"block:8x32+tt:64mb", "64mb"}}) {
+    EXPECT_EQ(parse_error(text),
+              "bad scheme spec \"" + std::string(text) + "\": tt size \"" +
+                  size + "\" must be an integer number of megabytes in "
+                  "1..4096; " + kGrammar)
+        << text;
+  }
+}
+
+TEST(SchemeSpecParseErrors, ExactTextForMisplacedTt) {
+  EXPECT_EQ(parse_error("root:4+tt:64"),
+            "bad scheme spec \"root:4+tt:64\": \"+tt\" applies only to the "
+            "transposition-capable schemes (seq, shared, leaf, block, hybrid, "
+            "gpu-only); " +
+                std::string(kGrammar));
+  EXPECT_EQ(parse_error("flat+tt:8"),
+            "bad scheme spec \"flat+tt:8\": \"+tt\" applies only to the "
+            "transposition-capable schemes (seq, shared, leaf, block, hybrid, "
+            "gpu-only); " +
                 std::string(kGrammar));
 }
 
@@ -324,6 +390,17 @@ TEST(SchemeSpecToString, PipelineSuffixRoundTrips) {
             "block:8x32+pipeline");
 }
 
+TEST(SchemeSpecToString, TtSuffixRoundTrips) {
+  for (const char* text :
+       {"seq+tt:64", "shared:4+tt:8", "shared:2:vl=0:wu+tt:16",
+        "leaf:16x64+tt:1", "block:112x128+pipeline:3+tt:64",
+        "gpu-only:112x64+tt:4096"}) {
+    const SchemeSpec spec = SchemeSpec::parse(text);
+    EXPECT_EQ(spec.to_string(), text);
+    EXPECT_EQ(SchemeSpec::parse(spec.to_string()).tt_mb, spec.tt_mb);
+  }
+}
+
 TEST(SchemeSpecBuilders, MatchWhatParseProduces) {
   EXPECT_EQ(SchemeSpec::block_gpu(112, 128).to_string(),
             SchemeSpec::parse("block:112x128").to_string());
@@ -355,7 +432,8 @@ TEST(GridFor, SplitsTotalsLikeThePaper) {
 const char* kAllSchemes[] = {"seq",         "flat",          "root:2",
                              "tree:2",      "shared:2",      "shared:2:wu",
                              "leaf:2x16",   "block:2x16",    "hybrid:2x16",
-                             "gpu-only:2x16", "dist:2x2x16"};
+                             "gpu-only:2x16", "dist:2x2x16",
+                             "seq+tt:1",    "shared:2+tt:1", "block:2x16+tt:1"};
 
 template <typename G>
 bool is_legal(const typename G::State& state, typename G::Move move) {

@@ -5,6 +5,7 @@
 #include <array>
 #include <set>
 
+#include "reversi/notation.hpp"
 #include "util/rng.hpp"
 
 namespace gpu_mcts::reversi {
@@ -45,7 +46,7 @@ TEST(Zobrist, IncrementalMatchesFullForPlacements) {
     const Move m = moves[rng.next_below(static_cast<std::uint32_t>(n))];
     if (m == kPassMove) {
       p = apply_move(p, m);
-      h ^= Zobrist::side_key();
+      h = Zobrist::pass(h);
     } else {
       const Bitboard flips = flips_for_move(p.own(), p.opp(), m);
       h = Zobrist::update(h, p.to_move, m, flips);
@@ -53,6 +54,44 @@ TEST(Zobrist, IncrementalMatchesFullForPlacements) {
     }
     EXPECT_EQ(h, Zobrist::hash(p)) << "ply " << ply;
   }
+}
+
+// Regression for the incremental-pass asymmetry: a pass flips the side to
+// move without touching any discs, and Zobrist::pass must be the exact
+// incremental counterpart of that full-hash difference. Walk a crafted
+// forced-pass line (both of X's moves capture a full rank and strand O
+// without a reply) checking incremental == full at every ply.
+TEST(Zobrist, PassUpdateMatchesFullHashThroughForcedPassLine) {
+  const auto start = position_from_diagram(
+      "XOOOOOO."
+      "........"
+      "........"
+      "........"
+      "........"
+      "........"
+      "........"
+      "XOOOOOO.",
+      game::Player::kFirst);
+  ASSERT_TRUE(start.has_value());
+  Position p = *start;
+  std::uint64_t h = Zobrist::hash(p);
+  std::array<Move, 34> moves{};
+  int passes_seen = 0;
+  while (!is_terminal(p)) {
+    const int n = legal_moves(p, std::span(moves));
+    ASSERT_GT(n, 0);
+    const Move m = moves[0];
+    if (m == kPassMove) {
+      ++passes_seen;
+      h = Zobrist::pass(h);
+    } else {
+      h = Zobrist::update(h, p.to_move, m,
+                          flips_for_move(p.own(), p.opp(), m));
+    }
+    p = apply_move(p, m);
+    ASSERT_EQ(h, Zobrist::hash(p));
+  }
+  EXPECT_GE(passes_seen, 1);
 }
 
 TEST(Zobrist, HashCollisionsAreRareAcrossRandomGames) {

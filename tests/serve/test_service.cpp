@@ -413,5 +413,53 @@ TEST(ServeObs, PerSessionLifecycleTracks) {
   }
 }
 
+// ---- service-owned transposition table (DESIGN.md §16) ---------------------
+
+TEST(ServeTransposition, ServiceOwnedTableIsSharedAcrossSessions) {
+  ServiceOptions options = options_for(32, /*grid_blocks=*/8);
+  options.transposition_mb = 1;
+  SearchService<ReversiGame> service(options);
+  ASSERT_NE(service.transposition(), nullptr);
+
+  const auto state = ReversiGame::initial_state();
+  const mcts::SearchBudget budget = mcts::SearchBudget::from_seconds(0.01);
+  const engine::SchemeSpec spec = engine::SchemeSpec::block_gpu(8, 32);
+
+  const SessionId a = service.open_session(spec.with_seed(7), 7);
+  (void)service.wait(service.submit(a, state, budget));
+  const auto first = service.transposition()->stats();
+  EXPECT_GT(first.stores, 0u);
+
+  // A different tenant searching the same position hits entries the first
+  // one banked — the cross-session warm-up the shared table exists for.
+  const SessionId b = service.open_session(spec.with_seed(8), 8);
+  (void)service.wait(service.submit(b, state, budget));
+  const auto second = service.transposition()->stats();
+  EXPECT_GT(second.hits, first.hits);
+  EXPECT_EQ(service.transposition()->epoch(), 2);  // one bump per ticket
+  service.close_session(a);
+  service.close_session(b);
+}
+
+TEST(ServeTransposition, DisabledByDefaultAndPerSessionSpecRejected) {
+  SearchService<ReversiGame> plain(options_for(32, /*grid_blocks=*/8));
+  EXPECT_EQ(plain.transposition(), nullptr);
+  // The table is a service-level resource: a per-session "+tt" spec is
+  // rejected whether or not the service owns one.
+  EXPECT_THROW((void)plain.open_session(
+                   engine::SchemeSpec::parse("block:8x32+tt:1"), 5),
+               util::ContractViolation);
+
+  ServiceOptions with_table = options_for(32, /*grid_blocks=*/8);
+  with_table.transposition_mb = 1;
+  SearchService<ReversiGame> owning(with_table);
+  EXPECT_THROW((void)owning.open_session(
+                   engine::SchemeSpec::parse("block:8x32+tt:1"), 5),
+               util::ContractViolation);
+  ServiceOptions bad = options_for(32);
+  bad.transposition_mb = 4097;
+  EXPECT_THROW(SearchService<ReversiGame>{bad}, util::ContractViolation);
+}
+
 }  // namespace
 }  // namespace gpu_mcts::serve
