@@ -22,11 +22,19 @@
 #include "bench_common.hpp"
 #include "engine/factory.hpp"
 #include "reversi/reversi_game.hpp"
+#include "simt/vgpu.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace gpu_mcts;
+
+/// The warp backend every launch in this process uses (DESIGN.md §17) —
+/// recorded per row so JSON consumers can tell a scalar sweep from a
+/// batched one when comparing wall-clock rates across runs.
+const char* exec_backend() {
+  return simt::warp_backend_name(simt::warp_backend_from_env());
+}
 
 struct Measurement {
   double virtual_rate = 0.0;  // simulations per *virtual* second
@@ -96,7 +104,8 @@ int main(int argc, char** argv) {
                            {"virtual_sims_per_s", bench::jnum(m.virtual_rate)},
                            {"wall_seconds", bench::jnum(m.wall_seconds)},
                            {"wall_sims_per_s", bench::jnum(m.wall_rate())},
-                           {"simulations", bench::jint(m.simulations)}});
+                           {"simulations", bench::jint(m.simulations)},
+                           {"exec_backend", bench::jstr(exec_backend())}});
     }
   }
 
@@ -160,7 +169,8 @@ int main(int argc, char** argv) {
            {"wall_seconds", bench::jnum(m.wall_seconds)},
            {"wall_sims_per_s", bench::jnum(m.wall_rate())},
            {"virtual_sims_per_s", bench::jnum(m.virtual_rate)},
-           {"simulations", bench::jint(m.simulations)}});
+           {"simulations", bench::jint(m.simulations)},
+           {"exec_backend", bench::jstr(exec_backend())}});
     }
   }
   std::cout << "Pipeline-depth sweep (leaf/block virtual results are "
@@ -175,6 +185,7 @@ int main(int argc, char** argv) {
        {"pipelined_wall_seconds", bench::jnum(pipe_m.wall_seconds)},
        {"pipelined_wall_sims_per_s", bench::jnum(pipe_m.wall_rate())},
        {"wall_speedup", bench::jnum(ratio)},
+       {"exec_backend", bench::jstr(exec_backend())},
        {"virtual_results_identical",
         bench::jbool(sync_m.simulations == pipe_m.simulations &&
                      sync_m.virtual_rate == pipe_m.virtual_rate)}});
@@ -187,6 +198,7 @@ int main(int argc, char** argv) {
            static_cast<std::uint64_t>(flags.exec_threads))},
        {"hardware_concurrency",
         bench::jint(std::thread::hardware_concurrency())},
+       {"exec_backend", bench::jstr(exec_backend())},
        {"pipeline_flag", bench::jbool(flags.pipeline)}},
       "rows", json_rows);
   trace.finish();

@@ -102,6 +102,47 @@ BENCHMARK(BM_ExecBackendPipelined)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The warp backend row (DESIGN.md §17): the same 112x128 grid through the
+// scalar lane interpreter and the warp-batched SoA path, at 1 and 4 exec
+// threads. Results are bit-identical across backends — the `backend`
+// counter (0 = scalar, 1 = batched) labels which wall-clock row is which,
+// and the acceptance bar is batched >= 2x scalar items_per_second at equal
+// thread count.
+void BM_WarpBackend(benchmark::State& state) {
+  const auto backend = static_cast<simt::WarpBackend>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  constexpr int kBlocks = 112;
+  constexpr int kThreadsPerBlock = 128;
+
+  simt::VirtualGpu gpu;
+  gpu.set_execution_policy(
+      simt::ExecutionPolicy{.threads = threads, .warp_backend = backend});
+  const simt::LaunchConfig cfg{.blocks = kBlocks,
+                               .threads_per_block = kThreadsPerBlock};
+  const auto root = ReversiGame::initial_state();
+  std::vector<ReversiGame::State> roots(kBlocks, root);
+  std::vector<simt::BlockResult> results(kBlocks);
+  std::uint64_t round = 0;
+
+  for (auto _ : state) {
+    for (auto& r : results) r = simt::BlockResult{};
+    simt::PlayoutKernelFor<ReversiGame> kernel(roots, 7, round++,
+                                               std::span(results));
+    util::VirtualClock clock(gpu.host().clock_hz);
+    benchmark::DoNotOptimize(gpu.launch(cfg, kernel, clock));
+  }
+  state.SetItemsProcessed(state.iterations() * kBlocks * kThreadsPerBlock);
+  state.counters["exec_threads"] = static_cast<double>(threads);
+  state.counters["backend"] = static_cast<double>(state.range(0));
+  state.SetLabel(simt::warp_backend_name(backend));
+}
+BENCHMARK(BM_WarpBackend)
+    ->ArgsProduct({{static_cast<long>(simt::WarpBackend::kScalar),
+                    static_cast<long>(simt::WarpBackend::kBatched)},
+                   {1, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
 // BENCHMARK_MAIN(), plus a default --benchmark_out: unless the caller

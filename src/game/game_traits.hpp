@@ -95,4 +95,32 @@ concept Game =
 };
 // clang-format on
 
+// clang-format off
+/// Optional batched-execution extension point (DESIGN.md §17). A game may
+/// additionally provide `G::Batched`: a structure-of-arrays mirror of its
+/// random-playout step that advances up to kWidth states per call, so a
+/// whole SIMT warp executes as one unit of straight-line bitwise dataflow
+/// instead of kWidth interpreted lanes.
+///
+/// Contract — `step(lanes, mask, rngs)` must be *bit-identical* to running
+/// the game's scalar playout step on each lane in `mask` with its own rng:
+/// the same RNG draws in the same per-lane order (cross-lane order is free;
+/// the streams are independent), the same resulting states, and a returned
+/// mask of exactly the lanes that advanced (a terminal lane drops out with
+/// its state untouched). Lanes outside `mask` must be preserved bit for
+/// bit. `load`/`extract` round-trip a State through lane storage exactly.
+template <typename G, typename Rng>
+concept BatchedGameWith = Game<G> &&
+    requires(typename G::Batched::Lanes& lanes,
+             const typename G::Batched::Lanes& clanes,
+             const typename G::State& s, Rng* rngs, std::uint32_t mask,
+             int lane) {
+  { G::Batched::kWidth } -> std::convertible_to<int>;
+  requires std::is_trivially_copyable_v<typename G::Batched::Lanes>;
+  { G::Batched::load(lanes, lane, s) };
+  { G::Batched::extract(clanes, lane) } -> std::same_as<typename G::State>;
+  { G::Batched::step(lanes, mask, rngs) } -> std::same_as<std::uint32_t>;
+};
+// clang-format on
+
 }  // namespace gpu_mcts::game

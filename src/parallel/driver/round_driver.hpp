@@ -256,7 +256,29 @@ class RoundDriver {
       }
     }
     // Stream kernels must outlive their wait (the worker holds a reference).
-    std::vector<std::optional<simt::PlayoutKernel<G>>> kernels(cohorts.size());
+    std::vector<std::optional<simt::PlayoutKernelFor<G>>> kernels(
+        cohorts.size());
+
+    // Per-round scratch, hoisted out of the round lambdas: a search runs
+    // thousands of rounds, and re-allocating these each round was the
+    // driver's steady-state heap traffic (see
+    // tests/parallel/test_round_alloc.cpp, which pins the bound).
+    [[maybe_unused]] std::vector<simt::StreamTicket> round_tickets(
+        cohorts.size());
+    [[maybe_unused]] std::vector<simt::StreamLaunch> round_launches(
+        cohorts.size());
+    [[maybe_unused]] std::vector<std::uint8_t> round_enqueued(cohorts.size(),
+                                                              0);
+    [[maybe_unused]] std::vector<std::uint8_t> round_ok(cohorts.size(), 0);
+    [[maybe_unused]] std::vector<simt::WarpTrace> round_traces;
+    // Shared-root kernel I/O is likewise persistent across rounds — the
+    // cohort path already kept `roots`/`results` for the whole search.
+    std::optional<simt::DeviceBuffer<typename G::State>> shared_root;
+    std::optional<simt::DeviceBuffer<simt::BlockResult>> shared_result;
+    if constexpr (SourceT::kSharedRoot) {
+      shared_root.emplace(1);
+      shared_result.emplace(pipelined ? cohorts.size() : 1);
+    }
 
     constexpr int host_track = obs::Tracer::kHostTrack;
     [[maybe_unused]] const int gpu_track =
@@ -301,9 +323,9 @@ class RoundDriver {
                     const std::span<simt::BlockResult> device_results =
                         results->device_view();
                     for (auto& r : device_results) r = simt::BlockResult{};
-                    simt::PlayoutKernel<G> kernel(roots->device_view(),
-                                                  search_seed, round,
-                                                  device_results);
+                    simt::PlayoutKernelFor<G> kernel(roots->device_view(),
+                                                     search_seed, round,
+                                                     device_results);
                     return launch_fn(kernel);
                   });
             };
@@ -316,7 +338,7 @@ class RoundDriver {
                   {{"blocks", static_cast<double>(config_.launch.blocks)},
                    {"threads_per_block",
                     static_cast<double>(config_.launch.threads_per_block)}});
-              launched = zero_and_launch([&](simt::PlayoutKernel<G>& kernel) {
+              launched = zero_and_launch([&](simt::PlayoutKernelFor<G>& kernel) {
                 launch = gpu_.launch(config_.launch, kernel, clock);
                 if (launch.status == simt::LaunchStatus::kHungTimeout) {
                   stats_.watchdog_timeouts += 1;
@@ -324,7 +346,7 @@ class RoundDriver {
                 return launch.ok();
               });
             } else {
-              launched = zero_and_launch([&](simt::PlayoutKernel<G>& kernel) {
+              launched = zero_and_launch([&](simt::PlayoutKernelFor<G>& kernel) {
                 event = gpu_.launch_async(config_.launch, kernel, clock);
                 if (event.result.status == simt::LaunchStatus::kHungTimeout) {
                   stats_.watchdog_timeouts += 1;
@@ -422,9 +444,10 @@ class RoundDriver {
           source_.shortcut(stats_);
           return;
         }
-        // One root up, one aggregate tally down per round.
-        simt::DeviceBuffer<typename G::State> root(1);
-        simt::DeviceBuffer<simt::BlockResult> result(1);
+        // One root up, one aggregate tally down per round, through the
+        // search-persistent buffers.
+        simt::DeviceBuffer<typename G::State>& root = *shared_root;
+        simt::DeviceBuffer<simt::BlockResult>& result = *shared_result;
         root.host()[0] = source_.selected_state();
         {
           obs::ScopedSpan span(tracer_, host_track, "upload", clock);
@@ -433,8 +456,8 @@ class RoundDriver {
         const std::span<simt::BlockResult> device_result =
             result.device_view();
         device_result[0] = simt::BlockResult{};
-        simt::PlayoutKernel<G> kernel(root.device_view(), search_seed, round,
-                                      device_result);
+        simt::PlayoutKernelFor<G> kernel(root.device_view(), search_seed,
+                                         round, device_result);
         simt::LaunchResult launch;
         {
           obs::ScopedSpan span(
@@ -476,11 +499,13 @@ class RoundDriver {
     // waiting on it.
     const auto pipelined_cohort_round = [&] {
       if constexpr (!SourceT::kSharedRoot && FallbackT::kEnabled) {
-        const std::size_t d = cohorts.size();
-        std::vector<simt::StreamTicket> tickets(d);
-        std::vector<simt::StreamLaunch> launches(d);
-        std::vector<std::uint8_t> enqueued(d, 0);
-        std::vector<std::uint8_t> ok(d, 0);
+        // Reusable per-round scratch (hoisted; see declarations above).
+        std::vector<simt::StreamTicket>& tickets = round_tickets;
+        std::vector<simt::StreamLaunch>& launches = round_launches;
+        std::vector<std::uint8_t>& enqueued = round_enqueued;
+        std::vector<std::uint8_t>& ok = round_ok;
+        std::fill(enqueued.begin(), enqueued.end(), std::uint8_t{0});
+        std::fill(ok.begin(), ok.end(), std::uint8_t{0});
 
         // Range-scoped re-zero: marking the whole buffer dirty would
         // re-poison a sibling cohort's slots after it already downloaded
@@ -618,7 +643,7 @@ class RoundDriver {
         // Stats and tracer observations on the controlling thread in tree
         // order (cohort 0 holds the lowest tree indices) — identical to the
         // synchronous path's order and to any exec thread count.
-        std::vector<simt::WarpTrace> round_traces;
+        round_traces.clear();
         bool any_ok = false;
         for (const Cohort& c : cohorts) {
           const auto s = static_cast<std::size_t>(c.stream);
@@ -713,9 +738,10 @@ class RoundDriver {
           source_.shortcut(stats_);
           return;
         }
-        // One root up (shared by all slices), one tally slot per slice down.
-        simt::DeviceBuffer<typename G::State> root(1);
-        simt::DeviceBuffer<simt::BlockResult> result(cohorts.size());
+        // One root up (shared by all slices), one tally slot per slice
+        // down, through the search-persistent buffers.
+        simt::DeviceBuffer<typename G::State>& root = *shared_root;
+        simt::DeviceBuffer<simt::BlockResult>& result = *shared_result;
         root.host()[0] = source_.selected_state();
         {
           obs::ScopedSpan span(tracer_, host_track, "upload", pipe);
@@ -726,14 +752,14 @@ class RoundDriver {
         for (auto& slot : device_result) slot = simt::BlockResult{};
         // Each slice is a block_offset slice, so its lanes carry the same
         // identities and RNG streams the covering launch would hand them.
-        std::vector<simt::StreamTicket> tickets(cohorts.size());
+        std::vector<simt::StreamTicket>& tickets = round_tickets;
         for (const Cohort& c : cohorts) {
           const auto s = static_cast<std::size_t>(c.stream);
           kernels[s].emplace(root.device_view(), search_seed, round,
                              device_result.subspan(s, 1));
           tickets[s] = gpu_.launch_on(c.stream, c.cfg, *kernels[s], pipe);
         }
-        std::vector<simt::WarpTrace> round_traces;
+        round_traces.clear();
         for (const Cohort& c : cohorts) {
           const simt::StreamLaunch done = supervised_wait(
               tickets[static_cast<std::size_t>(c.stream)], pipe);

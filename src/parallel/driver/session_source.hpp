@@ -114,7 +114,7 @@ class SessionRider {
   }
   /// The staged kernel for the current round (valid between stage_round and
   /// settle_round; the combined launch borrows it).
-  [[nodiscard]] simt::PlayoutKernel<G>& kernel() { return *kernel_; }
+  [[nodiscard]] simt::PlayoutKernelFor<G>& kernel() { return *kernel_; }
 
   /// Round phase A — everything the synchronous round does before its
   /// launch: selection (span + bulk charge + expansion instant), root
@@ -289,7 +289,7 @@ class SessionRider {
   std::uint64_t deadline_ = 0;
   bool user_supervised_ = false;
   mcts::SearchStats stats_;
-  std::optional<simt::PlayoutKernel<G>> kernel_;
+  std::optional<simt::PlayoutKernelFor<G>> kernel_;
   std::uint64_t kernel_begin_cycle_ = 0;
   std::uint64_t round_ = 0;
   std::uint64_t nodes_before_round_ = 0;
@@ -330,7 +330,7 @@ class SessionCohortSource {
 
     std::vector<std::uint64_t> cycles_before;
     cycles_before.reserve(riders.size());
-    std::vector<typename simt::MultiplexKernel<simt::PlayoutKernel<G>>::Segment>
+    std::vector<typename simt::MultiplexKernel<simt::PlayoutKernelFor<G>>::Segment>
         segments;
     segments.reserve(riders.size());
     int total_blocks = 0;
@@ -346,7 +346,7 @@ class SessionCohortSource {
 
     const simt::LaunchConfig cfg{.blocks = total_blocks,
                                  .threads_per_block = tpb};
-    simt::MultiplexKernel<simt::PlayoutKernel<G>> mux(std::move(segments),
+    simt::MultiplexKernel<simt::PlayoutKernelFor<G>> mux(std::move(segments),
                                                       tpb);
     // Scratch clock: the launch's charge lands on each rider (and the
     // service timeline) explicitly; the fault-free service never takes the

@@ -1,0 +1,52 @@
+// SoA batch move-generation kernels (DESIGN.md §17), compiled here rather
+// than inline so they can carry target_clones: GCC emits a baseline x86-64
+// clone plus AVX2 and AVX-512 clones and binds the best one at load time via
+// ifunc. The lane loops are pure u64 bitwise dataflow over parallel arrays —
+// exactly the shape the vectorizer wants (8 lanes per zmm, 4 per ymm) — but
+// the project's portable build flags would otherwise pin them to SSE2.
+//
+// A second, subtler reason to compile these out-of-line: as header inlines
+// their codegen depended on the including TU's inlining budget, which made
+// scalar-vs-batched wall-clock comparisons unstable across TUs. One
+// definition here gives every caller the same instruction stream.
+#include "reversi/bitboard.hpp"
+
+namespace gpu_mcts::reversi {
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define GPU_MCTS_BATCH_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+#else
+#define GPU_MCTS_BATCH_CLONES
+#endif
+
+GPU_MCTS_BATCH_CLONES
+void legal_moves_mask_batch(const Bitboard* own, const Bitboard* opp,
+                            Bitboard* moves, int n) noexcept {
+  for (int i = 0; i < n; ++i) moves[i] = 0;
+  accumulate_moves_batch<Direction::kNorth>(own, opp, moves, n);
+  accumulate_moves_batch<Direction::kSouth>(own, opp, moves, n);
+  accumulate_moves_batch<Direction::kEast>(own, opp, moves, n);
+  accumulate_moves_batch<Direction::kWest>(own, opp, moves, n);
+  accumulate_moves_batch<Direction::kNorthEast>(own, opp, moves, n);
+  accumulate_moves_batch<Direction::kNorthWest>(own, opp, moves, n);
+  accumulate_moves_batch<Direction::kSouthEast>(own, opp, moves, n);
+  accumulate_moves_batch<Direction::kSouthWest>(own, opp, moves, n);
+}
+
+GPU_MCTS_BATCH_CLONES
+void flips_for_moves_batch(const Bitboard* own, const Bitboard* opp,
+                           const Bitboard* placed, Bitboard* flips,
+                           int n) noexcept {
+  for (int i = 0; i < n; ++i) flips[i] = 0;
+  accumulate_flips_batch<Direction::kNorth>(own, opp, placed, flips, n);
+  accumulate_flips_batch<Direction::kSouth>(own, opp, placed, flips, n);
+  accumulate_flips_batch<Direction::kEast>(own, opp, placed, flips, n);
+  accumulate_flips_batch<Direction::kWest>(own, opp, placed, flips, n);
+  accumulate_flips_batch<Direction::kNorthEast>(own, opp, placed, flips, n);
+  accumulate_flips_batch<Direction::kNorthWest>(own, opp, placed, flips, n);
+  accumulate_flips_batch<Direction::kSouthEast>(own, opp, placed, flips, n);
+  accumulate_flips_batch<Direction::kSouthWest>(own, opp, placed, flips, n);
+}
+
+}  // namespace gpu_mcts::reversi

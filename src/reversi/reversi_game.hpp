@@ -79,6 +79,90 @@ class ReversiGame {
     s = apply_move(s, static_cast<Move>(lsb_index(mask)));
     return true;
   }
+
+  /// Batched playout traits (game::BatchedGameWith, DESIGN.md §17): a
+  /// 32-lane structure-of-arrays mirror of playout_step. Lanes hold the
+  /// position in the side-to-move frame (own/opp), which makes apply a
+  /// pure swap-and-mask: own' = opp & ~flips, opp' = own | flips | placed.
+  /// A pass is the same dataflow with zero flips and placement, so pass
+  /// lanes ride the batched apply instead of diverging.
+  struct Batched {
+    static constexpr int kWidth = 32;
+
+    struct Lanes {
+      Bitboard own[kWidth];
+      Bitboard opp[kWidth];
+      std::uint8_t to_move[kWidth];
+    };
+
+    static void load(Lanes& l, int lane, const Position& s) noexcept {
+      l.own[lane] = s.own();
+      l.opp[lane] = s.opp();
+      l.to_move[lane] = s.to_move;
+    }
+
+    [[nodiscard]] static Position extract(const Lanes& l, int lane) noexcept {
+      Position s;
+      s.discs[l.to_move[lane]] = l.own[lane];
+      s.discs[1 - l.to_move[lane]] = l.opp[lane];
+      s.to_move = l.to_move[lane];
+      return s;
+    }
+
+    /// One batched ply. Equivalence with playout_step, lane by lane:
+    ///  * mobility and flips come from the same Kogge-Stone floods (the
+    ///    batch helpers are the scalar ones unrolled over lanes);
+    ///  * a lane with >= 2 placements draws exactly one next_below(n) from
+    ///    its own rng and selects the same drop-k-lowest-bits move; other
+    ///    lanes draw nothing (the scalar contract);
+    ///  * terminal lanes (no move either side) leave the mask with their
+    ///    state untouched; pass lanes apply with flips = placed = 0.
+    template <typename Rng>
+    [[nodiscard]] static std::uint32_t step(Lanes& l, std::uint32_t mask,
+                                            Rng* rngs) noexcept {
+      Bitboard moves[kWidth];
+      legal_moves_mask_batch(l.own, l.opp, moves, kWidth);
+
+      Bitboard placed[kWidth] = {};
+      std::uint32_t advanced = mask;
+      for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        Bitboard pick = moves[lane];
+        if (pick == 0) {
+          // Rare slow path: pass-or-terminal needs the opponent's mobility.
+          if (legal_moves_mask(l.opp[lane], l.own[lane]) == 0) {
+            advanced &= ~(1u << lane);  // terminal; lane retires in place
+          }
+          continue;  // pass: zero placement, apply still swaps sides
+        }
+        const int n = popcount(pick);
+        if (n > 1) {
+          for (auto k = rngs[lane].next_below(static_cast<std::uint32_t>(n));
+               k > 0; --k) {
+            pick &= pick - 1;
+          }
+        }
+        placed[lane] = pick & (~pick + 1);
+      }
+
+      Bitboard flips[kWidth];
+      flips_for_moves_batch(l.own, l.opp, placed, flips, kWidth);
+
+      // Branch-free masked apply: advancing lanes swap perspective with
+      // their flips committed; retired and inactive lanes are preserved
+      // bit for bit by the select mask.
+      for (int i = 0; i < kWidth; ++i) {
+        const Bitboard sel = static_cast<Bitboard>(0) -
+                             static_cast<Bitboard>((advanced >> i) & 1u);
+        const Bitboard next_own = l.opp[i] & ~flips[i];
+        const Bitboard next_opp = l.own[i] | flips[i] | placed[i];
+        l.own[i] = (next_own & sel) | (l.own[i] & ~sel);
+        l.opp[i] = (next_opp & sel) | (l.opp[i] & ~sel);
+        l.to_move[i] ^= static_cast<std::uint8_t>((advanced >> i) & 1u);
+      }
+      return advanced;
+    }
+  };
 };
 
 static_assert(game::Game<ReversiGame>);

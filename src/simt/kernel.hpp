@@ -40,6 +40,57 @@ concept LaneKernel = requires(K k, typename K::LaneState& lane,
 };
 // clang-format on
 
+/// A warp's slice of the grid: the identity of its first lane plus how many
+/// lanes it actually carries (the last warp of a block may be partial).
+/// Warp lanes are thread-contiguous, so lane i's identity is
+/// lane_id_at(span, i).
+struct WarpSpan {
+  LaneId first;
+  int lanes = 0;
+};
+
+[[nodiscard]] constexpr LaneId lane_id_at(const WarpSpan& span,
+                                          int lane) noexcept {
+  LaneId id = span.first;
+  id.thread += lane;
+  id.lane_in_warp += lane;
+  id.global_thread += lane;
+  return id;
+}
+
+// clang-format off
+/// Opt-in warp-batched refinement of LaneKernel (DESIGN.md §17): the kernel
+/// can additionally execute a whole warp as one structure-of-arrays unit.
+///  * make_warp(span)          — build the warp's SoA state (kWarpWidth lanes
+///                               wide; span.lanes of them live).
+///  * warp_step(state)         — run one lockstep step for every active lane;
+///                               returns the mask of lanes active at entry
+///                               (0 = the warp has retired and no step ran).
+///  * warp_finish(state, span) — commit every lane, in lane order, with
+///                               accumulation bit-identical to lane_finish
+///                               over the scalar path's retired lanes.
+///  * lane_state_of(state, i)  — lane i's equivalent scalar LaneState (used
+///                               by the verify backend's comparison).
+///
+/// Contract: batched execution must be *bit-identical* to the scalar lane
+/// protocol — same per-lane RNG draws and outputs, and step masks that
+/// reproduce the scalar executor's counting exactly (a lane's final step,
+/// where it discovers it is done, is still in the mask). The executor
+/// asserts precisely this per warp under WarpBackend::kVerify.
+template <typename K>
+concept WarpKernel = LaneKernel<K> &&
+    requires(K k, typename K::WarpState& warp,
+             const typename K::WarpState& cwarp, const WarpSpan& span) {
+  typename K::WarpState;
+  requires std::is_trivially_copyable_v<typename K::WarpState>;
+  { K::kWarpWidth } -> std::convertible_to<int>;
+  { k.make_warp(span) } -> std::same_as<typename K::WarpState>;
+  { k.warp_step(warp) } -> std::same_as<std::uint32_t>;
+  { k.warp_finish(cwarp, span) };
+  { k.lane_state_of(cwarp, 0) } -> std::same_as<typename K::LaneState>;
+};
+// clang-format on
+
 /// Per-warp execution trace: the raw material of the timing model.
 struct WarpTrace {
   std::int32_t block = 0;

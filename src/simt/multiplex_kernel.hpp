@@ -16,6 +16,8 @@
 // (the combined launch is one kernel); results never do.
 #pragma once
 
+#include <concepts>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -25,13 +27,29 @@
 
 namespace gpu_mcts::simt {
 
+namespace detail {
+/// Conditional typedef carrier: MultiplexKernel<K> exposes WarpState /
+/// kWarpWidth only when the inner kernel is a WarpKernel (naming
+/// K::WarpState in the primary template would hard-error for scalar
+/// kernels — non-template member declarations are instantiated with the
+/// class).
+template <typename K>
+struct MultiplexWarpTypes {};
+
+template <WarpKernel K>
+struct MultiplexWarpTypes<K> {
+  using WarpState = typename K::WarpState;
+  static constexpr int kWarpWidth = K::kWarpWidth;
+};
+}  // namespace detail
+
 /// Wraps one inner LaneKernel per tenant. In addition to the LaneKernel
 /// threaded-execution contract, the inner kernel's lane_step must depend
 /// only on the lane's own state (not on which instance is called) — true of
 /// PlayoutKernel, whose step touches nothing but the LaneState — because
 /// lanes of every tenant advance through a single instance here.
 template <LaneKernel K>
-class MultiplexKernel {
+class MultiplexKernel : public detail::MultiplexWarpTypes<K> {
  public:
   using LaneState = typename K::LaneState;
 
@@ -70,6 +88,45 @@ class MultiplexKernel {
   void lane_finish(const LaneState& lane, const LaneId& id) {
     const Segment& seg = segment_of(id.block);
     seg.kernel->lane_finish(lane, local_id(seg, id));
+  }
+
+  // Warp-batched forwarding (member templates, so they exist only when the
+  // inner kernel is a WarpKernel — which makes the multiplexer one too,
+  // and serve launches inherit the batched backend). A warp never spans
+  // blocks, so it belongs to exactly one tenant: remap its span into that
+  // tenant's frame and delegate; the remapped first-lane identity makes
+  // lane_id_at() inside the inner kernel produce exactly the per-lane
+  // identities the scalar path's local_id remap would have.
+
+  template <typename W = K>
+    requires WarpKernel<W> && std::same_as<W, K>
+  [[nodiscard]] typename W::WarpState make_warp(const WarpSpan& span) const {
+    const Segment& seg = segment_of(span.first.block);
+    return seg.kernel->make_warp(
+        WarpSpan{local_id(seg, span.first), span.lanes});
+  }
+
+  template <typename W = K>
+    requires WarpKernel<W> && std::same_as<W, K>
+  [[nodiscard]] std::uint32_t warp_step(typename W::WarpState& warp) const {
+    // Instance-independent like lane_step: any tenant's kernel advances
+    // any warp's state.
+    return segments_.front().kernel->warp_step(warp);
+  }
+
+  template <typename W = K>
+    requires WarpKernel<W> && std::same_as<W, K>
+  void warp_finish(const typename W::WarpState& warp, const WarpSpan& span) {
+    const Segment& seg = segment_of(span.first.block);
+    seg.kernel->warp_finish(warp,
+                            WarpSpan{local_id(seg, span.first), span.lanes});
+  }
+
+  template <typename W = K>
+    requires WarpKernel<W> && std::same_as<W, K>
+  [[nodiscard]] typename W::LaneState lane_state_of(
+      const typename W::WarpState& warp, int lane) const {
+    return segments_.front().kernel->lane_state_of(warp, lane);
   }
 
  private:

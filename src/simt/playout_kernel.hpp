@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -39,6 +40,11 @@ class PlayoutKernel {
     std::int32_t plies = 0;
     std::uint8_t done = 0;
     float value_first = 0.5f;
+
+    /// Lane-for-lane equality for the verify backend (available whenever
+    /// the game's State is equality-comparable; deleted otherwise).
+    friend constexpr bool operator==(const LaneState&,
+                                     const LaneState&) = default;
   };
 
   /// @param roots one state per block, or a single state shared by every
@@ -72,8 +78,11 @@ class PlayoutKernel {
         return true;
       }
     } else {
+      // Deliberately not value-initialized: legal_moves overwrites the
+      // first n slots and only moves[pick] (pick < n) is read, so zeroing
+      // kMaxMoves entries every ply is pure waste in the hot loop.
       std::array<typename G::Move, static_cast<std::size_t>(G::kMaxMoves)>
-          moves{};
+          moves;
       const int n = G::legal_moves(lane.state, std::span(moves));
       if (n > 0) {
         const auto pick = lane.rng.next_below(static_cast<std::uint32_t>(n));
@@ -105,5 +114,111 @@ class PlayoutKernel {
   std::uint64_t seed_;
   std::uint64_t round_;
 };
+
+/// Games a PlayoutKernel can execute warp-batched: the game's batched
+/// traits must accept the kernel's per-lane CounterRng streams.
+template <typename G>
+concept BatchedPlayoutGame =
+    game::Game<G> && game::BatchedGameWith<G, util::CounterRng>;
+
+/// Warp-batched playout kernel (DESIGN.md §17): the same per-lane protocol
+/// as PlayoutKernel — it *is* one, and falls back to it wherever the
+/// executor runs scalar — plus the WarpKernel extension that advances all
+/// lanes of a warp through the game's SoA batched step. Bit-identical to
+/// the scalar path by construction: lanes are seeded via make_lane, each
+/// lane draws from its own stream in the scalar order, and warp_finish
+/// commits through lane_finish in lane order.
+template <game::Game G>
+  requires BatchedPlayoutGame<G>
+class WarpPlayoutKernel : public PlayoutKernel<G> {
+ public:
+  using Base = PlayoutKernel<G>;
+  using LaneState = typename Base::LaneState;
+  using Batched = typename G::Batched;
+  static constexpr int kWarpWidth = Batched::kWidth;
+
+  using Base::Base;
+
+  struct WarpState {
+    typename Batched::Lanes lanes;
+    util::CounterRng rng[kWarpWidth];
+    std::int32_t plies[kWarpWidth];
+    float value_first[kWarpWidth];
+    std::uint32_t active = 0;
+    std::int32_t lane_count = 0;
+  };
+
+  [[nodiscard]] WarpState make_warp(const WarpSpan& span) const {
+    WarpState w{};  // zero-fill: dead lanes hold benign empty boards
+    w.lane_count = span.lanes;
+    w.active = span.lanes >= 32 ? ~0u : (1u << span.lanes) - 1u;
+    for (int i = 0; i < span.lanes; ++i) {
+      const LaneState lane = this->make_lane(lane_id_at(span, i));
+      Batched::load(w.lanes, i, lane.state);
+      w.rng[i] = lane.rng;
+      w.value_first[i] = 0.5f;
+    }
+    return w;
+  }
+
+  /// One lockstep step. Returns the entry mask: exactly the lanes the
+  /// scalar executor would have counted active this pass (a lane's final
+  /// step — where it discovers the game is over — is included, matching
+  /// the scalar loop, which charges the step on which lane_step returns
+  /// false).
+  [[nodiscard]] std::uint32_t warp_step(WarpState& w) const {
+    const std::uint32_t entry = w.active;
+    if (entry == 0) return 0;
+    const std::uint32_t advanced = Batched::step(w.lanes, entry, w.rng);
+    for (std::uint32_t f = entry & ~advanced; f != 0; f &= f - 1) {
+      const int lane = std::countr_zero(f);
+      w.value_first[lane] = static_cast<float>(game::value_of(G::outcome_for(
+          Batched::extract(w.lanes, lane), game::Player::kFirst)));
+    }
+    for (std::uint32_t a = advanced; a != 0; a &= a - 1) {
+      w.plies[std::countr_zero(a)] += 1;
+    }
+    w.active = advanced;
+    return entry;
+  }
+
+  /// Commits per lane in lane order: the same doubles accumulated in the
+  /// same order as the scalar path's lane_finish loop, so aliased result
+  /// slots (leaf parallelism) sum bit-identically.
+  void warp_finish(const WarpState& w, const WarpSpan& span) {
+    for (int i = 0; i < w.lane_count; ++i) {
+      this->lane_finish(lane_state_of(w, i), lane_id_at(span, i));
+    }
+  }
+
+  [[nodiscard]] LaneState lane_state_of(const WarpState& w, int lane) const {
+    LaneState s;
+    s.state = Batched::extract(w.lanes, lane);
+    s.rng = w.rng[lane];
+    s.plies = w.plies[lane];
+    s.done = ((w.active >> lane) & 1u) != 0 ? 0 : 1;
+    s.value_first = w.value_first[lane];
+    return s;
+  }
+};
+
+namespace detail {
+template <game::Game G>
+struct PlayoutKernelSelect {
+  using type = PlayoutKernel<G>;
+};
+template <game::Game G>
+  requires BatchedPlayoutGame<G>
+struct PlayoutKernelSelect<G> {
+  using type = WarpPlayoutKernel<G>;
+};
+}  // namespace detail
+
+/// The playout kernel drivers instantiate: warp-batched when the game
+/// provides batched traits, the scalar protocol otherwise. Both satisfy
+/// LaneKernel with identical constructors and per-lane semantics, so the
+/// choice never changes results — only how fast warps execute.
+template <game::Game G>
+using PlayoutKernelFor = typename detail::PlayoutKernelSelect<G>::type;
 
 }  // namespace gpu_mcts::simt

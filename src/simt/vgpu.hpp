@@ -27,6 +27,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -38,6 +39,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -100,6 +102,38 @@ struct TracedLaunch {
   std::vector<WarpTrace> traces;
 };
 
+/// How a WarpKernel-capable kernel's warps execute (DESIGN.md §17). The
+/// protocols are bit-identical by contract, so this is purely a wall-clock
+/// choice — except kVerify, which buys the proof by running both.
+enum class WarpBackend : std::uint8_t {
+  kScalar = 0,   ///< always interpret lane-at-a-time (the reference path)
+  kBatched = 1,  ///< run warps as SoA batches when the kernel supports it
+  kVerify = 2,   ///< run both per warp and assert bitwise equality (debug)
+};
+
+[[nodiscard]] constexpr const char* warp_backend_name(WarpBackend b) noexcept {
+  switch (b) {
+    case WarpBackend::kScalar: return "scalar";
+    case WarpBackend::kBatched: return "batched";
+    case WarpBackend::kVerify: return "verify";
+  }
+  return "batched";
+}
+
+/// Backend from the GPU_MCTS_WARP_BACKEND environment variable
+/// (scalar|batched|verify). Unset or unrecognized values take the batched
+/// default: it is bit-identical to scalar by contract (and checked by the
+/// verify backend under the sanitizer CI jobs), so defaulting to fast is
+/// safe.
+[[nodiscard]] inline WarpBackend warp_backend_from_env() {
+  if (const char* env = std::getenv("GPU_MCTS_WARP_BACKEND")) {
+    const std::string_view v(env);
+    if (v == "scalar") return WarpBackend::kScalar;
+    if (v == "verify") return WarpBackend::kVerify;
+  }
+  return WarpBackend::kBatched;
+}
+
 /// How the VirtualGpu executes a grid on the host. `threads == 1` (the
 /// default) runs blocks sequentially on the calling thread; `threads > 1`
 /// partitions the grid by block across that many pool workers. Kernel
@@ -110,6 +144,12 @@ struct TracedLaunch {
 /// kernel, whose lane steps touch only the lane's own state.
 struct ExecutionPolicy {
   int threads = 1;
+
+  /// How warps of WarpKernel-capable kernels execute. Defaulted from the
+  /// environment (not in from_env) so construction sites using designated
+  /// initializers — ExecutionPolicy{.threads = n} — pick the knob up
+  /// without plumbing.
+  WarpBackend warp_backend = warp_backend_from_env();
 
   /// Policy from the GPU_MCTS_EXEC_THREADS environment variable (default 1,
   /// clamped to [1, 1024]). Freshly constructed VirtualGpus start from this,
@@ -216,7 +256,7 @@ class VirtualGpu {
       trace_launch(cfg, hung, start_cycle);
       return hung;
     }
-    LaunchResult result = execute(cfg, kernel);
+    LaunchResult result = execute_observed(cfg, kernel);
     apply_stall(result, host_clock);
     host_clock.advance(host_cycles_for(result));
     trace_launch(cfg, result, start_cycle);
@@ -249,6 +289,10 @@ class VirtualGpu {
     StreamExecution exec = execute_traced(
         cfg, kernel,
         exec_.threads > 1 && cfg.blocks > 1 ? worker_pool() : nullptr);
+    if (tracer_ != nullptr) {
+      observe_warp_batch<K>(cfg);
+      observe_launch_wall(exec.wall_us);
+    }
     out.result = exec.result;
     out.traces = std::move(exec.traces);
     apply_stall(out.result, host_clock);
@@ -293,7 +337,7 @@ class VirtualGpu {
       trace_launch(cfg, ev.result, start_cycle);
       return ev;
     }
-    LaunchResult result = execute(cfg, kernel);
+    LaunchResult result = execute_observed(cfg, kernel);
     apply_stall(result, host_clock);
     host_clock.advance(enqueue_overhead_cycles());
     Event ev;
@@ -377,6 +421,10 @@ class VirtualGpu {
           [this, cfg, &kernel, pool] { return execute_traced(cfg, kernel, pool); });
       pending.execution = task.get_future();
       streams.enqueue(stream, std::move(task));
+      // Backend accounting happens here on the controlling thread (the
+      // tracer is controller-only); the wall-time histogram is observed at
+      // wait(), once the worker has measured the grid.
+      if (tracer_ != nullptr) observe_warp_batch<K>(cfg);
     }
     host_clock.advance(enqueue_overhead_cycles());
     pending.enqueue_cycle = host_clock.cycles();
@@ -453,6 +501,7 @@ class VirtualGpu {
     // future, in which case the cached execution is consumed instead.
     StreamExecution exec =
         pending.resolved ? std::move(pending.exec) : pending.execution.get();
+    if (tracer_ != nullptr) observe_launch_wall(exec.wall_us);
     done.result = exec.result;
     done.traces = std::move(exec.traces);
     if (pending.stalled) {
@@ -636,6 +685,101 @@ class VirtualGpu {
     return trace;
   }
 
+  /// Below this many threads per block, kBatched launches keep the scalar
+  /// interpreter: the SoA sweeps stride the full batch width, so a warp
+  /// with a handful of live lanes pays vector-register setup for lanes
+  /// that do not exist (measured ~0.3-0.9x at 1-4 lanes, >=1.3x from 8
+  /// up). The cut is a function of the launch shape only — deterministic,
+  /// and both protocols are bit-identical anyway, so it is purely a
+  /// wall-clock decision. kVerify ignores it: verification should cover
+  /// narrow warps precisely because they are the edge case.
+  static constexpr int kMinBatchedBlockWidth = 8;
+
+  /// True when this kernel's warps go through the batched protocol: the
+  /// policy asks for it (batched or verify), the kernel's SoA width
+  /// covers the device's warps, and the launch is wide enough for the
+  /// batch sweeps to pay (see kMinBatchedBlockWidth). Anything else —
+  /// scalar policy, a plain LaneKernel, a device with wider warps than
+  /// the kernel batches, a sliver of a grid — falls back to the scalar
+  /// interpreter.
+  template <typename K>
+  [[nodiscard]] bool warp_batched_for(const LaunchConfig& cfg) const noexcept {
+    if constexpr (WarpKernel<K>) {
+      switch (exec_.warp_backend) {
+        case WarpBackend::kScalar: return false;
+        case WarpBackend::kVerify: return dev_.warp_size <= K::kWarpWidth;
+        case WarpBackend::kBatched:
+          return dev_.warp_size <= K::kWarpWidth &&
+                 cfg.threads_per_block >= kMinBatchedBlockWidth;
+      }
+      return false;
+    } else {
+      return false;
+    }
+  }
+
+  /// The grid slice warp `warp` of block `block` covers.
+  [[nodiscard]] WarpSpan warp_span_for(const LaunchConfig& cfg, int block,
+                                       int warp) const noexcept {
+    const int first_thread = warp * dev_.warp_size;
+    return WarpSpan{
+        make_lane_id(cfg, dev_, block, first_thread),
+        std::min(dev_.warp_size, cfg.threads_per_block - first_thread)};
+  }
+
+  /// Batched counterpart of run_warp: the kernel advances all lanes as one
+  /// SoA unit, and the per-step entry masks it returns reproduce the scalar
+  /// loop's counting exactly (a lane's final step is in its mask), so the
+  /// derived WarpTrace — and everything downstream: device cycles,
+  /// divergence stats, trace events — is bit-identical by construction.
+  /// Leaves the retired WarpState in `state`; the caller commits it through
+  /// warp_finish.
+  template <WarpKernel K>
+  WarpTrace run_warp_batched(const LaunchConfig& cfg, K& kernel, int block,
+                             int warp, typename K::WarpState& state) const {
+    const WarpSpan span = warp_span_for(cfg, block, warp);
+    state = kernel.make_warp(span);
+    WarpTrace trace;
+    trace.block = cfg.block_offset + block;
+    trace.warp_in_block = warp;
+    trace.lanes = span.lanes;
+    for (;;) {
+      const std::uint32_t mask = kernel.warp_step(state);
+      if (mask == 0) break;
+      trace.steps += 1;
+      trace.active_lane_steps +=
+          static_cast<std::uint64_t>(std::popcount(mask));
+    }
+    return trace;
+  }
+
+  /// Verify backend: run the warp both ways and assert bitwise equality —
+  /// the trace (hence device cycles and divergence) and, when the lane
+  /// state is equality-comparable, every retired lane. The batched state
+  /// is handed back for the commit; the lane comparison is what proves
+  /// warp_finish and the scalar lane_finish loop would accumulate the same
+  /// values. Violations throw/abort through util::expects.
+  template <WarpKernel K>
+  WarpTrace run_warp_verified(const LaunchConfig& cfg, K& kernel, int block,
+                              int warp,
+                              WarpScratch<typename K::LaneState>& scratch,
+                              typename K::WarpState& state) const {
+    const WarpTrace batched = run_warp_batched(cfg, kernel, block, warp, state);
+    const WarpTrace scalar = run_warp(cfg, kernel, block, warp, scratch);
+    util::expects(batched.steps == scalar.steps &&
+                      batched.active_lane_steps == scalar.active_lane_steps &&
+                      batched.lanes == scalar.lanes,
+                  "warp backend verify: batched trace != scalar trace");
+    if constexpr (std::equality_comparable<typename K::LaneState>) {
+      for (int lane = 0; lane < scalar.lanes; ++lane) {
+        util::expects(
+            kernel.lane_state_of(state, lane) == scratch.lanes[lane],
+            "warp backend verify: batched lane state != scalar lane state");
+      }
+    }
+    return batched;
+  }
+
   /// Runs every warp of the grid and derives timing from the traces,
   /// dispatching to the backend the execution policy selects.
   template <LaneKernel K>
@@ -651,15 +795,68 @@ class VirtualGpu {
     return result;
   }
 
-  /// Sequential backend: block-major, warp within; lane_finish commits each
-  /// warp as it retires.
+  /// execute() plus the §17 backend observability: with a tracer attached,
+  /// counts batched warps and observes the grid's host wall time. Without
+  /// one this is exactly execute() — no clocks read, no metrics touched.
+  template <LaneKernel K>
+  LaunchResult execute_observed(const LaunchConfig& cfg, K& kernel) {
+    if (tracer_ == nullptr) return execute(cfg, kernel);
+    const auto t0 = std::chrono::steady_clock::now();
+    LaunchResult result = execute(cfg, kernel);
+    const auto t1 = std::chrono::steady_clock::now();
+    observe_warp_batch<K>(cfg);
+    observe_launch_wall(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    return result;
+  }
+
+  /// Counts warps executed through the batched protocol (tracer known
+  /// non-null; call sites gate).
+  template <typename K>
+  void observe_warp_batch(const LaunchConfig& cfg) {
+    if (!warp_batched_for<K>(cfg)) return;
+    tracer_->metrics().counter("warp_batch").add(
+        static_cast<std::uint64_t>(cfg.total_warps(dev_)));
+  }
+
+  /// Host wall time of one grid execution, in microseconds (tracer known
+  /// non-null; call sites gate). This is where backend wins show up — the
+  /// modeled device cycles are backend-invariant by design.
+  void observe_launch_wall(double wall_us) {
+    tracer_->metrics()
+        .histogram("launch_wall_us", {10, 20, 50, 100, 200, 500, 1000, 2000,
+                                      5000, 10000, 20000, 50000})
+        .observe(wall_us);
+  }
+
+  /// Sequential backend: block-major, warp within; commits each warp as it
+  /// retires (warp_finish when batched, the lane_finish loop when scalar —
+  /// identical accumulation order either way).
   template <LaneKernel K>
   std::vector<WarpTrace> execute_blocks_sequential(const LaunchConfig& cfg,
                                                    K& kernel) const {
     std::vector<WarpTrace> traces;
     traces.reserve(static_cast<std::size_t>(cfg.total_warps(dev_)));
-    WarpScratch<typename K::LaneState> scratch(dev_.warp_size);
     const int warps = cfg.warps_per_block(dev_);
+    if constexpr (WarpKernel<K>) {
+      if (warp_batched_for<K>(cfg)) {
+        const bool verify = exec_.warp_backend == WarpBackend::kVerify;
+        WarpScratch<typename K::LaneState> scratch(dev_.warp_size);
+        typename K::WarpState state;
+        for (int block = 0; block < cfg.blocks; ++block) {
+          for (int warp = 0; warp < warps; ++warp) {
+            traces.push_back(
+                verify
+                    ? run_warp_verified(cfg, kernel, block, warp, scratch,
+                                        state)
+                    : run_warp_batched(cfg, kernel, block, warp, state));
+            kernel.warp_finish(state, warp_span_for(cfg, block, warp));
+          }
+        }
+        return traces;
+      }
+    }
+    WarpScratch<typename K::LaneState> scratch(dev_.warp_size);
     for (int block = 0; block < cfg.blocks; ++block) {
       for (int warp = 0; warp < warps; ++warp) {
         traces.push_back(run_warp(cfg, kernel, block, warp, scratch));
@@ -684,6 +881,11 @@ class VirtualGpu {
   std::vector<WarpTrace> execute_blocks_parallel(const LaunchConfig& cfg,
                                                  K& kernel,
                                                  util::ThreadPool& pool) const {
+    if constexpr (WarpKernel<K>) {
+      if (warp_batched_for<K>(cfg)) {
+        return execute_blocks_parallel_batched(cfg, kernel, pool);
+      }
+    }
     using LaneState = typename K::LaneState;
     const int warps = cfg.warps_per_block(dev_);
     const std::size_t tpb = static_cast<std::size_t>(cfg.threads_per_block);
@@ -722,11 +924,58 @@ class VirtualGpu {
     return traces;
   }
 
+  /// Threaded backend for warp-batched kernels: workers run whole warps and
+  /// stage the retired WarpStates in canonical (block, warp) slots; the
+  /// calling thread then commits warp_finish in that order — lane-for-lane
+  /// the same (block, thread) commit order as every other backend, so
+  /// aliased output slots accumulate bit-identically. Verify failures
+  /// thrown on workers propagate: parallel_for_ranges rethrows the first
+  /// worker exception on the caller.
+  template <WarpKernel K>
+  std::vector<WarpTrace> execute_blocks_parallel_batched(
+      const LaunchConfig& cfg, K& kernel, util::ThreadPool& pool) const {
+    const int warps = cfg.warps_per_block(dev_);
+    const bool verify = exec_.warp_backend == WarpBackend::kVerify;
+    std::vector<WarpTrace> traces(
+        static_cast<std::size_t>(cfg.total_warps(dev_)));
+    std::vector<typename K::WarpState> staged(traces.size());
+
+    pool.parallel_for_ranges(
+        static_cast<std::size_t>(cfg.blocks),
+        [&](std::size_t begin, std::size_t end) {
+          WarpScratch<typename K::LaneState> scratch(dev_.warp_size);
+          for (std::size_t b = begin; b < end; ++b) {
+            const int block = static_cast<int>(b);
+            for (int warp = 0; warp < warps; ++warp) {
+              const std::size_t slot = b * static_cast<std::size_t>(warps) +
+                                       static_cast<std::size_t>(warp);
+              traces[slot] =
+                  verify ? run_warp_verified(cfg, kernel, block, warp,
+                                             scratch, staged[slot])
+                         : run_warp_batched(cfg, kernel, block, warp,
+                                            staged[slot]);
+            }
+          }
+        });
+
+    for (int block = 0; block < cfg.blocks; ++block) {
+      for (int warp = 0; warp < warps; ++warp) {
+        kernel.warp_finish(
+            staged[static_cast<std::size_t>(block * warps + warp)],
+            warp_span_for(cfg, block, warp));
+      }
+    }
+    return traces;
+  }
+
   /// What a stream worker hands back for one launch: the kernel's launch
   /// result plus the raw warp traces (wait() forwards them on StreamLaunch).
   struct StreamExecution {
     LaunchResult result;
     std::vector<WarpTrace> traces;
+    /// Host wall microseconds the grid took on the worker; 0 when the
+    /// controller had no tracer attached at enqueue (nothing was timed).
+    double wall_us = 0.0;
   };
 
   /// Blocks the stream worker of an injected hang until the watchdog
@@ -868,8 +1117,19 @@ class VirtualGpu {
   StreamExecution execute_traced(const LaunchConfig& cfg, K& kernel,
                                  util::ThreadPool* pool) const {
     StreamExecution out;
+    // Timing is worker-local and only taken when a tracer is attached
+    // (reading the pointer for null is safe off-thread; it is set before
+    // launches begin). The controller observes the value at wait().
+    const bool timed = tracer_ != nullptr;
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
     out.traces = pool != nullptr ? execute_blocks_parallel(cfg, kernel, *pool)
                                  : execute_blocks_sequential(cfg, kernel);
+    if (timed) {
+      out.wall_us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    }
     out.result.device_cycles = device_cycles_for(out.traces, cfg, dev_, cost_);
     out.result.stats = aggregate_stats(out.traces, dev_);
     return out;

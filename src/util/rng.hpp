@@ -114,6 +114,13 @@ class CounterRng {
     return std::numeric_limits<result_type>::max();
   }
 
+  /// Two generators compare equal iff they are the same stream at the same
+  /// position — i.e. every future draw is identical. The warp-backend
+  /// verify mode relies on this to prove batched lanes drew exactly the
+  /// scalar path's numbers.
+  friend constexpr bool operator==(const CounterRng&,
+                                   const CounterRng&) noexcept = default;
+
  private:
   static constexpr std::uint64_t mix(std::uint64_t z) noexcept {
     z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;

@@ -229,6 +229,28 @@ TEST(DriverBitExact, GoldensHoldAtFourExecThreads) {
   }
 }
 
+TEST(DriverBitExact, GoldensHoldUnderEveryWarpBackend) {
+  // The warp-batched SoA backend (DESIGN.md §17) claims bit-identity with
+  // the scalar interpreter all the way up the stack: re-running the full
+  // seed-golden suite under each explicit backend — including verify, which
+  // asserts per-warp equality internally — proves moves, stats, fault logs,
+  // and trace hashes are backend-invariant.
+  const char* saved = std::getenv("GPU_MCTS_WARP_BACKEND");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  for (const char* backend : {"scalar", "batched", "verify"}) {
+    ::setenv("GPU_MCTS_WARP_BACKEND", backend, 1);
+    for (const GoldenCase& c : golden_cases()) {
+      SCOPED_TRACE(std::string(c.label) + " backend=" + backend);
+      EXPECT_EQ(encode(run_search(c.spec, 1)), c.golden);
+    }
+  }
+  if (saved != nullptr) {
+    ::setenv("GPU_MCTS_WARP_BACKEND", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("GPU_MCTS_WARP_BACKEND");
+  }
+}
+
 // ---- post-refactor invariants ---------------------------------------------
 // The N-way stream rotation is a capability the seed searchers did not have;
 // these pin the new depths against the synchronous/legacy behaviour.
